@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot primitives: guard fast
+ * path, slow path, chunk cursor step, Fastswap resident access, AIFM
+ * deref. Wall time measures the simulator's own overhead; the
+ * `sim_cycles` counter reports the simulated cost per operation, which
+ * is the number to compare against Tables 1-2.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aifmlib/aifm_runtime.hh"
+#include "fastswap/fastswap_runtime.hh"
+#include "tfm/chunk.hh"
+#include "tfm/tfm_runtime.hh"
+
+using namespace tfm;
+
+namespace
+{
+
+RuntimeConfig
+config()
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 8 << 20;
+    cfg.localMemBytes = 4 << 20;
+    cfg.objectSizeBytes = 4096;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+void
+BM_GuardFastPathRead(benchmark::State &state)
+{
+    TfmRuntime rt(config(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::uint64_t>(addr);
+    std::uint64_t start = rt.clock().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.load<std::uint64_t>(addr));
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(rt.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_GuardFastPathRead);
+
+void
+BM_GuardFastPathWrite(benchmark::State &state)
+{
+    TfmRuntime rt(config(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.store<std::uint64_t>(addr, 1);
+    std::uint64_t start = rt.clock().now();
+    for (auto _ : state)
+        rt.store<std::uint64_t>(addr, 2);
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(rt.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_GuardFastPathWrite);
+
+void
+BM_GuardSlowPathRemote(benchmark::State &state)
+{
+    TfmRuntime rt(config(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4 << 20);
+    std::uint64_t obj = 0;
+    const std::uint64_t objects = (4ull << 20) / 4096;
+    std::uint64_t start = rt.clock().now();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rt.load<std::uint64_t>(addr + (obj % objects) * 4096));
+        rt.runtime().evacuateAll();
+        obj++;
+    }
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(rt.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_GuardSlowPathRemote);
+
+void
+BM_CustodyReject(benchmark::State &state)
+{
+    TfmRuntime rt(config(), CostParams{});
+    std::uint64_t host_value = 7;
+    const auto addr = reinterpret_cast<std::uint64_t>(&host_value);
+    std::uint64_t start = rt.clock().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.load<std::uint64_t>(addr));
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(rt.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CustodyReject);
+
+void
+BM_FastswapResidentAccess(benchmark::State &state)
+{
+    FastswapConfig cfg;
+    cfg.farHeapBytes = 8 << 20;
+    cfg.localMemBytes = 4 << 20;
+    FastswapRuntime fs(cfg, CostParams{});
+    const std::uint64_t heap = fs.allocate(4096);
+    fs.load<std::uint64_t>(heap);
+    std::uint64_t start = fs.clock().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fs.load<std::uint64_t>(heap));
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(fs.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FastswapResidentAccess);
+
+void
+BM_AifmDeref(benchmark::State &state)
+{
+    AifmRuntime rt(config(), CostParams{});
+    const std::uint64_t offset = rt.runtime().allocate(4096);
+    rt.deref(offset, false);
+    std::uint64_t start = rt.clock().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.deref(offset, false));
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(rt.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_AifmDeref);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

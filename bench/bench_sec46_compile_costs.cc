@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Section 4.6: compilation costs — generated-code growth (the paper
+ * reports an average 2.4x over the original binary, proportional to
+ * the number of memory instructions) and compile-time overhead of the
+ * TrackFM pipeline relative to plain parsing (paper: under 6x).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hh"
+#include "ir/parser.hh"
+#include "passes/o1_passes.hh"
+#include "passes/trackfm_passes.hh"
+
+using namespace tfm;
+
+namespace
+{
+
+/**
+ * Synthesize a memory-dense program: @p loops sequential loops, each
+ * loading and storing through a heap array.
+ */
+std::string
+synthesizeProgram(int loops)
+{
+    std::ostringstream os;
+    os << "func @main() -> i64 {\n";
+    os << "entry:\n  %a = call ptr @malloc(80000)\n  br l0.head\n";
+    for (int l = 0; l < loops; l++) {
+        const std::string id = "l" + std::to_string(l);
+        const std::string next =
+            (l + 1 < loops) ? ("l" + std::to_string(l + 1) + ".head")
+                            : "done";
+        const std::string entry_pred =
+            (l == 0) ? "entry" : ("l" + std::to_string(l - 1) + ".head");
+        os << id << ".head:\n";
+        os << "  %" << id << ".i = phi i64 [ 0, " << entry_pred
+           << " ], [ %" << id << ".i2, " << id << ".head ]\n";
+        os << "  %" << id << ".p = gep %a, %" << id << ".i, 8\n";
+        os << "  %" << id << ".v = load i64, %" << id << ".p\n";
+        os << "  %" << id << ".w = add %" << id << ".v, 1\n";
+        // Realistic loop bodies carry arithmetic between the memory
+        // operations (the paper's 2.4x average growth is over real
+        // applications, proportional to their memory-instruction share).
+        os << "  %" << id << ".t0 = mul %" << id << ".w, 3\n";
+        os << "  %" << id << ".t1 = add %" << id << ".t0, 7\n";
+        os << "  %" << id << ".t2 = xor %" << id << ".t1, %" << id
+           << ".i\n";
+        os << "  %" << id << ".t3 = shl %" << id << ".t2, 1\n";
+        os << "  %" << id << ".t4 = lshr %" << id << ".t3, 2\n";
+        os << "  %" << id << ".t5 = sub %" << id << ".t4, %" << id
+           << ".w\n";
+        os << "  %" << id << ".t6 = and %" << id << ".t5, 255\n";
+        os << "  %" << id << ".t7 = or %" << id << ".t6, 1\n";
+        os << "  %" << id << ".w2 = add %" << id << ".w, %" << id
+           << ".t7\n";
+        os << "  store %" << id << ".w2, %" << id << ".p\n";
+        os << "  %" << id << ".i2 = add %" << id << ".i, 1\n";
+        os << "  %" << id << ".c = icmp.slt %" << id << ".i2, 1000\n";
+        os << "  condbr %" << id << ".c, " << id << ".head, " << next
+           << "\n";
+    }
+    os << "done:\n  ret 0\n}\n";
+    return os.str();
+}
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner(
+        "Section 4.6 - compilation costs",
+        "code size grows ~2.4x on average (proportional to memory "
+        "instructions); compile time stays under 6x of the baseline",
+        "synthetic memory-dense modules of increasing size");
+
+    std::printf("%8s %12s %12s %8s %12s %12s %8s\n", "loops",
+                "size before", "size after", "growth", "parse ms",
+                "pipeline ms", "ratio");
+
+    for (const int loops : {4, 16, 64, 256}) {
+        const std::string text = synthesizeProgram(loops);
+
+        auto parse_start = std::chrono::steady_clock::now();
+        auto parsed = ir::parseModule(text);
+        const double parse_ms = millisSince(parse_start);
+        if (!parsed.ok()) {
+            std::printf("parse error: %s\n", parsed.error.c_str());
+            return 1;
+        }
+
+        const std::uint64_t before =
+            estimateLoweredInstructions(*parsed.module);
+
+        auto pipeline_start = std::chrono::steady_clock::now();
+        PassManager manager;
+        addO1Pipeline(manager);
+        TrackFmPassOptions options;
+        options.chunkPolicy = ChunkPolicy::None; // pure guard expansion
+        addTrackFmPipeline(manager, options);
+        const PipelineReport report = manager.run(*parsed.module);
+        const double pipeline_ms = millisSince(pipeline_start);
+        if (!report.ok()) {
+            std::printf("pipeline error: %s\n",
+                        report.verifierError.c_str());
+            return 1;
+        }
+
+        const std::uint64_t after =
+            estimateLoweredInstructions(*parsed.module);
+        std::printf("%8d %12llu %12llu %7.2fx %12.3f %12.3f %7.2fx\n",
+                    loops, static_cast<unsigned long long>(before),
+                    static_cast<unsigned long long>(after),
+                    static_cast<double>(after) /
+                        static_cast<double>(before),
+                    parse_ms, pipeline_ms,
+                    pipeline_ms / (parse_ms > 0.0001 ? parse_ms
+                                                     : 0.0001));
+    }
+    std::printf("\nPaper reference: average code growth 2.4x; compile "
+                "time under 6x of standard LLVM.\n");
+    return 0;
+}

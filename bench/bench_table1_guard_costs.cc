@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 1: TrackFM fast-path vs slow-path guard costs (cycles) when the
+ * object is local, cached and uncached.
+ *
+ * Fast paths and local slow paths are measured by executing guards
+ * against a runtime with the object resident over many trials; the
+ * "uncached" column (object-state-table cache miss) comes from the
+ * calibrated model constants, since per-access cache behaviour is not
+ * simulated.
+ */
+
+#include <cstdio>
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "tfm/tfm_runtime.hh"
+
+using namespace tfm;
+
+namespace
+{
+
+RuntimeConfig
+config()
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 1 << 20;
+    cfg.localMemBytes = 64 << 10;
+    cfg.objectSizeBytes = 4096;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+/** Median charged cycles over @p trials runs of @p op. */
+template <typename Op>
+std::uint64_t
+medianCycles(TfmRuntime &rt, int trials, Op &&op)
+{
+    std::vector<std::uint64_t> samples;
+    samples.reserve(static_cast<std::size_t>(trials));
+    for (int i = 0; i < trials; i++) {
+        const std::uint64_t before = rt.clock().now();
+        op();
+        samples.push_back(rt.clock().now() - before);
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const CostParams costs;
+    bench::banner(
+        "Table 1 - TrackFM guard costs (median cycles over 1000 trials)",
+        "fast path ~21 cycles; slow path with object local 144-159",
+        "exact reproduction; no working-set scaling involved");
+
+    TfmRuntime rt(config(), costs);
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::uint64_t>(addr); // localize once
+
+    const std::uint64_t fast_read = medianCycles(
+        rt, 1000, [&] { rt.load<std::uint64_t>(addr); });
+    const std::uint64_t fast_write = medianCycles(
+        rt, 1000, [&] { rt.store<std::uint64_t>(addr, 1); });
+
+    // Slow path with the object local: a prefetched-but-unconsumed
+    // object fails the fast-path safety test and calls the runtime,
+    // which finds the payload already present (zero residual wait).
+    auto &far = rt.runtime();
+    const std::uint64_t slow_read = medianCycles(rt, 1000, [&] {
+        far.stateTable()[0].setInflight();
+        rt.load<std::uint64_t>(addr);
+    });
+    const std::uint64_t slow_write = medianCycles(rt, 1000, [&] {
+        far.stateTable()[0].setInflight();
+        rt.store<std::uint64_t>(addr, 2);
+    });
+
+    bench::section("Table 1 (object local)");
+    std::printf("%-38s %10s %10s\n", "TrackFM Guard Type", "Cached",
+                "Uncached");
+    std::printf("%-38s %10llu %10llu\n", "TrackFM fast-path read guard",
+                static_cast<unsigned long long>(fast_read),
+                static_cast<unsigned long long>(
+                    costs.fastPathUncachedReadCycles));
+    std::printf("%-38s %10llu %10llu\n", "TrackFM fast-path write guard",
+                static_cast<unsigned long long>(fast_write),
+                static_cast<unsigned long long>(
+                    costs.fastPathUncachedWriteCycles));
+    std::printf("%-38s %10llu %10llu\n", "TrackFM slow-path read guard",
+                static_cast<unsigned long long>(slow_read),
+                static_cast<unsigned long long>(
+                    costs.slowPathUncachedReadCycles));
+    std::printf("%-38s %10llu %10llu\n", "TrackFM slow-path write guard",
+                static_cast<unsigned long long>(slow_write),
+                static_cast<unsigned long long>(
+                    costs.slowPathUncachedWriteCycles));
+    std::printf("\nPaper reference: 21/297, 21/309, 144/453, 159/432.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses.
+ *
+ * Every bench binary regenerates one table or figure from the paper's
+ * evaluation: it prints the experiment banner (paper reference, scale
+ * factors, cost constants), runs the sweep, and emits one row per data
+ * point in a fixed-width table that can be compared against the paper
+ * (and trivially re-plotted).
+ */
+
+#ifndef TRACKFM_BENCH_BENCH_UTIL_HH
+#define TRACKFM_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sim/cost_params.hh"
+
+namespace tfm::bench
+{
+
+/** Print the experiment banner. */
+inline void
+banner(const char *artifact, const char *claim, const char *scale_note)
+{
+    std::printf("==============================================================\n");
+    std::printf("Reproducing: %s\n", artifact);
+    std::printf("Claim:       %s\n", claim);
+    std::printf("Scale:       %s\n", scale_note);
+    std::printf("==============================================================\n");
+}
+
+/** Print a section header inside a bench. */
+inline void
+section(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+/** Simulated seconds for a cycle count at the model's frequency. */
+inline double
+seconds(std::uint64_t cycles, const CostParams &costs)
+{
+    return static_cast<double>(cycles) / (costs.cpuGhz * 1e9);
+}
+
+/** Fraction formatter ("25%"). */
+inline std::string
+pct(double fraction)
+{
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%.0f%%", fraction * 100.0);
+    return buffer;
+}
+
+/** The standard local-memory sweep used by most figures. */
+inline const double localMemSweep[] = {0.10, 0.25, 0.40, 0.55,
+                                       0.70, 0.85, 1.00};
+inline constexpr int localMemSweepPoints = 7;
+
+/** Choose a frame-count-safe local memory size for a fraction. */
+inline std::uint64_t
+localBytesFor(double fraction, std::uint64_t working_set,
+              std::uint32_t object_size)
+{
+    auto bytes = static_cast<std::uint64_t>(fraction *
+                                            static_cast<double>(
+                                                working_set));
+    const std::uint64_t floor_bytes = 8ull * object_size;
+    return bytes < floor_bytes ? floor_bytes : bytes;
+}
+
+} // namespace tfm::bench
+
+#endif // TRACKFM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Profile-guided optimization workflow — the section 5 extension end to
+ * end: (1) compile and run with allocation-site profiling, (2) recompile
+ * with the hot-alloc pruning pass so frequently-accessed allocations
+ * stay in local memory, (3) compare.
+ *
+ * The program keeps a small, hammered lookup table and a large,
+ * touched-once log buffer. Profiling discovers that the table is hot
+ * per byte; pruning keeps it local, turning tens of thousands of
+ * 21-cycle fast-path guards into 4-cycle custody rejections while the
+ * cold log continues to live in far memory.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "interp/interpreter.hh"
+#include "ir/parser.hh"
+#include "passes/hot_alloc_pruning.hh"
+#include "passes/o1_passes.hh"
+#include "passes/trackfm_passes.hh"
+
+namespace
+{
+
+const char *const program = R"(
+func @main() -> i64 {
+entry:
+  %table = call ptr @malloc(1024)
+  %log = call ptr @malloc(524288)
+  br tinit
+tinit:
+  %t = phi i64 [ 0, entry ], [ %t2, tinit ]
+  %tp = gep %table, %t, 8
+  %tv = mul %t, 3
+  store %tv, %tp
+  %t2 = add %t, 1
+  %tc = icmp.slt %t2, 128
+  condbr %tc, tinit, work
+work:
+  %i = phi i64 [ 0, tinit ], [ %i2, work ]
+  %acc0 = phi i64 [ 0, tinit ], [ %acc2, work ]
+  %slot = srem %i, 128
+  %lp = gep %table, %slot, 8
+  %lv = load i64, %lp
+  %acc2 = add %acc0, %lv
+  %logslot = srem %i, 65536
+  %gp = gep %log, %logslot, 8
+  store %acc2, %gp
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 60000
+  condbr %c, work, exit
+exit:
+  ret %acc2
+}
+)";
+
+tfm::SystemConfig
+clusterConfig()
+{
+    tfm::SystemConfig config;
+    config.runtime.farHeapBytes = 4 << 20;
+    config.runtime.localMemBytes = 128 << 10; // ~25% of the working set
+    return config;
+}
+
+void
+report(const char *label, const tfm::TfmRuntime &rt, std::int64_t value)
+{
+    const tfm::GuardStats &guards = rt.guardStats();
+    std::printf("%-22s result=%lld cycles=%llu fast=%llu "
+                "custody=%llu remote-fetches=%llu\n",
+                label, static_cast<long long>(value),
+                static_cast<unsigned long long>(
+                    rt.runtime().clock().now()),
+                static_cast<unsigned long long>(guards.fastTotal()),
+                static_cast<unsigned long long>(guards.custodyRejects),
+                static_cast<unsigned long long>(
+                    rt.runtime().stats().demandFetches));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace tfm;
+
+    // Step 1: ordinary TrackFM compile + profiled training run.
+    System trainer(clusterConfig());
+    CompileResult trained = trainer.compile(program);
+    if (!trained.ok()) {
+        std::printf("compile error: %s\n", trained.error.c_str());
+        return 1;
+    }
+    Interpreter profiler(trained.program->ir(), trainer.runtime());
+    profiler.enableAllocationProfiling();
+    const RunResult training_run = profiler.run("main");
+    if (!training_run.ok()) {
+        std::printf("training run trapped: %s\n",
+                    training_run.trapMessage.c_str());
+        return 1;
+    }
+    report("baseline TrackFM", trainer.runtime(),
+           training_run.returnValue);
+
+    const AllocSiteProfile profile = profiler.allocationProfile();
+    std::printf("\nallocation-site profile:\n");
+    for (const auto &site : profile.sites) {
+        std::printf("  site %u in @%s: %llu bytes, %llu guarded "
+                    "accesses (%.1f per byte)\n",
+                    site.ordinal, site.function.c_str(),
+                    static_cast<unsigned long long>(site.bytesAllocated),
+                    static_cast<unsigned long long>(
+                        site.guardedAccesses),
+                    site.accessesPerByte());
+    }
+
+    // Step 2: recompile with pruning (hot sites stay local).
+    auto module = ir::parseModule(program).module;
+    PassManager manager;
+    addO1Pipeline(manager);
+    manager.emplace<RuntimeInitPass>();
+    manager.emplace<LibcTransformPass>();
+    manager.emplace<HotAllocPruningPass>(profile, 5.0);
+    manager.emplace<GuardPass>();
+    manager.emplace<LoopChunkPass>(TrackFmPassOptions{});
+    manager.emplace<PrefetchInjectionPass>(TrackFmPassOptions{});
+    const PipelineReport pgo_report = manager.run(*module);
+    if (!pgo_report.ok()) {
+        std::printf("PGO pipeline failed: %s\n",
+                    pgo_report.verifierError.c_str());
+        return 1;
+    }
+
+    // Step 3: run the pruned program on a fresh cluster and compare.
+    TfmRuntime pruned_rt(clusterConfig().runtime, CostParams{});
+    Interpreter pruned(*module, pruned_rt);
+    const RunResult pgo_run = pruned.run("main");
+    if (!pgo_run.ok()) {
+        std::printf("PGO run trapped: %s\n",
+                    pgo_run.trapMessage.c_str());
+        return 1;
+    }
+    std::printf("\n");
+    report("PGO-pruned TrackFM", pruned_rt, pgo_run.returnValue);
+
+    if (pgo_run.returnValue != training_run.returnValue) {
+        std::printf("\nresults DIVERGED — pruning bug!\n");
+        return 1;
+    }
+    const double speedup =
+        static_cast<double>(trainer.cycles()) /
+        static_cast<double>(pruned_rt.runtime().clock().now());
+    std::printf("\nidentical results; pruning the hot table bought "
+                "%.2fx end to end.\n",
+                speedup);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Taxi analytics on four memory systems: the paper's headline
+ * application comparison (Fig. 14) as a runnable example. One dataframe
+ * workload, four backends — local-only, TrackFM, Fastswap, AIFM — with
+ * a quarter of the working set allowed in local memory.
+ */
+
+#include <cstdio>
+
+#include "workloads/backend_config.hh"
+#include "workloads/dataframe.hh"
+
+using namespace tfm;
+
+int
+main()
+{
+    const CostParams costs;
+    DataframeParams params;
+    params.numRows = 100000;
+
+    std::printf("NYC-taxi-style analytics, %llu rows, local memory = "
+                "25%% of the working set\n\n",
+                static_cast<unsigned long long>(params.numRows));
+    std::printf("%-10s %14s %12s %16s %14s\n", "system", "sim time ms",
+                "slowdown", "remote events", "GB fetched");
+
+    std::uint64_t local_cycles = 0;
+    for (const SystemKind kind : {SystemKind::Local, SystemKind::TrackFm,
+                                  SystemKind::Fastswap, SystemKind::Aifm}) {
+        BackendConfig cfg;
+        cfg.kind = kind;
+        cfg.farHeapBytes = 32 << 20;
+        cfg.objectSizeBytes = 4096;
+        cfg.localMemBytes = (kind == SystemKind::Local)
+                                ? cfg.farHeapBytes
+                                : params.numRows * 44 / 4;
+        auto backend = makeBackend(cfg, costs);
+
+        DataframeWorkload workload(*backend, params);
+        const DataframeResult result = workload.run();
+
+        // Every system must compute identical answers.
+        const DataframeAnswers &expected = workload.expected();
+        if (result.answers.groupAggregate != expected.groupAggregate ||
+            result.answers.longTrips != expected.longTrips) {
+            std::printf("%-10s computed WRONG answers!\n",
+                        systemName(kind));
+            return 1;
+        }
+
+        if (kind == SystemKind::Local)
+            local_cycles = result.delta.cycles;
+        std::printf("%-10s %14.2f %11.2fx %16llu %14.4f\n",
+                    systemName(kind),
+                    static_cast<double>(result.delta.cycles) /
+                        (costs.cpuGhz * 1e6),
+                    static_cast<double>(result.delta.cycles) /
+                        static_cast<double>(local_cycles),
+                    static_cast<unsigned long long>(
+                        result.delta.farEvents),
+                    static_cast<double>(result.delta.bytesFetched) /
+                        1e9);
+    }
+
+    std::printf("\nAll four systems computed identical query answers; "
+                "only the memory system differed.\n");
+    std::printf("TrackFM got its result from the *unmodified* program; "
+                "AIFM's number is what a manual port buys.\n");
+    return 0;
+}

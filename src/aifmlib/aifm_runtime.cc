@@ -1,0 +1,15 @@
+#include "aifm_runtime.hh"
+
+namespace tfm
+{
+
+void
+AifmRuntime::exportStats(StatSet &set) const
+{
+    set.add("aifm.derefs", _stats.derefs);
+    set.add("aifm.misses", _stats.misses);
+    set.add("aifm.scope_enters", _stats.scopeEnters);
+    rt.exportStats(set);
+}
+
+} // namespace tfm

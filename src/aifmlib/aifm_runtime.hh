@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AIFM library-mode runtime: the programmer-integrated baseline
+ * (Ruan et al., OSDI '20) that TrackFM is compared against in Fig. 14.
+ *
+ * Unlike TrackFM, nothing is automatic here: the programmer picks a
+ * remote data structure (RemoteArray, RemoteVector, RemoteHashMap),
+ * annotates it with an object size, and brackets accesses with
+ * DerefScope objects. In exchange there are no custody checks and no
+ * guards — just a cheap smart-pointer indirection on the hit path and a
+ * runtime call on the miss path.
+ */
+
+#ifndef TRACKFM_AIFMLIB_AIFM_RUNTIME_HH
+#define TRACKFM_AIFMLIB_AIFM_RUNTIME_HH
+
+#include <cstdint>
+
+#include "runtime/far_mem_runtime.hh"
+
+namespace tfm
+{
+
+/** AIFM-side access counters. */
+struct AifmStats
+{
+    std::uint64_t derefs = 0;      ///< smart-pointer hits
+    std::uint64_t misses = 0;      ///< dereferences that called the runtime
+    std::uint64_t scopeEnters = 0; ///< DerefScope constructions
+};
+
+/**
+ * Thin wrapper adding AIFM's access-cost accounting to the shared
+ * far-memory runtime.
+ */
+class AifmRuntime
+{
+  public:
+    AifmRuntime(const RuntimeConfig &config, const CostParams &cost_params)
+        : rt(config, cost_params)
+    {}
+
+    FarMemRuntime &runtime() { return rt; }
+    const CostParams &costs() const { return rt.costs(); }
+    CycleClock &clock() { return rt.clock(); }
+    AifmStats &stats() { return _stats; }
+    const AifmStats &stats() const { return _stats; }
+
+    /**
+     * Dereference a far offset inside a scope: cheap indirection when
+     * local, runtime call (possibly remote fetch) when not.
+     *
+     * @return host pointer to the byte at @p offset.
+     */
+    std::byte *
+    deref(std::uint64_t offset, bool for_write)
+    {
+        std::byte *fast = rt.tryFast(offset, for_write);
+        if (fast) {
+            rt.clock().advance(costs().smartPtrDerefCycles);
+            _stats.derefs++;
+            return fast;
+        }
+        // Miss path: same runtime localize call TrackFM's slow path
+        // uses, minus the guard dispatch around it.
+        rt.clock().advance(costs().slowPathReadCycles);
+        _stats.misses++;
+        return rt.localize(offset, for_write);
+    }
+
+    void exportStats(StatSet &set) const;
+
+  private:
+    FarMemRuntime rt;
+    AifmStats _stats;
+};
+
+/**
+ * RAII dereference scope (Listing 1 in the paper). While a scope is
+ * alive the evacuator will not reclaim objects dereferenced through it;
+ * in this single-threaded reproduction that invariant is structural, so
+ * the scope only charges its entry cost and anchors the API shape.
+ */
+class DerefScope
+{
+  public:
+    explicit DerefScope(AifmRuntime &rt) : _rt(rt)
+    {
+        _rt.clock().advance(_rt.costs().derefScopeCycles);
+        _rt.stats().scopeEnters++;
+    }
+
+    DerefScope(const DerefScope &) = delete;
+    DerefScope &operator=(const DerefScope &) = delete;
+
+    AifmRuntime &runtime() const { return _rt; }
+
+  private:
+    AifmRuntime &_rt;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_AIFMLIB_AIFM_RUNTIME_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * AIFM-style remote array: the data structure from the paper's
+ * Listing 1, with a locality-aware iterator.
+ */
+
+#ifndef TRACKFM_AIFMLIB_REMOTE_ARRAY_HH
+#define TRACKFM_AIFMLIB_REMOTE_ARRAY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "aifm_runtime.hh"
+
+namespace tfm
+{
+
+/**
+ * Fixed-size array of T in far memory.
+ *
+ * Element accessors require a DerefScope, as AIFM's API does. The
+ * iterator localizes one object at a time and serves elements from the
+ * pinned window — the hand-written equivalent of what TrackFM's loop
+ * chunking derives automatically.
+ */
+template <typename T>
+class RemoteArray
+{
+  public:
+    RemoteArray(AifmRuntime &rt, std::size_t count)
+        : _rt(rt), _count(count),
+          base(rt.runtime().allocate(count * sizeof(T)))
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "far-memory elements must be trivially copyable");
+        TFM_ASSERT(rt.runtime().stateTable().objectSize() % sizeof(T) == 0,
+                   "element size must divide the object size (pad T)");
+    }
+
+    std::size_t size() const { return _count; }
+
+    /** Scoped element read (Listing 1's array.at(scope, i)). */
+    T
+    at(const DerefScope &scope, std::size_t index) const
+    {
+        (void)scope;
+        T value;
+        std::memcpy(&value, _rt.deref(elemOffset(index), false), sizeof(T));
+        return value;
+    }
+
+    /** Scoped element write. */
+    void
+    set(const DerefScope &scope, std::size_t index, const T &value)
+    {
+        (void)scope;
+        std::memcpy(_rt.deref(elemOffset(index), true), &value, sizeof(T));
+    }
+
+    /** Unmetered initialization. */
+    void
+    init(std::size_t index, const T &value)
+    {
+        _rt.runtime().rawWrite(elemOffset(index), &value, sizeof(T));
+    }
+
+    /** Unmetered verification read. */
+    T
+    peek(std::size_t index) const
+    {
+        T value;
+        _rt.runtime().rawRead(elemOffset(index), &value, sizeof(T));
+        return value;
+    }
+
+    /**
+     * Library iterator: sequential scan with object-window reuse.
+     *
+     * The data-structure developer knows the object size, so in-window
+     * element accesses are raw (about one cycle of pointer bump), and
+     * the runtime is only called at object boundaries. Demand misses at
+     * boundaries train the stride prefetcher.
+     */
+    class Iterator
+    {
+      public:
+        Iterator(RemoteArray &array, const DerefScope &scope, bool for_write)
+            : arr(array), writeMode(for_write)
+        {
+            (void)scope;
+            refill();
+        }
+
+        Iterator(const Iterator &) = delete;
+        Iterator &operator=(const Iterator &) = delete;
+
+        ~Iterator()
+        {
+            if (curObj != noObj)
+                arr._rt.runtime().unpinObject(curObj);
+        }
+
+        T
+        read()
+        {
+            T value;
+            std::memcpy(&value, window + inWindow, sizeof(T));
+            step();
+            return value;
+        }
+
+        void
+        write(const T &value)
+        {
+            std::memcpy(window + inWindow, &value, sizeof(T));
+            step();
+        }
+
+      private:
+        void
+        step()
+        {
+            arr._rt.clock().advance(1);
+            index++;
+            inWindow += sizeof(T);
+            if (inWindow >= windowLen && index < arr._count)
+                refill();
+        }
+
+        void
+        refill()
+        {
+            const std::uint64_t offset = arr.elemOffset(index);
+            window = arr._rt.deref(offset, writeMode);
+            auto &runtime = arr._rt.runtime();
+            const auto &table = runtime.stateTable();
+            const std::uint64_t next = table.objectOf(offset);
+            // The scope pins the window object so localize() calls for
+            // later objects cannot evacuate it underneath the iterator.
+            runtime.pinObject(next);
+            if (curObj != noObj)
+                runtime.unpinObject(curObj);
+            curObj = next;
+            const std::uint64_t in_obj = table.offsetInObject(offset);
+            window -= in_obj;
+            inWindow = in_obj;
+            windowLen = table.objectSize();
+        }
+
+        static constexpr std::uint64_t noObj = ~0ull;
+
+        RemoteArray &arr;
+        bool writeMode;
+        std::size_t index = 0;
+        std::byte *window = nullptr;
+        std::uint64_t inWindow = 0;
+        std::uint64_t windowLen = 0;
+        std::uint64_t curObj = noObj;
+    };
+
+    Iterator
+    begin(const DerefScope &scope, bool for_write = false)
+    {
+        return Iterator(*this, scope, for_write);
+    }
+
+  private:
+    std::uint64_t
+    elemOffset(std::size_t index) const
+    {
+        return base + index * sizeof(T);
+    }
+
+    AifmRuntime &_rt;
+    std::size_t _count;
+    std::uint64_t base;
+
+    friend class Iterator;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_AIFMLIB_REMOTE_ARRAY_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * AIFM-style remote hash map (the "remote HashMap" the paper cites as
+ * the best-case library experience).
+ *
+ * Open addressing with linear probing over a far-memory bucket array.
+ * Keys and values are fixed-size PODs; the memcached comparison uses
+ * variable-size payloads through the generic backend instead.
+ */
+
+#ifndef TRACKFM_AIFMLIB_REMOTE_HASHMAP_HH
+#define TRACKFM_AIFMLIB_REMOTE_HASHMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "aifm_runtime.hh"
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+/**
+ * Fixed-capacity open-addressing hash map in far memory.
+ *
+ * @tparam K trivially copyable key
+ * @tparam V trivially copyable value
+ */
+template <typename K, typename V>
+class RemoteHashMap
+{
+  public:
+    RemoteHashMap(AifmRuntime &rt, std::size_t capacity)
+        : _rt(rt), cap(roundUpPow2(capacity))
+    {
+        // Slots are padded to a power-of-two stride so a slot never
+        // straddles an object boundary.
+        base = rt.runtime().allocate(cap * slotStride());
+        // Empty slots are all-zero with state == empty.
+        const Slot empty_slot{};
+        for (std::size_t i = 0; i < cap; i++)
+            rt.runtime().rawWrite(slotOffset(i), &empty_slot, sizeof(Slot));
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return count; }
+
+    /** Insert or update; charges hash + probe accesses. */
+    void
+    put(const DerefScope &scope, const K &key, const V &value)
+    {
+        (void)scope;
+        TFM_ASSERT(count < cap, "RemoteHashMap is full");
+        _rt.clock().advance(_rt.costs().computeCycles * 8); // hashing
+        std::size_t slot = hashOf(key) & (cap - 1);
+        while (true) {
+            Slot s = loadSlot(slot, false);
+            if (s.state != Slot::full) {
+                s.state = Slot::full;
+                s.key = key;
+                s.value = value;
+                storeSlot(slot, s);
+                count++;
+                return;
+            }
+            if (keyEq(s.key, key)) {
+                s.value = value;
+                storeSlot(slot, s);
+                return;
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+    }
+
+    /** Lookup; nullopt when absent. */
+    std::optional<V>
+    get(const DerefScope &scope, const K &key)
+    {
+        (void)scope;
+        _rt.clock().advance(_rt.costs().computeCycles * 8);
+        std::size_t slot = hashOf(key) & (cap - 1);
+        while (true) {
+            const Slot s = loadSlot(slot, false);
+            if (s.state == Slot::empty)
+                return std::nullopt;
+            if (s.state == Slot::full && keyEq(s.key, key))
+                return s.value;
+            slot = (slot + 1) & (cap - 1);
+        }
+    }
+
+    /** Remove; true when the key was present. */
+    bool
+    erase(const DerefScope &scope, const K &key)
+    {
+        (void)scope;
+        _rt.clock().advance(_rt.costs().computeCycles * 8);
+        std::size_t slot = hashOf(key) & (cap - 1);
+        while (true) {
+            Slot s = loadSlot(slot, false);
+            if (s.state == Slot::empty)
+                return false;
+            if (s.state == Slot::full && keyEq(s.key, key)) {
+                s.state = Slot::tombstone;
+                storeSlot(slot, s);
+                count--;
+                return true;
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+    }
+
+    /** Unmetered insert for initialization. */
+    void
+    initPut(const K &key, const V &value)
+    {
+        TFM_ASSERT(count < cap, "RemoteHashMap is full");
+        std::size_t slot = hashOf(key) & (cap - 1);
+        while (true) {
+            Slot s{};
+            _rt.runtime().rawRead(slotOffset(slot), &s, sizeof(Slot));
+            if (s.state != Slot::full) {
+                s.state = Slot::full;
+                s.key = key;
+                s.value = value;
+                _rt.runtime().rawWrite(slotOffset(slot), &s, sizeof(Slot));
+                count++;
+                return;
+            }
+            if (keyEq(s.key, key)) {
+                s.value = value;
+                _rt.runtime().rawWrite(slotOffset(slot), &s, sizeof(Slot));
+                return;
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        static constexpr std::uint8_t empty = 0;
+        static constexpr std::uint8_t full = 1;
+        static constexpr std::uint8_t tombstone = 2;
+
+        std::uint8_t state = empty;
+        K key{};
+        V value{};
+    };
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 16;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    static std::uint64_t
+    hashOf(const K &key)
+    {
+        // FNV-1a over the key bytes.
+        const auto *bytes = reinterpret_cast<const unsigned char *>(&key);
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (std::size_t i = 0; i < sizeof(K); i++)
+            h = (h ^ bytes[i]) * 0x100000001b3ull;
+        return h;
+    }
+
+    static bool
+    keyEq(const K &a, const K &b)
+    {
+        return std::memcmp(&a, &b, sizeof(K)) == 0;
+    }
+
+    static constexpr std::size_t
+    slotStride()
+    {
+        std::size_t p = 16;
+        while (p < sizeof(Slot))
+            p <<= 1;
+        return p;
+    }
+
+    std::uint64_t
+    slotOffset(std::size_t slot) const
+    {
+        return base + slot * slotStride();
+    }
+
+    Slot
+    loadSlot(std::size_t slot, bool for_write)
+    {
+        Slot s;
+        std::memcpy(&s, _rt.deref(slotOffset(slot), for_write), sizeof(Slot));
+        return s;
+    }
+
+    void
+    storeSlot(std::size_t slot, const Slot &s)
+    {
+        std::memcpy(_rt.deref(slotOffset(slot), true), &s, sizeof(Slot));
+    }
+
+    AifmRuntime &_rt;
+    std::size_t cap;
+    std::size_t count = 0;
+    std::uint64_t base = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_AIFMLIB_REMOTE_HASHMAP_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * AIFM-style remote linked list — the paper's second motivating data
+ * structure ("a remote linked list ... might use an AIFM object size
+ * of 64 B to constitute a single linked list node", section 2).
+ *
+ * Each node is its own far-memory allocation, so a traversal is a
+ * pointer chase across objects: the worst case for paging and the
+ * pattern the paper's future-work section (recursive data structures)
+ * targets.
+ */
+
+#ifndef TRACKFM_AIFMLIB_REMOTE_LIST_HH
+#define TRACKFM_AIFMLIB_REMOTE_LIST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "aifm_runtime.hh"
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+/**
+ * Singly linked list of T in far memory.
+ *
+ * @tparam T trivially copyable element
+ */
+template <typename T>
+class RemoteList
+{
+  public:
+    explicit RemoteList(AifmRuntime &rt) : _rt(rt)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "far-memory elements must be trivially copyable");
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Prepend an element (O(1), one node allocation). */
+    void
+    pushFront(const DerefScope &scope, const T &value)
+    {
+        (void)scope;
+        const std::uint64_t node = _rt.runtime().allocate(sizeof(Node));
+        Node fresh;
+        fresh.next = head;
+        fresh.value = value;
+        std::memcpy(_rt.deref(node, true), &fresh, sizeof(Node));
+        head = node;
+        count++;
+    }
+
+    /** Remove and return the first element. */
+    T
+    popFront(const DerefScope &scope)
+    {
+        (void)scope;
+        TFM_ASSERT(count > 0, "popFront on an empty RemoteList");
+        Node node;
+        std::memcpy(&node, _rt.deref(head, false), sizeof(Node));
+        _rt.runtime().deallocate(head);
+        head = node.next;
+        count--;
+        return node.value;
+    }
+
+    /** Read the first element without removing it. */
+    T
+    front(const DerefScope &scope) const
+    {
+        (void)scope;
+        TFM_ASSERT(count > 0, "front on an empty RemoteList");
+        Node node;
+        std::memcpy(&node, _rt.deref(head, false), sizeof(Node));
+        return node.value;
+    }
+
+    /**
+     * Traverse the whole list, calling @p visit on each element —
+     * a pointer chase with one dereference per node.
+     */
+    template <typename Visitor>
+    void
+    forEach(const DerefScope &scope, Visitor &&visit) const
+    {
+        (void)scope;
+        std::uint64_t cursor = head;
+        while (cursor != nil) {
+            Node node;
+            std::memcpy(&node, _rt.deref(cursor, false), sizeof(Node));
+            visit(node.value);
+            cursor = node.next;
+        }
+    }
+
+    /** Find the first element equal to @p value (by bytes). */
+    bool
+    contains(const DerefScope &scope, const T &value) const
+    {
+        bool found = false;
+        forEach(scope, [&](const T &element) {
+            found |= std::memcmp(&element, &value, sizeof(T)) == 0;
+        });
+        return found;
+    }
+
+    /** Unmetered prepend for initialization. */
+    void
+    initPushFront(const T &value)
+    {
+        const std::uint64_t node = _rt.runtime().allocate(sizeof(Node));
+        Node fresh;
+        fresh.next = head;
+        fresh.value = value;
+        _rt.runtime().rawWrite(node, &fresh, sizeof(Node));
+        head = node;
+        count++;
+    }
+
+  private:
+    static constexpr std::uint64_t nil = ~0ull;
+
+    struct Node
+    {
+        std::uint64_t next = nil;
+        T value{};
+    };
+
+    AifmRuntime &_rt;
+    std::uint64_t head = nil;
+    std::size_t count = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_AIFMLIB_REMOTE_LIST_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * AIFM-style growable remote vector.
+ */
+
+#ifndef TRACKFM_AIFMLIB_REMOTE_VECTOR_HH
+#define TRACKFM_AIFMLIB_REMOTE_VECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "aifm_runtime.hh"
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+/**
+ * Dynamic array of T in far memory with amortized doubling growth.
+ *
+ * Growth copies through the runtime at object granularity and charges
+ * streaming-copy cycles, modelling AIFM's log-structured reallocation.
+ */
+template <typename T>
+class RemoteVector
+{
+  public:
+    explicit RemoteVector(AifmRuntime &rt, std::size_t initial_capacity = 16)
+        : _rt(rt), cap(initial_capacity == 0 ? 16 : initial_capacity)
+    {
+        base = rt.runtime().allocate(cap * sizeof(T));
+    }
+
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return cap; }
+    bool empty() const { return count == 0; }
+
+    void
+    pushBack(const DerefScope &scope, const T &value)
+    {
+        if (count == cap)
+            grow();
+        std::memcpy(_rt.deref(elemOffset(count), true), &value, sizeof(T));
+        (void)scope;
+        count++;
+    }
+
+    T
+    at(const DerefScope &scope, std::size_t index) const
+    {
+        (void)scope;
+        TFM_ASSERT(index < count, "RemoteVector index out of range");
+        T value;
+        std::memcpy(&value, _rt.deref(elemOffset(index), false), sizeof(T));
+        return value;
+    }
+
+    void
+    set(const DerefScope &scope, std::size_t index, const T &value)
+    {
+        (void)scope;
+        TFM_ASSERT(index < count, "RemoteVector index out of range");
+        std::memcpy(_rt.deref(elemOffset(index), true), &value, sizeof(T));
+    }
+
+    /** Unmetered append for initialization. */
+    void
+    initPushBack(const T &value)
+    {
+        if (count == cap)
+            grow();
+        _rt.runtime().rawWrite(elemOffset(count), &value, sizeof(T));
+        count++;
+    }
+
+  private:
+    std::uint64_t
+    elemOffset(std::size_t index) const
+    {
+        return base + index * sizeof(T);
+    }
+
+    void
+    grow()
+    {
+        const std::size_t new_cap = cap * 2;
+        auto &runtime = _rt.runtime();
+        const std::uint64_t fresh = runtime.allocate(new_cap * sizeof(T));
+        // Move payload through the runtime's raw path and charge a
+        // streaming copy (the data may be partially remote).
+        const std::size_t bytes = count * sizeof(T);
+        if (bytes > 0) {
+            std::vector<std::byte> tmp(bytes);
+            runtime.rawRead(base, tmp.data(), bytes);
+            runtime.rawWrite(fresh, tmp.data(), bytes);
+            runtime.clock().advance(bytes / 16 + 1);
+        }
+        runtime.deallocate(base);
+        base = fresh;
+        cap = new_cap;
+    }
+
+    AifmRuntime &_rt;
+    std::size_t cap;
+    std::size_t count = 0;
+    std::uint64_t base = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_AIFMLIB_REMOTE_VECTOR_HH

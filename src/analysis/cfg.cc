@@ -1,0 +1,53 @@
+#include "cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace tfm
+{
+
+Cfg::Cfg(const ir::Function &function)
+{
+    ir::BasicBlock *entry = function.entry();
+    if (!entry)
+        return;
+
+    // Iterative DFS computing post-order.
+    std::vector<ir::BasicBlock *> post;
+    std::set<const ir::BasicBlock *> visited;
+    struct Frame
+    {
+        ir::BasicBlock *block;
+        std::vector<ir::BasicBlock *> succs;
+        std::size_t next;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({entry, entry->successors(), 0});
+    visited.insert(entry);
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        if (frame.next < frame.succs.size()) {
+            ir::BasicBlock *succ = frame.succs[frame.next++];
+            preds[succ].push_back(frame.block);
+            if (!visited.count(succ)) {
+                visited.insert(succ);
+                stack.push_back({succ, succ->successors(), 0});
+            }
+        } else {
+            post.push_back(frame.block);
+            stack.pop_back();
+        }
+    }
+
+    rpo.assign(post.rbegin(), post.rend());
+    for (std::size_t i = 0; i < rpo.size(); i++)
+        rpoIndexOf[rpo[i]] = static_cast<int>(i);
+
+    // Deduplicate predecessor lists (multiple edges between two blocks).
+    for (auto &[block, list] : preds) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+}
+
+} // namespace tfm

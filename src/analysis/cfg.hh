@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CFG utilities: predecessor maps and reverse post-order.
+ */
+
+#ifndef TRACKFM_ANALYSIS_CFG_HH
+#define TRACKFM_ANALYSIS_CFG_HH
+
+#include <map>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tfm
+{
+
+/** Predecessors and traversal orders for one function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const ir::Function &function);
+
+    const std::vector<ir::BasicBlock *> &
+    predecessors(const ir::BasicBlock *block) const
+    {
+        static const std::vector<ir::BasicBlock *> none;
+        auto it = preds.find(block);
+        return it == preds.end() ? none : it->second;
+    }
+
+    /** Blocks in reverse post-order from the entry. */
+    const std::vector<ir::BasicBlock *> &reversePostOrder() const
+    {
+        return rpo;
+    }
+
+    /** Position of a block in the RPO (for dominator computation). */
+    int
+    rpoIndex(const ir::BasicBlock *block) const
+    {
+        auto it = rpoIndexOf.find(block);
+        return it == rpoIndexOf.end() ? -1 : it->second;
+    }
+
+    /** Is the block reachable from the entry? */
+    bool
+    reachable(const ir::BasicBlock *block) const
+    {
+        return rpoIndexOf.count(block) > 0;
+    }
+
+  private:
+    std::map<const ir::BasicBlock *, std::vector<ir::BasicBlock *>> preds;
+    std::vector<ir::BasicBlock *> rpo;
+    std::map<const ir::BasicBlock *, int> rpoIndexOf;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_CFG_HH

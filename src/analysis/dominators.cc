@@ -1,0 +1,62 @@
+#include "dominators.hh"
+
+namespace tfm
+{
+
+DominatorTree::DominatorTree(const ir::Function &function, const Cfg &cfg)
+{
+    const auto &rpo = cfg.reversePostOrder();
+    if (rpo.empty())
+        return;
+    ir::BasicBlock *entry = rpo.front();
+    idoms[entry] = entry;
+
+    auto intersect = [&](ir::BasicBlock *a,
+                         ir::BasicBlock *b) -> ir::BasicBlock * {
+        while (a != b) {
+            while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+                a = idoms[a];
+            while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+                b = idoms[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); i++) {
+            ir::BasicBlock *block = rpo[i];
+            ir::BasicBlock *new_idom = nullptr;
+            for (ir::BasicBlock *pred : cfg.predecessors(block)) {
+                if (!idoms.count(pred))
+                    continue; // unprocessed this round
+                new_idom = new_idom ? intersect(new_idom, pred) : pred;
+            }
+            if (new_idom && idoms[block] != new_idom) {
+                idoms[block] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Normalize the entry: no immediate dominator.
+    idoms[entry] = nullptr;
+    (void)function;
+}
+
+bool
+DominatorTree::dominates(const ir::BasicBlock *a,
+                         const ir::BasicBlock *b) const
+{
+    const ir::BasicBlock *cursor = b;
+    while (cursor) {
+        if (cursor == a)
+            return true;
+        auto it = idoms.find(cursor);
+        cursor = (it == idoms.end()) ? nullptr : it->second;
+    }
+    return false;
+}
+
+} // namespace tfm

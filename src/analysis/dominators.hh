@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+ */
+
+#ifndef TRACKFM_ANALYSIS_DOMINATORS_HH
+#define TRACKFM_ANALYSIS_DOMINATORS_HH
+
+#include <map>
+
+#include "cfg.hh"
+
+namespace tfm
+{
+
+/** Immediate-dominator tree for one function. */
+class DominatorTree
+{
+  public:
+    DominatorTree(const ir::Function &function, const Cfg &cfg);
+
+    /** Immediate dominator (nullptr for the entry). */
+    ir::BasicBlock *
+    idom(const ir::BasicBlock *block) const
+    {
+        auto it = idoms.find(block);
+        return it == idoms.end() ? nullptr : it->second;
+    }
+
+    /** Does @p a dominate @p b (reflexive)? */
+    bool dominates(const ir::BasicBlock *a, const ir::BasicBlock *b) const;
+
+  private:
+    std::map<const ir::BasicBlock *, ir::BasicBlock *> idoms;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,123 @@
+#include "heap_provenance.hh"
+
+namespace tfm
+{
+
+Provenance
+HeapProvenance::join(Provenance a, Provenance b)
+{
+    if (a == b)
+        return a;
+    return Provenance::Unknown;
+}
+
+Provenance
+HeapProvenance::of(const ir::Value *value) const
+{
+    if (!value)
+        return Provenance::Unknown;
+    auto it = states.find(value);
+    if (it != states.end())
+        return it->second;
+    // Constants used as pointers (e.g. null) are not heap pointers.
+    if (value->isConstant())
+        return Provenance::NonHeap;
+    return Provenance::Unknown;
+}
+
+HeapProvenance::HeapProvenance(const ir::Function &function)
+{
+    // Seeds: arguments are Unknown (callers may pass anything).
+    for (const auto &arg : function.arguments())
+        states[arg.get()] = Provenance::Unknown;
+
+    // Iterate transfer functions to a fixpoint (the lattice has height
+    // 2, so this converges quickly).
+    bool changed = true;
+    auto update = [&](const ir::Value *value, Provenance fresh) {
+        auto it = states.find(value);
+        if (it == states.end()) {
+            states[value] = fresh;
+            changed = true;
+        } else if (it->second != fresh) {
+            const Provenance merged = join(it->second, fresh);
+            if (merged != it->second) {
+                it->second = merged;
+                changed = true;
+            }
+        }
+    };
+
+    while (changed) {
+        changed = false;
+        for (const auto &block : function.basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                switch (inst->op()) {
+                  case ir::Opcode::Alloca:
+                    update(inst.get(), Provenance::NonHeap);
+                    break;
+                  case ir::Opcode::Call:
+                    // The TrackFM allocator family returns (tagged)
+                    // heap pointers; plain malloc (pre-transformation)
+                    // is also heap.
+                    if (inst->callee == "malloc" ||
+                        inst->callee == "calloc" ||
+                        inst->callee == "realloc" ||
+                        inst->callee == "tfm_malloc" ||
+                        inst->callee == "tfm_calloc" ||
+                        inst->callee == "tfm_realloc") {
+                        update(inst.get(), Provenance::Heap);
+                    } else if (inst->type() != ir::Type::Void) {
+                        update(inst.get(), Provenance::Unknown);
+                    }
+                    break;
+                  case ir::Opcode::Gep:
+                  case ir::Opcode::PtrToInt:
+                  case ir::Opcode::IntToPtr:
+                  case ir::Opcode::Guard:
+                  case ir::Opcode::ChunkAccess:
+                    // Derivations preserve the provenance of the base
+                    // (the tag survives offset math, section 3.2).
+                    update(inst.get(), of(inst->operand(
+                                           inst->op() ==
+                                                   ir::Opcode::ChunkAccess
+                                               ? 1
+                                               : 0)));
+                    break;
+                  case ir::Opcode::Phi: {
+                    bool first = true;
+                    Provenance merged = Provenance::Unknown;
+                    for (const auto &[incoming, pred] :
+                         inst->incoming()) {
+                        (void)pred;
+                        const Provenance p = of(incoming);
+                        merged = first ? p : join(merged, p);
+                        first = false;
+                    }
+                    if (!first)
+                        update(inst.get(), merged);
+                    break;
+                  }
+                  case ir::Opcode::Load:
+                    // A pointer loaded from memory could be anything.
+                    if (inst->type() == ir::Type::Ptr)
+                        update(inst.get(), Provenance::Unknown);
+                    break;
+                  case ir::Opcode::Add:
+                  case ir::Opcode::Sub:
+                    // Integer offset math on a pointer-derived value
+                    // keeps its provenance when one side is constant.
+                    if (inst->operand(1)->isConstant())
+                        update(inst.get(), of(inst->operand(0)));
+                    else if (inst->operand(0)->isConstant())
+                        update(inst.get(), of(inst->operand(1)));
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace tfm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Heap-provenance dataflow: which pointer values can only refer to the
+ * heap, which can only refer to non-heap storage (stack, globals), and
+ * which are unknown.
+ *
+ * This is the analysis behind the paper's pointer-guard pass: accesses
+ * through NonHeap pointers are provably safe and need no guard (the
+ * paper's "ignores accesses to stack and global objects" via NOELLE's
+ * PDG/alias analyses); Heap and Unknown accesses are guarded — Unknown
+ * is safe to guard thanks to the custody check.
+ */
+
+#ifndef TRACKFM_ANALYSIS_HEAP_PROVENANCE_HH
+#define TRACKFM_ANALYSIS_HEAP_PROVENANCE_HH
+
+#include <map>
+
+#include "ir/function.hh"
+
+namespace tfm
+{
+
+/** Three-point provenance lattice. */
+enum class Provenance : std::uint8_t
+{
+    NonHeap, ///< provably stack/global
+    Heap,    ///< provably heap (malloc-derived)
+    Unknown  ///< could be either (arguments, merged paths, int casts)
+};
+
+/** Forward dataflow over one function. */
+class HeapProvenance
+{
+  public:
+    explicit HeapProvenance(const ir::Function &function);
+
+    Provenance of(const ir::Value *value) const;
+
+    /** Must an access through @p ptr be guarded? */
+    bool
+    needsGuard(const ir::Value *ptr) const
+    {
+        return of(ptr) != Provenance::NonHeap;
+    }
+
+  private:
+    static Provenance join(Provenance a, Provenance b);
+
+    std::map<const ir::Value *, Provenance> states;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_HEAP_PROVENANCE_HH

@@ -1,0 +1,131 @@
+#include "induction_variable.hh"
+
+namespace tfm
+{
+
+InductionVariables::InductionVariables(const Loop &analyzed_loop,
+                                       const ir::Function &function)
+    : loop(analyzed_loop)
+{
+    findBasicIvs();
+    findStridedAccesses(function);
+}
+
+bool
+InductionVariables::isLoopInvariant(const ir::Value *value) const
+{
+    if (!value)
+        return false;
+    if (value->isConstant() || value->kind() == ir::Value::Kind::Argument)
+        return true;
+    const auto *inst = static_cast<const ir::Instruction *>(value);
+    return !loop.contains(inst->parent());
+}
+
+void
+InductionVariables::findBasicIvs()
+{
+    for (const auto &inst : loop.header->instructions()) {
+        if (inst->op() != ir::Opcode::Phi)
+            break; // phis lead the block
+        if (inst->incoming().size() != 2)
+            continue;
+
+        ir::Value *init = nullptr;
+        ir::Value *looped = nullptr;
+        for (const auto &[value, block] : inst->incoming()) {
+            if (loop.contains(block))
+                looped = value;
+            else
+                init = value;
+        }
+        if (!init || !looped || !looped->isInstruction())
+            continue;
+
+        // The in-loop value must be phi + constant (either operand
+        // order), defined inside the loop.
+        auto *update = static_cast<ir::Instruction *>(looped);
+        if (update->op() != ir::Opcode::Add &&
+            update->op() != ir::Opcode::Sub) {
+            continue;
+        }
+        if (!loop.contains(update->parent()))
+            continue;
+        ir::Value *other = nullptr;
+        if (update->operand(0) == inst.get())
+            other = update->operand(1);
+        else if (update->operand(1) == inst.get() &&
+                 update->op() == ir::Opcode::Add)
+            other = update->operand(0);
+        if (!other || !other->isConstant())
+            continue;
+
+        BasicIv iv;
+        iv.phi = inst.get();
+        iv.init = init;
+        iv.step = static_cast<const ir::Constant *>(other)->intValue();
+        if (update->op() == ir::Opcode::Sub)
+            iv.step = -iv.step;
+        iv.update = update;
+        ivs.push_back(iv);
+    }
+}
+
+void
+InductionVariables::findStridedAccesses(const ir::Function &function)
+{
+    auto ivFor = [&](const ir::Value *value) -> const BasicIv * {
+        for (const auto &iv : ivs) {
+            if (iv.phi == value)
+                return &iv;
+        }
+        return nullptr;
+    };
+
+    for (const auto &block : function.basicBlocks()) {
+        if (!loop.contains(block.get()))
+            continue;
+        for (const auto &inst : block->instructions()) {
+            const bool is_load = inst->op() == ir::Opcode::Load;
+            const bool is_store = inst->op() == ir::Opcode::Store;
+            if (!is_load && !is_store)
+                continue;
+            ir::Value *ptr =
+                is_load ? inst->operand(0) : inst->operand(1);
+            if (!ptr->isInstruction())
+                continue;
+            auto *gep = static_cast<ir::Instruction *>(ptr);
+            // Look through an already-inserted guard so the chunking
+            // pass can run after the guard pass.
+            ir::Instruction *guard = nullptr;
+            if (gep->op() == ir::Opcode::Guard) {
+                guard = gep;
+                if (!gep->operand(0)->isInstruction())
+                    continue;
+                gep = static_cast<ir::Instruction *>(gep->operand(0));
+            }
+            if (gep->op() != ir::Opcode::Gep)
+                continue;
+            const BasicIv *iv = ivFor(gep->operand(1));
+            if (!iv)
+                continue;
+            if (!isLoopInvariant(gep->operand(0)))
+                continue;
+
+            StridedAccess access;
+            access.gep = gep;
+            access.guard = guard;
+            access.memOp = inst.get();
+            access.base = gep->operand(0);
+            access.iv = iv;
+            access.strideBytes = gep->imm * iv->step;
+            access.elementBytes =
+                is_load ? ir::sizeOf(inst->type())
+                        : ir::sizeOf(inst->operand(0)->type());
+            access.isWrite = is_store;
+            accesses.push_back(access);
+        }
+    }
+}
+
+} // namespace tfm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Induction-variable analysis, NOELLE-style: IVs are detected as
+ * patterns in the def-use (dependence) structure — a header phi whose
+ * in-loop incoming value is the phi plus a loop-invariant step — rather
+ * than by pattern-matching canonical `for` syntax. Derived IVs are GEPs
+ * with a loop-invariant base indexed by a basic IV, which is what the
+ * loop-chunking pass consumes (section 3.4).
+ */
+
+#ifndef TRACKFM_ANALYSIS_INDUCTION_VARIABLE_HH
+#define TRACKFM_ANALYSIS_INDUCTION_VARIABLE_HH
+
+#include <vector>
+
+#include "loop_info.hh"
+
+namespace tfm
+{
+
+/** A basic induction variable: phi = phi(init, phi + step). */
+struct BasicIv
+{
+    ir::Instruction *phi = nullptr;
+    ir::Value *init = nullptr;       ///< value from the preheader
+    std::int64_t step = 0;           ///< constant per-iteration delta
+    ir::Instruction *update = nullptr; ///< the add producing the next value
+};
+
+/**
+ * A strided memory access derived from an IV:
+ * gep(base, iv, stride) feeding a load or store.
+ */
+struct StridedAccess
+{
+    ir::Instruction *gep = nullptr;
+    /// The guard feeding memOp when the guard pass ran first.
+    ir::Instruction *guard = nullptr;
+    ir::Instruction *memOp = nullptr; ///< the load or store
+    ir::Value *base = nullptr;        ///< loop-invariant pointer
+    const BasicIv *iv = nullptr;
+    std::int64_t strideBytes = 0;     ///< gep stride * iv step
+    std::uint32_t elementBytes = 0;   ///< access granularity
+    bool isWrite = false;
+};
+
+/** IV and strided-access analysis for one loop. */
+class InductionVariables
+{
+  public:
+    InductionVariables(const Loop &loop, const ir::Function &function);
+
+    const std::vector<BasicIv> &basicIvs() const { return ivs; }
+    const std::vector<StridedAccess> &stridedAccesses() const
+    {
+        return accesses;
+    }
+
+    /** Is @p value invariant in the analyzed loop? */
+    bool isLoopInvariant(const ir::Value *value) const;
+
+  private:
+    void findBasicIvs();
+    void findStridedAccesses(const ir::Function &function);
+
+    const Loop &loop;
+    std::vector<BasicIv> ivs;
+    std::vector<StridedAccess> accesses;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_INDUCTION_VARIABLE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Natural-loop detection from back edges in the dominator tree.
+ */
+
+#ifndef TRACKFM_ANALYSIS_LOOP_INFO_HH
+#define TRACKFM_ANALYSIS_LOOP_INFO_HH
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dominators.hh"
+
+namespace tfm
+{
+
+/** One natural loop. */
+struct Loop
+{
+    ir::BasicBlock *header = nullptr;
+    /// The unique out-of-loop predecessor of the header, when it exists
+    /// (pass transformations require it; our front end always has one).
+    ir::BasicBlock *preheader = nullptr;
+    /// Blocks in the loop (header included).
+    std::set<ir::BasicBlock *> blocks;
+    /// Sources of back edges to the header.
+    std::vector<ir::BasicBlock *> latches;
+    /// Nesting depth (1 = outermost).
+    unsigned depth = 1;
+
+    bool
+    contains(const ir::BasicBlock *block) const
+    {
+        return blocks.count(const_cast<ir::BasicBlock *>(block)) > 0;
+    }
+};
+
+/** All natural loops of one function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const ir::Function &function, const Cfg &cfg,
+             const DominatorTree &dom);
+
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return _loops;
+    }
+
+    /** Innermost loop containing a block (nullptr if none). */
+    Loop *innermostLoopFor(const ir::BasicBlock *block) const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> _loops;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_LOOP_INFO_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Object-size autotuner — the extension the paper sketches in
+ * section 3.2: "the small search space suggests that an autotuning
+ * approach is feasible ... an exhaustive search involving recompilation
+ * and a short-term execution would simply expand the short compile
+ * times."
+ *
+ * Exactly that: for each candidate object size (powers of two from the
+ * cache line to the base page), recompile the program against a fresh
+ * system with that object size, run a short profiling execution under
+ * the target memory pressure, and pick the size with the fewest
+ * simulated cycles.
+ */
+
+#ifndef TRACKFM_CORE_AUTOTUNER_HH
+#define TRACKFM_CORE_AUTOTUNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system.hh"
+
+namespace tfm
+{
+
+/** One candidate's trial outcome. */
+struct AutotuneTrial
+{
+    std::uint32_t objectSizeBytes = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t bytesFetched = 0;
+    bool compiled = false;
+    bool ran = false;
+};
+
+/** Autotuning result: the chosen size plus the full trial record. */
+struct AutotuneResult
+{
+    std::uint32_t bestObjectSizeBytes = 0;
+    std::vector<AutotuneTrial> trials;
+
+    bool ok() const { return bestObjectSizeBytes != 0; }
+};
+
+/** Search configuration. */
+struct AutotuneConfig
+{
+    /// Base system configuration; objectSizeBytes is overridden per
+    /// trial.
+    SystemConfig system;
+    /// Candidate sizes. Empty = the paper's suggested range, powers of
+    /// two from 64 B (cache line) to 4 KB (base page).
+    std::vector<std::uint32_t> candidates;
+    /// Entry function for the profiling run.
+    std::string function = "main";
+    /// Step budget for each short-term profiling execution.
+    std::uint64_t maxSteps = 20'000'000;
+};
+
+/**
+ * Pick the best object size for @p source by exhaustive recompile-and-
+ * measure over the candidate sizes.
+ */
+AutotuneResult autotuneObjectSize(const std::string &source,
+                                  const AutotuneConfig &config);
+
+} // namespace tfm
+
+#endif // TRACKFM_CORE_AUTOTUNER_HH

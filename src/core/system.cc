@@ -1,0 +1,97 @@
+#include "system.hh"
+
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "passes/o1_passes.hh"
+
+namespace tfm
+{
+
+std::string
+CompiledProgram::disassemble() const
+{
+    return ir::moduleToString(*module);
+}
+
+System::System(const SystemConfig &config)
+    : cfg(config), rt(config.runtime, config.costs)
+{
+    cfg.passes.objectSizeBytes = cfg.runtime.objectSizeBytes;
+    cfg.passes.prefetchDepth = cfg.runtime.prefetchDepth;
+    cfg.passes.injectPrefetch =
+        cfg.passes.injectPrefetch && cfg.runtime.prefetchEnabled;
+}
+
+CompileResult
+System::parseOnly(const std::string &source)
+{
+    CompileResult result;
+    ir::ParseResult parsed = ir::parseModule(source);
+    if (!parsed.ok()) {
+        result.error = "parse error at line " +
+                       std::to_string(parsed.errorLine) + ": " +
+                       parsed.error;
+        return result;
+    }
+    const std::string verify_error = ir::verifyModule(*parsed.module);
+    if (!verify_error.empty()) {
+        result.error = "invalid module: " + verify_error;
+        return result;
+    }
+    result.program = std::make_unique<CompiledProgram>(
+        std::move(parsed.module), PipelineReport{});
+    return result;
+}
+
+CompileResult
+System::compile(const std::string &source)
+{
+    CompileResult result = parseOnly(source);
+    if (!result.ok())
+        return result;
+
+    PassManager manager;
+    if (cfg.preOptimize)
+        addO1Pipeline(manager);
+    addTrackFmPipeline(manager, cfg.passes);
+    PipelineReport report = manager.run(*result.program->module);
+    if (!report.ok()) {
+        CompileResult failure;
+        failure.error = "pipeline failed: " + report.verifierError;
+        return failure;
+    }
+    result.program->report = std::move(report);
+    return result;
+}
+
+RunResult
+System::run(const CompiledProgram &program,
+            const std::string &function_name,
+            const std::vector<std::int64_t> &args)
+{
+    Interpreter interp(program.ir(), rt);
+    return interp.run(function_name, args);
+}
+
+StatSet
+System::stats() const
+{
+    StatSet set;
+    rt.exportStats(set);
+    return set;
+}
+
+std::uint64_t
+System::cycles() const
+{
+    return rt.runtime().clock().now();
+}
+
+double
+System::seconds() const
+{
+    return CycleClock::toSeconds(cycles(), cfg.costs.cpuGhz);
+}
+
+} // namespace tfm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The top-level TrackFM system facade: "recompile your application and
+ * run it on a far-memory cluster".
+ *
+ * This is the library's primary public entry point. It bundles the
+ * compiler pipeline (optionally preceded by the O1 clean-up passes),
+ * the TrackFM runtime with its simulated far-memory cluster, and the
+ * interpreter that executes transformed programs, behind a small API:
+ *
+ *     tfm::SystemConfig config;
+ *     config.runtime.localMemBytes = 16 << 20;
+ *     tfm::System system(config);
+ *     auto program = system.compile(source_text);
+ *     auto result = system.run(*program, "main");
+ */
+
+#ifndef TRACKFM_CORE_SYSTEM_HH
+#define TRACKFM_CORE_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.hh"
+#include "ir/function.hh"
+#include "passes/pass.hh"
+#include "passes/trackfm_passes.hh"
+#include "runtime/far_mem_runtime.hh"
+#include "sim/cost_params.hh"
+#include "tfm/tfm_runtime.hh"
+
+namespace tfm
+{
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    /// Far-memory runtime parameters (heap, local tier, object size,
+    /// prefetching).
+    RuntimeConfig runtime;
+    /// Compiler pass options (chunk policy, prefetch injection). The
+    /// object size is taken from `runtime` automatically.
+    TrackFmPassOptions passes;
+    /// Run the O1 clean-up pipeline before the TrackFM passes
+    /// (section 4.5; strongly recommended — fewer loads in, fewer
+    /// guards out).
+    bool preOptimize = true;
+    /// Cycle cost model for the simulated cluster.
+    CostParams costs;
+};
+
+/** A compiled (transformed) program plus its compilation report. */
+class CompiledProgram
+{
+  public:
+    CompiledProgram(std::unique_ptr<ir::Module> compiled_module,
+                    PipelineReport pipeline_report)
+        : module(std::move(compiled_module)),
+          report(std::move(pipeline_report))
+    {}
+
+    const ir::Module &ir() const { return *module; }
+    const PipelineReport &pipelineReport() const { return report; }
+
+    /** Textual IR of the transformed program. */
+    std::string disassemble() const;
+
+  private:
+    std::unique_ptr<ir::Module> module;
+    PipelineReport report;
+
+    friend class System;
+};
+
+/** Outcome of System::compile. */
+struct CompileResult
+{
+    std::unique_ptr<CompiledProgram> program; ///< null on error
+    std::string error;                        ///< diagnostic on failure
+
+    bool ok() const { return program != nullptr; }
+};
+
+/**
+ * The TrackFM system: compiler + runtime + simulated far-memory
+ * cluster.
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config = {});
+
+    /**
+     * Compile IR source text through the (O1 +) TrackFM pipeline.
+     * The returned program runs on this system's runtime.
+     */
+    CompileResult compile(const std::string &source);
+
+    /**
+     * Parse without transforming — the "unmodified binary" view used
+     * for baselines and A/B comparisons.
+     */
+    CompileResult parseOnly(const std::string &source);
+
+    /** Execute a compiled program's function on the far-memory runtime. */
+    RunResult run(const CompiledProgram &program,
+                  const std::string &function_name = "main",
+                  const std::vector<std::int64_t> &args = {});
+
+    /** The underlying TrackFM runtime (stats, guard counters, clock). */
+    TfmRuntime &runtime() { return rt; }
+    const CostParams &costs() const { return cfg.costs; }
+    const SystemConfig &config() const { return cfg; }
+
+    /** All statistics (guards, runtime, network) in one set. */
+    StatSet stats() const;
+
+    /** Simulated cycles elapsed on this system's clock. */
+    std::uint64_t cycles() const;
+
+    /** Simulated seconds elapsed. */
+    double seconds() const;
+
+  private:
+    SystemConfig cfg;
+    TfmRuntime rt;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_CORE_SYSTEM_HH

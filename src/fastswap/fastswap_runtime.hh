@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fastswap-style kernel-based far memory baseline.
+ *
+ * Models the paper's kernel-based comparison point (Amaro et al.,
+ * EuroSys '20): the application is unmodified, every page of its heap
+ * can be swapped to the remote node, and the only interposition point is
+ * the hardware page fault. Consequences the model reproduces:
+ *
+ *  - accesses to resident, mapped pages cost nothing extra (no guards);
+ *  - a fault on a page whose data is already local (readahead landed,
+ *    PTE not yet mapped) costs the Table 2 "local" fault price (1.3 K);
+ *  - a fault on a remote page pays fault handling plus a full 4 KB page
+ *    transfer (~34-35 K cycles total);
+ *  - transfers are always whole pages — the I/O amplification that
+ *    Figures 13 and 16 measure;
+ *  - reclamation (cgroups accounting, unmapping) charges per evicted
+ *    page and writes back dirty pages;
+ *  - Linux-style swap readahead fetches a cluster of pages around a
+ *    major fault, which is what lets Fastswap amortize faults under
+ *    temporal/spatial locality (section 5 "Lessons").
+ */
+
+#ifndef TRACKFM_FASTSWAP_FASTSWAP_RUNTIME_HH
+#define TRACKFM_FASTSWAP_FASTSWAP_RUNTIME_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/network_model.hh"
+#include "remote/remote_node.hh"
+#include "runtime/frame_cache.hh"
+#include "runtime/object_state_table.hh"
+#include "runtime/region_allocator.hh"
+#include "sim/cost_params.hh"
+#include "sim/cycle_clock.hh"
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+/** Configuration for the Fastswap baseline. */
+struct FastswapConfig
+{
+    std::uint64_t farHeapBytes = 64ull << 20;
+    std::uint64_t localMemBytes = 16ull << 20;
+    /// Architected page size — fixed at 4 KB on the paper's testbed.
+    std::uint32_t pageSizeBytes = 4096;
+    /// Swap readahead window (pages fetched around a major fault).
+    std::uint32_t readaheadPages = 8;
+    bool readaheadEnabled = true;
+};
+
+/** Fault/paging counters (Fig. 14b and 16b plot these). */
+struct FastswapStats
+{
+    std::uint64_t minorFaults = 0; ///< data local, PTE fixup only
+    std::uint64_t majorFaults = 0; ///< remote fetch required
+    std::uint64_t pageouts = 0;    ///< dirty pages written back
+    std::uint64_t reclaims = 0;    ///< pages evicted
+    std::uint64_t readaheads = 0;  ///< pages pulled in speculatively
+};
+
+/**
+ * The kernel-swap simulator.
+ *
+ * Reuses the frame cache and state table machinery at page granularity:
+ * "present + !inflight" models a mapped PTE; "present + inflight" models
+ * a page in the swap cache that is not yet mapped (readahead).
+ */
+class FastswapRuntime
+{
+  public:
+    FastswapRuntime(const FastswapConfig &config,
+                    const CostParams &cost_params);
+
+    CycleClock &clock() { return _clock; }
+    NetworkModel &net() { return _net; }
+    const CostParams &costs() const { return _costs; }
+    const FastswapConfig &config() const { return cfg; }
+
+    /** Allocate heap (ordinary malloc; any page may be swapped). */
+    std::uint64_t allocate(std::uint64_t bytes);
+    void deallocate(std::uint64_t offset);
+
+    /**
+     * Perform one access of @p len bytes at @p offset, taking page
+     * faults as needed. Returns a host pointer to the first byte.
+     */
+    std::byte *access(std::uint64_t offset, bool for_write);
+
+    /**
+     * Multi-byte read; accesses spanning page boundaries fault on each
+     * page touched.
+     */
+    void readBytes(std::uint64_t offset, void *dst, std::size_t len);
+
+    /** Multi-byte write; one potential fault per page touched. */
+    void writeBytes(std::uint64_t offset, const void *src, std::size_t len);
+
+    /** Typed access helpers. */
+    template <typename T>
+    T
+    load(std::uint64_t offset)
+    {
+        T value;
+        readBytes(offset, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    store(std::uint64_t offset, const T &value)
+    {
+        writeBytes(offset, &value, sizeof(T));
+    }
+
+    /** @name Initialization (no accounting)
+     * @{ */
+    void rawWrite(std::uint64_t offset, const void *src, std::size_t len);
+    void rawRead(std::uint64_t offset, void *dst, std::size_t len);
+    /** @} */
+
+    /** Push every page remote so measurement starts cold. */
+    void evacuateAll();
+
+    const FastswapStats &stats() const { return _stats; }
+    const NetStats &netStats() const { return _net.stats(); }
+    void exportStats(StatSet &set) const;
+
+  private:
+    std::uint64_t takeFrame();
+    void evictFrame(std::uint64_t frame_idx);
+    void readahead(std::uint64_t page_id);
+
+    FastswapConfig cfg;
+    CostParams _costs;
+    CycleClock _clock;
+    NetworkModel _net;
+    RemoteNode _remote;
+    ObjectStateTable pages;
+    FrameCache cache;
+    RegionAllocator alloc_;
+    FastswapStats _stats;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_FASTSWAP_FASTSWAP_RUNTIME_HH

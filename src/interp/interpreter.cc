@@ -1,0 +1,654 @@
+#include "interpreter.hh"
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "ir/printer.hh"
+#include "tfm/tagged_ptr.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+/** Runtime value: integer/pointer or double. */
+struct Slot
+{
+    std::uint64_t i = 0;
+    double f = 0.0;
+};
+
+/** Thrown on traps; caught at the top of run(). */
+struct TrapException
+{
+    std::string message;
+};
+
+} // anonymous namespace
+
+struct Interpreter::Impl
+{
+    const ir::Module &module;
+    TfmRuntime &rt;
+    std::uint64_t steps = 0;
+    std::uint64_t maxSteps = 0;
+    std::vector<std::int64_t> output;
+    /// Host allocations backing allocas and untransformed malloc.
+    std::vector<std::unique_ptr<std::byte[]>> hostAllocations;
+
+    /// @name Allocation-site profiling
+    /// @{
+    bool profiling = false;
+    /// Allocation-call instruction -> module-wide ordinal.
+    std::map<const ir::Instruction *, std::uint32_t> siteOrdinals;
+    AllocSiteProfile profile;
+    /// Far-heap interval -> profile index (start -> {end, index}).
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
+        intervals;
+    /// @}
+
+    Impl(const ir::Module &m, TfmRuntime &runtime) : module(m), rt(runtime)
+    {}
+
+    void
+    enableProfiling()
+    {
+        profiling = true;
+        std::uint32_t ordinal = 0;
+        for (const auto &function : module.allFunctions()) {
+            for (const auto &block : function->basicBlocks()) {
+                for (const auto &inst : block->instructions()) {
+                    if (inst->op() == ir::Opcode::Call &&
+                        isAllocationCallee(inst->callee)) {
+                        siteOrdinals[inst.get()] = ordinal;
+                        AllocSiteProfile::Site site;
+                        site.function = function->name();
+                        site.ordinal = ordinal;
+                        profile.sites.push_back(site);
+                        ordinal++;
+                    }
+                }
+            }
+        }
+    }
+
+    /** Record one far-heap allocation for profiling. */
+    void
+    recordAllocation(const ir::Instruction &call_inst,
+                     std::uint64_t tagged_addr, std::uint64_t bytes)
+    {
+        if (!profiling)
+            return;
+        auto it = siteOrdinals.find(&call_inst);
+        if (it == siteOrdinals.end())
+            return;
+        const std::size_t index = it->second;
+        profile.sites[index].allocations++;
+        profile.sites[index].bytesAllocated += bytes;
+        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
+        intervals[offset] = {offset + bytes, index};
+    }
+
+    /** Attribute a guarded access to its allocation site. */
+    void
+    recordAccess(std::uint64_t tagged_addr)
+    {
+        if (!profiling || intervals.empty())
+            return;
+        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
+        auto it = intervals.upper_bound(offset);
+        if (it == intervals.begin())
+            return;
+        --it;
+        if (offset < it->second.first)
+            profile.sites[it->second.second].guardedAccesses++;
+    }
+
+    [[noreturn]] static void
+    trap(const std::string &message)
+    {
+        throw TrapException{message};
+    }
+
+    void
+    step()
+    {
+        if (++steps > maxSteps)
+            trap("step limit exceeded (possible infinite loop)");
+        rt.clock().advance(rt.costs().computeCycles);
+    }
+
+    std::uint64_t
+    hostAlloc(std::uint64_t bytes)
+    {
+        hostAllocations.push_back(
+            std::make_unique<std::byte[]>(bytes ? bytes : 1));
+        return reinterpret_cast<std::uint64_t>(
+            hostAllocations.back().get());
+    }
+
+    /** Per-call state. */
+    struct Frame
+    {
+        std::map<const ir::Value *, Slot> values;
+        /// Live chunk cursors created by chunk.begin in this frame.
+        struct Cursor
+        {
+            std::uint64_t curObj = TfmRuntime::noObject;
+            std::byte *window = nullptr;
+        };
+        std::map<const ir::Instruction *, Cursor> cursors;
+    };
+
+    Slot
+    valueOf(Frame &frame, const ir::Value *value)
+    {
+        if (value->isConstant()) {
+            const auto *constant =
+                static_cast<const ir::Constant *>(value);
+            Slot slot;
+            if (constant->type() == ir::Type::F64)
+                slot.f = constant->floatValue();
+            else
+                slot.i = static_cast<std::uint64_t>(constant->intValue());
+            return slot;
+        }
+        auto it = frame.values.find(value);
+        if (it == frame.values.end())
+            trap("use of undefined value %" + value->name());
+        return it->second;
+    }
+
+    /** Raw memory access; traps on tagged (unguarded) addresses. */
+    void
+    rawAccess(std::uint64_t addr, void *buffer, std::uint32_t bytes,
+              bool is_store)
+    {
+        if (tfmIsTagged(addr)) {
+            trap("general protection fault: unguarded access to "
+                 "non-canonical address (missing TrackFM guard)");
+        }
+        if (addr == 0)
+            trap("null pointer dereference");
+        if (is_store)
+            std::memcpy(reinterpret_cast<void *>(addr), buffer, bytes);
+        else
+            std::memcpy(buffer, reinterpret_cast<void *>(addr), bytes);
+    }
+
+    Slot
+    loadFrom(std::uint64_t addr, ir::Type type)
+    {
+        Slot slot;
+        const std::uint32_t bytes = ir::sizeOf(type);
+        if (type == ir::Type::F64) {
+            rawAccess(addr, &slot.f, bytes, false);
+        } else {
+            std::uint64_t raw = 0;
+            rawAccess(addr, &raw, bytes, false);
+            slot.i = raw;
+        }
+        return slot;
+    }
+
+    void
+    storeTo(std::uint64_t addr, Slot slot, ir::Type type)
+    {
+        const std::uint32_t bytes = ir::sizeOf(type);
+        if (type == ir::Type::F64)
+            rawAccess(addr, &slot.f, bytes, true);
+        else
+            rawAccess(addr, &slot.i, bytes, true);
+    }
+
+    Slot
+    callIntrinsicOrFunction(Frame &frame, const ir::Instruction &inst,
+                            int depth)
+    {
+        const std::string &callee = inst.callee;
+        auto arg = [&](std::size_t index) {
+            return valueOf(frame, inst.operand(index));
+        };
+
+        Slot result;
+        if (callee == "tfm_runtime_init") {
+            // Hook inserted by RuntimeInitPass; the runtime in this
+            // harness is constructed eagerly, so this is a marker.
+            return result;
+        }
+        if (callee == "tfm_malloc") {
+            const std::uint64_t bytes = arg(0).i;
+            result.i = rt.tfmMalloc(bytes);
+            recordAllocation(inst, result.i, bytes);
+            return result;
+        }
+        if (callee == "tfm_calloc") {
+            const std::uint64_t bytes = arg(0).i * arg(1).i;
+            result.i = rt.tfmCalloc(arg(0).i, arg(1).i);
+            recordAllocation(inst, result.i, bytes);
+            return result;
+        }
+        if (callee == "host_malloc") {
+            // A pruned (hot, local-only) allocation.
+            result.i = hostAlloc(arg(0).i);
+            return result;
+        }
+        if (callee == "host_calloc") {
+            const std::uint64_t bytes = arg(0).i * arg(1).i;
+            result.i = hostAlloc(bytes);
+            std::memset(reinterpret_cast<void *>(result.i), 0, bytes);
+            return result;
+        }
+        if (callee == "tfm_realloc") {
+            result.i = rt.tfmRealloc(arg(0).i, arg(1).i);
+            return result;
+        }
+        if (callee == "tfm_free") {
+            rt.tfmFree(arg(0).i);
+            return result;
+        }
+        if (callee == "malloc") {
+            // Untransformed program: host heap.
+            result.i = hostAlloc(arg(0).i);
+            return result;
+        }
+        if (callee == "calloc") {
+            const std::uint64_t bytes = arg(0).i * arg(1).i;
+            result.i = hostAlloc(bytes);
+            std::memset(reinterpret_cast<void *>(result.i), 0, bytes);
+            return result;
+        }
+        if (callee == "free") {
+            return result; // host arena frees at interpreter teardown
+        }
+        if (callee == "print_i64") {
+            output.push_back(static_cast<std::int64_t>(arg(0).i));
+            return result;
+        }
+
+        const ir::Function *target = module.findFunction(callee);
+        if (!target)
+            trap("call to unknown function @" + callee);
+        if (depth > 200)
+            trap("call depth limit exceeded");
+        std::vector<Slot> call_args;
+        for (std::size_t i = 0; i < inst.numOperands(); i++)
+            call_args.push_back(arg(i));
+        return execFunction(*target, call_args, depth + 1);
+    }
+
+    /** Release chunk pins owned by a frame. */
+    void
+    releaseCursors(Frame &frame)
+    {
+        for (auto &[begin, cursor] : frame.cursors) {
+            (void)begin;
+            if (cursor.curObj != TfmRuntime::noObject)
+                rt.endChunk(cursor.curObj);
+            cursor.curObj = TfmRuntime::noObject;
+        }
+    }
+
+    Slot
+    execFunction(const ir::Function &function,
+                 const std::vector<Slot> &args, int depth)
+    {
+        Frame frame;
+        if (args.size() != function.arguments().size())
+            trap("argument count mismatch calling @" + function.name());
+        for (std::size_t i = 0; i < args.size(); i++)
+            frame.values[function.arguments()[i].get()] = args[i];
+
+        const ir::BasicBlock *block = function.entry();
+        const ir::BasicBlock *previous = nullptr;
+        if (!block)
+            trap("function @" + function.name() + " has no entry");
+
+        try {
+            while (true) {
+                // Phi nodes evaluate simultaneously on block entry.
+                std::vector<std::pair<const ir::Value *, Slot>> phi_values;
+                for (const auto &inst : block->instructions()) {
+                    if (inst->op() != ir::Opcode::Phi)
+                        break;
+                    bool matched = false;
+                    for (const auto &[incoming, pred] : inst->incoming()) {
+                        if (pred == previous) {
+                            phi_values.emplace_back(
+                                inst.get(), valueOf(frame, incoming));
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if (!matched)
+                        trap("phi without incoming for predecessor");
+                    step();
+                }
+                for (const auto &[phi, slot] : phi_values)
+                    frame.values[phi] = slot;
+
+                const ir::BasicBlock *next = nullptr;
+                for (const auto &owned : block->instructions()) {
+                    const ir::Instruction &inst = *owned;
+                    if (inst.op() == ir::Opcode::Phi)
+                        continue;
+                    step();
+                    Slot result;
+                    switch (inst.op()) {
+                      case ir::Opcode::Alloca:
+                        result.i = hostAlloc(
+                            static_cast<std::uint64_t>(inst.imm));
+                        break;
+                      case ir::Opcode::Load:
+                        result = loadFrom(
+                            valueOf(frame, inst.operand(0)).i,
+                            inst.type());
+                        break;
+                      case ir::Opcode::Store:
+                        storeTo(valueOf(frame, inst.operand(1)).i,
+                                valueOf(frame, inst.operand(0)),
+                                inst.operand(0)->type() == ir::Type::F64
+                                    ? ir::Type::F64
+                                    : inst.operand(0)->type());
+                        break;
+                      case ir::Opcode::Gep:
+                        result.i =
+                            valueOf(frame, inst.operand(0)).i +
+                            valueOf(frame, inst.operand(1)).i *
+                                static_cast<std::uint64_t>(inst.imm);
+                        break;
+                      case ir::Opcode::Guard: {
+                        const std::uint64_t addr =
+                            valueOf(frame, inst.operand(0)).i;
+                        if (tfmIsTagged(addr))
+                            recordAccess(addr);
+                        std::byte *host = inst.isWrite
+                                              ? rt.guardWrite(addr)
+                                              : rt.guardRead(addr);
+                        result.i =
+                            reinterpret_cast<std::uint64_t>(host);
+                        break;
+                      }
+                      case ir::Opcode::ChunkBegin: {
+                        // (Re)arm the cursor for a fresh loop entry.
+                        auto &cursor = frame.cursors[&inst];
+                        if (cursor.curObj != TfmRuntime::noObject)
+                            rt.endChunk(cursor.curObj);
+                        cursor.curObj = TfmRuntime::noObject;
+                        cursor.window = nullptr;
+                        result.i = reinterpret_cast<std::uint64_t>(&inst);
+                        break;
+                      }
+                      case ir::Opcode::ChunkAccess: {
+                        const auto *begin =
+                            static_cast<const ir::Instruction *>(
+                                inst.operand(0));
+                        auto cursor_it = frame.cursors.find(begin);
+                        if (cursor_it == frame.cursors.end())
+                            trap("chunk.access before chunk.begin");
+                        auto &cursor = cursor_it->second;
+                        const std::uint64_t addr =
+                            valueOf(frame, inst.operand(1)).i;
+                        if (!tfmIsTagged(addr)) {
+                            // Custody check inside the chunk helper.
+                            rt.clock().advance(
+                                rt.costs().custodyRejectCycles);
+                            result.i = addr;
+                            break;
+                        }
+                        recordAccess(addr);
+                        const auto &table = rt.runtime().stateTable();
+                        const std::uint64_t offset = tfmOffsetOf(addr);
+                        const std::uint64_t obj = table.objectOf(offset);
+                        if (obj != cursor.curObj) {
+                            std::byte *host = rt.localityGuard(
+                                addr, cursor.curObj, inst.isWrite);
+                            cursor.curObj = obj;
+                            cursor.window =
+                                host - table.offsetInObject(offset);
+                        } else {
+                            rt.boundaryCheck();
+                        }
+                        result.i = reinterpret_cast<std::uint64_t>(
+                            cursor.window +
+                            table.offsetInObject(offset));
+                        break;
+                      }
+                      case ir::Opcode::Prefetch: {
+                        const std::uint64_t addr =
+                            valueOf(frame, inst.operand(0)).i;
+                        if (tfmIsTagged(addr)) {
+                            rt.prefetchAhead(
+                                addr, 1,
+                                static_cast<std::uint32_t>(inst.imm));
+                        }
+                        break;
+                      }
+                      case ir::Opcode::Add:
+                        result.i = valueOf(frame, inst.operand(0)).i +
+                                   valueOf(frame, inst.operand(1)).i;
+                        break;
+                      case ir::Opcode::Sub:
+                        result.i = valueOf(frame, inst.operand(0)).i -
+                                   valueOf(frame, inst.operand(1)).i;
+                        break;
+                      case ir::Opcode::Mul:
+                        result.i = valueOf(frame, inst.operand(0)).i *
+                                   valueOf(frame, inst.operand(1)).i;
+                        break;
+                      case ir::Opcode::SDiv: {
+                        const auto divisor = static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(1)).i);
+                        if (divisor == 0)
+                            trap("division by zero");
+                        result.i = static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(
+                                valueOf(frame, inst.operand(0)).i) /
+                            divisor);
+                        break;
+                      }
+                      case ir::Opcode::SRem: {
+                        const auto divisor = static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(1)).i);
+                        if (divisor == 0)
+                            trap("remainder by zero");
+                        result.i = static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(
+                                valueOf(frame, inst.operand(0)).i) %
+                            divisor);
+                        break;
+                      }
+                      case ir::Opcode::And:
+                        result.i = valueOf(frame, inst.operand(0)).i &
+                                   valueOf(frame, inst.operand(1)).i;
+                        break;
+                      case ir::Opcode::Or:
+                        result.i = valueOf(frame, inst.operand(0)).i |
+                                   valueOf(frame, inst.operand(1)).i;
+                        break;
+                      case ir::Opcode::Xor:
+                        result.i = valueOf(frame, inst.operand(0)).i ^
+                                   valueOf(frame, inst.operand(1)).i;
+                        break;
+                      case ir::Opcode::Shl:
+                        result.i = valueOf(frame, inst.operand(0)).i
+                                   << (valueOf(frame, inst.operand(1)).i &
+                                       63);
+                        break;
+                      case ir::Opcode::LShr:
+                        result.i = valueOf(frame, inst.operand(0)).i >>
+                                   (valueOf(frame, inst.operand(1)).i &
+                                    63);
+                        break;
+                      case ir::Opcode::FAdd:
+                        result.f = valueOf(frame, inst.operand(0)).f +
+                                   valueOf(frame, inst.operand(1)).f;
+                        break;
+                      case ir::Opcode::FSub:
+                        result.f = valueOf(frame, inst.operand(0)).f -
+                                   valueOf(frame, inst.operand(1)).f;
+                        break;
+                      case ir::Opcode::FMul:
+                        result.f = valueOf(frame, inst.operand(0)).f *
+                                   valueOf(frame, inst.operand(1)).f;
+                        break;
+                      case ir::Opcode::FDiv:
+                        result.f = valueOf(frame, inst.operand(0)).f /
+                                   valueOf(frame, inst.operand(1)).f;
+                        break;
+                      case ir::Opcode::ICmpEq:
+                      case ir::Opcode::ICmpNe:
+                      case ir::Opcode::ICmpSlt:
+                      case ir::Opcode::ICmpSle:
+                      case ir::Opcode::ICmpSgt:
+                      case ir::Opcode::ICmpSge: {
+                        const auto lhs = static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(0)).i);
+                        const auto rhs = static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(1)).i);
+                        bool truth = false;
+                        switch (inst.op()) {
+                          case ir::Opcode::ICmpEq:
+                            truth = lhs == rhs;
+                            break;
+                          case ir::Opcode::ICmpNe:
+                            truth = lhs != rhs;
+                            break;
+                          case ir::Opcode::ICmpSlt:
+                            truth = lhs < rhs;
+                            break;
+                          case ir::Opcode::ICmpSle:
+                            truth = lhs <= rhs;
+                            break;
+                          case ir::Opcode::ICmpSgt:
+                            truth = lhs > rhs;
+                            break;
+                          default:
+                            truth = lhs >= rhs;
+                            break;
+                        }
+                        result.i = truth;
+                        break;
+                      }
+                      case ir::Opcode::FCmpOlt:
+                        result.i = valueOf(frame, inst.operand(0)).f <
+                                   valueOf(frame, inst.operand(1)).f;
+                        break;
+                      case ir::Opcode::Zext:
+                      case ir::Opcode::PtrToInt:
+                      case ir::Opcode::IntToPtr:
+                        result.i = valueOf(frame, inst.operand(0)).i;
+                        break;
+                      case ir::Opcode::Trunc: {
+                        const std::uint32_t bits =
+                            ir::sizeOf(inst.type()) * 8;
+                        const std::uint64_t mask =
+                            bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+                        result.i =
+                            valueOf(frame, inst.operand(0)).i & mask;
+                        break;
+                      }
+                      case ir::Opcode::SIToFP:
+                        result.f = static_cast<double>(
+                            static_cast<std::int64_t>(
+                                valueOf(frame, inst.operand(0)).i));
+                        break;
+                      case ir::Opcode::FPToSI:
+                        result.i = static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(
+                                valueOf(frame, inst.operand(0)).f));
+                        break;
+                      case ir::Opcode::Call:
+                        result = callIntrinsicOrFunction(frame, inst,
+                                                         depth);
+                        break;
+                      case ir::Opcode::Br:
+                        next = inst.succ0;
+                        break;
+                      case ir::Opcode::CondBr:
+                        next = valueOf(frame, inst.operand(0)).i
+                                   ? inst.succ0
+                                   : inst.succ1;
+                        break;
+                      case ir::Opcode::Ret: {
+                        Slot returned;
+                        if (inst.numOperands() > 0)
+                            returned = valueOf(frame, inst.operand(0));
+                        releaseCursors(frame);
+                        return returned;
+                      }
+                      case ir::Opcode::Phi:
+                        break; // handled above
+                    }
+                    if (inst.type() != ir::Type::Void &&
+                        !inst.name().empty()) {
+                        frame.values[&inst] = result;
+                    }
+                }
+                if (!next)
+                    trap("block fell through without a terminator");
+                previous = block;
+                block = next;
+            }
+        } catch (TrapException &) {
+            releaseCursors(frame);
+            throw;
+        }
+    }
+};
+
+Interpreter::Interpreter(const ir::Module &module, TfmRuntime &runtime)
+    : impl(std::make_unique<Impl>(module, runtime))
+{}
+
+Interpreter::~Interpreter() = default;
+
+void
+Interpreter::enableAllocationProfiling()
+{
+    impl->enableProfiling();
+}
+
+AllocSiteProfile
+Interpreter::allocationProfile() const
+{
+    return impl->profile;
+}
+
+RunResult
+Interpreter::run(const std::string &function_name,
+                 const std::vector<std::int64_t> &args)
+{
+    RunResult result;
+    const ir::Function *function =
+        impl->module.findFunction(function_name);
+    if (!function) {
+        result.trapped = true;
+        result.trapMessage = "no such function @" + function_name;
+        return result;
+    }
+    impl->steps = 0;
+    impl->maxSteps = maxSteps;
+    impl->output.clear();
+    std::vector<Slot> slots;
+    for (const std::int64_t value : args) {
+        Slot slot;
+        slot.i = static_cast<std::uint64_t>(value);
+        slots.push_back(slot);
+    }
+    try {
+        const Slot returned = impl->execFunction(*function, slots, 0);
+        result.returnValue = static_cast<std::int64_t>(returned.i);
+        result.returnFloat = returned.f;
+    } catch (TrapException &trap_info) {
+        result.trapped = true;
+        result.trapMessage = trap_info.message;
+    }
+    result.instructionsExecuted = impl->steps;
+    result.output = impl->output;
+    return result;
+}
+
+} // namespace tfm

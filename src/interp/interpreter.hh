@@ -1,0 +1,79 @@
+/**
+ * @file
+ * IR interpreter: executes (transformed) modules against a TrackFM
+ * runtime instance.
+ *
+ * The memory model mirrors the real system:
+ *  - tagged (non-canonical) addresses reach memory only through guard /
+ *    chunk.access instructions, which translate them to host pointers
+ *    exactly as Fig. 4's generated code does;
+ *  - a direct load/store of a tagged address traps, the interpreter's
+ *    analogue of the general-protection fault a real non-canonical
+ *    dereference raises — the safety net that makes missed guards loud;
+ *  - untagged addresses (allocas, pre-transformation malloc) are host
+ *    pointers accessed directly.
+ */
+
+#ifndef TRACKFM_INTERP_INTERPRETER_HH
+#define TRACKFM_INTERP_INTERPRETER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "passes/hot_alloc_pruning.hh"
+#include "tfm/tfm_runtime.hh"
+
+namespace tfm
+{
+
+/** Outcome of one interpreted execution. */
+struct RunResult
+{
+    bool trapped = false;
+    std::string trapMessage;
+    std::int64_t returnValue = 0;
+    double returnFloat = 0.0;
+    std::uint64_t instructionsExecuted = 0;
+    /// Values passed to the print_i64 intrinsic, in order.
+    std::vector<std::int64_t> output;
+
+    bool ok() const { return !trapped; }
+};
+
+/** Executes IR functions against a TfmRuntime. */
+class Interpreter
+{
+  public:
+    Interpreter(const ir::Module &module, TfmRuntime &runtime);
+    ~Interpreter();
+
+    /**
+     * Run @p function_name with integer arguments.
+     * Execution stops at `maxSteps` interpreted instructions (runaway
+     * protection) and reports a trap.
+     */
+    RunResult run(const std::string &function_name,
+                  const std::vector<std::int64_t> &args = {});
+
+    /** Default step budget; adjustable for long-running programs. */
+    std::uint64_t maxSteps = 200'000'000;
+
+    /** @name Allocation-site profiling (for HotAllocPruningPass)
+     * @{ */
+    /** Record per-allocation-site hotness during subsequent runs. */
+    void enableAllocationProfiling();
+    /** The profile collected so far. */
+    AllocSiteProfile allocationProfile() const;
+    /** @} */
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_INTERP_INTERPRETER_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Convenience builder for constructing IR programmatically (tests,
+ * examples, and the transformation passes all use it).
+ */
+
+#ifndef TRACKFM_IR_BUILDER_HH
+#define TRACKFM_IR_BUILDER_HH
+
+#include <memory>
+#include <string>
+
+#include "function.hh"
+
+namespace tfm::ir
+{
+
+/** Appends instructions to a current basic block. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function *function)
+        : fn(function), block(function->entry())
+    {}
+
+    void setBlock(BasicBlock *basic_block) { block = basic_block; }
+    BasicBlock *currentBlock() const { return block; }
+    Function *function() const { return fn; }
+
+    Constant *
+    constI64(std::int64_t value)
+    {
+        return fn->makeConstant(Type::I64, value);
+    }
+
+    Constant *constF64(double value) { return fn->makeFloatConstant(value); }
+
+    Instruction *
+    alloca_(std::int64_t bytes, const std::string &name)
+    {
+        auto inst = make(Opcode::Alloca, Type::Ptr, name);
+        inst->imm = bytes;
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    load(Type type, Value *ptr, const std::string &name)
+    {
+        auto inst = make(Opcode::Load, type, name);
+        inst->addOperand(ptr);
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    store(Value *value, Value *ptr)
+    {
+        auto inst = make(Opcode::Store, Type::Void, "");
+        inst->addOperand(value);
+        inst->addOperand(ptr);
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    gep(Value *base, Value *index, std::int64_t stride,
+        const std::string &name)
+    {
+        auto inst = make(Opcode::Gep, Type::Ptr, name);
+        inst->addOperand(base);
+        inst->addOperand(index);
+        inst->imm = stride;
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    binary(Opcode op, Value *lhs, Value *rhs, const std::string &name)
+    {
+        Type type = lhs->type();
+        if (op >= Opcode::ICmpEq && op <= Opcode::FCmpOlt)
+            type = Type::I1;
+        auto inst = make(op, type, name);
+        inst->addOperand(lhs);
+        inst->addOperand(rhs);
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    cast(Opcode op, Value *value, Type to, const std::string &name)
+    {
+        auto inst = make(op, to, name);
+        inst->addOperand(value);
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    phi(Type type, const std::string &name)
+    {
+        return append(make(Opcode::Phi, type, name));
+    }
+
+    Instruction *
+    call(const std::string &callee, Type return_type,
+         std::vector<Value *> call_args, const std::string &name)
+    {
+        auto inst = make(Opcode::Call, return_type, name);
+        inst->callee = callee;
+        for (Value *arg : call_args)
+            inst->addOperand(arg);
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    br(BasicBlock *target)
+    {
+        auto inst = make(Opcode::Br, Type::Void, "");
+        inst->succ0 = target;
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    condBr(Value *condition, BasicBlock *if_true, BasicBlock *if_false)
+    {
+        auto inst = make(Opcode::CondBr, Type::Void, "");
+        inst->addOperand(condition);
+        inst->succ0 = if_true;
+        inst->succ1 = if_false;
+        return append(std::move(inst));
+    }
+
+    Instruction *
+    ret(Value *value = nullptr)
+    {
+        auto inst = make(Opcode::Ret, Type::Void, "");
+        if (value)
+            inst->addOperand(value);
+        return append(std::move(inst));
+    }
+
+    /** Create an unattached instruction (for insertion by passes). */
+    static std::unique_ptr<Instruction>
+    make(Opcode op, Type type, const std::string &name)
+    {
+        return std::make_unique<Instruction>(op, type, name);
+    }
+
+  private:
+    Instruction *
+    append(std::unique_ptr<Instruction> inst)
+    {
+        return block->append(std::move(inst));
+    }
+
+    Function *fn;
+    BasicBlock *block;
+};
+
+} // namespace tfm::ir
+
+#endif // TRACKFM_IR_BUILDER_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * IR instructions, including the TrackFM pseudo-instructions that the
+ * transformation passes introduce (guard, chunk.begin, chunk.access,
+ * prefetch) — the IR-level counterparts of Figures 4 and 5.
+ */
+
+#ifndef TRACKFM_IR_INSTRUCTION_HH
+#define TRACKFM_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "value.hh"
+
+namespace tfm::ir
+{
+
+class BasicBlock;
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Memory
+    Alloca, ///< stack allocation; imm = bytes
+    Load,   ///< result = *(type *)op0
+    Store,  ///< *(op1 type *) = op0
+    Gep,    ///< result = op0 + op1 * imm (imm = element stride bytes)
+
+    // Integer arithmetic / bitwise
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    LShr,
+
+    // Floating point
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+
+    // Comparisons (integer, signed)
+    ICmpEq,
+    ICmpNe,
+    ICmpSlt,
+    ICmpSle,
+    ICmpSgt,
+    ICmpSge,
+    // Floating compare
+    FCmpOlt,
+
+    // Conversions
+    Zext,
+    Trunc,
+    PtrToInt,
+    IntToPtr,
+    SIToFP,
+    FPToSI,
+
+    // Control flow
+    Br,     ///< unconditional; succ0
+    CondBr, ///< op0 ? succ0 : succ1
+    Phi,
+    Call,   ///< calleeName(operands...)
+    Ret,    ///< optional op0
+
+    // TrackFM pseudo-instructions (inserted by passes)
+    Guard,       ///< result ptr = guard(op0); isWrite selects r/w path
+    ChunkBegin,  ///< result cursor = chunk.begin(op0 base); imm = elem size
+    ChunkAccess, ///< result ptr = chunk.access(op0 cursor, op1 rawptr)
+    Prefetch     ///< prefetch(op0 ptr); imm = depth
+};
+
+/** Does this opcode terminate a basic block? */
+constexpr bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+/** Is this a pure (side-effect-free, dead-code-removable) opcode? */
+constexpr bool
+isPure(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::SRem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::ICmpEq:
+      case Opcode::ICmpNe:
+      case Opcode::ICmpSlt:
+      case Opcode::ICmpSle:
+      case Opcode::ICmpSgt:
+      case Opcode::ICmpSge:
+      case Opcode::FCmpOlt:
+      case Opcode::Zext:
+      case Opcode::Trunc:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+      case Opcode::Gep:
+      case Opcode::Phi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Textual mnemonic. */
+const char *opcodeName(Opcode op);
+
+/**
+ * A single IR instruction.
+ *
+ * One concrete class covers all opcodes (operand list + a small set of
+ * opcode-specific fields); this keeps pass code simple at the cost of a
+ * few unused fields per instruction.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, Type type, std::string name)
+        : Value(Kind::Instruction, type, std::move(name)), _op(op)
+    {}
+
+    Opcode op() const { return _op; }
+
+    /** @name Operands
+     * @{ */
+    const std::vector<Value *> &operands() const { return _operands; }
+    Value *operand(std::size_t i) const { return _operands[i]; }
+    std::size_t numOperands() const { return _operands.size(); }
+    void addOperand(Value *value) { _operands.push_back(value); }
+    void setOperand(std::size_t i, Value *value) { _operands[i] = value; }
+
+    /** Replace every use of @p from in this instruction with @p to. */
+    void
+    replaceUsesOf(Value *from, Value *to)
+    {
+        for (auto &operand : _operands) {
+            if (operand == from)
+                operand = to;
+        }
+        for (auto &[value, block] : _incoming) {
+            if (value == from)
+                value = to;
+        }
+    }
+    /** @} */
+
+    /** @name Opcode-specific fields
+     * @{ */
+    /// Gep stride, alloca size, chunk element size, prefetch depth.
+    std::int64_t imm = 0;
+    /// Call target.
+    std::string callee;
+    /// Branch successors.
+    BasicBlock *succ0 = nullptr;
+    BasicBlock *succ1 = nullptr;
+    /// Phi incoming (value, predecessor) pairs.
+    std::vector<std::pair<Value *, BasicBlock *>> &incoming()
+    {
+        return _incoming;
+    }
+    const std::vector<std::pair<Value *, BasicBlock *>> &
+    incoming() const
+    {
+        return _incoming;
+    }
+    /// Guard/ChunkAccess: write access (store) vs read (load).
+    bool isWrite = false;
+    /** @} */
+
+    /** @name Pass annotations
+     * @{ */
+    /// Set by GuardAnalysis on loads/stores that must be guarded.
+    bool needsGuard = false;
+    /** @} */
+
+    BasicBlock *parent() const { return _parent; }
+    void setParent(BasicBlock *block) { _parent = block; }
+
+  private:
+    Opcode _op;
+    std::vector<Value *> _operands;
+    std::vector<std::pair<Value *, BasicBlock *>> _incoming;
+    BasicBlock *_parent = nullptr;
+};
+
+} // namespace tfm::ir
+
+#endif // TRACKFM_IR_INSTRUCTION_HH

@@ -1,0 +1,657 @@
+#include "parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace tfm::ir
+{
+
+namespace
+{
+
+/** Whitespace/comment-aware cursor over one line. */
+class LineCursor
+{
+  public:
+    explicit LineCursor(const std::string &line) : text(line) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            pos++;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size() || text[pos] == ';';
+    }
+
+    /** Consume a literal string if present. */
+    bool
+    eat(const std::string &literal)
+    {
+        skipSpace();
+        if (text.compare(pos, literal.size(), literal) == 0) {
+            pos += literal.size();
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    /** Read an identifier [A-Za-z0-9_.]+ . */
+    std::string
+    ident()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '_' || text[pos] == '.')) {
+            pos++;
+        }
+        return text.substr(start, pos - start);
+    }
+
+    /** Read a possibly signed integer or f-prefixed float literal. */
+    std::string
+    number()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == 'f'))
+            pos++;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == '-' ||
+                text[pos] == 'e' || text[pos] == '+')) {
+            pos++;
+        }
+        return text.substr(start, pos - start);
+    }
+
+  private:
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+/** Parser state for one module. */
+class ModuleParser
+{
+  public:
+    explicit ModuleParser(const std::string &text) : input(text) {}
+
+    ParseResult
+    run()
+    {
+        auto module = std::make_unique<Module>();
+        std::istringstream stream(input);
+        std::string line;
+        while (std::getline(stream, line)) {
+            lineNo++;
+            LineCursor cursor(line);
+            if (cursor.atEnd())
+                continue;
+            if (cursor.eat("func")) {
+                if (!parseFunctionHeader(cursor, *module))
+                    return fail();
+                continue;
+            }
+            if (cursor.eat("}")) {
+                if (!finishFunction())
+                    return fail();
+                continue;
+            }
+            if (!fn) {
+                error = "statement outside a function";
+                return fail();
+            }
+            // Block label: "name:" with nothing else before the colon.
+            {
+                LineCursor probe(line);
+                const std::string label = probe.ident();
+                if (!label.empty() && probe.eat(":")) {
+                    block = getBlock(label);
+                    declaredBlocks.push_back(block);
+                    continue;
+                }
+            }
+            if (!block) {
+                error = "instruction before any block label";
+                return fail();
+            }
+            if (!parseInstruction(cursor))
+                return fail();
+        }
+        if (fn) {
+            error = "unterminated function (missing '}')";
+            return fail();
+        }
+        ParseResult result;
+        result.module = std::move(module);
+        return result;
+    }
+
+  private:
+    ParseResult
+    fail()
+    {
+        ParseResult result;
+        result.error = error.empty() ? "parse error" : error;
+        result.errorLine = lineNo;
+        return result;
+    }
+
+    bool
+    parseFunctionHeader(LineCursor &cursor, Module &module)
+    {
+        if (!cursor.eat("@")) {
+            error = "expected '@' after func";
+            return false;
+        }
+        const std::string name = cursor.ident();
+        if (!cursor.eat("(")) {
+            error = "expected '(' in function header";
+            return false;
+        }
+        struct Arg
+        {
+            std::string name;
+            Type type;
+        };
+        std::vector<Arg> parsed_args;
+        if (!cursor.eat(")")) {
+            while (true) {
+                if (!cursor.eat("%")) {
+                    error = "expected '%' argument name";
+                    return false;
+                }
+                Arg arg;
+                arg.name = cursor.ident();
+                if (!cursor.eat(":")) {
+                    error = "expected ':' after argument name";
+                    return false;
+                }
+                if (!typeFromName(cursor.ident().c_str(), arg.type)) {
+                    error = "unknown argument type";
+                    return false;
+                }
+                parsed_args.push_back(arg);
+                if (cursor.eat(")"))
+                    break;
+                if (!cursor.eat(",")) {
+                    error = "expected ',' or ')' in argument list";
+                    return false;
+                }
+            }
+        }
+        if (!cursor.eat("->")) {
+            error = "expected '->' before return type";
+            return false;
+        }
+        Type ret_type;
+        if (!typeFromName(cursor.ident().c_str(), ret_type)) {
+            error = "unknown return type";
+            return false;
+        }
+        if (!cursor.eat("{")) {
+            error = "expected '{' to open function body";
+            return false;
+        }
+        fn = module.addFunction(name, ret_type);
+        block = nullptr;
+        values.clear();
+        blocks.clear();
+        declaredBlocks.clear();
+        fixups.clear();
+        for (const Arg &arg : parsed_args)
+            values[arg.name] = fn->addArgument(arg.type, arg.name);
+        return true;
+    }
+
+    bool
+    finishFunction()
+    {
+        // Resolve forward value references (phis and cross-block uses).
+        for (const auto &fixup : fixups) {
+            auto it = values.find(fixup.name);
+            if (it == values.end()) {
+                error = "undefined value %" + fixup.name;
+                return false;
+            }
+            if (fixup.phiIncoming >= 0) {
+                fixup.inst->incoming()[static_cast<std::size_t>(
+                                           fixup.phiIncoming)]
+                    .first = it->second;
+            } else {
+                fixup.inst->setOperand(
+                    static_cast<std::size_t>(fixup.operandIndex),
+                    it->second);
+            }
+        }
+        // Every referenced block must have been declared.
+        for (const auto &[name, referenced] : blocks) {
+            bool declared = false;
+            for (const BasicBlock *candidate : declaredBlocks)
+                declared |= (candidate == referenced);
+            if (!declared) {
+                error = "undefined block label " + name;
+                return false;
+            }
+        }
+        fn = nullptr;
+        block = nullptr;
+        return true;
+    }
+
+    BasicBlock *
+    getBlock(const std::string &name)
+    {
+        auto it = blocks.find(name);
+        if (it != blocks.end())
+            return it->second;
+        BasicBlock *fresh = fn->addBlock(name);
+        blocks[name] = fresh;
+        return fresh;
+    }
+
+    /**
+     * Parse a value reference. Returns nullptr for a forward reference
+     * (a fixup is recorded against @p inst / @p operand_index, or as a
+     * phi incoming when @p phi_incoming >= 0).
+     */
+    Value *
+    parseValue(LineCursor &cursor, Instruction *inst, int operand_index,
+               int phi_incoming = -1)
+    {
+        if (cursor.eat("%")) {
+            const std::string name = cursor.ident();
+            auto it = values.find(name);
+            if (it != values.end())
+                return it->second;
+            fixups.push_back({inst, operand_index, phi_incoming, name});
+            return nullptr;
+        }
+        const std::string literal = cursor.number();
+        if (literal.empty()) {
+            error = "expected value";
+            return nullptr;
+        }
+        if (literal[0] == 'f') {
+            return fn->makeFloatConstant(
+                std::strtod(literal.c_str() + 1, nullptr));
+        }
+        return fn->makeConstant(
+            Type::I64,
+            static_cast<std::int64_t>(
+                std::strtoll(literal.c_str(), nullptr, 10)));
+    }
+
+    /** Add an operand, registering a fixup when forward-referenced. */
+    bool
+    addOperand(LineCursor &cursor, Instruction *inst)
+    {
+        const int index = static_cast<int>(inst->numOperands());
+        inst->addOperand(nullptr);
+        Value *value = parseValue(cursor, inst, index);
+        if (value)
+            inst->setOperand(static_cast<std::size_t>(index), value);
+        else if (!error.empty())
+            return false;
+        return true;
+    }
+
+    bool
+    parseInstruction(LineCursor &cursor)
+    {
+        std::string result_name;
+        // Look ahead for "%name =".
+        if (cursor.peek() == '%') {
+            cursor.eat("%");
+            result_name = cursor.ident();
+            if (!cursor.eat("=")) {
+                error = "expected '=' after result name";
+                return false;
+            }
+        }
+        const std::string mnemonic = cursor.ident();
+        // Guard / chunk.access carry a .r/.w suffix inside the ident.
+        std::string op_name = mnemonic;
+        bool is_write = false;
+        if (op_name == "guard.r" || op_name == "guard.w" ||
+            op_name == "chunk.access.r" || op_name == "chunk.access.w") {
+            is_write = op_name.back() == 'w';
+            op_name = op_name.substr(0, op_name.size() - 2);
+        }
+
+        Opcode op;
+        if (!opcodeFromName(op_name, op)) {
+            error = "unknown opcode '" + mnemonic + "'";
+            return false;
+        }
+
+        Type type = Type::Void;
+        auto inst = std::make_unique<Instruction>(op, type, result_name);
+        inst->isWrite = is_write;
+        Instruction *raw = inst.get();
+
+        switch (op) {
+          case Opcode::Alloca:
+            raw->imm = std::strtoll(cursor.number().c_str(), nullptr, 10);
+            setType(raw, Type::Ptr);
+            break;
+          case Opcode::Load: {
+            Type loaded;
+            if (!typeFromName(cursor.ident().c_str(), loaded)) {
+                error = "expected type after load";
+                return false;
+            }
+            if (!cursor.eat(",")) {
+                error = "expected ',' in load";
+                return false;
+            }
+            if (!addOperand(cursor, raw))
+                return false;
+            setType(raw, loaded);
+            break;
+          }
+          case Opcode::Store:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected ',' in store";
+                return false;
+            }
+            if (!addOperand(cursor, raw))
+                return false;
+            break;
+          case Opcode::Gep:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected ',' in gep";
+                return false;
+            }
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected stride in gep";
+                return false;
+            }
+            raw->imm = std::strtoll(cursor.number().c_str(), nullptr, 10);
+            setType(raw, Type::Ptr);
+            break;
+          case Opcode::Phi: {
+            Type phi_type;
+            if (!typeFromName(cursor.ident().c_str(), phi_type)) {
+                error = "expected type after phi";
+                return false;
+            }
+            setType(raw, phi_type);
+            while (cursor.eat("[")) {
+                const int incoming_index =
+                    static_cast<int>(raw->incoming().size());
+                raw->incoming().emplace_back(nullptr, nullptr);
+                Value *value =
+                    parseValue(cursor, raw, -1, incoming_index);
+                if (!value && !error.empty())
+                    return false;
+                if (value) {
+                    raw->incoming()[static_cast<std::size_t>(
+                                        incoming_index)]
+                        .first = value;
+                }
+                if (!cursor.eat(",")) {
+                    error = "expected ',' in phi incoming";
+                    return false;
+                }
+                raw->incoming()[static_cast<std::size_t>(incoming_index)]
+                    .second = getBlock(cursor.ident());
+                if (!cursor.eat("]")) {
+                    error = "expected ']' in phi incoming";
+                    return false;
+                }
+                cursor.eat(","); // optional separator between entries
+            }
+            break;
+          }
+          case Opcode::Br:
+            raw->succ0 = getBlock(cursor.ident());
+            break;
+          case Opcode::CondBr:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected ',' in condbr";
+                return false;
+            }
+            raw->succ0 = getBlock(cursor.ident());
+            if (!cursor.eat(",")) {
+                error = "expected second target in condbr";
+                return false;
+            }
+            raw->succ1 = getBlock(cursor.ident());
+            break;
+          case Opcode::Call: {
+            Type call_type;
+            if (!typeFromName(cursor.ident().c_str(), call_type)) {
+                error = "expected return type after call";
+                return false;
+            }
+            setType(raw, call_type);
+            if (!cursor.eat("@")) {
+                error = "expected '@callee'";
+                return false;
+            }
+            raw->callee = cursor.ident();
+            if (!cursor.eat("(")) {
+                error = "expected '(' in call";
+                return false;
+            }
+            if (!cursor.eat(")")) {
+                while (true) {
+                    if (!addOperand(cursor, raw))
+                        return false;
+                    if (cursor.eat(")"))
+                        break;
+                    if (!cursor.eat(",")) {
+                        error = "expected ',' or ')' in call";
+                        return false;
+                    }
+                }
+            }
+            break;
+          }
+          case Opcode::Ret:
+            if (!cursor.atEnd()) {
+                if (!addOperand(cursor, raw))
+                    return false;
+            }
+            break;
+          case Opcode::Guard:
+            if (!addOperand(cursor, raw))
+                return false;
+            setType(raw, Type::Ptr);
+            break;
+          case Opcode::ChunkBegin:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected element size in chunk.begin";
+                return false;
+            }
+            raw->imm = std::strtoll(cursor.number().c_str(), nullptr, 10);
+            setType(raw, Type::Ptr);
+            break;
+          case Opcode::ChunkAccess:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected ',' in chunk.access";
+                return false;
+            }
+            if (!addOperand(cursor, raw))
+                return false;
+            setType(raw, Type::Ptr);
+            break;
+          case Opcode::Prefetch:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected depth in prefetch";
+                return false;
+            }
+            raw->imm = std::strtoll(cursor.number().c_str(), nullptr, 10);
+            break;
+          case Opcode::Zext:
+          case Opcode::Trunc:
+          case Opcode::PtrToInt:
+          case Opcode::IntToPtr:
+          case Opcode::SIToFP:
+          case Opcode::FPToSI: {
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat("to")) {
+                error = "expected 'to' in cast";
+                return false;
+            }
+            Type to;
+            if (!typeFromName(cursor.ident().c_str(), to)) {
+                error = "expected type in cast";
+                return false;
+            }
+            setType(raw, to);
+            break;
+          }
+          default: {
+            // Binary operations: "op lhs, rhs".
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected ',' in binary op";
+                return false;
+            }
+            if (!addOperand(cursor, raw))
+                return false;
+            const bool is_compare =
+                op >= Opcode::ICmpEq && op <= Opcode::FCmpOlt;
+            const bool is_float = op >= Opcode::FAdd && op <= Opcode::FDiv;
+            setType(raw, is_compare ? Type::I1
+                                    : (is_float ? Type::F64 : Type::I64));
+            break;
+          }
+        }
+
+        if (!result_name.empty())
+            values[result_name] = raw;
+        block->append(std::move(inst));
+        return true;
+    }
+
+    static void
+    setType(Instruction *inst, Type type)
+    {
+        inst->setType(type);
+    }
+
+    static bool
+    opcodeFromName(const std::string &name, Opcode &out)
+    {
+        static const struct
+        {
+            const char *name;
+            Opcode op;
+        } table[] = {
+            {"alloca", Opcode::Alloca},
+            {"load", Opcode::Load},
+            {"store", Opcode::Store},
+            {"gep", Opcode::Gep},
+            {"add", Opcode::Add},
+            {"sub", Opcode::Sub},
+            {"mul", Opcode::Mul},
+            {"sdiv", Opcode::SDiv},
+            {"srem", Opcode::SRem},
+            {"and", Opcode::And},
+            {"or", Opcode::Or},
+            {"xor", Opcode::Xor},
+            {"shl", Opcode::Shl},
+            {"lshr", Opcode::LShr},
+            {"fadd", Opcode::FAdd},
+            {"fsub", Opcode::FSub},
+            {"fmul", Opcode::FMul},
+            {"fdiv", Opcode::FDiv},
+            {"icmp.eq", Opcode::ICmpEq},
+            {"icmp.ne", Opcode::ICmpNe},
+            {"icmp.slt", Opcode::ICmpSlt},
+            {"icmp.sle", Opcode::ICmpSle},
+            {"icmp.sgt", Opcode::ICmpSgt},
+            {"icmp.sge", Opcode::ICmpSge},
+            {"fcmp.olt", Opcode::FCmpOlt},
+            {"zext", Opcode::Zext},
+            {"trunc", Opcode::Trunc},
+            {"ptrtoint", Opcode::PtrToInt},
+            {"inttoptr", Opcode::IntToPtr},
+            {"sitofp", Opcode::SIToFP},
+            {"fptosi", Opcode::FPToSI},
+            {"br", Opcode::Br},
+            {"condbr", Opcode::CondBr},
+            {"phi", Opcode::Phi},
+            {"call", Opcode::Call},
+            {"ret", Opcode::Ret},
+            {"guard", Opcode::Guard},
+            {"chunk.begin", Opcode::ChunkBegin},
+            {"chunk.access", Opcode::ChunkAccess},
+            {"prefetch", Opcode::Prefetch},
+        };
+        for (const auto &entry : table) {
+            if (name == entry.name) {
+                out = entry.op;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const std::string &input;
+    int lineNo = 0;
+    std::string error;
+    Function *fn = nullptr;
+    BasicBlock *block = nullptr;
+    std::map<std::string, Value *> values;
+    std::map<std::string, BasicBlock *> blocks;
+    std::vector<BasicBlock *> declaredBlocks;
+
+    struct Fixup
+    {
+        Instruction *inst;
+        int operandIndex;
+        int phiIncoming;
+        std::string name;
+    };
+    std::vector<Fixup> fixups;
+};
+
+} // anonymous namespace
+
+ParseResult
+parseModule(const std::string &text)
+{
+    ModuleParser parser(text);
+    return parser.run();
+}
+
+} // namespace tfm::ir

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Parser for the textual IR form (see printer.cc for the grammar by
+ * example). Programs shipped as text stand in for the LLVM bitcode the
+ * real TrackFM consumes.
+ */
+
+#ifndef TRACKFM_IR_PARSER_HH
+#define TRACKFM_IR_PARSER_HH
+
+#include <memory>
+#include <string>
+
+#include "function.hh"
+
+namespace tfm::ir
+{
+
+/** Outcome of parsing: a module or a diagnostic. */
+struct ParseResult
+{
+    std::unique_ptr<Module> module;
+    std::string error; ///< empty on success
+    int errorLine = 0;
+
+    bool ok() const { return module != nullptr; }
+};
+
+/** Parse IR text into a module. */
+ParseResult parseModule(const std::string &text);
+
+} // namespace tfm::ir
+
+#endif // TRACKFM_IR_PARSER_HH

@@ -1,0 +1,245 @@
+#include "printer.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace tfm::ir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Alloca:
+        return "alloca";
+      case Opcode::Load:
+        return "load";
+      case Opcode::Store:
+        return "store";
+      case Opcode::Gep:
+        return "gep";
+      case Opcode::Add:
+        return "add";
+      case Opcode::Sub:
+        return "sub";
+      case Opcode::Mul:
+        return "mul";
+      case Opcode::SDiv:
+        return "sdiv";
+      case Opcode::SRem:
+        return "srem";
+      case Opcode::And:
+        return "and";
+      case Opcode::Or:
+        return "or";
+      case Opcode::Xor:
+        return "xor";
+      case Opcode::Shl:
+        return "shl";
+      case Opcode::LShr:
+        return "lshr";
+      case Opcode::FAdd:
+        return "fadd";
+      case Opcode::FSub:
+        return "fsub";
+      case Opcode::FMul:
+        return "fmul";
+      case Opcode::FDiv:
+        return "fdiv";
+      case Opcode::ICmpEq:
+        return "icmp.eq";
+      case Opcode::ICmpNe:
+        return "icmp.ne";
+      case Opcode::ICmpSlt:
+        return "icmp.slt";
+      case Opcode::ICmpSle:
+        return "icmp.sle";
+      case Opcode::ICmpSgt:
+        return "icmp.sgt";
+      case Opcode::ICmpSge:
+        return "icmp.sge";
+      case Opcode::FCmpOlt:
+        return "fcmp.olt";
+      case Opcode::Zext:
+        return "zext";
+      case Opcode::Trunc:
+        return "trunc";
+      case Opcode::PtrToInt:
+        return "ptrtoint";
+      case Opcode::IntToPtr:
+        return "inttoptr";
+      case Opcode::SIToFP:
+        return "sitofp";
+      case Opcode::FPToSI:
+        return "fptosi";
+      case Opcode::Br:
+        return "br";
+      case Opcode::CondBr:
+        return "condbr";
+      case Opcode::Phi:
+        return "phi";
+      case Opcode::Call:
+        return "call";
+      case Opcode::Ret:
+        return "ret";
+      case Opcode::Guard:
+        return "guard";
+      case Opcode::ChunkBegin:
+        return "chunk.begin";
+      case Opcode::ChunkAccess:
+        return "chunk.access";
+      case Opcode::Prefetch:
+        return "prefetch";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+valueRef(const Value *value)
+{
+    TFM_ASSERT(value != nullptr, "printing a null operand");
+    if (value->isConstant()) {
+        const auto *constant = static_cast<const Constant *>(value);
+        if (constant->type() == Type::F64) {
+            std::ostringstream os;
+            os << "f" << constant->floatValue();
+            return os.str();
+        }
+        return std::to_string(constant->intValue());
+    }
+    return "%" + value->name();
+}
+
+void
+printInstruction(const Instruction &inst, std::ostream &os)
+{
+    os << "  ";
+    if (inst.type() != Type::Void && !inst.name().empty())
+        os << "%" << inst.name() << " = ";
+    os << opcodeName(inst.op());
+
+    switch (inst.op()) {
+      case Opcode::Alloca:
+        os << " " << inst.imm;
+        break;
+      case Opcode::Load:
+        os << " " << typeName(inst.type()) << ", "
+           << valueRef(inst.operand(0));
+        break;
+      case Opcode::Store:
+        os << " " << valueRef(inst.operand(0)) << ", "
+           << valueRef(inst.operand(1));
+        break;
+      case Opcode::Gep:
+        os << " " << valueRef(inst.operand(0)) << ", "
+           << valueRef(inst.operand(1)) << ", " << inst.imm;
+        break;
+      case Opcode::Phi: {
+        os << " " << typeName(inst.type());
+        for (const auto &[value, block] : inst.incoming()) {
+            os << " [ " << valueRef(value) << ", " << block->name()
+               << " ]";
+        }
+        break;
+      }
+      case Opcode::Br:
+        os << " " << inst.succ0->name();
+        break;
+      case Opcode::CondBr:
+        os << " " << valueRef(inst.operand(0)) << ", "
+           << inst.succ0->name() << ", " << inst.succ1->name();
+        break;
+      case Opcode::Call: {
+        os << " " << typeName(inst.type()) << " @" << inst.callee << "(";
+        for (std::size_t i = 0; i < inst.numOperands(); i++) {
+            if (i)
+                os << ", ";
+            os << valueRef(inst.operand(i));
+        }
+        os << ")";
+        break;
+      }
+      case Opcode::Ret:
+        if (inst.numOperands() > 0)
+            os << " " << valueRef(inst.operand(0));
+        break;
+      case Opcode::Guard:
+        os << (inst.isWrite ? ".w" : ".r") << " "
+           << valueRef(inst.operand(0));
+        break;
+      case Opcode::ChunkBegin:
+        os << " " << valueRef(inst.operand(0)) << ", " << inst.imm;
+        break;
+      case Opcode::ChunkAccess:
+        os << (inst.isWrite ? ".w" : ".r") << " "
+           << valueRef(inst.operand(0)) << ", "
+           << valueRef(inst.operand(1));
+        break;
+      case Opcode::Prefetch:
+        os << " " << valueRef(inst.operand(0)) << ", " << inst.imm;
+        break;
+      case Opcode::Zext:
+      case Opcode::Trunc:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+        os << " " << valueRef(inst.operand(0)) << " to "
+           << typeName(inst.type());
+        break;
+      default:
+        // Binary operations.
+        for (std::size_t i = 0; i < inst.numOperands(); i++)
+            os << (i ? ", " : " ") << valueRef(inst.operand(i));
+        break;
+    }
+    os << "\n";
+}
+
+} // anonymous namespace
+
+void
+printFunction(const Function &function, std::ostream &os)
+{
+    os << "func @" << function.name() << "(";
+    for (std::size_t i = 0; i < function.arguments().size(); i++) {
+        const auto &arg = function.arguments()[i];
+        if (i)
+            os << ", ";
+        os << "%" << arg->name() << ": " << typeName(arg->type());
+    }
+    os << ") -> " << typeName(function.returnType()) << " {\n";
+    for (const auto &block : function.basicBlocks()) {
+        os << block->name() << ":\n";
+        for (const auto &inst : block->instructions())
+            printInstruction(*inst, os);
+    }
+    os << "}\n";
+}
+
+void
+printModule(const Module &module, std::ostream &os)
+{
+    bool first = true;
+    for (const auto &function : module.allFunctions()) {
+        if (!first)
+            os << "\n";
+        first = false;
+        printFunction(*function, os);
+    }
+}
+
+std::string
+moduleToString(const Module &module)
+{
+    std::ostringstream os;
+    printModule(module, os);
+    return os.str();
+}
+
+} // namespace tfm::ir

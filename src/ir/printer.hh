@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Textual IR printer (inverse of the parser).
+ */
+
+#ifndef TRACKFM_IR_PRINTER_HH
+#define TRACKFM_IR_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "function.hh"
+
+namespace tfm::ir
+{
+
+/** Print a whole module in parseable textual form. */
+void printModule(const Module &module, std::ostream &os);
+
+/** Print one function. */
+void printFunction(const Function &function, std::ostream &os);
+
+/** Render a module to a string (round-trip tests). */
+std::string moduleToString(const Module &module);
+
+} // namespace tfm::ir
+
+#endif // TRACKFM_IR_PRINTER_HH

@@ -1,0 +1,53 @@
+#include "type.hh"
+
+#include <cstring>
+
+namespace tfm::ir
+{
+
+const char *
+typeName(Type type)
+{
+    switch (type) {
+      case Type::Void:
+        return "void";
+      case Type::I1:
+        return "i1";
+      case Type::I8:
+        return "i8";
+      case Type::I16:
+        return "i16";
+      case Type::I32:
+        return "i32";
+      case Type::I64:
+        return "i64";
+      case Type::F64:
+        return "f64";
+      case Type::Ptr:
+        return "ptr";
+    }
+    return "?";
+}
+
+bool
+typeFromName(const char *name, Type &out)
+{
+    static const struct
+    {
+        const char *name;
+        Type type;
+    } table[] = {
+        {"void", Type::Void}, {"i1", Type::I1},   {"i8", Type::I8},
+        {"i16", Type::I16},   {"i32", Type::I32}, {"i64", Type::I64},
+        {"f64", Type::F64},   {"ptr", Type::Ptr},
+    };
+    for (const auto &entry : table) {
+        if (std::strcmp(name, entry.name) == 0) {
+            out = entry.type;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace tfm::ir

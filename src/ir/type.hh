@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scalar type system for the TrackFM compiler IR.
+ *
+ * The IR is deliberately small — the subset of LLVM types the TrackFM
+ * passes actually reason about: integers, one float type, and opaque
+ * pointers (middle-end pointer rewriting never needs pointee types).
+ */
+
+#ifndef TRACKFM_IR_TYPE_HH
+#define TRACKFM_IR_TYPE_HH
+
+#include <cstdint>
+
+namespace tfm::ir
+{
+
+/** Scalar IR types. */
+enum class Type : std::uint8_t
+{
+    Void,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F64,
+    Ptr
+};
+
+/** Size in bytes when stored in memory. */
+constexpr std::uint32_t
+sizeOf(Type type)
+{
+    switch (type) {
+      case Type::Void:
+        return 0;
+      case Type::I1:
+      case Type::I8:
+        return 1;
+      case Type::I16:
+        return 2;
+      case Type::I32:
+        return 4;
+      case Type::I64:
+      case Type::F64:
+      case Type::Ptr:
+        return 8;
+    }
+    return 0;
+}
+
+/** Textual name used by the parser and printer. */
+const char *typeName(Type type);
+
+/** Parse a type name; returns false on failure. */
+bool typeFromName(const char *name, Type &out);
+
+constexpr bool
+isInteger(Type type)
+{
+    return type == Type::I1 || type == Type::I8 || type == Type::I16 ||
+           type == Type::I32 || type == Type::I64;
+}
+
+} // namespace tfm::ir
+
+#endif // TRACKFM_IR_TYPE_HH

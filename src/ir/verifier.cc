@@ -1,0 +1,106 @@
+#include "verifier.hh"
+
+#include <map>
+#include <set>
+
+namespace tfm::ir
+{
+
+namespace
+{
+
+std::string
+blockError(const Function &function, const BasicBlock &block,
+           const std::string &message)
+{
+    return "function @" + function.name() + ", block " + block.name() +
+           ": " + message;
+}
+
+} // anonymous namespace
+
+std::string
+verifyFunction(const Function &function)
+{
+    if (function.basicBlocks().empty())
+        return "function @" + function.name() + " has no blocks";
+
+    std::set<const BasicBlock *> owned;
+    for (const auto &block : function.basicBlocks())
+        owned.insert(block.get());
+
+    // Predecessor map for phi checking.
+    std::map<const BasicBlock *, std::set<const BasicBlock *>> preds;
+    for (const auto &block : function.basicBlocks()) {
+        for (const BasicBlock *succ : block->successors())
+            preds[succ].insert(block.get());
+    }
+
+    for (const auto &block : function.basicBlocks()) {
+        const auto &insts = block->instructions();
+        if (insts.empty())
+            return blockError(function, *block, "empty block");
+        if (!block->terminator())
+            return blockError(function, *block, "missing terminator");
+
+        bool seen_non_phi = false;
+        for (std::size_t i = 0; i < insts.size(); i++) {
+            const Instruction &inst = *insts[i];
+            if (isTerminator(inst.op()) && i + 1 != insts.size()) {
+                return blockError(function, *block,
+                                  "terminator before end of block");
+            }
+            if (inst.op() == Opcode::Phi) {
+                if (seen_non_phi) {
+                    return blockError(function, *block,
+                                      "phi after non-phi instruction");
+                }
+                for (const auto &[value, incoming_block] :
+                     inst.incoming()) {
+                    if (!value || !incoming_block) {
+                        return blockError(function, *block,
+                                          "phi with null incoming");
+                    }
+                    if (!preds[block.get()].count(incoming_block)) {
+                        return blockError(
+                            function, *block,
+                            "phi incoming from non-predecessor " +
+                                incoming_block->name());
+                    }
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            for (const Value *operand : inst.operands()) {
+                if (!operand) {
+                    return blockError(function, *block,
+                                      "null operand in " +
+                                          std::string(opcodeName(
+                                              inst.op())));
+                }
+            }
+            if (inst.succ0 && !owned.count(inst.succ0)) {
+                return blockError(function, *block,
+                                  "branch to foreign block");
+            }
+            if (inst.succ1 && !owned.count(inst.succ1)) {
+                return blockError(function, *block,
+                                  "branch to foreign block");
+            }
+        }
+    }
+    return "";
+}
+
+std::string
+verifyModule(const Module &module)
+{
+    for (const auto &function : module.allFunctions()) {
+        const std::string error = verifyFunction(*function);
+        if (!error.empty())
+            return error;
+    }
+    return "";
+}
+
+} // namespace tfm::ir

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural verifier for IR modules; run after parsing and after every
+ * transformation pass in debug flows.
+ */
+
+#ifndef TRACKFM_IR_VERIFIER_HH
+#define TRACKFM_IR_VERIFIER_HH
+
+#include <string>
+
+#include "function.hh"
+
+namespace tfm::ir
+{
+
+/**
+ * Check module invariants:
+ *  - every block ends in exactly one terminator (and only one);
+ *  - phis appear only at the start of a block and their incoming
+ *    blocks are actual predecessors;
+ *  - operands are non-null;
+ *  - branch targets belong to the same function.
+ *
+ * @return empty string when valid, else a diagnostic.
+ */
+std::string verifyModule(const Module &module);
+
+/** Verify one function. */
+std::string verifyFunction(const Function &function);
+
+} // namespace tfm::ir
+
+#endif // TRACKFM_IR_VERIFIER_HH

@@ -1,0 +1,56 @@
+#include "network_model.hh"
+
+#include <cmath>
+
+namespace tfm
+{
+
+std::uint64_t
+NetworkModel::transferCycles(std::uint64_t bytes) const
+{
+    return static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(bytes) / _costs.netBytesPerCycle));
+}
+
+std::uint64_t
+NetworkModel::reserveInbound(std::uint64_t bytes)
+{
+    // The request leaves now; payload serialization begins once the
+    // request reaches the remote node and the inbound link is free.
+    const std::uint64_t ready =
+        std::max(_clock.now() + _costs.netLatencyCycles, inFreeAt);
+    inFreeAt = ready + transferCycles(bytes);
+    return inFreeAt;
+}
+
+void
+NetworkModel::fetchSync(std::uint64_t bytes)
+{
+    _clock.advance(_costs.perMessageCpuCycles);
+    const std::uint64_t arrival = reserveInbound(bytes);
+    _clock.advanceTo(arrival);
+    _stats.bytesFetched += bytes;
+    _stats.fetchMessages++;
+}
+
+std::uint64_t
+NetworkModel::fetchAsync(std::uint64_t bytes)
+{
+    _clock.advance(_costs.prefetchIssueCycles);
+    const std::uint64_t arrival = reserveInbound(bytes);
+    _stats.bytesFetched += bytes;
+    _stats.fetchMessages++;
+    return arrival;
+}
+
+void
+NetworkModel::writebackAsync(std::uint64_t bytes)
+{
+    _clock.advance(_costs.perMessageCpuCycles);
+    const std::uint64_t start = std::max(_clock.now(), outFreeAt);
+    outFreeAt = start + transferCycles(bytes);
+    _stats.bytesWrittenBack += bytes;
+    _stats.writebackMessages++;
+}
+
+} // namespace tfm

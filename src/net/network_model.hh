@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Simulated network link between the compute node and the remote memory
+ * node.
+ *
+ * Models the paper's 25 Gb/s NIC with the TCP (Shenango) backend used by
+ * AIFM/TrackFM and the RDMA backend used by Fastswap: a fixed round-trip
+ * latency plus bandwidth-limited serialization of payload bytes on a
+ * single full-duplex link. All transfers are tracked per direction so the
+ * I/O-amplification figures (13 and 16c) can be regenerated.
+ */
+
+#ifndef TRACKFM_NET_NETWORK_MODEL_HH
+#define TRACKFM_NET_NETWORK_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/cost_params.hh"
+#include "sim/cycle_clock.hh"
+
+namespace tfm
+{
+
+/** Statistics accumulated by the link. */
+struct NetStats
+{
+    std::uint64_t bytesFetched = 0;     ///< remote -> local payload bytes
+    std::uint64_t bytesWrittenBack = 0; ///< local -> remote payload bytes
+    std::uint64_t fetchMessages = 0;
+    std::uint64_t writebackMessages = 0;
+
+    std::uint64_t totalBytes() const { return bytesFetched + bytesWrittenBack; }
+};
+
+/**
+ * A full-duplex point-to-point link with latency and bandwidth.
+ *
+ * The inbound (fetch) and outbound (writeback) directions serialize
+ * independently. Synchronous fetches block the caller (advance the clock
+ * to the arrival time); asynchronous operations only reserve link time.
+ */
+class NetworkModel
+{
+  public:
+    NetworkModel(CycleClock &clock, const CostParams &costs)
+        : _clock(clock), _costs(costs)
+    {}
+
+    /**
+     * Fetch @p bytes synchronously; the clock advances to the completion
+     * time (request latency + serialized transfer) and the local CPU is
+     * charged the per-message software cost.
+     */
+    void fetchSync(std::uint64_t bytes);
+
+    /**
+     * Issue an asynchronous fetch of @p bytes (prefetch). Returns the
+     * absolute cycle at which the data will have arrived. The caller is
+     * charged only the issue-side CPU cost.
+     *
+     * @return arrival time in absolute cycles.
+     */
+    std::uint64_t fetchAsync(std::uint64_t bytes);
+
+    /**
+     * Block until an asynchronous fetch issued earlier has arrived.
+     * Charges only the residual wait (zero when already arrived).
+     */
+    void waitUntil(std::uint64_t arrivalCycle) { _clock.advanceTo(arrivalCycle); }
+
+    /**
+     * Write @p bytes back to the remote node asynchronously (evacuation,
+     * page-out). Reserves outbound link time and counts bytes; the caller
+     * pays only the per-message CPU cost.
+     */
+    void writebackAsync(std::uint64_t bytes);
+
+    const NetStats &stats() const { return _stats; }
+    void resetStats() { _stats = NetStats{}; }
+
+    /** Earliest cycle at which the inbound link is free (for tests). */
+    std::uint64_t inboundFreeAt() const { return inFreeAt; }
+    /** Earliest cycle at which the outbound link is free (for tests). */
+    std::uint64_t outboundFreeAt() const { return outFreeAt; }
+
+  private:
+    /// Cycles needed to push @p bytes through the link at line rate.
+    std::uint64_t transferCycles(std::uint64_t bytes) const;
+    /// Reserve inbound link time for a payload, returning arrival cycle.
+    std::uint64_t reserveInbound(std::uint64_t bytes);
+
+    CycleClock &_clock;
+    const CostParams &_costs;
+    NetStats _stats;
+    std::uint64_t inFreeAt = 0;
+    std::uint64_t outFreeAt = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_NET_NETWORK_MODEL_HH

@@ -1,0 +1,57 @@
+#include "hot_alloc_pruning.hh"
+
+namespace tfm
+{
+
+bool
+isAllocationCallee(const std::string &callee)
+{
+    return callee == "malloc" || callee == "calloc" ||
+           callee == "tfm_malloc" || callee == "tfm_calloc";
+}
+
+const AllocSiteProfile::Site *
+AllocSiteProfile::findByOrdinal(std::uint32_t ordinal) const
+{
+    for (const Site &site : sites) {
+        if (site.ordinal == ordinal)
+            return &site;
+    }
+    return nullptr;
+}
+
+bool
+HotAllocPruningPass::run(ir::Module &module)
+{
+    pruned = 0;
+    std::uint32_t ordinal = 0;
+    bool changed = false;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() != ir::Opcode::Call ||
+                    !isAllocationCallee(inst->callee)) {
+                    continue;
+                }
+                const std::uint32_t site_ordinal = ordinal++;
+                const AllocSiteProfile::Site *site =
+                    prof.findByOrdinal(site_ordinal);
+                if (!site || site->accessesPerByte() < threshold)
+                    continue;
+                // Hot site: keep it in ordinary local memory. The
+                // custody check makes unguarded-looking pointers safe.
+                if (inst->callee == "tfm_malloc" ||
+                    inst->callee == "malloc") {
+                    inst->callee = "host_malloc";
+                } else {
+                    inst->callee = "host_calloc";
+                }
+                pruned++;
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace tfm

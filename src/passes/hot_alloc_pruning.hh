@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Profile-guided allocation-site pruning — the extension the paper
+ * proposes in section 5: "TrackFM could also benefit from a profiling
+ * stage that prunes the set of heap allocations available for remoting
+ * based on access frequency", citing the MaPHeA PGO framework.
+ *
+ * The interpreter can record, per allocation site (the k-th allocation
+ * call in the module), how many bytes it allocated and how many guarded
+ * accesses landed in its memory. On recompilation this pass rewrites
+ * the hottest sites' allocations to stay in ordinary local memory
+ * (`host_malloc`): their pointers are never tagged, so every guard on
+ * them degenerates to the ~4-cycle custody rejection instead of the
+ * 21-cycle fast path, and they can never be evacuated.
+ */
+
+#ifndef TRACKFM_PASSES_HOT_ALLOC_PRUNING_HH
+#define TRACKFM_PASSES_HOT_ALLOC_PRUNING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pass.hh"
+
+namespace tfm
+{
+
+/** Per-allocation-site profile collected by the interpreter. */
+struct AllocSiteProfile
+{
+    struct Site
+    {
+        /// Function containing the allocation call.
+        std::string function;
+        /// Ordinal of the allocation call within the module (walking
+        /// functions, blocks, and instructions in order) — stable
+        /// across reparses of the same source.
+        std::uint32_t ordinal = 0;
+        std::uint64_t allocations = 0;
+        std::uint64_t bytesAllocated = 0;
+        std::uint64_t guardedAccesses = 0;
+
+        /** Hotness metric: guarded accesses per allocated byte. */
+        double
+        accessesPerByte() const
+        {
+            return bytesAllocated == 0
+                       ? 0.0
+                       : static_cast<double>(guardedAccesses) /
+                             static_cast<double>(bytesAllocated);
+        }
+    };
+
+    std::vector<Site> sites;
+
+    const Site *findByOrdinal(std::uint32_t ordinal) const;
+};
+
+/**
+ * Rewrite allocation calls whose profiled hotness exceeds the
+ * threshold to host (non-remotable) allocations.
+ */
+class HotAllocPruningPass : public Pass
+{
+  public:
+    HotAllocPruningPass(const AllocSiteProfile &profile,
+                        double min_accesses_per_byte)
+        : prof(profile), threshold(min_accesses_per_byte)
+    {}
+
+    std::string name() const override { return "hot-alloc-pruning"; }
+    bool run(ir::Module &module) override;
+
+    std::uint64_t sitesPruned() const { return pruned; }
+
+  private:
+    const AllocSiteProfile &prof;
+    double threshold;
+    std::uint64_t pruned = 0;
+};
+
+/** Is this callee an allocation function (any flavour)? */
+bool isAllocationCallee(const std::string &callee);
+
+} // namespace tfm
+
+#endif // TRACKFM_PASSES_HOT_ALLOC_PRUNING_HH

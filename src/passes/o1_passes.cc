@@ -1,0 +1,254 @@
+#include "o1_passes.hh"
+
+#include <map>
+#include <set>
+
+#include "analysis/cfg.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+/** Evaluate an integer binary op over constants; false if undefined. */
+bool
+foldInt(ir::Opcode op, std::int64_t a, std::int64_t b, std::int64_t &out)
+{
+    switch (op) {
+      case ir::Opcode::Add:
+        out = a + b;
+        return true;
+      case ir::Opcode::Sub:
+        out = a - b;
+        return true;
+      case ir::Opcode::Mul:
+        out = a * b;
+        return true;
+      case ir::Opcode::SDiv:
+        if (b == 0)
+            return false;
+        out = a / b;
+        return true;
+      case ir::Opcode::SRem:
+        if (b == 0)
+            return false;
+        out = a % b;
+        return true;
+      case ir::Opcode::And:
+        out = a & b;
+        return true;
+      case ir::Opcode::Or:
+        out = a | b;
+        return true;
+      case ir::Opcode::Xor:
+        out = a ^ b;
+        return true;
+      case ir::Opcode::Shl:
+        out = a << (b & 63);
+        return true;
+      case ir::Opcode::LShr:
+        out = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (b & 63));
+        return true;
+      case ir::Opcode::ICmpEq:
+        out = a == b;
+        return true;
+      case ir::Opcode::ICmpNe:
+        out = a != b;
+        return true;
+      case ir::Opcode::ICmpSlt:
+        out = a < b;
+        return true;
+      case ir::Opcode::ICmpSle:
+        out = a <= b;
+        return true;
+      case ir::Opcode::ICmpSgt:
+        out = a > b;
+        return true;
+      case ir::Opcode::ICmpSge:
+        out = a >= b;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+bool
+ConstantFoldPass::run(ir::Module &module)
+{
+    bool changed = false;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (std::size_t i = 0; i < block->instructions().size();
+                 i++) {
+                ir::Instruction *inst = block->instructions()[i].get();
+                if (inst->numOperands() != 2)
+                    continue;
+                if (!inst->operand(0)->isConstant() ||
+                    !inst->operand(1)->isConstant()) {
+                    continue;
+                }
+                const auto *lhs =
+                    static_cast<ir::Constant *>(inst->operand(0));
+                const auto *rhs =
+                    static_cast<ir::Constant *>(inst->operand(1));
+                std::int64_t folded;
+                if (!foldInt(inst->op(), lhs->intValue(),
+                             rhs->intValue(), folded)) {
+                    continue;
+                }
+                ir::Constant *replacement =
+                    function->makeConstant(inst->type(), folded);
+                replaceAllUses(*function, inst, replacement);
+                changed = true;
+                // The folded instruction is now dead; DCE removes it.
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+RedundantLoadElimPass::run(ir::Module &module)
+{
+    removed = 0;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            std::map<const ir::Value *, ir::Instruction *> available;
+            for (std::size_t i = 0; i < block->instructions().size();
+                 i++) {
+                ir::Instruction *inst = block->instructions()[i].get();
+                switch (inst->op()) {
+                  case ir::Opcode::Load: {
+                    const ir::Value *ptr = inst->operand(0);
+                    auto it = available.find(ptr);
+                    if (it != available.end() &&
+                        it->second->type() == inst->type()) {
+                        replaceAllUses(*function, inst, it->second);
+                        block->removeAt(i);
+                        i--;
+                        removed++;
+                    } else {
+                        available[ptr] = inst;
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Store:
+                  case ir::Opcode::Call:
+                  case ir::Opcode::Guard:
+                  case ir::Opcode::ChunkAccess:
+                    // Conservative: any of these may change memory or
+                    // relocate objects.
+                    available.clear();
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+    return removed > 0;
+}
+
+bool
+DeadCodeElimPass::run(ir::Module &module)
+{
+    bool any = false;
+    for (const auto &function : module.allFunctions()) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            // One use-count sweep per round keeps the pass linear in
+            // the function size instead of quadratic.
+            std::map<const ir::Value *, std::size_t> uses;
+            for (const auto &block : function->basicBlocks()) {
+                for (const auto &inst : block->instructions()) {
+                    for (const ir::Value *operand : inst->operands())
+                        uses[operand]++;
+                    for (const auto &[incoming, pred] :
+                         inst->incoming()) {
+                        (void)pred;
+                        uses[incoming]++;
+                    }
+                }
+            }
+            for (const auto &block : function->basicBlocks()) {
+                for (std::size_t i = 0; i < block->instructions().size();
+                     i++) {
+                    ir::Instruction *inst =
+                        block->instructions()[i].get();
+                    if (!ir::isPure(inst->op()))
+                        continue;
+                    if (uses[inst] > 0)
+                        continue;
+                    // Removing this instruction may free its operands
+                    // for the next round.
+                    for (const ir::Value *operand : inst->operands())
+                        uses[operand]--;
+                    block->removeAt(i);
+                    i--;
+                    changed = true;
+                    any = true;
+                }
+            }
+        }
+    }
+    return any;
+}
+
+bool
+SimplifyCfgPass::run(ir::Module &module)
+{
+    bool changed = false;
+    for (const auto &function : module.allFunctions()) {
+        const Cfg cfg(*function);
+        // Collect unreachable blocks, then drop their instructions so
+        // they hold nothing but an unconditional self-loop terminator;
+        // removing whole blocks would invalidate iteration, and empty
+        // unreachable husks fail verification, so we excise them via
+        // the function's block list.
+        std::vector<const ir::BasicBlock *> dead;
+        for (const auto &block : function->basicBlocks()) {
+            if (!cfg.reachable(block.get()))
+                dead.push_back(block.get());
+        }
+        if (dead.empty())
+            continue;
+        // Clean phi references to dead predecessors.
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() != ir::Opcode::Phi)
+                    continue;
+                auto &incoming = inst->incoming();
+                for (std::size_t k = 0; k < incoming.size(); k++) {
+                    bool from_dead = false;
+                    for (const ir::BasicBlock *candidate : dead)
+                        from_dead |= (incoming[k].second == candidate);
+                    if (from_dead) {
+                        incoming.erase(
+                            incoming.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+                        k--;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed |= function->eraseBlocks(dead);
+    }
+    return changed;
+}
+
+void
+addO1Pipeline(PassManager &manager)
+{
+    manager.emplace<ConstantFoldPass>();
+    manager.emplace<RedundantLoadElimPass>();
+    manager.emplace<DeadCodeElimPass>();
+    manager.emplace<SimplifyCfgPass>();
+}
+
+} // namespace tfm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The "O1" clean-up pipeline the paper runs before the TrackFM passes
+ * (section 4.5, Fig. 17b): constant folding, redundant-load
+ * elimination, dead-code elimination, and CFG simplification. Fewer
+ * loads and stores in means fewer guards out.
+ */
+
+#ifndef TRACKFM_PASSES_O1_PASSES_HH
+#define TRACKFM_PASSES_O1_PASSES_HH
+
+#include "pass.hh"
+
+namespace tfm
+{
+
+/** Fold binary operations over constant operands. */
+class ConstantFoldPass : public Pass
+{
+  public:
+    std::string name() const override { return "constant-fold"; }
+    bool run(ir::Module &module) override;
+};
+
+/**
+ * Per-block redundant-load elimination: a load from the same pointer
+ * value with no intervening store or call reuses the earlier result.
+ */
+class RedundantLoadElimPass : public Pass
+{
+  public:
+    std::string name() const override { return "redundant-load-elim"; }
+    bool run(ir::Module &module) override;
+
+    std::uint64_t loadsRemoved() const { return removed; }
+
+  private:
+    std::uint64_t removed = 0;
+};
+
+/** Remove unused pure instructions (iterates to a fixpoint). */
+class DeadCodeElimPass : public Pass
+{
+  public:
+    std::string name() const override { return "dce"; }
+    bool run(ir::Module &module) override;
+};
+
+/** Remove blocks unreachable from the entry. */
+class SimplifyCfgPass : public Pass
+{
+  public:
+    std::string name() const override { return "simplify-cfg"; }
+    bool run(ir::Module &module) override;
+};
+
+/** Add the whole O1 pipeline to a manager. */
+void addO1Pipeline(PassManager &manager);
+
+} // namespace tfm
+
+#endif // TRACKFM_PASSES_O1_PASSES_HH

@@ -1,0 +1,56 @@
+#include "pass.hh"
+
+#include "ir/verifier.hh"
+
+namespace tfm
+{
+
+PipelineReport
+PassManager::run(ir::Module &module) const
+{
+    PipelineReport report;
+    report.instructionsBefore = module.instructionCount();
+    for (const auto &pass : passes) {
+        PipelineReport::Entry entry;
+        entry.pass = pass->name();
+        entry.changed = pass->run(module);
+        entry.instructionsAfter = module.instructionCount();
+        report.entries.push_back(entry);
+        const std::string error = ir::verifyModule(module);
+        if (!error.empty()) {
+            report.verifierError =
+                "after pass '" + pass->name() + "': " + error;
+            break;
+        }
+    }
+    report.instructionsAfter = module.instructionCount();
+    return report;
+}
+
+void
+replaceAllUses(ir::Function &function, ir::Value *from, ir::Value *to)
+{
+    for (const auto &block : function.basicBlocks()) {
+        for (const auto &inst : block->instructions())
+            inst->replaceUsesOf(from, to);
+    }
+}
+
+std::size_t
+countUses(const ir::Function &function, const ir::Value *value)
+{
+    std::size_t uses = 0;
+    for (const auto &block : function.basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            for (const ir::Value *operand : inst->operands())
+                uses += (operand == value);
+            for (const auto &[incoming, pred] : inst->incoming()) {
+                (void)pred;
+                uses += (incoming == value);
+            }
+        }
+    }
+    return uses;
+}
+
+} // namespace tfm

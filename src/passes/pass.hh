@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Pass interface and pass manager for the TrackFM compiler pipeline
+ * (Figure 2 of the paper).
+ */
+
+#ifndef TRACKFM_PASSES_PASS_HH
+#define TRACKFM_PASSES_PASS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tfm
+{
+
+/** A module transformation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual std::string name() const = 0;
+    /** @return true when the module was modified. */
+    virtual bool run(ir::Module &module) = 0;
+};
+
+/** Outcome of one pipeline execution. */
+struct PipelineReport
+{
+    struct Entry
+    {
+        std::string pass;
+        bool changed = false;
+        std::size_t instructionsAfter = 0;
+    };
+    std::vector<Entry> entries;
+    std::size_t instructionsBefore = 0;
+    std::size_t instructionsAfter = 0;
+    /// Non-empty when post-pass verification failed.
+    std::string verifierError;
+
+    bool ok() const { return verifierError.empty(); }
+};
+
+/** Runs passes in order, verifying the module after each. */
+class PassManager
+{
+  public:
+    void
+    add(std::unique_ptr<Pass> pass)
+    {
+        passes.push_back(std::move(pass));
+    }
+
+    template <typename PassType, typename... Args>
+    void
+    emplace(Args &&...args)
+    {
+        passes.push_back(
+            std::make_unique<PassType>(std::forward<Args>(args)...));
+    }
+
+    PipelineReport run(ir::Module &module) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes;
+};
+
+/** Replace every use of @p from with @p to across a function. */
+void replaceAllUses(ir::Function &function, ir::Value *from,
+                    ir::Value *to);
+
+/** Number of uses of @p value in @p function. */
+std::size_t countUses(const ir::Function &function,
+                      const ir::Value *value);
+
+} // namespace tfm
+
+#endif // TRACKFM_PASSES_PASS_HH

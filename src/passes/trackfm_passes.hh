@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The TrackFM pass pipeline (Figure 2): runtime initialization, libc
+ * transformation, pointer-guard analysis + transform, loop chunking
+ * with the section 3.4 cost model, and prefetch injection.
+ */
+
+#ifndef TRACKFM_PASSES_TRACKFM_PASSES_HH
+#define TRACKFM_PASSES_TRACKFM_PASSES_HH
+
+#include <cstdint>
+
+#include "pass.hh"
+#include "sim/cost_params.hh"
+#include "tfm/chunk_policy.hh"
+
+namespace tfm
+{
+
+/** Compile-time options shared by the TrackFM passes. */
+struct TrackFmPassOptions
+{
+    /// AIFM object size the compiled binary will run with.
+    std::uint32_t objectSizeBytes = 4096;
+    /// Loop-chunking decision policy.
+    ChunkPolicy chunkPolicy = ChunkPolicy::CostModel;
+    /// Inject compiler-directed prefetches alongside chunked loops.
+    bool injectPrefetch = true;
+    std::uint32_t prefetchDepth = 8;
+    /// Guard-cost constants for the cost model.
+    CostParams costs;
+};
+
+/** Insert a tfm_runtime_init call at the entry of @main. */
+class RuntimeInitPass : public Pass
+{
+  public:
+    std::string name() const override { return "runtime-init"; }
+    bool run(ir::Module &module) override;
+};
+
+/**
+ * Rewrite libc allocation calls (malloc/calloc/realloc/free) to the
+ * TrackFM-managed runtime calls returning tagged pointers.
+ */
+class LibcTransformPass : public Pass
+{
+  public:
+    std::string name() const override { return "libc-transform"; }
+    bool run(ir::Module &module) override;
+};
+
+/**
+ * Guard analysis + transform: mark heap/unknown loads and stores via
+ * the heap-provenance dataflow, then wrap each in a guard pseudo-
+ * instruction that the interpreter executes as Fig. 4's state machine.
+ */
+class GuardPass : public Pass
+{
+  public:
+    std::string name() const override { return "pointer-guards"; }
+    bool run(ir::Module &module) override;
+
+    /** Guards inserted by the last run (test observability). */
+    std::uint64_t guardsInserted() const { return inserted; }
+
+  private:
+    std::uint64_t inserted = 0;
+};
+
+/**
+ * Loop chunking analysis + transform (Fig. 5): for contiguous strided
+ * accesses driven by induction variables, replace the per-element
+ * guard with a chunk cursor when the cost model approves.
+ */
+class LoopChunkPass : public Pass
+{
+  public:
+    explicit LoopChunkPass(const TrackFmPassOptions &options)
+        : opts(options)
+    {}
+
+    std::string name() const override { return "loop-chunking"; }
+    bool run(ir::Module &module) override;
+
+    std::uint64_t loopsChunked() const { return chunked; }
+    std::uint64_t candidatesSeen() const { return candidates; }
+
+  private:
+    TrackFmPassOptions opts;
+    std::uint64_t chunked = 0;
+    std::uint64_t candidates = 0;
+};
+
+/**
+ * Prefetch injection: for every chunk.begin, issue a compiler-directed
+ * prefetch of the upcoming objects in the preheader.
+ */
+class PrefetchInjectionPass : public Pass
+{
+  public:
+    explicit PrefetchInjectionPass(const TrackFmPassOptions &options)
+        : opts(options)
+    {}
+
+    std::string name() const override { return "prefetch-injection"; }
+    bool run(ir::Module &module) override;
+
+  private:
+    TrackFmPassOptions opts;
+};
+
+/** Build the full Figure 2 pipeline. */
+void addTrackFmPipeline(PassManager &manager,
+                        const TrackFmPassOptions &options);
+
+/**
+ * Estimated lowered x86 instruction count for a module (section 4.6's
+ * code-size metric): every guard expands to its Fig. 4b sequence.
+ */
+std::uint64_t estimateLoweredInstructions(const ir::Module &module);
+
+} // namespace tfm
+
+#endif // TRACKFM_PASSES_TRACKFM_PASSES_HH

@@ -1,0 +1,64 @@
+#include "remote_node.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+void
+RemoteNode::checkRange(std::uint64_t offset, std::size_t len) const
+{
+    TFM_ASSERT(offset + len <= store.size(),
+               "remote access out of backing-store range");
+}
+
+void
+RemoteNode::fetch(NetworkModel &net, std::uint64_t offset, std::byte *dst,
+                  std::size_t len)
+{
+    checkRange(offset, len);
+    net.fetchSync(len);
+    std::memcpy(dst, store.data() + offset, len);
+    _stats.fetchRequests++;
+}
+
+std::uint64_t
+RemoteNode::fetchAsync(NetworkModel &net, std::uint64_t offset,
+                       std::byte *dst, std::size_t len)
+{
+    checkRange(offset, len);
+    const std::uint64_t arrival = net.fetchAsync(len);
+    std::memcpy(dst, store.data() + offset, len);
+    _stats.fetchRequests++;
+    return arrival;
+}
+
+void
+RemoteNode::writeback(NetworkModel &net, std::uint64_t offset,
+                      const std::byte *src, std::size_t len)
+{
+    checkRange(offset, len);
+    net.writebackAsync(len);
+    std::memcpy(store.data() + offset, src, len);
+    _stats.writebackRequests++;
+}
+
+void
+RemoteNode::rawWrite(std::uint64_t offset, const std::byte *src,
+                     std::size_t len)
+{
+    checkRange(offset, len);
+    std::memcpy(store.data() + offset, src, len);
+}
+
+void
+RemoteNode::rawRead(std::uint64_t offset, std::byte *dst,
+                    std::size_t len) const
+{
+    checkRange(offset, len);
+    std::memcpy(dst, store.data() + offset, len);
+}
+
+} // namespace tfm

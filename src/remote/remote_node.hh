@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The remote memory node: a byte-addressed backing store for the far
+ * heap, reached only through the NetworkModel.
+ *
+ * In the paper this is a second CloudLab server running the AIFM remote
+ * agent (or, for Fastswap, a remote swap target). Here it is an
+ * in-process store; the separation is enforced by charging every access
+ * through the network and by keeping request counters, so code paths are
+ * identical to the two-machine setup up to the transport.
+ */
+
+#ifndef TRACKFM_REMOTE_REMOTE_NODE_HH
+#define TRACKFM_REMOTE_REMOTE_NODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/network_model.hh"
+
+namespace tfm
+{
+
+/** Request counters on the remote side. */
+struct RemoteStats
+{
+    std::uint64_t fetchRequests = 0;
+    std::uint64_t writebackRequests = 0;
+};
+
+/**
+ * Flat backing store for the far heap.
+ *
+ * Addresses are offsets in [0, capacity). Reads (fetch) copy from the
+ * store into a local frame; writes (writeback) copy a local frame into
+ * the store. Network accounting is the caller's job via the helpers that
+ * take the NetworkModel, keeping the store itself transport-agnostic.
+ */
+class RemoteNode
+{
+  public:
+    explicit RemoteNode(std::uint64_t capacityBytes)
+        : store(capacityBytes, std::byte{0})
+    {}
+
+    std::uint64_t capacity() const { return store.size(); }
+
+    /**
+     * Synchronously fetch @p len bytes at @p offset into @p dst, paying
+     * the full network round trip.
+     */
+    void fetch(NetworkModel &net, std::uint64_t offset, std::byte *dst,
+               std::size_t len);
+
+    /**
+     * Asynchronously fetch (prefetch). Data is copied immediately (the
+     * store is in-process) but the returned arrival cycle tells the
+     * runtime when the object may be marked present.
+     *
+     * @return absolute cycle of arrival.
+     */
+    std::uint64_t fetchAsync(NetworkModel &net, std::uint64_t offset,
+                             std::byte *dst, std::size_t len);
+
+    /** Write @p len bytes at @p offset from @p src (evacuation). */
+    void writeback(NetworkModel &net, std::uint64_t offset,
+                   const std::byte *src, std::size_t len);
+
+    /**
+     * Populate the store directly, bypassing the network. Used only for
+     * workload initialization, which the paper's figures exclude from
+     * their measurement windows.
+     */
+    void rawWrite(std::uint64_t offset, const std::byte *src,
+                  std::size_t len);
+
+    /** Direct read for verification in tests (no accounting). */
+    void rawRead(std::uint64_t offset, std::byte *dst, std::size_t len) const;
+
+    const RemoteStats &stats() const { return _stats; }
+
+  private:
+    void checkRange(std::uint64_t offset, std::size_t len) const;
+
+    std::vector<std::byte> store;
+    RemoteStats _stats;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_REMOTE_REMOTE_NODE_HH

@@ -1,0 +1,297 @@
+#include "far_mem_runtime.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+FarMemRuntime::FarMemRuntime(const RuntimeConfig &config,
+                             const CostParams &cost_params)
+    : cfg(config),
+      _costs(cost_params),
+      _net(_clock, _costs),
+      _remote(config.farHeapBytes),
+      ost(config.farHeapBytes, config.objectSizeBytes),
+      cache(config.localMemBytes, config.objectSizeBytes),
+      alloc_(config.farHeapBytes, config.objectSizeBytes),
+      prefetcher(config.prefetchDepth)
+{}
+
+std::uint64_t
+FarMemRuntime::allocate(std::uint64_t bytes)
+{
+    _clock.advance(_costs.allocCycles);
+    const std::uint64_t offset = alloc_.allocate(bytes);
+    TFM_ASSERT(offset != RegionAllocator::badOffset, "far heap exhausted");
+    return offset;
+}
+
+void
+FarMemRuntime::deallocate(std::uint64_t offset)
+{
+    _clock.advance(_costs.allocCycles);
+    alloc_.deallocate(offset);
+}
+
+std::uint64_t
+FarMemRuntime::sizeOf(std::uint64_t offset) const
+{
+    return alloc_.sizeOf(offset);
+}
+
+std::byte *
+FarMemRuntime::tryFast(std::uint64_t offset, bool for_write)
+{
+    const std::uint64_t obj_id = ost.objectOf(offset);
+    ObjectMeta &meta = ost[obj_id];
+    if (!meta.safeForFastPath())
+        return nullptr;
+    Frame &f = cache.frame(meta.frame());
+    f.refbit = true;
+    meta.setHot();
+    if (for_write)
+        meta.setDirty();
+    return cache.frameData(meta.frame()) + ost.offsetInObject(offset);
+}
+
+std::byte *
+FarMemRuntime::localize(std::uint64_t offset, bool for_write,
+                        Localized *outcome)
+{
+    _stats.localizeCalls++;
+    const std::uint64_t obj_id = ost.objectOf(offset);
+    ObjectMeta &meta = ost[obj_id];
+
+    if (meta.present()) {
+        Frame &f = cache.frame(meta.frame());
+        f.refbit = true;
+        meta.setHot();
+        Localized result = Localized::AlreadyLocal;
+        if (meta.inflight()) {
+            // A prefetch got here first; wait out the residual latency.
+            const bool late = f.arrivalCycle > _clock.now();
+            _net.waitUntil(f.arrivalCycle);
+            meta.clearInflight();
+            _stats.prefetchHits++;
+            if (late)
+                _stats.prefetchLateHits++;
+            result = Localized::PrefetchWait;
+        }
+        if (for_write)
+            meta.setDirty();
+        if (outcome)
+            *outcome = result;
+        return cache.frameData(meta.frame()) + ost.offsetInObject(offset);
+    }
+
+    // Demand miss: blocking fetch from the remote node.
+    const std::uint64_t frame_idx = takeFrame();
+    std::byte *data = cache.frameData(frame_idx);
+    _remote.fetch(_net, obj_id << ost.objectShift(), data,
+                  ost.objectSize());
+    _clock.advance(_costs.remoteFetchSwCycles);
+    meta.makeLocal(frame_idx);
+    if (for_write)
+        meta.setDirty();
+    Frame &f = cache.frame(frame_idx);
+    f.objId = obj_id;
+    f.arrivalCycle = 0;
+    _stats.demandFetches++;
+    onDemandMiss(obj_id);
+    if (outcome)
+        *outcome = Localized::RemoteFetch;
+    return data + ost.offsetInObject(offset);
+}
+
+std::uint64_t
+FarMemRuntime::takeFrame()
+{
+    std::uint64_t frame_idx = cache.allocFrame();
+    if (frame_idx != FrameCache::noFrame)
+        return frame_idx;
+    const std::uint64_t victim = cache.pickVictim();
+    TFM_ASSERT(victim != FrameCache::noFrame,
+               "local memory exhausted: every frame is pinned");
+    evictFrame(victim);
+    frame_idx = cache.allocFrame();
+    TFM_ASSERT(frame_idx != FrameCache::noFrame, "eviction freed no frame");
+    return frame_idx;
+}
+
+void
+FarMemRuntime::evictFrame(std::uint64_t frame_idx)
+{
+    Frame &f = cache.frame(frame_idx);
+    ObjectMeta &meta = ost[f.objId];
+    TFM_ASSERT(meta.present() && meta.frame() == frame_idx,
+               "state table / frame cache mismatch on eviction");
+    _clock.advance(_costs.evacuateObjectCycles);
+    if (meta.dirty()) {
+        _remote.writeback(_net, f.objId << ost.objectShift(),
+                          cache.frameData(frame_idx), ost.objectSize());
+        _stats.dirtyWritebacks++;
+    }
+    meta.makeRemote();
+    cache.releaseFrame(frame_idx);
+    _stats.evictions++;
+}
+
+void
+FarMemRuntime::onDemandMiss(std::uint64_t obj_id)
+{
+    if (!cfg.prefetchEnabled)
+        return;
+    const std::int64_t stride = prefetcher.onDemandMiss(obj_id);
+    if (stride != 0)
+        prefetchObjects(obj_id, stride, prefetcher.depth());
+}
+
+void
+FarMemRuntime::prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
+                               std::uint32_t count)
+{
+    // Never speculate past the allocated region: fetching unallocated
+    // objects only pollutes the local tier.
+    const std::uint64_t frontier_obj =
+        (alloc_.frontier() + ost.objectSize() - 1) >> ost.objectShift();
+    for (std::uint32_t k = 1; k <= count; k++) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(obj_id) + stride * k;
+        if (target < 0 ||
+            static_cast<std::uint64_t>(target) >= ost.numObjects() ||
+            static_cast<std::uint64_t>(target) >= frontier_obj) {
+            break;
+        }
+        const std::uint64_t tid = static_cast<std::uint64_t>(target);
+        ObjectMeta &meta = ost[tid];
+        if (meta.present())
+            continue;
+        std::uint64_t frame_idx = cache.allocFrame();
+        if (frame_idx == FrameCache::noFrame) {
+            const std::uint64_t victim = cache.pickVictim();
+            if (victim == FrameCache::noFrame)
+                return; // everything pinned; skip prefetching
+            evictFrame(victim);
+            frame_idx = cache.allocFrame();
+            if (frame_idx == FrameCache::noFrame)
+                return;
+        }
+        std::byte *data = cache.frameData(frame_idx);
+        const std::uint64_t arrival = _remote.fetchAsync(
+            _net, tid << ost.objectShift(), data, ost.objectSize());
+        meta.makeLocal(frame_idx);
+        meta.setInflight();
+        Frame &f = cache.frame(frame_idx);
+        f.objId = tid;
+        f.arrivalCycle = arrival;
+        _stats.prefetchIssued++;
+    }
+}
+
+void
+FarMemRuntime::pinObject(std::uint64_t obj_id)
+{
+    ObjectMeta &meta = ost[obj_id];
+    TFM_ASSERT(meta.present(), "pinning a remote object");
+    Frame &f = cache.frame(meta.frame());
+    f.pins++;
+    meta.setPinned();
+}
+
+void
+FarMemRuntime::unpinObject(std::uint64_t obj_id)
+{
+    ObjectMeta &meta = ost[obj_id];
+    TFM_ASSERT(meta.present() && meta.pinned(), "unpinning an unpinned object");
+    Frame &f = cache.frame(meta.frame());
+    TFM_ASSERT(f.pins > 0, "pin count underflow");
+    if (--f.pins == 0)
+        meta.clearPinned();
+}
+
+void
+FarMemRuntime::rawWrite(std::uint64_t offset, const void *src,
+                        std::size_t len)
+{
+    const auto *bytes = static_cast<const std::byte *>(src);
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = offset + done;
+        const std::uint64_t obj_id = ost.objectOf(at);
+        const std::uint64_t in_obj = ost.offsetInObject(at);
+        const std::size_t chunk = std::min<std::size_t>(
+            len - done, ost.objectSize() - in_obj);
+        _remote.rawWrite(at, bytes + done, chunk);
+        const ObjectMeta &meta = ost[obj_id];
+        if (meta.present()) {
+            std::memcpy(cache.frameData(meta.frame()) + in_obj,
+                        bytes + done, chunk);
+        }
+        done += chunk;
+    }
+}
+
+void
+FarMemRuntime::rawRead(std::uint64_t offset, void *dst, std::size_t len)
+{
+    auto *bytes = static_cast<std::byte *>(dst);
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = offset + done;
+        const std::uint64_t obj_id = ost.objectOf(at);
+        const std::uint64_t in_obj = ost.offsetInObject(at);
+        const std::size_t chunk = std::min<std::size_t>(
+            len - done, ost.objectSize() - in_obj);
+        const ObjectMeta &meta = ost[obj_id];
+        if (meta.present()) {
+            std::memcpy(bytes + done,
+                        cache.frameData(meta.frame()) + in_obj, chunk);
+        } else {
+            _remote.rawRead(at, bytes + done, chunk);
+        }
+        done += chunk;
+    }
+}
+
+void
+FarMemRuntime::evacuateAll()
+{
+    for (std::uint64_t i = 0; i < cache.numFrames(); i++) {
+        Frame &f = cache.frame(i);
+        if (!f.used)
+            continue;
+        TFM_ASSERT(f.pins == 0, "evacuateAll with pinned frames");
+        // Flush payload without charging measurement-window costs.
+        ObjectMeta &meta = ost[f.objId];
+        if (meta.dirty()) {
+            _remote.rawWrite(f.objId << ost.objectShift(),
+                             cache.frameData(i), ost.objectSize());
+        }
+        meta.makeRemote();
+        cache.releaseFrame(i);
+    }
+    prefetcher.reset();
+}
+
+void
+FarMemRuntime::exportStats(StatSet &set) const
+{
+    set.add("runtime.demand_fetches", _stats.demandFetches);
+    set.add("runtime.prefetch_issued", _stats.prefetchIssued);
+    set.add("runtime.prefetch_hits", _stats.prefetchHits);
+    set.add("runtime.prefetch_late_hits", _stats.prefetchLateHits);
+    set.add("runtime.evictions", _stats.evictions);
+    set.add("runtime.dirty_writebacks", _stats.dirtyWritebacks);
+    set.add("runtime.localize_calls", _stats.localizeCalls);
+    set.add("net.bytes_fetched", _net.stats().bytesFetched);
+    set.add("net.bytes_written_back", _net.stats().bytesWrittenBack);
+    set.add("net.fetch_messages", _net.stats().fetchMessages);
+    set.add("alloc.allocations", alloc_.stats().allocations);
+    set.add("alloc.frees", alloc_.stats().frees);
+    set.add("clock.cycles", _clock.now());
+}
+
+} // namespace tfm

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * FarMemRuntime: the AIFM-equivalent far-memory object runtime.
+ *
+ * Owns the simulated clock, the network link, the remote node, the
+ * object state table, the local frame cache, the region allocator
+ * (unified ADS object pool), and the stride prefetcher. Both the TrackFM
+ * guard layer (src/tfm) and the library-based baseline (src/aifmlib)
+ * are built on this runtime, exactly as TrackFM reuses AIFM in the
+ * paper.
+ */
+
+#ifndef TRACKFM_RUNTIME_FAR_MEM_RUNTIME_HH
+#define TRACKFM_RUNTIME_FAR_MEM_RUNTIME_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "frame_cache.hh"
+#include "net/network_model.hh"
+#include "object_state_table.hh"
+#include "prefetcher.hh"
+#include "region_allocator.hh"
+#include "remote/remote_node.hh"
+#include "sim/cost_params.hh"
+#include "sim/cycle_clock.hh"
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+/** Configuration for one far-memory runtime instance. */
+struct RuntimeConfig
+{
+    /// Total far heap (the remote node is sized to hold all of it).
+    std::uint64_t farHeapBytes = 64ull << 20;
+    /// Local memory available for localized objects.
+    std::uint64_t localMemBytes = 16ull << 20;
+    /// AIFM object (chunk) size; powers of two, 64 B .. 4 KB typical.
+    std::uint32_t objectSizeBytes = 4096;
+    /// Enable the stride prefetcher.
+    bool prefetchEnabled = true;
+    /// Prefetch look-ahead depth in objects.
+    std::uint32_t prefetchDepth = 8;
+};
+
+/** Hot-path runtime event counters. */
+struct RuntimeStats
+{
+    std::uint64_t demandFetches = 0;   ///< blocking remote object fetches
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchHits = 0;    ///< access found a prefetched object
+    std::uint64_t prefetchLateHits = 0;///< ... but had to wait for arrival
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyWritebacks = 0;
+    std::uint64_t localizeCalls = 0;
+};
+
+/**
+ * The far-memory object runtime facade.
+ *
+ * All methods charge simulated cycles for the runtime work they model
+ * (fetches, evictions, allocation); guard costs are charged by the layer
+ * above (tfm/ or aifmlib/), mirroring the paper's split between
+ * compiler-injected code and the AIFM runtime.
+ */
+class FarMemRuntime
+{
+  public:
+    /** What localize() had to do to make the object local. */
+    enum class Localized
+    {
+        AlreadyLocal,  ///< object was present and safe
+        PrefetchWait,  ///< present but in flight; waited for arrival
+        RemoteFetch    ///< blocking demand fetch from the remote node
+    };
+
+    FarMemRuntime(const RuntimeConfig &config, const CostParams &cost_params);
+
+    /** @name Simulation plumbing
+     * @{ */
+    CycleClock &clock() { return _clock; }
+    const CycleClock &clock() const { return _clock; }
+    NetworkModel &net() { return _net; }
+    RemoteNode &remote() { return _remote; }
+    const CostParams &costs() const { return _costs; }
+    const RuntimeConfig &config() const { return cfg; }
+    ObjectStateTable &stateTable() { return ost; }
+    FrameCache &frameCache() { return cache; }
+    /** @} */
+
+    /** @name Allocation (the unified ADS object pool)
+     * @{ */
+    /** Allocate @p bytes of far memory; returns the far-heap offset. */
+    std::uint64_t allocate(std::uint64_t bytes);
+    /** Free a prior allocation. */
+    void deallocate(std::uint64_t offset);
+    /** Rounded size of a live allocation. */
+    std::uint64_t sizeOf(std::uint64_t offset) const;
+    const RegionAllocator &allocator() const { return alloc_; }
+    /** @} */
+
+    /** @name Object access
+     * @{ */
+    /**
+     * Ensure the object containing @p offset is local and return a host
+     * pointer to the byte at @p offset. Charges fetch/wait costs but not
+     * guard costs.
+     */
+    std::byte *localize(std::uint64_t offset, bool for_write,
+                        Localized *outcome = nullptr);
+
+    /**
+     * The fast-path check: if the object is present and safe, mark usage
+     * and return the host pointer; otherwise return nullptr with no side
+     * effects. Charges nothing (the guard charges its own cycles).
+     */
+    std::byte *tryFast(std::uint64_t offset, bool for_write);
+
+    /** Is the object containing @p offset currently localized? */
+    bool
+    isLocal(std::uint64_t offset) const
+    {
+        return ost[ost.objectOf(offset)].present();
+    }
+
+    /** Pin the object containing @p offset (loop-chunk locality guard). */
+    void pinObject(std::uint64_t obj_id);
+    /** Undo pinObject(). */
+    void unpinObject(std::uint64_t obj_id);
+    /** @} */
+
+    /** @name Prefetch
+     * @{ */
+    /**
+     * Issue asynchronous fetches for up to @p count objects starting at
+     * @p obj_id + @p stride (compiler-directed prefetch, section 4.3).
+     */
+    void prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
+                         std::uint32_t count);
+    /** @} */
+
+    /** @name Initialization / verification (no cycle accounting)
+     * @{ */
+    /** Write through to both the local copy (if any) and the remote. */
+    void rawWrite(std::uint64_t offset, const void *src, std::size_t len);
+    /** Read the current value wherever it lives. */
+    void rawRead(std::uint64_t offset, void *dst, std::size_t len);
+    /** @} */
+
+    /**
+     * Drop every localized object (writing back dirty ones) so a
+     * measurement can start from a fully remote heap.
+     */
+    void evacuateAll();
+
+    const RuntimeStats &stats() const { return _stats; }
+    void exportStats(StatSet &set) const;
+
+  private:
+    /** Find a frame for a new object, evicting a victim if needed. */
+    std::uint64_t takeFrame();
+    /** Evict the object in @p frame_idx (writeback when dirty). */
+    void evictFrame(std::uint64_t frame_idx);
+    /** Demand-miss hook: train the prefetcher and issue lookahead. */
+    void onDemandMiss(std::uint64_t obj_id);
+
+    RuntimeConfig cfg;
+    CostParams _costs;
+    CycleClock _clock;
+    NetworkModel _net;
+    RemoteNode _remote;
+    ObjectStateTable ost;
+    FrameCache cache;
+    RegionAllocator alloc_;
+    StridePrefetcher prefetcher;
+    RuntimeStats _stats;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_RUNTIME_FAR_MEM_RUNTIME_HH

@@ -1,0 +1,69 @@
+#include "frame_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+FrameCache::FrameCache(std::uint64_t local_bytes, std::uint32_t frame_size)
+    : _frameSize(frame_size)
+{
+    const std::uint64_t count = local_bytes / frame_size;
+    TFM_ASSERT(count >= 2, "local memory must hold at least two objects");
+    arena = std::make_unique<std::byte[]>(
+        static_cast<std::size_t>(count) * frame_size);
+    frames.resize(count);
+    freeList.reserve(count);
+    // Hand out low frame indices first for reproducibility.
+    for (std::uint64_t i = count; i-- > 0;)
+        freeList.push_back(i);
+}
+
+std::uint64_t
+FrameCache::allocFrame()
+{
+    if (freeList.empty())
+        return noFrame;
+    const std::uint64_t idx = freeList.back();
+    freeList.pop_back();
+    Frame &f = frames[idx];
+    f.used = true;
+    f.refbit = true;
+    f.pins = 0;
+    f.arrivalCycle = 0;
+    return idx;
+}
+
+std::uint64_t
+FrameCache::pickVictim()
+{
+    // Two full sweeps: the first clears reference bits, so the second is
+    // guaranteed to find an unpinned frame if one exists.
+    const std::uint64_t limit = frames.size() * 2;
+    for (std::uint64_t step = 0; step < limit; step++) {
+        Frame &f = frames[clockHand];
+        const std::uint64_t idx = clockHand;
+        clockHand = (clockHand + 1) % frames.size();
+        if (!f.used || f.pins > 0)
+            continue;
+        if (f.refbit) {
+            f.refbit = false;
+            continue;
+        }
+        return idx;
+    }
+    return noFrame;
+}
+
+void
+FrameCache::releaseFrame(std::uint64_t frame_idx)
+{
+    Frame &f = frames[frame_idx];
+    TFM_ASSERT(f.used, "releasing a free frame");
+    TFM_ASSERT(f.pins == 0, "releasing a pinned frame");
+    f.used = false;
+    f.refbit = false;
+    freeList.push_back(frame_idx);
+}
+
+} // namespace tfm

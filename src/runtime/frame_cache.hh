@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Local-memory frame cache: the "hot" tier that holds localized objects.
+ *
+ * Local memory is divided into object-size frames backed by one arena
+ * allocation. Victim selection uses the CLOCK approximation of LRU with
+ * pin counts, matching AIFM's hotness-driven evacuation at the fidelity
+ * the figures need (hot objects stay, cold objects leave).
+ */
+
+#ifndef TRACKFM_RUNTIME_FRAME_CACHE_HH
+#define TRACKFM_RUNTIME_FRAME_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tfm
+{
+
+/** Book-keeping for one local frame. */
+struct Frame
+{
+    std::uint64_t objId = 0;       ///< object currently resident
+    std::uint64_t arrivalCycle = 0; ///< when an async fetch completes
+    std::uint32_t pins = 0;        ///< loop-chunk pin count
+    bool used = false;             ///< frame holds a live object
+    bool refbit = false;           ///< CLOCK reference bit
+};
+
+/**
+ * Fixed-capacity frame pool with CLOCK victim selection.
+ *
+ * The cache itself never talks to the network; the runtime asks for a
+ * victim, performs the writeback, and then reassigns the frame.
+ */
+class FrameCache
+{
+  public:
+    FrameCache(std::uint64_t local_bytes, std::uint32_t frame_size);
+
+    std::uint64_t numFrames() const { return frames.size(); }
+    std::uint32_t frameSize() const { return _frameSize; }
+    std::uint64_t freeFrames() const { return freeList.size(); }
+    std::uint64_t usedFrames() const { return frames.size() - freeList.size(); }
+
+    /** Host pointer to the frame's payload. */
+    std::byte *
+    frameData(std::uint64_t frame_idx)
+    {
+        return arena.get() +
+               static_cast<std::size_t>(frame_idx) * _frameSize;
+    }
+
+    Frame &frame(std::uint64_t frame_idx) { return frames[frame_idx]; }
+
+    /**
+     * Take a free frame if one exists.
+     * @return frame index, or noFrame when the cache is full.
+     */
+    std::uint64_t allocFrame();
+
+    /**
+     * Pick an eviction victim with the CLOCK sweep, skipping pinned
+     * frames and clearing reference bits on the way.
+     *
+     * @return victim frame index, or noFrame when every frame is pinned.
+     */
+    std::uint64_t pickVictim();
+
+    /** Return a frame to the free list. */
+    void releaseFrame(std::uint64_t frame_idx);
+
+    static constexpr std::uint64_t noFrame = ~0ull;
+
+  private:
+    std::uint32_t _frameSize;
+    std::unique_ptr<std::byte[]> arena;
+    std::vector<Frame> frames;
+    std::vector<std::uint64_t> freeList;
+    std::uint64_t clockHand = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_RUNTIME_FRAME_CACHE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-object metadata entry, mirroring the AIFM local/remote formats the
+ * paper reproduces in Figure 3.
+ *
+ * Each entry is 8 bytes. TrackFM's object state table (section 3.2) is a
+ * flat array of these entries indexed by object ID, which lets the
+ * compiler-injected guard derive object state with a single indexed load
+ * instead of AIFM's two dependent references.
+ *
+ * Local format (present=1):  flags | frame index of the localized copy.
+ * Remote format (present=0): flags only; the payload lives at
+ *                            objId * objectSize in the remote node.
+ */
+
+#ifndef TRACKFM_RUNTIME_OBJECT_META_HH
+#define TRACKFM_RUNTIME_OBJECT_META_HH
+
+#include <cstdint>
+
+namespace tfm
+{
+
+/**
+ * One 8-byte object state entry.
+ *
+ * Bit layout (from the top):
+ *   63  present      object has a localized copy in the frame cache
+ *   62  dirty        localized copy differs from the remote copy
+ *   61  inflight     an asynchronous prefetch has been issued but the
+ *                    payload may not have arrived yet
+ *   60  pinned       a loop-chunk locality guard pinned the object
+ *   59  hot          accessed since the evacuator last scanned it
+ *   39..0            frame index (valid only when present)
+ *
+ * The fast-path guard's safety test is a single mask: the object is safe
+ * for direct access iff present is set and inflight is clear — the same
+ * "certain bits cleared" test the paper lowers to one x86 test
+ * instruction (Fig. 4b line 6).
+ */
+class ObjectMeta
+{
+  public:
+    static constexpr std::uint64_t presentBit = 1ull << 63;
+    static constexpr std::uint64_t dirtyBit = 1ull << 62;
+    static constexpr std::uint64_t inflightBit = 1ull << 61;
+    static constexpr std::uint64_t pinnedBit = 1ull << 60;
+    static constexpr std::uint64_t hotBit = 1ull << 59;
+    static constexpr std::uint64_t frameMask = (1ull << 40) - 1;
+
+    ObjectMeta() : bits(0) {}
+
+    bool present() const { return bits & presentBit; }
+    bool dirty() const { return bits & dirtyBit; }
+    bool inflight() const { return bits & inflightBit; }
+    bool pinned() const { return bits & pinnedBit; }
+    bool hot() const { return bits & hotBit; }
+
+    /**
+     * The guard fast path's safety predicate: localized and not mid-
+     * prefetch. Exactly one branch in the generated guard.
+     */
+    bool safeForFastPath() const
+    {
+        return (bits & (presentBit | inflightBit)) == presentBit;
+    }
+
+    std::uint64_t frame() const { return bits & frameMask; }
+
+    void
+    makeLocal(std::uint64_t frame_idx)
+    {
+        bits = presentBit | (frame_idx & frameMask);
+    }
+
+    void makeRemote() { bits = 0; }
+
+    void setDirty() { bits |= dirtyBit; }
+    void clearDirty() { bits &= ~dirtyBit; }
+    void setInflight() { bits |= inflightBit; }
+    void clearInflight() { bits &= ~inflightBit; }
+    void setPinned() { bits |= pinnedBit; }
+    void clearPinned() { bits &= ~pinnedBit; }
+    void setHot() { bits |= hotBit; }
+    void clearHot() { bits &= ~hotBit; }
+
+    std::uint64_t raw() const { return bits; }
+
+  private:
+    std::uint64_t bits;
+};
+
+static_assert(sizeof(ObjectMeta) == 8, "state table entries must be 8 bytes");
+
+} // namespace tfm
+
+#endif // TRACKFM_RUNTIME_OBJECT_META_HH

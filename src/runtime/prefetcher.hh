@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-stream stride prefetcher over object IDs.
+ *
+ * Reproduces AIFM's stride prefetcher as used by TrackFM (section 4.3):
+ * when consecutive demand fetches show a stable object-ID stride, the
+ * runtime issues asynchronous fetches for the next `depth` objects so
+ * later guards find them already local (or nearly arrived).
+ *
+ * Multiple concurrent streams (e.g. STREAM copy's source and destination
+ * arrays) are tracked independently: a miss is matched to the nearest
+ * tracker within a window of object IDs, so interleaved sweeps do not
+ * destroy each other's stride history.
+ */
+
+#ifndef TRACKFM_RUNTIME_PREFETCHER_HH
+#define TRACKFM_RUNTIME_PREFETCHER_HH
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+
+namespace tfm
+{
+
+/**
+ * Detects stable strides in the demand-miss object-ID sequence.
+ *
+ * After `trainLength` consecutive same-stride misses within one tracked
+ * stream the prefetcher is "armed" for that stream and recommends
+ * issuing lookahead.
+ */
+class StridePrefetcher
+{
+  public:
+    StridePrefetcher(std::uint32_t depth = 8, std::uint32_t train_length = 2)
+        : _depth(depth), trainLength(train_length)
+    {}
+
+    std::uint32_t depth() const { return _depth; }
+
+    /**
+     * Record a demand miss on @p obj_id.
+     * @return the detected stride when a stream is armed, 0 otherwise.
+     */
+    std::int64_t
+    onDemandMiss(std::uint64_t obj_id)
+    {
+        Tracker *t = matchTracker(obj_id);
+        if (!t) {
+            t = victimTracker();
+            t->valid = true;
+            t->lastObj = obj_id;
+            t->lastStride = 0;
+            t->confidence = 0;
+            t->lastUse = ++useCounter;
+            return 0;
+        }
+        const std::int64_t stride =
+            static_cast<std::int64_t>(obj_id) -
+            static_cast<std::int64_t>(t->lastObj);
+        if (stride != 0 && stride == t->lastStride) {
+            if (t->confidence < trainLength)
+                t->confidence++;
+        } else {
+            t->confidence = stride != 0 ? 1 : t->confidence;
+        }
+        t->lastStride = stride;
+        t->lastObj = obj_id;
+        t->lastUse = ++useCounter;
+        return (t->confidence >= trainLength && stride != 0) ? stride : 0;
+    }
+
+    void
+    reset()
+    {
+        for (auto &t : trackers)
+            t = Tracker{};
+        useCounter = 0;
+    }
+
+  private:
+    struct Tracker
+    {
+        std::uint64_t lastObj = 0;
+        std::int64_t lastStride = 0;
+        std::uint32_t confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    /// Maximum object-ID distance for a miss to join a stream.
+    static constexpr std::int64_t matchWindow = 256;
+    static constexpr std::size_t numTrackers = 8;
+
+    Tracker *
+    matchTracker(std::uint64_t obj_id)
+    {
+        Tracker *best = nullptr;
+        std::int64_t best_dist = matchWindow + 1;
+        for (auto &t : trackers) {
+            if (!t.valid)
+                continue;
+            const std::int64_t dist = std::llabs(
+                static_cast<std::int64_t>(obj_id) -
+                static_cast<std::int64_t>(t.lastObj));
+            if (dist <= matchWindow && dist < best_dist) {
+                best = &t;
+                best_dist = dist;
+            }
+        }
+        return best;
+    }
+
+    Tracker *
+    victimTracker()
+    {
+        Tracker *victim = &trackers[0];
+        for (auto &t : trackers) {
+            if (!t.valid)
+                return &t;
+            if (t.lastUse < victim->lastUse)
+                victim = &t;
+        }
+        return victim;
+    }
+
+    std::uint32_t _depth;
+    std::uint32_t trainLength;
+    std::array<Tracker, numTrackers> trackers{};
+    std::uint64_t useCounter = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_RUNTIME_PREFETCHER_HH

@@ -1,0 +1,79 @@
+#include "region_allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+RegionAllocator::RegionAllocator(std::uint64_t heap_bytes,
+                                 std::uint32_t object_size)
+    : _heapBytes(heap_bytes), objSize(object_size)
+{
+    TFM_ASSERT((object_size & (object_size - 1)) == 0,
+               "object size must be a power of two");
+}
+
+std::uint64_t
+RegionAllocator::classify(std::uint64_t bytes)
+{
+    // Size classes are powers of two starting at 16 bytes.
+    std::uint64_t size = 16;
+    while (size < bytes)
+        size <<= 1;
+    return size;
+}
+
+std::uint64_t
+RegionAllocator::allocate(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    const std::uint64_t rounded = classify(bytes);
+
+    auto it = freeLists.find(rounded);
+    if (it != freeLists.end() && !it->second.empty()) {
+        const std::uint64_t offset = it->second.back();
+        it->second.pop_back();
+        liveSizes[offset] = rounded;
+        _stats.allocations++;
+        _stats.bytesAllocated += rounded;
+        return offset;
+    }
+
+    // Align every block to min(size class, object size). Large blocks
+    // start on an object boundary and span whole objects; small blocks
+    // are naturally aligned, which also guarantees they never straddle
+    // an object boundary.
+    const std::uint64_t align =
+        rounded < objSize ? rounded : static_cast<std::uint64_t>(objSize);
+    const std::uint64_t offset = (bump + align - 1) & ~(align - 1);
+    if (offset + rounded > _heapBytes)
+        return badOffset;
+
+    bump = offset + rounded;
+    liveSizes[offset] = rounded;
+    _stats.allocations++;
+    _stats.bytesAllocated += rounded;
+    return offset;
+}
+
+void
+RegionAllocator::deallocate(std::uint64_t offset)
+{
+    auto it = liveSizes.find(offset);
+    TFM_ASSERT(it != liveSizes.end(), "free of unknown far pointer");
+    const std::uint64_t rounded = it->second;
+    liveSizes.erase(it);
+    freeLists[rounded].push_back(offset);
+    _stats.frees++;
+    _stats.bytesFreed += rounded;
+}
+
+std::uint64_t
+RegionAllocator::sizeOf(std::uint64_t offset) const
+{
+    auto it = liveSizes.find(offset);
+    return it == liveSizes.end() ? 0 : it->second;
+}
+
+} // namespace tfm

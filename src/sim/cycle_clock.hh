@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated time source shared by one application thread and the devices
+ * (network, remote node) it interacts with.
+ */
+
+#ifndef TRACKFM_SIM_CYCLE_CLOCK_HH
+#define TRACKFM_SIM_CYCLE_CLOCK_HH
+
+#include <cstdint>
+
+namespace tfm
+{
+
+/**
+ * A monotonically advancing cycle counter.
+ *
+ * The application thread advances the clock as it executes (per-access
+ * base costs, guard costs, fault handling). Blocking operations such as
+ * a synchronous remote fetch advance the clock to the operation's
+ * completion time; asynchronous operations (prefetch, writeback) merely
+ * schedule completion times against the clock and consume link bandwidth
+ * in the NetworkModel.
+ */
+class CycleClock
+{
+  public:
+    /** Current simulated time in cycles. */
+    std::uint64_t now() const { return _now; }
+
+    /** Advance by a duration (normal forward execution). */
+    void advance(std::uint64_t cycles) { _now += cycles; }
+
+    /** Block until an absolute time; no-op if already past it. */
+    void
+    advanceTo(std::uint64_t when)
+    {
+        if (when > _now)
+            _now = when;
+    }
+
+    /** Reset to time zero (between bench configurations). */
+    void reset() { _now = 0; }
+
+    /** Convert a cycle count to seconds at the given core frequency. */
+    static double
+    toSeconds(std::uint64_t cycles, double ghz)
+    {
+        return static_cast<double>(cycles) / (ghz * 1e9);
+    }
+
+  private:
+    std::uint64_t _now = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_SIM_CYCLE_CLOCK_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting helpers.
+ *
+ * panic() is for internal invariant violations (bugs in this library);
+ * fatal() is for unrecoverable user/configuration errors; warn() and
+ * inform() print status without stopping the simulation.
+ */
+
+#ifndef TRACKFM_SIM_LOGGING_HH
+#define TRACKFM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfm
+{
+
+/** Print a formatted message with a severity prefix and abort. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/** Print a formatted message with a severity prefix and exit(1). */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace tfm
+
+#define TFM_PANIC(msg) ::tfm::panicImpl(__FILE__, __LINE__, (msg))
+#define TFM_FATAL(msg) ::tfm::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant; always on (simulation correctness). */
+#define TFM_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            TFM_PANIC(msg);                                                 \
+    } while (0)
+
+#endif // TRACKFM_SIM_LOGGING_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload generators.
+ *
+ * Uses splitmix64 for seeding and xoshiro256** for the stream; both are
+ * tiny, fast, and fully reproducible across platforms, which matters for
+ * regenerating the paper's figures deterministically.
+ */
+
+#ifndef TRACKFM_SIM_RNG_HH
+#define TRACKFM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace tfm
+{
+
+/** splitmix64 step; used to expand a single seed into xoshiro state. */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with a std::uniform_random_bit_generator-style
+ * interface so it can drive standard distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift rejection-free mapping; adequate for workloads.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_SIM_RNG_HH

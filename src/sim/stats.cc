@@ -1,0 +1,25 @@
+#include "stats.hh"
+
+#include <ostream>
+
+namespace tfm
+{
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    for (const auto &[key, value] : entries) {
+        if (key == name)
+            return value;
+    }
+    return 0;
+}
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[key, value] : entries)
+        os << prefix << key << " = " << value << "\n";
+}
+
+} // namespace tfm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lightweight named-counter registry for simulation statistics.
+ *
+ * Each runtime keeps a typed stats struct for hot-path counting; this
+ * registry exists for uniform reporting across systems in benches and
+ * EXPERIMENTS.md tables.
+ */
+
+#ifndef TRACKFM_SIM_STATS_HH
+#define TRACKFM_SIM_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tfm
+{
+
+/**
+ * An append-only list of (name, value) statistics.
+ *
+ * Runtimes implement an exportStats(StatSet&) hook; bench binaries merge
+ * and print the sets.
+ */
+class StatSet
+{
+  public:
+    void
+    add(std::string name, std::uint64_t value)
+    {
+        entries.emplace_back(std::move(name), value);
+    }
+
+    /** Look up a stat by exact name; returns 0 when absent. */
+    std::uint64_t get(const std::string &name) const;
+
+    const std::vector<std::pair<std::string, std::uint64_t>> &
+    all() const
+    {
+        return entries;
+    }
+
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::vector<std::pair<std::string, std::uint64_t>> entries;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_SIM_STATS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Key/value size distribution modeled on the USR pool from Atikoglu et
+ * al., "Workload Analysis of a Large-Scale Key-Value Store" (SIGMETRICS
+ * 2012), which the paper uses for the memcached experiment (Fig. 16).
+ *
+ * USR is dominated by very small items: keys of 16-21 bytes and values
+ * of 2 bytes, which makes it maximally sensitive to I/O amplification.
+ */
+
+#ifndef TRACKFM_SIM_USR_DIST_HH
+#define TRACKFM_SIM_USR_DIST_HH
+
+#include <cstdint>
+
+#include "rng.hh"
+
+namespace tfm
+{
+
+/** One sampled key/value pair size. */
+struct KvSize
+{
+    std::uint32_t keyBytes;
+    std::uint32_t valueBytes;
+};
+
+/**
+ * Sampler for USR-style key/value sizes.
+ *
+ * Keys are uniformly 16 or 21 bytes (the two sizes observed in USR);
+ * values are 2 bytes with high probability with a small tail of larger
+ * values so that eviction and multi-object items get exercised.
+ */
+class UsrSizeDist
+{
+  public:
+    explicit UsrSizeDist(std::uint64_t seed = 7) : rng(seed) {}
+
+    KvSize
+    next()
+    {
+        KvSize s;
+        s.keyBytes = (rng.below(2) == 0) ? 16 : 21;
+        const std::uint64_t roll = rng.below(100);
+        if (roll < 90) {
+            s.valueBytes = 2;
+        } else if (roll < 98) {
+            s.valueBytes = static_cast<std::uint32_t>(8 + rng.below(56));
+        } else {
+            s.valueBytes = static_cast<std::uint32_t>(64 + rng.below(448));
+        }
+        return s;
+    }
+
+  private:
+    Rng rng;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_SIM_USR_DIST_HH

@@ -1,0 +1,36 @@
+#include "zipf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace tfm
+{
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double skew, std::uint64_t seed)
+    : _n(n), _skew(skew), rng(seed)
+{
+    TFM_ASSERT(n > 0, "zipf over empty domain");
+    cdf.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < n; k++) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+        cdf[k] = sum;
+    }
+    const double inv = 1.0 / sum;
+    for (auto &p : cdf)
+        p *= inv;
+}
+
+std::uint64_t
+ZipfGenerator::next()
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        return _n - 1;
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+} // namespace tfm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Zipfian key sampler used by the hashmap and memcached workloads.
+ */
+
+#ifndef TRACKFM_SIM_ZIPF_HH
+#define TRACKFM_SIM_ZIPF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rng.hh"
+
+namespace tfm
+{
+
+/**
+ * Samples integers in [0, n) with P(k) proportional to 1 / (k+1)^skew.
+ *
+ * Uses the classic precomputed-CDF + binary search approach for exact
+ * sampling; n in this reproduction is at most a few million so the table
+ * is cheap. The paper uses skews between 1.0 and 1.3 (Fig. 16) and 1.02
+ * (Fig. 9/13).
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(std::uint64_t n, double skew, std::uint64_t seed = 42);
+
+    /** Draw one sample (a rank in [0, n)). */
+    std::uint64_t next();
+
+    std::uint64_t n() const { return _n; }
+    double skew() const { return _skew; }
+
+  private:
+    std::uint64_t _n;
+    double _skew;
+    Rng rng;
+    /// cdf[k] = P(X <= k); monotone in [0, 1].
+    std::vector<double> cdf;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_SIM_ZIPF_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The loop-chunking access pattern (Fig. 5 of the paper), as the
+ * compiler emits it for loops that pass the section 3.4 cost model.
+ *
+ * The naive transformation guards every element access. The chunked
+ * transformation localizes and pins one object at a time with a
+ * locality-invariant guard, then serves element accesses with a raw
+ * pointer plus a 3-instruction boundary check until the loop walks off
+ * the object's end.
+ */
+
+#ifndef TRACKFM_TFM_CHUNK_HH
+#define TRACKFM_TFM_CHUNK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "tfm_runtime.hh"
+
+namespace tfm
+{
+
+/**
+ * Sequential cursor over elements of far memory, implementing the
+ * chunked loop body:
+ *
+ *     (end, ptrid) = tfm_init(a); tfmptr = tfm_rw(ptrid)
+ *     for (...) { use *tfmptr; if (++tfmptr == end) tfmptr = tfm_rw(...) }
+ *
+ * The cursor owns the pin on the current object and releases it on
+ * destruction or when crossing to the next object. Element size is a
+ * run-time parameter; ChunkCursor<T> adds a typed veneer.
+ */
+class ChunkCursorRaw
+{
+  public:
+    /**
+     * @param rt the TrackFM runtime
+     * @param tagged_base tagged address of element 0
+     * @param elem_size element stride in bytes (must divide object size)
+     * @param for_write whether accesses mark the object dirty
+     */
+    ChunkCursorRaw(TfmRuntime &rt, std::uint64_t tagged_base,
+                   std::uint32_t elem_size, bool for_write)
+        : _rt(rt), addr(tagged_base), elemSize(elem_size),
+          writeMode(for_write)
+    {
+        TFM_ASSERT(
+            rt.runtime().stateTable().objectSize() % elem_size == 0,
+            "chunked element size must divide the object size");
+        refill();
+    }
+
+    ChunkCursorRaw(const ChunkCursorRaw &) = delete;
+    ChunkCursorRaw &operator=(const ChunkCursorRaw &) = delete;
+
+    ~ChunkCursorRaw() { _rt.endChunk(curObj); }
+
+    /** Read the current element into @p dst and advance. */
+    void
+    read(void *dst)
+    {
+        if (needRefill)
+            refill();
+        std::memcpy(dst, window + inWindow, elemSize);
+        advance();
+    }
+
+    /** Write the current element from @p src and advance. */
+    void
+    write(const void *src)
+    {
+        if (needRefill)
+            refill();
+        std::memcpy(window + inWindow, src, elemSize);
+        advance();
+    }
+
+    /** Tagged address of the current element. */
+    std::uint64_t currentAddr() const { return addr; }
+
+  private:
+    void
+    advance()
+    {
+        // The object-boundary check the transformation inserts on every
+        // iteration (yellow nodes in Fig. 5).
+        _rt.boundaryCheck();
+        addr += elemSize;
+        inWindow += elemSize;
+        // Refill lazily on the next access: the loop may exit here, and
+        // a trailing refill could walk past the end of the collection.
+        if (inWindow >= windowLen)
+            needRefill = true;
+    }
+
+    /** Locality-invariant guard: pin the object holding `addr`. */
+    void
+    refill()
+    {
+        needRefill = false;
+        const std::uint64_t prev = curObj;
+        window = _rt.localityGuard(addr, prev, writeMode);
+        const auto &table = _rt.runtime().stateTable();
+        const std::uint64_t offset = tfmOffsetOf(addr);
+        curObj = table.objectOf(offset);
+        const std::uint64_t in_obj = table.offsetInObject(offset);
+        // The returned pointer addresses `offset`; rebase the window to
+        // the object start so the boundary math stays simple.
+        window -= in_obj;
+        inWindow = in_obj;
+        windowLen = table.objectSize();
+    }
+
+    TfmRuntime &_rt;
+    std::uint64_t addr;
+    std::uint32_t elemSize;
+    bool writeMode;
+    std::byte *window = nullptr;
+    std::uint64_t inWindow = 0;
+    std::uint64_t windowLen = 0;
+    std::uint64_t curObj = TfmRuntime::noObject;
+    bool needRefill = false;
+};
+
+/** Typed chunked cursor over an array of T in far memory. */
+template <typename T>
+class ChunkCursor
+{
+  public:
+    ChunkCursor(TfmRuntime &rt, std::uint64_t tagged_base, bool for_write)
+        : raw(rt, tagged_base, sizeof(T), for_write)
+    {}
+
+    /** Read the current element and advance one element. */
+    T
+    read()
+    {
+        T value;
+        raw.read(&value);
+        return value;
+    }
+
+    /** Write the current element and advance one element. */
+    void write(const T &value) { raw.write(&value); }
+
+    std::uint64_t currentAddr() const { return raw.currentAddr(); }
+
+  private:
+    ChunkCursorRaw raw;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_CHUNK_HH

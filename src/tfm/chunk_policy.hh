@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Loop-chunking policy knob shared by the compiler passes and the
+ * native backends.
+ */
+
+#ifndef TRACKFM_TFM_CHUNK_POLICY_HH
+#define TRACKFM_TFM_CHUNK_POLICY_HH
+
+namespace tfm
+{
+
+/** How TrackFM's compiler applies the loop-chunking transformation. */
+enum class ChunkPolicy
+{
+    None,      ///< naive transformation: guard every access
+    All,       ///< chunk every loop (Fig. 8 / 15 "all loops")
+    CostModel  ///< chunk only above the density break-even (section 3.4)
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_CHUNK_POLICY_HH

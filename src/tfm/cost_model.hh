@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The loop-chunking cost model from section 3.4 of the paper.
+ *
+ * For a loop sweeping a collection with element size e over objects of
+ * size o, the object density is d = o / e. Per object, the naive guard
+ * transformation costs C = (d-1)*cf + cs (one slow-path guard at the
+ * object's first touch, fast-path guards after), while the chunked
+ * transformation costs C_opt = (d-1)*cb + cl (cheap boundary checks plus
+ * one locality-invariant guard per object). Chunking pays off when
+ * C_opt < C, i.e. when density exceeds the break-even point — about 730
+ * elements per object with the constants the authors fitted empirically
+ * (Fig. 6).
+ *
+ * The model's constants are the published fitted values and are kept
+ * separate from the runtime cost charges in sim/cost_params.hh: the
+ * model is part of the compiler's specification (its decisions must
+ * match the paper's), while the runtime charges are mechanistic. See
+ * DESIGN.md section 4.
+ */
+
+#ifndef TRACKFM_TFM_COST_MODEL_HH
+#define TRACKFM_TFM_COST_MODEL_HH
+
+#include <cstdint>
+
+namespace tfm
+{
+
+/**
+ * Fitted per-guard cost constants for the chunking decision (the
+ * authors' empirical fit; defaults reproduce the paper's ~730
+ * break-even).
+ */
+struct ChunkModelParams
+{
+    double fastPathCycles = 21;      ///< cf
+    double slowPathCycles = 144;     ///< cs
+    double boundaryCheckCycles = 3;  ///< cb
+    double localityGuardCycles = 13284; ///< cl (fitted; see file header)
+};
+
+/** Compile-time decision helper for the loop-chunking transformation. */
+class ChunkCostModel
+{
+  public:
+    explicit ChunkCostModel(const ChunkModelParams &params = {})
+        : c(params)
+    {}
+
+    /** Elements per object for a given object/element size pair. */
+    static std::uint64_t
+    density(std::uint64_t object_size, std::uint64_t element_size)
+    {
+        return element_size == 0 ? 0 : object_size / element_size;
+    }
+
+    /** Equation (1): guard cost per object, naive transformation. */
+    double
+    naiveCostPerObject(std::uint64_t d) const
+    {
+        return static_cast<double>(d - 1) * c.fastPathCycles +
+               c.slowPathCycles;
+    }
+
+    /** Equation (2): guard cost per object, chunked transformation. */
+    double
+    chunkedCostPerObject(std::uint64_t d) const
+    {
+        return static_cast<double>(d - 1) * c.boundaryCheckCycles +
+               c.localityGuardCycles;
+    }
+
+    /**
+     * Equation (3) rearranged for cb < cf: the density above which
+     * chunking wins.
+     */
+    double
+    breakEvenDensity() const
+    {
+        return (c.localityGuardCycles - c.slowPathCycles) /
+                   (c.fastPathCycles - c.boundaryCheckCycles) +
+               1.0;
+    }
+
+    /** Should the compiler chunk a loop with this density? */
+    bool
+    shouldChunk(std::uint64_t d) const
+    {
+        return static_cast<double>(d) > breakEvenDensity();
+    }
+
+    /** Convenience overload on sizes. */
+    bool
+    shouldChunk(std::uint64_t object_size, std::uint64_t element_size) const
+    {
+        return shouldChunk(density(object_size, element_size));
+    }
+
+  private:
+    ChunkModelParams c;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_COST_MODEL_HH

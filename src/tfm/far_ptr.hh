@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Typed convenience wrapper over TrackFM tagged pointers.
+ *
+ * In the real system the application keeps using plain C pointers and
+ * the compiler rewrites every dereference into a guard. Natively-built
+ * workloads in this repository use FarPtr<T> in exactly the places the
+ * compiler would have guarded — it is the "transformed program" view of
+ * a pointer, not a programmer-facing smart pointer like AIFM's.
+ */
+
+#ifndef TRACKFM_TFM_FAR_PTR_HH
+#define TRACKFM_TFM_FAR_PTR_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tfm_runtime.hh"
+
+namespace tfm
+{
+
+/**
+ * A tagged pointer to an array of T in far memory.
+ *
+ * All accesses go through guards on the supplied runtime; arithmetic is
+ * ordinary pointer arithmetic on the tagged value (the tag survives, as
+ * the paper requires of middle-end-rewritten pointers).
+ */
+template <typename T>
+class FarPtr
+{
+  public:
+    FarPtr() : addr(0) {}
+    explicit FarPtr(std::uint64_t tagged_addr) : addr(tagged_addr) {}
+
+    /** Allocate an array of @p count elements on @p rt. */
+    static FarPtr
+    alloc(TfmRuntime &rt, std::size_t count)
+    {
+        return FarPtr(rt.tfmMalloc(count * sizeof(T)));
+    }
+
+    std::uint64_t raw() const { return addr; }
+    bool null() const { return addr == 0; }
+
+    FarPtr
+    operator+(std::ptrdiff_t delta) const
+    {
+        return FarPtr(addr + static_cast<std::uint64_t>(
+                                 delta * static_cast<std::ptrdiff_t>(
+                                             sizeof(T))));
+    }
+
+    /** Guarded element read. */
+    T
+    get(TfmRuntime &rt, std::size_t index = 0) const
+    {
+        return rt.load<T>(addr + index * sizeof(T));
+    }
+
+    /** Guarded element write. */
+    void
+    set(TfmRuntime &rt, std::size_t index, const T &value) const
+    {
+        rt.store<T>(addr + index * sizeof(T), value);
+    }
+
+    /** Unmetered initialization write (outside measurement windows). */
+    void
+    init(TfmRuntime &rt, std::size_t index, const T &value) const
+    {
+        rt.rawWrite(addr + index * sizeof(T), &value, sizeof(T));
+    }
+
+    /** Unmetered verification read. */
+    T
+    peek(TfmRuntime &rt, std::size_t index = 0) const
+    {
+        T value;
+        rt.rawRead(addr + index * sizeof(T), &value, sizeof(T));
+        return value;
+    }
+
+    void
+    free(TfmRuntime &rt)
+    {
+        rt.tfmFree(addr);
+        addr = 0;
+    }
+
+  private:
+    std::uint64_t addr;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_FAR_PTR_HH

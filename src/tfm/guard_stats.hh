@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Counters for every guard outcome; these regenerate the paper's
+ * guards-vs-faults plots (Fig. 14b, Fig. 16b).
+ */
+
+#ifndef TRACKFM_TFM_GUARD_STATS_HH
+#define TRACKFM_TFM_GUARD_STATS_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+/** Per-runtime guard event counters. */
+struct GuardStats
+{
+    std::uint64_t fastReads = 0;
+    std::uint64_t fastWrites = 0;
+    std::uint64_t slowLocalReads = 0;   ///< slow path, object already local
+    std::uint64_t slowLocalWrites = 0;
+    std::uint64_t slowRemoteReads = 0;  ///< slow path with remote fetch
+    std::uint64_t slowRemoteWrites = 0;
+    std::uint64_t custodyRejects = 0;   ///< non-TrackFM pointers let through
+    std::uint64_t boundaryChecks = 0;   ///< chunked-loop boundary tests
+    std::uint64_t localityGuards = 0;   ///< chunked-loop object crossings
+    std::uint64_t localityRemotes = 0;  ///< ... that triggered a remote fetch
+    std::uint64_t prefetchCalls = 0;    ///< compiler-directed prefetches
+
+    std::uint64_t
+    fastTotal() const
+    {
+        return fastReads + fastWrites;
+    }
+
+    std::uint64_t
+    slowTotal() const
+    {
+        return slowLocalReads + slowLocalWrites + slowRemoteReads +
+               slowRemoteWrites;
+    }
+
+    std::uint64_t
+    guardTotal() const
+    {
+        return fastTotal() + slowTotal() + localityGuards;
+    }
+
+    void
+    exportStats(StatSet &set) const
+    {
+        set.add("guard.fast_reads", fastReads);
+        set.add("guard.fast_writes", fastWrites);
+        set.add("guard.slow_local_reads", slowLocalReads);
+        set.add("guard.slow_local_writes", slowLocalWrites);
+        set.add("guard.slow_remote_reads", slowRemoteReads);
+        set.add("guard.slow_remote_writes", slowRemoteWrites);
+        set.add("guard.custody_rejects", custodyRejects);
+        set.add("guard.boundary_checks", boundaryChecks);
+        set.add("guard.locality_guards", localityGuards);
+        set.add("guard.locality_remotes", localityRemotes);
+        set.add("guard.prefetch_calls", prefetchCalls);
+    }
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_GUARD_STATS_HH

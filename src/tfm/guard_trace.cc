@@ -1,0 +1,57 @@
+#include "guard_trace.hh"
+
+#include <ostream>
+
+namespace tfm
+{
+
+const char *
+guardPathName(GuardPath path)
+{
+    switch (path) {
+      case GuardPath::CustodyReject:
+        return "custody-reject";
+      case GuardPath::FastRead:
+        return "fast-read";
+      case GuardPath::FastWrite:
+        return "fast-write";
+      case GuardPath::SlowLocalRead:
+        return "slow-local-read";
+      case GuardPath::SlowLocalWrite:
+        return "slow-local-write";
+      case GuardPath::SlowRemoteRead:
+        return "slow-remote-read";
+      case GuardPath::SlowRemoteWrite:
+        return "slow-remote-write";
+      case GuardPath::LocalityLocal:
+        return "locality-local";
+      case GuardPath::LocalityRemote:
+        return "locality-remote";
+    }
+    return "?";
+}
+
+std::vector<GuardEvent>
+GuardTrace::chronological() const
+{
+    std::vector<GuardEvent> out;
+    out.reserve(events.size());
+    if (!wrapped) {
+        out = events;
+    } else {
+        for (std::size_t i = 0; i < events.size(); i++)
+            out.push_back(events[(head + i) % events.size()]);
+    }
+    return out;
+}
+
+void
+GuardTrace::dump(std::ostream &os) const
+{
+    for (const GuardEvent &event : chronological()) {
+        os << event.cycle << " " << guardPathName(event.path) << " 0x"
+           << std::hex << event.addr << std::dec << "\n";
+    }
+}
+
+} // namespace tfm

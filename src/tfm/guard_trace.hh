@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Optional guard debug instrumentation — section 3.3: "we can also
+ * enable optional debug instrumentation that indicates when guards
+ * take the fast or slow path, and which AIFM code path they trigger."
+ *
+ * When enabled on a TfmRuntime, every guard outcome is appended to a
+ * bounded ring buffer of GuardEvent records that tests and tools can
+ * inspect or dump.
+ */
+
+#ifndef TRACKFM_TFM_GUARD_TRACE_HH
+#define TRACKFM_TFM_GUARD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace tfm
+{
+
+/** Which path a guard took (and what the runtime did underneath). */
+enum class GuardPath : std::uint8_t
+{
+    CustodyReject,   ///< untagged pointer let through
+    FastRead,        ///< fast path, read
+    FastWrite,       ///< fast path, write
+    SlowLocalRead,   ///< runtime call; object was already local
+    SlowLocalWrite,
+    SlowRemoteRead,  ///< runtime call; blocking remote fetch
+    SlowRemoteWrite,
+    LocalityLocal,   ///< chunk locality guard; object local
+    LocalityRemote   ///< chunk locality guard; remote fetch
+};
+
+/** Printable name for a path. */
+const char *guardPathName(GuardPath path);
+
+/** One traced guard event. */
+struct GuardEvent
+{
+    std::uint64_t addr = 0;  ///< guarded (possibly tagged) address
+    std::uint64_t cycle = 0; ///< simulated time of the event
+    GuardPath path = GuardPath::CustodyReject;
+};
+
+/**
+ * Bounded ring of guard events. Disabled (and free) by default;
+ * recording starts at enable().
+ */
+class GuardTrace
+{
+  public:
+    /** Start recording, keeping at most @p capacity newest events. */
+    void
+    enable(std::size_t capacity = 4096)
+    {
+        events.clear();
+        events.reserve(capacity);
+        cap = capacity;
+        head = 0;
+        wrapped = false;
+        on = true;
+    }
+
+    void disable() { on = false; }
+    bool enabled() const { return on; }
+
+    void
+    record(std::uint64_t addr, std::uint64_t cycle, GuardPath path)
+    {
+        if (!on || cap == 0)
+            return;
+        const GuardEvent event{addr, cycle, path};
+        if (events.size() < cap) {
+            events.push_back(event);
+        } else {
+            events[head] = event;
+            head = (head + 1) % cap;
+            wrapped = true;
+        }
+    }
+
+    /** Events in chronological order (oldest first). */
+    std::vector<GuardEvent> chronological() const;
+
+    std::size_t size() const { return events.size(); }
+    bool overflowed() const { return wrapped; }
+
+    /** Human-readable dump, one event per line. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::vector<GuardEvent> events;
+    std::size_t cap = 0;
+    std::size_t head = 0;
+    bool wrapped = false;
+    bool on = false;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_GUARD_TRACE_HH

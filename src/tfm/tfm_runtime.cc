@@ -1,0 +1,184 @@
+#include "tfm_runtime.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace tfm
+{
+
+std::byte *
+TfmRuntime::guardRead(std::uint64_t addr)
+{
+    if (!tfmIsTagged(addr)) {
+        // Custody check fails: this is not a TrackFM pointer; perform
+        // the original load directly (~4 instructions).
+        rt.clock().advance(costs().custodyRejectCycles);
+        gstats.custodyRejects++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        return reinterpret_cast<std::byte *>(addr);
+    }
+
+    const std::uint64_t offset = tfmOffsetOf(addr);
+    std::byte *fast = rt.tryFast(offset, /*for_write=*/false);
+    if (fast) {
+        rt.clock().advance(costs().fastPathReadCycles);
+        gstats.fastReads++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::FastRead);
+        return fast;
+    }
+
+    // Slow path: runtime call, which may block on a remote fetch.
+    rt.clock().advance(costs().slowPathReadCycles);
+    FarMemRuntime::Localized outcome;
+    std::byte *data = rt.localize(offset, /*for_write=*/false, &outcome);
+    if (outcome == FarMemRuntime::Localized::RemoteFetch) {
+        gstats.slowRemoteReads++;
+        gtrace.record(addr, rt.clock().now(),
+                      GuardPath::SlowRemoteRead);
+    } else {
+        gstats.slowLocalReads++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::SlowLocalRead);
+    }
+    return data;
+}
+
+std::byte *
+TfmRuntime::guardWrite(std::uint64_t addr)
+{
+    if (!tfmIsTagged(addr)) {
+        rt.clock().advance(costs().custodyRejectCycles);
+        gstats.custodyRejects++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        return reinterpret_cast<std::byte *>(addr);
+    }
+
+    const std::uint64_t offset = tfmOffsetOf(addr);
+    std::byte *fast = rt.tryFast(offset, /*for_write=*/true);
+    if (fast) {
+        rt.clock().advance(costs().fastPathWriteCycles);
+        gstats.fastWrites++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::FastWrite);
+        return fast;
+    }
+
+    rt.clock().advance(costs().slowPathWriteCycles);
+    FarMemRuntime::Localized outcome;
+    std::byte *data = rt.localize(offset, /*for_write=*/true, &outcome);
+    if (outcome == FarMemRuntime::Localized::RemoteFetch) {
+        gstats.slowRemoteWrites++;
+        gtrace.record(addr, rt.clock().now(),
+                      GuardPath::SlowRemoteWrite);
+    } else {
+        gstats.slowLocalWrites++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::SlowLocalWrite);
+    }
+    return data;
+}
+
+void
+TfmRuntime::readGuarded(std::uint64_t addr, void *dst, std::size_t len)
+{
+    if (!tfmIsTagged(addr)) {
+        rt.clock().advance(costs().custodyRejectCycles);
+        gstats.custodyRejects++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        std::memcpy(dst, reinterpret_cast<const void *>(addr), len);
+        return;
+    }
+    auto *out = static_cast<std::byte *>(dst);
+    const auto &table = rt.stateTable();
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = addr + done;
+        const std::uint64_t in_obj = table.offsetInObject(tfmOffsetOf(at));
+        const std::size_t piece = std::min<std::size_t>(
+            len - done, table.objectSize() - in_obj);
+        std::memcpy(out + done, guardRead(at), piece);
+        done += piece;
+    }
+}
+
+void
+TfmRuntime::writeGuarded(std::uint64_t addr, const void *src,
+                         std::size_t len)
+{
+    if (!tfmIsTagged(addr)) {
+        rt.clock().advance(costs().custodyRejectCycles);
+        gstats.custodyRejects++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        std::memcpy(reinterpret_cast<void *>(addr), src, len);
+        return;
+    }
+    const auto *in = static_cast<const std::byte *>(src);
+    const auto &table = rt.stateTable();
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = addr + done;
+        const std::uint64_t in_obj = table.offsetInObject(tfmOffsetOf(at));
+        const std::size_t piece = std::min<std::size_t>(
+            len - done, table.objectSize() - in_obj);
+        std::memcpy(guardWrite(at), in + done, piece);
+        done += piece;
+    }
+}
+
+std::byte *
+TfmRuntime::localityGuard(std::uint64_t addr, std::uint64_t prev_obj,
+                          bool for_write)
+{
+    const std::uint64_t offset = tfmOffsetOf(addr);
+    rt.clock().advance(costs().localityGuardCycles);
+    gstats.localityGuards++;
+    FarMemRuntime::Localized outcome;
+    std::byte *data = rt.localize(offset, for_write, &outcome);
+    if (outcome == FarMemRuntime::Localized::RemoteFetch) {
+        gstats.localityRemotes++;
+        gtrace.record(addr, rt.clock().now(),
+                      GuardPath::LocalityRemote);
+    } else {
+        gtrace.record(addr, rt.clock().now(), GuardPath::LocalityLocal);
+    }
+    const std::uint64_t obj_id = rt.stateTable().objectOf(offset);
+    rt.pinObject(obj_id);
+    if (prev_obj != noObject)
+        rt.unpinObject(prev_obj);
+    return data;
+}
+
+std::uint64_t
+TfmRuntime::tfmRealloc(std::uint64_t addr, std::size_t bytes)
+{
+    if (addr == 0)
+        return tfmMalloc(bytes);
+    const std::uint64_t old_offset = tfmOffsetOf(addr);
+    const std::uint64_t old_size = rt.sizeOf(old_offset);
+    const std::uint64_t fresh = tfmMalloc(bytes);
+    const std::size_t copy =
+        static_cast<std::size_t>(std::min<std::uint64_t>(old_size, bytes));
+    if (copy > 0) {
+        std::vector<std::byte> tmp(copy);
+        rt.rawRead(old_offset, tmp.data(), copy);
+        rt.rawWrite(tfmOffsetOf(fresh), tmp.data(), copy);
+        // Charge the copy as streaming traffic through the CPU.
+        rt.clock().advance(copy / 16 + 1);
+    }
+    rt.deallocate(old_offset);
+    return fresh;
+}
+
+void
+TfmRuntime::zeroFill(std::uint64_t addr, std::size_t bytes)
+{
+    const std::vector<std::byte> zeros(bytes, std::byte{0});
+    rt.rawWrite(tfmOffsetOf(addr), zeros.data(), bytes);
+    rt.clock().advance(bytes / 16 + 1);
+}
+
+void
+TfmRuntime::exportStats(StatSet &set) const
+{
+    gstats.exportStats(set);
+    rt.exportStats(set);
+}
+
+} // namespace tfm

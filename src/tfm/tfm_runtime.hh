@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The TrackFM runtime layer: the thin layer the compiler injects into
+ * the application, bridging guarded loads/stores to the far-memory
+ * runtime underneath (sections 3.1-3.3 of the paper).
+ *
+ * Responsibilities:
+ *  - the custom malloc family returning tagged (non-canonical) pointers;
+ *  - the guard state machine: custody check -> object-state-table lookup
+ *    -> fast path or slow path (runtime call, possibly a remote fetch);
+ *  - loop-chunk support calls (tfm_init / tfm_rw in Fig. 5);
+ *  - compiler-directed prefetch;
+ *  - guard statistics.
+ */
+
+#ifndef TRACKFM_TFM_TFM_RUNTIME_HH
+#define TRACKFM_TFM_TFM_RUNTIME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "guard_stats.hh"
+#include "guard_trace.hh"
+#include "runtime/far_mem_runtime.hh"
+#include "tagged_ptr.hh"
+
+namespace tfm
+{
+
+/**
+ * TrackFM's injected runtime.
+ *
+ * Guard methods return a host pointer that is valid until the next
+ * runtime call (the paper's evacuator cannot run while a thread is
+ * inside a guard; here evacuation happens only inside runtime calls, so
+ * the same invariant holds by construction).
+ */
+class TfmRuntime
+{
+  public:
+    TfmRuntime(const RuntimeConfig &config, const CostParams &cost_params)
+        : rt(config, cost_params)
+    {}
+
+    FarMemRuntime &runtime() { return rt; }
+    const FarMemRuntime &runtime() const { return rt; }
+    const CostParams &costs() const { return rt.costs(); }
+    CycleClock &clock() { return rt.clock(); }
+    GuardStats &guardStats() { return gstats; }
+    const GuardStats &guardStats() const { return gstats; }
+    /** Optional section 3.3 debug instrumentation. */
+    GuardTrace &guardTrace() { return gtrace; }
+    const GuardTrace &guardTrace() const { return gtrace; }
+
+    /** @name The TrackFM libc replacement (section 3.1)
+     *  All return tagged pointers in the non-canonical range.
+     * @{ */
+    std::uint64_t
+    tfmMalloc(std::size_t bytes)
+    {
+        return tfmEncode(rt.allocate(bytes));
+    }
+
+    std::uint64_t
+    tfmCalloc(std::size_t count, std::size_t size)
+    {
+        const std::size_t bytes = count * size;
+        const std::uint64_t addr = tfmMalloc(bytes);
+        zeroFill(addr, bytes);
+        return addr;
+    }
+
+    std::uint64_t tfmRealloc(std::uint64_t addr, std::size_t bytes);
+
+    void
+    tfmFree(std::uint64_t addr)
+    {
+        rt.deallocate(tfmOffsetOf(addr));
+    }
+    /** @} */
+
+    /** @name Guards (section 3.3, Fig. 4)
+     * @{ */
+    /**
+     * Guard a read of @p size bytes at @p addr.
+     *
+     * Tagged pointers go through the fast/slow paths with the Table 1
+     * cycle charges; untagged pointers take the ~4-instruction custody
+     * rejection and are returned unchanged as host pointers.
+     */
+    std::byte *guardRead(std::uint64_t addr);
+
+    /** Guard a write; identical shape, write-path costs, sets dirty. */
+    std::byte *guardWrite(std::uint64_t addr);
+
+    /**
+     * Guarded multi-byte read. Accesses that straddle object boundaries
+     * take one guard per object touched, since each constituent object
+     * can independently be local or remote (the "superposition" the
+     * paper calls out in section 3.2).
+     */
+    void readGuarded(std::uint64_t addr, void *dst, std::size_t len);
+
+    /** Guarded multi-byte write; one guard per object touched. */
+    void writeGuarded(std::uint64_t addr, const void *src, std::size_t len);
+
+    /** Typed guarded load. */
+    template <typename T>
+    T
+    load(std::uint64_t addr)
+    {
+        T value;
+        readGuarded(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Typed guarded store. */
+    template <typename T>
+    void
+    store(std::uint64_t addr, const T &value)
+    {
+        writeGuarded(addr, &value, sizeof(T));
+    }
+    /** @} */
+
+    /** @name Loop-chunking support (section 3.4, Fig. 5)
+     * @{ */
+    /**
+     * The locality-invariant guard: localize and pin the object holding
+     * @p addr, unpinning @p prev_obj (noObject on the first chunk).
+     * Charges the locality-guard cost plus any remote-fetch time.
+     *
+     * @return host pointer to the byte at @p addr.
+     */
+    std::byte *localityGuard(std::uint64_t addr, std::uint64_t prev_obj,
+                             bool for_write);
+
+    /** Charge one object-boundary check (3 instructions). */
+    void
+    boundaryCheck()
+    {
+        rt.clock().advance(costs().boundaryCheckCycles);
+        gstats.boundaryChecks++;
+    }
+
+    /** Release the pin taken by the last locality guard of a loop. */
+    void
+    endChunk(std::uint64_t obj_id)
+    {
+        if (obj_id != noObject)
+            rt.unpinObject(obj_id);
+    }
+
+    static constexpr std::uint64_t noObject = ~0ull;
+    /** @} */
+
+    /**
+     * Compiler-directed prefetch: issue async fetches for @p count
+     * objects after the one containing @p addr.
+     */
+    void
+    prefetchAhead(std::uint64_t addr, std::int64_t stride,
+                  std::uint32_t count)
+    {
+        const std::uint64_t obj_id =
+            rt.stateTable().objectOf(tfmOffsetOf(addr));
+        rt.prefetchObjects(obj_id, stride, count);
+        gstats.prefetchCalls++;
+    }
+
+    /** @name Initialization helpers (no cycle accounting)
+     * @{ */
+    void
+    rawWrite(std::uint64_t addr, const void *src, std::size_t len)
+    {
+        rt.rawWrite(tfmOffsetOf(addr), src, len);
+    }
+
+    void
+    rawRead(std::uint64_t addr, void *dst, std::size_t len)
+    {
+        rt.rawRead(tfmOffsetOf(addr), dst, len);
+    }
+    /** @} */
+
+    void exportStats(StatSet &set) const;
+
+  private:
+    void zeroFill(std::uint64_t addr, std::size_t bytes);
+
+    FarMemRuntime rt;
+    GuardStats gstats;
+    GuardTrace gtrace;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_TFM_TFM_RUNTIME_HH

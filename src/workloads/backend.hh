@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The pluggable memory-system interface the application benchmarks are
+ * written against.
+ *
+ * Every workload in src/workloads runs unmodified on four backends:
+ *
+ *  - Local:    all memory local (the "local-only" normalization line);
+ *  - TrackFM:  compiler-transformed program — every heap access goes
+ *              through a guard, sequential loops may be chunked and
+ *              prefetched per the compiler's cost model;
+ *  - Fastswap: unmodified program on kernel swap — page faults;
+ *  - AIFM:     programmer-ported program using remote data structures.
+ *
+ * This mirrors the paper's methodology: one source program, four memory
+ * systems, identical access patterns.
+ */
+
+#ifndef TRACKFM_WORKLOADS_BACKEND_HH
+#define TRACKFM_WORKLOADS_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+/** Locality hint for the base (CPU-side) cost of one access. */
+enum class AccessHint
+{
+    Sequential, ///< streaming, vectorizable access
+    Random      ///< dependent or randomly addressed access
+};
+
+/** Direction of a sequential stream. */
+enum class StreamMode
+{
+    Read,
+    Write
+};
+
+/**
+ * A sequential element stream: the backend-specific best implementation
+ * of "for (i = 0; i < n; i++) use(a[i])".
+ */
+class SeqStream
+{
+  public:
+    virtual ~SeqStream() = default;
+    /** Read the current element into @p dst and advance. */
+    virtual void read(void *dst) = 0;
+    /** Write the current element from @p src and advance. */
+    virtual void write(const void *src) = 0;
+};
+
+/** Abstract memory system. Addresses are backend-specific handles. */
+class MemBackend
+{
+  public:
+    virtual ~MemBackend() = default;
+
+    virtual std::string name() const = 0;
+
+    /** @name Allocation
+     * @{ */
+    virtual std::uint64_t alloc(std::uint64_t bytes) = 0;
+    virtual void dealloc(std::uint64_t addr) = 0;
+    /** @} */
+
+    /** @name Metered access
+     * @{ */
+    virtual void read(std::uint64_t addr, void *dst, std::size_t len,
+                      AccessHint hint) = 0;
+    virtual void write(std::uint64_t addr, const void *src, std::size_t len,
+                       AccessHint hint) = 0;
+    /**
+     * Open a sequential stream of @p count elements of @p elem_size
+     * bytes starting at @p addr.
+     */
+    virtual std::unique_ptr<SeqStream> stream(std::uint64_t addr,
+                                              std::uint32_t elem_size,
+                                              std::uint64_t count,
+                                              StreamMode mode) = 0;
+    /** Charge @p cycles of pure compute (no memory system involvement). */
+    virtual void compute(std::uint64_t cycles) = 0;
+    /** @} */
+
+    /** @name Unmetered initialization / verification
+     * @{ */
+    virtual void initWrite(std::uint64_t addr, const void *src,
+                           std::size_t len) = 0;
+    virtual void initRead(std::uint64_t addr, void *dst,
+                          std::size_t len) = 0;
+    /** @} */
+
+    /** Push all cached state remote so measurement starts cold. */
+    virtual void dropCaches() = 0;
+
+    /** @name Measurement
+     * @{ */
+    /** Simulated cycles elapsed on this backend's clock. */
+    virtual std::uint64_t cycles() const = 0;
+    /**
+     * Far-memory events: TrackFM slow-path + locality guards, Fastswap
+     * major faults, AIFM misses, 0 for local (Figs. 14b / 16b).
+     */
+    virtual std::uint64_t farEvents() const = 0;
+    /** All guard events including fast paths (TrackFM; 0 elsewhere). */
+    virtual std::uint64_t guardEvents() const = 0;
+    /** Payload bytes fetched from the remote node. */
+    virtual std::uint64_t bytesFetched() const = 0;
+    /** Total payload bytes moved in either direction. */
+    virtual std::uint64_t bytesTransferred() const = 0;
+    /** Full statistics export. */
+    virtual StatSet stats() const = 0;
+    /** @} */
+
+    /** @name Typed sugar
+     * @{ */
+    template <typename T>
+    T
+    readT(std::uint64_t addr, AccessHint hint)
+    {
+        T value;
+        read(addr, &value, sizeof(T), hint);
+        return value;
+    }
+
+    template <typename T>
+    void
+    writeT(std::uint64_t addr, const T &value, AccessHint hint)
+    {
+        write(addr, &value, sizeof(T), hint);
+    }
+
+    template <typename T>
+    void
+    initT(std::uint64_t addr, const T &value)
+    {
+        initWrite(addr, &value, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    peekT(std::uint64_t addr)
+    {
+        T value;
+        initRead(addr, &value, sizeof(T));
+        return value;
+    }
+    /** @} */
+};
+
+/** Point-in-time counters for windowed measurement. */
+struct BackendSnapshot
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t farEvents = 0;
+    std::uint64_t guardEvents = 0;
+    std::uint64_t bytesFetched = 0;
+    std::uint64_t bytesTransferred = 0;
+};
+
+/** Capture current counters. */
+BackendSnapshot snapshot(const MemBackend &backend);
+
+/** Counter deltas between two snapshots (b - a). */
+BackendSnapshot deltaSince(const BackendSnapshot &a,
+                           const BackendSnapshot &b);
+
+} // namespace tfm
+
+#endif // TRACKFM_WORKLOADS_BACKEND_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Configuration and factory for memory-system backends.
+ */
+
+#ifndef TRACKFM_WORKLOADS_BACKEND_CONFIG_HH
+#define TRACKFM_WORKLOADS_BACKEND_CONFIG_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "backend.hh"
+#include "sim/cost_params.hh"
+#include "tfm/chunk_policy.hh"
+
+namespace tfm
+{
+
+/** Which memory system to instantiate. */
+enum class SystemKind
+{
+    Local,    ///< everything in local DRAM
+    TrackFm,  ///< compiler-based far memory (this paper)
+    Fastswap, ///< kernel-based far memory baseline
+    Aifm      ///< library-based far memory baseline
+};
+
+/** Backend construction parameters. */
+struct BackendConfig
+{
+    SystemKind kind = SystemKind::TrackFm;
+    /// Far heap = application working set (plus allocator slack).
+    std::uint64_t farHeapBytes = 64ull << 20;
+    /// Local memory available to the application's data.
+    std::uint64_t localMemBytes = 16ull << 20;
+    /// TrackFM/AIFM object size (ignored by Local/Fastswap).
+    std::uint32_t objectSizeBytes = 4096;
+    /// Enable the runtime stride prefetcher (TrackFM/AIFM).
+    bool prefetchEnabled = true;
+    std::uint32_t prefetchDepth = 8;
+    /// Kernel swap readahead for Fastswap. Off by default: Fastswap's
+    /// frontswap/RDMA path fetches faulted pages individually, and the
+    /// paper's results show kernel-side prefetching far weaker than
+    /// the compiler-informed kind ("post hoc inferences based on
+    /// run-time page faults").
+    bool kernelReadahead = false;
+    /// TrackFM loop-chunking policy.
+    ChunkPolicy chunkPolicy = ChunkPolicy::CostModel;
+};
+
+/** Instantiate a backend. */
+std::unique_ptr<MemBackend> makeBackend(const BackendConfig &config,
+                                        const CostParams &costs);
+
+/** Human-readable system name ("TrackFM", "Fastswap", ...). */
+const char *systemName(SystemKind kind);
+
+} // namespace tfm
+
+#endif // TRACKFM_WORKLOADS_BACKEND_CONFIG_HH

@@ -1,0 +1,804 @@
+/**
+ * @file
+ * Concrete MemBackend implementations for the four memory systems and
+ * the backend factory.
+ */
+
+#include "backend_config.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "aifmlib/aifm_runtime.hh"
+#include "fastswap/fastswap_runtime.hh"
+#include "runtime/region_allocator.hh"
+#include "sim/cycle_clock.hh"
+#include "sim/logging.hh"
+#include "tfm/chunk.hh"
+#include "tfm/cost_model.hh"
+#include "tfm/tfm_runtime.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+/**
+ * Local-only backend: a plain heap with per-access base charges. The
+ * normalization line in every "slowdown vs. local" figure.
+ */
+class LocalBackend : public MemBackend
+{
+  public:
+    LocalBackend(const BackendConfig &config, const CostParams &cost_params)
+        : costs(cost_params),
+          mem(config.farHeapBytes),
+          alloc_(config.farHeapBytes, 4096)
+    {}
+
+    std::string name() const override { return "Local"; }
+
+    std::uint64_t
+    alloc(std::uint64_t bytes) override
+    {
+        clock.advance(costs.allocCycles);
+        const std::uint64_t offset = alloc_.allocate(bytes);
+        TFM_ASSERT(offset != RegionAllocator::badOffset,
+                   "local heap exhausted");
+        return offset;
+    }
+
+    void
+    dealloc(std::uint64_t addr) override
+    {
+        clock.advance(costs.allocCycles);
+        alloc_.deallocate(addr);
+    }
+
+    void
+    read(std::uint64_t addr, void *dst, std::size_t len,
+         AccessHint hint) override
+    {
+        chargeBase(hint);
+        std::memcpy(dst, mem.data() + addr, len);
+    }
+
+    void
+    write(std::uint64_t addr, const void *src, std::size_t len,
+          AccessHint hint) override
+    {
+        chargeBase(hint);
+        std::memcpy(mem.data() + addr, src, len);
+    }
+
+    class Stream : public SeqStream
+    {
+      public:
+        Stream(LocalBackend &backend, std::uint64_t addr,
+               std::uint32_t elem_size)
+            : b(backend), cur(addr), elemSize(elem_size)
+        {}
+
+        void
+        read(void *dst) override
+        {
+            b.clock.advance(b.costs.seqAccessCycles);
+            std::memcpy(dst, b.mem.data() + cur, elemSize);
+            cur += elemSize;
+        }
+
+        void
+        write(const void *src) override
+        {
+            b.clock.advance(b.costs.seqAccessCycles);
+            std::memcpy(b.mem.data() + cur, src, elemSize);
+            cur += elemSize;
+        }
+
+      private:
+        LocalBackend &b;
+        std::uint64_t cur;
+        std::uint32_t elemSize;
+    };
+
+    std::unique_ptr<SeqStream>
+    stream(std::uint64_t addr, std::uint32_t elem_size, std::uint64_t count,
+           StreamMode mode) override
+    {
+        (void)count;
+        (void)mode;
+        return std::make_unique<Stream>(*this, addr, elem_size);
+    }
+
+    void compute(std::uint64_t c) override { clock.advance(c); }
+
+    void
+    initWrite(std::uint64_t addr, const void *src, std::size_t len) override
+    {
+        std::memcpy(mem.data() + addr, src, len);
+    }
+
+    void
+    initRead(std::uint64_t addr, void *dst, std::size_t len) override
+    {
+        std::memcpy(dst, mem.data() + addr, len);
+    }
+
+    void dropCaches() override {}
+
+    std::uint64_t cycles() const override { return clock.now(); }
+    std::uint64_t farEvents() const override { return 0; }
+    std::uint64_t guardEvents() const override { return 0; }
+    std::uint64_t bytesFetched() const override { return 0; }
+    std::uint64_t bytesTransferred() const override { return 0; }
+
+    StatSet
+    stats() const override
+    {
+        StatSet set;
+        set.add("clock.cycles", clock.now());
+        return set;
+    }
+
+  private:
+    void
+    chargeBase(AccessHint hint)
+    {
+        clock.advance(hint == AccessHint::Sequential ? costs.seqAccessCycles
+                                                     : costs.randAccessCycles);
+    }
+
+    CostParams costs;
+    CycleClock clock;
+    std::vector<std::byte> mem;
+    RegionAllocator alloc_;
+};
+
+/**
+ * TrackFM backend: the compiler-transformed program. Handles are tagged
+ * pointers; every metered access goes through a guard; sequential
+ * streams are chunked according to the configured policy.
+ */
+class TrackFmBackend : public MemBackend
+{
+  public:
+    TrackFmBackend(const BackendConfig &config, const CostParams &cost_params)
+        : cfg(config), rt(runtimeConfig(config), cost_params),
+          model()
+    {}
+
+    std::string name() const override { return "TrackFM"; }
+
+    std::uint64_t alloc(std::uint64_t bytes) override
+    {
+        return rt.tfmMalloc(bytes);
+    }
+
+    void dealloc(std::uint64_t addr) override { rt.tfmFree(addr); }
+
+    void
+    read(std::uint64_t addr, void *dst, std::size_t len,
+         AccessHint hint) override
+    {
+        chargeBase(hint);
+        rt.readGuarded(addr, dst, len);
+    }
+
+    void
+    write(std::uint64_t addr, const void *src, std::size_t len,
+          AccessHint hint) override
+    {
+        chargeBase(hint);
+        rt.writeGuarded(addr, src, len);
+    }
+
+    /** Naive transformation: one guard per element access. */
+    class GuardedStream : public SeqStream
+    {
+      public:
+        GuardedStream(TrackFmBackend &backend, std::uint64_t addr,
+                      std::uint32_t elem_size)
+            : b(backend), cur(addr), elemSize(elem_size)
+        {}
+
+        void
+        read(void *dst) override
+        {
+            b.rt.clock().advance(b.rt.costs().guardedSeqAccessCycles);
+            b.rt.readGuarded(cur, dst, elemSize);
+            cur += elemSize;
+        }
+
+        void
+        write(const void *src) override
+        {
+            b.rt.clock().advance(b.rt.costs().guardedSeqAccessCycles);
+            b.rt.writeGuarded(cur, src, elemSize);
+            cur += elemSize;
+        }
+
+      private:
+        TrackFmBackend &b;
+        std::uint64_t cur;
+        std::uint32_t elemSize;
+    };
+
+    /** Chunked transformation: Fig. 5's rewritten loop body. */
+    class ChunkedStream : public SeqStream
+    {
+      public:
+        ChunkedStream(TrackFmBackend &backend, std::uint64_t addr,
+                      std::uint32_t elem_size, bool for_write)
+            : b(backend), cursor(backend.rt, addr, elem_size, for_write)
+        {}
+
+        void
+        read(void *dst) override
+        {
+            // The chunked loop body still carries a per-iteration
+            // branch, so its base cost is the non-vectorized one.
+            b.rt.clock().advance(b.rt.costs().guardedSeqAccessCycles);
+            cursor.read(dst);
+        }
+
+        void
+        write(const void *src) override
+        {
+            b.rt.clock().advance(b.rt.costs().guardedSeqAccessCycles);
+            cursor.write(src);
+        }
+
+      private:
+        TrackFmBackend &b;
+        ChunkCursorRaw cursor;
+    };
+
+    std::unique_ptr<SeqStream>
+    stream(std::uint64_t addr, std::uint32_t elem_size, std::uint64_t count,
+           StreamMode mode) override
+    {
+        bool chunk = false;
+        switch (cfg.chunkPolicy) {
+          case ChunkPolicy::None:
+            chunk = false;
+            break;
+          case ChunkPolicy::All:
+            chunk = true;
+            break;
+          case ChunkPolicy::CostModel:
+            // Density must clear the section 3.4 break-even AND the
+            // loop must span at least one whole object — the paper's
+            // profiler filters out loops "with a small iteration
+            // space", whose locality guard could never amortize.
+            chunk = model.shouldChunk(cfg.objectSizeBytes, elem_size) &&
+                    count * elem_size >= cfg.objectSizeBytes;
+            break;
+        }
+        if (chunk) {
+            // Compiler-directed prefetch for the detected induction
+            // stride (section 4.3).
+            if (cfg.prefetchEnabled)
+                rt.prefetchAhead(addr, 1, cfg.prefetchDepth);
+            return std::make_unique<ChunkedStream>(
+                *this, addr, elem_size, mode == StreamMode::Write);
+        }
+        return std::make_unique<GuardedStream>(*this, addr, elem_size);
+    }
+
+    void compute(std::uint64_t c) override { rt.clock().advance(c); }
+
+    void
+    initWrite(std::uint64_t addr, const void *src, std::size_t len) override
+    {
+        rt.rawWrite(addr, src, len);
+    }
+
+    void
+    initRead(std::uint64_t addr, void *dst, std::size_t len) override
+    {
+        rt.rawRead(addr, dst, len);
+    }
+
+    void dropCaches() override { rt.runtime().evacuateAll(); }
+
+    std::uint64_t cycles() const override { return rt.runtime().clock().now(); }
+
+    std::uint64_t
+    farEvents() const override
+    {
+        // Guard events that actually reached the remote node, the
+        // analogue of Fastswap's major faults (Figs. 14b / 16b).
+        const GuardStats &g = rt.guardStats();
+        return g.slowRemoteReads + g.slowRemoteWrites +
+               g.localityRemotes;
+    }
+
+    std::uint64_t
+    guardEvents() const override
+    {
+        return rt.guardStats().guardTotal();
+    }
+
+    std::uint64_t
+    bytesFetched() const override
+    {
+        return netStats().bytesFetched;
+    }
+
+    std::uint64_t
+    bytesTransferred() const override
+    {
+        return netStats().totalBytes();
+    }
+
+    StatSet
+    stats() const override
+    {
+        StatSet set;
+        rt.exportStats(set);
+        return set;
+    }
+
+    TfmRuntime &tfmRuntime() { return rt; }
+
+  private:
+    static RuntimeConfig
+    runtimeConfig(const BackendConfig &config)
+    {
+        RuntimeConfig rc;
+        rc.farHeapBytes = config.farHeapBytes;
+        rc.localMemBytes = config.localMemBytes;
+        rc.objectSizeBytes = config.objectSizeBytes;
+        rc.prefetchEnabled = config.prefetchEnabled;
+        rc.prefetchDepth = config.prefetchDepth;
+        return rc;
+    }
+
+    const NetStats &
+    netStats() const
+    {
+        return const_cast<TrackFmBackend *>(this)
+            ->rt.runtime()
+            .net()
+            .stats();
+    }
+
+    void
+    chargeBase(AccessHint hint)
+    {
+        rt.clock().advance(hint == AccessHint::Sequential
+                               ? rt.costs().guardedSeqAccessCycles
+                               : rt.costs().randAccessCycles);
+    }
+
+    BackendConfig cfg;
+    mutable TfmRuntime rt;
+    ChunkCostModel model;
+};
+
+/** Fastswap backend: kernel swap on the unmodified program. */
+class FastswapBackend : public MemBackend
+{
+  public:
+    FastswapBackend(const BackendConfig &config, const CostParams &cost_params)
+        : fs(fastswapConfig(config), cost_params)
+    {}
+
+    std::string name() const override { return "Fastswap"; }
+
+    std::uint64_t alloc(std::uint64_t bytes) override
+    {
+        return fs.allocate(bytes);
+    }
+
+    void dealloc(std::uint64_t addr) override { fs.deallocate(addr); }
+
+    void
+    read(std::uint64_t addr, void *dst, std::size_t len,
+         AccessHint hint) override
+    {
+        chargeBase(hint);
+        fs.readBytes(addr, dst, len);
+    }
+
+    void
+    write(std::uint64_t addr, const void *src, std::size_t len,
+          AccessHint hint) override
+    {
+        chargeBase(hint);
+        fs.writeBytes(addr, src, len);
+    }
+
+    class Stream : public SeqStream
+    {
+      public:
+        Stream(FastswapBackend &backend, std::uint64_t addr,
+               std::uint32_t elem_size)
+            : b(backend), cur(addr), elemSize(elem_size)
+        {}
+
+        void
+        read(void *dst) override
+        {
+            b.fs.clock().advance(b.fs.costs().seqAccessCycles);
+            b.fs.readBytes(cur, dst, elemSize);
+            cur += elemSize;
+        }
+
+        void
+        write(const void *src) override
+        {
+            b.fs.clock().advance(b.fs.costs().seqAccessCycles);
+            b.fs.writeBytes(cur, src, elemSize);
+            cur += elemSize;
+        }
+
+      private:
+        FastswapBackend &b;
+        std::uint64_t cur;
+        std::uint32_t elemSize;
+    };
+
+    std::unique_ptr<SeqStream>
+    stream(std::uint64_t addr, std::uint32_t elem_size, std::uint64_t count,
+           StreamMode mode) override
+    {
+        (void)count;
+        (void)mode;
+        return std::make_unique<Stream>(*this, addr, elem_size);
+    }
+
+    void compute(std::uint64_t c) override { fs.clock().advance(c); }
+
+    void
+    initWrite(std::uint64_t addr, const void *src, std::size_t len) override
+    {
+        fs.rawWrite(addr, src, len);
+    }
+
+    void
+    initRead(std::uint64_t addr, void *dst, std::size_t len) override
+    {
+        fs.rawRead(addr, dst, len);
+    }
+
+    void dropCaches() override { fs.evacuateAll(); }
+
+    std::uint64_t cycles() const override { return fs.clock().now(); }
+
+    std::uint64_t
+    farEvents() const override
+    {
+        return fs.stats().majorFaults;
+    }
+
+    std::uint64_t guardEvents() const override { return 0; }
+
+    std::uint64_t
+    bytesFetched() const override
+    {
+        return fs.netStats().bytesFetched;
+    }
+
+    std::uint64_t
+    bytesTransferred() const override
+    {
+        return fs.netStats().totalBytes();
+    }
+
+    StatSet
+    stats() const override
+    {
+        StatSet set;
+        fs.exportStats(set);
+        return set;
+    }
+
+  private:
+    static FastswapConfig
+    fastswapConfig(const BackendConfig &config)
+    {
+        FastswapConfig fc;
+        fc.farHeapBytes = config.farHeapBytes;
+        fc.localMemBytes = config.localMemBytes;
+        fc.readaheadEnabled = config.kernelReadahead;
+        fc.readaheadPages = config.prefetchDepth;
+        return fc;
+    }
+
+    void
+    chargeBase(AccessHint hint)
+    {
+        fs.clock().advance(hint == AccessHint::Sequential
+                               ? fs.costs().seqAccessCycles
+                               : fs.costs().randAccessCycles);
+    }
+
+    mutable FastswapRuntime fs;
+};
+
+/**
+ * AIFM backend: the library-ported program. Every access is bracketed
+ * by (amortized) deref scopes; sequential streams use library iterators
+ * with object-window reuse.
+ */
+class AifmBackend : public MemBackend
+{
+  public:
+    AifmBackend(const BackendConfig &config, const CostParams &cost_params)
+        : rt(runtimeConfig(config), cost_params)
+    {}
+
+    std::string name() const override { return "AIFM"; }
+
+    std::uint64_t alloc(std::uint64_t bytes) override
+    {
+        return rt.runtime().allocate(bytes);
+    }
+
+    void dealloc(std::uint64_t addr) override
+    {
+        rt.runtime().deallocate(addr);
+    }
+
+    void
+    read(std::uint64_t addr, void *dst, std::size_t len,
+         AccessHint hint) override
+    {
+        chargeBase(hint);
+        piecewise(addr, dst, nullptr, len, false);
+    }
+
+    void
+    write(std::uint64_t addr, const void *src, std::size_t len,
+          AccessHint hint) override
+    {
+        chargeBase(hint);
+        piecewise(addr, nullptr, src, len, true);
+    }
+
+    /** Library iterator stream with a pinned object window. */
+    class Stream : public SeqStream
+    {
+      public:
+        Stream(AifmBackend &backend, std::uint64_t addr,
+               std::uint32_t elem_size, bool for_write)
+            : b(backend), cur(addr), elemSize(elem_size),
+              writeMode(for_write)
+        {
+            refill();
+        }
+
+        ~Stream() override
+        {
+            if (curObj != noObj)
+                b.rt.runtime().unpinObject(curObj);
+        }
+
+        void
+        read(void *dst) override
+        {
+            b.rt.clock().advance(b.rt.costs().aifmIteratorCycles);
+            if (needRefill)
+                refill();
+            std::memcpy(dst, window + inWindow, elemSize);
+            step();
+        }
+
+        void
+        write(const void *src) override
+        {
+            b.rt.clock().advance(b.rt.costs().aifmIteratorCycles);
+            if (needRefill)
+                refill();
+            std::memcpy(window + inWindow, src, elemSize);
+            step();
+        }
+
+      private:
+        void
+        step()
+        {
+            cur += elemSize;
+            inWindow += elemSize;
+            // Lazy refill so a finished loop never walks off the array.
+            if (inWindow >= windowLen)
+                needRefill = true;
+        }
+
+        void
+        refill()
+        {
+            needRefill = false;
+            window = b.rt.deref(cur, writeMode);
+            auto &runtime = b.rt.runtime();
+            const auto &table = runtime.stateTable();
+            const std::uint64_t next = table.objectOf(cur);
+            runtime.pinObject(next);
+            if (curObj != noObj)
+                runtime.unpinObject(curObj);
+            curObj = next;
+            const std::uint64_t in_obj = table.offsetInObject(cur);
+            window -= in_obj;
+            inWindow = in_obj;
+            windowLen = table.objectSize();
+        }
+
+        static constexpr std::uint64_t noObj = ~0ull;
+
+        AifmBackend &b;
+        std::uint64_t cur;
+        std::uint32_t elemSize;
+        bool writeMode;
+        std::byte *window = nullptr;
+        std::uint64_t inWindow = 0;
+        std::uint64_t windowLen = 0;
+        std::uint64_t curObj = noObj;
+        bool needRefill = false;
+    };
+
+    std::unique_ptr<SeqStream>
+    stream(std::uint64_t addr, std::uint32_t elem_size, std::uint64_t count,
+           StreamMode mode) override
+    {
+        (void)count;
+        return std::make_unique<Stream>(*this, addr, elem_size,
+                                        mode == StreamMode::Write);
+    }
+
+    void compute(std::uint64_t c) override { rt.clock().advance(c); }
+
+    void
+    initWrite(std::uint64_t addr, const void *src, std::size_t len) override
+    {
+        rt.runtime().rawWrite(addr, src, len);
+    }
+
+    void
+    initRead(std::uint64_t addr, void *dst, std::size_t len) override
+    {
+        rt.runtime().rawRead(addr, dst, len);
+    }
+
+    void dropCaches() override { rt.runtime().evacuateAll(); }
+
+    std::uint64_t cycles() const override { return rt.runtime().clock().now(); }
+
+    std::uint64_t farEvents() const override { return rt.stats().misses; }
+
+    std::uint64_t guardEvents() const override { return 0; }
+
+    std::uint64_t
+    bytesFetched() const override
+    {
+        return netStats().bytesFetched;
+    }
+
+    std::uint64_t
+    bytesTransferred() const override
+    {
+        return netStats().totalBytes();
+    }
+
+    StatSet
+    stats() const override
+    {
+        StatSet set;
+        rt.exportStats(set);
+        return set;
+    }
+
+  private:
+    static RuntimeConfig
+    runtimeConfig(const BackendConfig &config)
+    {
+        RuntimeConfig rc;
+        rc.farHeapBytes = config.farHeapBytes;
+        rc.localMemBytes = config.localMemBytes;
+        rc.objectSizeBytes = config.objectSizeBytes;
+        rc.prefetchEnabled = config.prefetchEnabled;
+        rc.prefetchDepth = config.prefetchDepth;
+        return rc;
+    }
+
+    const NetStats &
+    netStats() const
+    {
+        return const_cast<AifmBackend *>(this)->rt.runtime().net().stats();
+    }
+
+    void
+    piecewise(std::uint64_t addr, void *dst, const void *src,
+              std::size_t len, bool for_write)
+    {
+        const auto &table = rt.runtime().stateTable();
+        std::size_t done = 0;
+        while (done < len) {
+            const std::uint64_t at = addr + done;
+            const std::uint64_t in_obj = table.offsetInObject(at);
+            const std::size_t piece = std::min<std::size_t>(
+                len - done, table.objectSize() - in_obj);
+            std::byte *data = rt.deref(at, for_write);
+            if (for_write) {
+                std::memcpy(data,
+                            static_cast<const std::byte *>(src) + done,
+                            piece);
+            } else {
+                std::memcpy(static_cast<std::byte *>(dst) + done, data,
+                            piece);
+            }
+            done += piece;
+        }
+    }
+
+    void
+    chargeBase(AccessHint hint)
+    {
+        rt.clock().advance(hint == AccessHint::Sequential
+                               ? rt.costs().seqAccessCycles
+                               : rt.costs().randAccessCycles);
+    }
+
+    mutable AifmRuntime rt;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<MemBackend>
+makeBackend(const BackendConfig &config, const CostParams &costs)
+{
+    switch (config.kind) {
+      case SystemKind::Local:
+        return std::make_unique<LocalBackend>(config, costs);
+      case SystemKind::TrackFm:
+        return std::make_unique<TrackFmBackend>(config, costs);
+      case SystemKind::Fastswap:
+        return std::make_unique<FastswapBackend>(config, costs);
+      case SystemKind::Aifm:
+        return std::make_unique<AifmBackend>(config, costs);
+    }
+    TFM_PANIC("unknown backend kind");
+}
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Local:
+        return "Local";
+      case SystemKind::TrackFm:
+        return "TrackFM";
+      case SystemKind::Fastswap:
+        return "Fastswap";
+      case SystemKind::Aifm:
+        return "AIFM";
+    }
+    return "?";
+}
+
+BackendSnapshot
+snapshot(const MemBackend &backend)
+{
+    BackendSnapshot s;
+    s.cycles = backend.cycles();
+    s.farEvents = backend.farEvents();
+    s.guardEvents = backend.guardEvents();
+    s.bytesFetched = backend.bytesFetched();
+    s.bytesTransferred = backend.bytesTransferred();
+    return s;
+}
+
+BackendSnapshot
+deltaSince(const BackendSnapshot &a, const BackendSnapshot &b)
+{
+    BackendSnapshot d;
+    d.cycles = b.cycles - a.cycles;
+    d.farEvents = b.farEvents - a.farEvents;
+    d.guardEvents = b.guardEvents - a.guardEvents;
+    d.bytesFetched = b.bytesFetched - a.bytesFetched;
+    d.bytesTransferred = b.bytesTransferred - a.bytesTransferred;
+    return d;
+}
+
+} // namespace tfm

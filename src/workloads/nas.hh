@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Serial NAS-style kernels (Table 3 / Figure 17 of the paper).
+ *
+ * Five kernels with the access-pattern structure of the NAS Parallel
+ * Benchmarks' C++ serial versions the paper evaluates:
+ *
+ *  - CG: conjugate-gradient iterations over a CSR sparse matrix —
+ *        sequential matrix scans plus random gathers from the x vector;
+ *  - FT: 3D FFT — per-line butterfly passes along all three dimensions
+ *        (contiguous, nx-strided, nx*ny-strided) with strong temporal
+ *        reuse inside a line and deeply nested tight loops;
+ *  - IS: integer bucket sort — sequential key scan, small histogram,
+ *        then a random scatter into the ranked output;
+ *  - MG: multigrid V-cycle — 7-point stencil smoothing at several
+ *        resolutions;
+ *  - SP: scalar penta-diagonal solver — forward/backward line sweeps
+ *        over multiple coefficient arrays.
+ *
+ * Each kernel takes a `preOptimized` flag modelling the paper's
+ * Figure 17b experiment: without pre-optimization (the default NOELLE
+ * pipeline) the generated code performs redundant loads that each carry
+ * a guard; with the O1 pipeline those loads are eliminated (the paper
+ * measured 6x fewer memory instructions for FT and 4x for SP).
+ */
+
+#ifndef TRACKFM_WORKLOADS_NAS_HH
+#define TRACKFM_WORKLOADS_NAS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "backend.hh"
+
+namespace tfm
+{
+
+/** NAS kernel parameters. */
+struct NasParams
+{
+    /// Problem scale knob; each kernel maps it to its own dimensions.
+    std::uint32_t scale = 16;
+    std::uint32_t iterations = 1;
+    /// Run the "TFM/O1" variant: redundant loads eliminated.
+    bool preOptimized = false;
+    std::uint64_t seed = 31;
+};
+
+/** Result of one kernel run. */
+struct NasResult
+{
+    BackendSnapshot delta;
+    double checksum = 0.0;
+};
+
+/** Common kernel interface. */
+class NasKernel
+{
+  public:
+    virtual ~NasKernel() = default;
+    virtual std::string name() const = 0;
+    virtual std::uint64_t workingSetBytes() const = 0;
+    virtual NasResult run() = 0;
+};
+
+/** Instantiate a kernel by its NAS name ("cg", "ft", "is", "mg", "sp"). */
+std::unique_ptr<NasKernel> makeNasKernel(const std::string &name,
+                                         MemBackend &backend,
+                                         const NasParams &params);
+
+} // namespace tfm
+
+#endif // TRACKFM_WORKLOADS_NAS_HH

@@ -1,0 +1,177 @@
+#include "trace_replay.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/zipf.hh"
+
+namespace tfm
+{
+
+TraceReplayer::TraceReplayer(MemBackend &backend, std::uint64_t arena_bytes)
+    : b(backend), arenaSize(arena_bytes)
+{
+    TFM_ASSERT(arena_bytes >= 4096, "trace arena too small");
+    arenaAddr = b.alloc(arena_bytes);
+    // Deterministic arena contents so checksums are comparable.
+    for (std::uint64_t i = 0; i < arena_bytes / 8; i++) {
+        b.initT<std::uint64_t>(arenaAddr + i * 8,
+                               i * 0x9e3779b97f4a7c15ull);
+    }
+    b.dropCaches();
+}
+
+TraceReplayResult
+TraceReplayer::replay(const std::vector<TraceOp> &trace)
+{
+    TraceReplayResult result;
+    const BackendSnapshot before = snapshot(b);
+    std::uint8_t buffer[512];
+
+    for (const TraceOp &op : trace) {
+        const std::uint32_t size = std::min<std::uint32_t>(
+            op.size ? op.size : 8, sizeof(buffer));
+        // Clamp into the arena, aligned to the access size.
+        const std::uint64_t span = arenaSize - size;
+        const std::uint64_t offset =
+            std::min(op.offset, span) / size * size;
+
+        switch (op.kind) {
+          case TraceOp::Kind::Read: {
+            b.read(arenaAddr + offset, buffer, size,
+                   AccessHint::Random);
+            for (std::uint32_t i = 0; i < size; i++)
+                result.checksum += buffer[i];
+            result.bytesAccessed += size;
+            break;
+          }
+          case TraceOp::Kind::Write: {
+            for (std::uint32_t i = 0; i < size; i++)
+                buffer[i] = static_cast<std::uint8_t>(
+                    result.checksum + i + op.offset);
+            b.write(arenaAddr + offset, buffer, size,
+                    AccessHint::Random);
+            result.bytesAccessed += size;
+            break;
+          }
+          case TraceOp::Kind::StreamRead:
+          case TraceOp::Kind::StreamWrite: {
+            const bool writes = op.kind == TraceOp::Kind::StreamWrite;
+            const std::uint64_t max_count = (arenaSize - offset) / size;
+            const std::uint64_t count =
+                std::min(op.count ? op.count : 1, max_count);
+            auto stream =
+                b.stream(arenaAddr + offset, size, count,
+                         writes ? StreamMode::Write : StreamMode::Read);
+            for (std::uint64_t i = 0; i < count; i++) {
+                if (writes) {
+                    for (std::uint32_t k = 0; k < size; k++)
+                        buffer[k] = static_cast<std::uint8_t>(i + k);
+                    stream->write(buffer);
+                } else {
+                    stream->read(buffer);
+                    result.checksum += buffer[0];
+                }
+            }
+            result.bytesAccessed += count * size;
+            break;
+          }
+        }
+        result.operations++;
+    }
+
+    result.delta = deltaSince(before, snapshot(b));
+    return result;
+}
+
+std::vector<TraceOp>
+TraceReplayer::uniform(std::uint64_t operations, std::uint64_t arena_bytes,
+                       int write_percent, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TraceOp> trace;
+    trace.reserve(operations);
+    for (std::uint64_t i = 0; i < operations; i++) {
+        TraceOp op;
+        op.kind = (rng.below(100) <
+                   static_cast<std::uint64_t>(write_percent))
+                      ? TraceOp::Kind::Write
+                      : TraceOp::Kind::Read;
+        op.offset = rng.below(arena_bytes);
+        op.size = 8;
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+std::vector<TraceOp>
+TraceReplayer::zipfian(std::uint64_t operations, std::uint64_t arena_bytes,
+                       std::uint32_t block_bytes, double skew,
+                       std::uint64_t seed)
+{
+    const std::uint64_t blocks = arena_bytes / block_bytes;
+    ZipfGenerator zipf(blocks, skew, seed);
+    Rng rng(seed + 1);
+    std::vector<TraceOp> trace;
+    trace.reserve(operations);
+    for (std::uint64_t i = 0; i < operations; i++) {
+        TraceOp op;
+        op.kind = TraceOp::Kind::Read;
+        op.offset =
+            zipf.next() * block_bytes + rng.below(block_bytes);
+        op.size = 8;
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+std::vector<TraceOp>
+TraceReplayer::sequentialSweeps(int sweeps, std::uint64_t arena_bytes,
+                                std::uint32_t elem_bytes, bool writes)
+{
+    std::vector<TraceOp> trace;
+    for (int i = 0; i < sweeps; i++) {
+        TraceOp op;
+        op.kind = writes ? TraceOp::Kind::StreamWrite
+                         : TraceOp::Kind::StreamRead;
+        op.offset = 0;
+        op.size = elem_bytes;
+        op.count = arena_bytes / elem_bytes;
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+std::vector<TraceOp>
+TraceReplayer::phased(int phases, std::uint64_t ops_per_phase,
+                      std::uint64_t arena_bytes, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TraceOp> trace;
+    for (int phase = 0; phase < phases; phase++) {
+        if (phase % 2 == 0) {
+            // Sequential phase: one sweep over a random half.
+            TraceOp op;
+            op.kind = TraceOp::Kind::StreamRead;
+            op.size = 8;
+            op.count = std::min<std::uint64_t>(ops_per_phase,
+                                               arena_bytes / 16);
+            op.offset = rng.below(arena_bytes / 2);
+            trace.push_back(op);
+        } else {
+            // Random burst.
+            for (std::uint64_t i = 0; i < ops_per_phase; i++) {
+                TraceOp op;
+                op.kind = rng.below(4) == 0 ? TraceOp::Kind::Write
+                                            : TraceOp::Kind::Read;
+                op.offset = rng.below(arena_bytes);
+                op.size = 8;
+                trace.push_back(op);
+            }
+        }
+    }
+    return trace;
+}
+
+} // namespace tfm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace-driven workload replayer.
+ *
+ * Many far-memory studies (including AIFM's and Fastswap's) drive the
+ * system from recorded or synthesized access traces. This replayer
+ * executes a sequence of {read, write, stream} operations against any
+ * MemBackend, and ships generators for the standard mixes (uniform,
+ * zipfian, sequential, strided, and a locality-phased mix), so new
+ * experiments can be composed without writing workload code.
+ */
+
+#ifndef TRACKFM_WORKLOADS_TRACE_REPLAY_HH
+#define TRACKFM_WORKLOADS_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "backend.hh"
+
+namespace tfm
+{
+
+/** One trace operation. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Read,       ///< random-hint read of `size` bytes at `offset`
+        Write,      ///< random-hint write
+        StreamRead, ///< sequential stream of `count` elements of `size`
+        StreamWrite
+    };
+
+    Kind kind = Kind::Read;
+    std::uint64_t offset = 0; ///< byte offset within the trace arena
+    std::uint32_t size = 8;   ///< access/element size in bytes
+    std::uint64_t count = 1;  ///< elements (streams only)
+};
+
+/** Replay statistics. */
+struct TraceReplayResult
+{
+    BackendSnapshot delta;
+    std::uint64_t operations = 0;
+    std::uint64_t bytesAccessed = 0;
+    /// XOR/sum fingerprint over all data read; equal across backends
+    /// for equal traces.
+    std::uint64_t checksum = 0;
+};
+
+/**
+ * Owns one far-memory arena on a backend and replays traces against it.
+ */
+class TraceReplayer
+{
+  public:
+    /**
+     * @param backend the memory system under test
+     * @param arena_bytes the arena every trace offset indexes into
+     */
+    TraceReplayer(MemBackend &backend, std::uint64_t arena_bytes);
+
+    /** Replay a trace; offsets are clamped into the arena. */
+    TraceReplayResult replay(const std::vector<TraceOp> &trace);
+
+    std::uint64_t arenaBytes() const { return arenaSize; }
+
+    /** @name Trace generators
+     * @{ */
+    /** Uniform random single-word accesses, `write_percent`% writes. */
+    static std::vector<TraceOp> uniform(std::uint64_t operations,
+                                        std::uint64_t arena_bytes,
+                                        int write_percent,
+                                        std::uint64_t seed);
+
+    /** Zipf-popular blocks of `block_bytes` (hot-set workloads). */
+    static std::vector<TraceOp> zipfian(std::uint64_t operations,
+                                        std::uint64_t arena_bytes,
+                                        std::uint32_t block_bytes,
+                                        double skew, std::uint64_t seed);
+
+    /** Whole-arena sequential sweeps (STREAM-like). */
+    static std::vector<TraceOp> sequentialSweeps(int sweeps,
+                                                 std::uint64_t arena_bytes,
+                                                 std::uint32_t elem_bytes,
+                                                 bool writes);
+
+    /**
+     * Phased mix: alternating sequential-sweep and random-burst phases
+     * (the locality phase changes that stress prefetcher training).
+     */
+    static std::vector<TraceOp> phased(int phases,
+                                       std::uint64_t ops_per_phase,
+                                       std::uint64_t arena_bytes,
+                                       std::uint64_t seed);
+    /** @} */
+
+  private:
+    MemBackend &b;
+    std::uint64_t arenaSize;
+    std::uint64_t arenaAddr;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_WORKLOADS_TRACE_REPLAY_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared textual IR programs used across the compiler tests.
+ */
+
+#ifndef TRACKFM_TESTS_IR_TEST_PROGRAMS_HH
+#define TRACKFM_TESTS_IR_TEST_PROGRAMS_HH
+
+namespace tfm::testprogs
+{
+
+/**
+ * Initialize a 1000-element i64 heap array with a[i] = i, then sum it.
+ * Expected result: 499500.
+ */
+inline const char *const sumProgram = R"(
+func @main() -> i64 {
+entry:
+  %a = call ptr @malloc(8000)
+  br init
+init:
+  %i = phi i64 [ 0, entry ], [ %i2, init ]
+  %p = gep %a, %i, 8
+  store %i, %p
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 1000
+  condbr %c, init, compute
+compute:
+  br loop
+loop:
+  %j = phi i64 [ 0, compute ], [ %j2, loop ]
+  %acc = phi i64 [ 0, compute ], [ %acc2, loop ]
+  %q = gep %a, %j, 8
+  %v = load i64, %q
+  %acc2 = add %acc, %v
+  %j2 = add %j, 1
+  %c2 = icmp.slt %j2, 1000
+  condbr %c2, loop, exit
+exit:
+  ret %acc2
+}
+)";
+
+/**
+ * Same computation over 4-byte elements (2000 of them, a[i] = i % 7),
+ * giving object density 1024 at 4 KB objects — above the chunking
+ * break-even. Expected result: sum of (i % 7) for i in [0, 2000) =
+ * 285 * 21 + (0+1+2+3+4) = 5995.
+ */
+inline const char *const sumI32Program = R"(
+func @main() -> i64 {
+entry:
+  %a = call ptr @malloc(8000)
+  br init
+init:
+  %i = phi i64 [ 0, entry ], [ %i2, init ]
+  %p = gep %a, %i, 4
+  %m = srem %i, 7
+  %m32 = trunc %m to i32
+  store %m32, %p
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 2000
+  condbr %c, init, compute
+compute:
+  br loop
+loop:
+  %j = phi i64 [ 0, compute ], [ %j2, loop ]
+  %acc = phi i64 [ 0, compute ], [ %acc2, loop ]
+  %q = gep %a, %j, 4
+  %v = load i32, %q
+  %acc2 = add %acc, %v
+  %j2 = add %j, 1
+  %c2 = icmp.slt %j2, 2000
+  condbr %c2, loop, exit
+exit:
+  ret %acc2
+}
+)";
+
+/** Stack-only computation: no heap access, so no guards are needed. */
+inline const char *const stackProgram = R"(
+func @main() -> i64 {
+entry:
+  %buf = alloca 80
+  br fill
+fill:
+  %i = phi i64 [ 0, entry ], [ %i2, fill ]
+  %p = gep %buf, %i, 8
+  store %i, %p
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 10
+  condbr %c, fill, read
+read:
+  %q = gep %buf, 4, 8
+  %v = load i64, %q
+  ret %v
+}
+)";
+
+/**
+ * A function with calls, casts, floats, and redundant loads (for the
+ * O1 pipeline): computes 3.5 * 2 as an integer plus a re-loaded value.
+ */
+inline const char *const o1Program = R"(
+func @main() -> i64 {
+entry:
+  %buf = alloca 16
+  store 21, %buf
+  %v1 = load i64, %buf
+  %v2 = load i64, %buf
+  %dead = mul 3, 4
+  %folded = add 20, 22
+  %sum = add %v1, %v2
+  %total = add %sum, %folded
+  ret %total
+}
+)";
+
+} // namespace tfm::testprogs
+
+#endif // TRACKFM_TESTS_IR_TEST_PROGRAMS_HH

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the compiler analyses: CFG, dominators, loops,
+ * induction variables, heap provenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/heap_provenance.hh"
+#include "analysis/induction_variable.hh"
+#include "analysis/loop_info.hh"
+#include "ir/parser.hh"
+#include "ir_test_programs.hh"
+
+namespace tfm
+{
+namespace
+{
+
+ir::ParseResult
+parseOrDie(const char *text)
+{
+    auto result = ir::parseModule(text);
+    EXPECT_TRUE(result.ok()) << result.error;
+    return result;
+}
+
+TEST(CfgAnalysis, RpoStartsAtEntry)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    ASSERT_FALSE(cfg.reversePostOrder().empty());
+    EXPECT_EQ(cfg.reversePostOrder().front(), main_fn->entry());
+    EXPECT_EQ(cfg.reversePostOrder().size(), 5u);
+}
+
+TEST(CfgAnalysis, PredecessorsAreComplete)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    ir::BasicBlock *loop = main_fn->findBlock("loop");
+    const auto &preds = cfg.predecessors(loop);
+    EXPECT_EQ(preds.size(), 2u); // compute + the loop itself
+}
+
+TEST(CfgAnalysis, UnreachableBlocksAreReported)
+{
+    const char *text = R"(
+func @f() -> i64 {
+entry:
+  ret 1
+island:
+  ret 2
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const Cfg cfg(*fn);
+    EXPECT_TRUE(cfg.reachable(fn->findBlock("entry")));
+    EXPECT_FALSE(cfg.reachable(fn->findBlock("island")));
+}
+
+TEST(Dominators, EntryDominatesEverything)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    const DominatorTree dom(*main_fn, cfg);
+    for (const auto &block : main_fn->basicBlocks())
+        EXPECT_TRUE(dom.dominates(main_fn->entry(), block.get()));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    const DominatorTree dom(*main_fn, cfg);
+    EXPECT_TRUE(dom.dominates(main_fn->findBlock("init"),
+                              main_fn->findBlock("loop")));
+    EXPECT_FALSE(dom.dominates(main_fn->findBlock("loop"),
+                               main_fn->findBlock("init")));
+    EXPECT_EQ(dom.idom(main_fn->entry()), nullptr);
+}
+
+TEST(Loops, FindsBothLoopsWithPreheaders)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    const DominatorTree dom(*main_fn, cfg);
+    const LoopInfo loops(*main_fn, cfg, dom);
+    ASSERT_EQ(loops.loops().size(), 2u);
+    for (const auto &loop : loops.loops()) {
+        EXPECT_NE(loop->preheader, nullptr);
+        EXPECT_EQ(loop->blocks.size(), 1u); // single-block loops
+        EXPECT_EQ(loop->depth, 1u);
+    }
+}
+
+TEST(Loops, DetectsNesting)
+{
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+  br outer
+outer:
+  %i = phi i64 [ 0, entry ], [ %i2, outer.latch ]
+  br inner
+inner:
+  %j = phi i64 [ 0, outer ], [ %j2, inner ]
+  %j2 = add %j, 1
+  %cj = icmp.slt %j2, %n
+  condbr %cj, inner, outer.latch
+outer.latch:
+  %i2 = add %i, 1
+  %ci = icmp.slt %i2, %n
+  condbr %ci, outer, exit
+exit:
+  ret %i
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const Cfg cfg(*fn);
+    const DominatorTree dom(*fn, cfg);
+    const LoopInfo loops(*fn, cfg, dom);
+    ASSERT_EQ(loops.loops().size(), 2u);
+    const Loop *inner = loops.innermostLoopFor(fn->findBlock("inner"));
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->header, fn->findBlock("inner"));
+    EXPECT_EQ(inner->depth, 2u);
+}
+
+TEST(InductionVariablesAnalysis, FindsLoopCounter)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    const DominatorTree dom(*main_fn, cfg);
+    const LoopInfo loops(*main_fn, cfg, dom);
+
+    const Loop *sum_loop =
+        loops.innermostLoopFor(main_fn->findBlock("loop"));
+    ASSERT_NE(sum_loop, nullptr);
+    const InductionVariables ivs(*sum_loop, *main_fn);
+    // %j is a basic IV; %acc is also detected structurally only if its
+    // step is constant — it is not (step is %v), so exactly one IV.
+    ASSERT_EQ(ivs.basicIvs().size(), 1u);
+    EXPECT_EQ(ivs.basicIvs()[0].step, 1);
+}
+
+TEST(InductionVariablesAnalysis, FindsStridedAccess)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    const DominatorTree dom(*main_fn, cfg);
+    const LoopInfo loops(*main_fn, cfg, dom);
+
+    const Loop *init_loop =
+        loops.innermostLoopFor(main_fn->findBlock("init"));
+    const InductionVariables ivs(*init_loop, *main_fn);
+    ASSERT_EQ(ivs.stridedAccesses().size(), 1u);
+    const StridedAccess &access = ivs.stridedAccesses()[0];
+    EXPECT_TRUE(access.isWrite);
+    EXPECT_EQ(access.strideBytes, 8);
+    EXPECT_EQ(access.elementBytes, 8u);
+    EXPECT_EQ(access.guard, nullptr); // guards not inserted yet
+}
+
+TEST(InductionVariablesAnalysis, LoopInvariantBase)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const Cfg cfg(*main_fn);
+    const DominatorTree dom(*main_fn, cfg);
+    const LoopInfo loops(*main_fn, cfg, dom);
+    const Loop *init_loop =
+        loops.innermostLoopFor(main_fn->findBlock("init"));
+    const InductionVariables ivs(*init_loop, *main_fn);
+    const StridedAccess &access = ivs.stridedAccesses()[0];
+    EXPECT_TRUE(ivs.isLoopInvariant(access.base));
+    EXPECT_FALSE(ivs.isLoopInvariant(access.iv->phi));
+}
+
+TEST(HeapProvenanceAnalysis, MallocIsHeapAllocaIsNot)
+{
+    auto parsed = parseOrDie(testprogs::sumProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const HeapProvenance provenance(*main_fn);
+    // %a = call @malloc: Heap. Derived geps: Heap.
+    for (const auto &block : main_fn->basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Call) {
+                EXPECT_EQ(provenance.of(inst.get()), Provenance::Heap);
+            }
+            if (inst->op() == ir::Opcode::Gep) {
+                EXPECT_TRUE(provenance.needsGuard(inst.get()));
+                EXPECT_EQ(provenance.of(inst.get()), Provenance::Heap);
+            }
+        }
+    }
+}
+
+TEST(HeapProvenanceAnalysis, StackAccessesNeedNoGuard)
+{
+    auto parsed = parseOrDie(testprogs::stackProgram);
+    const ir::Function *main_fn = parsed.module->findFunction("main");
+    const HeapProvenance provenance(*main_fn);
+    for (const auto &block : main_fn->basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Alloca ||
+                inst->op() == ir::Opcode::Gep) {
+                EXPECT_FALSE(provenance.needsGuard(inst.get()));
+            }
+        }
+    }
+}
+
+TEST(HeapProvenanceAnalysis, ArgumentsAreUnknown)
+{
+    const char *text = R"(
+func @f(%p: ptr) -> i64 {
+entry:
+  %v = load i64, %p
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const HeapProvenance provenance(*fn);
+    const ir::Value *arg = fn->arguments()[0].get();
+    EXPECT_EQ(provenance.of(arg), Provenance::Unknown);
+    EXPECT_TRUE(provenance.needsGuard(arg)); // custody check decides
+}
+
+TEST(HeapProvenanceAnalysis, PhiMergesToUnknown)
+{
+    const char *text = R"(
+func @f(%c: i64) -> i64 {
+entry:
+  %h = call ptr @malloc(64)
+  %s = alloca 64
+  condbr %c, a, b
+a:
+  br join
+b:
+  br join
+join:
+  %p = phi ptr [ %h, a ], [ %s, b ]
+  %v = load i64, %p
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const HeapProvenance provenance(*fn);
+    const ir::BasicBlock *join = fn->findBlock("join");
+    const ir::Instruction *phi = join->instructions().front().get();
+    EXPECT_EQ(provenance.of(phi), Provenance::Unknown);
+    EXPECT_TRUE(provenance.needsGuard(phi));
+}
+
+TEST(HeapProvenanceAnalysis, IntCastsPreserveCustody)
+{
+    // The paper: "even if a pointer is cast to an integer type ... the
+    // resulting load/store will still be properly guarded".
+    const char *text = R"(
+func @f() -> i64 {
+entry:
+  %h = call ptr @malloc(64)
+  %as_int = ptrtoint %h to i64
+  %bumped = add %as_int, 8
+  %back = inttoptr %bumped to ptr
+  %v = load i64, %back
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const HeapProvenance provenance(*fn);
+    for (const auto &inst : fn->entry()->instructions()) {
+        if (inst->name() == "back") {
+            EXPECT_EQ(provenance.of(inst.get()), Provenance::Heap);
+        }
+    }
+}
+
+} // namespace
+} // namespace tfm

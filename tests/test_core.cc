@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the top-level System facade: compile, run, error handling,
+ * configuration plumbing, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "ir_test_programs.hh"
+
+namespace tfm
+{
+namespace
+{
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.runtime.farHeapBytes = 4 << 20;
+    config.runtime.localMemBytes = 256 << 10;
+    config.runtime.objectSizeBytes = 4096;
+    return config;
+}
+
+TEST(System, CompileAndRunQuickstart)
+{
+    System system(smallConfig());
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    const RunResult result = system.run(*compiled.program);
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 499500);
+}
+
+TEST(System, CompileReportsPipelineStages)
+{
+    System system(smallConfig());
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok());
+    const PipelineReport &report = compiled.program->pipelineReport();
+    // O1 (4 passes) + TrackFM (5 passes).
+    EXPECT_EQ(report.entries.size(), 9u);
+    EXPECT_TRUE(report.ok());
+}
+
+TEST(System, PreOptimizeCanBeDisabled)
+{
+    SystemConfig config = smallConfig();
+    config.preOptimize = false;
+    System system(config);
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_EQ(compiled.program->pipelineReport().entries.size(), 5u);
+    const RunResult result = system.run(*compiled.program);
+    EXPECT_EQ(result.returnValue, 499500);
+}
+
+TEST(System, ParseOnlyRunsUntransformed)
+{
+    System system(smallConfig());
+    CompileResult parsed = system.parseOnly(testprogs::sumProgram);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const RunResult result = system.run(*parsed.program);
+    EXPECT_EQ(result.returnValue, 499500);
+    // Untransformed: nothing was guarded.
+    EXPECT_EQ(system.runtime().guardStats().guardTotal(), 0u);
+}
+
+TEST(System, CompileErrorsAreReported)
+{
+    System system(smallConfig());
+    const CompileResult bad = system.compile("func @f( garbage");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_NE(bad.error.find("parse error"), std::string::npos);
+}
+
+TEST(System, InvalidModuleIsRejected)
+{
+    System system(smallConfig());
+    // Block without terminator.
+    const CompileResult bad =
+        system.compile("func @f() -> i64 {\nentry:\n  %x = add 1, 2\n}\n");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_NE(bad.error.find("invalid module"), std::string::npos);
+}
+
+TEST(System, DisassembleShowsTransformedIr)
+{
+    System system(smallConfig());
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok());
+    const std::string text = compiled.program->disassemble();
+    EXPECT_NE(text.find("guard"), std::string::npos);
+    EXPECT_NE(text.find("tfm_malloc"), std::string::npos);
+    EXPECT_NE(text.find("tfm_runtime_init"), std::string::npos);
+}
+
+TEST(System, StatsAggregateGuardAndRuntimeCounters)
+{
+    System system(smallConfig());
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok());
+    system.run(*compiled.program);
+    const StatSet stats = system.stats();
+    EXPECT_GT(stats.get("guard.fast_reads") +
+                  stats.get("guard.boundary_checks"),
+              0u);
+    EXPECT_GT(stats.get("net.bytes_fetched"), 0u);
+    EXPECT_GT(system.cycles(), 0u);
+    EXPECT_GT(system.seconds(), 0.0);
+}
+
+TEST(System, ObjectSizeFlowsFromRuntimeToPasses)
+{
+    SystemConfig config = smallConfig();
+    config.runtime.objectSizeBytes = 256;
+    System system(config);
+    EXPECT_EQ(system.config().passes.objectSizeBytes, 256u);
+}
+
+TEST(System, MemoryPressureDoesNotChangeAnswers)
+{
+    // Property: for any local-memory budget, the transformed program
+    // computes the same result; only the cycle count changes.
+    std::int64_t reference = 0;
+    std::uint64_t previous_cycles = 0;
+    for (const std::uint64_t frames : {2ull, 4ull, 16ull, 64ull}) {
+        SystemConfig config = smallConfig();
+        config.runtime.localMemBytes = frames * 4096;
+        System system(config);
+        CompileResult compiled = system.compile(testprogs::sumProgram);
+        ASSERT_TRUE(compiled.ok());
+        const RunResult result = system.run(*compiled.program);
+        ASSERT_TRUE(result.ok()) << result.trapMessage;
+        if (reference == 0)
+            reference = result.returnValue;
+        EXPECT_EQ(result.returnValue, reference);
+        // More memory never hurts in this monotone workload.
+        if (previous_cycles > 0) {
+            EXPECT_LE(system.cycles(), previous_cycles);
+        }
+        previous_cycles = system.cycles();
+    }
+}
+
+TEST(System, RunMissingFunctionTraps)
+{
+    System system(smallConfig());
+    CompileResult compiled = system.compile(testprogs::stackProgram);
+    ASSERT_TRUE(compiled.ok());
+    const RunResult result = system.run(*compiled.program, "nope");
+    EXPECT_TRUE(result.trapped);
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Failure-injection and stress tests: resource exhaustion must fail
+ * loudly (never corrupt), misuse must be caught, and the guard trace
+ * must tell the truth about what happened.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "tfm/chunk.hh"
+#include "tfm/guard_trace.hh"
+#include "tfm/tfm_runtime.hh"
+#include "workloads/backend_config.hh"
+#include "workloads/trace_replay.hh"
+
+namespace tfm
+{
+namespace
+{
+
+RuntimeConfig
+tinyConfig(std::uint64_t frames = 4, std::uint32_t object_size = 4096)
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 1 << 20;
+    cfg.localMemBytes = frames * object_size;
+    cfg.objectSizeBytes = object_size;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+TEST(FailureInjection, FarHeapExhaustionPanics)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    rt.tfmMalloc(512 << 10);
+    EXPECT_DEATH(rt.tfmMalloc(1 << 20), "far heap exhausted");
+}
+
+TEST(FailureInjection, DoubleFreeIsCaught)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(128);
+    rt.tfmFree(addr);
+    EXPECT_DEATH(rt.tfmFree(addr), "unknown far pointer");
+}
+
+TEST(FailureInjection, FreeOfWildPointerIsCaught)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    rt.tfmMalloc(128);
+    EXPECT_DEATH(rt.tfmFree(tfmEncode(77777)), "unknown far pointer");
+}
+
+TEST(FailureInjection, AllFramesPinnedPanicsOnNextMiss)
+{
+    // Pin every frame through chunk cursors, then demand another
+    // object: the runtime must refuse loudly.
+    TfmRuntime rt(tinyConfig(2), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(16 * 4096);
+    ChunkCursor<std::int64_t> first(rt, addr, false);
+    first.read(); // pins object 0
+    ChunkCursor<std::int64_t> second(rt, addr + 4096, false);
+    second.read(); // pins object 1 — both frames now pinned
+    EXPECT_DEATH(rt.load<std::int64_t>(addr + 2 * 4096),
+                 "every frame is pinned");
+}
+
+TEST(FailureInjection, UnpinWithoutPinIsCaught)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::int64_t>(addr);
+    EXPECT_DEATH(rt.runtime().unpinObject(0), "unpinning an unpinned");
+}
+
+TEST(FailureInjection, OutOfTableObjectAccessIsCaught)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    // An address past the far heap maps to no state-table entry.
+    EXPECT_DEATH(rt.load<std::int64_t>(tfmEncode(8 << 20)),
+                 "out of table range");
+}
+
+TEST(GuardTraceTest, RecordsPathsInOrder)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    rt.guardTrace().enable(16);
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::int64_t>(addr);  // slow remote
+    rt.load<std::int64_t>(addr);  // fast
+    rt.store<std::int64_t>(addr, 5); // fast write
+    std::uint64_t host_value = 1;
+    rt.load<std::uint64_t>(reinterpret_cast<std::uint64_t>(&host_value));
+
+    const auto events = rt.guardTrace().chronological();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].path, GuardPath::SlowRemoteRead);
+    EXPECT_EQ(events[1].path, GuardPath::FastRead);
+    EXPECT_EQ(events[2].path, GuardPath::FastWrite);
+    EXPECT_EQ(events[3].path, GuardPath::CustodyReject);
+    // Cycles are non-decreasing.
+    for (std::size_t i = 1; i < events.size(); i++)
+        EXPECT_GE(events[i].cycle, events[i - 1].cycle);
+}
+
+TEST(GuardTraceTest, RingBufferKeepsNewest)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    rt.guardTrace().enable(8);
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    for (int i = 0; i < 50; i++)
+        rt.load<std::int64_t>(addr);
+    EXPECT_TRUE(rt.guardTrace().overflowed());
+    const auto events = rt.guardTrace().chronological();
+    ASSERT_EQ(events.size(), 8u);
+    for (const GuardEvent &event : events)
+        EXPECT_EQ(event.path, GuardPath::FastRead);
+}
+
+TEST(GuardTraceTest, DisabledTraceCostsNothing)
+{
+    TfmRuntime rt(tinyConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::int64_t>(addr);
+    EXPECT_EQ(rt.guardTrace().size(), 0u);
+    EXPECT_FALSE(rt.guardTrace().enabled());
+}
+
+TEST(GuardTraceTest, LocalityPathsAreTraced)
+{
+    TfmRuntime rt(tinyConfig(8, 256), CostParams{});
+    rt.guardTrace().enable(64);
+    const std::uint64_t addr = rt.tfmMalloc(1024);
+    {
+        ChunkCursor<std::int32_t> cursor(rt, addr, false);
+        for (int i = 0; i < 256; i++)
+            cursor.read();
+    }
+    int locality_events = 0;
+    for (const GuardEvent &event : rt.guardTrace().chronological()) {
+        locality_events += (event.path == GuardPath::LocalityRemote ||
+                            event.path == GuardPath::LocalityLocal);
+    }
+    EXPECT_EQ(locality_events, 4); // 1024 B / 256 B objects
+}
+
+TEST(TraceReplayTest, ChecksumsAgreeAcrossBackends)
+{
+    const auto trace = TraceReplayer::phased(6, 300, 1 << 20, 5);
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    for (const SystemKind kind : {SystemKind::Local, SystemKind::TrackFm,
+                                  SystemKind::Fastswap, SystemKind::Aifm}) {
+        BackendConfig cfg;
+        cfg.kind = kind;
+        cfg.farHeapBytes = 4 << 20;
+        cfg.localMemBytes = 256 << 10;
+        cfg.objectSizeBytes = 1024;
+        auto backend = makeBackend(cfg, CostParams{});
+        TraceReplayer replayer(*backend, 1 << 20);
+        const TraceReplayResult result = replayer.replay(trace);
+        EXPECT_EQ(result.operations, trace.size()) << systemName(kind);
+        if (!have_reference) {
+            reference = result.checksum;
+            have_reference = true;
+        }
+        EXPECT_EQ(result.checksum, reference) << systemName(kind);
+    }
+}
+
+TEST(TraceReplayTest, GeneratorsProduceBoundedOffsets)
+{
+    for (const auto &trace :
+         {TraceReplayer::uniform(500, 1 << 20, 30, 1),
+          TraceReplayer::zipfian(500, 1 << 20, 4096, 1.1, 2),
+          TraceReplayer::phased(4, 100, 1 << 20, 3)}) {
+        for (const TraceOp &op : trace)
+            EXPECT_LT(op.offset, 1u << 20);
+    }
+    const auto sweeps =
+        TraceReplayer::sequentialSweeps(3, 1 << 20, 8, false);
+    EXPECT_EQ(sweeps.size(), 3u);
+    EXPECT_EQ(sweeps[0].count, (1u << 20) / 8);
+}
+
+TEST(TraceReplayTest, ZipfTraceFavorsSmallObjectsOnTrackFm)
+{
+    // End-to-end: a zipfian trace shows the Fig. 9 object-size effect
+    // through the replayer as well.
+    const auto trace =
+        TraceReplayer::zipfian(20000, 2 << 20, 64, 1.05, 11);
+    std::uint64_t small_cycles = 0, large_cycles = 0;
+    for (const std::uint32_t objsize : {256u, 4096u}) {
+        BackendConfig cfg;
+        cfg.kind = SystemKind::TrackFm;
+        cfg.farHeapBytes = 8 << 20;
+        cfg.localMemBytes = 256 << 10;
+        cfg.objectSizeBytes = objsize;
+        cfg.prefetchEnabled = false;
+        auto backend = makeBackend(cfg, CostParams{});
+        TraceReplayer replayer(*backend, 2 << 20);
+        replayer.replay(trace); // warm
+        const TraceReplayResult result = replayer.replay(trace);
+        (objsize == 256 ? small_cycles : large_cycles) =
+            result.delta.cycles;
+    }
+    EXPECT_LT(small_cycles, large_cycles);
+}
+
+TEST(StressTest, MallocFreeChurnUnderPressure)
+{
+    // Allocation churn with live data verification, at 8 frames.
+    TfmRuntime rt(tinyConfig(8, 256), CostParams{});
+    Rng rng(21);
+    struct Live
+    {
+        std::uint64_t addr;
+        std::uint64_t stamp;
+        std::uint32_t words;
+    };
+    std::vector<Live> live;
+    for (int step = 0; step < 2000; step++) {
+        if (!live.empty() && rng.below(2) == 0) {
+            const std::size_t index = rng.below(live.size());
+            const Live item = live[index];
+            for (std::uint32_t w = 0; w < item.words; w++) {
+                ASSERT_EQ(rt.load<std::uint64_t>(item.addr + w * 8),
+                          item.stamp + w);
+            }
+            rt.tfmFree(item.addr);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+        } else if (live.size() < 64) {
+            Live item;
+            item.words = 1 + static_cast<std::uint32_t>(rng.below(32));
+            item.addr = rt.tfmMalloc(item.words * 8);
+            item.stamp = rng();
+            for (std::uint32_t w = 0; w < item.words; w++)
+                rt.store<std::uint64_t>(item.addr + w * 8,
+                                        item.stamp + w);
+            live.push_back(item);
+        }
+    }
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Interpreter tests: semantics of untransformed programs, semantic
+ * preservation through the TrackFM pipeline, the non-canonical trap,
+ * and guard/chunk behaviour observable through runtime stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hh"
+#include "ir/parser.hh"
+#include "ir_test_programs.hh"
+#include "passes/o1_passes.hh"
+#include "passes/trackfm_passes.hh"
+
+namespace tfm
+{
+namespace
+{
+
+std::unique_ptr<ir::Module>
+parseOrDie(const char *text)
+{
+    auto result = ir::parseModule(text);
+    EXPECT_TRUE(result.ok()) << result.error;
+    return std::move(result.module);
+}
+
+RuntimeConfig
+interpConfig()
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 4 << 20;
+    cfg.localMemBytes = 64 << 10;
+    cfg.objectSizeBytes = 4096;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+void
+transform(ir::Module &module, ChunkPolicy policy = ChunkPolicy::CostModel,
+          bool prefetch = false)
+{
+    PassManager manager;
+    TrackFmPassOptions options;
+    options.chunkPolicy = policy;
+    options.injectPrefetch = prefetch;
+    addTrackFmPipeline(manager, options);
+    const PipelineReport report = manager.run(module);
+    ASSERT_TRUE(report.ok()) << report.verifierError;
+}
+
+TEST(Interp, RunsUntransformedSumProgram)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 499500);
+    // Untransformed: the host heap is used, no guards at all.
+    EXPECT_EQ(rt.guardStats().guardTotal(), 0u);
+}
+
+TEST(Interp, RunsStackProgram)
+{
+    auto module = parseOrDie(testprogs::stackProgram);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 4);
+}
+
+TEST(Interp, LibcTransformAloneTrapsOnUnguardedAccess)
+{
+    // The paper's core safety property: TrackFM pointers are non-
+    // canonical, so an access that escaped guard insertion faults
+    // instead of reading garbage.
+    auto module = parseOrDie(testprogs::sumProgram);
+    LibcTransformPass libc_only;
+    libc_only.run(*module);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.trapped);
+    EXPECT_NE(result.trapMessage.find("general protection fault"),
+              std::string::npos);
+}
+
+TEST(Interp, TransformedProgramComputesTheSameSum)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    transform(*module, ChunkPolicy::None);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 499500);
+    // 1000 guarded stores + 1000 guarded loads.
+    EXPECT_EQ(rt.guardStats().guardTotal(), 2000u);
+    EXPECT_GT(rt.guardStats().fastTotal(), 1900u);
+}
+
+TEST(Interp, ChunkedProgramComputesTheSameSum)
+{
+    auto module = parseOrDie(testprogs::sumI32Program);
+    transform(*module, ChunkPolicy::CostModel);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 5995);
+    // Chunked loops: no per-element guards, boundary checks instead.
+    EXPECT_EQ(rt.guardStats().fastTotal(), 0u);
+    EXPECT_GT(rt.guardStats().boundaryChecks, 3000u);
+    EXPECT_GE(rt.guardStats().localityGuards, 2u);
+}
+
+TEST(Interp, ChunkingPoliciesAgreeOnResults)
+{
+    for (const ChunkPolicy policy :
+         {ChunkPolicy::None, ChunkPolicy::All, ChunkPolicy::CostModel}) {
+        auto module = parseOrDie(testprogs::sumI32Program);
+        transform(*module, policy);
+        TfmRuntime rt(interpConfig(), CostParams{});
+        Interpreter interp(*module, rt);
+        const RunResult result = interp.run("main");
+        ASSERT_TRUE(result.ok()) << result.trapMessage;
+        EXPECT_EQ(result.returnValue, 5995);
+    }
+}
+
+TEST(Interp, PrefetchInjectionStillCorrectAndIssuesPrefetches)
+{
+    auto module = parseOrDie(testprogs::sumI32Program);
+    transform(*module, ChunkPolicy::CostModel, /*prefetch=*/true);
+    auto cfg = interpConfig();
+    cfg.prefetchEnabled = true;
+    TfmRuntime rt(cfg, CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 5995);
+    EXPECT_GT(rt.guardStats().prefetchCalls, 0u);
+}
+
+TEST(Interp, O1ThenTrackFmStillCorrect)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    PassManager manager;
+    addO1Pipeline(manager);
+    TrackFmPassOptions options;
+    addTrackFmPipeline(manager, options);
+    ASSERT_TRUE(manager.run(*module).ok());
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 499500);
+}
+
+TEST(Interp, UserFunctionCallsWork)
+{
+    const char *text = R"(
+func @square(%x: i64) -> i64 {
+entry:
+  %r = mul %x, %x
+  ret %r
+}
+
+func @main() -> i64 {
+entry:
+  %a = call i64 @square(7)
+  %b = call i64 @square(%a)
+  ret %b
+}
+)";
+    auto module = parseOrDie(text);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 49 * 49);
+}
+
+TEST(Interp, RecursionWorksAndDepthIsBounded)
+{
+    const char *text = R"(
+func @fib(%n: i64) -> i64 {
+entry:
+  %small = icmp.slt %n, 2
+  condbr %small, base, rec
+base:
+  ret %n
+rec:
+  %n1 = sub %n, 1
+  %n2 = sub %n, 2
+  %a = call i64 @fib(%n1)
+  %b = call i64 @fib(%n2)
+  %s = add %a, %b
+  ret %s
+}
+
+func @main() -> i64 {
+entry:
+  %r = call i64 @fib(15)
+  ret %r
+}
+)";
+    auto module = parseOrDie(text);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 610);
+}
+
+TEST(Interp, PrintIntrinsicCollectsOutput)
+{
+    const char *text = R"(
+func @main() -> i64 {
+entry:
+  call void @print_i64(11)
+  call void @print_i64(22)
+  ret 0
+}
+)";
+    auto module = parseOrDie(text);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.output, (std::vector<std::int64_t>{11, 22}));
+}
+
+TEST(Interp, InfiniteLoopHitsStepLimit)
+{
+    const char *text = R"(
+func @main() -> i64 {
+entry:
+  br spin
+spin:
+  br spin
+}
+)";
+    auto module = parseOrDie(text);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    interp.maxSteps = 10000;
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.trapped);
+    EXPECT_NE(result.trapMessage.find("step limit"), std::string::npos);
+}
+
+TEST(Interp, NullDereferenceTraps)
+{
+    const char *text = R"(
+func @main() -> i64 {
+entry:
+  %z = inttoptr 0 to ptr
+  %v = load i64, %z
+  ret %v
+}
+)";
+    auto module = parseOrDie(text);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.trapped);
+    EXPECT_NE(result.trapMessage.find("null pointer"), std::string::npos);
+}
+
+TEST(Interp, MissingFunctionIsAnError)
+{
+    auto module = parseOrDie(testprogs::stackProgram);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("nonexistent");
+    EXPECT_TRUE(result.trapped);
+}
+
+TEST(Interp, FloatArithmetic)
+{
+    const char *text = R"(
+func @main() -> i64 {
+entry:
+  %a = sitofp 7 to f64
+  %b = fmul %a, f1.5
+  %c = fadd %b, f0.5
+  %r = fptosi %c to i64
+  ret %r
+}
+)";
+    auto module = parseOrDie(text);
+    TfmRuntime rt(interpConfig(), CostParams{});
+    Interpreter interp(*module, rt);
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.ok()) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 11); // 7*1.5+0.5
+}
+
+TEST(Interp, GuardsChargeSimulatedCycles)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    transform(*module, ChunkPolicy::None);
+    TfmRuntime naive_rt(interpConfig(), CostParams{});
+    Interpreter naive(*module, naive_rt);
+    naive.run("main");
+
+    auto untransformed = parseOrDie(testprogs::sumProgram);
+    TfmRuntime plain_rt(interpConfig(), CostParams{});
+    Interpreter plain(*untransformed, plain_rt);
+    plain.run("main");
+
+    EXPECT_GT(naive_rt.clock().now(), plain_rt.clock().now());
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the IR core: types, builder, parser, printer,
+ * verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "ir_test_programs.hh"
+
+namespace tfm
+{
+namespace
+{
+
+using namespace ir;
+
+ParseResult
+parseOrDie(const char *text)
+{
+    ParseResult result = parseModule(text);
+    EXPECT_TRUE(result.ok()) << result.error << " at line "
+                             << result.errorLine;
+    return result;
+}
+
+TEST(IrType, SizesAndNames)
+{
+    EXPECT_EQ(sizeOf(Type::I8), 1u);
+    EXPECT_EQ(sizeOf(Type::I32), 4u);
+    EXPECT_EQ(sizeOf(Type::I64), 8u);
+    EXPECT_EQ(sizeOf(Type::F64), 8u);
+    EXPECT_EQ(sizeOf(Type::Ptr), 8u);
+    EXPECT_STREQ(typeName(Type::Ptr), "ptr");
+    Type parsed;
+    EXPECT_TRUE(typeFromName("i32", parsed));
+    EXPECT_EQ(parsed, Type::I32);
+    EXPECT_FALSE(typeFromName("i128", parsed));
+}
+
+TEST(IrBuilder, ConstructsAValidFunction)
+{
+    Module module;
+    Function *fn = module.addFunction("double_it", Type::I64);
+    Argument *x = fn->addArgument(Type::I64, "x");
+    fn->addBlock("entry");
+    IRBuilder builder(fn);
+    Instruction *doubled =
+        builder.binary(Opcode::Add, x, x, "doubled");
+    builder.ret(doubled);
+    EXPECT_TRUE(verifyModule(module).empty());
+    EXPECT_EQ(fn->instructionCount(), 2u);
+}
+
+TEST(IrParser, ParsesTheSumProgram)
+{
+    auto result = parseOrDie(testprogs::sumProgram);
+    Function *main_fn = result.module->findFunction("main");
+    ASSERT_NE(main_fn, nullptr);
+    EXPECT_EQ(main_fn->basicBlocks().size(), 5u);
+    EXPECT_TRUE(verifyModule(*result.module).empty());
+}
+
+TEST(IrParser, RoundTripsThroughThePrinter)
+{
+    auto first = parseOrDie(testprogs::sumProgram);
+    const std::string printed = moduleToString(*first.module);
+    auto second = parseModule(printed);
+    ASSERT_TRUE(second.ok()) << second.error;
+    // Printing again must be a fixpoint.
+    EXPECT_EQ(moduleToString(*second.module), printed);
+}
+
+TEST(IrParser, ReportsUnknownOpcode)
+{
+    const auto result = parseModule(
+        "func @f() -> i64 {\nentry:\n  %x = frobnicate 1, 2\n  ret %x\n}\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("unknown opcode"), std::string::npos);
+    EXPECT_EQ(result.errorLine, 3);
+}
+
+TEST(IrParser, ReportsUndefinedValue)
+{
+    const auto result = parseModule(
+        "func @f() -> i64 {\nentry:\n  ret %nope\n}\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("undefined value"), std::string::npos);
+}
+
+TEST(IrParser, ReportsUndefinedBlock)
+{
+    const auto result =
+        parseModule("func @f() -> i64 {\nentry:\n  br nowhere\n}\n");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("undefined block"), std::string::npos);
+}
+
+TEST(IrParser, ForwardPhiReferencesResolve)
+{
+    // %i2 is used in the phi before its definition.
+    auto result = parseOrDie(testprogs::sumProgram);
+    Function *main_fn = result.module->findFunction("main");
+    const BasicBlock *init = main_fn->findBlock("init");
+    const Instruction *phi = init->instructions().front().get();
+    ASSERT_EQ(phi->op(), Opcode::Phi);
+    ASSERT_EQ(phi->incoming().size(), 2u);
+    for (const auto &[value, block] : phi->incoming())
+        EXPECT_NE(value, nullptr) << "unresolved phi in " << block->name();
+}
+
+TEST(IrParser, ParsesGuardAndChunkOps)
+{
+    const char *text = R"(
+func @f(%p: ptr) -> i64 {
+entry:
+  %g = guard.r %p
+  %v = load i64, %g
+  %cur = chunk.begin %p, 8
+  prefetch %p, 8
+  %h = chunk.access.w %cur, %p
+  store %v, %h
+  ret %v
+}
+)";
+    auto result = parseOrDie(text);
+    const Function *fn = result.module->findFunction("f");
+    const auto &insts = fn->entry()->instructions();
+    EXPECT_EQ(insts[0]->op(), Opcode::Guard);
+    EXPECT_FALSE(insts[0]->isWrite);
+    EXPECT_EQ(insts[2]->op(), Opcode::ChunkBegin);
+    EXPECT_EQ(insts[2]->imm, 8);
+    EXPECT_EQ(insts[3]->op(), Opcode::Prefetch);
+    EXPECT_EQ(insts[4]->op(), Opcode::ChunkAccess);
+    EXPECT_TRUE(insts[4]->isWrite);
+    // Round trip.
+    const std::string printed = moduleToString(*result.module);
+    auto again = parseModule(printed);
+    ASSERT_TRUE(again.ok()) << again.error;
+    EXPECT_EQ(moduleToString(*again.module), printed);
+}
+
+TEST(IrVerifier, CatchesMissingTerminator)
+{
+    Module module;
+    Function *fn = module.addFunction("f", Type::Void);
+    fn->addBlock("entry");
+    IRBuilder builder(fn);
+    builder.binary(Opcode::Add, builder.constI64(1), builder.constI64(2),
+                   "x");
+    EXPECT_NE(verifyModule(module).find("missing terminator"),
+              std::string::npos);
+}
+
+TEST(IrVerifier, CatchesPhiFromNonPredecessor)
+{
+    Module module;
+    Function *fn = module.addFunction("f", Type::I64);
+    BasicBlock *entry = fn->addBlock("entry");
+    BasicBlock *other = fn->addBlock("other");
+    BasicBlock *exit_block = fn->addBlock("exit");
+    IRBuilder builder(fn);
+    builder.setBlock(entry);
+    builder.br(exit_block);
+    builder.setBlock(other);
+    builder.br(exit_block);
+    builder.setBlock(exit_block);
+    Instruction *phi = builder.phi(Type::I64, "x");
+    // "entry2" is not a predecessor of exit: wire a bogus incoming.
+    BasicBlock *bogus = fn->addBlock("bogus");
+    builder.setBlock(bogus);
+    builder.ret(builder.constI64(0));
+    phi->incoming().emplace_back(builder.constI64(1), bogus);
+    builder.setBlock(exit_block);
+    builder.ret(phi);
+    EXPECT_NE(verifyModule(module).find("non-predecessor"),
+              std::string::npos);
+}
+
+TEST(IrVerifier, AcceptsAllTestPrograms)
+{
+    for (const char *program :
+         {testprogs::sumProgram, testprogs::sumI32Program,
+          testprogs::stackProgram, testprogs::o1Program}) {
+        auto result = parseOrDie(program);
+        EXPECT_EQ(verifyModule(*result.module), "");
+    }
+}
+
+TEST(IrModule, InstructionCountSumsFunctions)
+{
+    auto result = parseOrDie(testprogs::sumProgram);
+    EXPECT_GT(result.module->instructionCount(), 15u);
+}
+
+} // namespace
+} // namespace tfm

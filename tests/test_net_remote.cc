@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the network model and the remote memory node.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/network_model.hh"
+#include "remote/remote_node.hh"
+#include "sim/cost_params.hh"
+#include "sim/cycle_clock.hh"
+
+namespace tfm
+{
+namespace
+{
+
+CostParams
+simpleCosts()
+{
+    CostParams c;
+    c.netLatencyCycles = 1000;
+    c.netBytesPerCycle = 1.0;
+    c.perMessageCpuCycles = 10;
+    c.prefetchIssueCycles = 5;
+    return c;
+}
+
+TEST(NetworkModel, SyncFetchChargesLatencyPlusTransfer)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    net.fetchSync(500);
+    // 10 (cpu) -> request departs at 10; arrival = 10 + 1000 + 500.
+    EXPECT_EQ(clock.now(), 10u + 1000u + 500u);
+    EXPECT_EQ(net.stats().bytesFetched, 500u);
+    EXPECT_EQ(net.stats().fetchMessages, 1u);
+}
+
+TEST(NetworkModel, BandwidthSerializesBackToBackTransfers)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    // Two async fetches issued immediately: the second serializes after
+    // the first on the inbound link.
+    const std::uint64_t a1 = net.fetchAsync(1000);
+    const std::uint64_t a2 = net.fetchAsync(1000);
+    EXPECT_GT(a2, a1);
+    EXPECT_GE(a2 - a1, 1000u); // at least one transfer time apart
+}
+
+TEST(NetworkModel, AsyncFetchOnlyChargesIssueCost)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    net.fetchAsync(4096);
+    EXPECT_EQ(clock.now(), c.prefetchIssueCycles);
+}
+
+TEST(NetworkModel, WaitUntilBlocksToArrival)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    const std::uint64_t arrival = net.fetchAsync(100);
+    net.waitUntil(arrival);
+    EXPECT_EQ(clock.now(), arrival);
+    // Waiting again is free.
+    net.waitUntil(arrival);
+    EXPECT_EQ(clock.now(), arrival);
+}
+
+TEST(NetworkModel, WritebackCountsBytesWithoutBlocking)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    net.writebackAsync(4096);
+    EXPECT_EQ(clock.now(), c.perMessageCpuCycles);
+    EXPECT_EQ(net.stats().bytesWrittenBack, 4096u);
+    EXPECT_EQ(net.stats().totalBytes(), 4096u);
+}
+
+TEST(NetworkModel, ResetStatsClearsCounters)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    net.fetchSync(10);
+    net.resetStats();
+    EXPECT_EQ(net.stats().bytesFetched, 0u);
+    EXPECT_EQ(net.stats().fetchMessages, 0u);
+}
+
+TEST(RemoteNode, FetchReturnsWrittenData)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    RemoteNode node(1 << 16);
+
+    std::vector<std::byte> payload(256);
+    for (int i = 0; i < 256; i++)
+        payload[i] = static_cast<std::byte>(i);
+    node.rawWrite(1024, payload.data(), payload.size());
+
+    std::vector<std::byte> out(256);
+    node.fetch(net, 1024, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(payload.data(), out.data(), 256), 0);
+    EXPECT_EQ(node.stats().fetchRequests, 1u);
+    EXPECT_GT(clock.now(), 0u);
+}
+
+TEST(RemoteNode, WritebackPersists)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    RemoteNode node(1 << 16);
+
+    std::vector<std::byte> payload(64, std::byte{0xAB});
+    node.writeback(net, 512, payload.data(), payload.size());
+
+    std::vector<std::byte> out(64);
+    node.rawRead(512, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(payload.data(), out.data(), 64), 0);
+    EXPECT_EQ(node.stats().writebackRequests, 1u);
+}
+
+TEST(RemoteNode, AsyncFetchReportsArrival)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    RemoteNode node(1 << 16);
+
+    std::vector<std::byte> out(128);
+    const std::uint64_t arrival =
+        node.fetchAsync(net, 0, out.data(), out.size());
+    EXPECT_GT(arrival, clock.now());
+}
+
+TEST(RemoteNodeDeath, OutOfRangeAccessPanics)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    RemoteNode node(1024);
+    std::vector<std::byte> buffer(64);
+    EXPECT_DEATH(node.rawWrite(1000, buffer.data(), 64), "range");
+}
+
+} // namespace
+} // namespace tfm

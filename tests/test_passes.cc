@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests for the TrackFM pass pipeline and the O1 clean-up passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "ir_test_programs.hh"
+#include "passes/o1_passes.hh"
+#include "passes/trackfm_passes.hh"
+
+namespace tfm
+{
+namespace
+{
+
+std::unique_ptr<ir::Module>
+parseOrDie(const char *text)
+{
+    auto result = ir::parseModule(text);
+    EXPECT_TRUE(result.ok()) << result.error;
+    return std::move(result.module);
+}
+
+std::uint64_t
+countOpcode(const ir::Module &module, ir::Opcode op)
+{
+    std::uint64_t count = 0;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions())
+                count += (inst->op() == op);
+        }
+    }
+    return count;
+}
+
+TEST(RuntimeInitPassTest, InsertsHookOnceAtMainEntry)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    RuntimeInitPass pass;
+    EXPECT_TRUE(pass.run(*module));
+    const ir::Function *main_fn = module->findFunction("main");
+    const ir::Instruction *first =
+        main_fn->entry()->instructions().front().get();
+    EXPECT_EQ(first->op(), ir::Opcode::Call);
+    EXPECT_EQ(first->callee, "tfm_runtime_init");
+    // Idempotent.
+    EXPECT_FALSE(pass.run(*module));
+    EXPECT_EQ(ir::verifyModule(*module), "");
+}
+
+TEST(LibcTransformPassTest, RewritesAllocationCalls)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    LibcTransformPass pass;
+    EXPECT_TRUE(pass.run(*module));
+    bool found = false;
+    for (const auto &block :
+         module->findFunction("main")->basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Call &&
+                inst->callee == "tfm_malloc") {
+                found = true;
+            }
+            EXPECT_NE(inst->callee, "malloc");
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_FALSE(pass.run(*module)); // idempotent
+}
+
+TEST(GuardPassTest, GuardsHeapAccessesOnly)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    GuardPass pass;
+    EXPECT_TRUE(pass.run(*module));
+    // One store (init loop) + one load (sum loop).
+    EXPECT_EQ(pass.guardsInserted(), 2u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 2u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+    // Idempotent: rerunning adds nothing.
+    EXPECT_FALSE(pass.run(*module));
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 2u);
+}
+
+TEST(GuardPassTest, LeavesStackProgramAlone)
+{
+    auto module = parseOrDie(testprogs::stackProgram);
+    GuardPass pass;
+    EXPECT_FALSE(pass.run(*module));
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 0u);
+}
+
+TEST(GuardPassTest, GuardReadWriteMatchesAccess)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    GuardPass pass;
+    pass.run(*module);
+    for (const auto &block :
+         module->findFunction("main")->basicBlocks()) {
+        for (std::size_t i = 0; i < block->instructions().size(); i++) {
+            const ir::Instruction *inst =
+                block->instructions()[i].get();
+            if (inst->op() != ir::Opcode::Guard)
+                continue;
+            const ir::Instruction *user =
+                block->instructions()[i + 1].get();
+            if (user->op() == ir::Opcode::Store) {
+                EXPECT_TRUE(inst->isWrite);
+            } else if (user->op() == ir::Opcode::Load) {
+                EXPECT_FALSE(inst->isWrite);
+            }
+        }
+    }
+}
+
+TEST(LoopChunkPassTest, CostModelRejectsLowDensity)
+{
+    // 8-byte elements at 4 KB objects: density 512 < break-even 730.
+    auto module = parseOrDie(testprogs::sumProgram);
+    GuardPass guards;
+    guards.run(*module);
+    TrackFmPassOptions options;
+    options.objectSizeBytes = 4096;
+    options.chunkPolicy = ChunkPolicy::CostModel;
+    LoopChunkPass pass(options);
+    EXPECT_FALSE(pass.run(*module));
+    EXPECT_EQ(pass.candidatesSeen(), 2u);
+    EXPECT_EQ(pass.loopsChunked(), 0u);
+}
+
+TEST(LoopChunkPassTest, CostModelAcceptsHighDensity)
+{
+    // 4-byte elements at 4 KB objects: density 1024 > break-even.
+    auto module = parseOrDie(testprogs::sumI32Program);
+    GuardPass guards;
+    guards.run(*module);
+    TrackFmPassOptions options;
+    options.objectSizeBytes = 4096;
+    options.chunkPolicy = ChunkPolicy::CostModel;
+    LoopChunkPass pass(options);
+    EXPECT_TRUE(pass.run(*module));
+    EXPECT_EQ(pass.loopsChunked(), 2u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 0u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::ChunkBegin), 2u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::ChunkAccess), 2u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+}
+
+TEST(LoopChunkPassTest, AllPolicyChunksRegardlessOfDensity)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    GuardPass guards;
+    guards.run(*module);
+    TrackFmPassOptions options;
+    options.chunkPolicy = ChunkPolicy::All;
+    LoopChunkPass pass(options);
+    EXPECT_TRUE(pass.run(*module));
+    EXPECT_EQ(pass.loopsChunked(), 2u);
+}
+
+TEST(PrefetchInjectionPassTest, AddsPrefetchAfterChunkBegin)
+{
+    auto module = parseOrDie(testprogs::sumI32Program);
+    GuardPass guards;
+    guards.run(*module);
+    TrackFmPassOptions options;
+    options.chunkPolicy = ChunkPolicy::CostModel;
+    options.prefetchDepth = 6;
+    LoopChunkPass chunk(options);
+    chunk.run(*module);
+    PrefetchInjectionPass prefetch(options);
+    EXPECT_TRUE(prefetch.run(*module));
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Prefetch), 2u);
+    // Idempotent.
+    EXPECT_FALSE(prefetch.run(*module));
+    EXPECT_EQ(ir::verifyModule(*module), "");
+}
+
+TEST(Pipeline, FullPipelineVerifiesAndGrowsCode)
+{
+    auto module = parseOrDie(testprogs::sumI32Program);
+    const std::uint64_t before = estimateLoweredInstructions(*module);
+    PassManager manager;
+    TrackFmPassOptions options;
+    addTrackFmPipeline(manager, options);
+    const PipelineReport report = manager.run(*module);
+    EXPECT_TRUE(report.ok()) << report.verifierError;
+    EXPECT_EQ(report.entries.size(), 5u);
+    const std::uint64_t after = estimateLoweredInstructions(*module);
+    // Section 4.6: transformed code is larger (≈2.4x on average for
+    // guard-dense code).
+    EXPECT_GT(after, before);
+}
+
+TEST(Pipeline, GuardDenseCodeGrowsRoughlyPaperFactor)
+{
+    // A function that is mostly loads/stores should grow by a factor
+    // in the couple-of-x range once every access carries a 14-
+    // instruction guard.
+    auto module = parseOrDie(testprogs::sumProgram);
+    const std::uint64_t before = estimateLoweredInstructions(*module);
+    PassManager manager;
+    TrackFmPassOptions options;
+    options.chunkPolicy = ChunkPolicy::None; // pure guard expansion
+    addTrackFmPipeline(manager, options);
+    manager.run(*module);
+    const std::uint64_t after = estimateLoweredInstructions(*module);
+    const double growth =
+        static_cast<double>(after) / static_cast<double>(before);
+    EXPECT_GT(growth, 1.5);
+    EXPECT_LT(growth, 6.0);
+}
+
+TEST(O1Passes, ConstantFoldingFolds)
+{
+    auto module = parseOrDie(testprogs::o1Program);
+    ConstantFoldPass fold;
+    EXPECT_TRUE(fold.run(*module));
+    DeadCodeElimPass dce;
+    EXPECT_TRUE(dce.run(*module));
+    // %folded and %dead are gone.
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Mul), 0u);
+}
+
+TEST(O1Passes, RedundantLoadElimination)
+{
+    auto module = parseOrDie(testprogs::o1Program);
+    RedundantLoadElimPass pass;
+    EXPECT_TRUE(pass.run(*module));
+    EXPECT_EQ(pass.loadsRemoved(), 1u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Load), 1u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+}
+
+TEST(O1Passes, RedundantLoadElimStopsAtStores)
+{
+    const char *text = R"(
+func @f(%p: ptr) -> i64 {
+entry:
+  %v1 = load i64, %p
+  store 5, %p
+  %v2 = load i64, %p
+  %s = add %v1, %v2
+  ret %s
+}
+)";
+    auto module = parseOrDie(text);
+    RedundantLoadElimPass pass;
+    EXPECT_FALSE(pass.run(*module));
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Load), 2u);
+}
+
+TEST(O1Passes, DceKeepsSideEffects)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    DeadCodeElimPass pass;
+    pass.run(*module);
+    // Stores and calls survive even if "unused".
+    EXPECT_GT(countOpcode(*module, ir::Opcode::Store), 0u);
+    EXPECT_GT(countOpcode(*module, ir::Opcode::Call), 0u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+}
+
+TEST(O1Passes, SimplifyCfgDropsUnreachableBlocks)
+{
+    const char *text = R"(
+func @f() -> i64 {
+entry:
+  ret 1
+island:
+  ret 2
+}
+)";
+    auto module = parseOrDie(text);
+    SimplifyCfgPass pass;
+    EXPECT_TRUE(pass.run(*module));
+    EXPECT_EQ(module->findFunction("f")->basicBlocks().size(), 1u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+}
+
+TEST(O1Passes, O1BeforeGuardsReducesGuardCount)
+{
+    // The Fig. 17b mechanism at IR level: eliminating redundant loads
+    // first means fewer guards inserted.
+    auto without_o1 = parseOrDie(testprogs::o1Program);
+    auto with_o1 = parseOrDie(testprogs::o1Program);
+
+    // Pretend the alloca'd buffer is heap so its accesses get guarded:
+    // rewrite alloca -> malloc call for this test.
+    auto heapify = [](ir::Module &module) {
+        for (const auto &function : module.allFunctions()) {
+            for (const auto &block : function->basicBlocks()) {
+                for (const auto &inst : block->instructions()) {
+                    if (inst->op() == ir::Opcode::Alloca) {
+                        // Loads/stores via an Unknown-provenance value
+                        // still get guarded; simply renaming provenance
+                        // is easiest via a call marker.
+                    }
+                }
+            }
+        }
+    };
+    (void)heapify;
+
+    // o1Program uses an alloca (NonHeap): guards skip it. Use a heap
+    // variant instead.
+    const char *heap_text = R"(
+func @main() -> i64 {
+entry:
+  %buf = call ptr @malloc(16)
+  store 21, %buf
+  %v1 = load i64, %buf
+  %v2 = load i64, %buf
+  %v3 = load i64, %buf
+  %sum1 = add %v1, %v2
+  %sum = add %sum1, %v3
+  ret %sum
+}
+)";
+    without_o1 = parseOrDie(heap_text);
+    with_o1 = parseOrDie(heap_text);
+
+    GuardPass guards_plain;
+    guards_plain.run(*without_o1);
+
+    PassManager o1;
+    addO1Pipeline(o1);
+    EXPECT_TRUE(o1.run(*with_o1).ok());
+    GuardPass guards_after_o1;
+    guards_after_o1.run(*with_o1);
+
+    EXPECT_EQ(guards_plain.guardsInserted(), 4u);
+    EXPECT_EQ(guards_after_o1.guardsInserted(), 2u);
+}
+
+TEST(Pipeline, ReportTracksInstructionCounts)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    PassManager manager;
+    addTrackFmPipeline(manager, TrackFmPassOptions{});
+    const PipelineReport report = manager.run(*module);
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(report.instructionsAfter, report.instructionsBefore);
+}
+
+} // namespace
+} // namespace tfm

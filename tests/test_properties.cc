@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting invariants that
+ * must hold across the whole configuration space — allocator layout
+ * laws, runtime conservation laws, cost-model monotonicity, and
+ * cross-system result agreement under randomized access patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "runtime/far_mem_runtime.hh"
+#include "sim/rng.hh"
+#include "tfm/cost_model.hh"
+#include "tfm/tfm_runtime.hh"
+#include "workloads/backend_config.hh"
+
+namespace tfm
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Allocator layout laws across object sizes and request sizes.
+// ---------------------------------------------------------------------
+
+class AllocatorLaws
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocatorLaws,
+    ::testing::Combine(::testing::Values(64u, 256u, 1024u, 4096u),
+                       ::testing::Values(1, 2, 3)));
+
+TEST_P(AllocatorLaws, BlocksNeverOverlapOrStraddle)
+{
+    const auto [object_size, seed] = GetParam();
+    RegionAllocator alloc(8 << 20, object_size);
+    Rng rng(static_cast<std::uint64_t>(seed));
+
+    struct Block
+    {
+        std::uint64_t offset;
+        std::uint64_t size;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 500; step++) {
+        if (!live.empty() && rng.below(3) == 0) {
+            const std::size_t victim = rng.below(live.size());
+            alloc.deallocate(live[victim].offset);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+            continue;
+        }
+        const std::uint64_t request = 1 + rng.below(3 * object_size);
+        const std::uint64_t offset = alloc.allocate(request);
+        ASSERT_NE(offset, RegionAllocator::badOffset);
+        const std::uint64_t rounded = alloc.sizeOf(offset);
+        ASSERT_GE(rounded, request);
+
+        // Law 1: no overlap with any live block.
+        for (const Block &block : live) {
+            const bool disjoint = offset + rounded <= block.offset ||
+                                  block.offset + block.size <= offset;
+            ASSERT_TRUE(disjoint)
+                << "overlap at " << offset << "+" << rounded;
+        }
+        // Law 2: sub-object blocks never straddle an object boundary.
+        if (rounded < object_size) {
+            ASSERT_EQ(offset / object_size,
+                      (offset + rounded - 1) / object_size);
+        } else {
+            // Law 3: multi-object blocks are object-aligned.
+            ASSERT_EQ(offset % object_size, 0u);
+        }
+        live.push_back({offset, rounded});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime conservation laws under randomized access patterns.
+// ---------------------------------------------------------------------
+
+class RuntimeLaws : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(ObjectSizes, RuntimeLaws,
+                         ::testing::Values(64u, 256u, 1024u, 4096u));
+
+TEST_P(RuntimeLaws, DataSurvivesArbitraryEvictionSchedules)
+{
+    const std::uint32_t object_size = GetParam();
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 1 << 20;
+    cfg.localMemBytes = 8ull * object_size; // brutal pressure
+    cfg.objectSizeBytes = object_size;
+    cfg.prefetchEnabled = true;
+    cfg.prefetchDepth = 4;
+    TfmRuntime rt(cfg, CostParams{});
+
+    const std::uint64_t words = (256 << 10) / 8;
+    const std::uint64_t addr = rt.tfmMalloc(words * 8);
+    Rng rng(99);
+
+    // Shadow model in host memory.
+    std::vector<std::uint64_t> shadow(words, 0);
+    for (int step = 0; step < 4000; step++) {
+        const std::uint64_t index = rng.below(words);
+        if (rng.below(2) == 0) {
+            const std::uint64_t value = rng();
+            rt.store<std::uint64_t>(addr + index * 8, value);
+            shadow[index] = value;
+        } else {
+            ASSERT_EQ(rt.load<std::uint64_t>(addr + index * 8),
+                      shadow[index])
+                << "at index " << index << " step " << step;
+        }
+    }
+}
+
+TEST_P(RuntimeLaws, FetchesAndNetworkBytesAgree)
+{
+    const std::uint32_t object_size = GetParam();
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 1 << 20;
+    cfg.localMemBytes = 16ull * object_size;
+    cfg.objectSizeBytes = object_size;
+    cfg.prefetchEnabled = false;
+    FarMemRuntime rt(cfg, CostParams{});
+
+    const std::uint64_t offset = rt.allocate(512 << 10);
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++)
+        rt.localize(offset + rng.below(512 << 10), rng.below(2) == 0);
+
+    // Conservation: every byte fetched belongs to a demand fetch of
+    // exactly one object (prefetch disabled).
+    EXPECT_EQ(rt.net().stats().bytesFetched,
+              rt.stats().demandFetches * object_size);
+    // Every dirty writeback moved exactly one object.
+    EXPECT_EQ(rt.net().stats().bytesWrittenBack,
+              rt.stats().dirtyWritebacks * object_size);
+    // Evictions never exceed fetches (frames are conserved).
+    EXPECT_LE(rt.stats().evictions, rt.stats().demandFetches);
+}
+
+TEST_P(RuntimeLaws, ResidentObjectsNeverExceedFrames)
+{
+    const std::uint32_t object_size = GetParam();
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 1 << 20;
+    cfg.localMemBytes = 8ull * object_size;
+    cfg.objectSizeBytes = object_size;
+    cfg.prefetchEnabled = true;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t offset = rt.allocate(512 << 10);
+
+    Rng rng(13);
+    for (int i = 0; i < 500; i++) {
+        rt.localize(offset + rng.below(512 << 10), false);
+        std::uint64_t resident = 0;
+        for (std::uint64_t obj = 0; obj < rt.stateTable().numObjects();
+             obj++) {
+            resident += rt.stateTable()[obj].present();
+        }
+        ASSERT_LE(resident, rt.frameCache().numFrames());
+        ASSERT_EQ(resident, rt.frameCache().usedFrames());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cost model monotonicity.
+// ---------------------------------------------------------------------
+
+TEST(CostModelLaws, NaiveCostGrowsFasterThanChunked)
+{
+    const ChunkCostModel model;
+    double previous_gap = -1e18;
+    for (std::uint64_t d = 2; d <= 4096; d *= 2) {
+        const double gap = model.naiveCostPerObject(d) -
+                           model.chunkedCostPerObject(d);
+        EXPECT_GT(gap, previous_gap);
+        previous_gap = gap;
+    }
+}
+
+TEST(CostModelLaws, DecisionIsMonotoneInDensity)
+{
+    const ChunkCostModel model;
+    bool chunking = false;
+    for (std::uint64_t d = 1; d <= 8192; d++) {
+        const bool now = model.shouldChunk(d);
+        // Once chunking becomes profitable it stays profitable.
+        EXPECT_TRUE(!chunking || now) << "non-monotone at d=" << d;
+        chunking = now;
+    }
+    EXPECT_TRUE(chunking);
+}
+
+// ---------------------------------------------------------------------
+// Cross-system agreement under randomized mixed workloads.
+// ---------------------------------------------------------------------
+
+class CrossSystemAgreement : public ::testing::TestWithParam<int>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSystemAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(CrossSystemAgreement, RandomProgramsAgreeEverywhere)
+{
+    const int seed = GetParam();
+    // A randomized mixed read/write/stream workload executed on every
+    // backend must produce bit-identical checksums.
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    for (const SystemKind kind : {SystemKind::Local, SystemKind::TrackFm,
+                                  SystemKind::Fastswap, SystemKind::Aifm}) {
+        BackendConfig cfg;
+        cfg.kind = kind;
+        cfg.farHeapBytes = 8 << 20;
+        cfg.localMemBytes = 512 << 10;
+        cfg.objectSizeBytes = 256;
+        auto backend = makeBackend(cfg, CostParams{});
+
+        const std::uint64_t words = 32768;
+        const std::uint64_t addr = backend->alloc(words * 8);
+        for (std::uint64_t i = 0; i < words; i++)
+            backend->initT<std::uint64_t>(addr + i * 8, i * 2654435761u);
+        backend->dropCaches();
+
+        Rng rng(static_cast<std::uint64_t>(seed));
+        std::uint64_t checksum = 0;
+        for (int op = 0; op < 3000; op++) {
+            const std::uint64_t index = rng.below(words);
+            switch (rng.below(3)) {
+              case 0:
+                checksum ^= backend->readT<std::uint64_t>(
+                    addr + index * 8, AccessHint::Random);
+                break;
+              case 1:
+                backend->writeT<std::uint64_t>(addr + index * 8,
+                                               checksum + op,
+                                               AccessHint::Random);
+                break;
+              default: {
+                const std::uint64_t count = 1 + rng.below(64);
+                const std::uint64_t start =
+                    rng.below(words - count);
+                auto stream = backend->stream(addr + start * 8, 8,
+                                              count, StreamMode::Read);
+                for (std::uint64_t i = 0; i < count; i++) {
+                    std::uint64_t value;
+                    stream->read(&value);
+                    checksum += value;
+                }
+                break;
+              }
+            }
+        }
+        if (!have_reference) {
+            reference = checksum;
+            have_reference = true;
+        }
+        EXPECT_EQ(checksum, reference) << systemName(kind);
+    }
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the remote linked list and, through it, the pointer-chase
+ * access pattern on far memory — including the section 2 claim that
+ * list nodes want small (64 B) objects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aifmlib/remote_list.hh"
+#include "sim/rng.hh"
+#include "tfm/tfm_runtime.hh"
+
+namespace tfm
+{
+namespace
+{
+
+RuntimeConfig
+listConfig(std::uint32_t object_size = 64, std::uint64_t local_kb = 64)
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 8 << 20;
+    cfg.localMemBytes = local_kb << 10;
+    cfg.objectSizeBytes = object_size;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+TEST(RemoteList, PushPopFrontLifoOrder)
+{
+    AifmRuntime rt(listConfig(), CostParams{});
+    RemoteList<std::int64_t> list(rt);
+    DerefScope scope(rt);
+    for (int i = 0; i < 100; i++)
+        list.pushFront(scope, i);
+    EXPECT_EQ(list.size(), 100u);
+    EXPECT_EQ(list.front(scope), 99);
+    for (int i = 99; i >= 0; i--)
+        EXPECT_EQ(list.popFront(scope), i);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(RemoteList, TraversalVisitsEveryNodeUnderPressure)
+{
+    // 4000 nodes x 16 B ~ 64 KB of nodes with only 16 KB local.
+    AifmRuntime rt(listConfig(64, 16), CostParams{});
+    RemoteList<std::int64_t> list(rt);
+    for (int i = 0; i < 4000; i++)
+        list.initPushFront(i);
+    rt.runtime().evacuateAll();
+
+    DerefScope scope(rt);
+    std::int64_t sum = 0;
+    std::uint64_t visited = 0;
+    list.forEach(scope, [&](std::int64_t value) {
+        sum += value;
+        visited++;
+    });
+    EXPECT_EQ(visited, 4000u);
+    EXPECT_EQ(sum, 4000ll * 3999 / 2);
+    EXPECT_GT(rt.runtime().stats().evictions, 0u);
+}
+
+TEST(RemoteList, ContainsFindsAndRejects)
+{
+    AifmRuntime rt(listConfig(), CostParams{});
+    RemoteList<std::uint32_t> list(rt);
+    DerefScope scope(rt);
+    for (std::uint32_t i = 0; i < 50; i++)
+        list.pushFront(scope, i * 7);
+    EXPECT_TRUE(list.contains(scope, 49u * 7));
+    EXPECT_TRUE(list.contains(scope, 0u));
+    EXPECT_FALSE(list.contains(scope, 5u));
+}
+
+TEST(RemoteList, PopOnEmptyDies)
+{
+    AifmRuntime rt(listConfig(), CostParams{});
+    RemoteList<std::int64_t> list(rt);
+    DerefScope scope(rt);
+    EXPECT_DEATH(list.popFront(scope), "empty RemoteList");
+}
+
+TEST(RemoteList, SmallObjectsBeatPagesForPointerChase)
+{
+    // Section 2: a linked list wants node-sized (64 B) objects. A
+    // traversal with 4 KB objects drags 4 KB per node fetched.
+    // A fresh list allocates nodes contiguously, so big objects would
+    // accidentally batch successors; real lists are scattered by
+    // allocator churn. Model that: pre-allocate a padded node pool,
+    // then link a random permutation of it.
+    std::uint64_t small_cycles = 0, page_cycles = 0;
+    for (const std::uint32_t objsize : {64u, 4096u}) {
+        TfmRuntime rt(listConfig(objsize, 32), CostParams{});
+        struct Node
+        {
+            std::uint64_t next;
+            std::int64_t value;
+        };
+        const int n = 3000;
+        std::vector<std::uint64_t> nodes;
+        for (int i = 0; i < n; i++) {
+            nodes.push_back(rt.tfmMalloc(sizeof(Node)));
+            rt.tfmMalloc(48); // churn padding between nodes
+        }
+        Rng rng(3);
+        for (int i = n - 1; i > 0; i--)
+            std::swap(nodes[static_cast<std::size_t>(i)],
+                      nodes[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+        for (int i = 0; i < n; i++) {
+            const Node node{i + 1 < n ? nodes[static_cast<std::size_t>(
+                                            i + 1)]
+                                      : 0,
+                            i};
+            rt.rawWrite(nodes[static_cast<std::size_t>(i)], &node,
+                        sizeof(node));
+        }
+        rt.runtime().evacuateAll();
+
+        const std::uint64_t before = rt.clock().now();
+        std::int64_t sum = 0;
+        std::uint64_t cursor = nodes[0];
+        while (cursor != 0) {
+            const Node node = rt.load<Node>(cursor);
+            sum += node.value;
+            cursor = node.next;
+        }
+        EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n - 1) / 2);
+        (objsize == 64 ? small_cycles : page_cycles) =
+            rt.clock().now() - before;
+    }
+    EXPECT_LT(small_cycles, page_cycles);
+}
+
+TEST(RemoteList, TrackFmGuardedPointerChaseMatches)
+{
+    // The same pointer chase through TrackFM guards (the compiler's
+    // view of a recursive structure): build the list with tagged
+    // pointers and chase it with guarded loads.
+    TfmRuntime rt(listConfig(64, 16), CostParams{});
+    struct Node
+    {
+        std::uint64_t next;
+        std::int64_t value;
+    };
+    std::uint64_t head = 0; // 0 = nil (offset 0 is never allocated-0?)
+    // Build front-to-back with explicit nil = 0 sentinel: allocate a
+    // dummy first so no real node sits at tagged offset 0.
+    rt.tfmMalloc(sizeof(Node));
+    for (int i = 0; i < 2000; i++) {
+        const std::uint64_t node = rt.tfmMalloc(sizeof(Node));
+        Node fresh{head, i};
+        rt.rawWrite(node, &fresh, sizeof(fresh));
+        head = node;
+    }
+    rt.runtime().evacuateAll();
+
+    std::int64_t sum = 0;
+    std::uint64_t cursor = head;
+    std::uint64_t hops = 0;
+    while (cursor != 0) {
+        const Node node = rt.load<Node>(cursor);
+        sum += node.value;
+        cursor = node.next;
+        hops++;
+    }
+    EXPECT_EQ(hops, 2000u);
+    EXPECT_EQ(sum, 2000ll * 1999 / 2);
+    // Every hop is a guard; under pressure many are slow-path.
+    EXPECT_GE(rt.guardStats().guardTotal(), 2000u);
+    EXPECT_GT(rt.guardStats().slowRemoteReads, 100u);
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Unit tests for the far-memory object runtime: metadata, state table,
+ * allocator, frame cache, localization, eviction, pinning, prefetch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/far_mem_runtime.hh"
+#include "sim/rng.hh"
+#include "runtime/frame_cache.hh"
+#include "runtime/object_meta.hh"
+#include "runtime/object_state_table.hh"
+#include "runtime/prefetcher.hh"
+#include "runtime/region_allocator.hh"
+
+namespace tfm
+{
+namespace
+{
+
+TEST(ObjectMeta, StartsRemote)
+{
+    ObjectMeta meta;
+    EXPECT_FALSE(meta.present());
+    EXPECT_FALSE(meta.dirty());
+    EXPECT_FALSE(meta.safeForFastPath());
+}
+
+TEST(ObjectMeta, LocalFormatCarriesFrame)
+{
+    ObjectMeta meta;
+    meta.makeLocal(12345);
+    EXPECT_TRUE(meta.present());
+    EXPECT_EQ(meta.frame(), 12345u);
+    EXPECT_TRUE(meta.safeForFastPath());
+}
+
+TEST(ObjectMeta, InflightBlocksFastPath)
+{
+    ObjectMeta meta;
+    meta.makeLocal(1);
+    meta.setInflight();
+    EXPECT_TRUE(meta.present());
+    EXPECT_FALSE(meta.safeForFastPath());
+    meta.clearInflight();
+    EXPECT_TRUE(meta.safeForFastPath());
+}
+
+TEST(ObjectMeta, MakeRemoteClearsEverything)
+{
+    ObjectMeta meta;
+    meta.makeLocal(7);
+    meta.setDirty();
+    meta.setHot();
+    meta.makeRemote();
+    EXPECT_FALSE(meta.present());
+    EXPECT_FALSE(meta.dirty());
+    EXPECT_FALSE(meta.hot());
+}
+
+TEST(ObjectStateTable, MapsOffsetsToObjects)
+{
+    ObjectStateTable table(1 << 20, 4096);
+    EXPECT_EQ(table.numObjects(), (1u << 20) / 4096);
+    EXPECT_EQ(table.objectOf(0), 0u);
+    EXPECT_EQ(table.objectOf(4095), 0u);
+    EXPECT_EQ(table.objectOf(4096), 1u);
+    EXPECT_EQ(table.offsetInObject(4100), 4u);
+}
+
+TEST(ObjectStateTable, FootprintIsLikeAPageTable)
+{
+    // Paper's example: 32 GB heap, 4 KB objects -> 2^23 entries = 64 MB.
+    ObjectStateTable table(32ull << 30, 4096);
+    EXPECT_EQ(table.numObjects(), 1ull << 23);
+    EXPECT_EQ(table.footprintBytes(), 64ull << 20);
+}
+
+TEST(RegionAllocator, SmallAllocationsNeverStraddleObjects)
+{
+    RegionAllocator alloc(1 << 20, 4096);
+    for (int i = 0; i < 1000; i++) {
+        const std::uint64_t off = alloc.allocate(48); // rounds to 64
+        ASSERT_NE(off, RegionAllocator::badOffset);
+        const std::uint64_t first_obj = off / 4096;
+        const std::uint64_t last_obj = (off + 63) / 4096;
+        EXPECT_EQ(first_obj, last_obj);
+    }
+}
+
+TEST(RegionAllocator, LargeAllocationsAreObjectAligned)
+{
+    RegionAllocator alloc(1 << 22, 4096);
+    alloc.allocate(10); // misalign the bump pointer
+    const std::uint64_t off = alloc.allocate(8192);
+    EXPECT_EQ(off % 4096, 0u);
+}
+
+TEST(RegionAllocator, FreedBlocksAreReused)
+{
+    RegionAllocator alloc(1 << 20, 4096);
+    const std::uint64_t a = alloc.allocate(100);
+    alloc.deallocate(a);
+    const std::uint64_t b = alloc.allocate(100);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RegionAllocator, SizeOfReportsRoundedSize)
+{
+    RegionAllocator alloc(1 << 20, 4096);
+    const std::uint64_t a = alloc.allocate(100);
+    EXPECT_EQ(alloc.sizeOf(a), 128u);
+    EXPECT_EQ(alloc.sizeOf(a + 1), 0u);
+}
+
+TEST(RegionAllocator, ExhaustionReturnsBadOffset)
+{
+    RegionAllocator alloc(8192, 4096);
+    EXPECT_NE(alloc.allocate(4096), RegionAllocator::badOffset);
+    EXPECT_NE(alloc.allocate(4096), RegionAllocator::badOffset);
+    EXPECT_EQ(alloc.allocate(4096), RegionAllocator::badOffset);
+}
+
+TEST(RegionAllocator, BytesInUseTracksAllocations)
+{
+    RegionAllocator alloc(1 << 20, 4096);
+    const std::uint64_t a = alloc.allocate(256);
+    EXPECT_EQ(alloc.bytesInUse(), 256u);
+    alloc.deallocate(a);
+    EXPECT_EQ(alloc.bytesInUse(), 0u);
+}
+
+TEST(FrameCache, AllocatesUntilFull)
+{
+    FrameCache cache(4 * 4096, 4096);
+    EXPECT_EQ(cache.numFrames(), 4u);
+    for (int i = 0; i < 4; i++)
+        EXPECT_NE(cache.allocFrame(), FrameCache::noFrame);
+    EXPECT_EQ(cache.allocFrame(), FrameCache::noFrame);
+}
+
+TEST(FrameCache, ClockEvictsUnreferencedFirst)
+{
+    FrameCache cache(4 * 4096, 4096);
+    std::uint64_t frames[4];
+    for (int i = 0; i < 4; i++) {
+        frames[i] = cache.allocFrame();
+        cache.frame(frames[i]).objId = i;
+    }
+    // Clear one frame's reference bit; CLOCK must pick it eventually.
+    cache.frame(frames[2]).refbit = false;
+    const std::uint64_t victim = cache.pickVictim();
+    EXPECT_EQ(victim, frames[2]);
+}
+
+TEST(FrameCache, PinnedFramesAreNeverVictims)
+{
+    FrameCache cache(2 * 4096, 4096);
+    const std::uint64_t a = cache.allocFrame();
+    const std::uint64_t b = cache.allocFrame();
+    cache.frame(a).pins = 1;
+    cache.frame(a).refbit = false;
+    cache.frame(b).refbit = false;
+    EXPECT_EQ(cache.pickVictim(), b);
+    cache.frame(b).pins = 1;
+    EXPECT_EQ(cache.pickVictim(), FrameCache::noFrame);
+}
+
+TEST(FrameCache, ReleaseReturnsFrameToFreeList)
+{
+    FrameCache cache(2 * 4096, 4096);
+    const std::uint64_t a = cache.allocFrame();
+    cache.allocFrame();
+    EXPECT_EQ(cache.freeFrames(), 0u);
+    cache.releaseFrame(a);
+    EXPECT_EQ(cache.freeFrames(), 1u);
+}
+
+TEST(StridePrefetcher, DetectsUnitStride)
+{
+    StridePrefetcher prefetcher(8, 2);
+    EXPECT_EQ(prefetcher.onDemandMiss(10), 0);
+    EXPECT_EQ(prefetcher.onDemandMiss(11), 0); // confidence 1
+    EXPECT_EQ(prefetcher.onDemandMiss(12), 1); // armed
+    EXPECT_EQ(prefetcher.onDemandMiss(13), 1);
+}
+
+TEST(StridePrefetcher, DetectsNegativeStride)
+{
+    StridePrefetcher prefetcher(8, 2);
+    prefetcher.onDemandMiss(100);
+    prefetcher.onDemandMiss(98);
+    EXPECT_EQ(prefetcher.onDemandMiss(96), -2);
+}
+
+TEST(StridePrefetcher, TracksInterleavedStreams)
+{
+    StridePrefetcher prefetcher(8, 2);
+    // Two far-apart sequential streams, interleaved (STREAM copy).
+    prefetcher.onDemandMiss(1000);
+    prefetcher.onDemandMiss(9000);
+    prefetcher.onDemandMiss(1001);
+    prefetcher.onDemandMiss(9001);
+    EXPECT_EQ(prefetcher.onDemandMiss(1002), 1);
+    EXPECT_EQ(prefetcher.onDemandMiss(9002), 1);
+}
+
+TEST(StridePrefetcher, RandomMissesNeverArm)
+{
+    StridePrefetcher prefetcher(8, 2);
+    Rng rng(3);
+    int armed = 0;
+    for (int i = 0; i < 1000; i++)
+        armed += (prefetcher.onDemandMiss(rng.below(1 << 20)) != 0);
+    EXPECT_LT(armed, 20);
+}
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    RuntimeConfig
+    smallConfig()
+    {
+        RuntimeConfig cfg;
+        cfg.farHeapBytes = 1 << 20;    // 1 MB heap
+        cfg.localMemBytes = 16 * 4096; // 16 frames
+        cfg.objectSizeBytes = 4096;
+        cfg.prefetchEnabled = false;
+        return cfg;
+    }
+};
+
+TEST_F(RuntimeTest, LocalizeRoundTripsData)
+{
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(8192);
+    const std::uint32_t magic = 0xdeadbeef;
+    rt.rawWrite(off + 100, &magic, sizeof(magic));
+
+    std::byte *p = rt.localize(off + 100, false);
+    std::uint32_t readback;
+    std::memcpy(&readback, p, sizeof(readback));
+    EXPECT_EQ(readback, magic);
+    EXPECT_EQ(rt.stats().demandFetches, 1u);
+}
+
+TEST_F(RuntimeTest, SecondLocalizeIsAlreadyLocal)
+{
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(4096);
+    FarMemRuntime::Localized outcome;
+    rt.localize(off, false, &outcome);
+    EXPECT_EQ(outcome, FarMemRuntime::Localized::RemoteFetch);
+    rt.localize(off, false, &outcome);
+    EXPECT_EQ(outcome, FarMemRuntime::Localized::AlreadyLocal);
+    EXPECT_EQ(rt.stats().demandFetches, 1u);
+}
+
+TEST_F(RuntimeTest, TryFastOnlyHitsLocalObjects)
+{
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(4096);
+    EXPECT_EQ(rt.tryFast(off, false), nullptr);
+    rt.localize(off, false);
+    EXPECT_NE(rt.tryFast(off, false), nullptr);
+}
+
+TEST_F(RuntimeTest, DirtyEvictionWritesBack)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 2 * 4096; // 2 frames only
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(16 * 4096);
+
+    // Dirty object 0 through a localized write.
+    std::byte *p = rt.localize(off, true);
+    const std::uint64_t magic = 0x1122334455667788ull;
+    std::memcpy(p, &magic, sizeof(magic));
+
+    // Touch enough other objects to force object 0 out.
+    for (int i = 1; i < 8; i++)
+        rt.localize(off + i * 4096, false);
+    EXPECT_FALSE(rt.isLocal(off));
+    EXPECT_GE(rt.stats().dirtyWritebacks, 1u);
+
+    // The write must have reached the remote node.
+    std::uint64_t readback = 0;
+    rt.rawRead(off, &readback, sizeof(readback));
+    EXPECT_EQ(readback, magic);
+}
+
+TEST_F(RuntimeTest, CleanEvictionSkipsWriteback)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 2 * 4096;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(16 * 4096);
+    for (int i = 0; i < 8; i++)
+        rt.localize(off + i * 4096, false); // reads only
+    EXPECT_GT(rt.stats().evictions, 0u);
+    EXPECT_EQ(rt.stats().dirtyWritebacks, 0u);
+    EXPECT_EQ(rt.net().stats().bytesWrittenBack, 0u);
+}
+
+TEST_F(RuntimeTest, PinnedObjectsSurviveEvictionPressure)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 4 * 4096;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(64 * 4096);
+
+    rt.localize(off, false);
+    const std::uint64_t obj0 = rt.stateTable().objectOf(off);
+    rt.pinObject(obj0);
+    for (int i = 1; i < 32; i++)
+        rt.localize(off + i * 4096, false);
+    EXPECT_TRUE(rt.isLocal(off));
+    rt.unpinObject(obj0);
+}
+
+TEST_F(RuntimeTest, PrefetchMakesLaterAccessesHits)
+{
+    auto cfg = smallConfig();
+    cfg.prefetchEnabled = true;
+    cfg.prefetchDepth = 4;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(64 * 4096);
+
+    // Sequential sweep: by the third object the prefetcher is armed.
+    for (int i = 0; i < 16; i++)
+        rt.localize(off + i * 4096, false);
+    EXPECT_GT(rt.stats().prefetchIssued, 0u);
+    EXPECT_GT(rt.stats().prefetchHits, 0u);
+    // Prefetch hits replace demand fetches.
+    EXPECT_LT(rt.stats().demandFetches, 16u);
+}
+
+TEST_F(RuntimeTest, RawWriteUpdatesLocalizedCopy)
+{
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(4096);
+    rt.localize(off, false);
+    const std::uint32_t value = 42;
+    rt.rawWrite(off, &value, sizeof(value));
+    std::uint32_t readback = 0;
+    std::memcpy(&readback, rt.tryFast(off, false), sizeof(readback));
+    EXPECT_EQ(readback, value);
+}
+
+TEST_F(RuntimeTest, EvacuateAllFlushesDirtyData)
+{
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(4096);
+    std::byte *p = rt.localize(off, true);
+    const std::uint32_t value = 77;
+    std::memcpy(p, &value, sizeof(value));
+    rt.evacuateAll();
+    EXPECT_FALSE(rt.isLocal(off));
+    std::uint32_t readback = 0;
+    rt.rawRead(off, &readback, sizeof(readback));
+    EXPECT_EQ(readback, value);
+}
+
+TEST_F(RuntimeTest, StatsExportContainsKeyCounters)
+{
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(4096);
+    rt.localize(off, false);
+    StatSet set;
+    rt.exportStats(set);
+    EXPECT_EQ(set.get("runtime.demand_fetches"), 1u);
+    EXPECT_GT(set.get("net.bytes_fetched"), 0u);
+    EXPECT_GT(set.get("clock.cycles"), 0u);
+}
+
+TEST_F(RuntimeTest, SpansMultipleObjectsIndependently)
+{
+    // An allocation spanning several objects can be in "superposition":
+    // some chunks local, others remote (section 3.2).
+    FarMemRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t off = rt.allocate(4 * 4096);
+    rt.localize(off, false);
+    rt.localize(off + 2 * 4096, false);
+    EXPECT_TRUE(rt.isLocal(off));
+    EXPECT_FALSE(rt.isLocal(off + 4096));
+    EXPECT_TRUE(rt.isLocal(off + 2 * 4096));
+    EXPECT_FALSE(rt.isLocal(off + 3 * 4096));
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: clock, RNG, distributions,
+ * stats, cost parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "sim/cost_params.hh"
+#include "sim/cycle_clock.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/usr_dist.hh"
+#include "sim/zipf.hh"
+
+namespace tfm
+{
+namespace
+{
+
+TEST(CycleClock, StartsAtZeroAndAdvances)
+{
+    CycleClock clock;
+    EXPECT_EQ(clock.now(), 0u);
+    clock.advance(100);
+    EXPECT_EQ(clock.now(), 100u);
+    clock.advance(1);
+    EXPECT_EQ(clock.now(), 101u);
+}
+
+TEST(CycleClock, AdvanceToNeverGoesBackwards)
+{
+    CycleClock clock;
+    clock.advance(500);
+    clock.advanceTo(300);
+    EXPECT_EQ(clock.now(), 500u);
+    clock.advanceTo(800);
+    EXPECT_EQ(clock.now(), 800u);
+}
+
+TEST(CycleClock, ResetReturnsToZero)
+{
+    CycleClock clock;
+    clock.advance(12345);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(CycleClock, ToSecondsUsesFrequency)
+{
+    // 2.4e9 cycles at 2.4 GHz is exactly one second.
+    EXPECT_DOUBLE_EQ(CycleClock::toSeconds(2'400'000'000ull, 2.4), 1.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += (a() == b());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(2);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) is 0.5; loose tolerance.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, SamplesAreInDomain)
+{
+    ZipfGenerator zipf(100, 1.02, 1);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(zipf.next(), 100u);
+}
+
+TEST(Zipf, LowRanksDominate)
+{
+    ZipfGenerator zipf(1000, 1.02, 2);
+    std::map<std::uint64_t, int> histogram;
+    const int draws = 50000;
+    for (int i = 0; i < draws; i++)
+        histogram[zipf.next()]++;
+    // Rank 0 must be the most frequent and clearly above uniform.
+    int max_count = 0;
+    for (const auto &[rank, count] : histogram)
+        max_count = std::max(max_count, count);
+    EXPECT_EQ(histogram[0], max_count);
+    EXPECT_GT(histogram[0], draws / 1000 * 10);
+}
+
+TEST(Zipf, HigherSkewConcentratesMore)
+{
+    ZipfGenerator mild(1000, 1.0, 3);
+    ZipfGenerator sharp(1000, 1.3, 3);
+    const int draws = 50000;
+    int mild_zero = 0, sharp_zero = 0;
+    for (int i = 0; i < draws; i++) {
+        mild_zero += (mild.next() == 0);
+        sharp_zero += (sharp.next() == 0);
+    }
+    EXPECT_GT(sharp_zero, mild_zero);
+}
+
+TEST(UsrDist, SizesMatchUsrPool)
+{
+    UsrSizeDist dist(1);
+    int tiny_values = 0;
+    const int draws = 10000;
+    for (int i = 0; i < draws; i++) {
+        const KvSize s = dist.next();
+        EXPECT_TRUE(s.keyBytes == 16 || s.keyBytes == 21);
+        EXPECT_GE(s.valueBytes, 2u);
+        EXPECT_LE(s.valueBytes, 512u);
+        tiny_values += (s.valueBytes == 2);
+    }
+    // ~90% of USR values are 2 bytes.
+    EXPECT_GT(tiny_values, draws * 85 / 100);
+    EXPECT_LT(tiny_values, draws * 95 / 100);
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet set;
+    set.add("a", 1);
+    set.add("b", 2);
+    EXPECT_EQ(set.get("a"), 1u);
+    EXPECT_EQ(set.get("b"), 2u);
+    EXPECT_EQ(set.get("missing"), 0u);
+    EXPECT_EQ(set.all().size(), 2u);
+}
+
+TEST(StatSet, DumpIsPrefixed)
+{
+    StatSet set;
+    set.add("x", 5);
+    std::ostringstream os;
+    set.dump(os, "pre.");
+    EXPECT_EQ(os.str(), "pre.x = 5\n");
+}
+
+TEST(CostParams, DefaultsMatchPaperTables)
+{
+    const CostParams c;
+    // Table 1 medians.
+    EXPECT_EQ(c.fastPathReadCycles, 21u);
+    EXPECT_EQ(c.fastPathWriteCycles, 21u);
+    EXPECT_EQ(c.slowPathReadCycles, 144u);
+    EXPECT_EQ(c.slowPathWriteCycles, 159u);
+    // Table 2 fault costs.
+    EXPECT_EQ(c.pageFaultLocalCycles, 1300u);
+    // 25 Gb/s at 2.4 GHz.
+    EXPECT_NEAR(c.netBytesPerCycle, 1.3, 0.01);
+}
+
+TEST(CostParams, DumpMentionsAllGroups)
+{
+    const CostParams c;
+    std::ostringstream os;
+    c.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("fastPath"), std::string::npos);
+    EXPECT_NE(out.find("slowPath"), std::string::npos);
+    EXPECT_NE(out.find("pageFault"), std::string::npos);
+    EXPECT_NE(out.find("netLatency"), std::string::npos);
+}
+
+} // namespace
+} // namespace tfm

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the TrackFM layer: tagged pointers, custody checks,
+ * guards, the malloc family, loop chunking, and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tfm/chunk.hh"
+#include "tfm/cost_model.hh"
+#include "tfm/far_ptr.hh"
+#include "tfm/tagged_ptr.hh"
+#include "tfm/tfm_runtime.hh"
+
+namespace tfm
+{
+namespace
+{
+
+RuntimeConfig
+smallConfig(std::uint32_t object_size = 4096, std::uint64_t frames = 16)
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 4 << 20;
+    cfg.localMemBytes = frames * object_size;
+    cfg.objectSizeBytes = object_size;
+    cfg.prefetchEnabled = false;
+    return cfg;
+}
+
+TEST(TaggedPtr, EncodeSetsBit60)
+{
+    const std::uint64_t addr = tfmEncode(0x1234);
+    EXPECT_TRUE(tfmIsTagged(addr));
+    EXPECT_EQ(tfmOffsetOf(addr), 0x1234u);
+    EXPECT_EQ(addr, (1ull << 60) | 0x1234u);
+}
+
+TEST(TaggedPtr, PlainAddressesAreUntagged)
+{
+    int on_stack = 0;
+    EXPECT_FALSE(tfmIsTagged(reinterpret_cast<std::uint64_t>(&on_stack)));
+    EXPECT_FALSE(tfmIsTagged(0));
+}
+
+TEST(TaggedPtr, ArithmeticPreservesTag)
+{
+    std::uint64_t addr = tfmEncode(4096);
+    addr += 8 * 100; // offset math through an integer cast
+    EXPECT_TRUE(tfmIsTagged(addr));
+    EXPECT_EQ(tfmOffsetOf(addr), 4096u + 800u);
+}
+
+TEST(TfmRuntime, MallocReturnsTaggedPointers)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(100);
+    EXPECT_TRUE(tfmIsTagged(addr));
+}
+
+TEST(TfmRuntime, LoadStoreRoundTrip)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.store<std::uint64_t>(addr + 16, 0xfeedfacecafebeefull);
+    EXPECT_EQ(rt.load<std::uint64_t>(addr + 16), 0xfeedfacecafebeefull);
+}
+
+TEST(TfmRuntime, FirstAccessIsSlowPathThenFast)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::uint32_t>(addr);
+    EXPECT_EQ(rt.guardStats().slowRemoteReads, 1u);
+    EXPECT_EQ(rt.guardStats().fastReads, 0u);
+    rt.load<std::uint32_t>(addr);
+    EXPECT_EQ(rt.guardStats().fastReads, 1u);
+}
+
+TEST(TfmRuntime, GuardCostsMatchTable1)
+{
+    const CostParams c;
+    TfmRuntime rt(smallConfig(), c);
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::uint32_t>(addr); // localize (slow path + fetch)
+
+    std::uint64_t before = rt.clock().now();
+    rt.load<std::uint32_t>(addr);
+    EXPECT_EQ(rt.clock().now() - before, c.fastPathReadCycles);
+
+    before = rt.clock().now();
+    rt.store<std::uint32_t>(addr, 1);
+    EXPECT_EQ(rt.clock().now() - before, c.fastPathWriteCycles);
+}
+
+TEST(TfmRuntime, CustodyCheckPassesHostPointersThrough)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    std::uint64_t host_value = 99;
+    const auto host_addr = reinterpret_cast<std::uint64_t>(&host_value);
+    EXPECT_EQ(rt.load<std::uint64_t>(host_addr), 99u);
+    EXPECT_EQ(rt.guardStats().custodyRejects, 1u);
+    EXPECT_EQ(rt.guardStats().fastReads, 0u);
+    EXPECT_EQ(rt.guardStats().slowTotal(), 0u);
+}
+
+TEST(TfmRuntime, WritesSurviveEvictionAndRefetch)
+{
+    TfmRuntime rt(smallConfig(4096, 2), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(32 * 4096);
+    rt.store<std::uint64_t>(addr, 4242);
+    // Push the first object out with reads of other objects.
+    for (int i = 1; i < 8; i++)
+        rt.load<std::uint64_t>(addr + i * 4096);
+    EXPECT_EQ(rt.load<std::uint64_t>(addr), 4242u);
+}
+
+TEST(TfmRuntime, ReadGuardedStraddlesObjectBoundary)
+{
+    TfmRuntime rt(smallConfig(64), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(256);
+    std::uint8_t data[128];
+    for (int i = 0; i < 128; i++)
+        data[i] = static_cast<std::uint8_t>(i);
+    rt.rawWrite(addr, data, sizeof(data));
+
+    std::uint8_t out[128] = {};
+    rt.readGuarded(addr, out, sizeof(out));
+    EXPECT_EQ(std::memcmp(data, out, sizeof(out)), 0);
+    // 128 bytes over 64 B objects = accesses to 2 objects.
+    EXPECT_EQ(rt.guardStats().slowRemoteReads, 2u);
+}
+
+TEST(TfmRuntime, CallocZeroes)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmCalloc(100, 8);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(rt.load<std::uint64_t>(addr + i * 8), 0u);
+}
+
+TEST(TfmRuntime, ReallocPreservesPrefix)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    std::uint64_t addr = rt.tfmMalloc(64);
+    rt.store<std::uint64_t>(addr, 111);
+    rt.store<std::uint64_t>(addr + 8, 222);
+    addr = rt.tfmRealloc(addr, 4096);
+    EXPECT_TRUE(tfmIsTagged(addr));
+    EXPECT_EQ(rt.load<std::uint64_t>(addr), 111u);
+    EXPECT_EQ(rt.load<std::uint64_t>(addr + 8), 222u);
+}
+
+TEST(TfmRuntime, FreeRecyclesFarMemory)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t a = rt.tfmMalloc(128);
+    rt.tfmFree(a);
+    const std::uint64_t b = rt.tfmMalloc(128);
+    EXPECT_EQ(a, b);
+}
+
+TEST(FarPtr, TypedAccessors)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    auto array = FarPtr<std::int32_t>::alloc(rt, 1000);
+    for (int i = 0; i < 1000; i++)
+        array.init(rt, i, i * 3);
+    for (int i = 0; i < 1000; i += 97)
+        EXPECT_EQ(array.get(rt, i), i * 3);
+    array.set(rt, 5, -7);
+    EXPECT_EQ(array.get(rt, 5), -7);
+    EXPECT_EQ((array + 5).get(rt), -7);
+}
+
+TEST(ChunkCursor, ReadsSequentiallyAcrossObjects)
+{
+    TfmRuntime rt(smallConfig(256), CostParams{});
+    const int n = 512; // 8 objects of 64 elements (int32)
+    auto array = FarPtr<std::int32_t>::alloc(rt, n);
+    for (int i = 0; i < n; i++)
+        array.init(rt, i, i);
+
+    ChunkCursor<std::int32_t> cursor(rt, array.raw(), false);
+    std::int64_t sum = 0;
+    for (int i = 0; i < n; i++)
+        sum += cursor.read();
+    EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ChunkCursor, UsesLocalityGuardsNotFastPaths)
+{
+    TfmRuntime rt(smallConfig(256), CostParams{});
+    const int n = 512;
+    auto array = FarPtr<std::int32_t>::alloc(rt, n);
+    for (int i = 0; i < n; i++)
+        array.init(rt, i, i);
+    {
+        ChunkCursor<std::int32_t> cursor(rt, array.raw(), false);
+        for (int i = 0; i < n; i++)
+            cursor.read();
+    }
+    const GuardStats &g = rt.guardStats();
+    EXPECT_EQ(g.fastReads, 0u);
+    // One locality guard per object touched (512 * 4 / 256 = 8), plus
+    // possibly one more for the boundary after the last element.
+    EXPECT_GE(g.localityGuards, 8u);
+    EXPECT_LE(g.localityGuards, 9u);
+    EXPECT_EQ(g.boundaryChecks, static_cast<std::uint64_t>(n));
+}
+
+TEST(ChunkCursor, WritesArePersisted)
+{
+    TfmRuntime rt(smallConfig(256, 4), CostParams{});
+    const int n = 1024;
+    auto array = FarPtr<std::int32_t>::alloc(rt, n);
+    {
+        ChunkCursor<std::int32_t> cursor(rt, array.raw(), true);
+        for (int i = 0; i < n; i++)
+            cursor.write(i * 2);
+    }
+    rt.runtime().evacuateAll();
+    for (int i = 0; i < n; i += 61)
+        EXPECT_EQ(array.peek(rt, i), i * 2);
+}
+
+TEST(ChunkCursor, PinIsReleasedOnDestruction)
+{
+    TfmRuntime rt(smallConfig(4096, 4), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(8 * 4096);
+    {
+        ChunkCursor<std::int64_t> cursor(rt, addr, false);
+        cursor.read();
+    }
+    // After destruction nothing is pinned, so evacuateAll succeeds.
+    rt.runtime().evacuateAll();
+    SUCCEED();
+}
+
+TEST(ChunkCostModel, BreakEvenNearPaperCrossover)
+{
+    ChunkCostModel model;
+    // Fig. 6: chunking becomes advantageous around ~730 elements/object.
+    EXPECT_NEAR(model.breakEvenDensity(), 730.0, 10.0);
+    EXPECT_FALSE(model.shouldChunk(512));
+    EXPECT_TRUE(model.shouldChunk(1024));
+}
+
+TEST(ChunkCostModel, CostsCrossAtBreakEven)
+{
+    ChunkCostModel model;
+    const auto d = static_cast<std::uint64_t>(model.breakEvenDensity());
+    EXPECT_GT(model.chunkedCostPerObject(d - 100),
+              model.naiveCostPerObject(d - 100));
+    EXPECT_LT(model.chunkedCostPerObject(d + 100),
+              model.naiveCostPerObject(d + 100));
+}
+
+TEST(ChunkCostModel, DensityFromSizes)
+{
+    EXPECT_EQ(ChunkCostModel::density(4096, 4), 1024u);
+    EXPECT_EQ(ChunkCostModel::density(4096, 8), 512u);
+    EXPECT_EQ(ChunkCostModel::density(64, 64), 1u);
+}
+
+TEST(TfmRuntime, StatsExportIncludesGuards)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.load<std::uint32_t>(addr);
+    rt.load<std::uint32_t>(addr);
+    StatSet set;
+    rt.exportStats(set);
+    EXPECT_EQ(set.get("guard.fast_reads"), 1u);
+    EXPECT_EQ(set.get("guard.slow_remote_reads"), 1u);
+}
+
+} // namespace
+} // namespace tfm

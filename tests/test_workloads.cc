@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Integration tests for the application workloads: identical results on
+ * every memory system, plus the qualitative properties each paper
+ * figure depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "workloads/backend_config.hh"
+#include "workloads/dataframe.hh"
+#include "workloads/hashmap.hh"
+#include "workloads/kmeans.hh"
+#include "workloads/memcached.hh"
+#include "workloads/nas.hh"
+
+namespace tfm
+{
+namespace
+{
+
+BackendConfig
+baseConfig(SystemKind kind)
+{
+    BackendConfig cfg;
+    cfg.kind = kind;
+    cfg.farHeapBytes = 64 << 20;
+    cfg.localMemBytes = 4 << 20;
+    cfg.objectSizeBytes = 4096;
+    return cfg;
+}
+
+const SystemKind allSystems[] = {SystemKind::Local, SystemKind::TrackFm,
+                                 SystemKind::Fastswap, SystemKind::Aifm};
+
+TEST(HashmapWorkload, AllLookupsHitOnEveryBackend)
+{
+    HashmapParams params;
+    params.numKeys = 20000;
+    params.numOps = 50000;
+    for (const SystemKind kind : allSystems) {
+        auto backend = makeBackend(baseConfig(kind), CostParams{});
+        HashmapWorkload workload(*backend, params);
+        const HashmapResult r = workload.run();
+        EXPECT_EQ(r.hits, params.numOps) << systemName(kind);
+        EXPECT_GE(r.probes, r.hits) << systemName(kind);
+    }
+}
+
+TEST(HashmapWorkload, SmallObjectsReduceDataTransferred)
+{
+    // Fig. 9/13's mechanism: zipf lookups at 4 B granularity fetch less
+    // with small objects.
+    HashmapParams params;
+    params.numKeys = 50000;
+    params.numOps = 50000;
+    std::uint64_t bytes_small = 0, bytes_large = 0;
+    for (const std::uint32_t objsize : {256u, 4096u}) {
+        auto cfg = baseConfig(SystemKind::TrackFm);
+        cfg.objectSizeBytes = objsize;
+        cfg.localMemBytes = 1 << 20; // heavy pressure
+        cfg.prefetchEnabled = false;
+        auto backend = makeBackend(cfg, CostParams{});
+        HashmapWorkload workload(*backend, params);
+        const HashmapResult r = workload.run();
+        (objsize == 256 ? bytes_small : bytes_large) =
+            r.delta.bytesFetched;
+    }
+    EXPECT_LT(bytes_small * 2, bytes_large);
+}
+
+TEST(KMeansWorkload, ClusterSizesAgreeAcrossBackends)
+{
+    KMeansParams params;
+    params.numPoints = 5000;
+    params.iterations = 1;
+    std::vector<std::uint64_t> reference;
+    for (const SystemKind kind : allSystems) {
+        auto backend = makeBackend(baseConfig(kind), CostParams{});
+        KMeansWorkload workload(*backend, params);
+        const KMeansResult r = workload.run();
+        std::uint64_t total = 0;
+        for (const auto count : r.clusterSizes)
+            total += count;
+        EXPECT_EQ(total, params.numPoints) << systemName(kind);
+        if (reference.empty())
+            reference = r.clusterSizes;
+        else
+            EXPECT_EQ(r.clusterSizes, reference) << systemName(kind);
+    }
+}
+
+TEST(KMeansWorkload, ChunkingAllLoopsIsHarmful)
+{
+    // Fig. 8: indiscriminate chunking of the low-density nested loops
+    // slows k-means down; the cost model avoids it.
+    KMeansParams params;
+    params.numPoints = 5000;
+    params.iterations = 1;
+
+    std::uint64_t cycles_by_policy[3] = {};
+    const ChunkPolicy policies[] = {ChunkPolicy::None, ChunkPolicy::All,
+                                    ChunkPolicy::CostModel};
+    for (int i = 0; i < 3; i++) {
+        auto cfg = baseConfig(SystemKind::TrackFm);
+        cfg.chunkPolicy = policies[i];
+        auto backend = makeBackend(cfg, CostParams{});
+        KMeansWorkload workload(*backend, params);
+        cycles_by_policy[i] = workload.run().delta.cycles;
+    }
+    // All-loops must be clearly slower than the naive baseline...
+    EXPECT_GT(cycles_by_policy[1], cycles_by_policy[0] * 2);
+    // ...and the cost model must beat the baseline.
+    EXPECT_LT(cycles_by_policy[2], cycles_by_policy[0]);
+}
+
+TEST(MemcachedWorkload, GetsHitAndVerifyOnEveryBackend)
+{
+    MemcachedParams params;
+    params.numKeys = 10000;
+    params.numGets = 20000;
+    for (const SystemKind kind : allSystems) {
+        auto cfg = baseConfig(kind);
+        cfg.objectSizeBytes = (kind == SystemKind::TrackFm ||
+                               kind == SystemKind::Aifm)
+                                  ? 64
+                                  : 4096;
+        auto backend = makeBackend(cfg, CostParams{});
+        MemcachedWorkload workload(*backend, params);
+        const MemcachedResult r = workload.run();
+        EXPECT_EQ(r.hits, params.numGets) << systemName(kind);
+        EXPECT_GT(r.valueBytesRead, 0u) << systemName(kind);
+    }
+}
+
+TEST(MemcachedWorkload, FastswapAmplifiesIoVersusTrackFm)
+{
+    // Fig. 16c: page-granularity transfers amplify I/O massively for
+    // tiny key/value pairs; 64 B objects keep it modest.
+    MemcachedParams params;
+    params.numKeys = 50000;
+    params.numGets = 20000;
+    params.zipfSkew = 1.02;
+
+    // Local memory an order of magnitude below the working set: at
+    // 64 B granularity the hot items fit, at page granularity every hot
+    // item drags 4 KB of cold neighbours along and thrashes.
+    auto tfm_cfg = baseConfig(SystemKind::TrackFm);
+    tfm_cfg.objectSizeBytes = 64;
+    tfm_cfg.localMemBytes = 512 << 10;
+    tfm_cfg.prefetchEnabled = false;
+    auto fsw_cfg = baseConfig(SystemKind::Fastswap);
+    fsw_cfg.localMemBytes = 512 << 10;
+    fsw_cfg.prefetchEnabled = false;
+
+    auto tfm_backend = makeBackend(tfm_cfg, CostParams{});
+    auto fsw_backend = makeBackend(fsw_cfg, CostParams{});
+    MemcachedWorkload tfm_workload(*tfm_backend, params);
+    MemcachedWorkload fsw_workload(*fsw_backend, params);
+    const MemcachedResult tr = tfm_workload.run();
+    const MemcachedResult fr = fsw_workload.run();
+    EXPECT_EQ(tr.hits, fr.hits);
+    EXPECT_LT(tr.delta.bytesFetched * 4, fr.delta.bytesFetched);
+    EXPECT_LT(tr.delta.cycles, fr.delta.cycles);
+}
+
+TEST(MemcachedWorkload, SetThenGetRoundTrip)
+{
+    auto backend = makeBackend(baseConfig(SystemKind::TrackFm),
+                               CostParams{});
+    MemcachedParams params;
+    params.numKeys = 100;
+    params.numGets = 10;
+    MemcachedWorkload workload(*backend, params);
+    const std::uint8_t payload[5] = {9, 8, 7, 6, 5};
+    workload.set(1000000, payload, sizeof(payload));
+    std::uint8_t out[16];
+    const int len = workload.get(1000000, out, sizeof(out));
+    ASSERT_EQ(len, 5);
+    EXPECT_EQ(std::memcmp(out, payload, 5), 0);
+}
+
+TEST(DataframeWorkload, AnswersMatchReferenceOnEveryBackend)
+{
+    DataframeParams params;
+    params.numRows = 20000;
+    for (const SystemKind kind : allSystems) {
+        auto backend = makeBackend(baseConfig(kind), CostParams{});
+        DataframeWorkload workload(*backend, params);
+        const DataframeResult r = workload.run();
+        const DataframeAnswers &expected = workload.expected();
+        EXPECT_EQ(r.answers.tripsWithManyPassengers,
+                  expected.tripsWithManyPassengers)
+            << systemName(kind);
+        EXPECT_EQ(r.answers.longTrips, expected.longTrips)
+            << systemName(kind);
+        EXPECT_EQ(r.answers.groupAggregate, expected.groupAggregate)
+            << systemName(kind);
+        for (int h = 0; h < 24; h++) {
+            EXPECT_EQ(r.answers.totalFareByHour[h],
+                      expected.totalFareByHour[h])
+                << systemName(kind) << " hour " << h;
+        }
+    }
+}
+
+TEST(DataframeWorkload, ChunkingAllLoopsHurtsOnRowGroups)
+{
+    // Fig. 15: the aggregation query's tiny row-group loops make the
+    // All policy slower than the cost-model policy.
+    DataframeParams params;
+    params.numRows = 20000;
+    std::uint64_t all_cycles = 0, model_cycles = 0;
+    for (const ChunkPolicy policy :
+         {ChunkPolicy::All, ChunkPolicy::CostModel}) {
+        auto cfg = baseConfig(SystemKind::TrackFm);
+        cfg.chunkPolicy = policy;
+        auto backend = makeBackend(cfg, CostParams{});
+        DataframeWorkload workload(*backend, params);
+        const std::uint64_t cycles = workload.run().delta.cycles;
+        (policy == ChunkPolicy::All ? all_cycles : model_cycles) = cycles;
+    }
+    EXPECT_GT(all_cycles, model_cycles);
+}
+
+class NasKernels : public ::testing::TestWithParam<const char *>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NasKernels,
+                         ::testing::Values("cg", "ft", "is", "mg", "sp"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST_P(NasKernels, ChecksumMatchesLocalBaseline)
+{
+    NasParams params;
+    params.scale = 8;
+    double local_checksum = 0;
+    for (const SystemKind kind :
+         {SystemKind::Local, SystemKind::TrackFm, SystemKind::Fastswap}) {
+        auto backend = makeBackend(baseConfig(kind), CostParams{});
+        auto kernel = makeNasKernel(GetParam(), *backend, params);
+        const NasResult r = kernel->run();
+        if (kind == SystemKind::Local)
+            local_checksum = r.checksum;
+        else
+            EXPECT_DOUBLE_EQ(r.checksum, local_checksum)
+                << systemName(kind);
+    }
+}
+
+TEST_P(NasKernels, FarMemoryCostsMoreThanLocal)
+{
+    NasParams params;
+    params.scale = 8;
+    auto local_cfg = baseConfig(SystemKind::Local);
+    auto tfm_cfg = baseConfig(SystemKind::TrackFm);
+    tfm_cfg.localMemBytes = 256 << 10;
+    auto local_backend = makeBackend(local_cfg, CostParams{});
+    auto tfm_backend = makeBackend(tfm_cfg, CostParams{});
+    auto local_kernel = makeNasKernel(GetParam(), *local_backend, params);
+    auto tfm_kernel = makeNasKernel(GetParam(), *tfm_backend, params);
+    EXPECT_GT(tfm_kernel->run().delta.cycles,
+              local_kernel->run().delta.cycles);
+}
+
+TEST(NasO1, PreOptimizationCutsGuardsForFtAndSp)
+{
+    // Fig. 17b: running the O1 pipeline before the TrackFM passes
+    // removes redundant loads and their guards.
+    for (const char *name : {"ft", "sp"}) {
+        NasParams naive;
+        naive.scale = 8;
+        NasParams optimized = naive;
+        optimized.preOptimized = true;
+
+        auto naive_backend = makeBackend(baseConfig(SystemKind::TrackFm),
+                                         CostParams{});
+        auto opt_backend = makeBackend(baseConfig(SystemKind::TrackFm),
+                                       CostParams{});
+        auto naive_kernel = makeNasKernel(name, *naive_backend, naive);
+        auto opt_kernel = makeNasKernel(name, *opt_backend, optimized);
+        const NasResult rn = naive_kernel->run();
+        const NasResult ro = opt_kernel->run();
+        EXPECT_DOUBLE_EQ(rn.checksum, ro.checksum) << name;
+        EXPECT_GT(rn.delta.guardEvents, ro.delta.guardEvents * 2) << name;
+        EXPECT_GT(rn.delta.cycles, ro.delta.cycles) << name;
+    }
+}
+
+TEST(NasFactory, RejectsUnknownKernels)
+{
+    auto backend = makeBackend(baseConfig(SystemKind::Local), CostParams{});
+    EXPECT_EXIT(makeNasKernel("bogus", *backend, NasParams{}),
+                ::testing::ExitedWithCode(1), "unknown NAS kernel");
+}
+
+} // namespace
+} // namespace tfm

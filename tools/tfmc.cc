@@ -1,0 +1,206 @@
+/**
+ * @file
+ * tfmc — the TrackFM compiler driver.
+ *
+ * The command-line face of the toolchain in Fig. 1: feed it an
+ * unmodified program (textual IR standing in for LLVM bitcode) and it
+ * compiles the program for far memory and, on request, runs it on the
+ * simulated cluster and reports what the runtime did.
+ *
+ *     tfmc program.tir                      # compile, print IR
+ *     tfmc --run program.tir                # compile and execute
+ *     tfmc --run --stats program.tir        # ... with runtime stats
+ *     tfmc --chunk=none --object-size=256 --local-mem=262144 ...
+ *     tfmc --autotune program.tir           # pick the object size
+ *     tfmc --no-transform --run program.tir # baseline (host heap)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/autotuner.hh"
+#include "core/system.hh"
+
+namespace
+{
+
+struct Options
+{
+    std::string inputPath;
+    bool run = false;
+    bool stats = false;
+    bool emitIr = false;
+    bool transform = true;
+    bool autotune = false;
+    bool prefetch = true;
+    std::string chunk = "costmodel";
+    std::uint32_t objectSize = 4096;
+    std::uint64_t localMem = 16 << 20;
+    std::uint64_t farHeap = 256 << 20;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tfmc [options] <program.tir>\n"
+        "  --run                 execute main() after compiling\n"
+        "  --stats               print runtime statistics after --run\n"
+        "  --emit-ir             print the transformed IR\n"
+        "  --no-transform        parse only (baseline, host heap)\n"
+        "  --no-prefetch         disable the stride prefetcher\n"
+        "  --autotune            search object sizes, report the best\n"
+        "  --chunk=<p>           none | all | costmodel (default)\n"
+        "  --object-size=<n>     AIFM object size in bytes (default 4096)\n"
+        "  --local-mem=<n>       local tier size in bytes (default 16M)\n"
+        "  --far-heap=<n>        far heap size in bytes (default 256M)\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &options)
+{
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--run") {
+            options.run = true;
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else if (arg == "--emit-ir") {
+            options.emitIr = true;
+        } else if (arg == "--no-transform") {
+            options.transform = false;
+        } else if (arg == "--no-prefetch") {
+            options.prefetch = false;
+        } else if (arg == "--autotune") {
+            options.autotune = true;
+        } else if (arg.rfind("--chunk=", 0) == 0) {
+            options.chunk = arg.substr(8);
+        } else if (arg.rfind("--object-size=", 0) == 0) {
+            options.objectSize = static_cast<std::uint32_t>(
+                std::strtoull(arg.c_str() + 14, nullptr, 10));
+        } else if (arg.rfind("--local-mem=", 0) == 0) {
+            options.localMem =
+                std::strtoull(arg.c_str() + 12, nullptr, 10);
+        } else if (arg.rfind("--far-heap=", 0) == 0) {
+            options.farHeap =
+                std::strtoull(arg.c_str() + 11, nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "tfmc: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        } else if (options.inputPath.empty()) {
+            options.inputPath = arg;
+        } else {
+            std::fprintf(stderr, "tfmc: multiple input files\n");
+            return false;
+        }
+    }
+    return !options.inputPath.empty();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    if (!parseArgs(argc, argv, options)) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(options.inputPath);
+    if (!in) {
+        std::fprintf(stderr, "tfmc: cannot open '%s'\n",
+                     options.inputPath.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    tfm::SystemConfig config;
+    config.runtime.farHeapBytes = options.farHeap;
+    config.runtime.localMemBytes = options.localMem;
+    config.runtime.objectSizeBytes = options.objectSize;
+    config.runtime.prefetchEnabled = options.prefetch;
+    if (options.chunk == "none")
+        config.passes.chunkPolicy = tfm::ChunkPolicy::None;
+    else if (options.chunk == "all")
+        config.passes.chunkPolicy = tfm::ChunkPolicy::All;
+    else if (options.chunk == "costmodel")
+        config.passes.chunkPolicy = tfm::ChunkPolicy::CostModel;
+    else {
+        std::fprintf(stderr, "tfmc: bad --chunk value '%s'\n",
+                     options.chunk.c_str());
+        return 2;
+    }
+
+    if (options.autotune) {
+        tfm::AutotuneConfig tune;
+        tune.system = config;
+        const tfm::AutotuneResult result =
+            tfm::autotuneObjectSize(source, tune);
+        if (!result.ok()) {
+            std::fprintf(stderr, "tfmc: autotune failed (no candidate "
+                                 "compiled and ran)\n");
+            return 1;
+        }
+        std::printf("object-size  cycles\n");
+        for (const tfm::AutotuneTrial &trial : result.trials) {
+            std::printf("%10uB  %llu%s\n", trial.objectSizeBytes,
+                        static_cast<unsigned long long>(trial.cycles),
+                        trial.objectSizeBytes ==
+                                result.bestObjectSizeBytes
+                            ? "   <-- best"
+                            : "");
+        }
+        return 0;
+    }
+
+    tfm::System system(config);
+    tfm::CompileResult compiled = options.transform
+                                      ? system.compile(source)
+                                      : system.parseOnly(source);
+    if (!compiled.ok()) {
+        std::fprintf(stderr, "tfmc: %s\n", compiled.error.c_str());
+        return 1;
+    }
+
+    if (options.emitIr || !options.run)
+        std::fputs(compiled.program->disassemble().c_str(), stdout);
+
+    if (!options.run)
+        return 0;
+
+    const tfm::RunResult result = system.run(*compiled.program);
+    for (const std::int64_t value : result.output)
+        std::printf("%lld\n", static_cast<long long>(value));
+    if (result.trapped) {
+        std::fprintf(stderr, "tfmc: trap: %s\n",
+                     result.trapMessage.c_str());
+        return 1;
+    }
+    std::printf("exit value: %lld\n",
+                static_cast<long long>(result.returnValue));
+    std::printf("simulated time: %.6f s (%llu cycles)\n",
+                system.seconds(),
+                static_cast<unsigned long long>(system.cycles()));
+
+    if (options.stats) {
+        std::printf("\nstatistics:\n");
+        const tfm::StatSet stats = system.stats();
+        for (const auto &[name, value] : stats.all())
+            std::printf("  %-28s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+    }
+    return 0;
+}
