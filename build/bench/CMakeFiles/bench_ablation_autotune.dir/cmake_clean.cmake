@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autotune.dir/bench_ablation_autotune.cc.o"
+  "CMakeFiles/bench_ablation_autotune.dir/bench_ablation_autotune.cc.o.d"
+  "bench_ablation_autotune"
+  "bench_ablation_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

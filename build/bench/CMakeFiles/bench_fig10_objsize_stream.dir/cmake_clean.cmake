@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_objsize_stream.dir/bench_fig10_objsize_stream.cc.o"
+  "CMakeFiles/bench_fig10_objsize_stream.dir/bench_fig10_objsize_stream.cc.o.d"
+  "bench_fig10_objsize_stream"
+  "bench_fig10_objsize_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_objsize_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_stream_vs_fastswap.dir/bench_fig12_stream_vs_fastswap.cc.o"
+  "CMakeFiles/bench_fig12_stream_vs_fastswap.dir/bench_fig12_stream_vs_fastswap.cc.o.d"
+  "bench_fig12_stream_vs_fastswap"
+  "bench_fig12_stream_vs_fastswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_stream_vs_fastswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

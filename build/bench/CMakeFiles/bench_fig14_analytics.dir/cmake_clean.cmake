@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_analytics.dir/bench_fig14_analytics.cc.o"
+  "CMakeFiles/bench_fig14_analytics.dir/bench_fig14_analytics.cc.o.d"
+  "bench_fig14_analytics"
+  "bench_fig14_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

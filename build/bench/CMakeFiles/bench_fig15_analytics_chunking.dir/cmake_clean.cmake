@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_analytics_chunking.dir/bench_fig15_analytics_chunking.cc.o"
+  "CMakeFiles/bench_fig15_analytics_chunking.dir/bench_fig15_analytics_chunking.cc.o.d"
+  "bench_fig15_analytics_chunking"
+  "bench_fig15_analytics_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_analytics_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_memcached.dir/bench_fig16_memcached.cc.o"
+  "CMakeFiles/bench_fig16_memcached.dir/bench_fig16_memcached.cc.o.d"
+  "bench_fig16_memcached"
+  "bench_fig16_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

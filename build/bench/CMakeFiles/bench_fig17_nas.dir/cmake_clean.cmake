@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_nas.dir/bench_fig17_nas.cc.o"
+  "CMakeFiles/bench_fig17_nas.dir/bench_fig17_nas.cc.o.d"
+  "bench_fig17_nas"
+  "bench_fig17_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_loop_chunking.dir/bench_fig7_loop_chunking.cc.o"
+  "CMakeFiles/bench_fig7_loop_chunking.dir/bench_fig7_loop_chunking.cc.o.d"
+  "bench_fig7_loop_chunking"
+  "bench_fig7_loop_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_loop_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_kmeans_chunking.dir/bench_fig8_kmeans_chunking.cc.o"
+  "CMakeFiles/bench_fig8_kmeans_chunking.dir/bench_fig8_kmeans_chunking.cc.o.d"
+  "bench_fig8_kmeans_chunking"
+  "bench_fig8_kmeans_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_kmeans_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

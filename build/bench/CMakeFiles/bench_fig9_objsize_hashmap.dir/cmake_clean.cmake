@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_objsize_hashmap.dir/bench_fig9_objsize_hashmap.cc.o"
+  "CMakeFiles/bench_fig9_objsize_hashmap.dir/bench_fig9_objsize_hashmap.cc.o.d"
+  "bench_fig9_objsize_hashmap"
+  "bench_fig9_objsize_hashmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_objsize_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_guards.dir/bench_micro_guards.cc.o"
+  "CMakeFiles/bench_micro_guards.dir/bench_micro_guards.cc.o.d"
+  "bench_micro_guards"
+  "bench_micro_guards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

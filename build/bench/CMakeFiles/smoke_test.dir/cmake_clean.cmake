@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_test"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

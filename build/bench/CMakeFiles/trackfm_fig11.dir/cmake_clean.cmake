@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trackfm_fig11"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/trackfm_fig11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for trackfm_fig14a.
+# This may be replaced when dependencies are built.

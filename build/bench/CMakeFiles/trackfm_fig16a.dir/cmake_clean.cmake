@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trackfm_fig16a"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/trackfm_fig16a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

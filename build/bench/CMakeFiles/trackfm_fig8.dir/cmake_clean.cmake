@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trackfm_fig8"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/trackfm_fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trackfm_table1"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/trackfm_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compiler_explorer.cc" "examples/CMakeFiles/compiler_explorer.dir/compiler_explorer.cc.o" "gcc" "examples/CMakeFiles/compiler_explorer.dir/compiler_explorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tfm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tfm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/tfm_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tfm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tfm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfm/CMakeFiles/tfm_tfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastswap/CMakeFiles/tfm_fastswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/aifmlib/CMakeFiles/tfm_aifmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tfm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/tfm_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

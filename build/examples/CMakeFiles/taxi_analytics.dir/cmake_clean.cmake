@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_analytics.dir/taxi_analytics.cc.o"
+  "CMakeFiles/taxi_analytics.dir/taxi_analytics.cc.o.d"
+  "taxi_analytics"
+  "taxi_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("remote")
+subdirs("runtime")
+subdirs("tfm")
+subdirs("fastswap")
+subdirs("aifmlib")
+subdirs("ir")
+subdirs("analysis")
+subdirs("passes")
+subdirs("interp")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_aifmlib.dir/aifm_runtime.cc.o"
+  "CMakeFiles/tfm_aifmlib.dir/aifm_runtime.cc.o.d"
+  "libtfm_aifmlib.a"
+  "libtfm_aifmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_aifmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cc" "src/analysis/CMakeFiles/tfm_analysis.dir/cfg.cc.o" "gcc" "src/analysis/CMakeFiles/tfm_analysis.dir/cfg.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/analysis/CMakeFiles/tfm_analysis.dir/dominators.cc.o" "gcc" "src/analysis/CMakeFiles/tfm_analysis.dir/dominators.cc.o.d"
+  "/root/repo/src/analysis/heap_provenance.cc" "src/analysis/CMakeFiles/tfm_analysis.dir/heap_provenance.cc.o" "gcc" "src/analysis/CMakeFiles/tfm_analysis.dir/heap_provenance.cc.o.d"
+  "/root/repo/src/analysis/induction_variable.cc" "src/analysis/CMakeFiles/tfm_analysis.dir/induction_variable.cc.o" "gcc" "src/analysis/CMakeFiles/tfm_analysis.dir/induction_variable.cc.o.d"
+  "/root/repo/src/analysis/loop_info.cc" "src/analysis/CMakeFiles/tfm_analysis.dir/loop_info.cc.o" "gcc" "src/analysis/CMakeFiles/tfm_analysis.dir/loop_info.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/tfm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_analysis.dir/cfg.cc.o"
+  "CMakeFiles/tfm_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/tfm_analysis.dir/dominators.cc.o"
+  "CMakeFiles/tfm_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/tfm_analysis.dir/heap_provenance.cc.o"
+  "CMakeFiles/tfm_analysis.dir/heap_provenance.cc.o.d"
+  "CMakeFiles/tfm_analysis.dir/induction_variable.cc.o"
+  "CMakeFiles/tfm_analysis.dir/induction_variable.cc.o.d"
+  "CMakeFiles/tfm_analysis.dir/loop_info.cc.o"
+  "CMakeFiles/tfm_analysis.dir/loop_info.cc.o.d"
+  "libtfm_analysis.a"
+  "libtfm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_core.dir/autotuner.cc.o"
+  "CMakeFiles/tfm_core.dir/autotuner.cc.o.d"
+  "CMakeFiles/tfm_core.dir/system.cc.o"
+  "CMakeFiles/tfm_core.dir/system.cc.o.d"
+  "libtfm_core.a"
+  "libtfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

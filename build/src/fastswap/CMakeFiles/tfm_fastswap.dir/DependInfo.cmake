@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fastswap/fastswap_runtime.cc" "src/fastswap/CMakeFiles/tfm_fastswap.dir/fastswap_runtime.cc.o" "gcc" "src/fastswap/CMakeFiles/tfm_fastswap.dir/fastswap_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tfm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/tfm_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

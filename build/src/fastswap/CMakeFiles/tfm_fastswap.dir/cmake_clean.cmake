@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_fastswap.dir/fastswap_runtime.cc.o"
+  "CMakeFiles/tfm_fastswap.dir/fastswap_runtime.cc.o.d"
+  "libtfm_fastswap.a"
+  "libtfm_fastswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_fastswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_interp.dir/interpreter.cc.o"
+  "CMakeFiles/tfm_interp.dir/interpreter.cc.o.d"
+  "libtfm_interp.a"
+  "libtfm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_ir.dir/parser.cc.o"
+  "CMakeFiles/tfm_ir.dir/parser.cc.o.d"
+  "CMakeFiles/tfm_ir.dir/printer.cc.o"
+  "CMakeFiles/tfm_ir.dir/printer.cc.o.d"
+  "CMakeFiles/tfm_ir.dir/type.cc.o"
+  "CMakeFiles/tfm_ir.dir/type.cc.o.d"
+  "CMakeFiles/tfm_ir.dir/verifier.cc.o"
+  "CMakeFiles/tfm_ir.dir/verifier.cc.o.d"
+  "libtfm_ir.a"
+  "libtfm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

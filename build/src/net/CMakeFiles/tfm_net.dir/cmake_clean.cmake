@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_net.dir/network_model.cc.o"
+  "CMakeFiles/tfm_net.dir/network_model.cc.o.d"
+  "libtfm_net.a"
+  "libtfm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_passes.dir/hot_alloc_pruning.cc.o"
+  "CMakeFiles/tfm_passes.dir/hot_alloc_pruning.cc.o.d"
+  "CMakeFiles/tfm_passes.dir/o1_passes.cc.o"
+  "CMakeFiles/tfm_passes.dir/o1_passes.cc.o.d"
+  "CMakeFiles/tfm_passes.dir/pass.cc.o"
+  "CMakeFiles/tfm_passes.dir/pass.cc.o.d"
+  "CMakeFiles/tfm_passes.dir/trackfm_passes.cc.o"
+  "CMakeFiles/tfm_passes.dir/trackfm_passes.cc.o.d"
+  "libtfm_passes.a"
+  "libtfm_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_remote.dir/remote_node.cc.o"
+  "CMakeFiles/tfm_remote.dir/remote_node.cc.o.d"
+  "libtfm_remote.a"
+  "libtfm_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

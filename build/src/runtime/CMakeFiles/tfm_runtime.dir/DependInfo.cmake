@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/far_mem_runtime.cc" "src/runtime/CMakeFiles/tfm_runtime.dir/far_mem_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/tfm_runtime.dir/far_mem_runtime.cc.o.d"
+  "/root/repo/src/runtime/frame_cache.cc" "src/runtime/CMakeFiles/tfm_runtime.dir/frame_cache.cc.o" "gcc" "src/runtime/CMakeFiles/tfm_runtime.dir/frame_cache.cc.o.d"
+  "/root/repo/src/runtime/region_allocator.cc" "src/runtime/CMakeFiles/tfm_runtime.dir/region_allocator.cc.o" "gcc" "src/runtime/CMakeFiles/tfm_runtime.dir/region_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/remote/CMakeFiles/tfm_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_runtime.dir/far_mem_runtime.cc.o"
+  "CMakeFiles/tfm_runtime.dir/far_mem_runtime.cc.o.d"
+  "CMakeFiles/tfm_runtime.dir/frame_cache.cc.o"
+  "CMakeFiles/tfm_runtime.dir/frame_cache.cc.o.d"
+  "CMakeFiles/tfm_runtime.dir/region_allocator.cc.o"
+  "CMakeFiles/tfm_runtime.dir/region_allocator.cc.o.d"
+  "libtfm_runtime.a"
+  "libtfm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

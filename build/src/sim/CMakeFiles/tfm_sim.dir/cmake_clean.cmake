@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_sim.dir/cost_params.cc.o"
+  "CMakeFiles/tfm_sim.dir/cost_params.cc.o.d"
+  "CMakeFiles/tfm_sim.dir/stats.cc.o"
+  "CMakeFiles/tfm_sim.dir/stats.cc.o.d"
+  "CMakeFiles/tfm_sim.dir/zipf.cc.o"
+  "CMakeFiles/tfm_sim.dir/zipf.cc.o.d"
+  "libtfm_sim.a"
+  "libtfm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

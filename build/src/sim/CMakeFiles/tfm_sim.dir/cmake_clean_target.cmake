@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfm_sim.a"
+)

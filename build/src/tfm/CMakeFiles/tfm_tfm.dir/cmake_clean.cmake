@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_tfm.dir/guard_trace.cc.o"
+  "CMakeFiles/tfm_tfm.dir/guard_trace.cc.o.d"
+  "CMakeFiles/tfm_tfm.dir/tfm_runtime.cc.o"
+  "CMakeFiles/tfm_tfm.dir/tfm_runtime.cc.o.d"
+  "libtfm_tfm.a"
+  "libtfm_tfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_tfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

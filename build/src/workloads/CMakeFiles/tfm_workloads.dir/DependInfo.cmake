@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backends.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/backends.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/backends.cc.o.d"
+  "/root/repo/src/workloads/dataframe.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/dataframe.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/dataframe.cc.o.d"
+  "/root/repo/src/workloads/hashmap.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/hashmap.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/hashmap.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/memcached.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/memcached.cc.o.d"
+  "/root/repo/src/workloads/nas.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/nas.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/nas.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/stream.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/stream.cc.o.d"
+  "/root/repo/src/workloads/trace_replay.cc" "src/workloads/CMakeFiles/tfm_workloads.dir/trace_replay.cc.o" "gcc" "src/workloads/CMakeFiles/tfm_workloads.dir/trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tfm/CMakeFiles/tfm_tfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastswap/CMakeFiles/tfm_fastswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/aifmlib/CMakeFiles/tfm_aifmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tfm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/tfm_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tfm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tfm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

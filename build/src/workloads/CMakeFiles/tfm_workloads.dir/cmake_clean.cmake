@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_workloads.dir/backends.cc.o"
+  "CMakeFiles/tfm_workloads.dir/backends.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/dataframe.cc.o"
+  "CMakeFiles/tfm_workloads.dir/dataframe.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/hashmap.cc.o"
+  "CMakeFiles/tfm_workloads.dir/hashmap.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/tfm_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/memcached.cc.o"
+  "CMakeFiles/tfm_workloads.dir/memcached.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/nas.cc.o"
+  "CMakeFiles/tfm_workloads.dir/nas.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/stream.cc.o"
+  "CMakeFiles/tfm_workloads.dir/stream.cc.o.d"
+  "CMakeFiles/tfm_workloads.dir/trace_replay.cc.o"
+  "CMakeFiles/tfm_workloads.dir/trace_replay.cc.o.d"
+  "libtfm_workloads.a"
+  "libtfm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

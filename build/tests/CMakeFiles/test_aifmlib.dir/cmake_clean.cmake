@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aifmlib.dir/test_aifmlib.cc.o"
+  "CMakeFiles/test_aifmlib.dir/test_aifmlib.cc.o.d"
+  "test_aifmlib"
+  "test_aifmlib.pdb"
+  "test_aifmlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aifmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastswap.dir/test_fastswap.cc.o"
+  "CMakeFiles/test_fastswap.dir/test_fastswap.cc.o.d"
+  "test_fastswap"
+  "test_fastswap.pdb"
+  "test_fastswap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_remote.dir/test_net_remote.cc.o"
+  "CMakeFiles/test_net_remote.dir/test_net_remote.cc.o.d"
+  "test_net_remote"
+  "test_net_remote.pdb"
+  "test_net_remote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_list.dir/test_remote_list.cc.o"
+  "CMakeFiles/test_remote_list.dir/test_remote_list.cc.o.d"
+  "test_remote_list"
+  "test_remote_list.pdb"
+  "test_remote_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

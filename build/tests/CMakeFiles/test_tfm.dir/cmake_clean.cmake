@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfm.dir/test_tfm.cc.o"
+  "CMakeFiles/test_tfm.dir/test_tfm.cc.o.d"
+  "test_tfm"
+  "test_tfm.pdb"
+  "test_tfm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

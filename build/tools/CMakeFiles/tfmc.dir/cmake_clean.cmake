@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmc.dir/tfmc.cc.o"
+  "CMakeFiles/tfmc.dir/tfmc.cc.o.d"
+  "tfmc"
+  "tfmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
