@@ -31,6 +31,9 @@ config()
     cfg.localMemBytes = 64 << 10;
     cfg.objectSizeBytes = 4096;
     cfg.prefetchEnabled = false;
+    // Table 1 measures the raw guard paths; the last-object inline
+    // cache would serve these repeated single-object accesses instead.
+    cfg.guardCacheEnabled = false;
     return cfg;
 }
 

@@ -21,6 +21,68 @@
 namespace tfm::bench
 {
 
+/**
+ * Machine-readable result emitter: accumulates key/value pairs and
+ * prints one `BENCH_JSON {...}` line that trajectory tooling can grep
+ * out of the human-readable report and append to a BENCH_*.json file.
+ */
+class JsonLine
+{
+  public:
+    explicit JsonLine(const char *benchName)
+    {
+        buffer = "{\"bench\":\"";
+        buffer += benchName;
+        buffer += "\"";
+    }
+
+    JsonLine &
+    field(const char *key, std::uint64_t value)
+    {
+        char tmp[32];
+        std::snprintf(tmp, sizeof(tmp), "%llu",
+                      static_cast<unsigned long long>(value));
+        return raw(key, tmp);
+    }
+
+    JsonLine &
+    field(const char *key, double value)
+    {
+        char tmp[32];
+        std::snprintf(tmp, sizeof(tmp), "%.6g", value);
+        return raw(key, tmp);
+    }
+
+    JsonLine &
+    field(const char *key, const char *value)
+    {
+        std::string quoted = "\"";
+        quoted += value;
+        quoted += "\"";
+        return raw(key, quoted.c_str());
+    }
+
+    /** Print the completed line to stdout. */
+    void
+    emit() const
+    {
+        std::printf("BENCH_JSON %s}\n", buffer.c_str());
+    }
+
+  private:
+    JsonLine &
+    raw(const char *key, const char *rendered)
+    {
+        buffer += ",\"";
+        buffer += key;
+        buffer += "\":";
+        buffer += rendered;
+        return *this;
+    }
+
+    std::string buffer;
+};
+
 /** Print the experiment banner. */
 inline void
 banner(const char *artifact, const char *claim, const char *scale_note)

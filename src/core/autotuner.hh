@@ -29,16 +29,20 @@ namespace tfm
 struct AutotuneTrial
 {
     std::uint32_t objectSizeBytes = 0;
+    /// Batch knob (fetchBatchMax == writebackBatchMax) for this trial.
+    std::uint32_t batchMax = 0;
     std::uint64_t cycles = 0;
     std::uint64_t bytesFetched = 0;
+    std::uint64_t netMessages = 0;
     bool compiled = false;
     bool ran = false;
 };
 
-/** Autotuning result: the chosen size plus the full trial record. */
+/** Autotuning result: the chosen knobs plus the full trial record. */
 struct AutotuneResult
 {
     std::uint32_t bestObjectSizeBytes = 0;
+    std::uint32_t bestBatchMax = 0;
     std::vector<AutotuneTrial> trials;
 
     bool ok() const { return bestObjectSizeBytes != 0; }
@@ -47,12 +51,17 @@ struct AutotuneResult
 /** Search configuration. */
 struct AutotuneConfig
 {
-    /// Base system configuration; objectSizeBytes is overridden per
+    /// Base system configuration; objectSizeBytes (and, when
+    /// batchCandidates is set, the batching knobs) are overridden per
     /// trial.
     SystemConfig system;
     /// Candidate sizes. Empty = the paper's suggested range, powers of
     /// two from 64 B (cache line) to 4 KB (base page).
     std::vector<std::uint32_t> candidates;
+    /// Candidate data-plane batch sizes, applied to both fetchBatchMax
+    /// and writebackBatchMax (1 = batching off). Empty = keep the base
+    /// system's batching knobs and sweep object size only.
+    std::vector<std::uint32_t> batchCandidates;
     /// Entry function for the profiling run.
     std::string function = "main";
     /// Step budget for each short-term profiling execution.
@@ -60,8 +69,9 @@ struct AutotuneConfig
 };
 
 /**
- * Pick the best object size for @p source by exhaustive recompile-and-
- * measure over the candidate sizes.
+ * Pick the best object size (and, when batchCandidates is non-empty,
+ * the best data-plane batch size) for @p source by exhaustive
+ * recompile-and-measure over the candidate grid.
  */
 AutotuneResult autotuneObjectSize(const std::string &source,
                                   const AutotuneConfig &config);

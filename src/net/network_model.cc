@@ -1,6 +1,9 @@
 #include "network_model.hh"
 
+#include <algorithm>
 #include <cmath>
+
+#include "sim/logging.hh"
 
 namespace tfm
 {
@@ -24,33 +27,98 @@ NetworkModel::reserveInbound(std::uint64_t bytes)
 }
 
 void
-NetworkModel::fetchSync(std::uint64_t bytes)
+NetworkModel::accountFetch(std::uint64_t bytes, std::uint32_t payloads)
 {
-    _clock.advance(_costs.perMessageCpuCycles);
-    const std::uint64_t arrival = reserveInbound(bytes);
-    _clock.advanceTo(arrival);
     _stats.bytesFetched += bytes;
     _stats.fetchMessages++;
+    _stats.fetchPayloads += payloads;
+    if (payloads >= 2)
+        _stats.fetchBatches++;
+    _stats.maxFetchBatch = std::max<std::uint64_t>(_stats.maxFetchBatch,
+                                                   payloads);
+}
+
+void
+NetworkModel::fetchSync(std::uint64_t bytes)
+{
+    fetchBatchSync(bytes, 1);
+}
+
+void
+NetworkModel::fetchBatchSync(std::uint64_t bytes, std::uint32_t payloads)
+{
+    TFM_ASSERT(payloads > 0, "empty fetch batch");
+    _clock.advance(_costs.perMessageCpuCycles +
+                   _costs.perPayloadCpuCycles * (payloads - 1));
+    const std::uint64_t arrival = reserveInbound(bytes);
+    _clock.advanceTo(arrival);
+    accountFetch(bytes, payloads);
 }
 
 std::uint64_t
 NetworkModel::fetchAsync(std::uint64_t bytes)
 {
-    _clock.advance(_costs.prefetchIssueCycles);
+    return fetchBatchAsync(bytes, 1);
+}
+
+std::uint64_t
+NetworkModel::fetchBatchAsync(std::uint64_t bytes, std::uint32_t payloads)
+{
+    TFM_ASSERT(payloads > 0, "empty fetch batch");
+    _clock.advance(_costs.prefetchIssueCycles +
+                   _costs.perPayloadCpuCycles * (payloads - 1));
     const std::uint64_t arrival = reserveInbound(bytes);
-    _stats.bytesFetched += bytes;
-    _stats.fetchMessages++;
+    accountFetch(bytes, payloads);
     return arrival;
+}
+
+std::uint64_t
+NetworkModel::fetchBatchAsyncSegmented(
+    const std::vector<std::uint64_t> &payloadBytes,
+    std::vector<std::uint64_t> &arrivals)
+{
+    TFM_ASSERT(!payloadBytes.empty(), "empty fetch batch");
+    const auto payloads = static_cast<std::uint32_t>(payloadBytes.size());
+    _clock.advance(_costs.prefetchIssueCycles +
+                   _costs.perPayloadCpuCycles * (payloads - 1));
+    std::uint64_t total = 0;
+    for (const std::uint64_t bytes : payloadBytes)
+        total += bytes;
+    const std::uint64_t ready =
+        std::max(_clock.now() + _costs.netLatencyCycles, inFreeAt);
+    arrivals.clear();
+    arrivals.reserve(payloads);
+    std::uint64_t at = ready;
+    for (const std::uint64_t bytes : payloadBytes) {
+        at += transferCycles(bytes);
+        arrivals.push_back(at);
+    }
+    inFreeAt = at;
+    accountFetch(total, payloads);
+    return at;
 }
 
 void
 NetworkModel::writebackAsync(std::uint64_t bytes)
 {
-    _clock.advance(_costs.perMessageCpuCycles);
+    writebackBatch(bytes, 1);
+}
+
+void
+NetworkModel::writebackBatch(std::uint64_t bytes, std::uint32_t payloads)
+{
+    TFM_ASSERT(payloads > 0, "empty writeback batch");
+    _clock.advance(_costs.perMessageCpuCycles +
+                   _costs.perPayloadCpuCycles * (payloads - 1));
     const std::uint64_t start = std::max(_clock.now(), outFreeAt);
     outFreeAt = start + transferCycles(bytes);
     _stats.bytesWrittenBack += bytes;
     _stats.writebackMessages++;
+    _stats.writebackPayloads += payloads;
+    if (payloads >= 2)
+        _stats.writebackBatches++;
+    _stats.maxWritebackBatch =
+        std::max<std::uint64_t>(_stats.maxWritebackBatch, payloads);
 }
 
 } // namespace tfm

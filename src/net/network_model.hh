@@ -14,6 +14,7 @@
 #define TRACKFM_NET_NETWORK_MODEL_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/cost_params.hh"
 #include "sim/cycle_clock.hh"
@@ -28,8 +29,32 @@ struct NetStats
     std::uint64_t bytesWrittenBack = 0; ///< local -> remote payload bytes
     std::uint64_t fetchMessages = 0;
     std::uint64_t writebackMessages = 0;
+    /// Total object payloads carried by fetch messages (>= fetchMessages;
+    /// the ratio is the coalescing factor for the Fig. 13 pipeline).
+    std::uint64_t fetchPayloads = 0;
+    std::uint64_t writebackPayloads = 0;
+    /// Messages that actually coalesced two or more payloads.
+    std::uint64_t fetchBatches = 0;
+    std::uint64_t writebackBatches = 0;
+    /// Largest batch seen in each direction.
+    std::uint64_t maxFetchBatch = 0;
+    std::uint64_t maxWritebackBatch = 0;
 
     std::uint64_t totalBytes() const { return bytesFetched + bytesWrittenBack; }
+    std::uint64_t totalMessages() const
+    {
+        return fetchMessages + writebackMessages;
+    }
+
+    /** Mean payloads per fetch message (1.0 when nothing coalesces). */
+    double
+    fetchCoalescing() const
+    {
+        return fetchMessages == 0
+                   ? 1.0
+                   : static_cast<double>(fetchPayloads) /
+                         static_cast<double>(fetchMessages);
+    }
 };
 
 /**
@@ -63,6 +88,40 @@ class NetworkModel
     std::uint64_t fetchAsync(std::uint64_t bytes);
 
     /**
+     * Issue one asynchronous multi-object fetch message carrying
+     * @p payloads coalesced objects totalling @p bytes. A single
+     * issue-side CPU + latency charge covers the whole batch; each
+     * payload beyond the first adds only the scatter-gather entry cost.
+     *
+     * @return arrival time of the complete batch in absolute cycles.
+     */
+    std::uint64_t fetchBatchAsync(std::uint64_t bytes,
+                                  std::uint32_t payloads);
+
+    /**
+     * Like fetchBatchAsync(), but reports when each payload of the
+     * single response message becomes usable: payloads stream back
+     * back-to-back, so payload i arrives after the request latency plus
+     * the cumulative serialization of payloads 0..i, not at the end of
+     * the whole batch.
+     *
+     * @param payloadBytes per-payload byte counts, in transfer order.
+     * @param arrivals out-param; arrivals[i] is the absolute cycle at
+     *                 which payload i has fully arrived.
+     * @return arrival of the last payload (== arrivals.back()).
+     */
+    std::uint64_t
+    fetchBatchAsyncSegmented(const std::vector<std::uint64_t> &payloadBytes,
+                             std::vector<std::uint64_t> &arrivals);
+
+    /**
+     * Synchronous multi-object fetch (a demand miss that drags its
+     * coalescing window along): one per-message charge, the clock
+     * advances to the arrival of the whole batch.
+     */
+    void fetchBatchSync(std::uint64_t bytes, std::uint32_t payloads);
+
+    /**
      * Block until an asynchronous fetch issued earlier has arrived.
      * Charges only the residual wait (zero when already arrived).
      */
@@ -74,6 +133,13 @@ class NetworkModel
      * pays only the per-message CPU cost.
      */
     void writebackAsync(std::uint64_t bytes);
+
+    /**
+     * Write @p payloads coalesced objects totalling @p bytes back in one
+     * outbound message (batched evacuation). One per-message CPU charge
+     * plus the per-payload scatter-gather cost covers the whole batch.
+     */
+    void writebackBatch(std::uint64_t bytes, std::uint32_t payloads);
 
     const NetStats &stats() const { return _stats; }
     void resetStats() { _stats = NetStats{}; }
@@ -88,6 +154,8 @@ class NetworkModel
     std::uint64_t transferCycles(std::uint64_t bytes) const;
     /// Reserve inbound link time for a payload, returning arrival cycle.
     std::uint64_t reserveInbound(std::uint64_t bytes);
+    /// Record one inbound message carrying @p payloads objects.
+    void accountFetch(std::uint64_t bytes, std::uint32_t payloads);
 
     CycleClock &_clock;
     const CostParams &_costs;

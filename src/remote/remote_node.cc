@@ -22,6 +22,7 @@ RemoteNode::fetch(NetworkModel &net, std::uint64_t offset, std::byte *dst,
     net.fetchSync(len);
     std::memcpy(dst, store.data() + offset, len);
     _stats.fetchRequests++;
+    _stats.fetchPayloads++;
 }
 
 std::uint64_t
@@ -32,6 +33,38 @@ RemoteNode::fetchAsync(NetworkModel &net, std::uint64_t offset,
     const std::uint64_t arrival = net.fetchAsync(len);
     std::memcpy(dst, store.data() + offset, len);
     _stats.fetchRequests++;
+    _stats.fetchPayloads++;
+    return arrival;
+}
+
+std::uint64_t
+RemoteNode::fetchBatchAsync(NetworkModel &net,
+                            const std::vector<RemoteFetchSeg> &segs,
+                            std::vector<std::uint64_t> *arrivals)
+{
+    TFM_ASSERT(!segs.empty(), "empty remote fetch batch");
+    std::uint64_t arrival;
+    if (arrivals) {
+        std::vector<std::uint64_t> sizes;
+        sizes.reserve(segs.size());
+        for (const RemoteFetchSeg &seg : segs) {
+            checkRange(seg.offset, seg.len);
+            sizes.push_back(seg.len);
+        }
+        arrival = net.fetchBatchAsyncSegmented(sizes, *arrivals);
+    } else {
+        std::uint64_t total = 0;
+        for (const RemoteFetchSeg &seg : segs) {
+            checkRange(seg.offset, seg.len);
+            total += seg.len;
+        }
+        arrival = net.fetchBatchAsync(
+            total, static_cast<std::uint32_t>(segs.size()));
+    }
+    for (const RemoteFetchSeg &seg : segs)
+        std::memcpy(seg.dst, store.data() + seg.offset, seg.len);
+    _stats.fetchRequests++;
+    _stats.fetchPayloads += segs.size();
     return arrival;
 }
 
@@ -43,6 +76,24 @@ RemoteNode::writeback(NetworkModel &net, std::uint64_t offset,
     net.writebackAsync(len);
     std::memcpy(store.data() + offset, src, len);
     _stats.writebackRequests++;
+    _stats.writebackPayloads++;
+}
+
+void
+RemoteNode::writebackBatch(NetworkModel &net,
+                           const std::vector<RemoteWriteSeg> &segs)
+{
+    TFM_ASSERT(!segs.empty(), "empty remote writeback batch");
+    std::uint64_t total = 0;
+    for (const RemoteWriteSeg &seg : segs) {
+        checkRange(seg.offset, seg.len);
+        total += seg.len;
+    }
+    net.writebackBatch(total, static_cast<std::uint32_t>(segs.size()));
+    for (const RemoteWriteSeg &seg : segs)
+        std::memcpy(store.data() + seg.offset, seg.src, seg.len);
+    _stats.writebackRequests++;
+    _stats.writebackPayloads += segs.size();
 }
 
 void

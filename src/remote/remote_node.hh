@@ -25,8 +25,26 @@ namespace tfm
 /** Request counters on the remote side. */
 struct RemoteStats
 {
-    std::uint64_t fetchRequests = 0;
-    std::uint64_t writebackRequests = 0;
+    std::uint64_t fetchRequests = 0;     ///< inbound messages served
+    std::uint64_t writebackRequests = 0; ///< outbound messages absorbed
+    std::uint64_t fetchPayloads = 0;     ///< objects shipped (>= requests)
+    std::uint64_t writebackPayloads = 0; ///< objects absorbed
+};
+
+/** One object of a multi-object fetch message. */
+struct RemoteFetchSeg
+{
+    std::uint64_t offset = 0; ///< far-heap byte offset
+    std::byte *dst = nullptr; ///< local frame the payload lands in
+    std::size_t len = 0;
+};
+
+/** One object of a multi-object writeback message. */
+struct RemoteWriteSeg
+{
+    std::uint64_t offset = 0;
+    const std::byte *src = nullptr;
+    std::size_t len = 0;
 };
 
 /**
@@ -63,9 +81,30 @@ class RemoteNode
     std::uint64_t fetchAsync(NetworkModel &net, std::uint64_t offset,
                              std::byte *dst, std::size_t len);
 
+    /**
+     * Asynchronously fetch every segment of @p segs as ONE coalesced
+     * network message (batched prefetch / coalesced demand window).
+     *
+     * @param arrivals when non-null, filled with the per-segment arrival
+     *                 cycles: the response streams its payloads back in
+     *                 order, so earlier segments are usable before the
+     *                 batch completes.
+     * @return absolute cycle at which the whole batch has arrived.
+     */
+    std::uint64_t fetchBatchAsync(NetworkModel &net,
+                                  const std::vector<RemoteFetchSeg> &segs,
+                                  std::vector<std::uint64_t> *arrivals = nullptr);
+
     /** Write @p len bytes at @p offset from @p src (evacuation). */
     void writeback(NetworkModel &net, std::uint64_t offset,
                    const std::byte *src, std::size_t len);
+
+    /**
+     * Absorb every segment of @p segs as ONE coalesced writeback
+     * message (batched evacuation flush).
+     */
+    void writebackBatch(NetworkModel &net,
+                        const std::vector<RemoteWriteSeg> &segs);
 
     /**
      * Populate the store directly, bypassing the network. Used only for

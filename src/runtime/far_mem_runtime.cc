@@ -71,11 +71,14 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
         meta.setHot();
         Localized result = Localized::AlreadyLocal;
         if (meta.inflight()) {
-            // A prefetch got here first; wait out the residual latency.
+            // An in-flight (possibly batched) fetch already covers this
+            // object: join it instead of issuing a duplicate demand
+            // fetch, waiting out only the residual latency.
             const bool late = f.arrivalCycle > _clock.now();
             _net.waitUntil(f.arrivalCycle);
             meta.clearInflight();
             _stats.prefetchHits++;
+            _stats.inflightJoins++;
             if (late)
                 _stats.prefetchLateHits++;
             result = Localized::PrefetchWait;
@@ -87,18 +90,38 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
         return cache.frameData(meta.frame()) + ost.offsetInObject(offset);
     }
 
-    // Demand miss: blocking fetch from the remote node.
+    // Demand miss. takeFrame() first: its eviction may park further
+    // entries in (or flush) the writeback buffer.
     const std::uint64_t frame_idx = takeFrame();
     std::byte *data = cache.frameData(frame_idx);
+    Frame &f = cache.frame(frame_idx);
+    f.objId = obj_id;
+    f.arrivalCycle = 0;
+
+    const std::ptrdiff_t wb = findPendingWriteback(obj_id);
+    if (wb >= 0) {
+        // The object was evicted dirty but its payload is still parked
+        // in the writeback buffer: resurrect it locally without any
+        // network traffic. The remote copy is stale, so it stays dirty.
+        std::memcpy(data, wbBuf[static_cast<std::size_t>(wb)].data.data(),
+                    ost.objectSize());
+        wbBuf.erase(wbBuf.begin() + wb);
+        _clock.advance(_costs.evacuateObjectCycles);
+        meta.makeLocal(frame_idx);
+        meta.setDirty();
+        _stats.writebackBufferHits++;
+        if (outcome)
+            *outcome = Localized::AlreadyLocal;
+        return data + ost.offsetInObject(offset);
+    }
+
+    // Blocking fetch from the remote node.
     _remote.fetch(_net, obj_id << ost.objectShift(), data,
                   ost.objectSize());
     _clock.advance(_costs.remoteFetchSwCycles);
     meta.makeLocal(frame_idx);
     if (for_write)
         meta.setDirty();
-    Frame &f = cache.frame(frame_idx);
-    f.objId = obj_id;
-    f.arrivalCycle = 0;
     _stats.demandFetches++;
     onDemandMiss(obj_id);
     if (outcome)
@@ -130,13 +153,66 @@ FarMemRuntime::evictFrame(std::uint64_t frame_idx)
                "state table / frame cache mismatch on eviction");
     _clock.advance(_costs.evacuateObjectCycles);
     if (meta.dirty()) {
-        _remote.writeback(_net, f.objId << ost.objectShift(),
-                          cache.frameData(frame_idx), ost.objectSize());
         _stats.dirtyWritebacks++;
+        if (cfg.batchingEnabled && cfg.writebackBatchMax > 1) {
+            // Park the payload in the coalescing buffer; the frame is
+            // reused immediately, so the bytes must be copied out.
+            if (wbBuf.empty())
+                wbOldestCycle = _clock.now();
+            PendingWriteback pending;
+            pending.objId = f.objId;
+            pending.data.assign(cache.frameData(frame_idx),
+                                cache.frameData(frame_idx) +
+                                    ost.objectSize());
+            wbBuf.push_back(std::move(pending));
+        } else {
+            _remote.writeback(_net, f.objId << ost.objectShift(),
+                              cache.frameData(frame_idx),
+                              ost.objectSize());
+        }
     }
     meta.makeRemote();
     cache.releaseFrame(frame_idx);
     _stats.evictions++;
+    _evictionEpoch++;
+    maybeFlushWritebacks();
+}
+
+std::ptrdiff_t
+FarMemRuntime::findPendingWriteback(std::uint64_t obj_id) const
+{
+    for (std::size_t i = 0; i < wbBuf.size(); i++) {
+        if (wbBuf[i].objId == obj_id)
+            return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+}
+
+void
+FarMemRuntime::flushWritebacks()
+{
+    if (wbBuf.empty())
+        return;
+    std::vector<RemoteWriteSeg> segs;
+    segs.reserve(wbBuf.size());
+    for (const PendingWriteback &pending : wbBuf) {
+        segs.push_back({pending.objId << ost.objectShift(),
+                        pending.data.data(), ost.objectSize()});
+    }
+    _remote.writebackBatch(_net, segs);
+    wbBuf.clear();
+    _stats.writebackFlushes++;
+}
+
+void
+FarMemRuntime::maybeFlushWritebacks()
+{
+    if (wbBuf.empty())
+        return;
+    if (wbBuf.size() >= cfg.writebackBatchMax ||
+        _clock.now() - wbOldestCycle >= cfg.writebackFlushCycles) {
+        flushWritebacks();
+    }
 }
 
 void
@@ -157,6 +233,37 @@ FarMemRuntime::prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
     // objects only pollutes the local tier.
     const std::uint64_t frontier_obj =
         (alloc_.frontier() + ost.objectSize() - 1) >> ost.objectShift();
+
+    const std::uint32_t batch_max =
+        (cfg.batchingEnabled && cfg.fetchBatchMax > 1) ? cfg.fetchBatchMax
+                                                       : 1;
+    // Segments of the batch being assembled, and the frames they land
+    // in. Collected frames are transiently pinned so mid-collection
+    // evictions (for later targets) can never steal them before their
+    // payload arrives.
+    std::vector<RemoteFetchSeg> segs;
+    std::vector<std::uint64_t> seg_frames;
+
+    const auto issueBatch = [&] {
+        if (segs.empty())
+            return;
+        // Per-segment arrivals: the batch's payloads stream back in
+        // order, so the first objects of the window are consumable
+        // before the tail has serialized.
+        std::vector<std::uint64_t> arrivals;
+        _remote.fetchBatchAsync(_net, segs, &arrivals);
+        for (std::size_t i = 0; i < seg_frames.size(); i++) {
+            Frame &f = cache.frame(seg_frames[i]);
+            f.arrivalCycle = arrivals[i];
+            f.pins--;
+        }
+        _stats.prefetchIssued += segs.size();
+        if (segs.size() >= 2)
+            _stats.prefetchBatches++;
+        segs.clear();
+        seg_frames.clear();
+    };
+
     for (std::uint32_t k = 1; k <= count; k++) {
         const std::int64_t target =
             static_cast<std::int64_t>(obj_id) + stride * k;
@@ -169,26 +276,33 @@ FarMemRuntime::prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
         ObjectMeta &meta = ost[tid];
         if (meta.present())
             continue;
+        // Pending-writeback objects are resurrected from the buffer on
+        // demand; fetching the (stale) remote copy would be wrong.
+        if (findPendingWriteback(tid) >= 0)
+            continue;
         std::uint64_t frame_idx = cache.allocFrame();
         if (frame_idx == FrameCache::noFrame) {
             const std::uint64_t victim = cache.pickVictim();
             if (victim == FrameCache::noFrame)
-                return; // everything pinned; skip prefetching
+                break; // everything pinned; skip prefetching
             evictFrame(victim);
             frame_idx = cache.allocFrame();
             if (frame_idx == FrameCache::noFrame)
-                return;
+                break;
         }
-        std::byte *data = cache.frameData(frame_idx);
-        const std::uint64_t arrival = _remote.fetchAsync(
-            _net, tid << ost.objectShift(), data, ost.objectSize());
         meta.makeLocal(frame_idx);
         meta.setInflight();
         Frame &f = cache.frame(frame_idx);
         f.objId = tid;
-        f.arrivalCycle = arrival;
-        _stats.prefetchIssued++;
+        f.arrivalCycle = ~0ull; // patched when the batch is issued
+        f.pins++;
+        segs.push_back({tid << ost.objectShift(),
+                        cache.frameData(frame_idx), ost.objectSize()});
+        seg_frames.push_back(frame_idx);
+        if (segs.size() >= batch_max)
+            issueBatch();
     }
+    issueBatch();
 }
 
 void
@@ -229,6 +343,13 @@ FarMemRuntime::rawWrite(std::uint64_t offset, const void *src,
         if (meta.present()) {
             std::memcpy(cache.frameData(meta.frame()) + in_obj,
                         bytes + done, chunk);
+        } else if (const std::ptrdiff_t wb = findPendingWriteback(obj_id);
+                   wb >= 0) {
+            // Keep the parked copy coherent, or the eventual flush
+            // would overwrite this raw write with stale bytes.
+            std::memcpy(wbBuf[static_cast<std::size_t>(wb)].data.data() +
+                            in_obj,
+                        bytes + done, chunk);
         }
         done += chunk;
     }
@@ -249,6 +370,13 @@ FarMemRuntime::rawRead(std::uint64_t offset, void *dst, std::size_t len)
         if (meta.present()) {
             std::memcpy(bytes + done,
                         cache.frameData(meta.frame()) + in_obj, chunk);
+        } else if (const std::ptrdiff_t wb = findPendingWriteback(obj_id);
+                   wb >= 0) {
+            // A parked dirty copy is newer than the remote one.
+            std::memcpy(bytes + done,
+                        wbBuf[static_cast<std::size_t>(wb)].data.data() +
+                            in_obj,
+                        chunk);
         } else {
             _remote.rawRead(at, bytes + done, chunk);
         }
@@ -259,6 +387,15 @@ FarMemRuntime::rawRead(std::uint64_t offset, void *dst, std::size_t len)
 void
 FarMemRuntime::evacuateAll()
 {
+    // Drain the coalescing buffer first: these objects are already
+    // remote in the state table, but their newest bytes are still
+    // local. Flushed without measurement-window charges, like the
+    // frame sweep below.
+    for (const PendingWriteback &pending : wbBuf) {
+        _remote.rawWrite(pending.objId << ost.objectShift(),
+                         pending.data.data(), ost.objectSize());
+    }
+    wbBuf.clear();
     for (std::uint64_t i = 0; i < cache.numFrames(); i++) {
         Frame &f = cache.frame(i);
         if (!f.used)
@@ -274,6 +411,7 @@ FarMemRuntime::evacuateAll()
         cache.releaseFrame(i);
     }
     prefetcher.reset();
+    _evictionEpoch++;
 }
 
 void
@@ -286,9 +424,18 @@ FarMemRuntime::exportStats(StatSet &set) const
     set.add("runtime.evictions", _stats.evictions);
     set.add("runtime.dirty_writebacks", _stats.dirtyWritebacks);
     set.add("runtime.localize_calls", _stats.localizeCalls);
+    set.add("runtime.prefetch_batches", _stats.prefetchBatches);
+    set.add("runtime.inflight_joins", _stats.inflightJoins);
+    set.add("runtime.writeback_flushes", _stats.writebackFlushes);
+    set.add("runtime.writeback_buffer_hits", _stats.writebackBufferHits);
     set.add("net.bytes_fetched", _net.stats().bytesFetched);
     set.add("net.bytes_written_back", _net.stats().bytesWrittenBack);
     set.add("net.fetch_messages", _net.stats().fetchMessages);
+    set.add("net.writeback_messages", _net.stats().writebackMessages);
+    set.add("net.fetch_payloads", _net.stats().fetchPayloads);
+    set.add("net.writeback_payloads", _net.stats().writebackPayloads);
+    set.add("net.fetch_batches", _net.stats().fetchBatches);
+    set.add("net.writeback_batches", _net.stats().writebackBatches);
     set.add("alloc.allocations", alloc_.stats().allocations);
     set.add("alloc.frees", alloc_.stats().frees);
     set.add("clock.cycles", _clock.now());

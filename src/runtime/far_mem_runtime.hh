@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "frame_cache.hh"
 #include "net/network_model.hh"
@@ -42,6 +43,25 @@ struct RuntimeConfig
     bool prefetchEnabled = true;
     /// Prefetch look-ahead depth in objects.
     std::uint32_t prefetchDepth = 8;
+
+    /** @name Batched data plane (see DESIGN.md "Batched data plane")
+     * @{ */
+    /// Coalesce prefetch windows and evacuation writebacks into
+    /// multi-object network messages.
+    bool batchingEnabled = true;
+    /// Max object payloads coalesced into one fetch message.
+    std::uint32_t fetchBatchMax = 8;
+    /// Dirty-writeback buffer flush threshold (objects). The buffer is
+    /// also flushed by evacuateAll() and by the age window below.
+    std::uint32_t writebackBatchMax = 8;
+    /// Age window: flush a non-empty writeback buffer once its oldest
+    /// entry is this many cycles old (bounds remote-copy staleness).
+    std::uint64_t writebackFlushCycles = 200000;
+    /** @} */
+
+    /// Guard-level last-object inline cache (TfmRuntime): repeated hits
+    /// on the same object skip the object-state-table lookup.
+    bool guardCacheEnabled = true;
 };
 
 /** Hot-path runtime event counters. */
@@ -54,6 +74,10 @@ struct RuntimeStats
     std::uint64_t evictions = 0;
     std::uint64_t dirtyWritebacks = 0;
     std::uint64_t localizeCalls = 0;
+    std::uint64_t prefetchBatches = 0; ///< coalesced prefetch messages
+    std::uint64_t inflightJoins = 0;   ///< localize joined an in-flight fetch
+    std::uint64_t writebackFlushes = 0;///< writeback-buffer batch flushes
+    std::uint64_t writebackBufferHits = 0; ///< re-localized from the buffer
 };
 
 /**
@@ -154,16 +178,44 @@ class FarMemRuntime
      */
     void evacuateAll();
 
+    /**
+     * Push every buffered dirty writeback to the remote node as one
+     * coalesced message. Safe to call with an empty buffer. Charged as
+     * normal data-plane traffic (unlike evacuateAll's raw flush).
+     */
+    void flushWritebacks();
+
+    /** Dirty objects currently parked in the writeback buffer. */
+    std::uint64_t pendingWritebacks() const { return wbBuf.size(); }
+
+    /**
+     * Monotone counter bumped whenever any frame is unmapped (eviction
+     * or evacuation). Guard-level inline caches compare it to detect
+     * that a cached object->frame translation may have gone stale.
+     */
+    std::uint64_t evictionEpoch() const { return _evictionEpoch; }
+
     const RuntimeStats &stats() const { return _stats; }
     void exportStats(StatSet &set) const;
 
   private:
+    /** One dirty object parked for a coalesced writeback. */
+    struct PendingWriteback
+    {
+        std::uint64_t objId = 0;
+        std::vector<std::byte> data;
+    };
+
     /** Find a frame for a new object, evicting a victim if needed. */
     std::uint64_t takeFrame();
     /** Evict the object in @p frame_idx (writeback when dirty). */
     void evictFrame(std::uint64_t frame_idx);
     /** Demand-miss hook: train the prefetcher and issue lookahead. */
     void onDemandMiss(std::uint64_t obj_id);
+    /** Flush the writeback buffer when size/age thresholds are hit. */
+    void maybeFlushWritebacks();
+    /** Index into wbBuf for @p obj_id, or -1 when not buffered. */
+    std::ptrdiff_t findPendingWriteback(std::uint64_t obj_id) const;
 
     RuntimeConfig cfg;
     CostParams _costs;
@@ -175,6 +227,9 @@ class FarMemRuntime
     RegionAllocator alloc_;
     StridePrefetcher prefetcher;
     RuntimeStats _stats;
+    std::vector<PendingWriteback> wbBuf;
+    std::uint64_t wbOldestCycle = 0; ///< clock when wbBuf[0] was parked
+    std::uint64_t _evictionEpoch = 0;
 };
 
 } // namespace tfm

@@ -31,7 +31,10 @@ CostParams::dump(std::ostream &os) const
        << " derefScope=" << derefScopeCycles << "\n"
        << "  netLatency=" << netLatencyCycles
        << " netBytesPerCycle=" << netBytesPerCycle
-       << " perMessageCpu=" << perMessageCpuCycles << "\n"
+       << " perMessageCpu=" << perMessageCpuCycles
+       << " perPayloadCpu=" << perPayloadCpuCycles << "\n"
+       << "  guardCacheHit r/w=" << guardCacheHitReadCycles << "/"
+       << guardCacheHitWriteCycles << "\n"
        << "  remoteFetchSw=" << remoteFetchSwCycles
        << " evacuateObject=" << evacuateObjectCycles
        << " alloc=" << allocCycles

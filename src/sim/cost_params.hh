@@ -113,6 +113,21 @@ struct CostParams
     double netBytesPerCycle = 1.3;
     /// Per-message CPU cost on the local side (TCP stack, Shenango).
     std::uint64_t perMessageCpuCycles = 600;
+    /// CPU cost of each additional payload coalesced into a multi-object
+    /// message (scatter-gather entry + per-object header), far below the
+    /// per-message charge — the gap batching exploits.
+    std::uint64_t perPayloadCpuCycles = 40;
+    /** @} */
+
+    /** @name Guard last-object inline cache
+     *  Repeated hits on the object touched by the previous guard skip
+     *  the object-state-table load: compare the cached object id, test
+     *  the cached meta word, and reuse the translated frame pointer — a
+     *  handful of straight-line instructions, cheaper than the full
+     *  Table 1 fast path.
+     * @{ */
+    std::uint64_t guardCacheHitReadCycles = 8;
+    std::uint64_t guardCacheHitWriteCycles = 8;
     /** @} */
 
     /** @name Runtime bookkeeping

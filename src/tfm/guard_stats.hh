@@ -19,6 +19,11 @@ struct GuardStats
 {
     std::uint64_t fastReads = 0;
     std::uint64_t fastWrites = 0;
+    /// Fast-path hits served by the last-object inline cache (these are
+    /// also counted in fastReads/fastWrites; this tracks how many of
+    /// them skipped the object-state-table lookup).
+    std::uint64_t cacheHitReads = 0;
+    std::uint64_t cacheHitWrites = 0;
     std::uint64_t slowLocalReads = 0;   ///< slow path, object already local
     std::uint64_t slowLocalWrites = 0;
     std::uint64_t slowRemoteReads = 0;  ///< slow path with remote fetch
@@ -53,6 +58,8 @@ struct GuardStats
     {
         set.add("guard.fast_reads", fastReads);
         set.add("guard.fast_writes", fastWrites);
+        set.add("guard.cache_hit_reads", cacheHitReads);
+        set.add("guard.cache_hit_writes", cacheHitWrites);
         set.add("guard.slow_local_reads", slowLocalReads);
         set.add("guard.slow_local_writes", slowLocalWrites);
         set.add("guard.slow_remote_reads", slowRemoteReads);

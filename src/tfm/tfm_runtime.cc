@@ -7,6 +7,40 @@ namespace tfm
 {
 
 std::byte *
+TfmRuntime::cacheLookup(std::uint64_t offset, bool for_write)
+{
+    if (!rt.config().guardCacheEnabled)
+        return nullptr;
+    // The epoch comparison invalidates on any eviction/evacuation since
+    // the fill: a hit therefore proves the object->frame translation
+    // (and thus frameBase) is still live, never a stale host pointer.
+    if (rt.stateTable().objectOf(offset) != lastObjCache.objId ||
+        lastObjCache.epoch != rt.evictionEpoch() ||
+        !lastObjCache.meta->safeForFastPath()) {
+        return nullptr;
+    }
+    lastObjCache.frame->refbit = true;
+    lastObjCache.meta->setHot();
+    if (for_write)
+        lastObjCache.meta->setDirty();
+    return lastObjCache.frameBase + rt.stateTable().offsetInObject(offset);
+}
+
+void
+TfmRuntime::cacheFill(std::uint64_t obj_id, std::uint64_t offset,
+                      std::byte *ptr)
+{
+    if (!rt.config().guardCacheEnabled)
+        return;
+    ObjectMeta &meta = rt.stateTable()[obj_id];
+    lastObjCache.objId = obj_id;
+    lastObjCache.epoch = rt.evictionEpoch();
+    lastObjCache.frameBase = ptr - rt.stateTable().offsetInObject(offset);
+    lastObjCache.meta = &meta;
+    lastObjCache.frame = &rt.frameCache().frame(meta.frame());
+}
+
+std::byte *
 TfmRuntime::guardRead(std::uint64_t addr)
 {
     if (!tfmIsTagged(addr)) {
@@ -19,11 +53,21 @@ TfmRuntime::guardRead(std::uint64_t addr)
     }
 
     const std::uint64_t offset = tfmOffsetOf(addr);
+    if (std::byte *cached = cacheLookup(offset, /*for_write=*/false)) {
+        // Same object as the previous guard: skip the state-table
+        // lookup and charge only the inline-cache hit.
+        rt.clock().advance(costs().guardCacheHitReadCycles);
+        gstats.fastReads++;
+        gstats.cacheHitReads++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::FastRead);
+        return cached;
+    }
     std::byte *fast = rt.tryFast(offset, /*for_write=*/false);
     if (fast) {
         rt.clock().advance(costs().fastPathReadCycles);
         gstats.fastReads++;
         gtrace.record(addr, rt.clock().now(), GuardPath::FastRead);
+        cacheFill(rt.stateTable().objectOf(offset), offset, fast);
         return fast;
     }
 
@@ -39,6 +83,7 @@ TfmRuntime::guardRead(std::uint64_t addr)
         gstats.slowLocalReads++;
         gtrace.record(addr, rt.clock().now(), GuardPath::SlowLocalRead);
     }
+    cacheFill(rt.stateTable().objectOf(offset), offset, data);
     return data;
 }
 
@@ -53,11 +98,19 @@ TfmRuntime::guardWrite(std::uint64_t addr)
     }
 
     const std::uint64_t offset = tfmOffsetOf(addr);
+    if (std::byte *cached = cacheLookup(offset, /*for_write=*/true)) {
+        rt.clock().advance(costs().guardCacheHitWriteCycles);
+        gstats.fastWrites++;
+        gstats.cacheHitWrites++;
+        gtrace.record(addr, rt.clock().now(), GuardPath::FastWrite);
+        return cached;
+    }
     std::byte *fast = rt.tryFast(offset, /*for_write=*/true);
     if (fast) {
         rt.clock().advance(costs().fastPathWriteCycles);
         gstats.fastWrites++;
         gtrace.record(addr, rt.clock().now(), GuardPath::FastWrite);
+        cacheFill(rt.stateTable().objectOf(offset), offset, fast);
         return fast;
     }
 
@@ -72,6 +125,7 @@ TfmRuntime::guardWrite(std::uint64_t addr)
         gstats.slowLocalWrites++;
         gtrace.record(addr, rt.clock().now(), GuardPath::SlowLocalWrite);
     }
+    cacheFill(rt.stateTable().objectOf(offset), offset, data);
     return data;
 }
 

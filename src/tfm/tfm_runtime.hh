@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "guard_stats.hh"
 #include "guard_trace.hh"
@@ -62,9 +63,18 @@ class TfmRuntime
         return tfmEncode(rt.allocate(bytes));
     }
 
+    /**
+     * Zero-initialized array allocation. Returns 0 (the null TrackFM
+     * pointer) when count * size overflows size_t, like calloc(3), so
+     * the caller never receives a too-small region.
+     */
     std::uint64_t
     tfmCalloc(std::size_t count, std::size_t size)
     {
+        if (size != 0 &&
+            count > std::numeric_limits<std::size_t>::max() / size) {
+            return 0;
+        }
         const std::size_t bytes = count * size;
         const std::uint64_t addr = tfmMalloc(bytes);
         zeroFill(addr, bytes);
@@ -189,9 +199,32 @@ class TfmRuntime
   private:
     void zeroFill(std::uint64_t addr, std::size_t bytes);
 
+    /**
+     * Last-object inline cache (the guard-level analogue of an MMU's
+     * micro-TLB): the translation produced by the most recent guard.
+     * A hit requires the same object id, an unchanged eviction epoch,
+     * and a still-safe meta word — so a cached host pointer can never
+     * outlive the frame mapping it refers to.
+     */
+    struct LastObjectCache
+    {
+        std::uint64_t objId = ~0ull;
+        std::uint64_t epoch = ~0ull;    ///< runtime evictionEpoch at fill
+        std::byte *frameBase = nullptr; ///< host pointer to frame byte 0
+        ObjectMeta *meta = nullptr;
+        Frame *frame = nullptr;
+    };
+
+    /** Try the inline cache; returns the host pointer or nullptr. */
+    std::byte *cacheLookup(std::uint64_t offset, bool for_write);
+    /** Refill the inline cache after a successful guard translation. */
+    void cacheFill(std::uint64_t obj_id, std::uint64_t offset,
+                   std::byte *ptr);
+
     FarMemRuntime rt;
     GuardStats gstats;
     GuardTrace gtrace;
+    LastObjectCache lastObjCache;
 };
 
 } // namespace tfm

@@ -98,6 +98,144 @@ TEST(NetworkModel, ResetStatsClearsCounters)
     EXPECT_EQ(net.stats().fetchMessages, 0u);
 }
 
+TEST(NetworkModel, BatchFetchChargesOneMessageForManyPayloads)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    net.fetchBatchSync(4 * 500, 4);
+    // One per-message CPU charge plus three scatter-gather entries;
+    // the 2000 batched bytes serialize behind a single latency.
+    const std::uint64_t issue =
+        c.perMessageCpuCycles + 3 * c.perPayloadCpuCycles;
+    EXPECT_EQ(clock.now(), issue + 1000u + 2000u);
+    EXPECT_EQ(net.stats().fetchMessages, 1u);
+    EXPECT_EQ(net.stats().fetchPayloads, 4u);
+    EXPECT_EQ(net.stats().fetchBatches, 1u);
+    EXPECT_EQ(net.stats().maxFetchBatch, 4u);
+    EXPECT_EQ(net.stats().bytesFetched, 2000u);
+    EXPECT_DOUBLE_EQ(net.stats().fetchCoalescing(), 4.0);
+}
+
+TEST(NetworkModel, BatchWritebackChargesOneMessage)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    net.writebackBatch(2 * 4096, 2);
+    EXPECT_EQ(clock.now(), c.perMessageCpuCycles + c.perPayloadCpuCycles);
+    EXPECT_EQ(net.stats().writebackMessages, 1u);
+    EXPECT_EQ(net.stats().writebackPayloads, 2u);
+    EXPECT_EQ(net.stats().writebackBatches, 1u);
+    EXPECT_EQ(net.stats().bytesWrittenBack, 2u * 4096u);
+}
+
+TEST(NetworkModel, SingletonBatchMatchesUnbatchedCharges)
+{
+    const CostParams c = simpleCosts();
+    CycleClock clock_a;
+    NetworkModel net_a(clock_a, c);
+    net_a.fetchSync(500);
+    CycleClock clock_b;
+    NetworkModel net_b(clock_b, c);
+    net_b.fetchBatchSync(500, 1);
+    // A one-payload batch degenerates to the plain message: identical
+    // cycle charges, and it does not count as a coalesced batch.
+    EXPECT_EQ(clock_a.now(), clock_b.now());
+    EXPECT_EQ(net_b.stats().fetchMessages, 1u);
+    EXPECT_EQ(net_b.stats().fetchPayloads, 1u);
+    EXPECT_EQ(net_b.stats().fetchBatches, 0u);
+}
+
+TEST(NetworkModel, BatchedMessagesAreCheaperAtEqualBytes)
+{
+    // Calibrated costs: the scatter-gather entry (40) is far cheaper
+    // than a full message issue, so coalescing saves issue-side CPU.
+    const CostParams c;
+    CycleClock clock_a;
+    NetworkModel net_a(clock_a, c);
+    for (int i = 0; i < 8; i++)
+        net_a.fetchAsync(1000);
+    CycleClock clock_b;
+    NetworkModel net_b(clock_b, c);
+    net_b.fetchBatchAsync(8 * 1000, 8);
+    EXPECT_EQ(net_a.stats().bytesFetched, net_b.stats().bytesFetched);
+    EXPECT_LT(clock_b.now(), clock_a.now());
+    EXPECT_EQ(net_a.stats().fetchMessages, 8u);
+    EXPECT_EQ(net_b.stats().fetchMessages, 1u);
+}
+
+TEST(NetworkModel, SegmentedBatchStreamsPayloadsInOrder)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    std::vector<std::uint64_t> arrivals;
+    const std::uint64_t last =
+        net.fetchBatchAsyncSegmented({100, 200, 300}, arrivals);
+    ASSERT_EQ(arrivals.size(), 3u);
+    // Payloads arrive in order, each after its own serialization; the
+    // whole train still rides one message and one latency.
+    EXPECT_EQ(arrivals[1] - arrivals[0], 200u);
+    EXPECT_EQ(arrivals[2] - arrivals[1], 300u);
+    EXPECT_EQ(arrivals[2], last);
+    EXPECT_GE(arrivals[0], c.netLatencyCycles + 100u);
+    EXPECT_EQ(net.stats().fetchMessages, 1u);
+    EXPECT_EQ(net.stats().fetchPayloads, 3u);
+    EXPECT_EQ(net.stats().bytesFetched, 600u);
+}
+
+TEST(RemoteNode, BatchFetchCopiesScatteredSegments)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    RemoteNode node(1 << 16);
+
+    std::vector<std::byte> a(64, std::byte{0x11});
+    std::vector<std::byte> b(128, std::byte{0x22});
+    std::vector<std::byte> d(32, std::byte{0x33});
+    node.rawWrite(0, a.data(), a.size());
+    node.rawWrite(4096, b.data(), b.size());
+    node.rawWrite(9000, d.data(), d.size());
+
+    std::vector<std::byte> out_a(64), out_b(128), out_d(32);
+    const std::uint64_t arrival = node.fetchBatchAsync(
+        net, {{0, out_a.data(), out_a.size()},
+              {4096, out_b.data(), out_b.size()},
+              {9000, out_d.data(), out_d.size()}});
+    net.waitUntil(arrival);
+    EXPECT_EQ(std::memcmp(a.data(), out_a.data(), a.size()), 0);
+    EXPECT_EQ(std::memcmp(b.data(), out_b.data(), b.size()), 0);
+    EXPECT_EQ(std::memcmp(d.data(), out_d.data(), d.size()), 0);
+    EXPECT_EQ(node.stats().fetchRequests, 1u);
+    EXPECT_EQ(node.stats().fetchPayloads, 3u);
+    EXPECT_EQ(net.stats().fetchMessages, 1u);
+    EXPECT_EQ(net.stats().bytesFetched, 64u + 128u + 32u);
+}
+
+TEST(RemoteNode, BatchWritebackPersistsAllSegments)
+{
+    CycleClock clock;
+    const CostParams c = simpleCosts();
+    NetworkModel net(clock, c);
+    RemoteNode node(1 << 16);
+
+    std::vector<std::byte> a(64, std::byte{0xAA});
+    std::vector<std::byte> b(64, std::byte{0xBB});
+    node.writebackBatch(net, {{256, a.data(), a.size()},
+                              {8192, b.data(), b.size()}});
+
+    std::vector<std::byte> out(64);
+    node.rawRead(256, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(a.data(), out.data(), 64), 0);
+    node.rawRead(8192, out.data(), out.size());
+    EXPECT_EQ(std::memcmp(b.data(), out.data(), 64), 0);
+    EXPECT_EQ(node.stats().writebackRequests, 1u);
+    EXPECT_EQ(node.stats().writebackPayloads, 2u);
+    EXPECT_EQ(net.stats().writebackMessages, 1u);
+}
+
 TEST(RemoteNode, FetchReturnsWrittenData)
 {
     CycleClock clock;

@@ -11,6 +11,7 @@
 
 #include "runtime/far_mem_runtime.hh"
 #include "sim/rng.hh"
+#include "tfm/tfm_runtime.hh"
 #include "runtime/frame_cache.hh"
 #include "runtime/object_meta.hh"
 #include "runtime/object_state_table.hh"
@@ -389,6 +390,263 @@ TEST_F(RuntimeTest, SpansMultipleObjectsIndependently)
     EXPECT_FALSE(rt.isLocal(off + 4096));
     EXPECT_TRUE(rt.isLocal(off + 2 * 4096));
     EXPECT_FALSE(rt.isLocal(off + 3 * 4096));
+}
+
+// ---------------------------------------------------------------------
+// Batched data plane: fetch coalescing and writeback batching.
+// ---------------------------------------------------------------------
+
+TEST_F(RuntimeTest, BatchedPrefetchCoalescesMessages)
+{
+    auto sweep = [&](bool batching) {
+        auto cfg = smallConfig();
+        cfg.localMemBytes = 32 * 4096;
+        cfg.prefetchEnabled = true;
+        cfg.prefetchDepth = 16;
+        cfg.batchingEnabled = batching;
+        cfg.fetchBatchMax = 16;
+        FarMemRuntime rt(cfg, CostParams{});
+        const std::uint64_t off = rt.allocate(128 * 4096);
+        for (int i = 0; i < 128; i++)
+            rt.localize(off + i * 4096, false);
+        return rt;
+    };
+    FarMemRuntime unbatched = sweep(false);
+    FarMemRuntime batched = sweep(true);
+
+    // Same bytes on the wire (every object fetched exactly once)...
+    EXPECT_EQ(unbatched.net().stats().bytesFetched,
+              batched.net().stats().bytesFetched);
+    // ...but the batched sweep coalesces each prefetch window into one
+    // message instead of one message per object.
+    EXPECT_GT(batched.stats().prefetchBatches, 0u);
+    EXPECT_GT(batched.net().stats().fetchBatches, 0u);
+    EXPECT_LE(batched.net().stats().fetchMessages * 4,
+              unbatched.net().stats().fetchMessages);
+}
+
+TEST_F(RuntimeTest, LocalizeJoinsInflightBatchedFetch)
+{
+    auto cfg = smallConfig();
+    cfg.batchingEnabled = true;
+    cfg.fetchBatchMax = 8;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(8 * 4096);
+
+    // One coalesced message covering objects 1..4.
+    rt.prefetchObjects(0, 1, 4);
+    EXPECT_EQ(rt.net().stats().fetchMessages, 1u);
+    EXPECT_EQ(rt.net().stats().fetchPayloads, 4u);
+
+    // A localize of an in-flight member joins the batch: it waits for
+    // the arrival instead of issuing a duplicate fetch.
+    FarMemRuntime::Localized outcome;
+    rt.localize(off + 2 * 4096, false, &outcome);
+    EXPECT_EQ(outcome, FarMemRuntime::Localized::PrefetchWait);
+    EXPECT_GE(rt.stats().inflightJoins, 1u);
+    EXPECT_EQ(rt.stats().demandFetches, 0u);
+    EXPECT_EQ(rt.net().stats().fetchMessages, 1u);
+}
+
+TEST_F(RuntimeTest, WritebackBufferFlushesOnSizeThreshold)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 2 * 4096;
+    cfg.batchingEnabled = true;
+    cfg.writebackBatchMax = 4;
+    cfg.writebackFlushCycles = ~0ull; // isolate the size trigger
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(16 * 4096);
+
+    // Dirty eight objects under two-frame pressure: six dirty evictions
+    // park in the buffer, and the fourth parked entry triggers a flush.
+    for (int i = 0; i < 8; i++)
+        rt.localize(off + i * 4096, true);
+    EXPECT_EQ(rt.stats().dirtyWritebacks, 6u);
+    EXPECT_EQ(rt.stats().writebackFlushes, 1u);
+    EXPECT_EQ(rt.net().stats().writebackMessages, 1u);
+    EXPECT_EQ(rt.net().stats().writebackPayloads, 4u);
+    EXPECT_EQ(rt.pendingWritebacks(), 2u);
+
+    rt.flushWritebacks();
+    EXPECT_EQ(rt.pendingWritebacks(), 0u);
+    EXPECT_EQ(rt.net().stats().writebackMessages, 2u);
+    EXPECT_EQ(rt.net().stats().writebackPayloads, 6u);
+}
+
+TEST_F(RuntimeTest, BufferedWritebackIsVisibleBeforeFlush)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 2 * 4096;
+    cfg.batchingEnabled = true;
+    cfg.writebackBatchMax = 8;
+    cfg.writebackFlushCycles = ~0ull;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(16 * 4096);
+
+    std::byte *p = rt.localize(off, true);
+    const std::uint64_t magic = 0xabcdef0123456789ull;
+    std::memcpy(p, &magic, sizeof(magic));
+    for (int i = 1; i < 6; i++)
+        rt.localize(off + i * 4096, false);
+    ASSERT_FALSE(rt.isLocal(off));
+    EXPECT_GE(rt.pendingWritebacks(), 1u);
+
+    // The dirty payload is parked, not yet on the wire, but reads must
+    // still observe it (store-buffer coherence).
+    std::uint64_t readback = 0;
+    rt.rawRead(off, &readback, sizeof(readback));
+    EXPECT_EQ(readback, magic);
+}
+
+TEST_F(RuntimeTest, EvacuateAllDrainsWritebackBuffer)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 2 * 4096;
+    cfg.batchingEnabled = true;
+    cfg.writebackBatchMax = 8;
+    cfg.writebackFlushCycles = ~0ull;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(16 * 4096);
+
+    for (int i = 0; i < 4; i++) {
+        std::byte *p = rt.localize(off + i * 4096, true);
+        const std::uint64_t value = 0x1000u + static_cast<std::uint64_t>(i);
+        std::memcpy(p, &value, sizeof(value));
+    }
+    ASSERT_GE(rt.pendingWritebacks(), 1u);
+    rt.evacuateAll();
+    EXPECT_EQ(rt.pendingWritebacks(), 0u);
+    for (int i = 0; i < 4; i++) {
+        std::uint64_t readback = 0;
+        rt.rawRead(off + i * 4096, &readback, sizeof(readback));
+        EXPECT_EQ(readback, 0x1000u + static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST_F(RuntimeTest, WritebackBufferHitResurrectsDirtyObject)
+{
+    auto cfg = smallConfig();
+    cfg.localMemBytes = 2 * 4096;
+    cfg.batchingEnabled = true;
+    cfg.writebackBatchMax = 8;
+    cfg.writebackFlushCycles = ~0ull;
+    FarMemRuntime rt(cfg, CostParams{});
+    const std::uint64_t off = rt.allocate(16 * 4096);
+
+    std::byte *p = rt.localize(off, true);
+    const std::uint64_t magic = 0x5ca1ab1e0ddba11ull;
+    std::memcpy(p, &magic, sizeof(magic));
+    for (int i = 1; i < 6; i++)
+        rt.localize(off + i * 4096, false);
+    ASSERT_FALSE(rt.isLocal(off));
+    ASSERT_GE(rt.pendingWritebacks(), 1u);
+
+    // Re-localizing the parked object restores it from the buffer: no
+    // new fetch message, and the dirty payload is intact.
+    const std::uint64_t fetches_before = rt.net().stats().fetchMessages;
+    const std::uint64_t demand_before = rt.stats().demandFetches;
+    std::byte *again = rt.localize(off, false);
+    std::uint64_t readback = 0;
+    std::memcpy(&readback, again, sizeof(readback));
+    EXPECT_EQ(readback, magic);
+    EXPECT_EQ(rt.stats().writebackBufferHits, 1u);
+    EXPECT_EQ(rt.net().stats().fetchMessages, fetches_before);
+    EXPECT_EQ(rt.stats().demandFetches, demand_before);
+
+    // Dirtiness survived the round trip through the buffer: a later
+    // evacuation still persists the value remotely.
+    rt.evacuateAll();
+    readback = 0;
+    rt.rawRead(off, &readback, sizeof(readback));
+    EXPECT_EQ(readback, magic);
+}
+
+// ---------------------------------------------------------------------
+// Guard-level last-object inline cache (TfmRuntime).
+// ---------------------------------------------------------------------
+
+RuntimeConfig
+guardCacheConfig(std::uint64_t frames)
+{
+    RuntimeConfig cfg;
+    cfg.farHeapBytes = 1 << 20;
+    cfg.localMemBytes = frames * 4096;
+    cfg.objectSizeBytes = 4096;
+    cfg.prefetchEnabled = false;
+    cfg.guardCacheEnabled = true;
+    return cfg;
+}
+
+TEST(GuardCache, RepeatAccessesHitAtReducedCost)
+{
+    const CostParams c;
+    TfmRuntime rt(guardCacheConfig(16), c);
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.store<std::uint64_t>(addr, 7); // localize + fill the cache
+    rt.load<std::uint64_t>(addr);
+
+    std::uint64_t before = rt.clock().now();
+    EXPECT_EQ(rt.load<std::uint64_t>(addr), 7u);
+    EXPECT_EQ(rt.clock().now() - before, c.guardCacheHitReadCycles);
+
+    before = rt.clock().now();
+    rt.store<std::uint64_t>(addr, 8);
+    EXPECT_EQ(rt.clock().now() - before, c.guardCacheHitWriteCycles);
+
+    EXPECT_GE(rt.guardStats().cacheHitReads, 1u);
+    EXPECT_GE(rt.guardStats().cacheHitWrites, 1u);
+    // Cache hits are a subset of fast-path guards.
+    EXPECT_GE(rt.guardStats().fastReads, rt.guardStats().cacheHitReads);
+}
+
+TEST(GuardCache, EvictionNeverYieldsStalePointer)
+{
+    TfmRuntime rt(guardCacheConfig(2), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(8 * 4096);
+    const std::uint64_t magic = 0xfeedbead12345678ull;
+    rt.store<std::uint64_t>(addr, magic); // object 0 cached
+
+    // Force object 0 out; its frame is recycled for other objects whose
+    // contents differ, so a stale cached frame pointer would be visible
+    // as wrong data.
+    for (int i = 1; i < 7; i++)
+        rt.store<std::uint64_t>(addr + i * 4096,
+                                0xb000u + static_cast<std::uint64_t>(i));
+    ASSERT_FALSE(rt.runtime().isLocal(tfmOffsetOf(addr)));
+    ASSERT_GT(rt.runtime().evictionEpoch(), 0u);
+
+    const std::uint64_t hits_before = rt.guardStats().cacheHitReads;
+    EXPECT_EQ(rt.load<std::uint64_t>(addr), magic);
+    // The re-access missed the inline cache (epoch moved on).
+    EXPECT_EQ(rt.guardStats().cacheHitReads, hits_before);
+}
+
+TEST(GuardCache, EvacuationInvalidatesCachedTranslation)
+{
+    TfmRuntime rt(guardCacheConfig(16), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.store<std::uint64_t>(addr, 111);
+    rt.load<std::uint64_t>(addr); // cache is hot
+
+    rt.runtime().evacuateAll();
+    // Mutate the remote copy directly; a stale cache hit would still
+    // see the old frame contents instead of refetching.
+    const std::uint64_t fresh = 222;
+    rt.runtime().rawWrite(tfmOffsetOf(addr), &fresh, sizeof(fresh));
+    EXPECT_EQ(rt.load<std::uint64_t>(addr), fresh);
+}
+
+TEST(GuardCache, DisabledByConfigNeverHits)
+{
+    auto cfg = guardCacheConfig(16);
+    cfg.guardCacheEnabled = false;
+    TfmRuntime rt(cfg, CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    for (int i = 0; i < 10; i++)
+        rt.load<std::uint64_t>(addr);
+    EXPECT_EQ(rt.guardStats().cacheHitReads, 0u);
+    EXPECT_EQ(rt.guardStats().cacheHitWrites, 0u);
 }
 
 } // namespace

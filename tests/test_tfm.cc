@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 
 #include "tfm/chunk.hh"
 #include "tfm/cost_model.hh"
@@ -82,7 +83,11 @@ TEST(TfmRuntime, FirstAccessIsSlowPathThenFast)
 TEST(TfmRuntime, GuardCostsMatchTable1)
 {
     const CostParams c;
-    TfmRuntime rt(smallConfig(), c);
+    // Measure the raw Table 1 guard: the last-object inline cache would
+    // otherwise serve the repeated accesses at its cheaper hit cost.
+    RuntimeConfig cfg = smallConfig();
+    cfg.guardCacheEnabled = false;
+    TfmRuntime rt(cfg, c);
     const std::uint64_t addr = rt.tfmMalloc(4096);
     rt.load<std::uint32_t>(addr); // localize (slow path + fetch)
 
@@ -138,6 +143,21 @@ TEST(TfmRuntime, CallocZeroes)
     TfmRuntime rt(smallConfig(), CostParams{});
     const std::uint64_t addr = rt.tfmCalloc(100, 8);
     for (int i = 0; i < 100; i++)
+        EXPECT_EQ(rt.load<std::uint64_t>(addr + i * 8), 0u);
+}
+
+TEST(TfmRuntime, CallocOverflowReturnsNull)
+{
+    TfmRuntime rt(smallConfig(), CostParams{});
+    // count * size wraps std::size_t: calloc(3) semantics require a
+    // clean failure, not a tiny allocation with a huge apparent extent.
+    const std::size_t huge = std::numeric_limits<std::size_t>::max() / 8 + 1;
+    EXPECT_EQ(rt.tfmCalloc(huge, 16), 0u);
+    EXPECT_EQ(rt.tfmCalloc(16, huge), 0u);
+    // The allocator is untouched and still usable afterwards.
+    const std::uint64_t addr = rt.tfmCalloc(4, 8);
+    EXPECT_TRUE(tfmIsTagged(addr));
+    for (int i = 0; i < 4; i++)
         EXPECT_EQ(rt.load<std::uint64_t>(addr + i * 8), 0u);
 }
 

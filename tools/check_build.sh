@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# One-shot repo health check: configure, build (src/ warnings are
+# errors), and run the full test suite. This is the command the CI (and
+# any PR author) should run before merging.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "${BUILD_DIR}" -S . -DTFM_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "check_build: OK"
