@@ -14,12 +14,99 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
 
+#include "obs/obs.hh"
 #include "sim/cost_params.hh"
+#include "sim/logging.hh"
 
 namespace tfm::bench
 {
+
+/**
+ * Process-wide tracing session behind the uniform `--trace=<file>`
+ * flag.
+ *
+ * Bench binaries have argument-less main() functions, so the flag is
+ * recovered from /proc/self/cmdline (with a TFM_TRACE=<file>
+ * environment fallback for non-procfs platforms). When present, an
+ * Observability sink is installed as the process-wide default before
+ * main() runs; every runtime the bench constructs then attaches to it
+ * through obs::defaultSink(), and the Chrome trace_event JSON file is
+ * written when the process exits. TFM_TRACE_EPOCH overrides the
+ * time-series epoch (simulated cycles).
+ */
+class TraceSession
+{
+  public:
+    TraceSession()
+    {
+        path = traceArg();
+        if (path.empty()) {
+            if (const char *env = std::getenv("TFM_TRACE"))
+                path = env;
+        }
+        if (path.empty())
+            return;
+        ObsConfig config;
+        config.trace = true;
+        config.epochCycles = 100000;
+        if (const char *epoch = std::getenv("TFM_TRACE_EPOCH"))
+            config.epochCycles = std::strtoull(epoch, nullptr, 10);
+        sink = new Observability(config);
+        obs::setDefaultSink(sink);
+    }
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    ~TraceSession()
+    {
+        if (!sink)
+            return;
+        obs::setDefaultSink(nullptr);
+        std::ofstream os(path);
+        if (os) {
+            sink->writeTrace(os);
+            std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                         path.c_str(), sink->trace().size());
+        } else {
+            TFM_WARN("cannot open trace file %s", path.c_str());
+        }
+        delete sink;
+    }
+
+  private:
+    /** The value of --trace=<file> on this process's command line. */
+    static std::string
+    traceArg()
+    {
+        std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+        const std::string all((std::istreambuf_iterator<char>(cmdline)),
+                              std::istreambuf_iterator<char>());
+        const std::string prefix = "--trace=";
+        std::size_t start = 0;
+        while (start < all.size()) {
+            std::size_t end = all.find('\0', start);
+            if (end == std::string::npos)
+                end = all.size();
+            if (all.compare(start, prefix.size(), prefix) == 0)
+                return all.substr(start + prefix.size(),
+                                  end - start - prefix.size());
+            start = end + 1;
+        }
+        return "";
+    }
+
+    std::string path;
+    Observability *sink = nullptr;
+};
+
+/// One session per bench process, live from static init to exit.
+inline TraceSession traceSession;
 
 /**
  * Machine-readable result emitter: accumulates key/value pairs and

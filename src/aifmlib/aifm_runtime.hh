@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/obs.hh"
 #include "runtime/far_mem_runtime.hh"
 
 namespace tfm
@@ -37,7 +38,7 @@ class AifmRuntime
 {
   public:
     AifmRuntime(const RuntimeConfig &config, const CostParams &cost_params)
-        : rt(config, cost_params)
+        : rt(tagged(config), cost_params)
     {}
 
     FarMemRuntime &runtime() { return rt; }
@@ -65,12 +66,25 @@ class AifmRuntime
         // uses, minus the guard dispatch around it.
         rt.clock().advance(costs().slowPathReadCycles);
         _stats.misses++;
+        if (Observability *obs = rt.obs();
+            obs && obs->trace().enabled()) {
+            obs->trace().instant(rt.obsStream(), TrackApp, "aifm.miss",
+                                 "runtime", rt.clock().now());
+        }
         return rt.localize(offset, for_write);
     }
 
     void exportStats(StatSet &set) const;
 
   private:
+    /** Label this stack's observability stream as the AIFM baseline's. */
+    static RuntimeConfig
+    tagged(RuntimeConfig config)
+    {
+        config.obsKind = "aifm";
+        return config;
+    }
+
     FarMemRuntime rt;
     AifmStats _stats;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace tfm
@@ -17,7 +18,13 @@ FastswapRuntime::FastswapRuntime(const FastswapConfig &config,
       pages(config.farHeapBytes, config.pageSizeBytes),
       cache(config.localMemBytes, config.pageSizeBytes),
       alloc_(config.farHeapBytes, config.pageSizeBytes)
-{}
+{
+    obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
+    if (obs_) {
+        obsStream_ = obs_->registerStream("fastswap");
+        _net.attachObs(obs_, obsStream_);
+    }
+}
 
 std::uint64_t
 FastswapRuntime::allocate(std::uint64_t bytes)
@@ -41,6 +48,8 @@ FastswapRuntime::access(std::uint64_t offset, bool for_write)
 {
     const std::uint64_t page_id = pages.objectOf(offset);
     ObjectMeta &meta = pages[page_id];
+    if (obs_ && obs_->seriesDue(obsStream_, _clock.now()))
+        obsEpochSample();
 
     if (meta.present()) {
         Frame &f = cache.frame(meta.frame());
@@ -52,13 +61,26 @@ FastswapRuntime::access(std::uint64_t offset, bool for_write)
             _net.waitUntil(f.arrivalCycle);
             meta.clearInflight();
             _stats.minorFaults++;
+            if (obs_ && obs_->trace().enabled()) {
+                obs_->trace().instant(obsStream_, TrackApp, "minor-fault",
+                                      "fault", _clock.now());
+                obs_->trace().arg("page", page_id);
+            }
         }
         if (for_write)
             meta.setDirty();
         return cache.frameData(meta.frame()) + pages.offsetInObject(offset);
     }
 
-    // Major fault: fetch the whole architected page from remote.
+    // Major fault: fetch the whole architected page from remote. The
+    // span covers reclaim, the page transfer, and readahead issue; the
+    // reclaim/readahead instants land inside it.
+    const std::uint64_t faultStart = _clock.now();
+    if (obs_ && obs_->trace().enabled()) {
+        obs_->trace().begin(obsStream_, TrackApp, "major-fault", "fault",
+                            faultStart);
+        obs_->trace().arg("page", page_id);
+    }
     const std::uint64_t frame_idx = takeFrame();
     std::byte *data = cache.frameData(frame_idx);
     _clock.advance(_costs.pageFaultLocalCycles +
@@ -75,6 +97,14 @@ FastswapRuntime::access(std::uint64_t offset, bool for_write)
 
     if (cfg.readaheadEnabled)
         readahead(page_id);
+
+    if (obs_) {
+        obs_->faultLatency.record(_clock.now() - faultStart);
+        if (obs_->trace().enabled()) {
+            obs_->trace().end(obsStream_, TrackApp, "major-fault",
+                              "fault", _clock.now());
+        }
+    }
 
     return data + pages.offsetInObject(offset);
 }
@@ -134,6 +164,11 @@ FastswapRuntime::readahead(std::uint64_t page_id)
         f.objId = target;
         f.arrivalCycle = arrival;
         _stats.readaheads++;
+        if (obs_ && obs_->trace().enabled()) {
+            obs_->trace().instant(obsStream_, TrackApp, "readahead",
+                                  "fault", _clock.now());
+            obs_->trace().arg("page", target);
+        }
     }
 }
 
@@ -159,6 +194,12 @@ FastswapRuntime::evictFrame(std::uint64_t frame_idx)
     TFM_ASSERT(meta.present() && meta.frame() == frame_idx,
                "page table / frame mismatch on reclaim");
     _clock.advance(_costs.pageReclaimCycles);
+    if (obs_ && obs_->trace().enabled()) {
+        obs_->trace().instant(obsStream_, TrackApp, "reclaim", "fault",
+                              _clock.now());
+        obs_->trace().arg("page", f.objId);
+        obs_->trace().arg("dirty", meta.dirty() ? 1 : 0);
+    }
     if (meta.dirty()) {
         _remote.writeback(_net, f.objId << pages.objectShift(),
                           cache.frameData(frame_idx), pages.objectSize());
@@ -241,6 +282,17 @@ FastswapRuntime::exportStats(StatSet &set) const
     set.add("net.bytes_fetched", _net.stats().bytesFetched);
     set.add("net.bytes_written_back", _net.stats().bytesWrittenBack);
     set.add("clock.cycles", _clock.now());
+    if (obs_)
+        obs_->exportStats(set);
+}
+
+void
+FastswapRuntime::obsEpochSample()
+{
+    obs_->counterSample(
+        obsStream_, _clock.now(),
+        {{"frames_used", cache.usedFrames()},
+         {"net_bytes", _net.stats().totalBytes()}});
 }
 
 } // namespace tfm

@@ -49,6 +49,8 @@ struct FastswapConfig
     /// Swap readahead window (pages fetched around a major fault).
     std::uint32_t readaheadPages = 8;
     bool readaheadEnabled = true;
+    /// Observability sink; null falls back to obs::defaultSink().
+    Observability *obs = nullptr;
 };
 
 /** Fault/paging counters (Fig. 14b and 16b plot these). */
@@ -128,10 +130,15 @@ class FastswapRuntime
     const NetStats &netStats() const { return _net.stats(); }
     void exportStats(StatSet &set) const;
 
+    Observability *obs() const { return obs_; }
+    std::uint32_t obsStream() const { return obsStream_; }
+
   private:
     std::uint64_t takeFrame();
     void evictFrame(std::uint64_t frame_idx);
     void readahead(std::uint64_t page_id);
+    /** Epoch time-series snapshot (residency, wire bytes). */
+    void obsEpochSample();
 
     FastswapConfig cfg;
     CostParams _costs;
@@ -142,6 +149,8 @@ class FastswapRuntime
     FrameCache cache;
     RegionAllocator alloc_;
     FastswapStats _stats;
+    Observability *obs_ = nullptr;
+    std::uint32_t obsStream_ = 0;
 };
 
 } // namespace tfm

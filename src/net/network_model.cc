@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace tfm
@@ -39,6 +40,23 @@ NetworkModel::accountFetch(std::uint64_t bytes, std::uint32_t payloads)
 }
 
 void
+NetworkModel::observeFetch(std::uint64_t issue, std::uint64_t arrival,
+                           std::uint64_t bytes, std::uint32_t payloads)
+{
+    if (!obs_)
+        return;
+    obs_->fetchLatency.record(arrival - issue);
+    obs_->fetchBatch.record(payloads);
+    TraceSink &sink = obs_->trace();
+    if (sink.enabled()) {
+        sink.complete(obsStream_, TrackNetIn, "net.fetch", "net", issue,
+                      arrival - issue);
+        sink.arg("bytes", bytes);
+        sink.arg("payloads", payloads);
+    }
+}
+
+void
 NetworkModel::fetchSync(std::uint64_t bytes)
 {
     fetchBatchSync(bytes, 1);
@@ -48,11 +66,13 @@ void
 NetworkModel::fetchBatchSync(std::uint64_t bytes, std::uint32_t payloads)
 {
     TFM_ASSERT(payloads > 0, "empty fetch batch");
+    const std::uint64_t issue = _clock.now();
     _clock.advance(_costs.perMessageCpuCycles +
                    _costs.perPayloadCpuCycles * (payloads - 1));
     const std::uint64_t arrival = reserveInbound(bytes);
     _clock.advanceTo(arrival);
     accountFetch(bytes, payloads);
+    observeFetch(issue, arrival, bytes, payloads);
 }
 
 std::uint64_t
@@ -65,10 +85,12 @@ std::uint64_t
 NetworkModel::fetchBatchAsync(std::uint64_t bytes, std::uint32_t payloads)
 {
     TFM_ASSERT(payloads > 0, "empty fetch batch");
+    const std::uint64_t issue = _clock.now();
     _clock.advance(_costs.prefetchIssueCycles +
                    _costs.perPayloadCpuCycles * (payloads - 1));
     const std::uint64_t arrival = reserveInbound(bytes);
     accountFetch(bytes, payloads);
+    observeFetch(issue, arrival, bytes, payloads);
     return arrival;
 }
 
@@ -79,6 +101,7 @@ NetworkModel::fetchBatchAsyncSegmented(
 {
     TFM_ASSERT(!payloadBytes.empty(), "empty fetch batch");
     const auto payloads = static_cast<std::uint32_t>(payloadBytes.size());
+    const std::uint64_t issue = _clock.now();
     _clock.advance(_costs.prefetchIssueCycles +
                    _costs.perPayloadCpuCycles * (payloads - 1));
     std::uint64_t total = 0;
@@ -95,6 +118,7 @@ NetworkModel::fetchBatchAsyncSegmented(
     }
     inFreeAt = at;
     accountFetch(total, payloads);
+    observeFetch(issue, at, total, payloads);
     return at;
 }
 
@@ -108,6 +132,7 @@ void
 NetworkModel::writebackBatch(std::uint64_t bytes, std::uint32_t payloads)
 {
     TFM_ASSERT(payloads > 0, "empty writeback batch");
+    const std::uint64_t issue = _clock.now();
     _clock.advance(_costs.perMessageCpuCycles +
                    _costs.perPayloadCpuCycles * (payloads - 1));
     const std::uint64_t start = std::max(_clock.now(), outFreeAt);
@@ -119,6 +144,17 @@ NetworkModel::writebackBatch(std::uint64_t bytes, std::uint32_t payloads)
         _stats.writebackBatches++;
     _stats.maxWritebackBatch =
         std::max<std::uint64_t>(_stats.maxWritebackBatch, payloads);
+    if (obs_) {
+        obs_->writebackLatency.record(outFreeAt - issue);
+        obs_->writebackBatch.record(payloads);
+        TraceSink &sink = obs_->trace();
+        if (sink.enabled()) {
+            sink.complete(obsStream_, TrackNetOut, "net.writeback", "net",
+                          issue, outFreeAt - issue);
+            sink.arg("bytes", bytes);
+            sink.arg("payloads", payloads);
+        }
+    }
 }
 
 } // namespace tfm

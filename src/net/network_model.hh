@@ -22,6 +22,8 @@
 namespace tfm
 {
 
+class Observability;
+
 /** Statistics accumulated by the link. */
 struct NetStats
 {
@@ -144,10 +146,28 @@ class NetworkModel
     const NetStats &stats() const { return _stats; }
     void resetStats() { _stats = NetStats{}; }
 
+    /** The shared simulated clock (for devices behind the link). */
+    std::uint64_t now() const { return _clock.now(); }
+
     /** Earliest cycle at which the inbound link is free (for tests). */
     std::uint64_t inboundFreeAt() const { return inFreeAt; }
     /** Earliest cycle at which the outbound link is free (for tests). */
     std::uint64_t outboundFreeAt() const { return outFreeAt; }
+
+    /** @name Observability
+     *  Attach the owning runtime's sink; the link then emits one span
+     *  per message (issue -> arrival) on its in/out tracks and feeds
+     *  the latency/batch-size histograms. Never charges cycles.
+     * @{ */
+    void
+    attachObs(Observability *sink, std::uint32_t stream)
+    {
+        obs_ = sink;
+        obsStream_ = stream;
+    }
+    Observability *obs() const { return obs_; }
+    std::uint32_t obsStream() const { return obsStream_; }
+    /** @} */
 
   private:
     /// Cycles needed to push @p bytes through the link at line rate.
@@ -156,12 +176,17 @@ class NetworkModel
     std::uint64_t reserveInbound(std::uint64_t bytes);
     /// Record one inbound message carrying @p payloads objects.
     void accountFetch(std::uint64_t bytes, std::uint32_t payloads);
+    /// Observe one inbound message span (no-op when unattached).
+    void observeFetch(std::uint64_t issue, std::uint64_t arrival,
+                      std::uint64_t bytes, std::uint32_t payloads);
 
     CycleClock &_clock;
     const CostParams &_costs;
     NetStats _stats;
     std::uint64_t inFreeAt = 0;
     std::uint64_t outFreeAt = 0;
+    Observability *obs_ = nullptr;
+    std::uint32_t obsStream_ = 0;
 };
 
 } // namespace tfm

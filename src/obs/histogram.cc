@@ -1,0 +1,60 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (_count == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    if (p >= 100.0)
+        return _max; // the maximum is tracked exactly
+    // Rank of the sample that answers the query, 1-based.
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(_count)));
+    const std::uint64_t rank = std::max<std::uint64_t>(target, 1);
+
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < numBuckets; b++) {
+        if (buckets[b] == 0)
+            continue;
+        if (cumulative + buckets[b] < rank) {
+            cumulative += buckets[b];
+            continue;
+        }
+        // The rank-th sample lies in this bucket. Clamp the bucket's
+        // nominal range to the observed min/max so single-valued
+        // distributions come out exact.
+        const std::uint64_t lo = std::max(bucketLo(b), _min);
+        const std::uint64_t hi = std::min(bucketHi(b), _max);
+        if (hi <= lo)
+            return lo;
+        const double within =
+            static_cast<double>(rank - cumulative - 1) /
+            static_cast<double>(buckets[b]);
+        return lo + static_cast<std::uint64_t>(
+                        within * static_cast<double>(hi - lo));
+    }
+    return _max;
+}
+
+void
+Histogram::exportStats(StatSet &set, const char *prefix) const
+{
+    const std::string base(prefix);
+    set.add(base + ".count", _count);
+    set.add(base + ".p50", percentile(50));
+    set.add(base + ".p90", percentile(90));
+    set.add(base + ".p99", percentile(99));
+    set.add(base + ".max", max());
+}
+
+} // namespace tfm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Log2-bucketed latency/size histogram.
+ *
+ * The paper's evaluation is distributional (fetch latency tails, batch
+ * size mixes, I/O amplification over time), so end-of-run scalar
+ * counters are not enough to judge a data-plane change. This histogram
+ * records into power-of-two buckets — one increment and a count-leading-
+ * zeros per sample — and reconstructs approximate percentiles by linear
+ * interpolation inside the hit bucket, clamped to the observed min/max
+ * so degenerate distributions (all samples equal) report exactly.
+ */
+
+#ifndef TRACKFM_OBS_HISTOGRAM_HH
+#define TRACKFM_OBS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tfm
+{
+
+class StatSet;
+
+/**
+ * Fixed-size log2 histogram over uint64 samples.
+ *
+ * Bucket 0 holds the value 0; bucket k (k >= 1) holds the range
+ * [2^(k-1), 2^k - 1]. 65 buckets cover the full uint64 domain.
+ */
+class Histogram
+{
+  public:
+    static constexpr int numBuckets = 65;
+
+    /** Bucket index for @p value. */
+    static int
+    bucketOf(std::uint64_t value)
+    {
+        return value == 0 ? 0 : 64 - __builtin_clzll(value);
+    }
+
+    /** Smallest value mapped to @p bucket. */
+    static std::uint64_t
+    bucketLo(int bucket)
+    {
+        return bucket == 0 ? 0 : 1ull << (bucket - 1);
+    }
+
+    /** Largest value mapped to @p bucket. */
+    static std::uint64_t
+    bucketHi(int bucket)
+    {
+        if (bucket == 0)
+            return 0;
+        if (bucket == numBuckets - 1)
+            return std::numeric_limits<std::uint64_t>::max();
+        return (1ull << bucket) - 1;
+    }
+
+    void
+    record(std::uint64_t value)
+    {
+        buckets[bucketOf(value)]++;
+        _count++;
+        _sum += value;
+        if (value < _min)
+            _min = value;
+        if (value > _max)
+            _max = value;
+    }
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t sum() const { return _sum; }
+    std::uint64_t min() const { return _count ? _min : 0; }
+    std::uint64_t max() const { return _count ? _max : 0; }
+    std::uint64_t bucketCount(int bucket) const { return buckets[bucket]; }
+
+    double
+    mean() const
+    {
+        return _count == 0 ? 0.0
+                           : static_cast<double>(_sum) /
+                                 static_cast<double>(_count);
+    }
+
+    /**
+     * Approximate percentile; @p p in [0, 100]. Exact when the hit
+     * bucket degenerates to one observed value, otherwise linear
+     * interpolation across the bucket's observed sub-range.
+     */
+    std::uint64_t percentile(double p) const;
+
+    void reset() { *this = Histogram{}; }
+
+    /** Add count/p50/p90/p99/max under "<prefix>...." names. */
+    void exportStats(StatSet &set, const char *prefix) const;
+
+  private:
+    std::uint64_t buckets[numBuckets] = {};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t _max = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_OBS_HISTOGRAM_HH

@@ -1,0 +1,97 @@
+#include "obs.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+Observability::Observability(const ObsConfig &config)
+    : cfg(config),
+      sink(config.trace ? config.traceMaxEvents : 0),
+      sampler(config.epochCycles)
+{}
+
+std::uint32_t
+Observability::registerStream(const char *kind)
+{
+    const std::uint32_t id = nextStream++;
+    if (sink.enabled()) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s #%u", kind, id);
+        sink.setProcessName(id, label);
+        sink.setThreadName(id, TrackApp, "app");
+        sink.setThreadName(id, TrackNetIn, "net-in");
+        sink.setThreadName(id, TrackNetOut, "net-out");
+        sink.setThreadName(id, TrackRemote, "remote");
+    }
+    return id;
+}
+
+void
+Observability::counterSample(
+    std::uint32_t stream, std::uint64_t now,
+    std::initializer_list<std::pair<const char *, std::uint64_t>> values)
+{
+    for (const auto &[name, value] : values) {
+        sampler.record(stream, now, name, value);
+        if (sink.enabled())
+            sink.counter(stream, name, now, value);
+    }
+    sampler.advance(stream, now);
+}
+
+void
+Observability::exportStats(StatSet &set) const
+{
+    fetchLatency.exportStats(set, "obs.fetch_latency");
+    writebackLatency.exportStats(set, "obs.writeback_latency");
+    fetchBatch.exportStats(set, "obs.fetch_batch");
+    writebackBatch.exportStats(set, "obs.writeback_batch");
+    demandFetch.exportStats(set, "obs.demand_fetch");
+    prefetchWait.exportStats(set, "obs.prefetch_wait");
+    wbResidency.exportStats(set, "obs.wb_residency");
+    interMissDist.exportStats(set, "obs.inter_miss_dist");
+    faultLatency.exportStats(set, "obs.fault_latency");
+    set.add("obs.trace_events", sink.size());
+    set.add("obs.trace_dropped", sink.dropped());
+    set.add("obs.series_points", sampler.size());
+}
+
+void
+Observability::writeTrace(std::ostream &os) const
+{
+    if (sink.dropped() > 0) {
+        TFM_WARN("trace buffer full: dropped %zu events (raise "
+                 "ObsConfig::traceMaxEvents)",
+                 sink.dropped());
+    }
+    sink.write(os);
+}
+
+namespace obs
+{
+
+namespace
+{
+Observability *defaultSink_ = nullptr;
+} // anonymous namespace
+
+Observability *
+defaultSink()
+{
+    return defaultSink_;
+}
+
+void
+setDefaultSink(Observability *sink)
+{
+    defaultSink_ = sink;
+}
+
+} // namespace obs
+
+} // namespace tfm

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The unified observability layer: one object bundling the structured
+ * event tracer, the latency/size histograms, and the epoch time-series
+ * sampler, shared by every runtime (FarMem/Tfm/Aifm/Fastswap) plus the
+ * network and remote-node models underneath them.
+ *
+ * Design rules (see DESIGN.md "Observability"):
+ *  - Always compiled in. Instrumented code holds an `Observability *`
+ *    that is nullptr by default; every hot-path emission site is
+ *    guarded by that single null check and nothing else.
+ *  - Never charges simulated cycles: observability is outside the cost
+ *    model, so enabling a trace cannot change any figure.
+ *  - Each runtime instance registers a *stream* (rendered as a process
+ *    in Perfetto) and emits onto fixed tracks (threads) within it, so
+ *    timestamps are monotone per (stream, track) even when one bench
+ *    sweeps many runtimes whose clocks all start at zero.
+ */
+
+#ifndef TRACKFM_OBS_OBS_HH
+#define TRACKFM_OBS_OBS_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <utility>
+
+#include "histogram.hh"
+#include "time_series.hh"
+#include "trace_event.hh"
+
+namespace tfm
+{
+
+class StatSet;
+
+/** Fixed tracks ("threads") within one runtime's trace stream. */
+enum ObsTrack : std::uint32_t
+{
+    TrackApp = 0,    ///< the application thread: guards, demand fetches
+    TrackNetIn = 1,  ///< inbound link: fetch messages
+    TrackNetOut = 2, ///< outbound link: writeback messages
+    TrackRemote = 3  ///< remote node: requests served
+};
+
+/** Observability layer configuration. */
+struct ObsConfig
+{
+    /// Collect trace events (spans/instants/counters) into the sink.
+    bool trace = true;
+    /// Trace buffer bound; further events are counted as dropped.
+    std::size_t traceMaxEvents = 1u << 20;
+    /// Time-series snapshot epoch in simulated cycles; 0 disables.
+    std::uint64_t epochCycles = 0;
+};
+
+/**
+ * One observability domain: a trace sink, the standard histogram set,
+ * and the time-series sampler. Typically owned by the bench / test and
+ * attached to runtimes through RuntimeConfig::obs (or the process-wide
+ * default installed by the --trace bench flag).
+ */
+class Observability
+{
+  public:
+    explicit Observability(const ObsConfig &config = ObsConfig{});
+
+    const ObsConfig &config() const { return cfg; }
+    TraceSink &trace() { return sink; }
+    const TraceSink &trace() const { return sink; }
+    TimeSeriesSampler &series() { return sampler; }
+    const TimeSeriesSampler &series() const { return sampler; }
+
+    /**
+     * Allocate a stream id for one runtime instance and label it in the
+     * trace. @p kind is e.g. "trackfm", "fastswap".
+     */
+    std::uint32_t registerStream(const char *kind);
+
+    /** @name Standard histograms
+     *  Maintained by the instrumented subsystems whenever attached.
+     * @{ */
+    Histogram fetchLatency;     ///< inbound message issue -> arrival
+    Histogram writebackLatency; ///< outbound message start -> drained
+    Histogram fetchBatch;       ///< payloads per inbound message
+    Histogram writebackBatch;   ///< payloads per outbound message
+    Histogram demandFetch;      ///< localize() blocking-miss cycles
+    Histogram prefetchWait;     ///< residual wait joining in-flight fetch
+    Histogram wbResidency;      ///< cycles a dirty object sat buffered
+    Histogram interMissDist;    ///< |obj-id delta| between demand misses
+    Histogram faultLatency;     ///< fastswap major-fault cycles
+    /** @} */
+
+    /** Is a time-series snapshot due for @p stream at @p now? */
+    bool
+    seriesDue(std::uint32_t stream, std::uint64_t now) const
+    {
+        return sampler.due(stream, now);
+    }
+
+    /**
+     * Take one epoch snapshot: records every (name, value) pair in the
+     * series and mirrors each as a counter event in the trace.
+     */
+    void counterSample(
+        std::uint32_t stream, std::uint64_t now,
+        std::initializer_list<std::pair<const char *, std::uint64_t>>
+            values);
+
+    /** Histogram summaries under "obs.*" names. */
+    void exportStats(StatSet &set) const;
+
+    /** Serialize the trace (Chrome trace_event JSON). */
+    void writeTrace(std::ostream &os) const;
+
+  private:
+    ObsConfig cfg;
+    TraceSink sink;
+    TimeSeriesSampler sampler;
+    std::uint32_t nextStream = 0;
+};
+
+namespace obs
+{
+
+/**
+ * Process-wide default sink picked up by runtimes whose config carries
+ * no explicit Observability. Installed by the bench-level --trace flag
+ * (bench_util.hh) so every existing bench can emit traces without
+ * per-bench changes; null in normal operation.
+ */
+Observability *defaultSink();
+void setDefaultSink(Observability *sink);
+
+} // namespace obs
+
+} // namespace tfm
+
+#endif // TRACKFM_OBS_OBS_HH

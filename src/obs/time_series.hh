@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Epoch-aligned time-series sampler.
+ *
+ * Snapshots slow-moving state (frame-cache occupancy, dirty-buffer
+ * depth, cumulative bytes on wire) once per simulated epoch. Hot paths
+ * ask `due()` — one compare against the stream's next-epoch cycle — and
+ * only on a hit pay for the snapshot, so a disabled or between-epochs
+ * sampler costs one branch. Samples are aligned to epoch boundaries
+ * (epochStart = floor(now / epoch) * epoch); if the simulation jumps
+ * several epochs between calls the skipped epochs simply have no row,
+ * keeping the series sparse rather than backfilled.
+ */
+
+#ifndef TRACKFM_OBS_TIME_SERIES_HH
+#define TRACKFM_OBS_TIME_SERIES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tfm
+{
+
+/** One recorded (stream, epoch, metric, value) point. */
+struct SeriesPoint
+{
+    std::uint32_t stream = 0;
+    std::uint64_t epochStart = 0; ///< aligned epoch boundary
+    std::uint64_t at = 0;         ///< exact cycle the snapshot was taken
+    const char *name = "";
+    std::uint64_t value = 0;
+};
+
+class TimeSeriesSampler
+{
+  public:
+    /** @p epoch_cycles == 0 disables sampling. */
+    explicit TimeSeriesSampler(std::uint64_t epoch_cycles = 0)
+        : epoch(epoch_cycles)
+    {}
+
+    std::uint64_t epochCycles() const { return epoch; }
+    bool enabled() const { return epoch != 0; }
+
+    /** Should @p stream snapshot at time @p now? */
+    bool
+    due(std::uint32_t stream, std::uint64_t now) const
+    {
+        if (epoch == 0)
+            return false;
+        return stream >= nextEpoch.size() || now >= nextEpoch[stream];
+    }
+
+    /**
+     * Record one metric of the current snapshot. Call `advance()` once
+     * after the last metric of a snapshot.
+     */
+    void
+    record(std::uint32_t stream, std::uint64_t now, const char *name,
+           std::uint64_t value)
+    {
+        points.push_back(
+            {stream, alignedEpoch(now), now, name, value});
+    }
+
+    /** Close @p stream's snapshot: next sample is due next epoch. */
+    void
+    advance(std::uint32_t stream, std::uint64_t now)
+    {
+        if (epoch == 0)
+            return;
+        if (stream >= nextEpoch.size())
+            nextEpoch.resize(stream + 1, 0);
+        nextEpoch[stream] = alignedEpoch(now) + epoch;
+    }
+
+    std::uint64_t
+    alignedEpoch(std::uint64_t now) const
+    {
+        return epoch == 0 ? now : now - now % epoch;
+    }
+
+    const std::vector<SeriesPoint> &all() const { return points; }
+    std::size_t size() const { return points.size(); }
+    void clear() { points.clear(); }
+
+  private:
+    std::uint64_t epoch;
+    std::vector<std::uint64_t> nextEpoch; ///< per-stream next due cycle
+    std::vector<SeriesPoint> points;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_OBS_TIME_SERIES_HH

@@ -1,0 +1,103 @@
+#include "trace_event.hh"
+
+#include <ostream>
+
+namespace tfm
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (names we emit are plain ASCII). */
+void
+writeQuoted(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) >= 0x20)
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+writeCommon(std::ostream &os, const char *name, const char *cat, char ph,
+            std::uint32_t pid, std::uint32_t tid, std::uint64_t ts)
+{
+    writeQuoted(os, "name");
+    os << ':';
+    writeQuoted(os, name);
+    os << ",\"cat\":";
+    writeQuoted(os, cat);
+    os << ",\"ph\":\"" << ph << "\",\"ts\":" << ts << ",\"pid\":" << pid
+       << ",\"tid\":" << tid;
+}
+
+} // anonymous namespace
+
+void
+TraceSink::write(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (const auto &[pid, name] : processNames) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":"
+           << pid << ",\"tid\":0,\"args\":{\"name\":";
+        writeQuoted(os, name);
+        os << "}}";
+    }
+    for (const auto &[key, name] : threadNames) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":"
+           << key.first << ",\"tid\":" << key.second
+           << ",\"args\":{\"name\":";
+        writeQuoted(os, name);
+        os << "}}";
+    }
+
+    for (const TraceEvent &e : events) {
+        sep();
+        os << '{';
+        writeCommon(os, e.name, e.cat, e.ph, e.pid, e.tid, e.ts);
+        if (e.ph == 'X')
+            os << ",\"dur\":" << e.dur;
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\"";
+        if (e.argName[0]) {
+            os << ",\"args\":{";
+            writeQuoted(os, e.argName[0]);
+            os << ':' << e.argValue[0];
+            if (e.argName[1]) {
+                os << ',';
+                writeQuoted(os, e.argName[1]);
+                os << ':' << e.argValue[1];
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\","
+       << "\"otherData\":{\"clock\":\"simulated-cycles\",\"dropped\":"
+       << _dropped << "}}\n";
+}
+
+} // namespace tfm

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Structured event tracing in the Chrome trace_event JSON format.
+ *
+ * Events carry simulated-cycle timestamps and load directly into
+ * Perfetto / chrome://tracing (one trace "microsecond" == one simulated
+ * cycle). The sink is a bounded append buffer: recording is a few
+ * stores, serialization happens once at the end of the run, and when
+ * the buffer fills further events are counted as dropped rather than
+ * reallocating without bound mid-measurement.
+ */
+
+#ifndef TRACKFM_OBS_TRACE_EVENT_HH
+#define TRACKFM_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tfm
+{
+
+/**
+ * One trace event.
+ *
+ * `name` and `cat` and the argument names must be string literals (or
+ * otherwise outlive the sink): events are recorded on simulated hot
+ * paths, so the sink stores pointers, never copies.
+ */
+struct TraceEvent
+{
+    const char *name = "";
+    const char *cat = "";
+    char ph = 'i';          ///< 'X'/'B'/'E' span, 'i' instant, 'C' counter
+    std::uint32_t pid = 0;  ///< stream id (one per runtime instance)
+    std::uint32_t tid = 0;  ///< track within the stream (ObsTrack)
+    std::uint64_t ts = 0;   ///< simulated cycle of the event (span start)
+    std::uint64_t dur = 0;  ///< span length in cycles ('X' only)
+    /// Up to two numeric arguments (arg name nullptr == absent).
+    const char *argName[2] = {nullptr, nullptr};
+    std::uint64_t argValue[2] = {0, 0};
+};
+
+/** Bounded collector of trace events. */
+class TraceSink
+{
+  public:
+    /** @p max_events == 0 disables the sink entirely. */
+    explicit TraceSink(std::size_t max_events = 0) : cap(max_events)
+    {
+        events.reserve(cap < 4096 ? cap : 4096);
+    }
+
+    bool enabled() const { return cap != 0; }
+    std::size_t size() const { return events.size(); }
+    std::size_t dropped() const { return _dropped; }
+    const std::vector<TraceEvent> &all() const { return events; }
+
+    /** A completed span: began at @p ts, lasted @p dur cycles. */
+    void
+    complete(std::uint32_t pid, std::uint32_t tid, const char *name,
+             const char *cat, std::uint64_t ts, std::uint64_t dur)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.cat = cat;
+        e.ph = 'X';
+        e.pid = pid;
+        e.tid = tid;
+        e.ts = ts;
+        e.dur = dur;
+        push(e);
+    }
+
+    /**
+     * Open a span at @p ts. Use begin/end (rather than a completed 'X'
+     * span) when other events on the same track may be emitted while
+     * the span is open, so the buffer stays timestamp-ordered.
+     */
+    void
+    begin(std::uint32_t pid, std::uint32_t tid, const char *name,
+          const char *cat, std::uint64_t ts)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.cat = cat;
+        e.ph = 'B';
+        e.pid = pid;
+        e.tid = tid;
+        e.ts = ts;
+        push(e);
+    }
+
+    /** Close the innermost open span on (pid, tid). */
+    void
+    end(std::uint32_t pid, std::uint32_t tid, const char *name,
+        const char *cat, std::uint64_t ts)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.cat = cat;
+        e.ph = 'E';
+        e.pid = pid;
+        e.tid = tid;
+        e.ts = ts;
+        push(e);
+    }
+
+    /** A thread-scoped instant event. */
+    void
+    instant(std::uint32_t pid, std::uint32_t tid, const char *name,
+            const char *cat, std::uint64_t ts)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.cat = cat;
+        e.ph = 'i';
+        e.pid = pid;
+        e.tid = tid;
+        e.ts = ts;
+        push(e);
+    }
+
+    /** A counter sample (renders as a per-stream track in Perfetto). */
+    void
+    counter(std::uint32_t pid, const char *name, std::uint64_t ts,
+            std::uint64_t value)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.cat = "counter";
+        e.ph = 'C';
+        e.pid = pid;
+        e.ts = ts;
+        e.argName[0] = "value";
+        e.argValue[0] = value;
+        push(e);
+    }
+
+    /** Attach a numeric argument to the most recent event. */
+    void
+    arg(const char *name, std::uint64_t value)
+    {
+        if (!lastKept || events.empty())
+            return;
+        TraceEvent &e = events.back();
+        const int slot = e.argName[0] == nullptr ? 0 : 1;
+        e.argName[slot] = name;
+        e.argValue[slot] = value;
+    }
+
+    /** Name the process (stream) / thread (track) in trace viewers. */
+    void
+    setProcessName(std::uint32_t pid, std::string name)
+    {
+        processNames.emplace_back(pid, std::move(name));
+    }
+
+    void
+    setThreadName(std::uint32_t pid, std::uint32_t tid, std::string name)
+    {
+        threadNames.emplace_back(std::make_pair(pid, tid), std::move(name));
+    }
+
+    /**
+     * Serialize everything as one Chrome trace_event JSON object
+     * ({"traceEvents": [...]}), one event per line.
+     */
+    void write(std::ostream &os) const;
+
+    void
+    clear()
+    {
+        events.clear();
+        _dropped = 0;
+    }
+
+  private:
+    void
+    push(const TraceEvent &e)
+    {
+        if (events.size() >= cap) {
+            _dropped++;
+            lastKept = false;
+            return;
+        }
+        events.push_back(e);
+        lastKept = true;
+    }
+
+    std::size_t cap;
+    std::vector<TraceEvent> events;
+    std::size_t _dropped = 0;
+    bool lastKept = false;
+    std::vector<std::pair<std::uint32_t, std::string>> processNames;
+    std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>,
+                          std::string>>
+        threadNames;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_OBS_TRACE_EVENT_HH

@@ -1,0 +1,343 @@
+#include "trace_reader.hh"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+namespace tfm
+{
+
+namespace
+{
+
+/** Generic JSON value for the subset TraceSink emits. */
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue
+{
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                 JsonObject>
+        v = nullptr;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        const auto *obj = std::get_if<JsonObject>(&v);
+        if (!obj)
+            return nullptr;
+        const auto it = obj->find(key);
+        return it == obj->end() ? nullptr : &it->second;
+    }
+
+    double
+    number(double fallback = 0.0) const
+    {
+        const auto *d = std::get_if<double>(&v);
+        return d ? *d : fallback;
+    }
+
+    std::string
+    str() const
+    {
+        const auto *s = std::get_if<std::string>(&v);
+        return s ? *s : std::string{};
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        if (!value(out)) {
+            std::ostringstream os;
+            os << err << " at byte " << pos;
+            error = os.str();
+            return false;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            error = "trailing garbage after JSON document";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            pos++;
+    }
+
+    bool
+    fail(const char *what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"': {
+            std::string str;
+            if (!string(str))
+                return false;
+            out.v = std::move(str);
+            return true;
+          }
+          case 't':
+            out.v = true;
+            return literal("true");
+          case 'f':
+            out.v = false;
+            return literal("false");
+          case 'n':
+            out.v = nullptr;
+            return literal("null");
+          default:
+            return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        JsonObject obj;
+        pos++; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            pos++;
+            out.v = std::move(obj);
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return fail("expected object key");
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            pos++;
+            JsonValue val;
+            if (!value(val))
+                return false;
+            obj.emplace(std::move(key), std::move(val));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (s[pos] == '}') {
+                pos++;
+                out.v = std::move(obj);
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        JsonArray arr;
+        pos++; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            pos++;
+            out.v = std::move(arr);
+            return true;
+        }
+        while (true) {
+            JsonValue val;
+            if (!value(val))
+                return false;
+            arr.push_back(std::move(val));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (s[pos] == ']') {
+                pos++;
+                out.v = std::move(arr);
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (pos >= s.size() || s[pos] != '"')
+            return fail("expected string");
+        pos++;
+        out.clear();
+        while (pos < s.size() && s[pos] != '"') {
+            char c = s[pos++];
+            if (c == '\\') {
+                if (pos >= s.size())
+                    return fail("bad escape");
+                const char esc = s[pos++];
+                switch (esc) {
+                  case 'n':
+                    c = '\n';
+                    break;
+                  case 't':
+                    c = '\t';
+                    break;
+                  case '"':
+                  case '\\':
+                  case '/':
+                    c = esc;
+                    break;
+                  case 'u':
+                    // Skip the four hex digits; non-ASCII escapes never
+                    // appear in traces we emit.
+                    pos += 4;
+                    c = '?';
+                    break;
+                  default:
+                    return fail("unknown escape");
+                }
+            }
+            out.push_back(c);
+        }
+        if (pos >= s.size())
+            return fail("unterminated string");
+        pos++; // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            pos++;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '-' || s[pos] == '+')) {
+            pos++;
+        }
+        if (pos == start)
+            return fail("expected number");
+        out.v = std::stod(s.substr(start, pos - start));
+        return true;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string err;
+};
+
+std::uint64_t
+asU64(const JsonValue *value)
+{
+    if (!value)
+        return 0;
+    const double d = value->number();
+    return d <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(d));
+}
+
+} // anonymous namespace
+
+bool
+parseTrace(const std::string &json, ParsedTrace &out, std::string &error)
+{
+    JsonValue root;
+    Parser parser(json);
+    if (!parser.parse(root, error))
+        return false;
+
+    const JsonValue *events = root.get("traceEvents");
+    const JsonArray *arr =
+        events ? std::get_if<JsonArray>(&events->v) : nullptr;
+    if (!arr) {
+        error = "missing traceEvents array";
+        return false;
+    }
+
+    out.events.clear();
+    out.events.reserve(arr->size());
+    for (const JsonValue &ev : *arr) {
+        ParsedEvent parsed;
+        if (const JsonValue *name = ev.get("name"))
+            parsed.name = name->str();
+        if (const JsonValue *cat = ev.get("cat"))
+            parsed.cat = cat->str();
+        if (const JsonValue *ph = ev.get("ph")) {
+            const std::string p = ph->str();
+            parsed.ph = p.empty() ? '?' : p[0];
+        }
+        parsed.pid = static_cast<std::uint32_t>(asU64(ev.get("pid")));
+        parsed.tid = static_cast<std::uint32_t>(asU64(ev.get("tid")));
+        parsed.ts = asU64(ev.get("ts"));
+        parsed.dur = asU64(ev.get("dur"));
+        if (const JsonValue *args = ev.get("args")) {
+            if (const auto *obj = std::get_if<JsonObject>(&args->v)) {
+                for (const auto &[key, val] : *obj) {
+                    if (std::holds_alternative<double>(val.v))
+                        parsed.args[key] = asU64(&val);
+                }
+            }
+        }
+        out.events.push_back(std::move(parsed));
+    }
+
+    out.dropped = 0;
+    if (const JsonValue *other = root.get("otherData"))
+        out.dropped = asU64(other->get("dropped"));
+    return true;
+}
+
+bool
+loadTraceFile(const std::string &path, ParsedTrace &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseTrace(buffer.str(), out, error);
+}
+
+} // namespace tfm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Loader for Chrome trace_event JSON files produced by TraceSink.
+ *
+ * A small recursive-descent JSON parser (objects, arrays, strings,
+ * numbers, bools, null) plus an extractor that maps the generic parse
+ * back onto TraceEvent-shaped records. Shared by the tfm-stat CLI and
+ * the observability tests; tools/validate_trace.py is the independent
+ * well-formedness check.
+ */
+
+#ifndef TRACKFM_OBS_TRACE_READER_HH
+#define TRACKFM_OBS_TRACE_READER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tfm
+{
+
+/** One parsed trace event (strings owned, unlike TraceEvent). */
+struct ParsedEvent
+{
+    std::string name;
+    std::string cat;
+    char ph = '?';
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::map<std::string, std::uint64_t> args;
+};
+
+/** A loaded trace file. */
+struct ParsedTrace
+{
+    std::vector<ParsedEvent> events;
+    std::uint64_t dropped = 0; ///< otherData.dropped, when present
+};
+
+/**
+ * Parse @p json as a Chrome trace. Returns false (with @p error set)
+ * on malformed JSON or a missing traceEvents array.
+ */
+bool parseTrace(const std::string &json, ParsedTrace &out,
+                std::string &error);
+
+/** Read and parse a trace file. */
+bool loadTraceFile(const std::string &path, ParsedTrace &out,
+                   std::string &error);
+
+} // namespace tfm
+
+#endif // TRACKFM_OBS_TRACE_READER_HH

@@ -2,10 +2,32 @@
 
 #include <cstring>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace tfm
 {
+
+namespace
+{
+
+/**
+ * Mark one served request on the remote-node track of the link's trace
+ * stream. @p at is when the request is known complete on the caller's
+ * clock; the remote side has no clock of its own.
+ */
+void
+observeServe(const NetworkModel &net, const char *name, std::uint64_t at,
+             std::uint64_t payloads)
+{
+    Observability *obs = net.obs();
+    if (!obs || !obs->trace().enabled())
+        return;
+    obs->trace().instant(net.obsStream(), TrackRemote, name, "remote", at);
+    obs->trace().arg("payloads", payloads);
+}
+
+} // anonymous namespace
 
 void
 RemoteNode::checkRange(std::uint64_t offset, std::size_t len) const
@@ -23,6 +45,7 @@ RemoteNode::fetch(NetworkModel &net, std::uint64_t offset, std::byte *dst,
     std::memcpy(dst, store.data() + offset, len);
     _stats.fetchRequests++;
     _stats.fetchPayloads++;
+    observeServe(net, "remote.fetch", net.now(), 1);
 }
 
 std::uint64_t
@@ -34,6 +57,7 @@ RemoteNode::fetchAsync(NetworkModel &net, std::uint64_t offset,
     std::memcpy(dst, store.data() + offset, len);
     _stats.fetchRequests++;
     _stats.fetchPayloads++;
+    observeServe(net, "remote.fetch", net.now(), 1);
     return arrival;
 }
 
@@ -65,6 +89,7 @@ RemoteNode::fetchBatchAsync(NetworkModel &net,
         std::memcpy(seg.dst, store.data() + seg.offset, seg.len);
     _stats.fetchRequests++;
     _stats.fetchPayloads += segs.size();
+    observeServe(net, "remote.fetch", net.now(), segs.size());
     return arrival;
 }
 
@@ -77,6 +102,7 @@ RemoteNode::writeback(NetworkModel &net, std::uint64_t offset,
     std::memcpy(store.data() + offset, src, len);
     _stats.writebackRequests++;
     _stats.writebackPayloads++;
+    observeServe(net, "remote.writeback", net.now(), 1);
 }
 
 void
@@ -94,6 +120,7 @@ RemoteNode::writebackBatch(NetworkModel &net,
         std::memcpy(store.data() + seg.offset, seg.src, seg.len);
     _stats.writebackRequests++;
     _stats.writebackPayloads += segs.size();
+    observeServe(net, "remote.writeback", net.now(), segs.size());
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace tfm
@@ -18,7 +19,13 @@ FarMemRuntime::FarMemRuntime(const RuntimeConfig &config,
       cache(config.localMemBytes, config.objectSizeBytes),
       alloc_(config.farHeapBytes, config.objectSizeBytes),
       prefetcher(config.prefetchDepth)
-{}
+{
+    obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
+    if (obs_) {
+        obsStream_ = obs_->registerStream(cfg.obsKind);
+        _net.attachObs(obs_, obsStream_);
+    }
+}
 
 std::uint64_t
 FarMemRuntime::allocate(std::uint64_t bytes)
@@ -62,6 +69,8 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
                         Localized *outcome)
 {
     _stats.localizeCalls++;
+    if (obs_ && obs_->seriesDue(obsStream_, _clock.now()))
+        obsEpochSample();
     const std::uint64_t obj_id = ost.objectOf(offset);
     ObjectMeta &meta = ost[obj_id];
 
@@ -75,6 +84,10 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
             // object: join it instead of issuing a duplicate demand
             // fetch, waiting out only the residual latency.
             const bool late = f.arrivalCycle > _clock.now();
+            if (obs_) {
+                obs_->prefetchWait.record(
+                    late ? f.arrivalCycle - _clock.now() : 0);
+            }
             _net.waitUntil(f.arrivalCycle);
             meta.clearInflight();
             _stats.prefetchHits++;
@@ -92,6 +105,7 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
 
     // Demand miss. takeFrame() first: its eviction may park further
     // entries in (or flush) the writeback buffer.
+    const std::uint64_t missStart = _clock.now();
     const std::uint64_t frame_idx = takeFrame();
     std::byte *data = cache.frameData(frame_idx);
     Frame &f = cache.frame(frame_idx);
@@ -110,12 +124,24 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
         meta.makeLocal(frame_idx);
         meta.setDirty();
         _stats.writebackBufferHits++;
+        if (obs_ && obs_->trace().enabled()) {
+            obs_->trace().instant(obsStream_, TrackApp, "wb-resurrect",
+                                  "runtime", _clock.now());
+            obs_->trace().arg("obj", obj_id);
+        }
         if (outcome)
             *outcome = Localized::AlreadyLocal;
         return data + ost.offsetInObject(offset);
     }
 
-    // Blocking fetch from the remote node.
+    // Blocking fetch from the remote node. A begin/end span (rather
+    // than a completed one) keeps the app track timestamp-ordered: the
+    // lookahead issued by onDemandMiss() emits instants inside it.
+    if (obs_ && obs_->trace().enabled()) {
+        obs_->trace().begin(obsStream_, TrackApp, "demand-fetch",
+                            "runtime", _clock.now());
+        obs_->trace().arg("obj", obj_id);
+    }
     _remote.fetch(_net, obj_id << ost.objectShift(), data,
                   ost.objectSize());
     _clock.advance(_costs.remoteFetchSwCycles);
@@ -124,6 +150,19 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
         meta.setDirty();
     _stats.demandFetches++;
     onDemandMiss(obj_id);
+    if (obs_) {
+        obs_->demandFetch.record(_clock.now() - missStart);
+        if (lastMissObj != ~0ull) {
+            obs_->interMissDist.record(obj_id > lastMissObj
+                                           ? obj_id - lastMissObj
+                                           : lastMissObj - obj_id);
+        }
+        lastMissObj = obj_id;
+        if (obs_->trace().enabled()) {
+            obs_->trace().end(obsStream_, TrackApp, "demand-fetch",
+                              "runtime", _clock.now());
+        }
+    }
     if (outcome)
         *outcome = Localized::RemoteFetch;
     return data + ost.offsetInObject(offset);
@@ -152,6 +191,12 @@ FarMemRuntime::evictFrame(std::uint64_t frame_idx)
     TFM_ASSERT(meta.present() && meta.frame() == frame_idx,
                "state table / frame cache mismatch on eviction");
     _clock.advance(_costs.evacuateObjectCycles);
+    if (obs_ && obs_->trace().enabled()) {
+        obs_->trace().instant(obsStream_, TrackApp, "evict", "runtime",
+                              _clock.now());
+        obs_->trace().arg("obj", f.objId);
+        obs_->trace().arg("dirty", meta.dirty() ? 1 : 0);
+    }
     if (meta.dirty()) {
         _stats.dirtyWritebacks++;
         if (cfg.batchingEnabled && cfg.writebackBatchMax > 1) {
@@ -161,6 +206,7 @@ FarMemRuntime::evictFrame(std::uint64_t frame_idx)
                 wbOldestCycle = _clock.now();
             PendingWriteback pending;
             pending.objId = f.objId;
+            pending.parkCycle = _clock.now();
             pending.data.assign(cache.frameData(frame_idx),
                                 cache.frameData(frame_idx) +
                                     ost.objectSize());
@@ -193,6 +239,16 @@ FarMemRuntime::flushWritebacks()
 {
     if (wbBuf.empty())
         return;
+    if (obs_) {
+        const std::uint64_t now = _clock.now();
+        for (const PendingWriteback &pending : wbBuf)
+            obs_->wbResidency.record(now - pending.parkCycle);
+        if (obs_->trace().enabled()) {
+            obs_->trace().instant(obsStream_, TrackApp, "wb-flush",
+                                  "runtime", now);
+            obs_->trace().arg("entries", wbBuf.size());
+        }
+    }
     std::vector<RemoteWriteSeg> segs;
     segs.reserve(wbBuf.size());
     for (const PendingWriteback &pending : wbBuf) {
@@ -247,6 +303,11 @@ FarMemRuntime::prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
     const auto issueBatch = [&] {
         if (segs.empty())
             return;
+        if (obs_ && obs_->trace().enabled()) {
+            obs_->trace().instant(obsStream_, TrackApp, "prefetch-issue",
+                                  "runtime", _clock.now());
+            obs_->trace().arg("count", segs.size());
+        }
         // Per-segment arrivals: the batch's payloads stream back in
         // order, so the first objects of the window are consumable
         // before the tail has serialized.
@@ -438,7 +499,23 @@ FarMemRuntime::exportStats(StatSet &set) const
     set.add("net.writeback_batches", _net.stats().writebackBatches);
     set.add("alloc.allocations", alloc_.stats().allocations);
     set.add("alloc.frees", alloc_.stats().frees);
+    set.add("prefetcher.armed_misses", prefetcher.stats().armedMisses);
+    set.add("prefetcher.tracker_allocs", prefetcher.stats().trackerAllocs);
+    set.add("prefetcher.tracker_evictions",
+            prefetcher.stats().trackerEvictions);
     set.add("clock.cycles", _clock.now());
+    if (obs_)
+        obs_->exportStats(set);
+}
+
+void
+FarMemRuntime::obsEpochSample()
+{
+    obs_->counterSample(
+        obsStream_, _clock.now(),
+        {{"frames_used", cache.usedFrames()},
+         {"wb_pending", wbBuf.size()},
+         {"net_bytes", _net.stats().totalBytes()}});
 }
 
 } // namespace tfm

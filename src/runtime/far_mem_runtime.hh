@@ -30,6 +30,8 @@
 namespace tfm
 {
 
+class Observability;
+
 /** Configuration for one far-memory runtime instance. */
 struct RuntimeConfig
 {
@@ -62,6 +64,15 @@ struct RuntimeConfig
     /// Guard-level last-object inline cache (TfmRuntime): repeated hits
     /// on the same object skip the object-state-table lookup.
     bool guardCacheEnabled = true;
+
+    /// Observability sink (tracing, histograms, time series). When
+    /// null, falls back to the process-wide default installed by the
+    /// bench-level --trace flag (obs::defaultSink()); when that is also
+    /// null, every emission site reduces to one pointer check.
+    Observability *obs = nullptr;
+    /// Stream label registered with the sink; the wrapper runtimes
+    /// override it ("trackfm", "aifm") so traces name the whole stack.
+    const char *obsKind = "farmem";
 };
 
 /** Hot-path runtime event counters. */
@@ -198,11 +209,21 @@ class FarMemRuntime
     const RuntimeStats &stats() const { return _stats; }
     void exportStats(StatSet &set) const;
 
+    /** @name Observability
+     *  The attached sink (or nullptr) and this runtime's trace stream.
+     *  TfmRuntime / AifmRuntime reuse both so a whole stack shares one
+     *  Perfetto "process".
+     * @{ */
+    Observability *obs() const { return obs_; }
+    std::uint32_t obsStream() const { return obsStream_; }
+    /** @} */
+
   private:
     /** One dirty object parked for a coalesced writeback. */
     struct PendingWriteback
     {
         std::uint64_t objId = 0;
+        std::uint64_t parkCycle = 0; ///< clock when parked (residency)
         std::vector<std::byte> data;
     };
 
@@ -216,6 +237,8 @@ class FarMemRuntime
     void maybeFlushWritebacks();
     /** Index into wbBuf for @p obj_id, or -1 when not buffered. */
     std::ptrdiff_t findPendingWriteback(std::uint64_t obj_id) const;
+    /** Epoch time-series snapshot (occupancy, buffer depth, wire bytes). */
+    void obsEpochSample();
 
     RuntimeConfig cfg;
     CostParams _costs;
@@ -230,6 +253,9 @@ class FarMemRuntime
     std::vector<PendingWriteback> wbBuf;
     std::uint64_t wbOldestCycle = 0; ///< clock when wbBuf[0] was parked
     std::uint64_t _evictionEpoch = 0;
+    Observability *obs_ = nullptr;
+    std::uint32_t obsStream_ = 0;
+    std::uint64_t lastMissObj = ~0ull; ///< inter-miss-distance tracking
 };
 
 } // namespace tfm

@@ -23,6 +23,14 @@
 namespace tfm
 {
 
+/** Stride-detection counters (exported as "prefetcher.*"). */
+struct PrefetcherStats
+{
+    std::uint64_t armedMisses = 0;      ///< misses that recommended lookahead
+    std::uint64_t trackerAllocs = 0;    ///< misses that opened a new stream
+    std::uint64_t trackerEvictions = 0; ///< streams displaced by new ones
+};
+
 /**
  * Detects stable strides in the demand-miss object-ID sequence.
  *
@@ -49,6 +57,9 @@ class StridePrefetcher
         Tracker *t = matchTracker(obj_id);
         if (!t) {
             t = victimTracker();
+            _stats.trackerAllocs++;
+            if (t->valid)
+                _stats.trackerEvictions++;
             t->valid = true;
             t->lastObj = obj_id;
             t->lastStride = 0;
@@ -68,8 +79,13 @@ class StridePrefetcher
         t->lastStride = stride;
         t->lastObj = obj_id;
         t->lastUse = ++useCounter;
-        return (t->confidence >= trainLength && stride != 0) ? stride : 0;
+        const bool armed = t->confidence >= trainLength && stride != 0;
+        if (armed)
+            _stats.armedMisses++;
+        return armed ? stride : 0;
     }
+
+    const PrefetcherStats &stats() const { return _stats; }
 
     void
     reset()
@@ -129,6 +145,7 @@ class StridePrefetcher
     std::uint32_t trainLength;
     std::array<Tracker, numTrackers> trackers{};
     std::uint64_t useCounter = 0;
+    PrefetcherStats _stats;
 };
 
 } // namespace tfm

@@ -10,6 +10,7 @@
 #ifndef TRACKFM_SIM_LOGGING_HH
 #define TRACKFM_SIM_LOGGING_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,10 +33,65 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
+/** @name Non-fatal status reporting
+ *
+ * Severity levels for TFM_WARN / TFM_INFORM, gated by the
+ * TFM_LOG_LEVEL environment variable: 0 silences everything, 1 (the
+ * default) prints warnings, 2 adds informational messages. The level
+ * is read once per process.
+ * @{ */
+enum LogLevel : int
+{
+    LogSilent = 0,
+    LogWarn = 1,
+    LogInform = 2
+};
+
+inline int
+logLevel()
+{
+    static const int level = [] {
+        const char *env = std::getenv("TFM_LOG_LEVEL");
+        if (!env || !*env)
+            return static_cast<int>(LogWarn);
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed <= 0)
+            return static_cast<int>(LogSilent);
+        return static_cast<int>(parsed == 1 ? LogWarn : LogInform);
+    }();
+    return level;
+}
+
+__attribute__((format(printf, 2, 3))) inline void
+logPrint(const char *severity, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "%s: ", severity);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+}
+/** @} */
+
 } // namespace tfm
 
 #define TFM_PANIC(msg) ::tfm::panicImpl(__FILE__, __LINE__, (msg))
 #define TFM_FATAL(msg) ::tfm::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Printf-style warning, on unless TFM_LOG_LEVEL=0. */
+#define TFM_WARN(...)                                                       \
+    do {                                                                    \
+        if (::tfm::logLevel() >= ::tfm::LogWarn)                            \
+            ::tfm::logPrint("warn", __VA_ARGS__);                           \
+    } while (0)
+
+/** Printf-style status message, printed only at TFM_LOG_LEVEL>=2. */
+#define TFM_INFORM(...)                                                     \
+    do {                                                                    \
+        if (::tfm::logLevel() >= ::tfm::LogInform)                          \
+            ::tfm::logPrint("inform", __VA_ARGS__);                         \
+    } while (0)
 
 /** Assert an internal invariant; always on (simulation correctness). */
 #define TFM_ASSERT(cond, msg)                                               \

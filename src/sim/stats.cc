@@ -1,25 +1,40 @@
 #include "stats.hh"
 
+#include <algorithm>
+#include <iomanip>
 #include <ostream>
 
 namespace tfm
 {
 
-std::uint64_t
-StatSet::get(const std::string &name) const
+const std::uint64_t *
+StatSet::find(const std::string &name) const
 {
     for (const auto &[key, value] : entries) {
         if (key == name)
-            return value;
+            return &value;
     }
-    return 0;
+    return nullptr;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    const std::uint64_t *value = find(name);
+    return value ? *value : 0;
 }
 
 void
 StatSet::dump(std::ostream &os, const std::string &prefix) const
 {
+    std::size_t width = 0;
     for (const auto &[key, value] : entries)
-        os << prefix << key << " = " << value << "\n";
+        width = std::max(width, key.size());
+    for (const auto &[key, value] : entries) {
+        os << prefix << std::left
+           << std::setw(static_cast<int>(width)) << key << std::right
+           << " = " << value << "\n";
+    }
 }
 
 } // namespace tfm

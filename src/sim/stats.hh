@@ -34,6 +34,14 @@ class StatSet
         entries.emplace_back(std::move(name), value);
     }
 
+    /**
+     * Look up a stat by exact name.
+     * @return pointer to the value (valid until the set is modified),
+     *         or nullptr when no entry has that name — unlike get(),
+     *         which cannot distinguish absent from present-but-zero.
+     */
+    const std::uint64_t *find(const std::string &name) const;
+
     /** Look up a stat by exact name; returns 0 when absent. */
     std::uint64_t get(const std::string &name) const;
 
@@ -43,6 +51,7 @@ class StatSet
         return entries;
     }
 
+    /** Column-aligned listing: names padded to the widest, one per line. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
   private:

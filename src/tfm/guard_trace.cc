@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/trace_event.hh"
+
 namespace tfm
 {
 
@@ -48,10 +50,15 @@ GuardTrace::chronological() const
 void
 GuardTrace::dump(std::ostream &os) const
 {
+    TraceSink sink(events.size() + 1);
+    sink.setProcessName(0, "guard-trace");
+    sink.setThreadName(0, 0, "guards");
     for (const GuardEvent &event : chronological()) {
-        os << event.cycle << " " << guardPathName(event.path) << " 0x"
-           << std::hex << event.addr << std::dec << "\n";
+        sink.instant(0, 0, guardPathName(event.path), "guard",
+                     event.cycle);
+        sink.arg("addr", event.addr);
     }
+    sink.write(os);
 }
 
 } // namespace tfm

@@ -87,7 +87,11 @@ class GuardTrace
     std::size_t size() const { return events.size(); }
     bool overflowed() const { return wrapped; }
 
-    /** Human-readable dump, one event per line. */
+    /**
+     * Dump as Chrome trace_event JSON (one instant event per guard,
+     * addr attached as an argument) so guard activity loads into
+     * Perfetto alongside the runtime's own traces.
+     */
     void dump(std::ostream &os) const;
 
   private:

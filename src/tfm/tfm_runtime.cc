@@ -3,8 +3,31 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hh"
+
 namespace tfm
 {
+
+void
+TfmRuntime::recordGuard(std::uint64_t addr, GuardPath path)
+{
+    const std::uint64_t now = rt.clock().now();
+    gtrace.record(addr, now, path);
+    switch (path) {
+    case GuardPath::CustodyReject:
+    case GuardPath::FastRead:
+    case GuardPath::FastWrite:
+        return; // hot paths: ring buffer only
+    default:
+        break;
+    }
+    Observability *obs = rt.obs();
+    if (obs && obs->trace().enabled()) {
+        obs->trace().instant(rt.obsStream(), TrackApp,
+                             guardPathName(path), "guard", now);
+        obs->trace().arg("addr", addr);
+    }
+}
 
 std::byte *
 TfmRuntime::cacheLookup(std::uint64_t offset, bool for_write)
@@ -48,7 +71,7 @@ TfmRuntime::guardRead(std::uint64_t addr)
         // the original load directly (~4 instructions).
         rt.clock().advance(costs().custodyRejectCycles);
         gstats.custodyRejects++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        recordGuard(addr, GuardPath::CustodyReject);
         return reinterpret_cast<std::byte *>(addr);
     }
 
@@ -59,14 +82,14 @@ TfmRuntime::guardRead(std::uint64_t addr)
         rt.clock().advance(costs().guardCacheHitReadCycles);
         gstats.fastReads++;
         gstats.cacheHitReads++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::FastRead);
+        recordGuard(addr, GuardPath::FastRead);
         return cached;
     }
     std::byte *fast = rt.tryFast(offset, /*for_write=*/false);
     if (fast) {
         rt.clock().advance(costs().fastPathReadCycles);
         gstats.fastReads++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::FastRead);
+        recordGuard(addr, GuardPath::FastRead);
         cacheFill(rt.stateTable().objectOf(offset), offset, fast);
         return fast;
     }
@@ -77,11 +100,10 @@ TfmRuntime::guardRead(std::uint64_t addr)
     std::byte *data = rt.localize(offset, /*for_write=*/false, &outcome);
     if (outcome == FarMemRuntime::Localized::RemoteFetch) {
         gstats.slowRemoteReads++;
-        gtrace.record(addr, rt.clock().now(),
-                      GuardPath::SlowRemoteRead);
+        recordGuard(addr, GuardPath::SlowRemoteRead);
     } else {
         gstats.slowLocalReads++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::SlowLocalRead);
+        recordGuard(addr, GuardPath::SlowLocalRead);
     }
     cacheFill(rt.stateTable().objectOf(offset), offset, data);
     return data;
@@ -93,7 +115,7 @@ TfmRuntime::guardWrite(std::uint64_t addr)
     if (!tfmIsTagged(addr)) {
         rt.clock().advance(costs().custodyRejectCycles);
         gstats.custodyRejects++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        recordGuard(addr, GuardPath::CustodyReject);
         return reinterpret_cast<std::byte *>(addr);
     }
 
@@ -102,14 +124,14 @@ TfmRuntime::guardWrite(std::uint64_t addr)
         rt.clock().advance(costs().guardCacheHitWriteCycles);
         gstats.fastWrites++;
         gstats.cacheHitWrites++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::FastWrite);
+        recordGuard(addr, GuardPath::FastWrite);
         return cached;
     }
     std::byte *fast = rt.tryFast(offset, /*for_write=*/true);
     if (fast) {
         rt.clock().advance(costs().fastPathWriteCycles);
         gstats.fastWrites++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::FastWrite);
+        recordGuard(addr, GuardPath::FastWrite);
         cacheFill(rt.stateTable().objectOf(offset), offset, fast);
         return fast;
     }
@@ -119,11 +141,10 @@ TfmRuntime::guardWrite(std::uint64_t addr)
     std::byte *data = rt.localize(offset, /*for_write=*/true, &outcome);
     if (outcome == FarMemRuntime::Localized::RemoteFetch) {
         gstats.slowRemoteWrites++;
-        gtrace.record(addr, rt.clock().now(),
-                      GuardPath::SlowRemoteWrite);
+        recordGuard(addr, GuardPath::SlowRemoteWrite);
     } else {
         gstats.slowLocalWrites++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::SlowLocalWrite);
+        recordGuard(addr, GuardPath::SlowLocalWrite);
     }
     cacheFill(rt.stateTable().objectOf(offset), offset, data);
     return data;
@@ -135,7 +156,7 @@ TfmRuntime::readGuarded(std::uint64_t addr, void *dst, std::size_t len)
     if (!tfmIsTagged(addr)) {
         rt.clock().advance(costs().custodyRejectCycles);
         gstats.custodyRejects++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        recordGuard(addr, GuardPath::CustodyReject);
         std::memcpy(dst, reinterpret_cast<const void *>(addr), len);
         return;
     }
@@ -159,7 +180,7 @@ TfmRuntime::writeGuarded(std::uint64_t addr, const void *src,
     if (!tfmIsTagged(addr)) {
         rt.clock().advance(costs().custodyRejectCycles);
         gstats.custodyRejects++;
-        gtrace.record(addr, rt.clock().now(), GuardPath::CustodyReject);
+        recordGuard(addr, GuardPath::CustodyReject);
         std::memcpy(reinterpret_cast<void *>(addr), src, len);
         return;
     }
@@ -187,10 +208,9 @@ TfmRuntime::localityGuard(std::uint64_t addr, std::uint64_t prev_obj,
     std::byte *data = rt.localize(offset, for_write, &outcome);
     if (outcome == FarMemRuntime::Localized::RemoteFetch) {
         gstats.localityRemotes++;
-        gtrace.record(addr, rt.clock().now(),
-                      GuardPath::LocalityRemote);
+        recordGuard(addr, GuardPath::LocalityRemote);
     } else {
-        gtrace.record(addr, rt.clock().now(), GuardPath::LocalityLocal);
+        recordGuard(addr, GuardPath::LocalityLocal);
     }
     const std::uint64_t obj_id = rt.stateTable().objectOf(offset);
     rt.pinObject(obj_id);

@@ -41,7 +41,7 @@ class TfmRuntime
 {
   public:
     TfmRuntime(const RuntimeConfig &config, const CostParams &cost_params)
-        : rt(config, cost_params)
+        : rt(tagged(config), cost_params)
     {}
 
     FarMemRuntime &runtime() { return rt; }
@@ -197,6 +197,14 @@ class TfmRuntime
     void exportStats(StatSet &set) const;
 
   private:
+    /** Label this stack's observability stream as TrackFM's. */
+    static RuntimeConfig
+    tagged(RuntimeConfig config)
+    {
+        config.obsKind = "trackfm";
+        return config;
+    }
+
     void zeroFill(std::uint64_t addr, std::size_t bytes);
 
     /**
@@ -214,6 +222,13 @@ class TfmRuntime
         ObjectMeta *meta = nullptr;
         Frame *frame = nullptr;
     };
+
+    /**
+     * Record a guard outcome: always into the GuardTrace ring, and the
+     * slow paths additionally as instant events on the observability
+     * app track (fast paths stay off the trace to keep it bounded).
+     */
+    void recordGuard(std::uint64_t addr, GuardPath path);
 
     /** Try the inline cache; returns the host pointer or nullptr. */
     std::byte *cacheLookup(std::uint64_t offset, bool for_write);

@@ -11,6 +11,7 @@
 #include "aifmlib/remote_array.hh"
 #include "fastswap/fastswap_runtime.hh"
 #include "net/network_model.hh"
+#include "obs/trace_reader.hh"
 #include "sim/usr_dist.hh"
 #include "tfm/chunk.hh"
 #include "tfm/guard_trace.hh"
@@ -55,7 +56,7 @@ TEST(UsrDistMisc, DeterministicForSameSeed)
     }
 }
 
-TEST(GuardTraceMisc, DumpIsHumanReadable)
+TEST(GuardTraceMisc, DumpIsTraceEventJson)
 {
     GuardTrace trace;
     trace.enable(4);
@@ -63,10 +64,23 @@ TEST(GuardTraceMisc, DumpIsHumanReadable)
     trace.record(0x7fff0000, 60, GuardPath::CustodyReject);
     std::ostringstream os;
     trace.dump(os);
-    const std::string out = os.str();
-    EXPECT_NE(out.find("fast-read"), std::string::npos);
-    EXPECT_NE(out.find("custody-reject"), std::string::npos);
-    EXPECT_NE(out.find("50 "), std::string::npos);
+    ParsedTrace parsed;
+    std::string error;
+    ASSERT_TRUE(parseTrace(os.str(), parsed, error)) << error;
+    // dump() labels the stream with 'M' metadata records; the guard
+    // events themselves are the timed ones.
+    std::vector<ParsedEvent> timed;
+    for (const ParsedEvent &e : parsed.events) {
+        if (e.ph != 'M')
+            timed.push_back(e);
+    }
+    ASSERT_EQ(timed.size(), 2u);
+    EXPECT_EQ(timed[0].name, "fast-read");
+    EXPECT_EQ(timed[0].ph, 'i');
+    EXPECT_EQ(timed[0].ts, 50u);
+    EXPECT_EQ(timed[0].args.at("addr"), tfmEncode(0x100));
+    EXPECT_EQ(timed[1].name, "custody-reject");
+    EXPECT_EQ(timed[1].ts, 60u);
 }
 
 TEST(FastswapMisc, EvacuateAllFlushesReadaheadState)

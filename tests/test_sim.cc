@@ -11,6 +11,7 @@
 
 #include "sim/cost_params.hh"
 #include "sim/cycle_clock.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/usr_dist.hh"
@@ -162,6 +163,54 @@ TEST(StatSet, DumpIsPrefixed)
     std::ostringstream os;
     set.dump(os, "pre.");
     EXPECT_EQ(os.str(), "pre.x = 5\n");
+}
+
+TEST(StatSet, FindDistinguishesAbsentFromZero)
+{
+    StatSet set;
+    set.add("zero", 0);
+    set.add("one", 1);
+    ASSERT_NE(set.find("zero"), nullptr);
+    EXPECT_EQ(*set.find("zero"), 0u);
+    ASSERT_NE(set.find("one"), nullptr);
+    EXPECT_EQ(*set.find("one"), 1u);
+    EXPECT_EQ(set.find("missing"), nullptr);
+    // get() cannot tell these apart; find() is the disambiguator.
+    EXPECT_EQ(set.get("zero"), set.get("missing"));
+}
+
+TEST(StatSet, DumpAlignsColumns)
+{
+    StatSet set;
+    set.add("a", 1);
+    set.add("long.counter.name", 2);
+    std::ostringstream os;
+    set.dump(os);
+    // Every '=' sits in the same column: short names are padded to the
+    // widest one.
+    const std::string out = os.str();
+    const std::size_t first_eq = out.find('=');
+    std::size_t line_start = 0;
+    for (std::size_t nl = out.find('\n'); nl != std::string::npos;
+         nl = out.find('\n', line_start)) {
+        const std::string line = out.substr(line_start, nl - line_start);
+        EXPECT_EQ(line.find('='), first_eq) << line;
+        line_start = nl + 1;
+    }
+    EXPECT_NE(out.find("a                 "), std::string::npos);
+}
+
+TEST(Logging, LevelIsSaneAndMacrosExpand)
+{
+    // The level is parsed once from TFM_LOG_LEVEL and cached; whatever
+    // the environment says, it must land in the known range.
+    const int level = logLevel();
+    EXPECT_GE(level, LogSilent);
+    EXPECT_LE(level, LogInform);
+    // The macros compile with printf-style varargs and must not crash
+    // at any level.
+    TFM_WARN("test_sim logging check %d", 1);
+    TFM_INFORM("test_sim logging check %s", "inform");
 }
 
 TEST(CostParams, DefaultsMatchPaperTables)

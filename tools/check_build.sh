@@ -12,4 +12,17 @@ cmake -B "${BUILD_DIR}" -S . -DTFM_WERROR=ON
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+# Observability smoke test: run one bench with --trace, check that the
+# emitted file is Perfetto-loadable JSON and that tfm-stat reads it.
+TRACE_FILE="${BUILD_DIR}/smoke_trace.json"
+"${BUILD_DIR}/bench/bench_fig11_prefetch" --trace="${TRACE_FILE}" \
+    > /dev/null
+if command -v python3 > /dev/null; then
+    python3 tools/validate_trace.py "${TRACE_FILE}"
+else
+    echo "check_build: python3 not found; skipping trace validation"
+fi
+"${BUILD_DIR}/tools/tfm-stat" "${TRACE_FILE}" > /dev/null
+echo "check_build: trace smoke test OK"
+
 echo "check_build: OK"

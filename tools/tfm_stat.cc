@@ -1,0 +1,167 @@
+/**
+ * @file
+ * tfm-stat: percentile/summary reports from a trace file.
+ *
+ * Loads a Chrome trace_event JSON file emitted by the observability
+ * layer (any bench run with --trace=<file>) and prints, per event name:
+ * span duration percentiles (p50/p90/p99/max), instant-event counts,
+ * and counter-value ranges. The span table covers both completed 'X'
+ * events and matched 'B'/'E' pairs, so "net.fetch" rows report the
+ * fetch-latency distribution directly.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "obs/trace_reader.hh"
+
+namespace
+{
+
+using tfm::Histogram;
+using tfm::ParsedEvent;
+using tfm::ParsedTrace;
+
+/** Widest name in a map, for column alignment. */
+template <typename Map>
+std::size_t
+nameWidth(const Map &map, std::size_t floor_width)
+{
+    std::size_t width = floor_width;
+    for (const auto &[name, value] : map)
+        width = std::max(width, name.size());
+    return width;
+}
+
+void
+printSpanTable(const std::map<std::string, Histogram> &spans)
+{
+    if (spans.empty())
+        return;
+    const int width = static_cast<int>(nameWidth(spans, 4));
+    std::printf("%-*s %10s %10s %10s %10s %10s %12s\n", width, "span",
+                "count", "p50", "p90", "p99", "max", "mean");
+    for (const auto &[name, h] : spans) {
+        std::printf("%-*s %10llu %10llu %10llu %10llu %10llu %12.1f\n",
+                    width, name.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.percentile(50)),
+                    static_cast<unsigned long long>(h.percentile(90)),
+                    static_cast<unsigned long long>(h.percentile(99)),
+                    static_cast<unsigned long long>(h.max()), h.mean());
+    }
+}
+
+void
+printInstantTable(const std::map<std::string, std::uint64_t> &instants)
+{
+    if (instants.empty())
+        return;
+    const int width = static_cast<int>(nameWidth(instants, 7));
+    std::printf("\n%-*s %10s\n", width, "instant", "count");
+    for (const auto &[name, count] : instants) {
+        std::printf("%-*s %10llu\n", width, name.c_str(),
+                    static_cast<unsigned long long>(count));
+    }
+}
+
+void
+printCounterTable(const std::map<std::string, Histogram> &counters)
+{
+    if (counters.empty())
+        return;
+    const int width = static_cast<int>(nameWidth(counters, 7));
+    std::printf("\n%-*s %10s %10s %10s %12s\n", width, "counter",
+                "samples", "min", "max", "mean");
+    for (const auto &[name, h] : counters) {
+        std::printf("%-*s %10llu %10llu %10llu %12.1f\n", width,
+                    name.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.min()),
+                    static_cast<unsigned long long>(h.max()), h.mean());
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: tfm-stat <trace.json>\n");
+        return 2;
+    }
+    ParsedTrace trace;
+    std::string error;
+    if (!tfm::loadTraceFile(argv[1], trace, error)) {
+        std::fprintf(stderr, "tfm-stat: %s: %s\n", argv[1],
+                     error.c_str());
+        return 1;
+    }
+
+    std::map<std::string, Histogram> spans;
+    std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, Histogram> counters;
+    // Open 'B' spans per (pid, tid): Chrome semantics say 'E' closes
+    // the innermost open span on its track.
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::vector<std::pair<std::string, std::uint64_t>>>
+        open;
+
+    std::uint64_t unmatched = 0;
+    for (const ParsedEvent &e : trace.events) {
+        switch (e.ph) {
+        case 'X':
+            spans[e.name].record(e.dur);
+            break;
+        case 'B':
+            open[{e.pid, e.tid}].emplace_back(e.name, e.ts);
+            break;
+        case 'E': {
+            auto &stack = open[{e.pid, e.tid}];
+            if (stack.empty()) {
+                unmatched++;
+                break;
+            }
+            const auto [name, begin_ts] = stack.back();
+            stack.pop_back();
+            spans[name].record(e.ts - begin_ts);
+            break;
+        }
+        case 'i':
+            instants[e.name]++;
+            break;
+        case 'C': {
+            const auto it = e.args.find("value");
+            if (it != e.args.end())
+                counters[e.name].record(it->second);
+            break;
+        }
+        default:
+            break; // metadata and anything unrecognized
+        }
+    }
+    for (const auto &[track, stack] : open)
+        unmatched += stack.size();
+
+    std::printf("%s: %zu events", argv[1], trace.events.size());
+    if (trace.dropped)
+        std::printf(" (%llu dropped at capture)",
+                    static_cast<unsigned long long>(trace.dropped));
+    if (unmatched)
+        std::printf(" (%llu unmatched begin/end)",
+                    static_cast<unsigned long long>(unmatched));
+    std::printf("\n\n");
+
+    printSpanTable(spans);
+    printInstantTable(instants);
+    printCounterTable(counters);
+    return 0;
+}

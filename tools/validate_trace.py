@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Well-formedness checker for traces emitted by the observability layer.
+
+Independent of the C++ trace reader on purpose: this is the second
+opinion that an emitted file really is Chrome trace_event JSON that
+Perfetto / chrome://tracing will load. Checks:
+
+  * the file parses as JSON and has a traceEvents list;
+  * every event has name/ph/pid/tid/ts fields of the right types;
+  * ph is one of the phases the emitter produces (X B E i C M);
+  * 'X' events carry a non-negative dur;
+  * timestamps are non-decreasing per (pid, tid) track in buffer order
+    (Perfetto requires sorted tracks for correct nesting);
+  * 'B'/'E' events balance per (pid, tid), never closing an empty stack.
+
+Exit status 0 when valid; 1 with a diagnostic on the first failure.
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"X", "B", "E", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: no traceEvents object")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    last_ts = {}  # (pid, tid) -> last timestamp seen in buffer order
+    depth = {}  # (pid, tid) -> open 'B' span count
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event {i}: not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in e:
+                fail(f"event {i}: missing {field}")
+        ph = e["ph"]
+        if ph not in VALID_PHASES:
+            fail(f"event {i}: unknown phase {ph!r}")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        if "ts" not in e:
+            fail(f"event {i}: missing ts")
+        if not isinstance(e["ts"], int) or e["ts"] < 0:
+            fail(f"event {i}: bad ts {e['ts']!r}")
+        track = (e["pid"], e["tid"])
+        if e["ts"] < last_ts.get(track, 0):
+            fail(
+                f"event {i} ({e['name']}): ts {e['ts']} goes backwards "
+                f"on track pid={track[0]} tid={track[1]} "
+                f"(last was {last_ts[track]})"
+            )
+        last_ts[track] = e["ts"]
+        if ph == "X":
+            if not isinstance(e.get("dur"), int) or e["dur"] < 0:
+                fail(f"event {i}: 'X' without non-negative dur")
+        elif ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            if depth.get(track, 0) == 0:
+                fail(f"event {i}: 'E' with no open 'B' on {track}")
+            depth[track] -= 1
+        elif ph == "i":
+            if e.get("s", "t") not in ("t", "p", "g"):
+                fail(f"event {i}: bad instant scope {e.get('s')!r}")
+
+    open_spans = {t: d for t, d in depth.items() if d}
+    if open_spans:
+        fail(f"unbalanced begin/end spans at EOF: {open_spans}")
+
+    n_timed = sum(1 for e in events if e.get("ph") != "M")
+    print(
+        f"validate_trace: OK: {path}: {len(events)} events "
+        f"({n_timed} timed, {len(last_ts)} tracks)"
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: validate_trace.py <trace.json>", file=sys.stderr)
+        sys.exit(2)
+    validate(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()
