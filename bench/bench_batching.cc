@@ -32,6 +32,7 @@ struct ModeResult
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     double coalescing = 1.0;
+    double wbCoalescing = 1.0;
     std::uint64_t cacheHits = 0;
 };
 
@@ -73,6 +74,7 @@ runStream(const char *name, bool batching, bool guard_cache,
     r.messages = net.totalMessages();
     r.bytes = net.totalBytes();
     r.coalescing = net.fetchCoalescing();
+    r.wbCoalescing = net.writebackCoalescing();
     r.cacheHits = rt.guardStats().cacheHitReads +
                   rt.guardStats().cacheHitWrites;
     if (sum == ~0ull) // defeat dead-code elimination of the stream
@@ -83,10 +85,11 @@ runStream(const char *name, bool batching, bool guard_cache,
 void
 report(const ModeResult &r, const CostParams &costs)
 {
-    std::printf("%-18s %10llu %12llu %10.3f %9.2f %12llu\n", r.name,
-                static_cast<unsigned long long>(r.messages),
+    std::printf("%-18s %10llu %12llu %10.3f %9.2f %9.2f %12llu\n",
+                r.name, static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.bytes),
                 bench::seconds(r.cycles, costs) * 1e3, r.coalescing,
+                r.wbCoalescing,
                 static_cast<unsigned long long>(r.cacheHits));
     bench::JsonLine json("batching");
     json.field("mode", r.name)
@@ -94,6 +97,7 @@ report(const ModeResult &r, const CostParams &costs)
         .field("bytes", r.bytes)
         .field("cycles", r.cycles)
         .field("fetch_coalescing", r.coalescing)
+        .field("writeback_coalescing", r.wbCoalescing)
         .field("guard_cache_hits", r.cacheHits);
     json.emit();
 }
@@ -112,7 +116,7 @@ main()
         "16 MB guarded read-modify-write stream, 25% local memory");
 
     bench::section("streaming modes (messages | bytes | sim ms | "
-                   "fetch coalescing | guard cache hits)");
+                   "fetch coalescing | wb coalescing | guard cache hits)");
     const ModeResult unbatched =
         runStream("unbatched", false, false, costs);
     const ModeResult batched = runStream("batched", true, false, costs);

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Injectable shard-failure schedule for the sharded remote tier.
+ *
+ * A FailurePlan is a list of (shard, cycle) events: once the simulated
+ * clock reaches `cycle`, the named shard's link is dead — every fetch
+ * and writeback routed at or after that instant fails over to a
+ * surviving replica. Failures are polled at backend-operation
+ * granularity (a message already accounted keeps its charges), which
+ * mirrors how a real client notices a dead server: on the next request
+ * it sends, not mid-flight.
+ */
+
+#ifndef TRACKFM_CLUSTER_FAILURE_PLAN_HH
+#define TRACKFM_CLUSTER_FAILURE_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tfm
+{
+
+/** One scheduled shard death. */
+struct ShardFailure
+{
+    std::uint32_t shard = 0; ///< shard index within the cluster
+    std::uint64_t cycle = 0; ///< simulated cycle the link dies
+};
+
+/** The full injection schedule for one run. */
+struct FailurePlan
+{
+    std::vector<ShardFailure> events;
+
+    /** Schedule @p shard to die once the clock reaches @p cycle. */
+    void
+    killShard(std::uint32_t shard, std::uint64_t cycle)
+    {
+        events.push_back({shard, cycle});
+    }
+
+    bool empty() const { return events.empty(); }
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_CLUSTER_FAILURE_PLAN_HH

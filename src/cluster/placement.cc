@@ -1,0 +1,55 @@
+#include "placement.hh"
+
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+class StripedPlacement final : public PlacementPolicy
+{
+  public:
+    std::uint32_t
+    primaryShard(std::uint64_t stripe, std::uint32_t shardCount) const override
+    {
+        return static_cast<std::uint32_t>(stripe % shardCount);
+    }
+
+    const char *name() const override { return "striped"; }
+};
+
+class HashedPlacement final : public PlacementPolicy
+{
+  public:
+    std::uint32_t
+    primaryShard(std::uint64_t stripe, std::uint32_t shardCount) const override
+    {
+        // splitmix64 finalizer: full-avalanche, so adjacent stripes land
+        // on unrelated shards.
+        std::uint64_t x = stripe + 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return static_cast<std::uint32_t>(x % shardCount);
+    }
+
+    const char *name() const override { return "hashed"; }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<PlacementPolicy>
+makePlacement(PlacementKind kind)
+{
+    switch (kind) {
+    case PlacementKind::Striped:
+        return std::make_unique<StripedPlacement>();
+    case PlacementKind::Hashed:
+        return std::make_unique<HashedPlacement>();
+    }
+    TFM_PANIC("unknown placement kind");
+}
+
+} // namespace tfm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pluggable shard-placement policies for the sharded remote tier.
+ *
+ * A policy maps a far-heap stripe index to the shard holding its
+ * primary copy; replicas follow the primary around the shard ring (see
+ * ShardedCluster). Striped placement is the default (deterministic
+ * round-robin, perfect balance for sequential heaps); hashed placement
+ * decorrelates placement from the access pattern the way consistent
+ * hashing does in rack-scale memory tiers, trading neighborliness for
+ * robustness against strided hot spots.
+ */
+
+#ifndef TRACKFM_CLUSTER_PLACEMENT_HH
+#define TRACKFM_CLUSTER_PLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+
+namespace tfm
+{
+
+/** Which built-in placement policy a cluster config selects. */
+enum class PlacementKind
+{
+    Striped, ///< stripe i -> shard i mod N (round-robin)
+    Hashed   ///< stripe i -> mix64(i) mod N (decorrelated)
+};
+
+/** Maps stripes to primary shards. Stateless and cheap: called per op. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /** Shard holding the primary copy of @p stripe (< @p shardCount). */
+    virtual std::uint32_t primaryShard(std::uint64_t stripe,
+                                       std::uint32_t shardCount) const = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Construct the built-in policy for @p kind. */
+std::unique_ptr<PlacementPolicy> makePlacement(PlacementKind kind);
+
+} // namespace tfm
+
+#endif // TRACKFM_CLUSTER_PLACEMENT_HH

@@ -1,0 +1,25 @@
+#include "remote_backend.hh"
+
+#include "cluster/sharded_cluster.hh"
+
+namespace tfm
+{
+
+void
+RemoteBackend::exportStats(StatSet &) const
+{
+}
+
+std::unique_ptr<RemoteBackend>
+makeRemoteBackend(CycleClock &clock, const CostParams &costs,
+                  std::uint64_t capacityBytes, std::uint32_t objectSizeBytes,
+                  const ClusterConfig &config)
+{
+    if (config.wantsCluster()) {
+        return std::make_unique<ShardedCluster>(
+            clock, costs, capacityBytes, objectSizeBytes, config);
+    }
+    return std::make_unique<SingleNodeBackend>(clock, costs, capacityBytes);
+}
+
+} // namespace tfm

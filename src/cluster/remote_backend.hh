@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The remote-tier backend abstraction.
+ *
+ * FarMemRuntime talks to its remote memory exclusively through this
+ * interface. Two implementations exist: SingleNodeBackend, the
+ * degenerate one-server case wrapping the original RemoteNode behind
+ * one NetworkModel link (bit-for-bit identical charges to the
+ * pre-cluster runtime), and ShardedCluster (sharded_cluster.hh), which
+ * stripes the far heap over N remote nodes with k-way replication and
+ * injectable failures. The runtime neither knows nor cares which one it
+ * drives; the data plane — including PR 1's coalesced multi-object
+ * messages — flows through the same five operations either way.
+ */
+
+#ifndef TRACKFM_CLUSTER_REMOTE_BACKEND_HH
+#define TRACKFM_CLUSTER_REMOTE_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/failure_plan.hh"
+#include "cluster/placement.hh"
+#include "net/network_model.hh"
+#include "remote/remote_node.hh"
+
+namespace tfm
+{
+
+class CycleClock;
+class Observability;
+class StatSet;
+struct CostParams;
+
+/** Remote-tier topology knobs (part of RuntimeConfig). */
+struct ClusterConfig
+{
+    /// Remote memory nodes the far heap is striped over. 1 keeps the
+    /// original single-server topology.
+    std::uint32_t shardCount = 1;
+    /// Copies of every stripe (read-one/write-all). 1 disables
+    /// replication; must not exceed shardCount.
+    std::uint32_t replicationFactor = 1;
+    /// Striping granularity in bytes; must be a multiple of the object
+    /// size. 0 means one stripe per object.
+    std::uint64_t stripeBytes = 0;
+    /// How stripes map to primary shards.
+    PlacementKind placement = PlacementKind::Striped;
+    /// Per-shard link bandwidth override (bytes/cycle). 0 gives every
+    /// shard the full CostParams::netBytesPerCycle link, so aggregate
+    /// bandwidth scales with shardCount; set it to model a shared
+    /// bisection instead.
+    double shardBytesPerCycle = 0.0;
+    /// Scheduled shard deaths (see failure_plan.hh).
+    FailurePlan failures;
+    /// Force the ShardedCluster backend even for the 1-shard/1-copy
+    /// config (equivalence tests).
+    bool forceCluster = false;
+
+    /** Does this config need the sharded backend? */
+    bool
+    wantsCluster() const
+    {
+        return forceCluster || shardCount > 1 || replicationFactor > 1 ||
+               !failures.empty();
+    }
+};
+
+/**
+ * What FarMemRuntime needs from any remote tier. All offsets are
+ * far-heap byte offsets; cycle accounting happens inside (each
+ * implementation drives its own NetworkModel links).
+ */
+class RemoteBackend
+{
+  public:
+    virtual ~RemoteBackend() = default;
+
+    virtual std::uint64_t capacity() const = 0;
+
+    /** Blocking demand fetch (full round trip, clock advances). */
+    virtual void fetch(std::uint64_t offset, std::byte *dst,
+                       std::size_t len) = 0;
+
+    /** Async single-object fetch; returns the arrival cycle. */
+    virtual std::uint64_t fetchAsync(std::uint64_t offset, std::byte *dst,
+                                     std::size_t len) = 0;
+
+    /**
+     * Async multi-object fetch. One coalesced message per remote node
+     * touched; @p arrivals (when non-null) gets the per-segment arrival
+     * cycle, index-aligned with @p segs.
+     * @return arrival of the last payload.
+     */
+    virtual std::uint64_t
+    fetchBatchAsync(const std::vector<RemoteFetchSeg> &segs,
+                    std::vector<std::uint64_t> *arrivals = nullptr) = 0;
+
+    /** Async single-object writeback (evacuation). */
+    virtual void writeback(std::uint64_t offset, const std::byte *src,
+                           std::size_t len) = 0;
+
+    /** Coalesced multi-object writeback (batched evacuation flush). */
+    virtual void writebackBatch(const std::vector<RemoteWriteSeg> &segs) = 0;
+
+    /** @name Initialization / verification (no cycle accounting)
+     * @{ */
+    virtual void rawWrite(std::uint64_t offset, const std::byte *src,
+                          std::size_t len) = 0;
+    virtual void rawRead(std::uint64_t offset, std::byte *dst,
+                         std::size_t len) const = 0;
+    /** @} */
+
+    /** Aggregate link statistics (sum over shards). */
+    virtual NetStats netStats() const = 0;
+    /** Aggregate remote-node statistics (sum over shards). */
+    virtual RemoteStats remoteStats() const = 0;
+
+    virtual std::uint32_t shardCount() const = 0;
+    /** The link of @p shard (shard 0 == the single-node link). */
+    virtual NetworkModel &link(std::uint32_t shard = 0) = 0;
+    /** The store of @p shard (shard 0 == the single node). */
+    virtual RemoteNode &node(std::uint32_t shard = 0) = 0;
+
+    /** Attach the runtime's trace sink to every link. */
+    virtual void attachObs(Observability *sink, std::uint32_t stream) = 0;
+
+    /** Backend-specific counters ("cluster.*"); default exports none. */
+    virtual void exportStats(StatSet &set) const;
+
+    virtual const char *kind() const = 0;
+};
+
+/**
+ * The degenerate backend: one RemoteNode behind one link, preserving
+ * the exact pre-cluster call sequence (and therefore byte-identical
+ * NetStats for every existing figure bench).
+ */
+class SingleNodeBackend final : public RemoteBackend
+{
+  public:
+    SingleNodeBackend(CycleClock &clock, const CostParams &costs,
+                      std::uint64_t capacityBytes)
+        : net_(clock, costs), node_(capacityBytes)
+    {}
+
+    std::uint64_t capacity() const override { return node_.capacity(); }
+
+    void
+    fetch(std::uint64_t offset, std::byte *dst, std::size_t len) override
+    {
+        node_.fetch(net_, offset, dst, len);
+    }
+
+    std::uint64_t
+    fetchAsync(std::uint64_t offset, std::byte *dst,
+               std::size_t len) override
+    {
+        return node_.fetchAsync(net_, offset, dst, len);
+    }
+
+    std::uint64_t
+    fetchBatchAsync(const std::vector<RemoteFetchSeg> &segs,
+                    std::vector<std::uint64_t> *arrivals) override
+    {
+        return node_.fetchBatchAsync(net_, segs, arrivals);
+    }
+
+    void
+    writeback(std::uint64_t offset, const std::byte *src,
+              std::size_t len) override
+    {
+        node_.writeback(net_, offset, src, len);
+    }
+
+    void
+    writebackBatch(const std::vector<RemoteWriteSeg> &segs) override
+    {
+        node_.writebackBatch(net_, segs);
+    }
+
+    void
+    rawWrite(std::uint64_t offset, const std::byte *src,
+             std::size_t len) override
+    {
+        node_.rawWrite(offset, src, len);
+    }
+
+    void
+    rawRead(std::uint64_t offset, std::byte *dst,
+            std::size_t len) const override
+    {
+        node_.rawRead(offset, dst, len);
+    }
+
+    NetStats netStats() const override { return net_.stats(); }
+    RemoteStats remoteStats() const override { return node_.stats(); }
+
+    std::uint32_t shardCount() const override { return 1; }
+    NetworkModel &link(std::uint32_t) override { return net_; }
+    RemoteNode &node(std::uint32_t) override { return node_; }
+
+    void
+    attachObs(Observability *sink, std::uint32_t stream) override
+    {
+        net_.attachObs(sink, stream);
+    }
+
+    const char *kind() const override { return "single"; }
+
+  private:
+    NetworkModel net_;
+    RemoteNode node_;
+};
+
+/**
+ * Build the backend @p config asks for: SingleNodeBackend unless the
+ * config needs sharding/replication/failure injection.
+ *
+ * @param objectSizeBytes the runtime's object size; stripe granularity
+ *        defaults to it and must stay a multiple of it, so no coalesced
+ *        segment ever straddles a shard boundary.
+ */
+std::unique_ptr<RemoteBackend>
+makeRemoteBackend(CycleClock &clock, const CostParams &costs,
+                  std::uint64_t capacityBytes, std::uint32_t objectSizeBytes,
+                  const ClusterConfig &config);
+
+} // namespace tfm
+
+#endif // TRACKFM_CLUSTER_REMOTE_BACKEND_HH

@@ -1,0 +1,511 @@
+#include "sharded_cluster.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/obs.hh"
+#include "sim/cycle_clock.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+/// Sanity bound: a rack of memory nodes, not a datacenter.
+constexpr std::uint32_t maxShards = 64;
+
+} // anonymous namespace
+
+ShardedCluster::ShardedCluster(CycleClock &clock, const CostParams &costs,
+                               std::uint64_t capacityBytes,
+                               std::uint32_t objectSizeBytes,
+                               const ClusterConfig &config)
+    : clock_(clock),
+      capacity_(capacityBytes),
+      repl_(config.replicationFactor),
+      policy_(makePlacement(config.placement))
+{
+    TFM_ASSERT(config.shardCount >= 1 && config.shardCount <= maxShards,
+               "cluster shard count out of range");
+    TFM_ASSERT(repl_ >= 1 && repl_ <= maxReplicas &&
+                   repl_ <= config.shardCount,
+               "replication factor out of range");
+    TFM_ASSERT(objectSizeBytes > 0, "cluster needs the object size");
+    stripeBytes_ = config.stripeBytes ? config.stripeBytes
+                                      : objectSizeBytes;
+    TFM_ASSERT(stripeBytes_ % objectSizeBytes == 0,
+               "stripe size must be a multiple of the object size");
+
+    CostParams shard_costs = costs;
+    if (config.shardBytesPerCycle > 0.0)
+        shard_costs.netBytesPerCycle = config.shardBytesPerCycle;
+    shards_.reserve(config.shardCount);
+    for (std::uint32_t i = 0; i < config.shardCount; i++) {
+        shards_.push_back(
+            std::make_unique<Shard>(clock, shard_costs, capacityBytes));
+    }
+
+    pending_ = config.failures.events;
+    for (const ShardFailure &f : pending_) {
+        TFM_ASSERT(f.shard < config.shardCount,
+                   "failure plan names a shard outside the cluster");
+    }
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const ShardFailure &a, const ShardFailure &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+std::uint64_t
+ShardedCluster::stripeOf(std::uint64_t offset) const
+{
+    return offset / stripeBytes_;
+}
+
+ShardedCluster::ReplicaSet
+ShardedCluster::liveReplicas(std::uint64_t stripe) const
+{
+    const auto n = static_cast<std::uint32_t>(shards_.size());
+    const std::uint32_t primary = policy_->primaryShard(stripe, n);
+    ReplicaSet set;
+    for (std::uint32_t step = 0; step < n && set.count < repl_; step++) {
+        const std::uint32_t s = (primary + step) % n;
+        if (shards_[s]->alive)
+            set.shard[set.count++] = s;
+    }
+    return set;
+}
+
+std::uint32_t
+ShardedCluster::readShard(std::uint64_t stripe)
+{
+    if (!lost_.empty() && stripe < lost_.size() && lost_[stripe])
+        TFM_PANIC("read of a stripe lost with its last replica");
+    const ReplicaSet set = liveReplicas(stripe);
+    TFM_ASSERT(set.count > 0,
+               "shard failure left no live replica for stripe");
+    const auto n = static_cast<std::uint32_t>(shards_.size());
+    if (set.shard[0] != policy_->primaryShard(stripe, n))
+        cstats_.degradedReads++;
+    return set.shard[0];
+}
+
+void
+ShardedCluster::pollFailures()
+{
+    while (nextFailure_ < pending_.size() &&
+           clock_.now() >= pending_[nextFailure_].cycle) {
+        onShardDeath(pending_[nextFailure_].shard);
+        nextFailure_++;
+    }
+}
+
+void
+ShardedCluster::onShardDeath(std::uint32_t dead)
+{
+    Shard &ds = *shards_[dead];
+    if (!ds.alive)
+        return;
+    cstats_.shardFailures++;
+    TFM_WARN("cluster: shard %u link died at cycle %llu; failing over",
+             dead, static_cast<unsigned long long>(clock_.now()));
+    if (obs_ && obs_->trace().enabled()) {
+        obs_->trace().instant(obsStream_,
+                              TrackRemote + obs::shardTrackBase(dead),
+                              "shard-fail", "cluster", clock_.now());
+        obs_->trace().arg("shard", dead);
+    }
+
+    // Replica sets before and after the death: `dead` still counts as
+    // alive for the "before" view so we can tell which stripes lost a
+    // copy and who their ring-successor replacement is.
+    const auto aliveBefore = [&](std::uint32_t s) {
+        return s == dead ? true : shards_[s]->alive;
+    };
+    ds.alive = false;
+    const auto aliveNow = [&](std::uint32_t s) {
+        return shards_[s]->alive;
+    };
+    const auto n = static_cast<std::uint32_t>(shards_.size());
+    const auto collect = [&](std::uint64_t stripe, const auto &alive) {
+        const std::uint32_t primary = policy_->primaryShard(stripe, n);
+        ReplicaSet set;
+        for (std::uint32_t step = 0; step < n && set.count < repl_;
+             step++) {
+            const std::uint32_t s = (primary + step) % n;
+            if (alive(s))
+                set.shard[set.count++] = s;
+        }
+        return set;
+    };
+
+    // Eager re-replication: copy every stripe the dead shard held from
+    // a surviving replica onto the newcomer its replica set gained.
+    // The copies are bulk background transfers (one logical
+    // src->host->dst stream per shard pair); they are accounted in
+    // ClusterStats rather than the demand-path NetStats, like
+    // evacuateAll's measurement-window-exempt flush.
+    const std::uint64_t numStripes =
+        (capacity_ + stripeBytes_ - 1) / stripeBytes_;
+    if (lost_.empty())
+        lost_.assign(numStripes, false);
+    std::vector<std::byte> buf(stripeBytes_);
+    std::uint64_t movedStripes = 0, movedBytes = 0, lostStripes = 0;
+    bool pairTouched = false;
+    for (std::uint64_t stripe = 0; stripe < numStripes; stripe++) {
+        const ReplicaSet before = collect(stripe, aliveBefore);
+        if (!before.contains(dead))
+            continue;
+        const ReplicaSet after = collect(stripe, aliveNow);
+        std::int64_t src = -1;
+        for (std::uint32_t i = 0; i < after.count; i++) {
+            if (before.contains(after.shard[i])) {
+                src = after.shard[i];
+                break;
+            }
+        }
+        if (src < 0) {
+            // The dead shard held the only copy (k == 1): the data is
+            // gone. Remember that so a later read fails loudly instead
+            // of returning the newcomer's zero-filled store.
+            lost_[stripe] = true;
+            lostStripes++;
+            continue;
+        }
+        const std::uint64_t at = stripe * stripeBytes_;
+        const std::uint64_t len =
+            std::min<std::uint64_t>(stripeBytes_, capacity_ - at);
+        for (std::uint32_t i = 0; i < after.count; i++) {
+            const std::uint32_t m = after.shard[i];
+            if (before.contains(m))
+                continue;
+            shards_[static_cast<std::size_t>(src)]->node.rawRead(
+                at, buf.data(), len);
+            shards_[m]->node.rawWrite(at, buf.data(), len);
+            movedStripes++;
+            movedBytes += len;
+            pairTouched = true;
+        }
+    }
+    cstats_.reReplicatedStripes += movedStripes;
+    cstats_.reReplicatedBytes += movedBytes;
+    if (pairTouched) {
+        // One orchestration charge for kicking off the recovery stream;
+        // the bulk bytes themselves flow at background priority.
+        clock_.advance(shards_[dead]->costs.perMessageCpuCycles);
+    }
+    if (lostStripes > 0) {
+        TFM_WARN("cluster: %llu stripes lost their last replica "
+                 "(replication factor 1)",
+                 static_cast<unsigned long long>(lostStripes));
+    }
+    if (obs_ && obs_->trace().enabled() && movedStripes > 0) {
+        obs_->trace().instant(obsStream_, TrackApp, "re-replicate",
+                              "cluster", clock_.now());
+        obs_->trace().arg("stripes", movedStripes);
+        obs_->trace().arg("bytes", movedBytes);
+    }
+}
+
+void
+ShardedCluster::fetch(std::uint64_t offset, std::byte *dst,
+                      std::size_t len)
+{
+    pollFailures();
+    TFM_ASSERT(len == 0 || stripeOf(offset) == stripeOf(offset + len - 1),
+               "fetch segment straddles a stripe boundary");
+    Shard &s = *shards_[readShard(stripeOf(offset))];
+    s.node.fetch(s.net, offset, dst, len);
+}
+
+std::uint64_t
+ShardedCluster::fetchAsync(std::uint64_t offset, std::byte *dst,
+                           std::size_t len)
+{
+    pollFailures();
+    TFM_ASSERT(len == 0 || stripeOf(offset) == stripeOf(offset + len - 1),
+               "fetch segment straddles a stripe boundary");
+    Shard &s = *shards_[readShard(stripeOf(offset))];
+    return s.node.fetchAsync(s.net, offset, dst, len);
+}
+
+std::uint64_t
+ShardedCluster::fetchBatchAsync(const std::vector<RemoteFetchSeg> &segs,
+                                std::vector<std::uint64_t> *arrivals)
+{
+    pollFailures();
+    TFM_ASSERT(!segs.empty(), "empty cluster fetch batch");
+
+    // Split the host-side batch by serving shard, keeping each group a
+    // single coalesced message on that shard's link.
+    struct Group
+    {
+        std::vector<RemoteFetchSeg> segs;
+        std::vector<std::size_t> index;
+    };
+    std::vector<Group> groups(shards_.size());
+    for (std::size_t i = 0; i < segs.size(); i++) {
+        const RemoteFetchSeg &seg = segs[i];
+        TFM_ASSERT(seg.len == 0 || stripeOf(seg.offset) ==
+                                       stripeOf(seg.offset + seg.len - 1),
+                   "fetch segment straddles a stripe boundary");
+        const std::uint32_t s = readShard(stripeOf(seg.offset));
+        groups[s].segs.push_back(seg);
+        groups[s].index.push_back(i);
+    }
+
+    if (arrivals)
+        arrivals->assign(segs.size(), 0);
+    std::uint64_t last = 0;
+    std::uint32_t touched = 0;
+    for (std::size_t s = 0; s < groups.size(); s++) {
+        Group &g = groups[s];
+        if (g.segs.empty())
+            continue;
+        touched++;
+        Shard &shard = *shards_[s];
+        if (arrivals) {
+            std::vector<std::uint64_t> shard_arrivals;
+            const std::uint64_t a = shard.node.fetchBatchAsync(
+                shard.net, g.segs, &shard_arrivals);
+            for (std::size_t i = 0; i < g.index.size(); i++)
+                (*arrivals)[g.index[i]] = shard_arrivals[i];
+            last = std::max(last, a);
+        } else {
+            last = std::max(
+                last, shard.node.fetchBatchAsync(shard.net, g.segs));
+        }
+    }
+    if (touched >= 2)
+        cstats_.splitFetchBatches++;
+    return last;
+}
+
+void
+ShardedCluster::writeback(std::uint64_t offset, const std::byte *src,
+                          std::size_t len)
+{
+    pollFailures();
+    TFM_ASSERT(len == 0 || stripeOf(offset) == stripeOf(offset + len - 1),
+               "writeback segment straddles a stripe boundary");
+    const std::uint64_t stripe = stripeOf(offset);
+    const ReplicaSet set = liveReplicas(stripe);
+    TFM_ASSERT(set.count > 0,
+               "shard failure left no live replica for stripe");
+    if (set.count < repl_)
+        cstats_.degradedWrites++;
+    for (std::uint32_t i = 0; i < set.count; i++) {
+        Shard &s = *shards_[set.shard[i]];
+        s.node.writeback(s.net, offset, src, len);
+    }
+    markStripeWritten(stripe, offset, len);
+}
+
+void
+ShardedCluster::writebackBatch(const std::vector<RemoteWriteSeg> &segs)
+{
+    pollFailures();
+    TFM_ASSERT(!segs.empty(), "empty cluster writeback batch");
+    std::vector<std::vector<RemoteWriteSeg>> groups(shards_.size());
+    for (const RemoteWriteSeg &seg : segs) {
+        TFM_ASSERT(seg.len == 0 || stripeOf(seg.offset) ==
+                                       stripeOf(seg.offset + seg.len - 1),
+                   "writeback segment straddles a stripe boundary");
+        const std::uint64_t stripe = stripeOf(seg.offset);
+        const ReplicaSet set = liveReplicas(stripe);
+        TFM_ASSERT(set.count > 0,
+                   "shard failure left no live replica for stripe");
+        if (set.count < repl_)
+            cstats_.degradedWrites++;
+        for (std::uint32_t i = 0; i < set.count; i++)
+            groups[set.shard[i]].push_back(seg);
+        markStripeWritten(stripe, seg.offset, seg.len);
+    }
+    std::uint32_t touched = 0;
+    for (std::size_t s = 0; s < groups.size(); s++) {
+        if (groups[s].empty())
+            continue;
+        touched++;
+        Shard &shard = *shards_[s];
+        shard.node.writebackBatch(shard.net, groups[s]);
+    }
+    if (touched >= 2)
+        cstats_.splitWritebackBatches++;
+}
+
+void
+ShardedCluster::markStripeWritten(std::uint64_t stripe,
+                                  std::uint64_t offset, std::size_t len)
+{
+    // A write that covers a whole lost stripe makes it readable again.
+    if (lost_.empty() || stripe >= lost_.size() || !lost_[stripe])
+        return;
+    const std::uint64_t start = stripe * stripeBytes_;
+    const std::uint64_t span =
+        std::min<std::uint64_t>(stripeBytes_, capacity_ - start);
+    if (offset == start && len >= span)
+        lost_[stripe] = false;
+}
+
+void
+ShardedCluster::rawWrite(std::uint64_t offset, const std::byte *src,
+                         std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = offset + done;
+        const std::uint64_t stripe = stripeOf(at);
+        const std::uint64_t stripe_end = (stripe + 1) * stripeBytes_;
+        const std::size_t chunk = std::min<std::size_t>(
+            len - done, static_cast<std::size_t>(stripe_end - at));
+        const ReplicaSet set = liveReplicas(stripe);
+        TFM_ASSERT(set.count > 0,
+                   "shard failure left no live replica for stripe");
+        for (std::uint32_t i = 0; i < set.count; i++)
+            shards_[set.shard[i]]->node.rawWrite(at, src + done, chunk);
+        markStripeWritten(stripe, at, chunk);
+        done += chunk;
+    }
+}
+
+void
+ShardedCluster::rawRead(std::uint64_t offset, std::byte *dst,
+                        std::size_t len) const
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = offset + done;
+        const std::uint64_t stripe = stripeOf(at);
+        const std::uint64_t stripe_end = (stripe + 1) * stripeBytes_;
+        const std::size_t chunk = std::min<std::size_t>(
+            len - done, static_cast<std::size_t>(stripe_end - at));
+        if (!lost_.empty() && stripe < lost_.size() && lost_[stripe])
+            TFM_PANIC("read of a stripe lost with its last replica");
+        const ReplicaSet set = liveReplicas(stripe);
+        TFM_ASSERT(set.count > 0,
+                   "shard failure left no live replica for stripe");
+        shards_[set.shard[0]]->node.rawRead(at, dst + done, chunk);
+        done += chunk;
+    }
+}
+
+NetStats
+ShardedCluster::netStats() const
+{
+    NetStats total;
+    for (const auto &shard : shards_)
+        total += shard->net.stats();
+    return total;
+}
+
+RemoteStats
+ShardedCluster::remoteStats() const
+{
+    RemoteStats total;
+    for (const auto &shard : shards_)
+        total += shard->node.stats();
+    return total;
+}
+
+NetworkModel &
+ShardedCluster::link(std::uint32_t shard)
+{
+    TFM_ASSERT(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->net;
+}
+
+RemoteNode &
+ShardedCluster::node(std::uint32_t shard)
+{
+    TFM_ASSERT(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->node;
+}
+
+bool
+ShardedCluster::shardAlive(std::uint32_t shard) const
+{
+    TFM_ASSERT(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->alive;
+}
+
+const NetStats &
+ShardedCluster::shardNetStats(std::uint32_t shard) const
+{
+    TFM_ASSERT(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->net.stats();
+}
+
+const RemoteStats &
+ShardedCluster::shardRemoteStats(std::uint32_t shard) const
+{
+    TFM_ASSERT(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->node.stats();
+}
+
+std::uint32_t
+ShardedCluster::primaryShardOf(std::uint64_t offset) const
+{
+    return policy_->primaryShard(
+        stripeOf(offset), static_cast<std::uint32_t>(shards_.size()));
+}
+
+ShardedCluster::ReplicaSet
+ShardedCluster::replicasOf(std::uint64_t offset) const
+{
+    return liveReplicas(stripeOf(offset));
+}
+
+void
+ShardedCluster::attachObs(Observability *sink, std::uint32_t stream)
+{
+    obs_ = sink;
+    obsStream_ = stream;
+    for (std::size_t i = 0; i < shards_.size(); i++) {
+        shards_[i]->net.attachObs(
+            sink, stream,
+            obs::shardTrackBase(static_cast<std::uint32_t>(i)));
+        if (sink) {
+            sink->registerShardTracks(stream,
+                                      static_cast<std::uint32_t>(i));
+        }
+    }
+}
+
+void
+ShardedCluster::exportStats(StatSet &set) const
+{
+    set.add("cluster.shards", shards_.size());
+    set.add("cluster.replication", repl_);
+    set.add("cluster.stripe_bytes", stripeBytes_);
+    set.add("cluster.shard_failures", cstats_.shardFailures);
+    set.add("cluster.degraded_reads", cstats_.degradedReads);
+    set.add("cluster.degraded_writes", cstats_.degradedWrites);
+    set.add("cluster.re_replicated_stripes", cstats_.reReplicatedStripes);
+    set.add("cluster.re_replicated_bytes", cstats_.reReplicatedBytes);
+    set.add("cluster.split_fetch_batches", cstats_.splitFetchBatches);
+    set.add("cluster.split_writeback_batches",
+            cstats_.splitWritebackBatches);
+    for (std::size_t i = 0; i < shards_.size(); i++) {
+        char name[64];
+        const NetStats &net = shards_[i]->net.stats();
+        std::snprintf(name, sizeof(name), "cluster.shard%zu.alive", i);
+        set.add(name, shards_[i]->alive ? 1 : 0);
+        std::snprintf(name, sizeof(name),
+                      "cluster.shard%zu.bytes_fetched", i);
+        set.add(name, net.bytesFetched);
+        std::snprintf(name, sizeof(name),
+                      "cluster.shard%zu.bytes_written_back", i);
+        set.add(name, net.bytesWrittenBack);
+        std::snprintf(name, sizeof(name),
+                      "cluster.shard%zu.fetch_messages", i);
+        set.add(name, net.fetchMessages);
+        std::snprintf(name, sizeof(name),
+                      "cluster.shard%zu.writeback_messages", i);
+        set.add(name, net.writebackMessages);
+    }
+}
+
+} // namespace tfm

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ShardedCluster: the far heap striped over N remote memory nodes,
+ * each behind its own independent NetworkModel link, with k-way
+ * replication and injectable shard failure.
+ *
+ * Topology. The heap is cut into fixed-size stripes (a multiple of the
+ * runtime object size, one object per stripe by default). A placement
+ * policy maps each stripe to a primary shard; the stripe's k replicas
+ * are the first k *live* shards on the ring starting at the primary.
+ * Before any failure that is simply {primary, primary+1, ...,
+ * primary+k-1} mod N — static striping — and after a failure the rule
+ * is itself the failover protocol: the dead shard drops out of every
+ * replica set it belonged to and the next live shard on the ring takes
+ * its place.
+ *
+ * Consistency. Reads are served by the first live replica
+ * (read-one); writebacks go to every live replica in one message per
+ * shard (write-all). Multi-object messages from the batched data plane
+ * are split by shard and re-coalesced, so per-shard coalescing — the
+ * whole point of PR 1 — survives sharding.
+ *
+ * Failure. A FailurePlan kills links at given cycles; failures are
+ * noticed at the next backend operation. On death the cluster eagerly
+ * re-replicates: every stripe that lost a copy is copied from a
+ * surviving replica onto its ring-successor, charged as bulk transfer
+ * on the two links involved. After recovery every stripe is back to
+ * min(k, live shards) copies, which is what makes "failover
+ * mid-writeback leaves nothing unreplicated" hold.
+ */
+
+#ifndef TRACKFM_CLUSTER_SHARDED_CLUSTER_HH
+#define TRACKFM_CLUSTER_SHARDED_CLUSTER_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/remote_backend.hh"
+#include "sim/cost_params.hh"
+
+namespace tfm
+{
+
+/** Cluster-level event counters (beyond per-shard Net/RemoteStats). */
+struct ClusterStats
+{
+    std::uint64_t shardFailures = 0;     ///< links killed by the plan
+    std::uint64_t degradedReads = 0;     ///< served by a non-primary replica
+    std::uint64_t degradedWrites = 0;    ///< reached fewer than k replicas
+    std::uint64_t reReplicatedStripes = 0;
+    std::uint64_t reReplicatedBytes = 0;
+    std::uint64_t splitFetchBatches = 0; ///< host batches split over shards
+    std::uint64_t splitWritebackBatches = 0;
+};
+
+/** The sharded, replicated, failure-injectable remote tier. */
+class ShardedCluster final : public RemoteBackend
+{
+  public:
+    /// Replica sets are small; bound them so routing never allocates.
+    static constexpr std::uint32_t maxReplicas = 8;
+
+    /** The (up to k) shards holding one stripe, in read-preference order. */
+    struct ReplicaSet
+    {
+        std::array<std::uint32_t, maxReplicas> shard{};
+        std::uint32_t count = 0;
+
+        bool
+        contains(std::uint32_t s) const
+        {
+            for (std::uint32_t i = 0; i < count; i++)
+                if (shard[i] == s)
+                    return true;
+            return false;
+        }
+    };
+
+    ShardedCluster(CycleClock &clock, const CostParams &costs,
+                   std::uint64_t capacityBytes,
+                   std::uint32_t objectSizeBytes,
+                   const ClusterConfig &config);
+
+    /** @name RemoteBackend interface
+     * @{ */
+    std::uint64_t capacity() const override { return capacity_; }
+    void fetch(std::uint64_t offset, std::byte *dst,
+               std::size_t len) override;
+    std::uint64_t fetchAsync(std::uint64_t offset, std::byte *dst,
+                             std::size_t len) override;
+    std::uint64_t
+    fetchBatchAsync(const std::vector<RemoteFetchSeg> &segs,
+                    std::vector<std::uint64_t> *arrivals) override;
+    void writeback(std::uint64_t offset, const std::byte *src,
+                   std::size_t len) override;
+    void writebackBatch(const std::vector<RemoteWriteSeg> &segs) override;
+    void rawWrite(std::uint64_t offset, const std::byte *src,
+                  std::size_t len) override;
+    void rawRead(std::uint64_t offset, std::byte *dst,
+                 std::size_t len) const override;
+    NetStats netStats() const override;
+    RemoteStats remoteStats() const override;
+    std::uint32_t
+    shardCount() const override
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    NetworkModel &link(std::uint32_t shard) override;
+    RemoteNode &node(std::uint32_t shard) override;
+    void attachObs(Observability *sink, std::uint32_t stream) override;
+    void exportStats(StatSet &set) const override;
+    const char *kind() const override { return "sharded"; }
+    /** @} */
+
+    /** @name Cluster-specific surface (tests, benches)
+     * @{ */
+    std::uint32_t replicationFactor() const { return repl_; }
+    std::uint64_t stripeBytes() const { return stripeBytes_; }
+    const PlacementPolicy &placement() const { return *policy_; }
+    bool shardAlive(std::uint32_t shard) const;
+    const NetStats &shardNetStats(std::uint32_t shard) const;
+    const RemoteStats &shardRemoteStats(std::uint32_t shard) const;
+    const ClusterStats &clusterStats() const { return cstats_; }
+    /** Primary shard of the stripe containing @p offset (dead or not). */
+    std::uint32_t primaryShardOf(std::uint64_t offset) const;
+    /** Live replica set of the stripe containing @p offset. */
+    ReplicaSet replicasOf(std::uint64_t offset) const;
+    /** @} */
+
+  private:
+    /** One remote node behind its own link (own CostParams copy so the
+     *  per-shard bandwidth knob can diverge from the host's). */
+    struct Shard
+    {
+        Shard(CycleClock &clock, const CostParams &shard_costs,
+              std::uint64_t capacity)
+            : costs(shard_costs), net(clock, costs), node(capacity)
+        {}
+
+        CostParams costs;
+        NetworkModel net;
+        RemoteNode node;
+        bool alive = true;
+    };
+
+    std::uint64_t stripeOf(std::uint64_t offset) const;
+    /** First @p repl_ live shards on the ring from the primary. */
+    ReplicaSet liveReplicas(std::uint64_t stripe) const;
+    /** The shard serving reads of @p stripe; panics when none is left. */
+    std::uint32_t readShard(std::uint64_t stripe);
+    /** Apply any failure whose cycle has been reached. */
+    void pollFailures();
+    /** Kill @p dead and re-replicate every stripe it held. */
+    void onShardDeath(std::uint32_t dead);
+    /** Clear the lost flag when a write re-covers a whole lost stripe. */
+    void markStripeWritten(std::uint64_t stripe, std::uint64_t offset,
+                           std::size_t len);
+
+    CycleClock &clock_;
+    std::uint64_t capacity_;
+    std::uint64_t stripeBytes_;
+    std::uint32_t repl_;
+    std::unique_ptr<PlacementPolicy> policy_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<ShardFailure> pending_; ///< sorted by cycle, ascending
+    std::size_t nextFailure_ = 0;
+    /// Stripes whose last replica died (k == 1 failures); sized lazily
+    /// at the first death. Reading one is a loud error.
+    std::vector<bool> lost_;
+    ClusterStats cstats_;
+    Observability *obs_ = nullptr;
+    std::uint32_t obsStream_ = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_CLUSTER_SHARDED_CLUSTER_HH

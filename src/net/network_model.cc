@@ -9,6 +9,22 @@
 namespace tfm
 {
 
+NetStats &
+NetStats::operator+=(const NetStats &other)
+{
+    bytesFetched += other.bytesFetched;
+    bytesWrittenBack += other.bytesWrittenBack;
+    fetchMessages += other.fetchMessages;
+    writebackMessages += other.writebackMessages;
+    fetchPayloads += other.fetchPayloads;
+    writebackPayloads += other.writebackPayloads;
+    fetchBatches += other.fetchBatches;
+    writebackBatches += other.writebackBatches;
+    maxFetchBatch = std::max(maxFetchBatch, other.maxFetchBatch);
+    maxWritebackBatch = std::max(maxWritebackBatch, other.maxWritebackBatch);
+    return *this;
+}
+
 std::uint64_t
 NetworkModel::transferCycles(std::uint64_t bytes) const
 {
@@ -49,8 +65,8 @@ NetworkModel::observeFetch(std::uint64_t issue, std::uint64_t arrival,
     obs_->fetchBatch.record(payloads);
     TraceSink &sink = obs_->trace();
     if (sink.enabled()) {
-        sink.complete(obsStream_, TrackNetIn, "net.fetch", "net", issue,
-                      arrival - issue);
+        sink.complete(obsStream_, TrackNetIn + obsTrackBase_, "net.fetch",
+                      "net", issue, arrival - issue);
         sink.arg("bytes", bytes);
         sink.arg("payloads", payloads);
     }
@@ -149,8 +165,8 @@ NetworkModel::writebackBatch(std::uint64_t bytes, std::uint32_t payloads)
         obs_->writebackBatch.record(payloads);
         TraceSink &sink = obs_->trace();
         if (sink.enabled()) {
-            sink.complete(obsStream_, TrackNetOut, "net.writeback", "net",
-                          issue, outFreeAt - issue);
+            sink.complete(obsStream_, TrackNetOut + obsTrackBase_,
+                          "net.writeback", "net", issue, outFreeAt - issue);
             sink.arg("bytes", bytes);
             sink.arg("payloads", payloads);
         }

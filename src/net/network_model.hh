@@ -57,6 +57,19 @@ struct NetStats
                    : static_cast<double>(fetchPayloads) /
                          static_cast<double>(fetchMessages);
     }
+
+    /** Mean payloads per writeback message (outbound mirror). */
+    double
+    writebackCoalescing() const
+    {
+        return writebackMessages == 0
+                   ? 1.0
+                   : static_cast<double>(writebackPayloads) /
+                         static_cast<double>(writebackMessages);
+    }
+
+    /** Element-wise sum (aggregating per-shard links). */
+    NetStats &operator+=(const NetStats &other);
 };
 
 /**
@@ -158,15 +171,21 @@ class NetworkModel
      *  Attach the owning runtime's sink; the link then emits one span
      *  per message (issue -> arrival) on its in/out tracks and feeds
      *  the latency/batch-size histograms. Never charges cycles.
+     *  @p trackBase shifts the in/out/remote track ids so each shard of
+     *  a cluster renders as its own set of tracks (0 for the single
+     *  link, obs::shardTrackBase(i) for shard i).
      * @{ */
     void
-    attachObs(Observability *sink, std::uint32_t stream)
+    attachObs(Observability *sink, std::uint32_t stream,
+              std::uint32_t trackBase = 0)
     {
         obs_ = sink;
         obsStream_ = stream;
+        obsTrackBase_ = trackBase;
     }
     Observability *obs() const { return obs_; }
     std::uint32_t obsStream() const { return obsStream_; }
+    std::uint32_t obsTrackBase() const { return obsTrackBase_; }
     /** @} */
 
   private:
@@ -187,6 +206,7 @@ class NetworkModel
     std::uint64_t outFreeAt = 0;
     Observability *obs_ = nullptr;
     std::uint32_t obsStream_ = 0;
+    std::uint32_t obsTrackBase_ = 0;
 };
 
 } // namespace tfm

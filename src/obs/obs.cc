@@ -32,6 +32,22 @@ Observability::registerStream(const char *kind)
 }
 
 void
+Observability::registerShardTracks(std::uint32_t stream,
+                                   std::uint32_t shard)
+{
+    if (!sink.enabled())
+        return;
+    const std::uint32_t base = obs::shardTrackBase(shard);
+    char label[32];
+    std::snprintf(label, sizeof(label), "shard%u-in", shard);
+    sink.setThreadName(stream, base + TrackNetIn, label);
+    std::snprintf(label, sizeof(label), "shard%u-out", shard);
+    sink.setThreadName(stream, base + TrackNetOut, label);
+    std::snprintf(label, sizeof(label), "shard%u-remote", shard);
+    sink.setThreadName(stream, base + TrackRemote, label);
+}
+
+void
 Observability::counterSample(
     std::uint32_t stream, std::uint64_t now,
     std::initializer_list<std::pair<const char *, std::uint64_t>> values)

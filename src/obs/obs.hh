@@ -43,6 +43,23 @@ enum ObsTrack : std::uint32_t
     TrackRemote = 3  ///< remote node: requests served
 };
 
+namespace obs
+{
+
+/**
+ * Track-id base for shard @p shard of a cluster backend: the fixed
+ * tracks above are followed by one (net-in, net-out, remote) triple
+ * per shard, so NetworkModel/RemoteNode emission sites shifted by this
+ * base render each shard as its own set of tracks.
+ */
+constexpr std::uint32_t
+shardTrackBase(std::uint32_t shard)
+{
+    return TrackRemote + shard * 3;
+}
+
+} // namespace obs
+
 /** Observability layer configuration. */
 struct ObsConfig
 {
@@ -76,6 +93,13 @@ class Observability
      * trace. @p kind is e.g. "trackfm", "fastswap".
      */
     std::uint32_t registerStream(const char *kind);
+
+    /**
+     * Name the (net-in, net-out, remote) track triple of cluster shard
+     * @p shard on @p stream ("shard3-in", ...), so per-shard traffic is
+     * legible in trace viewers. No-op when tracing is disabled.
+     */
+    void registerShardTracks(std::uint32_t stream, std::uint32_t shard);
 
     /** @name Standard histograms
      *  Maintained by the instrumented subsystems whenever attached.

@@ -1,5 +1,6 @@
 #include "remote_node.hh"
 
+#include <cstdio>
 #include <cstring>
 
 #include "obs/obs.hh"
@@ -23,7 +24,8 @@ observeServe(const NetworkModel &net, const char *name, std::uint64_t at,
     Observability *obs = net.obs();
     if (!obs || !obs->trace().enabled())
         return;
-    obs->trace().instant(net.obsStream(), TrackRemote, name, "remote", at);
+    obs->trace().instant(net.obsStream(), TrackRemote + net.obsTrackBase(),
+                         name, "remote", at);
     obs->trace().arg("payloads", payloads);
 }
 
@@ -32,8 +34,18 @@ observeServe(const NetworkModel &net, const char *name, std::uint64_t at,
 void
 RemoteNode::checkRange(std::uint64_t offset, std::size_t len) const
 {
-    TFM_ASSERT(offset + len <= store.size(),
-               "remote access out of backing-store range");
+    // Overflow-safe: a segment list is built offset-by-offset, so a bad
+    // entry must name itself — multi-object messages would otherwise
+    // die without saying which of their segments straddled the end.
+    if (offset <= store.size() && len <= store.size() - offset)
+        return;
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "remote access out of backing-store range: offset %llu "
+                  "len %zu capacity %zu",
+                  static_cast<unsigned long long>(offset), len,
+                  store.size());
+    TFM_PANIC(msg);
 }
 
 void

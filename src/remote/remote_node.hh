@@ -29,6 +29,17 @@ struct RemoteStats
     std::uint64_t writebackRequests = 0; ///< outbound messages absorbed
     std::uint64_t fetchPayloads = 0;     ///< objects shipped (>= requests)
     std::uint64_t writebackPayloads = 0; ///< objects absorbed
+
+    /** Element-wise sum (aggregating per-shard nodes). */
+    RemoteStats &
+    operator+=(const RemoteStats &other)
+    {
+        fetchRequests += other.fetchRequests;
+        writebackRequests += other.writebackRequests;
+        fetchPayloads += other.fetchPayloads;
+        writebackPayloads += other.writebackPayloads;
+        return *this;
+    }
 };
 
 /** One object of a multi-object fetch message. */

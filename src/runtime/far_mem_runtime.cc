@@ -13,8 +13,8 @@ FarMemRuntime::FarMemRuntime(const RuntimeConfig &config,
                              const CostParams &cost_params)
     : cfg(config),
       _costs(cost_params),
-      _net(_clock, _costs),
-      _remote(config.farHeapBytes),
+      backend_(makeRemoteBackend(_clock, _costs, config.farHeapBytes,
+                                 config.objectSizeBytes, config.cluster)),
       ost(config.farHeapBytes, config.objectSizeBytes),
       cache(config.localMemBytes, config.objectSizeBytes),
       alloc_(config.farHeapBytes, config.objectSizeBytes),
@@ -23,7 +23,7 @@ FarMemRuntime::FarMemRuntime(const RuntimeConfig &config,
     obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
     if (obs_) {
         obsStream_ = obs_->registerStream(cfg.obsKind);
-        _net.attachObs(obs_, obsStream_);
+        backend_->attachObs(obs_, obsStream_);
     }
 }
 
@@ -88,7 +88,7 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
                 obs_->prefetchWait.record(
                     late ? f.arrivalCycle - _clock.now() : 0);
             }
-            _net.waitUntil(f.arrivalCycle);
+            _clock.advanceTo(f.arrivalCycle);
             meta.clearInflight();
             _stats.prefetchHits++;
             _stats.inflightJoins++;
@@ -142,8 +142,7 @@ FarMemRuntime::localize(std::uint64_t offset, bool for_write,
                             "runtime", _clock.now());
         obs_->trace().arg("obj", obj_id);
     }
-    _remote.fetch(_net, obj_id << ost.objectShift(), data,
-                  ost.objectSize());
+    backend_->fetch(obj_id << ost.objectShift(), data, ost.objectSize());
     _clock.advance(_costs.remoteFetchSwCycles);
     meta.makeLocal(frame_idx);
     if (for_write)
@@ -212,9 +211,9 @@ FarMemRuntime::evictFrame(std::uint64_t frame_idx)
                                     ost.objectSize());
             wbBuf.push_back(std::move(pending));
         } else {
-            _remote.writeback(_net, f.objId << ost.objectShift(),
-                              cache.frameData(frame_idx),
-                              ost.objectSize());
+            backend_->writeback(f.objId << ost.objectShift(),
+                                cache.frameData(frame_idx),
+                                ost.objectSize());
         }
     }
     meta.makeRemote();
@@ -255,7 +254,7 @@ FarMemRuntime::flushWritebacks()
         segs.push_back({pending.objId << ost.objectShift(),
                         pending.data.data(), ost.objectSize()});
     }
-    _remote.writebackBatch(_net, segs);
+    backend_->writebackBatch(segs);
     wbBuf.clear();
     _stats.writebackFlushes++;
 }
@@ -312,7 +311,7 @@ FarMemRuntime::prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
         // order, so the first objects of the window are consumable
         // before the tail has serialized.
         std::vector<std::uint64_t> arrivals;
-        _remote.fetchBatchAsync(_net, segs, &arrivals);
+        backend_->fetchBatchAsync(segs, &arrivals);
         for (std::size_t i = 0; i < seg_frames.size(); i++) {
             Frame &f = cache.frame(seg_frames[i]);
             f.arrivalCycle = arrivals[i];
@@ -399,7 +398,7 @@ FarMemRuntime::rawWrite(std::uint64_t offset, const void *src,
         const std::uint64_t in_obj = ost.offsetInObject(at);
         const std::size_t chunk = std::min<std::size_t>(
             len - done, ost.objectSize() - in_obj);
-        _remote.rawWrite(at, bytes + done, chunk);
+        backend_->rawWrite(at, bytes + done, chunk);
         const ObjectMeta &meta = ost[obj_id];
         if (meta.present()) {
             std::memcpy(cache.frameData(meta.frame()) + in_obj,
@@ -439,7 +438,7 @@ FarMemRuntime::rawRead(std::uint64_t offset, void *dst, std::size_t len)
                             in_obj,
                         chunk);
         } else {
-            _remote.rawRead(at, bytes + done, chunk);
+            backend_->rawRead(at, bytes + done, chunk);
         }
         done += chunk;
     }
@@ -453,8 +452,8 @@ FarMemRuntime::evacuateAll()
     // local. Flushed without measurement-window charges, like the
     // frame sweep below.
     for (const PendingWriteback &pending : wbBuf) {
-        _remote.rawWrite(pending.objId << ost.objectShift(),
-                         pending.data.data(), ost.objectSize());
+        backend_->rawWrite(pending.objId << ost.objectShift(),
+                           pending.data.data(), ost.objectSize());
     }
     wbBuf.clear();
     for (std::uint64_t i = 0; i < cache.numFrames(); i++) {
@@ -465,8 +464,8 @@ FarMemRuntime::evacuateAll()
         // Flush payload without charging measurement-window costs.
         ObjectMeta &meta = ost[f.objId];
         if (meta.dirty()) {
-            _remote.rawWrite(f.objId << ost.objectShift(),
-                             cache.frameData(i), ost.objectSize());
+            backend_->rawWrite(f.objId << ost.objectShift(),
+                               cache.frameData(i), ost.objectSize());
         }
         meta.makeRemote();
         cache.releaseFrame(i);
@@ -489,14 +488,16 @@ FarMemRuntime::exportStats(StatSet &set) const
     set.add("runtime.inflight_joins", _stats.inflightJoins);
     set.add("runtime.writeback_flushes", _stats.writebackFlushes);
     set.add("runtime.writeback_buffer_hits", _stats.writebackBufferHits);
-    set.add("net.bytes_fetched", _net.stats().bytesFetched);
-    set.add("net.bytes_written_back", _net.stats().bytesWrittenBack);
-    set.add("net.fetch_messages", _net.stats().fetchMessages);
-    set.add("net.writeback_messages", _net.stats().writebackMessages);
-    set.add("net.fetch_payloads", _net.stats().fetchPayloads);
-    set.add("net.writeback_payloads", _net.stats().writebackPayloads);
-    set.add("net.fetch_batches", _net.stats().fetchBatches);
-    set.add("net.writeback_batches", _net.stats().writebackBatches);
+    const NetStats net = backend_->netStats();
+    set.add("net.bytes_fetched", net.bytesFetched);
+    set.add("net.bytes_written_back", net.bytesWrittenBack);
+    set.add("net.fetch_messages", net.fetchMessages);
+    set.add("net.writeback_messages", net.writebackMessages);
+    set.add("net.fetch_payloads", net.fetchPayloads);
+    set.add("net.writeback_payloads", net.writebackPayloads);
+    set.add("net.fetch_batches", net.fetchBatches);
+    set.add("net.writeback_batches", net.writebackBatches);
+    backend_->exportStats(set);
     set.add("alloc.allocations", alloc_.stats().allocations);
     set.add("alloc.frees", alloc_.stats().frees);
     set.add("prefetcher.armed_misses", prefetcher.stats().armedMisses);
@@ -515,7 +516,7 @@ FarMemRuntime::obsEpochSample()
         obsStream_, _clock.now(),
         {{"frames_used", cache.usedFrames()},
          {"wb_pending", wbBuf.size()},
-         {"net_bytes", _net.stats().totalBytes()}});
+         {"net_bytes", backend_->netStats().totalBytes()}});
 }
 
 } // namespace tfm

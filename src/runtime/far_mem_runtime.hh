@@ -15,8 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "cluster/remote_backend.hh"
 #include "frame_cache.hh"
 #include "net/network_model.hh"
 #include "object_state_table.hh"
@@ -64,6 +66,11 @@ struct RuntimeConfig
     /// Guard-level last-object inline cache (TfmRuntime): repeated hits
     /// on the same object skip the object-state-table lookup.
     bool guardCacheEnabled = true;
+
+    /// Remote-tier topology: shard count, replication factor, failure
+    /// plan, per-shard bandwidth. The default (1 shard, 1 copy) keeps
+    /// the original single-server backend.
+    ClusterConfig cluster;
 
     /// Observability sink (tracing, histograms, time series). When
     /// null, falls back to the process-wide default installed by the
@@ -116,8 +123,12 @@ class FarMemRuntime
      * @{ */
     CycleClock &clock() { return _clock; }
     const CycleClock &clock() const { return _clock; }
-    NetworkModel &net() { return _net; }
-    RemoteNode &remote() { return _remote; }
+    /** The remote tier this runtime drives (single node or cluster). */
+    RemoteBackend &backend() { return *backend_; }
+    const RemoteBackend &backend() const { return *backend_; }
+    /** Shard 0's link / node: the whole tier in single-node configs. */
+    NetworkModel &net() { return backend_->link(0); }
+    RemoteNode &remote() { return backend_->node(0); }
     const CostParams &costs() const { return _costs; }
     const RuntimeConfig &config() const { return cfg; }
     ObjectStateTable &stateTable() { return ost; }
@@ -243,8 +254,7 @@ class FarMemRuntime
     RuntimeConfig cfg;
     CostParams _costs;
     CycleClock _clock;
-    NetworkModel _net;
-    RemoteNode _remote;
+    std::unique_ptr<RemoteBackend> backend_;
     ObjectStateTable ost;
     FrameCache cache;
     RegionAllocator alloc_;

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "net/network_model.hh"
+#include "remote/remote_node.hh"
+#include "sim/cost_params.hh"
+#include "sim/cycle_clock.hh"
 #include "sim/rng.hh"
 #include "tfm/chunk.hh"
 #include "tfm/guard_trace.hh"
@@ -242,6 +246,22 @@ TEST(StressTest, MallocFreeChurnUnderPressure)
             live.push_back(item);
         }
     }
+}
+
+TEST(FailureInjection, RemoteSegmentStraddlingCapacityNamesOffset)
+{
+    // A segment that starts in bounds but runs past the end of the
+    // backing store must die loudly and name the offending offset, not
+    // silently truncate or scribble past the store.
+    CycleClock clock;
+    const CostParams costs;
+    NetworkModel net(clock, costs);
+    RemoteNode node(1024);
+    std::vector<std::byte> frame(128);
+    std::vector<RemoteFetchSeg> segs{{960, frame.data(), 128}};
+    EXPECT_DEATH(node.fetchBatchAsync(net, segs), "offset 960");
+    EXPECT_DEATH(node.fetch(net, 960, frame.data(), 128),
+                 "offset 960 len 128 capacity 1024");
 }
 
 } // namespace

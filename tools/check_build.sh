@@ -25,4 +25,19 @@ fi
 "${BUILD_DIR}/tools/tfm-stat" "${TRACE_FILE}" > /dev/null
 echo "check_build: trace smoke test OK"
 
+# Sanitizer pass: rebuild in a separate directory with
+# -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the
+# tier-1 suite under it. TFM_SANITIZE=off skips the pass.
+TFM_SANITIZE="${TFM_SANITIZE:-address,undefined}"
+if [ "${TFM_SANITIZE}" != "off" ]; then
+    SAN_BUILD_DIR="${SAN_BUILD_DIR:-${BUILD_DIR}-asan}"
+    cmake -B "${SAN_BUILD_DIR}" -S . -DTFM_SANITIZE="${TFM_SANITIZE}"
+    cmake --build "${SAN_BUILD_DIR}" -j "$(nproc)"
+    ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure \
+        -j "$(nproc)"
+    echo "check_build: sanitizer (${TFM_SANITIZE}) suite OK"
+else
+    echo "check_build: sanitizer pass skipped (TFM_SANITIZE=off)"
+fi
+
 echo "check_build: OK"
