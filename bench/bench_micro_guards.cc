@@ -61,6 +61,22 @@ BM_GuardFastPathWrite(benchmark::State &state)
 BENCHMARK(BM_GuardFastPathWrite);
 
 void
+BM_GuardRevalidateHit(benchmark::State &state)
+{
+    TfmRuntime rt(config(), CostParams{});
+    const std::uint64_t addr = rt.tfmMalloc(4096);
+    rt.guardWrite(addr); // arm the epoch
+    const std::uint64_t epoch = rt.runtime().evictionEpoch();
+    std::uint64_t start = rt.clock().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.revalidate(addr, epoch));
+    state.counters["sim_cycles"] = benchmark::Counter(
+        static_cast<double>(rt.clock().now() - start),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_GuardRevalidateHit);
+
+void
 BM_GuardSlowPathRemote(benchmark::State &state)
 {
     TfmRuntime rt(config(), CostParams{});

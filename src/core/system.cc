@@ -21,6 +21,8 @@ System::System(const SystemConfig &config)
     cfg.passes.prefetchDepth = cfg.runtime.prefetchDepth;
     cfg.passes.injectPrefetch =
         cfg.passes.injectPrefetch && cfg.runtime.prefetchEnabled;
+    if (!cfg.passes.siteReport)
+        cfg.passes.siteReport = &siteReport;
 }
 
 CompileResult
@@ -52,6 +54,8 @@ System::compile(const std::string &source)
         return result;
 
     PassManager manager;
+    if (cfg.passObserver)
+        manager.setObserver(cfg.passObserver);
     if (cfg.preOptimize)
         addO1Pipeline(manager);
     addTrackFmPipeline(manager, cfg.passes);

@@ -24,6 +24,7 @@
 
 #include "interp/interpreter.hh"
 #include "ir/function.hh"
+#include "passes/guard_opt.hh"
 #include "passes/pass.hh"
 #include "passes/trackfm_passes.hh"
 #include "runtime/far_mem_runtime.hh"
@@ -48,6 +49,9 @@ struct SystemConfig
     bool preOptimize = true;
     /// Cycle cost model for the simulated cluster.
     CostParams costs;
+    /// Optional per-pass IR observer (tfmc's --print-after).
+    std::function<void(const std::string &, const ir::Module &)>
+        passObserver;
 };
 
 /** A compiled (transformed) program plus its compilation report. */
@@ -113,6 +117,10 @@ class System
     const CostParams &costs() const { return cfg.costs; }
     const SystemConfig &config() const { return cfg; }
 
+    /** Static per-allocation-site guard accounting from the last
+     *  compile (insertions, eliminations, coalesces, hoists). */
+    const GuardSiteReport &guardSiteReport() const { return siteReport; }
+
     /** All statistics (guards, runtime, network) in one set. */
     StatSet stats() const;
 
@@ -125,6 +133,7 @@ class System
   private:
     SystemConfig cfg;
     TfmRuntime rt;
+    GuardSiteReport siteReport;
 };
 
 } // namespace tfm

@@ -140,6 +140,15 @@ struct Interpreter::Impl
             std::byte *window = nullptr;
         };
         std::map<const ir::Instruction *, Cursor> cursors;
+        /// Armed state of epoch-arming guards (loop-invariant hoisting):
+        /// the eviction epoch and host pointer captured when the arming
+        /// guard last executed, consumed by guard.reval.
+        struct Reval
+        {
+            std::uint64_t epoch = 0;
+            std::byte *host = nullptr;
+        };
+        std::map<const ir::Instruction *, Reval> revalStates;
     };
 
     Slot
@@ -267,6 +276,12 @@ struct Interpreter::Impl
             output.push_back(static_cast<std::int64_t>(arg(0).i));
             return result;
         }
+        if (callee == "tfm_evacuate_all") {
+            // Test/bench hook: force a full evacuation mid-program so
+            // hoisted guards must take the revalidation-miss path.
+            rt.runtime().evacuateAll();
+            return result;
+        }
 
         const ir::Function *target = module.findFunction(callee);
         if (!target)
@@ -367,6 +382,41 @@ struct Interpreter::Impl
                         std::byte *host = inst.isWrite
                                               ? rt.guardWrite(addr)
                                               : rt.guardRead(addr);
+                        if (inst.armsEpoch) {
+                            frame.revalStates[&inst] = Frame::Reval{
+                                rt.runtime().evictionEpoch(), host};
+                        }
+                        result.i =
+                            reinterpret_cast<std::uint64_t>(host);
+                        break;
+                      }
+                      case ir::Opcode::GuardReval: {
+                        const auto *armer =
+                            static_cast<const ir::Instruction *>(
+                                inst.operand(0));
+                        const std::uint64_t addr =
+                            valueOf(frame, inst.operand(1)).i;
+                        auto armed_it = frame.revalStates.find(armer);
+                        if (armed_it == frame.revalStates.end())
+                            trap("guard.reval before its arming guard");
+                        auto &armed = armed_it->second;
+                        if (tfmIsTagged(addr) &&
+                            rt.revalidate(addr, armed.epoch)) {
+                            // Epoch unchanged since arming: the host
+                            // pointer (and any dirty bit) is still live.
+                            result.i = reinterpret_cast<std::uint64_t>(
+                                armed.host);
+                            break;
+                        }
+                        // Evacuation since arming (or an untagged
+                        // pointer): re-run the full guard and re-arm.
+                        if (tfmIsTagged(addr))
+                            recordAccess(addr);
+                        std::byte *host = inst.isWrite
+                                              ? rt.guardWrite(addr)
+                                              : rt.guardRead(addr);
+                        armed.epoch = rt.runtime().evictionEpoch();
+                        armed.host = host;
                         result.i =
                             reinterpret_cast<std::uint64_t>(host);
                         break;

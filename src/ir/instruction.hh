@@ -74,6 +74,7 @@ enum class Opcode : std::uint8_t
 
     // TrackFM pseudo-instructions (inserted by passes)
     Guard,       ///< result ptr = guard(op0); isWrite selects r/w path
+    GuardReval,  ///< result ptr = guard.reval(op0 arming guard, op1 ptr)
     ChunkBegin,  ///< result cursor = chunk.begin(op0 base); imm = elem size
     ChunkAccess, ///< result ptr = chunk.access(op0 cursor, op1 rawptr)
     Prefetch     ///< prefetch(op0 ptr); imm = depth
@@ -195,6 +196,9 @@ class Instruction : public Value
      * @{ */
     /// Set by GuardAnalysis on loads/stores that must be guarded.
     bool needsGuard = false;
+    /// Guard only: records the eviction epoch after executing so a
+    /// paired GuardReval can revalidate it (loop-invariant hoisting).
+    bool armsEpoch = false;
     /** @} */
 
     BasicBlock *parent() const { return _parent; }

@@ -333,6 +333,7 @@ class ModuleParser
         std::string op_name = mnemonic;
         bool is_write = false;
         if (op_name == "guard.r" || op_name == "guard.w" ||
+            op_name == "guard.reval.r" || op_name == "guard.reval.w" ||
             op_name == "chunk.access.r" || op_name == "chunk.access.w") {
             is_write = op_name.back() == 'w';
             op_name = op_name.substr(0, op_name.size() - 2);
@@ -485,6 +486,25 @@ class ModuleParser
           case Opcode::Guard:
             if (!addOperand(cursor, raw))
                 return false;
+            // Optional ", epoch" marks a hoisted (epoch-arming) guard.
+            if (cursor.eat(",")) {
+                if (cursor.ident() != "epoch") {
+                    error = "expected 'epoch' after ',' in guard";
+                    return false;
+                }
+                raw->armsEpoch = true;
+            }
+            setType(raw, Type::Ptr);
+            break;
+          case Opcode::GuardReval:
+            if (!addOperand(cursor, raw))
+                return false;
+            if (!cursor.eat(",")) {
+                error = "expected ',' in guard.reval";
+                return false;
+            }
+            if (!addOperand(cursor, raw))
+                return false;
             setType(raw, Type::Ptr);
             break;
           case Opcode::ChunkBegin:
@@ -613,6 +633,7 @@ class ModuleParser
             {"call", Opcode::Call},
             {"ret", Opcode::Ret},
             {"guard", Opcode::Guard},
+            {"guard.reval", Opcode::GuardReval},
             {"chunk.begin", Opcode::ChunkBegin},
             {"chunk.access", Opcode::ChunkAccess},
             {"prefetch", Opcode::Prefetch},

@@ -86,6 +86,8 @@ opcodeName(Opcode op)
         return "ret";
       case Opcode::Guard:
         return "guard";
+      case Opcode::GuardReval:
+        return "guard.reval";
       case Opcode::ChunkBegin:
         return "chunk.begin";
       case Opcode::ChunkAccess:
@@ -171,6 +173,13 @@ printInstruction(const Instruction &inst, std::ostream &os)
       case Opcode::Guard:
         os << (inst.isWrite ? ".w" : ".r") << " "
            << valueRef(inst.operand(0));
+        if (inst.armsEpoch)
+            os << ", epoch";
+        break;
+      case Opcode::GuardReval:
+        os << (inst.isWrite ? ".w" : ".r") << " "
+           << valueRef(inst.operand(0)) << ", "
+           << valueRef(inst.operand(1));
         break;
       case Opcode::ChunkBegin:
         os << " " << valueRef(inst.operand(0)) << ", " << inst.imm;

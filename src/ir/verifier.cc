@@ -79,6 +79,67 @@ verifyFunction(const Function &function)
                                               inst.op())));
                 }
             }
+            // Structural checks for the TrackFM pseudo-instructions: a
+            // malformed pass rewrite should fail here, not as an
+            // interpreter trap.
+            switch (inst.op()) {
+              case Opcode::Guard:
+                if (inst.numOperands() != 1) {
+                    return blockError(function, *block,
+                                      "guard must have 1 operand");
+                }
+                break;
+              case Opcode::GuardReval: {
+                if (inst.numOperands() != 2) {
+                    return blockError(function, *block,
+                                      "guard.reval must have 2 operands");
+                }
+                const Value *armer = inst.operand(0);
+                const auto *armer_inst =
+                    armer->isInstruction()
+                        ? static_cast<const Instruction *>(armer)
+                        : nullptr;
+                if (!armer_inst || armer_inst->op() != Opcode::Guard ||
+                    !armer_inst->armsEpoch) {
+                    return blockError(function, *block,
+                                      "guard.reval operand 0 must be an "
+                                      "epoch-arming guard");
+                }
+                break;
+              }
+              case Opcode::ChunkBegin:
+                if (inst.numOperands() != 1) {
+                    return blockError(function, *block,
+                                      "chunk.begin must have 1 operand");
+                }
+                break;
+              case Opcode::ChunkAccess: {
+                if (inst.numOperands() != 2) {
+                    return blockError(function, *block,
+                                      "chunk.access must have 2 operands");
+                }
+                const Value *cursor = inst.operand(0);
+                const auto *cursor_inst =
+                    cursor->isInstruction()
+                        ? static_cast<const Instruction *>(cursor)
+                        : nullptr;
+                if (!cursor_inst ||
+                    cursor_inst->op() != Opcode::ChunkBegin) {
+                    return blockError(function, *block,
+                                      "chunk.access operand 0 must be a "
+                                      "chunk.begin cursor");
+                }
+                break;
+              }
+              case Opcode::Prefetch:
+                if (inst.numOperands() != 1) {
+                    return blockError(function, *block,
+                                      "prefetch must have 1 operand");
+                }
+                break;
+              default:
+                break;
+            }
             if (inst.succ0 && !owned.count(inst.succ0)) {
                 return blockError(function, *block,
                                   "branch to foreign block");

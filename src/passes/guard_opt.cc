@@ -1,0 +1,630 @@
+#include "guard_opt.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/cfg.hh"
+#include "analysis/dominators.hh"
+#include "analysis/induction_variable.hh"
+#include "analysis/loop_info.hh"
+#include "hot_alloc_pruning.hh"
+#include "ir/builder.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+/**
+ * May this instruction enter the TrackFM runtime? Any runtime entry can
+ * evict frames, which stales every previously produced host pointer —
+ * the guard optimizations must not extend a host pointer's life across
+ * one. Calls are conservatively barriers (they can allocate, guard, or
+ * recurse).
+ */
+bool
+isGuardBarrier(const ir::Instruction &inst)
+{
+    switch (inst.op()) {
+      case ir::Opcode::Call:
+      case ir::Opcode::Guard:
+      case ir::Opcode::GuardReval:
+      case ir::Opcode::ChunkBegin:
+      case ir::Opcode::ChunkAccess:
+      case ir::Opcode::Prefetch:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Is every path from @p dominating (exclusive) to @p dominated
+ * (exclusive) free of runtime-entering instructions? Assumes
+ * @p dominating dominates @p dominated.
+ */
+bool
+barrierFreeBetween(const Cfg &cfg, const ir::Instruction *dominating,
+                   const ir::Instruction *dominated)
+{
+    const ir::BasicBlock *dom_block = dominating->parent();
+    const ir::BasicBlock *sub_block = dominated->parent();
+    const std::size_t dom_index = dom_block->indexOf(dominating);
+    const std::size_t sub_index = sub_block->indexOf(dominated);
+
+    if (dom_block == sub_block) {
+        if (dom_index >= sub_index)
+            return false;
+        for (std::size_t i = dom_index + 1; i < sub_index; i++) {
+            if (isGuardBarrier(*dom_block->instructions()[i]))
+                return false;
+        }
+        return true;
+    }
+
+    // Cross-block: the blocks on any dominating->dominated path are
+    // exactly (forward-reachable from dominating) intersect
+    // (backward-reachable from dominated). If either endpoint lands in
+    // that set, some path loops back through it — a later execution of
+    // the dominated guard would cross the barrier that is the
+    // dominating guard's own re-execution (or a full extra trip) — so
+    // bail out.
+    std::set<const ir::BasicBlock *> fwd;
+    std::vector<const ir::BasicBlock *> work;
+    for (const ir::BasicBlock *succ : dom_block->successors())
+        work.push_back(succ);
+    while (!work.empty()) {
+        const ir::BasicBlock *block = work.back();
+        work.pop_back();
+        if (!fwd.insert(block).second)
+            continue;
+        for (const ir::BasicBlock *succ : block->successors())
+            work.push_back(succ);
+    }
+    std::set<const ir::BasicBlock *> bwd;
+    for (const ir::BasicBlock *pred : cfg.predecessors(sub_block))
+        work.push_back(pred);
+    while (!work.empty()) {
+        const ir::BasicBlock *block = work.back();
+        work.pop_back();
+        if (!bwd.insert(block).second)
+            continue;
+        for (const ir::BasicBlock *pred : cfg.predecessors(block))
+            work.push_back(pred);
+    }
+
+    std::vector<const ir::BasicBlock *> mid;
+    for (const ir::BasicBlock *block : fwd) {
+        if (bwd.count(block))
+            mid.push_back(block);
+    }
+    if (fwd.count(dom_block) || bwd.count(sub_block))
+        return false; // cyclic path through an endpoint
+    if (std::find(mid.begin(), mid.end(), sub_block) != mid.end() ||
+        std::find(mid.begin(), mid.end(), dom_block) != mid.end()) {
+        return false;
+    }
+
+    // Suffix of the dominating block, every intermediate block, and the
+    // prefix of the dominated block must all be barrier-free.
+    for (std::size_t i = dom_index + 1;
+         i < dom_block->instructions().size(); i++) {
+        if (isGuardBarrier(*dom_block->instructions()[i]))
+            return false;
+    }
+    for (const ir::BasicBlock *block : mid) {
+        for (const auto &inst : block->instructions()) {
+            if (isGuardBarrier(*inst))
+                return false;
+        }
+    }
+    for (std::size_t i = 0; i < sub_index; i++) {
+        if (isGuardBarrier(*sub_block->instructions()[i]))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * May @p guard's uses be rewired to a host pointer produced at (or
+ * before) @p guard's position? True when every use either sits in
+ * @p guard's block before the next runtime barrier (the window in
+ * which any guard's host pointer is valid), or is the epoch-validated
+ * operand 0 of a guard.reval (safe anywhere: the reval re-checks the
+ * eviction epoch before reusing the host pointer).
+ */
+bool
+usesAreRewirable(const ir::Function &function,
+                 const ir::Instruction *guard)
+{
+    const ir::BasicBlock *home = guard->parent();
+    const std::size_t at = home->indexOf(guard);
+    std::size_t window_end = home->instructions().size();
+    for (std::size_t i = at + 1; i < home->instructions().size(); i++) {
+        if (isGuardBarrier(*home->instructions()[i])) {
+            window_end = i;
+            break;
+        }
+    }
+    for (const auto &block : function.basicBlocks()) {
+        for (std::size_t i = 0; i < block->instructions().size(); i++) {
+            const ir::Instruction *user = block->instructions()[i].get();
+            if (user == guard)
+                continue;
+            for (std::size_t oi = 0; oi < user->numOperands(); oi++) {
+                if (user->operand(oi) != guard)
+                    continue;
+                if (user->op() == ir::Opcode::GuardReval && oi == 0)
+                    continue;
+                if (block.get() != home || i <= at || i >= window_end)
+                    return false;
+            }
+            for (const auto &[incoming, pred] : user->incoming()) {
+                (void)pred;
+                if (incoming == guard)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Remove @p value's instruction when it is pure and unused. */
+void
+removeIfDead(ir::Function &function, ir::Value *value)
+{
+    if (!value || !value->isInstruction())
+        return;
+    auto *inst = static_cast<ir::Instruction *>(value);
+    if (!ir::isPure(inst->op()) || countUses(function, inst) != 0)
+        return;
+    ir::BasicBlock *block = inst->parent();
+    const std::size_t index = block->indexOf(inst);
+    if (index < block->instructions().size())
+        block->removeAt(index);
+}
+
+/**
+ * Resolve a guard pointer for coalescing: a direct allocation call
+ * with statically known size, or a constant-index gep off one.
+ * @return true with base/offset/alloc size on success.
+ */
+bool
+resolveConstantOffset(const ir::Value *ptr, ir::Value *&base,
+                      std::int64_t &offset, std::int64_t &alloc_bytes)
+{
+    auto allocationSize = [](const ir::Instruction *call,
+                             std::int64_t &bytes) {
+        if (call->op() != ir::Opcode::Call ||
+            !isAllocationCallee(call->callee)) {
+            return false;
+        }
+        if (call->numOperands() == 1 &&
+            call->operand(0)->isConstant()) {
+            bytes = static_cast<const ir::Constant *>(call->operand(0))
+                        ->intValue();
+            return bytes > 0;
+        }
+        if (call->numOperands() == 2 &&
+            call->operand(0)->isConstant() &&
+            call->operand(1)->isConstant()) {
+            const std::int64_t count =
+                static_cast<const ir::Constant *>(call->operand(0))
+                    ->intValue();
+            const std::int64_t size =
+                static_cast<const ir::Constant *>(call->operand(1))
+                    ->intValue();
+            bytes = count * size;
+            return count > 0 && size > 0;
+        }
+        return false;
+    };
+
+    if (!ptr->isInstruction())
+        return false;
+    const auto *inst = static_cast<const ir::Instruction *>(ptr);
+    if (allocationSize(inst, alloc_bytes)) {
+        base = const_cast<ir::Value *>(ptr);
+        offset = 0;
+        return true;
+    }
+    if (inst->op() != ir::Opcode::Gep ||
+        !inst->operand(0)->isInstruction() ||
+        !inst->operand(1)->isConstant()) {
+        return false;
+    }
+    const auto *maybe_alloc =
+        static_cast<const ir::Instruction *>(inst->operand(0));
+    if (!allocationSize(maybe_alloc, alloc_bytes))
+        return false;
+    const std::int64_t index =
+        static_cast<const ir::Constant *>(inst->operand(1))->intValue();
+    base = inst->operand(0);
+    offset = index * inst->imm;
+    return true;
+}
+
+} // anonymous namespace
+
+void
+GuardSiteReport::ensureIndexed(const ir::Module &module)
+{
+    if (indexed)
+        return;
+    indexed = true;
+    unattributed.function = "<unattributed>";
+    std::uint32_t ordinal = 0;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() != ir::Opcode::Call ||
+                    !isAllocationCallee(inst->callee)) {
+                    continue;
+                }
+                ordinals[inst.get()] = sites.size();
+                Site site;
+                site.function = function->name();
+                site.ordinal = ordinal++;
+                sites.push_back(site);
+            }
+        }
+    }
+}
+
+GuardSiteReport::Site &
+GuardSiteReport::siteFor(const ir::Value *ptr)
+{
+    const ir::Value *current = ptr;
+    for (int depth = 0; current && depth < 64; depth++) {
+        auto it = ordinals.find(current);
+        if (it != ordinals.end())
+            return sites[it->second];
+        if (!current->isInstruction())
+            break;
+        const auto *inst =
+            static_cast<const ir::Instruction *>(current);
+        switch (inst->op()) {
+          case ir::Opcode::Gep:
+          case ir::Opcode::Guard:
+            current = inst->operand(0);
+            break;
+          case ir::Opcode::GuardReval:
+          case ir::Opcode::ChunkAccess:
+            current = inst->operand(1);
+            break;
+          default:
+            current = nullptr;
+            break;
+        }
+    }
+    return unattributed;
+}
+
+std::uint64_t
+GuardSiteReport::totalInserted() const
+{
+    std::uint64_t total = unattributed.guardsInserted;
+    for (const Site &site : sites)
+        total += site.guardsInserted;
+    return total;
+}
+
+std::uint64_t
+GuardSiteReport::totalEliminated() const
+{
+    std::uint64_t total = unattributed.guardsEliminated;
+    for (const Site &site : sites)
+        total += site.guardsEliminated;
+    return total;
+}
+
+std::uint64_t
+GuardSiteReport::totalCoalesced() const
+{
+    std::uint64_t total = unattributed.guardsCoalesced;
+    for (const Site &site : sites)
+        total += site.guardsCoalesced;
+    return total;
+}
+
+std::uint64_t
+GuardSiteReport::totalHoisted() const
+{
+    std::uint64_t total = unattributed.guardsHoisted;
+    for (const Site &site : sites)
+        total += site.guardsHoisted;
+    return total;
+}
+
+StaticGuardCounts
+countStaticGuards(const ir::Module &module)
+{
+    StaticGuardCounts counts;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() == ir::Opcode::Guard)
+                    counts.guards++;
+                else if (inst->op() == ir::Opcode::GuardReval)
+                    counts.revals++;
+                else if (inst->op() == ir::Opcode::ChunkAccess)
+                    counts.chunkAccesses++;
+            }
+        }
+    }
+    return counts;
+}
+
+bool
+RedundantGuardElimPass::run(ir::Module &module)
+{
+    eliminated = 0;
+    if (report)
+        report->ensureIndexed(module);
+    bool changed = false;
+    for (const auto &function : module.allFunctions()) {
+        const Cfg cfg(*function);
+        const DominatorTree dom(*function, cfg);
+        // Surviving guards in RPO visit order: anything already pushed
+        // comes no later than the guard under inspection.
+        std::vector<ir::Instruction *> available;
+        for (ir::BasicBlock *block : cfg.reversePostOrder()) {
+            for (std::size_t i = 0; i < block->instructions().size();
+                 i++) {
+                ir::Instruction *inst = block->instructions()[i].get();
+                if (inst->op() != ir::Opcode::Guard)
+                    continue;
+                ir::Instruction *dominating = nullptr;
+                for (ir::Instruction *candidate : available) {
+                    if (candidate->operand(0) != inst->operand(0))
+                        continue;
+                    if (candidate->parent() != block &&
+                        !dom.dominates(candidate->parent(), block)) {
+                        continue;
+                    }
+                    if (!barrierFreeBetween(cfg, candidate, inst))
+                        continue;
+                    dominating = candidate;
+                    break;
+                }
+                if (!dominating || !usesAreRewirable(*function, inst)) {
+                    available.push_back(inst);
+                    continue;
+                }
+                // Write-compat: promote rather than lose the dirty bit.
+                dominating->isWrite =
+                    dominating->isWrite || inst->isWrite;
+                dominating->armsEpoch =
+                    dominating->armsEpoch || inst->armsEpoch;
+                if (report)
+                    report->siteFor(inst->operand(0)).guardsEliminated++;
+                replaceAllUses(*function, inst, dominating);
+                block->removeAt(i);
+                i--;
+                eliminated++;
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+GuardCoalescePass::run(ir::Module &module)
+{
+    coalesced = 0;
+    if (report)
+        report->ensureIndexed(module);
+    bool changed = false;
+
+    struct Member
+    {
+        ir::Instruction *guard = nullptr;
+        std::int64_t offset = 0;
+    };
+    struct Group
+    {
+        ir::Value *base = nullptr;
+        std::vector<Member> members;
+    };
+
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            // Gather runs of same-base constant-offset guards broken by
+            // any runtime barrier (including foreign guards).
+            std::vector<Group> groups;
+            Group current;
+            auto flush = [&]() {
+                if (current.members.size() >= 2)
+                    groups.push_back(current);
+                current = Group{};
+            };
+            for (const auto &owned : block->instructions()) {
+                ir::Instruction *inst = owned.get();
+                if (inst->op() == ir::Opcode::Guard) {
+                    ir::Value *base = nullptr;
+                    std::int64_t offset = 0;
+                    std::int64_t alloc_bytes = 0;
+                    const std::int64_t limit = std::min<std::int64_t>(
+                        static_cast<std::int64_t>(objectSizeBytes),
+                        resolveConstantOffset(inst->operand(0), base,
+                                              offset, alloc_bytes)
+                            ? alloc_bytes
+                            : 0);
+                    // Widest access is 8 bytes; the whole access must
+                    // stay inside both the allocation and its first
+                    // AIFM object (RegionAllocator alignment rules).
+                    const bool member = base != nullptr && offset >= 0 &&
+                                        offset + 8 <= limit &&
+                                        !inst->armsEpoch;
+                    if (member && current.base == base) {
+                        current.members.push_back(Member{inst, offset});
+                    } else {
+                        flush();
+                        if (member) {
+                            current.base = base;
+                            current.members.push_back(
+                                Member{inst, offset});
+                        }
+                    }
+                    continue;
+                }
+                if (isGuardBarrier(*inst))
+                    flush();
+            }
+            flush();
+
+            for (Group &group : groups) {
+                bool rewirable = true;
+                for (const Member &member : group.members) {
+                    if (!usesAreRewirable(*function, member.guard)) {
+                        rewirable = false;
+                        break;
+                    }
+                }
+                if (!rewirable)
+                    continue;
+
+                bool any_write = false;
+                for (const Member &member : group.members)
+                    any_write = any_write || member.guard->isWrite;
+
+                ir::Instruction *first = group.members.front().guard;
+                auto merged = ir::IRBuilder::make(
+                    ir::Opcode::Guard, ir::Type::Ptr,
+                    first->name() + ".co");
+                merged->isWrite = any_write;
+                merged->addOperand(group.base);
+                ir::Instruction *merged_placed = block->insertAt(
+                    block->indexOf(first), std::move(merged));
+
+                std::size_t insert_at =
+                    block->indexOf(merged_placed) + 1;
+                for (const Member &member : group.members) {
+                    ir::Value *replacement = merged_placed;
+                    if (member.offset != 0) {
+                        auto off = ir::IRBuilder::make(
+                            ir::Opcode::Gep, ir::Type::Ptr,
+                            member.guard->name() + ".off");
+                        off->addOperand(merged_placed);
+                        off->addOperand(function->makeConstant(
+                            ir::Type::I64, member.offset));
+                        off->imm = 1;
+                        replacement =
+                            block->insertAt(insert_at++, std::move(off));
+                    }
+                    ir::Value *old_ptr = member.guard->operand(0);
+                    if (report) {
+                        report->siteFor(old_ptr).guardsCoalesced++;
+                    }
+                    replaceAllUses(*function, member.guard, replacement);
+                    block->removeAt(block->indexOf(member.guard));
+                    removeIfDead(*function, old_ptr);
+                    coalesced++;
+                    changed = true;
+                }
+                // The merged guard replaces one member's work.
+                coalesced--;
+                if (report)
+                    report->siteFor(group.base).guardsCoalesced--;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+GuardHoistPass::run(ir::Module &module)
+{
+    hoisted = 0;
+    if (report)
+        report->ensureIndexed(module);
+    bool changed = false;
+    for (const auto &function : module.allFunctions()) {
+        const Cfg cfg(*function);
+        const DominatorTree dom(*function, cfg);
+        const LoopInfo loop_info(*function, cfg, dom);
+
+        // Innermost first; hoisted guards arm the epoch and are not
+        // re-hoisted to outer preheaders (single-level hoisting).
+        std::vector<Loop *> order;
+        for (const auto &loop : loop_info.loops())
+            order.push_back(loop.get());
+        std::sort(order.begin(), order.end(),
+                  [](const Loop *a, const Loop *b) {
+                      return a->depth > b->depth;
+                  });
+
+        for (Loop *loop : order) {
+            if (!loop->preheader)
+                continue;
+            std::vector<ir::BasicBlock *> exiting;
+            for (ir::BasicBlock *block : loop->blocks) {
+                for (ir::BasicBlock *succ : block->successors()) {
+                    if (!loop->contains(succ)) {
+                        exiting.push_back(block);
+                        break;
+                    }
+                }
+            }
+            if (exiting.empty())
+                continue; // no complete trips to piggyback on
+            const InductionVariables ivs(*loop, *function);
+
+            for (ir::BasicBlock *block : loop->blocks) {
+                bool dominates_exits = true;
+                for (ir::BasicBlock *exit_block : exiting) {
+                    if (!dom.dominates(block, exit_block)) {
+                        dominates_exits = false;
+                        break;
+                    }
+                }
+                if (!dominates_exits)
+                    continue;
+                for (std::size_t i = 0;
+                     i < block->instructions().size(); i++) {
+                    ir::Instruction *inst =
+                        block->instructions()[i].get();
+                    if (inst->op() != ir::Opcode::Guard ||
+                        inst->armsEpoch) {
+                        continue;
+                    }
+                    ir::Value *ptr = inst->operand(0);
+                    if (!ivs.isLoopInvariant(ptr))
+                        continue;
+
+                    auto armer = ir::IRBuilder::make(
+                        ir::Opcode::Guard, ir::Type::Ptr,
+                        inst->name() + ".h");
+                    armer->isWrite = inst->isWrite;
+                    armer->armsEpoch = true;
+                    armer->addOperand(ptr);
+                    ir::BasicBlock *preheader = loop->preheader;
+                    ir::Instruction *armer_placed = preheader->insertAt(
+                        preheader->indexOf(preheader->terminator()),
+                        std::move(armer));
+
+                    auto reval = ir::IRBuilder::make(
+                        ir::Opcode::GuardReval, ir::Type::Ptr,
+                        inst->name() + ".rv");
+                    reval->isWrite = inst->isWrite;
+                    reval->addOperand(armer_placed);
+                    reval->addOperand(ptr);
+                    ir::Instruction *reval_placed =
+                        block->insertAt(i, std::move(reval));
+
+                    if (report)
+                        report->siteFor(ptr).guardsHoisted++;
+                    replaceAllUses(*function, inst, reval_placed);
+                    block->removeAt(block->indexOf(inst));
+                    hoisted++;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace tfm

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The guard optimization suite (section 4 of the paper): the compiler
+ * half of TrackFM's performance story. NOELLE-style dominator, loop,
+ * and provenance facts prove most injected guards redundant:
+ *
+ *  - RedundantGuardElimPass: a guard on SSA pointer p dominated by an
+ *    earlier guard on p, with no runtime-entering instruction between
+ *    them, is deleted and its uses rewired to the dominating guard.
+ *  - GuardCoalescePass: consecutive guards on base+c1, base+c2 with
+ *    constant offsets provably inside one AIFM object collapse into a
+ *    single guard on base plus cheap pointer arithmetic.
+ *  - GuardHoistPass: a guard whose pointer is loop-invariant moves to
+ *    the preheader as an epoch-arming guard; its in-loop position
+ *    becomes a guard.reval that re-checks the runtime eviction epoch
+ *    (and re-runs the full guard only after an evacuation).
+ *
+ * Legality rules are documented in DESIGN.md section 4f.
+ */
+
+#ifndef TRACKFM_PASSES_GUARD_OPT_HH
+#define TRACKFM_PASSES_GUARD_OPT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pass.hh"
+
+namespace tfm
+{
+
+/**
+ * Static per-allocation-site guard accounting, keyed by the same
+ * module-order allocation-call ordinals the interpreter's
+ * AllocSiteProfile uses, so tfmc can join the two tables.
+ */
+struct GuardSiteReport
+{
+    struct Site
+    {
+        std::string function;    ///< function containing the allocation
+        std::uint32_t ordinal = 0;
+        std::uint64_t guardsInserted = 0;
+        std::uint64_t guardsEliminated = 0; ///< removed as dominated
+        std::uint64_t guardsCoalesced = 0;  ///< removed by same-object merge
+        std::uint64_t guardsHoisted = 0;    ///< converted to guard.reval
+    };
+
+    std::vector<Site> sites;
+    /// Guards whose pointer chain does not reach one allocation call.
+    Site unattributed;
+
+    /** Build the ordinal table on first use (instruction pointers are
+     *  stable across the pipeline, so one walk suffices). */
+    void ensureIndexed(const ir::Module &module);
+
+    /** The site a pointer value belongs to (walks gep/guard chains). */
+    Site &siteFor(const ir::Value *ptr);
+
+    std::uint64_t totalInserted() const;
+    std::uint64_t totalEliminated() const;
+    std::uint64_t totalCoalesced() const;
+    std::uint64_t totalHoisted() const;
+
+  private:
+    bool indexed = false;
+    std::map<const ir::Value *, std::size_t> ordinals;
+};
+
+/** Counts of static guard instructions per kind, for compile reports. */
+struct StaticGuardCounts
+{
+    std::uint64_t guards = 0;
+    std::uint64_t revals = 0;
+    std::uint64_t chunkAccesses = 0;
+};
+
+/** Count guard-family instructions in a module. */
+StaticGuardCounts countStaticGuards(const ir::Module &module);
+
+/**
+ * Dominance-based redundant-guard elimination.
+ *
+ * The write-compatibility rule: rewiring a write guard onto a read
+ * dominator would lose the dirty bit, so the dominator is instead
+ * promoted to a write guard (a spurious dirty bit writes back
+ * identical bytes — output-identical, never lossy).
+ */
+class RedundantGuardElimPass : public Pass
+{
+  public:
+    explicit RedundantGuardElimPass(GuardSiteReport *site_report = nullptr)
+        : report(site_report)
+    {}
+
+    std::string name() const override { return "guard-elim"; }
+    bool run(ir::Module &module) override;
+
+    std::uint64_t guardsEliminated() const { return eliminated; }
+
+  private:
+    GuardSiteReport *report;
+    std::uint64_t eliminated = 0;
+};
+
+/**
+ * Same-object guard coalescing: guards on constant offsets from one
+ * allocation, all provably within min(allocation size, object size),
+ * merge into one guard on the base. Relies on the RegionAllocator
+ * invariants (small allocations never straddle an object boundary;
+ * larger ones are object-aligned).
+ */
+class GuardCoalescePass : public Pass
+{
+  public:
+    explicit GuardCoalescePass(std::uint32_t object_size_bytes,
+                               GuardSiteReport *site_report = nullptr)
+        : objectSizeBytes(object_size_bytes), report(site_report)
+    {}
+
+    std::string name() const override { return "guard-coalesce"; }
+    bool run(ir::Module &module) override;
+
+    /** Guards removed by merging (k members leave 1 guard: k-1 each). */
+    std::uint64_t guardsCoalesced() const { return coalesced; }
+
+  private:
+    std::uint32_t objectSizeBytes;
+    GuardSiteReport *report;
+    std::uint64_t coalesced = 0;
+};
+
+/**
+ * Loop-invariant guard hoisting with epoch revalidation.
+ *
+ * Only guards whose block dominates every exiting block are hoisted
+ * (they execute on every completed trip, so the preheader copy is
+ * never speculative). Correctness under mid-loop evacuation comes from
+ * the guard.reval epoch check, not from any static proof.
+ */
+class GuardHoistPass : public Pass
+{
+  public:
+    explicit GuardHoistPass(GuardSiteReport *site_report = nullptr)
+        : report(site_report)
+    {}
+
+    std::string name() const override { return "guard-hoist"; }
+    bool run(ir::Module &module) override;
+
+    std::uint64_t guardsHoisted() const { return hoisted; }
+
+  private:
+    GuardSiteReport *report;
+    std::uint64_t hoisted = 0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_PASSES_GUARD_OPT_HH

@@ -22,6 +22,8 @@ PassManager::run(ir::Module &module) const
                 "after pass '" + pass->name() + "': " + error;
             break;
         }
+        if (observer)
+            observer(pass->name(), module);
     }
     report.instructionsAfter = module.instructionCount();
     return report;

@@ -7,6 +7,7 @@
 #ifndef TRACKFM_PASSES_PASS_HH
 #define TRACKFM_PASSES_PASS_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,8 +65,22 @@ class PassManager
 
     PipelineReport run(ir::Module &module) const;
 
+    /**
+     * Observe the module after each pass runs (and verifies). Used by
+     * tfmc's --print-after to dump intermediate IR; receives the pass
+     * name and the module in its post-pass state.
+     */
+    void
+    setObserver(
+        std::function<void(const std::string &, const ir::Module &)>
+            callback)
+    {
+        observer = std::move(callback);
+    }
+
   private:
     std::vector<std::unique_ptr<Pass>> passes;
+    std::function<void(const std::string &, const ir::Module &)> observer;
 };
 
 /** Replace every use of @p from with @p to across a function. */

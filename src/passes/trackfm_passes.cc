@@ -1,10 +1,13 @@
 #include "trackfm_passes.hh"
 
+#include <set>
+
 #include "analysis/cfg.hh"
 #include "analysis/dominators.hh"
 #include "analysis/heap_provenance.hh"
 #include "analysis/induction_variable.hh"
 #include "analysis/loop_info.hh"
+#include "guard_opt.hh"
 #include "ir/builder.hh"
 #include "tfm/cost_model.hh"
 
@@ -60,6 +63,8 @@ bool
 GuardPass::run(ir::Module &module)
 {
     inserted = 0;
+    if (report)
+        report->ensureIndexed(module);
     for (const auto &function : module.allFunctions()) {
         HeapProvenance provenance(*function);
         for (const auto &block : function->basicBlocks()) {
@@ -95,6 +100,8 @@ GuardPass::run(ir::Module &module)
                 i++; // skip over the guard we just inserted
                 inst->setOperand(ptr_index, placed);
                 inst->needsGuard = true;
+                if (report)
+                    report->siteFor(ptr).guardsInserted++;
                 inserted++;
             }
         }
@@ -118,6 +125,11 @@ LoopChunkPass::run(ir::Module &module)
         const LoopInfo loop_info(*function, cfg, dom);
         std::uint64_t cursor_id = 0;
 
+        // After redundant-guard elimination one guard may feed several
+        // strided memory ops, so the same guard can appear in multiple
+        // StridedAccess entries; replace it only once.
+        std::set<const ir::Instruction *> replaced_guards;
+
         for (const auto &loop : loop_info.loops()) {
             if (!loop->preheader)
                 continue; // no place to host the cursor
@@ -131,6 +143,8 @@ LoopChunkPass::run(ir::Module &module)
                 }
                 if (!access.guard)
                     continue; // unguarded (stack) access
+                if (replaced_guards.count(access.guard))
+                    continue; // already chunked via another access
                 candidates++;
 
                 const std::uint64_t density = ChunkCostModel::density(
@@ -166,6 +180,7 @@ LoopChunkPass::run(ir::Module &module)
                 replaceAllUses(*function, access.guard, access_placed);
                 guard_block->removeAt(
                     guard_block->indexOf(access.guard));
+                replaced_guards.insert(access.guard);
 
                 chunked++;
                 changed = true;
@@ -211,8 +226,22 @@ addTrackFmPipeline(PassManager &manager, const TrackFmPassOptions &options)
 {
     manager.emplace<RuntimeInitPass>();
     manager.emplace<LibcTransformPass>();
-    manager.emplace<GuardPass>();
+    manager.emplace<GuardPass>(options.siteReport);
+    if (options.optimizeGuards) {
+        // Elimination first so coalescing and chunking see a deduped
+        // guard set; hoisting after chunking so chunked loops (whose
+        // guards became chunk.access) are left alone; a second
+        // elimination round dedups epoch-arming guards that several
+        // inner loops hoisted into a shared preheader.
+        manager.emplace<RedundantGuardElimPass>(options.siteReport);
+        manager.emplace<GuardCoalescePass>(options.objectSizeBytes,
+                                           options.siteReport);
+    }
     manager.emplace<LoopChunkPass>(options);
+    if (options.optimizeGuards) {
+        manager.emplace<GuardHoistPass>(options.siteReport);
+        manager.emplace<RedundantGuardElimPass>(options.siteReport);
+    }
     manager.emplace<PrefetchInjectionPass>(options);
 }
 
@@ -228,6 +257,11 @@ estimateLoweredInstructions(const ir::Module &module)
                     // Fig. 4b: custody check + table lookup + fast path,
                     // plus the out-of-line slow-path call site.
                     total += 14;
+                    break;
+                  case ir::Opcode::GuardReval:
+                    // Epoch load + compare + branch, plus the out-of-
+                    // line re-guard call site for the miss path.
+                    total += 4;
                     break;
                   case ir::Opcode::ChunkBegin:
                     total += 10; // tfm_init + tfm_rw setup

@@ -17,6 +17,8 @@
 namespace tfm
 {
 
+struct GuardSiteReport;
+
 /** Compile-time options shared by the TrackFM passes. */
 struct TrackFmPassOptions
 {
@@ -27,6 +29,12 @@ struct TrackFmPassOptions
     /// Inject compiler-directed prefetches alongside chunked loops.
     bool injectPrefetch = true;
     std::uint32_t prefetchDepth = 8;
+    /// Run the guard optimization suite (elimination, coalescing,
+    /// hoisting) after guard insertion.
+    bool optimizeGuards = true;
+    /// Optional per-allocation-site guard accounting, filled by the
+    /// guard passes (owned by the caller; must outlive the pipeline).
+    GuardSiteReport *siteReport = nullptr;
     /// Guard-cost constants for the cost model.
     CostParams costs;
 };
@@ -58,6 +66,10 @@ class LibcTransformPass : public Pass
 class GuardPass : public Pass
 {
   public:
+    explicit GuardPass(GuardSiteReport *site_report = nullptr)
+        : report(site_report)
+    {}
+
     std::string name() const override { return "pointer-guards"; }
     bool run(ir::Module &module) override;
 
@@ -65,6 +77,7 @@ class GuardPass : public Pass
     std::uint64_t guardsInserted() const { return inserted; }
 
   private:
+    GuardSiteReport *report;
     std::uint64_t inserted = 0;
 };
 

@@ -120,6 +120,8 @@ class StridePrefetcher
             const std::int64_t dist = std::llabs(
                 static_cast<std::int64_t>(obj_id) -
                 static_cast<std::int64_t>(t.lastObj));
+            if (dist == 0)
+                return &t; // exact match: no closer stream exists
             if (dist <= matchWindow && dist < best_dist) {
                 best = &t;
                 best_dist = dist;

@@ -34,7 +34,8 @@ CostParams::dump(std::ostream &os) const
        << " perMessageCpu=" << perMessageCpuCycles
        << " perPayloadCpu=" << perPayloadCpuCycles << "\n"
        << "  guardCacheHit r/w=" << guardCacheHitReadCycles << "/"
-       << guardCacheHitWriteCycles << "\n"
+       << guardCacheHitWriteCycles
+       << " revalidate=" << revalidateCycles << "\n"
        << "  remoteFetchSw=" << remoteFetchSwCycles
        << " evacuateObject=" << evacuateObjectCycles
        << " alloc=" << allocCycles

@@ -128,6 +128,10 @@ struct CostParams
      * @{ */
     std::uint64_t guardCacheHitReadCycles = 8;
     std::uint64_t guardCacheHitWriteCycles = 8;
+    /// Epoch revalidation of a hoisted guard: load the global eviction
+    /// epoch, compare with the armed value, branch — cheaper than even
+    /// the inline-cache hit because no address math or meta check runs.
+    std::uint64_t revalidateCycles = 3;
     /** @} */
 
     /** @name Runtime bookkeeping

@@ -33,6 +33,12 @@ struct GuardStats
     std::uint64_t localityGuards = 0;   ///< chunked-loop object crossings
     std::uint64_t localityRemotes = 0;  ///< ... that triggered a remote fetch
     std::uint64_t prefetchCalls = 0;    ///< compiler-directed prefetches
+    /// Epoch revalidations of a hoisted guard (not counted in
+    /// guardTotal: a hit is exactly the full-guard work the optimizer
+    /// avoided).
+    std::uint64_t revalidations = 0;
+    std::uint64_t revalidationHits = 0;   ///< epoch unchanged; reuse host ptr
+    std::uint64_t revalidationMisses = 0; ///< evacuation since arming; re-guard
 
     std::uint64_t
     fastTotal() const
@@ -69,6 +75,9 @@ struct GuardStats
         set.add("guard.locality_guards", localityGuards);
         set.add("guard.locality_remotes", localityRemotes);
         set.add("guard.prefetch_calls", prefetchCalls);
+        set.add("guard.revalidations", revalidations);
+        set.add("guard.revalidation_hits", revalidationHits);
+        set.add("guard.revalidation_misses", revalidationMisses);
     }
 };
 

@@ -29,6 +29,8 @@ guardPathName(GuardPath path)
         return "locality-local";
       case GuardPath::LocalityRemote:
         return "locality-remote";
+      case GuardPath::Revalidate:
+        return "revalidate";
     }
     return "?";
 }

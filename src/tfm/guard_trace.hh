@@ -30,7 +30,8 @@ enum class GuardPath : std::uint8_t
     SlowRemoteRead,  ///< runtime call; blocking remote fetch
     SlowRemoteWrite,
     LocalityLocal,   ///< chunk locality guard; object local
-    LocalityRemote   ///< chunk locality guard; remote fetch
+    LocalityRemote,  ///< chunk locality guard; remote fetch
+    Revalidate       ///< hoisted-guard epoch revalidation hit
 };
 
 /** Printable name for a path. */

@@ -105,6 +105,32 @@ class TfmRuntime
     std::byte *guardWrite(std::uint64_t addr);
 
     /**
+     * Epoch revalidation of a hoisted guard (guard.reval fast path):
+     * compare @p armed_epoch against the runtime's eviction epoch, with
+     * no state-table lookup. An unchanged epoch proves every
+     * object->frame translation the arming guard produced is still
+     * live — and, for writes, that the dirty bit it set has not been
+     * consumed by a writeback (clearing dirty implies an unmap, which
+     * bumps the epoch). On a miss the caller must re-run the full
+     * guard.
+     *
+     * @return true when the armed host pointer may be reused.
+     */
+    bool
+    revalidate(std::uint64_t addr, std::uint64_t armed_epoch)
+    {
+        rt.clock().advance(costs().revalidateCycles);
+        gstats.revalidations++;
+        if (armed_epoch == rt.evictionEpoch()) {
+            gstats.revalidationHits++;
+            recordGuard(addr, GuardPath::Revalidate);
+            return true;
+        }
+        gstats.revalidationMisses++;
+        return false;
+    }
+
+    /**
      * Guarded multi-byte read. Accesses that straddle object boundaries
      * take one guard per object touched, since each constituent object
      * can independently be local or remote (the "superposition" the

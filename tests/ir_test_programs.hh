@@ -116,6 +116,101 @@ entry:
 }
 )";
 
+/**
+ * A heap accumulator updated through a loop-invariant pointer: guard
+ * elimination merges the load/store guard pair and hoisting converts
+ * the survivor into a preheader guard + per-iteration guard.reval.
+ * Expected result: 499500.
+ */
+inline const char *const invariantAccumulatorProgram = R"(
+func @main() -> i64 {
+entry:
+  %a = call ptr @malloc(8)
+  store 0, %a
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i2, loop ]
+  %v = load i64, %a
+  %v2 = add %v, %i
+  store %v2, %a
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 1000
+  condbr %c, loop, exit
+exit:
+  %r = load i64, %a
+  ret %r
+}
+)";
+
+/**
+ * Three i64 fields of one 32-byte heap object written then re-read:
+ * all six guards coalesce onto the allocation base. Expected result:
+ * 66.
+ */
+inline const char *const structFieldsProgram = R"(
+func @main() -> i64 {
+entry:
+  %s = call ptr @malloc(32)
+  store 11, %s
+  %f1 = gep %s, 1, 8
+  store 22, %f1
+  %f2 = gep %s, 2, 8
+  store 33, %f2
+  %v0 = load i64, %s
+  %v1 = load i64, %f1
+  %v2 = load i64, %f2
+  %t = add %v0, %v1
+  %r = add %t, %v2
+  ret %r
+}
+)";
+
+/**
+ * The invariant-accumulator loop with a forced full evacuation every
+ * iteration: each guard.reval of the hoisted guard misses (the epoch
+ * advanced) and must re-run the full guard. Expected result: 4950.
+ */
+inline const char *const evacuationLoopProgram = R"(
+func @main() -> i64 {
+entry:
+  %a = call ptr @malloc(8)
+  store 0, %a
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i2, loop ]
+  %v = load i64, %a
+  %v2 = add %v, %i
+  store %v2, %a
+  call void @tfm_evacuate_all()
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 100
+  condbr %c, loop, exit
+exit:
+  %r = load i64, %a
+  ret %r
+}
+)";
+
+/**
+ * Guards on two different objects interleaved in one block: the foreign
+ * guards act as barriers, so neither elimination nor coalescing may
+ * merge across them, while the final re-reads still collapse onto their
+ * own bases. Expected result: 30.
+ */
+inline const char *const twoObjectProgram = R"(
+func @main() -> i64 {
+entry:
+  %x = call ptr @malloc(16)
+  %y = call ptr @malloc(16)
+  store 10, %x
+  store 20, %y
+  %vx = load i64, %x
+  %vy = load i64, %y
+  %r = add %vx, %vy
+  ret %r
+}
+)";
+
 } // namespace tfm::testprogs
 
 #endif // TRACKFM_TESTS_IR_TEST_PROGRAMS_HH

@@ -40,8 +40,8 @@ TEST(System, CompileReportsPipelineStages)
     CompileResult compiled = system.compile(testprogs::sumProgram);
     ASSERT_TRUE(compiled.ok());
     const PipelineReport &report = compiled.program->pipelineReport();
-    // O1 (4 passes) + TrackFM (5 passes).
-    EXPECT_EQ(report.entries.size(), 9u);
+    // O1 (4 passes) + TrackFM (5 base passes + 4 guard-opt stages).
+    EXPECT_EQ(report.entries.size(), 13u);
     EXPECT_TRUE(report.ok());
 }
 
@@ -52,7 +52,7 @@ TEST(System, PreOptimizeCanBeDisabled)
     System system(config);
     CompileResult compiled = system.compile(testprogs::sumProgram);
     ASSERT_TRUE(compiled.ok());
-    EXPECT_EQ(compiled.program->pipelineReport().entries.size(), 5u);
+    EXPECT_EQ(compiled.program->pipelineReport().entries.size(), 9u);
     const RunResult result = system.run(*compiled.program);
     EXPECT_EQ(result.returnValue, 499500);
 }

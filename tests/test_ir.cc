@@ -144,6 +144,88 @@ entry:
     EXPECT_EQ(moduleToString(*again.module), printed);
 }
 
+TEST(IrParser, ParsesEpochGuardAndReval)
+{
+    const char *text = R"(
+func @f(%p: ptr) -> i64 {
+entry:
+  %g = guard.w %p, epoch
+  store 1, %g
+  %h = guard.reval.w %g, %p
+  store 2, %h
+  %r = guard.reval.r %g, %p
+  %v = load i64, %r
+  ret %v
+}
+)";
+    auto result = parseOrDie(text);
+    const Function *fn = result.module->findFunction("f");
+    const auto &insts = fn->entry()->instructions();
+    EXPECT_EQ(insts[0]->op(), Opcode::Guard);
+    EXPECT_TRUE(insts[0]->armsEpoch);
+    EXPECT_TRUE(insts[0]->isWrite);
+    EXPECT_EQ(insts[2]->op(), Opcode::GuardReval);
+    EXPECT_TRUE(insts[2]->isWrite);
+    EXPECT_EQ(insts[2]->operand(0), insts[0].get());
+    EXPECT_EQ(insts[4]->op(), Opcode::GuardReval);
+    EXPECT_FALSE(insts[4]->isWrite);
+    EXPECT_EQ(verifyModule(*result.module), "");
+    // Round trip is a printing fixpoint and preserves the epoch flag.
+    const std::string printed = moduleToString(*result.module);
+    EXPECT_NE(printed.find("epoch"), std::string::npos);
+    auto again = parseModule(printed);
+    ASSERT_TRUE(again.ok()) << again.error;
+    EXPECT_EQ(moduleToString(*again.module), printed);
+}
+
+TEST(IrVerifier, RejectsRevalOfNonArmingGuard)
+{
+    // The arming guard lacks the epoch flag.
+    const char *text = R"(
+func @f(%p: ptr) -> i64 {
+entry:
+  %g = guard.r %p
+  %h = guard.reval.r %g, %p
+  %v = load i64, %h
+  ret %v
+}
+)";
+    auto result = parseOrDie(text);
+    EXPECT_NE(
+        verifyModule(*result.module).find("epoch-arming"),
+        std::string::npos);
+}
+
+TEST(IrVerifier, RejectsRevalOfNonGuard)
+{
+    const char *text = R"(
+func @f(%p: ptr) -> i64 {
+entry:
+  %x = add 1, 2
+  %h = guard.reval.r %x, %p
+  %v = load i64, %h
+  ret %v
+}
+)";
+    auto result = parseOrDie(text);
+    EXPECT_NE(
+        verifyModule(*result.module).find("epoch-arming"),
+        std::string::npos);
+}
+
+TEST(IrVerifier, RejectsWrongGuardOperandCounts)
+{
+    Module module;
+    Function *fn = module.addFunction("f", Type::Void);
+    fn->addBlock("entry");
+    IRBuilder builder(fn);
+    // A guard with no pointer operand.
+    auto bad = IRBuilder::make(Opcode::Guard, Type::Ptr, "g");
+    fn->entry()->append(std::move(bad));
+    builder.ret();
+    EXPECT_NE(verifyModule(module).find("guard"), std::string::npos);
+}
+
 TEST(IrVerifier, CatchesMissingTerminator)
 {
     Module module;
@@ -185,7 +267,11 @@ TEST(IrVerifier, AcceptsAllTestPrograms)
 {
     for (const char *program :
          {testprogs::sumProgram, testprogs::sumI32Program,
-          testprogs::stackProgram, testprogs::o1Program}) {
+          testprogs::stackProgram, testprogs::o1Program,
+          testprogs::invariantAccumulatorProgram,
+          testprogs::structFieldsProgram,
+          testprogs::evacuationLoopProgram,
+          testprogs::twoObjectProgram}) {
         auto result = parseOrDie(program);
         EXPECT_EQ(verifyModule(*result.module), "");
     }

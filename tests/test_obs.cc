@@ -408,13 +408,13 @@ TEST(GuardPathNames, EveryPathHasAName)
         GuardPath::FastWrite,      GuardPath::SlowLocalRead,
         GuardPath::SlowLocalWrite, GuardPath::SlowRemoteRead,
         GuardPath::SlowRemoteWrite, GuardPath::LocalityLocal,
-        GuardPath::LocalityRemote,
+        GuardPath::LocalityRemote,  GuardPath::Revalidate,
     };
     std::map<std::string, int> seen;
     for (const GuardPath p : paths)
         seen[guardPathName(p)]++;
-    // Nine paths, nine distinct non-placeholder names.
-    EXPECT_EQ(seen.size(), 9u);
+    // Ten paths, ten distinct non-placeholder names.
+    EXPECT_EQ(seen.size(), 10u);
     EXPECT_EQ(seen.count("?"), 0u);
     EXPECT_EQ(seen["custody-reject"], 1);
     EXPECT_EQ(seen["fast-read"], 1);
@@ -425,6 +425,7 @@ TEST(GuardPathNames, EveryPathHasAName)
     EXPECT_EQ(seen["slow-remote-write"], 1);
     EXPECT_EQ(seen["locality-local"], 1);
     EXPECT_EQ(seen["locality-remote"], 1);
+    EXPECT_EQ(seen["revalidate"], 1);
 }
 
 } // anonymous namespace

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/system.hh"
 #include "ir/parser.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
 #include "ir_test_programs.hh"
+#include "passes/guard_opt.hh"
 #include "passes/o1_passes.hh"
 #include "passes/trackfm_passes.hh"
 
@@ -190,7 +192,8 @@ TEST(Pipeline, FullPipelineVerifiesAndGrowsCode)
     addTrackFmPipeline(manager, options);
     const PipelineReport report = manager.run(*module);
     EXPECT_TRUE(report.ok()) << report.verifierError;
-    EXPECT_EQ(report.entries.size(), 5u);
+    // 5 base stages + elim, coalesce, hoist, and the second elim round.
+    EXPECT_EQ(report.entries.size(), 9u);
     const std::uint64_t after = estimateLoweredInstructions(*module);
     // Section 4.6: transformed code is larger (≈2.4x on average for
     // guard-dense code).
@@ -346,6 +349,275 @@ TEST(Pipeline, ReportTracksInstructionCounts)
     const PipelineReport report = manager.run(*module);
     EXPECT_TRUE(report.ok());
     EXPECT_GT(report.instructionsAfter, report.instructionsBefore);
+}
+
+// ---------------------------------------------------------------------
+// Guard optimization suite
+// ---------------------------------------------------------------------
+
+TEST(RedundantGuardElim, MergesSamePointerPairAndPromotesToWrite)
+{
+    auto module = parseOrDie(testprogs::invariantAccumulatorProgram);
+    GuardPass guards;
+    guards.run(*module);
+    ASSERT_EQ(guards.guardsInserted(), 4u);
+
+    RedundantGuardElimPass elim;
+    EXPECT_TRUE(elim.run(*module));
+    // Only the in-loop load/store pair merges; the entry->loop and
+    // loop->exit candidates sit across loop back edges (any path from
+    // the dominator re-enters the runtime) and must survive.
+    EXPECT_EQ(elim.guardsEliminated(), 1u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 3u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+
+    // The surviving in-loop guard absorbed the store's dirty intent.
+    bool found_write_guard_feeding_load = false;
+    for (const auto &block :
+         module->findFunction("main")->basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Guard && inst->isWrite &&
+                block->name() == "loop") {
+                found_write_guard_feeding_load = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_write_guard_feeding_load);
+}
+
+TEST(RedundantGuardElim, ForeignGuardIsABarrier)
+{
+    auto module = parseOrDie(testprogs::twoObjectProgram);
+    GuardPass guards;
+    guards.run(*module);
+    ASSERT_EQ(guards.guardsInserted(), 4u);
+
+    RedundantGuardElimPass elim;
+    // store %x / load %x are separated by the guard on %y (a runtime
+    // entry that can evict %x's frame), and vice versa: nothing merges.
+    EXPECT_FALSE(elim.run(*module));
+    EXPECT_EQ(elim.guardsEliminated(), 0u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 4u);
+}
+
+TEST(GuardCoalesce, CollapsesStructFieldsOntoBase)
+{
+    auto module = parseOrDie(testprogs::structFieldsProgram);
+    GuardPass guards;
+    guards.run(*module);
+    ASSERT_EQ(guards.guardsInserted(), 6u);
+
+    GuardCoalescePass coalesce(4096);
+    EXPECT_TRUE(coalesce.run(*module));
+    EXPECT_EQ(coalesce.guardsCoalesced(), 5u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 1u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+
+    // The merged guard carries the members' write intent.
+    for (const auto &block :
+         module->findFunction("main")->basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Guard)
+                EXPECT_TRUE(inst->isWrite);
+        }
+    }
+}
+
+TEST(GuardCoalesce, RespectsObjectBoundary)
+{
+    // Offsets 0 and 1*8 of a 64-byte allocation, but a 8-byte object
+    // size: the fields land in different AIFM objects, so they must
+    // NOT share one guard.
+    const char *text = R"(
+func @main() -> i64 {
+entry:
+  %s = call ptr @malloc(64)
+  store 1, %s
+  %f1 = gep %s, 1, 8
+  store 2, %f1
+  ret 0
+}
+)";
+    auto module = parseOrDie(text);
+    GuardPass guards;
+    guards.run(*module);
+    ASSERT_EQ(guards.guardsInserted(), 2u);
+    GuardCoalescePass coalesce(8);
+    EXPECT_FALSE(coalesce.run(*module));
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::Guard), 2u);
+}
+
+TEST(GuardHoist, HoistsInvariantGuardAndInsertsReval)
+{
+    auto module = parseOrDie(testprogs::invariantAccumulatorProgram);
+    GuardPass guards;
+    guards.run(*module);
+
+    GuardHoistPass hoist;
+    EXPECT_TRUE(hoist.run(*module));
+    // Both in-loop guards (load and store) have the invariant pointer.
+    EXPECT_EQ(hoist.guardsHoisted(), 2u);
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::GuardReval), 2u);
+    EXPECT_EQ(ir::verifyModule(*module), "");
+
+    // The arming guards sit in the preheader (entry), flagged.
+    const ir::Function *main_fn = module->findFunction("main");
+    unsigned armers_in_entry = 0;
+    for (const auto &inst : main_fn->entry()->instructions()) {
+        if (inst->op() == ir::Opcode::Guard && inst->armsEpoch)
+            armers_in_entry++;
+    }
+    EXPECT_EQ(armers_in_entry, 2u);
+
+    // A second elimination round dedups the preheader armers (their
+    // remaining uses are epoch-checked guard.reval operands).
+    RedundantGuardElimPass elim;
+    EXPECT_TRUE(elim.run(*module));
+    EXPECT_EQ(ir::verifyModule(*module), "");
+    unsigned armers_after = 0;
+    for (const auto &inst : main_fn->entry()->instructions()) {
+        if (inst->op() == ir::Opcode::Guard && inst->armsEpoch)
+            armers_after++;
+    }
+    EXPECT_EQ(armers_after, 1u);
+}
+
+TEST(GuardHoist, LeavesVariantPointersAlone)
+{
+    auto module = parseOrDie(testprogs::sumProgram);
+    GuardPass guards;
+    guards.run(*module);
+    GuardHoistPass hoist;
+    // Strided geps are not loop-invariant: nothing to hoist.
+    EXPECT_FALSE(hoist.run(*module));
+    EXPECT_EQ(countOpcode(*module, ir::Opcode::GuardReval), 0u);
+}
+
+TEST(GuardOptPipeline, SiteReportAccountsForEveryGuard)
+{
+    auto module = parseOrDie(testprogs::invariantAccumulatorProgram);
+    GuardSiteReport report;
+    TrackFmPassOptions options;
+    options.siteReport = &report;
+    PassManager manager;
+    addTrackFmPipeline(manager, options);
+    ASSERT_TRUE(manager.run(*module).ok());
+
+    EXPECT_EQ(report.totalInserted(), 4u);
+    EXPECT_EQ(report.totalEliminated(), 2u);
+    EXPECT_EQ(report.totalHoisted(), 1u);
+    ASSERT_EQ(report.sites.size(), 1u);
+    EXPECT_EQ(report.sites[0].function, "main");
+    // Static remains: the arming entry guard + the exit load guard.
+    const StaticGuardCounts counts = countStaticGuards(*module);
+    EXPECT_EQ(counts.guards, 2u);
+    EXPECT_EQ(counts.revals, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Differential harness: every test program must behave identically at
+// O0 (guard optimization off) and with the full guard-opt pipeline.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+heapChecksum(System &system)
+{
+    const std::uint64_t frontier =
+        system.runtime().runtime().allocator().frontier();
+    std::uint64_t sum = 1469598103934665603ull;
+    for (std::uint64_t off = 0; off < frontier; off += 8) {
+        std::uint64_t word = 0;
+        const std::size_t len = static_cast<std::size_t>(
+            frontier - off >= 8 ? 8 : frontier - off);
+        system.runtime().runtime().rawRead(off, &word, len);
+        sum = (sum ^ word) * 1099511628211ull;
+    }
+    return sum;
+}
+
+SystemConfig
+differentialConfig(bool optimize_guards)
+{
+    SystemConfig config;
+    config.runtime.farHeapBytes = 8u << 20;
+    config.runtime.localMemBytes = 1u << 20;
+    config.runtime.objectSizeBytes = 4096;
+    config.passes.optimizeGuards = optimize_guards;
+    return config;
+}
+
+void
+runDifferential(const char *label, const char *text)
+{
+    SCOPED_TRACE(label);
+    System baseline(differentialConfig(false));
+    System optimized(differentialConfig(true));
+
+    CompileResult base_compiled = baseline.compile(text);
+    CompileResult opt_compiled = optimized.compile(text);
+    ASSERT_TRUE(base_compiled.ok()) << base_compiled.error;
+    ASSERT_TRUE(opt_compiled.ok()) << opt_compiled.error;
+
+    const RunResult base_run = baseline.run(*base_compiled.program);
+    const RunResult opt_run = optimized.run(*opt_compiled.program);
+
+    EXPECT_EQ(base_run.trapped, opt_run.trapped);
+    EXPECT_EQ(base_run.trapMessage, opt_run.trapMessage);
+    EXPECT_EQ(base_run.returnValue, opt_run.returnValue);
+    EXPECT_EQ(base_run.output, opt_run.output);
+    EXPECT_EQ(heapChecksum(baseline), heapChecksum(optimized));
+}
+
+TEST(GuardOptDifferential, AllTestProgramsMatchAtEveryOptLevel)
+{
+    runDifferential("sum", testprogs::sumProgram);
+    runDifferential("sumI32", testprogs::sumI32Program);
+    runDifferential("stack", testprogs::stackProgram);
+    runDifferential("o1", testprogs::o1Program);
+    runDifferential("invariantAccumulator",
+                    testprogs::invariantAccumulatorProgram);
+    runDifferential("structFields", testprogs::structFieldsProgram);
+    runDifferential("twoObject", testprogs::twoObjectProgram);
+    runDifferential("evacuationLoop", testprogs::evacuationLoopProgram);
+}
+
+TEST(GuardOptDifferential, MidLoopEvacuationForcesRevalMisses)
+{
+    System optimized(differentialConfig(true));
+    CompileResult compiled =
+        optimized.compile(testprogs::evacuationLoopProgram);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    const RunResult result = optimized.run(*compiled.program);
+    ASSERT_FALSE(result.trapped) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 4950);
+    // Every iteration's evacuation bumps the epoch, so the hoisted
+    // guard's revalidation must miss and re-run the full guard.
+    const GuardStats &stats = optimized.runtime().guardStats();
+    EXPECT_GT(stats.revalidations, 0u);
+    EXPECT_GT(stats.revalidationMisses, 0u);
+}
+
+TEST(GuardOptDifferential, DynamicGuardsDropAtLeastTwofold)
+{
+    System baseline(differentialConfig(false));
+    System optimized(differentialConfig(true));
+    CompileResult base_compiled =
+        baseline.compile(testprogs::invariantAccumulatorProgram);
+    CompileResult opt_compiled =
+        optimized.compile(testprogs::invariantAccumulatorProgram);
+    ASSERT_TRUE(base_compiled.ok());
+    ASSERT_TRUE(opt_compiled.ok());
+
+    const RunResult base_run = baseline.run(*base_compiled.program);
+    const RunResult opt_run = optimized.run(*opt_compiled.program);
+    ASSERT_EQ(base_run.returnValue, opt_run.returnValue);
+
+    const std::uint64_t base_guards =
+        baseline.runtime().guardStats().guardTotal();
+    const std::uint64_t opt_guards =
+        optimized.runtime().guardStats().guardTotal();
+    // Acceptance bar: >= 2x fewer dynamic guards at identical output.
+    EXPECT_GE(base_guards, 2 * opt_guards);
 }
 
 } // namespace

@@ -210,6 +210,60 @@ TEST(StridePrefetcher, TracksInterleavedStreams)
     EXPECT_EQ(prefetcher.onDemandMiss(9002), 1);
 }
 
+TEST(StridePrefetcher, InterleavedStreamsKeepSeparateTrackers)
+{
+    StridePrefetcher prefetcher(8, 2);
+    // Four interleaved sweeps (two forward, one backward, one wide
+    // stride), all far enough apart to never share a tracker.
+    const std::int64_t bases[4] = {1000, 9000, 20000, 40000};
+    const std::int64_t strides[4] = {1, 1, -1, 4};
+    for (int step = 0; step < 8; step++) {
+        for (int s = 0; s < 4; s++) {
+            const std::int64_t obj = bases[s] + strides[s] * step;
+            const std::int64_t got = prefetcher.onDemandMiss(
+                static_cast<std::uint64_t>(obj));
+            // Once trained, every stream reports its own stride.
+            if (step >= 2)
+                EXPECT_EQ(got, strides[s]) << "stream " << s;
+        }
+    }
+    const PrefetcherStats &stats = prefetcher.stats();
+    EXPECT_EQ(stats.trackerAllocs, 4u);     // one per stream
+    EXPECT_EQ(stats.trackerEvictions, 0u);  // 4 streams, 8 trackers
+    // 4 streams * 6 armed misses each (steps 2..7).
+    EXPECT_EQ(stats.armedMisses, 24u);
+}
+
+TEST(StridePrefetcher, RepeatedObjectMatchesItsOwnTracker)
+{
+    StridePrefetcher prefetcher(8, 2);
+    // A hot object re-missed repeatedly must keep matching its own
+    // tracker (exact-match early exit), not allocate new streams or
+    // perturb a neighbour within the match window.
+    prefetcher.onDemandMiss(100);
+    prefetcher.onDemandMiss(101);
+    prefetcher.onDemandMiss(102); // armed, stride 1
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(prefetcher.onDemandMiss(102), 0); // zero stride
+    EXPECT_EQ(prefetcher.stats().trackerAllocs, 1u);
+    // The zero-stride run clobbered the stride history, so the resumed
+    // sweep retrains (one miss) and then re-arms — still in the same
+    // tracker, without a fresh allocation.
+    EXPECT_EQ(prefetcher.onDemandMiss(103), 0);
+    EXPECT_EQ(prefetcher.onDemandMiss(104), 1);
+    EXPECT_EQ(prefetcher.stats().trackerAllocs, 1u);
+}
+
+TEST(StridePrefetcher, MoreStreamsThanTrackersEvicts)
+{
+    StridePrefetcher prefetcher(8, 2);
+    // 12 far-apart streams into 8 trackers: 4 must displace others.
+    for (int s = 0; s < 12; s++)
+        prefetcher.onDemandMiss(static_cast<std::uint64_t>(s) * 100000);
+    EXPECT_EQ(prefetcher.stats().trackerAllocs, 12u);
+    EXPECT_EQ(prefetcher.stats().trackerEvictions, 4u);
+}
+
 TEST(StridePrefetcher, RandomMissesNeverArm)
 {
     StridePrefetcher prefetcher(8, 2);

@@ -100,6 +100,34 @@ TEST(TfmRuntime, GuardCostsMatchTable1)
     EXPECT_EQ(rt.clock().now() - before, c.fastPathWriteCycles);
 }
 
+TEST(TfmRuntime, RevalidateFastPathHitsAndMisses)
+{
+    const CostParams c;
+    TfmRuntime rt(smallConfig(), c);
+    const std::uint64_t addr = rt.tfmMalloc(64);
+    rt.guardWrite(addr); // arm: localize and capture the epoch
+    const std::uint64_t epoch = rt.runtime().evictionEpoch();
+
+    const std::uint64_t before = rt.clock().now();
+    EXPECT_TRUE(rt.revalidate(addr, epoch));
+    EXPECT_EQ(rt.clock().now() - before, c.revalidateCycles);
+    EXPECT_EQ(rt.guardStats().revalidations, 1u);
+    EXPECT_EQ(rt.guardStats().revalidationHits, 1u);
+    EXPECT_EQ(rt.guardStats().revalidationMisses, 0u);
+
+    // Any unmap bumps the eviction epoch and invalidates the arming.
+    rt.runtime().evacuateAll();
+    EXPECT_FALSE(rt.revalidate(addr, epoch));
+    EXPECT_EQ(rt.guardStats().revalidations, 2u);
+    EXPECT_EQ(rt.guardStats().revalidationHits, 1u);
+    EXPECT_EQ(rt.guardStats().revalidationMisses, 1u);
+
+    // Re-arming at the new epoch restores the fast path.
+    rt.guardWrite(addr);
+    EXPECT_TRUE(rt.revalidate(addr, rt.runtime().evictionEpoch()));
+    EXPECT_EQ(rt.guardStats().revalidationHits, 2u);
+}
+
 TEST(TfmRuntime, CustodyCheckPassesHostPointersThrough)
 {
     TfmRuntime rt(smallConfig(), CostParams{});

@@ -25,6 +25,16 @@ fi
 "${BUILD_DIR}/tools/tfm-stat" "${TRACE_FILE}" > /dev/null
 echo "check_build: trace smoke test OK"
 
+# Example programs: every .tir in examples/ must compile verifier-clean
+# through the full pipeline (the verifier runs after every pass) and
+# execute without trapping, both with and without the guard optimizer.
+for example in examples/*.tir; do
+    "${BUILD_DIR}/tools/tfmc" --run "${example}" > /dev/null
+    "${BUILD_DIR}/tools/tfmc" --run --no-guard-opt "${example}" \
+        > /dev/null
+done
+echo "check_build: example programs OK"
+
 # Sanitizer pass: rebuild in a separate directory with
 # -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the
 # tier-1 suite under it. TFM_SANITIZE=off skips the pass.

@@ -25,6 +25,8 @@
 
 #include "core/autotuner.hh"
 #include "core/system.hh"
+#include "interp/interpreter.hh"
+#include "ir/printer.hh"
 
 namespace
 {
@@ -38,6 +40,9 @@ struct Options
     bool transform = true;
     bool autotune = false;
     bool prefetch = true;
+    bool guardOpt = true;
+    bool guardReport = false;
+    std::string printAfter; ///< pass name, or "all"; empty = off
     std::string chunk = "costmodel";
     std::uint32_t objectSize = 4096;
     std::uint64_t localMem = 16 << 20;
@@ -55,6 +60,9 @@ usage()
         "  --emit-ir             print the transformed IR\n"
         "  --no-transform        parse only (baseline, host heap)\n"
         "  --no-prefetch         disable the stride prefetcher\n"
+        "  --no-guard-opt        disable the guard optimization suite\n"
+        "  --print-after=<pass>  dump IR after the named pass (or 'all')\n"
+        "  --print-guard-report  per-allocation-site guard table\n"
         "  --autotune            search object sizes, report the best\n"
         "  --chunk=<p>           none | all | costmodel (default)\n"
         "  --object-size=<n>     AIFM object size in bytes (default 4096)\n"
@@ -77,6 +85,12 @@ parseArgs(int argc, char **argv, Options &options)
             options.transform = false;
         } else if (arg == "--no-prefetch") {
             options.prefetch = false;
+        } else if (arg == "--no-guard-opt") {
+            options.guardOpt = false;
+        } else if (arg == "--print-guard-report") {
+            options.guardReport = true;
+        } else if (arg.rfind("--print-after=", 0) == 0) {
+            options.printAfter = arg.substr(14);
         } else if (arg == "--autotune") {
             options.autotune = true;
         } else if (arg.rfind("--chunk=", 0) == 0) {
@@ -106,6 +120,75 @@ parseArgs(int argc, char **argv, Options &options)
     return !options.inputPath.empty();
 }
 
+/**
+ * The per-allocation-site guard table: what the compiler did to each
+ * site's guards, joined (under --run) with the interpreter's dynamic
+ * allocation-site profile.
+ */
+void
+printGuardReport(const tfm::System &system,
+                 const tfm::CompiledProgram &program,
+                 const tfm::AllocSiteProfile *profile)
+{
+    const tfm::GuardSiteReport &report = system.guardSiteReport();
+    const tfm::StaticGuardCounts counts =
+        tfm::countStaticGuards(program.ir());
+    std::printf("\nguard report:\n");
+    std::printf("  static instructions: %llu guards, %llu revalidations, "
+                "%llu chunk accesses\n",
+                static_cast<unsigned long long>(counts.guards),
+                static_cast<unsigned long long>(counts.revals),
+                static_cast<unsigned long long>(counts.chunkAccesses));
+    std::printf("  %-16s %5s %9s %5s %10s %8s", "function", "site",
+                "inserted", "elim", "coalesced", "hoisted");
+    if (profile)
+        std::printf(" %8s %10s", "allocs", "accesses");
+    std::printf("\n");
+
+    auto printSite = [&](const tfm::GuardSiteReport::Site &site,
+                         const char *label) {
+        std::printf("  %-16s %5s %9llu %5llu %10llu %8llu", label,
+                    site.function.empty()
+                        ? "-"
+                        : std::to_string(site.ordinal).c_str(),
+                    static_cast<unsigned long long>(site.guardsInserted),
+                    static_cast<unsigned long long>(
+                        site.guardsEliminated),
+                    static_cast<unsigned long long>(
+                        site.guardsCoalesced),
+                    static_cast<unsigned long long>(site.guardsHoisted));
+        if (profile) {
+            const tfm::AllocSiteProfile::Site *dynamic =
+                site.function.empty()
+                    ? nullptr
+                    : profile->findByOrdinal(site.ordinal);
+            std::printf(" %8llu %10llu",
+                        static_cast<unsigned long long>(
+                            dynamic ? dynamic->allocations : 0),
+                        static_cast<unsigned long long>(
+                            dynamic ? dynamic->guardedAccesses : 0));
+        }
+        std::printf("\n");
+    };
+
+    for (const tfm::GuardSiteReport::Site &site : report.sites)
+        printSite(site, site.function.c_str());
+    const tfm::GuardSiteReport::Site &rest = report.unattributed;
+    if (rest.guardsInserted || rest.guardsEliminated ||
+        rest.guardsCoalesced || rest.guardsHoisted) {
+        tfm::GuardSiteReport::Site anonymous = rest;
+        anonymous.function.clear();
+        printSite(anonymous, "<unattributed>");
+    }
+    std::printf("  total: %llu inserted, %llu eliminated, "
+                "%llu coalesced, %llu hoisted\n",
+                static_cast<unsigned long long>(report.totalInserted()),
+                static_cast<unsigned long long>(
+                    report.totalEliminated()),
+                static_cast<unsigned long long>(report.totalCoalesced()),
+                static_cast<unsigned long long>(report.totalHoisted()));
+}
+
 } // anonymous namespace
 
 int
@@ -132,6 +215,17 @@ main(int argc, char **argv)
     config.runtime.localMemBytes = options.localMem;
     config.runtime.objectSizeBytes = options.objectSize;
     config.runtime.prefetchEnabled = options.prefetch;
+    config.passes.optimizeGuards = options.guardOpt;
+    if (!options.printAfter.empty()) {
+        const std::string wanted = options.printAfter;
+        config.passObserver = [wanted](const std::string &pass,
+                                       const tfm::ir::Module &module) {
+            if (wanted != "all" && wanted != pass)
+                return;
+            std::printf("; IR after %s\n%s\n", pass.c_str(),
+                        tfm::ir::moduleToString(module).c_str());
+        };
+    }
     if (options.chunk == "none")
         config.passes.chunkPolicy = tfm::ChunkPolicy::None;
     else if (options.chunk == "all")
@@ -178,10 +272,19 @@ main(int argc, char **argv)
     if (options.emitIr || !options.run)
         std::fputs(compiled.program->disassemble().c_str(), stdout);
 
-    if (!options.run)
+    if (!options.run) {
+        if (options.guardReport)
+            printGuardReport(system, *compiled.program, nullptr);
         return 0;
+    }
 
-    const tfm::RunResult result = system.run(*compiled.program);
+    // Drive the interpreter directly (rather than System::run) when the
+    // guard report wants the dynamic allocation-site profile joined in.
+    tfm::Interpreter interpreter(compiled.program->ir(),
+                                 system.runtime());
+    if (options.guardReport)
+        interpreter.enableAllocationProfiling();
+    const tfm::RunResult result = interpreter.run("main");
     for (const std::int64_t value : result.output)
         std::printf("%lld\n", static_cast<long long>(value));
     if (result.trapped) {
@@ -194,6 +297,12 @@ main(int argc, char **argv)
     std::printf("simulated time: %.6f s (%llu cycles)\n",
                 system.seconds(),
                 static_cast<unsigned long long>(system.cycles()));
+
+    if (options.guardReport) {
+        const tfm::AllocSiteProfile profile =
+            interpreter.allocationProfile();
+        printGuardReport(system, *compiled.program, &profile);
+    }
 
     if (options.stats) {
         std::printf("\nstatistics:\n");
