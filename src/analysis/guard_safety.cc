@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Implementation of the guard-safety checker (see guard_safety.hh and
+ * DESIGN.md section 4g).
+ *
+ * Structure, per function:
+ *  1. SSA well-formedness: every operand's definition must dominate
+ *     its use (phi incomings are checked against their edge).
+ *  2. Translation availability: a forward dataflow with one lattice
+ *     cell per guard-family producer, states
+ *         Bot < { NotRun, Fresh < Stale } < Mixed
+ *     joined at merges; barriers demote Fresh to Stale; executing the
+ *     producer resets its own cell to Fresh.
+ *  3. A final reporting sweep re-runs the transfer function and emits
+ *     diagnostics at loads, stores, calls, rets, phis, and revals.
+ *
+ * The barrier model is interprocedural: a call only invalidates
+ * translations when the callee may enter the far-memory runtime
+ * (directly via a guard-family op or an allocation/evacuation
+ * intrinsic, or transitively through another call). Host-only
+ * intrinsics (print_i64, host_malloc, host_calloc) never do.
+ */
+
+#include "guard_safety.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cfg.hh"
+#include "dominators.hh"
+#include "heap_provenance.hh"
+
+namespace tfm
+{
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Value;
+
+const char *
+safetyDiagKindName(SafetyDiagKind kind)
+{
+    switch (kind) {
+      case SafetyDiagKind::UnguardedFarAccess:
+        return "unguarded-far-access";
+      case SafetyDiagKind::StaleHostPointer:
+        return "use-after-eviction";
+      case SafetyDiagKind::MissingWriteFlag:
+        return "missing-write-flag";
+      case SafetyDiagKind::GuardedPtrEscape:
+        return "guarded-ptr-escape";
+      case SafetyDiagKind::RevalArmerUnsound:
+        return "reval-armer-unsound";
+      case SafetyDiagKind::SsaDominance:
+        return "ssa-dominance";
+    }
+    return "unknown";
+}
+
+std::string
+formatSafetyDiagnostic(const SafetyDiagnostic &diag,
+                       const std::string &file)
+{
+    std::ostringstream os;
+    if (!file.empty() && diag.line > 0)
+        os << file << ":" << diag.line << ":" << diag.col << ": ";
+    else if (diag.line > 0)
+        os << "line " << diag.line << ":" << diag.col << ": ";
+    os << safetyDiagKindName(diag.kind) << " @" << diag.function << ":"
+       << diag.block << ":#" << diag.instIndex << ": " << diag.message;
+    return os.str();
+}
+
+const Instruction *
+guardRootProducer(const Value *value)
+{
+    const Value *cursor = value;
+    for (int depth = 0; depth < 64 && cursor != nullptr; depth++) {
+        if (!cursor->isInstruction())
+            return nullptr;
+        const auto *inst = static_cast<const Instruction *>(cursor);
+        switch (inst->op()) {
+          case Opcode::Guard:
+          case Opcode::GuardReval:
+          case Opcode::ChunkAccess:
+            return inst;
+          case Opcode::Gep:
+          case Opcode::PtrToInt:
+          case Opcode::IntToPtr:
+          case Opcode::Zext:
+          case Opcode::Trunc:
+            cursor =
+                inst->numOperands() > 0 ? inst->operand(0) : nullptr;
+            break;
+          case Opcode::Add:
+          case Opcode::Sub: {
+            if (inst->numOperands() != 2)
+                return nullptr;
+            const Value *lhs = inst->operand(0);
+            const Value *rhs = inst->operand(1);
+            if (rhs->isConstant())
+                cursor = lhs;
+            else if (lhs->isConstant() && inst->op() == Opcode::Add)
+                cursor = rhs;
+            else
+                return nullptr;
+            break;
+          }
+          default:
+            return nullptr;
+        }
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** Intrinsics that enter the far-memory runtime (possible eviction).
+ *  The plain libc names are included because libc-transform rewrites
+ *  them into their tfm_ counterparts; treating them as barriers keeps
+ *  the checker sound on IR taken before that rewrite. */
+bool
+isRuntimeIntrinsic(const std::string &callee)
+{
+    return callee == "tfm_malloc" || callee == "tfm_calloc" ||
+           callee == "tfm_realloc" || callee == "tfm_free" ||
+           callee == "tfm_evacuate_all" ||
+           callee == "tfm_runtime_init" || callee == "malloc" ||
+           callee == "calloc" || callee == "realloc" ||
+           callee == "free";
+}
+
+/** Intrinsics that provably never touch the far-memory runtime. */
+bool
+isHostIntrinsic(const std::string &callee)
+{
+    return callee == "print_i64" || callee == "host_malloc" ||
+           callee == "host_calloc";
+}
+
+bool
+isGuardFamily(Opcode op)
+{
+    return op == Opcode::Guard || op == Opcode::GuardReval ||
+           op == Opcode::ChunkBegin || op == Opcode::ChunkAccess ||
+           op == Opcode::Prefetch;
+}
+
+bool
+calleeMayEnterRuntime(const std::string &callee, const Module &module,
+                      const std::set<const Function *> &entering)
+{
+    if (isRuntimeIntrinsic(callee))
+        return true;
+    if (isHostIntrinsic(callee))
+        return false;
+    if (const Function *target = module.findFunction(callee))
+        return entering.count(target) > 0;
+    return true; // unknown external: assume the worst
+}
+
+/** Fixpoint over the call graph: which module functions may enter the
+ *  runtime (and therefore act as barriers at their call sites). */
+std::set<const Function *>
+runtimeEnteringFunctions(const Module &module)
+{
+    std::set<const Function *> entering;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &function : module.allFunctions()) {
+            if (entering.count(function.get()))
+                continue;
+            bool enters = false;
+            for (const auto &block : function->basicBlocks()) {
+                for (const auto &inst : block->instructions()) {
+                    if (isGuardFamily(inst->op()))
+                        enters = true;
+                    else if (inst->op() == Opcode::Call &&
+                             calleeMayEnterRuntime(inst->callee,
+                                                   module, entering))
+                        enters = true;
+                    if (enters)
+                        break;
+                }
+                if (enters)
+                    break;
+            }
+            if (enters) {
+                entering.insert(function.get());
+                changed = true;
+            }
+        }
+    }
+    return entering;
+}
+
+/** Availability of one producer's translation along the current path.
+ *  Bot is the optimistic "no path seen yet" initializer; NotRun means
+ *  the producer has not executed on some completed path. */
+enum AvailState : std::uint8_t
+{
+    Bot = 0,
+    NotRun = 1,
+    Fresh = 2,
+    Stale = 3,
+    Mixed = 4,
+};
+
+std::uint8_t
+joinAvail(std::uint8_t a, std::uint8_t b)
+{
+    if (a == Bot)
+        return b;
+    if (b == Bot)
+        return a;
+    if (a == b)
+        return a;
+    if (a == NotRun || b == NotRun)
+        return Mixed;
+    return a > b ? a : b; // Fresh ⊔ Stale = Stale; x ⊔ Mixed = Mixed
+}
+
+/** Checker context for one function. */
+struct FunctionChecker
+{
+    const Module &module;
+    const Function &function;
+    const std::set<const Function *> &entering;
+    std::vector<SafetyDiagnostic> &out;
+
+    Cfg cfg;
+    DominatorTree dom;
+    HeapProvenance provenance;
+
+    /// Guard-family producers in reachable blocks, densely indexed.
+    std::vector<const Instruction *> producers;
+    std::map<const Instruction *, std::size_t> producerIndex;
+    /// Per-block in-state of the availability dataflow.
+    std::map<const BasicBlock *, std::vector<std::uint8_t>> blockIn;
+    /// Instruction position within its block, for dominance checks.
+    std::map<const Instruction *, std::size_t> instPos;
+
+    FunctionChecker(const Module &mod, const Function &fn,
+                    const std::set<const Function *> &entering_set,
+                    std::vector<SafetyDiagnostic> &sink)
+        : module(mod), function(fn), entering(entering_set), out(sink),
+          cfg(fn), dom(fn, cfg), provenance(fn)
+    {}
+
+    void
+    report(SafetyDiagKind kind, const Instruction &inst,
+           std::string message)
+    {
+        SafetyDiagnostic diag;
+        diag.kind = kind;
+        diag.function = function.name();
+        const BasicBlock *block = inst.parent();
+        diag.block = block ? block->name() : "?";
+        auto pos = instPos.find(&inst);
+        diag.instIndex = pos == instPos.end() ? 0 : pos->second;
+        diag.line = inst.debugLine;
+        diag.col = inst.debugCol;
+        diag.message = std::move(message);
+        out.push_back(std::move(diag));
+    }
+
+    bool
+    isBarrier(const Instruction &inst) const
+    {
+        if (isGuardFamily(inst.op()))
+            return true;
+        if (inst.op() == Opcode::Call)
+            return calleeMayEnterRuntime(inst.callee, module, entering);
+        return false;
+    }
+
+    bool
+    isProducer(const Instruction &inst) const
+    {
+        return inst.op() == Opcode::Guard ||
+               inst.op() == Opcode::GuardReval ||
+               inst.op() == Opcode::ChunkAccess;
+    }
+
+    void
+    run()
+    {
+        indexInstructions();
+        checkSsaDominance();
+        collectProducers();
+        solveAvailability();
+        reportSweep();
+    }
+
+    void
+    indexInstructions()
+    {
+        for (const auto &block : function.basicBlocks()) {
+            const auto &insts = block->instructions();
+            for (std::size_t i = 0; i < insts.size(); i++)
+                instPos[insts[i].get()] = i;
+        }
+    }
+
+    /** 1. Every operand definition must dominate its use. */
+    void
+    checkSsaDominance()
+    {
+        for (const BasicBlock *block : cfg.reversePostOrder()) {
+            const auto &insts = block->instructions();
+            for (std::size_t i = 0; i < insts.size(); i++) {
+                const Instruction &inst = *insts[i];
+                if (inst.op() == Opcode::Phi) {
+                    for (const auto &[value, pred] : inst.incoming())
+                        checkPhiIncoming(inst, value, pred);
+                    continue;
+                }
+                for (const Value *operand : inst.operands())
+                    checkOperandDominance(inst, i, operand);
+            }
+        }
+    }
+
+    void
+    checkPhiIncoming(const Instruction &phi, const Value *value,
+                     const BasicBlock *pred)
+    {
+        const Instruction *def = asLocalInstruction(value);
+        if (!def)
+            return;
+        const BasicBlock *def_block = def->parent();
+        if (!cfg.reachable(def_block) ||
+            !dom.dominates(def_block, pred)) {
+            report(SafetyDiagKind::SsaDominance, phi,
+                   "phi incoming %" + def->name() +
+                       " does not dominate the edge from block '" +
+                       pred->name() + "'");
+        }
+    }
+
+    void
+    checkOperandDominance(const Instruction &inst, std::size_t use_pos,
+                          const Value *operand)
+    {
+        const Instruction *def = asLocalInstruction(operand);
+        if (!def)
+            return;
+        const BasicBlock *def_block = def->parent();
+        const BasicBlock *use_block = inst.parent();
+        bool ok;
+        if (def_block == use_block) {
+            auto it = instPos.find(def);
+            ok = it != instPos.end() && it->second < use_pos;
+        } else {
+            ok = cfg.reachable(def_block) &&
+                 dom.dominates(def_block, use_block);
+        }
+        if (!ok) {
+            report(SafetyDiagKind::SsaDominance, inst,
+                   "definition of %" + def->name() +
+                       " (block '" + def_block->name() +
+                       "') does not dominate this use");
+        }
+    }
+
+    /** Operand as an instruction of this function, else nullptr. */
+    const Instruction *
+    asLocalInstruction(const Value *value) const
+    {
+        if (!value || !value->isInstruction())
+            return nullptr;
+        const auto *inst = static_cast<const Instruction *>(value);
+        const BasicBlock *block = inst->parent();
+        return (block && block->parent() == &function) ? inst : nullptr;
+    }
+
+    void
+    collectProducers()
+    {
+        for (const BasicBlock *block : cfg.reversePostOrder()) {
+            for (const auto &inst : block->instructions()) {
+                if (isProducer(*inst)) {
+                    producerIndex[inst.get()] = producers.size();
+                    producers.push_back(inst.get());
+                }
+            }
+        }
+    }
+
+    void
+    applyTransfer(std::vector<std::uint8_t> &state,
+                  const Instruction &inst) const
+    {
+        if (isBarrier(inst)) {
+            for (auto &cell : state) {
+                if (cell == Fresh)
+                    cell = Stale;
+            }
+        }
+        if (isProducer(inst)) {
+            auto it = producerIndex.find(&inst);
+            if (it != producerIndex.end())
+                state[it->second] = Fresh;
+        }
+    }
+
+    /** 2. Iterate the availability dataflow to a fixpoint. */
+    void
+    solveAvailability()
+    {
+        const auto &rpo = cfg.reversePostOrder();
+        if (rpo.empty())
+            return;
+        for (const BasicBlock *block : rpo)
+            blockIn[block].assign(producers.size(), Bot);
+        // Before the entry block no producer has executed.
+        blockIn[rpo.front()].assign(producers.size(), NotRun);
+
+        bool changed = true;
+        int sweeps = 0;
+        while (changed && sweeps++ < 1000) {
+            changed = false;
+            for (const BasicBlock *block : rpo) {
+                std::vector<std::uint8_t> state = blockIn[block];
+                for (const auto &inst : block->instructions())
+                    applyTransfer(state, *inst);
+                for (const BasicBlock *succ : block->successors()) {
+                    std::vector<std::uint8_t> &in = blockIn[succ];
+                    for (std::size_t i = 0; i < in.size(); i++) {
+                        const std::uint8_t joined =
+                            joinAvail(in[i], state[i]);
+                        if (joined != in[i]) {
+                            in[i] = joined;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /** 3. Re-run the transfer function, emitting diagnostics. */
+    void
+    reportSweep()
+    {
+        for (const BasicBlock *block : cfg.reversePostOrder()) {
+            std::vector<std::uint8_t> state = blockIn[block];
+            for (const auto &inst_ptr : block->instructions()) {
+                const Instruction &inst = *inst_ptr;
+                checkInstruction(state, inst);
+                applyTransfer(state, inst);
+            }
+        }
+    }
+
+    void
+    checkInstruction(const std::vector<std::uint8_t> &state,
+                     const Instruction &inst)
+    {
+        switch (inst.op()) {
+          case Opcode::Load:
+            checkDeref(state, inst, inst.operand(0), false);
+            break;
+          case Opcode::Store:
+            checkDeref(state, inst, inst.operand(1), true);
+            checkEscape(inst, inst.operand(0), "stored to memory");
+            break;
+          case Opcode::Call:
+            for (const Value *arg : inst.operands())
+                checkEscape(inst, arg,
+                            "passed to call @" + inst.callee);
+            break;
+          case Opcode::Ret:
+            if (inst.numOperands() > 0)
+                checkEscape(inst, inst.operand(0),
+                            "returned to the caller");
+            break;
+          case Opcode::Phi:
+            for (const auto &[value, pred] : inst.incoming()) {
+                (void)pred;
+                checkEscape(inst, value,
+                            "merged through a phi (the checker cannot "
+                            "track its availability further)");
+            }
+            break;
+          case Opcode::GuardReval:
+            checkReval(state, inst);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkDeref(const std::vector<std::uint8_t> &state,
+               const Instruction &inst, const Value *ptr, bool is_store)
+    {
+        const char *what = is_store ? "store" : "load";
+        const Instruction *root = guardRootProducer(ptr);
+        if (!root) {
+            if (provenance.needsGuard(ptr)) {
+                report(SafetyDiagKind::UnguardedFarAccess, inst,
+                       std::string(what) +
+                           " through maybe-far pointer %" + ptr->name() +
+                           " with no reaching guard");
+            }
+            return;
+        }
+        auto it = producerIndex.find(root);
+        if (it == producerIndex.end())
+            return; // foreign/unreachable producer: SSA check reported
+        switch (state[it->second]) {
+          case Fresh:
+            if (is_store && !root->isWrite) {
+                report(SafetyDiagKind::MissingWriteFlag, inst,
+                       "store through %" + root->name() +
+                           ", whose guard took the read-only path "
+                           "(missing .w flag)");
+            }
+            break;
+          case Stale:
+            report(SafetyDiagKind::StaleHostPointer, inst,
+                   std::string(what) + " through host pointer from %" +
+                       root->name() +
+                       " after a barrier that may have evacuated the "
+                       "frame; a guard.reval is required");
+            break;
+          case NotRun:
+            report(SafetyDiagKind::UnguardedFarAccess, inst,
+                   std::string(what) + " through %" + root->name() +
+                       " before its guard has executed");
+            break;
+          case Mixed:
+            report(SafetyDiagKind::UnguardedFarAccess, inst,
+                   std::string(what) + " through %" + root->name() +
+                       ": the guard does not cover every path to this "
+                       "access (or is stale on some of them)");
+            break;
+          default: // Bot: unreachable in practice after the fixpoint
+            break;
+        }
+    }
+
+    void
+    checkEscape(const Instruction &inst, const Value *value,
+                const std::string &how)
+    {
+        if (!value || value->type() != ir::Type::Ptr)
+            return;
+        // The tagged-pointer operands of guard-family ops are
+        // custody-checked sanctioned uses, as are reval armers; those
+        // instructions are not derefs or escapes.
+        if (isGuardFamily(inst.op()))
+            return;
+        const Instruction *root = guardRootProducer(value);
+        if (!root)
+            return;
+        report(SafetyDiagKind::GuardedPtrEscape, inst,
+               "guarded host pointer %" + value->name() +
+                   " (from %" + root->name() + ") " + how);
+    }
+
+    void
+    checkReval(const std::vector<std::uint8_t> &state,
+               const Instruction &inst)
+    {
+        if (inst.numOperands() < 2)
+            return; // verifier reports malformed operand counts
+        const Instruction *armer = asLocalInstruction(inst.operand(0));
+        if (!armer || armer->op() != Opcode::Guard ||
+            !armer->armsEpoch) {
+            report(SafetyDiagKind::RevalArmerUnsound, inst,
+                   "guard.reval operand %" + inst.operand(0)->name() +
+                       " is not an epoch-arming guard");
+            return;
+        }
+        auto it = producerIndex.find(armer);
+        const std::uint8_t avail = it == producerIndex.end()
+                                       ? static_cast<std::uint8_t>(NotRun)
+                                       : state[it->second];
+        if (avail != Fresh && avail != Stale) {
+            report(SafetyDiagKind::RevalArmerUnsound, inst,
+                   "arming guard %" + armer->name() +
+                       " does not reach this guard.reval on every "
+                       "path");
+        }
+    }
+};
+
+} // namespace
+
+std::vector<SafetyDiagnostic>
+checkGuardSafety(const Module &module)
+{
+    std::vector<SafetyDiagnostic> diags;
+    const std::set<const Function *> entering =
+        runtimeEnteringFunctions(module);
+    for (const auto &function : module.allFunctions()) {
+        if (function->basicBlocks().empty())
+            continue;
+        FunctionChecker checker(module, *function, entering, diags);
+        checker.run();
+    }
+    return diags;
+}
+
+} // namespace tfm

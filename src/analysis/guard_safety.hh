@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Guard-safety checker: an independent, flow-sensitive re-proof that
+ * the IR leaving each pass still guards every far-memory access.
+ *
+ * The TrackFM passes insert guards and then aggressively remove them
+ * (elimination, coalescing, hoisting with epoch revalidation) based on
+ * dominance and barrier-freedom arguments. This analysis re-derives
+ * those arguments from scratch on the transformed IR: every pointer
+ * SSA value is classified by provenance (far / guarded-host / local
+ * stack / unknown), guard translations are tracked through a
+ * per-producer availability dataflow that lattice-joins at control-flow
+ * merges and is invalidated at every barrier (call into the runtime,
+ * guard, chunk op, prefetch), and any access the proof cannot cover
+ * becomes a diagnostic. See DESIGN.md section 4g.
+ */
+
+#ifndef TRACKFM_ANALYSIS_GUARD_SAFETY_HH
+#define TRACKFM_ANALYSIS_GUARD_SAFETY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tfm
+{
+
+/** Violation classes reported by the guard-safety checker. */
+enum class SafetyDiagKind : std::uint8_t
+{
+    /// Load/store through a maybe-far pointer with no guard covering
+    /// every barrier-free path to the access.
+    UnguardedFarAccess,
+    /// Guarded host pointer dereferenced after a barrier without a
+    /// guard.reval: the use-after-eviction class.
+    StaleHostPointer,
+    /// Store through a pointer whose only reaching guard took the
+    /// read-only path (missing write flag).
+    MissingWriteFlag,
+    /// Guarded host pointer escaping through memory, a call argument,
+    /// a return, or a phi; its lifetime can no longer be tracked.
+    GuardedPtrEscape,
+    /// guard.reval whose arming guard is absent, does not arm an
+    /// epoch, or does not reach the revalidation on every path.
+    RevalArmerUnsound,
+    /// An operand's definition does not dominate its use (malformed
+    /// SSA produced by a transformation).
+    SsaDominance,
+};
+
+/** Stable kebab-case name for machine-readable output. */
+const char *safetyDiagKindName(SafetyDiagKind kind);
+
+/** One checker finding, locatable down to the instruction. */
+struct SafetyDiagnostic
+{
+    SafetyDiagKind kind = SafetyDiagKind::UnguardedFarAccess;
+    std::string function; ///< enclosing function name
+    std::string block;    ///< enclosing basic-block label
+    std::size_t instIndex = 0; ///< index of the instruction in its block
+    int line = 0;         ///< 1-based source line (0 = unknown)
+    int col = 0;          ///< 1-based source column (0 = unknown)
+    std::string message;  ///< human-readable explanation
+};
+
+/**
+ * One machine-readable line per diagnostic:
+ * `[file:line:col: ]kind @function:block:#index: message`.
+ */
+std::string formatSafetyDiagnostic(const SafetyDiagnostic &diag,
+                                   const std::string &file = std::string());
+
+/**
+ * Check every function of @p module. Returns an empty vector when the
+ * module is guard-sound under the checker's model; call on the output
+ * of the pointer-guards pass or anything later (earlier IR legitimately
+ * contains unguarded heap accesses).
+ */
+std::vector<SafetyDiagnostic> checkGuardSafety(const ir::Module &module);
+
+/**
+ * The guard-family instruction (guard, guard.reval, chunk.access)
+ * whose host translation @p value is derived from, walking geps,
+ * int/ptr casts, and constant-offset arithmetic; nullptr when the
+ * value is not derived from a translation. Shared with the
+ * interpreter's farmem sanitizer so the static and dynamic layers
+ * agree on what "the producing guard" means.
+ */
+const ir::Instruction *guardRootProducer(const ir::Value *value);
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_GUARD_SAFETY_HH

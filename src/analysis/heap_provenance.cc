@@ -75,14 +75,18 @@ HeapProvenance::HeapProvenance(const ir::Function &function)
                   case ir::Opcode::PtrToInt:
                   case ir::Opcode::IntToPtr:
                   case ir::Opcode::Guard:
+                  case ir::Opcode::GuardReval:
                   case ir::Opcode::ChunkAccess:
                     // Derivations preserve the provenance of the base
                     // (the tag survives offset math, section 3.2).
-                    update(inst.get(), of(inst->operand(
-                                           inst->op() ==
-                                                   ir::Opcode::ChunkAccess
-                                               ? 1
-                                               : 0)));
+                    // GuardReval and ChunkAccess translate the raw
+                    // pointer in their second operand.
+                    update(inst.get(),
+                           of(inst->operand(
+                               (inst->op() == ir::Opcode::ChunkAccess ||
+                                inst->op() == ir::Opcode::GuardReval)
+                                   ? 1
+                                   : 0)));
                     break;
                   case ir::Opcode::Phi: {
                     bool first = true;

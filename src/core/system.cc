@@ -1,12 +1,31 @@
 #include "system.hh"
 
+#include <map>
+
 #include "ir/parser.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
+#include "obs/obs.hh"
 #include "passes/o1_passes.hh"
 
 namespace tfm
 {
+
+namespace
+{
+
+/// TraceSink stores event names as raw pointers without copying, so
+/// the composed "safety.<pass>" strings need storage that outlives
+/// every sink; intern them once per distinct pass name.
+const char *
+safetyCounterName(const std::string &pass)
+{
+    static std::map<std::string, std::string> names;
+    const auto it = names.emplace(pass, "safety." + pass).first;
+    return it->second.c_str();
+}
+
+} // anonymous namespace
 
 std::string
 CompiledProgram::disassemble() const
@@ -54,8 +73,21 @@ System::compile(const std::string &source)
         return result;
 
     PassManager manager;
-    if (cfg.passObserver)
+    if (cfg.checkSafety) {
+        safety = SafetyReport{};
+        installSafetyObserver(
+            manager, safety, cfg.passObserver,
+            [this](const std::string &pass, std::size_t count) {
+                Observability *obs = rt.runtime().obs();
+                if (!obs || !obs->trace().enabled())
+                    return;
+                obs->trace().counter(rt.runtime().obsStream(),
+                                     safetyCounterName(pass),
+                                     rt.runtime().clock().now(), count);
+            });
+    } else if (cfg.passObserver) {
         manager.setObserver(cfg.passObserver);
+    }
     if (cfg.preOptimize)
         addO1Pipeline(manager);
     addTrackFmPipeline(manager, cfg.passes);

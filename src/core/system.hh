@@ -26,6 +26,7 @@
 #include "ir/function.hh"
 #include "passes/guard_opt.hh"
 #include "passes/pass.hh"
+#include "passes/safety_check_pass.hh"
 #include "passes/trackfm_passes.hh"
 #include "runtime/far_mem_runtime.hh"
 #include "sim/cost_params.hh"
@@ -52,6 +53,10 @@ struct SystemConfig
     /// Optional per-pass IR observer (tfmc's --print-after).
     std::function<void(const std::string &, const ir::Module &)>
         passObserver;
+    /// Run the flow-sensitive guard-safety checker on the module after
+    /// every pipeline pass from pointer-guards onward, accumulating
+    /// diagnostics into System::safetyReport() (tfmc's --check-safety).
+    bool checkSafety = false;
 };
 
 /** A compiled (transformed) program plus its compilation report. */
@@ -121,6 +126,10 @@ class System
      *  compile (insertions, eliminations, coalesces, hoists). */
     const GuardSiteReport &guardSiteReport() const { return siteReport; }
 
+    /** Guard-safety diagnostics from the last compile; only populated
+     *  when SystemConfig::checkSafety is set. */
+    const SafetyReport &safetyReport() const { return safety; }
+
     /** All statistics (guards, runtime, network) in one set. */
     StatSet stats() const;
 
@@ -134,6 +143,7 @@ class System
     SystemConfig cfg;
     TfmRuntime rt;
     GuardSiteReport siteReport;
+    SafetyReport safety;
 };
 
 } // namespace tfm

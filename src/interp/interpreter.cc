@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "analysis/guard_safety.hh"
 #include "ir/printer.hh"
 #include "tfm/tagged_ptr.hh"
 
@@ -49,6 +50,22 @@ struct Interpreter::Impl
         intervals;
     /// @}
 
+    /// @name Far-memory sanitizer
+    /// @{
+    bool sanitizing = false;
+    /// Memory-access instruction -> the guard-family instruction that
+    /// produced its address (precomputed over the whole module).
+    std::map<const ir::Instruction *, const ir::Instruction *> sanRoots;
+    /// One live far-heap allocation, for bounds checks and trap text.
+    struct SanAlloc
+    {
+        std::uint64_t end = 0; ///< one past the last allocated offset
+        std::string desc;      ///< allocating call site
+    };
+    /// Live allocations keyed by their starting far-heap offset.
+    std::map<std::uint64_t, SanAlloc> sanAllocs;
+    /// @}
+
     Impl(const ir::Module &m, TfmRuntime &runtime) : module(m), rt(runtime)
     {}
 
@@ -69,6 +86,29 @@ struct Interpreter::Impl
                         profile.sites.push_back(site);
                         ordinal++;
                     }
+                }
+            }
+        }
+    }
+
+    void
+    enableSanitizer()
+    {
+        sanitizing = true;
+        sanRoots.clear();
+        for (const auto &function : module.allFunctions()) {
+            for (const auto &block : function->basicBlocks()) {
+                for (const auto &inst : block->instructions()) {
+                    const bool is_load =
+                        inst->op() == ir::Opcode::Load;
+                    const bool is_store =
+                        inst->op() == ir::Opcode::Store;
+                    if (!is_load && !is_store)
+                        continue;
+                    const ir::Instruction *root = guardRootProducer(
+                        inst->operand(is_load ? 0 : 1));
+                    if (root)
+                        sanRoots[inst.get()] = root;
                 }
             }
         }
@@ -149,7 +189,140 @@ struct Interpreter::Impl
             std::byte *host = nullptr;
         };
         std::map<const ir::Instruction *, Reval> revalStates;
+        /// Sanitizer: the latest host translation each guard-family
+        /// instruction produced, as a frame window plus the far-heap
+        /// offset that window maps.
+        struct SanTransl
+        {
+            std::uint64_t frameStart = 0; ///< host addr of frame byte 0
+            std::uint64_t frameEnd = 0;   ///< one past the frame
+            std::uint64_t objStartOffset = 0; ///< far offset of byte 0
+            std::uint64_t epoch = 0; ///< eviction epoch at translation
+            bool pinned = false;     ///< chunk window: eviction-proof
+        };
+        std::map<const ir::Instruction *, SanTransl> sanTransl;
     };
+
+    /** Sanitizer bookkeeping for a guard-family translation. An
+     *  untagged (custody-rejected) address erases the entry instead so
+     *  the map always mirrors the producer's latest execution. */
+    void
+    sanRecord(Frame &frame, const ir::Instruction &producer,
+              std::uint64_t tagged_addr, const std::byte *host,
+              bool pinned)
+    {
+        if (!sanitizing)
+            return;
+        if (!tfmIsTagged(tagged_addr)) {
+            frame.sanTransl.erase(&producer);
+            return;
+        }
+        const auto &table = rt.runtime().stateTable();
+        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
+        const std::uint64_t in_obj = table.offsetInObject(offset);
+        Frame::SanTransl transl;
+        transl.frameStart =
+            reinterpret_cast<std::uint64_t>(host) - in_obj;
+        transl.frameEnd = transl.frameStart +
+                          rt.runtime().config().objectSizeBytes;
+        transl.objStartOffset = offset - in_obj;
+        transl.epoch = rt.runtime().evictionEpoch();
+        transl.pinned = pinned;
+        frame.sanTransl[&producer] = transl;
+    }
+
+    /** Track a live far-heap allocation for the sanitizer. */
+    void
+    sanRecordAlloc(const ir::Instruction &call_inst,
+                   std::uint64_t tagged_addr, std::uint64_t bytes)
+    {
+        if (!sanitizing || !tfmIsTagged(tagged_addr))
+            return;
+        SanAlloc alloc;
+        alloc.end = tfmOffsetOf(tagged_addr) + bytes;
+        alloc.desc = call_inst.callee;
+        if (call_inst.debugLine > 0) {
+            alloc.desc += " (line " +
+                          std::to_string(call_inst.debugLine) + ":" +
+                          std::to_string(call_inst.debugCol) + ")";
+        }
+        sanAllocs[tfmOffsetOf(tagged_addr)] = std::move(alloc);
+    }
+
+    /** The live allocation covering @p offset, or null. */
+    const SanAlloc *
+    sanAllocFor(std::uint64_t offset) const
+    {
+        auto it = sanAllocs.upper_bound(offset);
+        if (it == sanAllocs.begin())
+            return nullptr;
+        --it;
+        return offset < it->second.end ? &it->second : nullptr;
+    }
+
+    static std::string
+    sanWhere(const ir::Instruction &inst)
+    {
+        if (inst.debugLine <= 0)
+            return std::string();
+        return " at line " + std::to_string(inst.debugLine) + ":" +
+               std::to_string(inst.debugCol);
+    }
+
+    /** Validate one guard-mediated memory access. */
+    void
+    sanCheck(Frame &frame, const ir::Instruction &inst,
+             std::uint64_t addr, std::uint32_t bytes, bool is_store)
+    {
+        if (tfmIsTagged(addr))
+            return; // rawAccess raises the GP-fault analogue itself
+        auto root_it = sanRoots.find(&inst);
+        if (root_it == sanRoots.end())
+            return; // address never flowed through a guard
+        const ir::Instruction *root = root_it->second;
+        auto transl_it = frame.sanTransl.find(root);
+        if (transl_it == frame.sanTransl.end())
+            return; // producer only ever saw untagged pointers
+        const Frame::SanTransl &transl = transl_it->second;
+        const std::string access =
+            std::string(is_store ? "store" : "load") + sanWhere(inst);
+        const SanAlloc *home = sanAllocFor(transl.objStartOffset);
+        const std::string origin =
+            home ? "; object allocated by " + home->desc
+                 : std::string();
+        // A translation is valid until the next runtime entry; any
+        // eviction/evacuation since arming poisons it.
+        if (!transl.pinned &&
+            transl.epoch != rt.runtime().evictionEpoch()) {
+            trap("farmem-sanitizer: use-after-eviction: " + access +
+                 " dereferences a stale translation from %" +
+                 root->name() + " (guarded at epoch " +
+                 std::to_string(transl.epoch) +
+                 ", evacuation advanced the epoch to " +
+                 std::to_string(rt.runtime().evictionEpoch()) + ")" +
+                 origin);
+        }
+        if (addr < transl.frameStart ||
+            addr + bytes > transl.frameEnd) {
+            trap("farmem-sanitizer: " + access +
+                 " escapes the guarded object frame of %" +
+                 root->name() + " (frame offset " +
+                 std::to_string(static_cast<std::int64_t>(
+                     addr - transl.frameStart)) +
+                 ", frame is " +
+                 std::to_string(transl.frameEnd - transl.frameStart) +
+                 " bytes)" + origin);
+        }
+        const std::uint64_t mapped =
+            transl.objStartOffset + (addr - transl.frameStart);
+        const SanAlloc *alloc = sanAllocFor(mapped);
+        if (!alloc || mapped + bytes > alloc->end) {
+            trap("farmem-sanitizer: " + access +
+                 " maps to far-heap offset " + std::to_string(mapped) +
+                 " outside any live allocation (via %" + root->name() +
+                 ")" + origin);
+        }
+    }
 
     Slot
     valueOf(Frame &frame, const ir::Value *value)
@@ -231,12 +404,14 @@ struct Interpreter::Impl
             const std::uint64_t bytes = arg(0).i;
             result.i = rt.tfmMalloc(bytes);
             recordAllocation(inst, result.i, bytes);
+            sanRecordAlloc(inst, result.i, bytes);
             return result;
         }
         if (callee == "tfm_calloc") {
             const std::uint64_t bytes = arg(0).i * arg(1).i;
             result.i = rt.tfmCalloc(arg(0).i, arg(1).i);
             recordAllocation(inst, result.i, bytes);
+            sanRecordAlloc(inst, result.i, bytes);
             return result;
         }
         if (callee == "host_malloc") {
@@ -251,10 +426,16 @@ struct Interpreter::Impl
             return result;
         }
         if (callee == "tfm_realloc") {
-            result.i = rt.tfmRealloc(arg(0).i, arg(1).i);
+            const std::uint64_t old_addr = arg(0).i;
+            result.i = rt.tfmRealloc(old_addr, arg(1).i);
+            if (sanitizing && tfmIsTagged(old_addr))
+                sanAllocs.erase(tfmOffsetOf(old_addr));
+            sanRecordAlloc(inst, result.i, arg(1).i);
             return result;
         }
         if (callee == "tfm_free") {
+            if (sanitizing && tfmIsTagged(arg(0).i))
+                sanAllocs.erase(tfmOffsetOf(arg(0).i));
             rt.tfmFree(arg(0).i);
             return result;
         }
@@ -356,18 +537,31 @@ struct Interpreter::Impl
                         result.i = hostAlloc(
                             static_cast<std::uint64_t>(inst.imm));
                         break;
-                      case ir::Opcode::Load:
-                        result = loadFrom(
-                            valueOf(frame, inst.operand(0)).i,
-                            inst.type());
+                      case ir::Opcode::Load: {
+                        const std::uint64_t addr =
+                            valueOf(frame, inst.operand(0)).i;
+                        if (sanitizing) {
+                            sanCheck(frame, inst, addr,
+                                     ir::sizeOf(inst.type()), false);
+                        }
+                        result = loadFrom(addr, inst.type());
                         break;
-                      case ir::Opcode::Store:
-                        storeTo(valueOf(frame, inst.operand(1)).i,
-                                valueOf(frame, inst.operand(0)),
-                                inst.operand(0)->type() == ir::Type::F64
-                                    ? ir::Type::F64
-                                    : inst.operand(0)->type());
+                      }
+                      case ir::Opcode::Store: {
+                        const std::uint64_t addr =
+                            valueOf(frame, inst.operand(1)).i;
+                        const ir::Type stored_type =
+                            inst.operand(0)->type() == ir::Type::F64
+                                ? ir::Type::F64
+                                : inst.operand(0)->type();
+                        if (sanitizing) {
+                            sanCheck(frame, inst, addr,
+                                     ir::sizeOf(stored_type), true);
+                        }
+                        storeTo(addr, valueOf(frame, inst.operand(0)),
+                                stored_type);
                         break;
+                      }
                       case ir::Opcode::Gep:
                         result.i =
                             valueOf(frame, inst.operand(0)).i +
@@ -386,6 +580,7 @@ struct Interpreter::Impl
                             frame.revalStates[&inst] = Frame::Reval{
                                 rt.runtime().evictionEpoch(), host};
                         }
+                        sanRecord(frame, inst, addr, host, false);
                         result.i =
                             reinterpret_cast<std::uint64_t>(host);
                         break;
@@ -404,6 +599,8 @@ struct Interpreter::Impl
                             rt.revalidate(addr, armed.epoch)) {
                             // Epoch unchanged since arming: the host
                             // pointer (and any dirty bit) is still live.
+                            sanRecord(frame, inst, addr, armed.host,
+                                      false);
                             result.i = reinterpret_cast<std::uint64_t>(
                                 armed.host);
                             break;
@@ -417,6 +614,7 @@ struct Interpreter::Impl
                                               : rt.guardRead(addr);
                         armed.epoch = rt.runtime().evictionEpoch();
                         armed.host = host;
+                        sanRecord(frame, inst, addr, host, false);
                         result.i =
                             reinterpret_cast<std::uint64_t>(host);
                         break;
@@ -445,6 +643,8 @@ struct Interpreter::Impl
                             // Custody check inside the chunk helper.
                             rt.clock().advance(
                                 rt.costs().custodyRejectCycles);
+                            if (sanitizing)
+                                frame.sanTransl.erase(&inst);
                             result.i = addr;
                             break;
                         }
@@ -464,6 +664,12 @@ struct Interpreter::Impl
                         result.i = reinterpret_cast<std::uint64_t>(
                             cursor.window +
                             table.offsetInObject(offset));
+                        // Chunk windows stay pinned (eviction-proof)
+                        // until the cursor moves or is released.
+                        sanRecord(frame, inst, addr,
+                                  cursor.window +
+                                      table.offsetInObject(offset),
+                                  true);
                         break;
                       }
                       case ir::Opcode::Prefetch: {
@@ -659,6 +865,12 @@ void
 Interpreter::enableAllocationProfiling()
 {
     impl->enableProfiling();
+}
+
+void
+Interpreter::enableSanitizer()
+{
+    impl->enableSanitizer();
 }
 
 AllocSiteProfile

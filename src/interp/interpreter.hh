@@ -69,6 +69,22 @@ class Interpreter
     AllocSiteProfile allocationProfile() const;
     /** @} */
 
+    /** @name Far-memory sanitizer (tfmc's --sanitize=farmem)
+     * @{ */
+    /**
+     * Validate every guard-mediated access during subsequent runs.
+     * Evacuations poison outstanding host translations, so a deref
+     * through a stale translation traps with the producing guard, the
+     * arming/invalidating epochs, and the allocating call site; an
+     * access that walks off the guarded object frame or outside the
+     * backing far-heap allocation traps with the same context. Clean
+     * programs run unchanged: a translation armed by a guard is valid
+     * until the next runtime entry, and the transformed pipeline never
+     * separates a guard from its uses by one.
+     */
+    void enableSanitizer();
+    /** @} */
+
   private:
     struct Impl;
     std::unique_ptr<Impl> impl;

@@ -201,6 +201,15 @@ class Instruction : public Value
     bool armsEpoch = false;
     /** @} */
 
+    /** @name Debug info
+     * @{ */
+    /// 1-based source position recorded by the textual-IR parser so
+    /// verifier errors and safety diagnostics can point at the source
+    /// line; 0 when the instruction was created by a pass.
+    std::int32_t debugLine = 0;
+    std::int32_t debugCol = 0;
+    /** @} */
+
     BasicBlock *parent() const { return _parent; }
     void setParent(BasicBlock *block) { _parent = block; }
 

@@ -84,6 +84,9 @@ class LineCursor
         return text.substr(start, pos - start);
     }
 
+    /** Current offset into the line (for column reporting). */
+    std::size_t position() const { return pos; }
+
   private:
     const std::string &text;
     std::size_t pos = 0;
@@ -318,6 +321,8 @@ class ModuleParser
     bool
     parseInstruction(LineCursor &cursor)
     {
+        cursor.skipSpace();
+        const int column = static_cast<int>(cursor.position()) + 1;
         std::string result_name;
         // Look ahead for "%name =".
         if (cursor.peek() == '%') {
@@ -349,6 +354,8 @@ class ModuleParser
         auto inst = std::make_unique<Instruction>(op, type, result_name);
         inst->isWrite = is_write;
         Instruction *raw = inst.get();
+        raw->debugLine = lineNo;
+        raw->debugCol = column;
 
         switch (op) {
           case Opcode::Alloca:

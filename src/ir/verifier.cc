@@ -17,6 +17,63 @@ blockError(const Function &function, const BasicBlock &block,
            ": " + message;
 }
 
+/** Like blockError, but pointing at the offending instruction: its
+ *  parser-recorded line:col when available, else its block index. */
+std::string
+instError(const Function &function, const BasicBlock &block,
+          const Instruction &inst, const std::string &message)
+{
+    std::string where;
+    if (inst.debugLine > 0) {
+        where = " (line " + std::to_string(inst.debugLine) + ":" +
+                std::to_string(inst.debugCol) + ")";
+    } else {
+        where = " (instruction #" +
+                std::to_string(block.indexOf(&inst)) + ")";
+    }
+    return blockError(function, block, message + where);
+}
+
+/**
+ * Does instruction @p a dominate instruction @p b? Self-contained
+ * (the IR library cannot depend on the analysis library): same-block
+ * order compare, otherwise a DFS from the entry that refuses to enter
+ * a's block — if it still reaches b's block, some path avoids a.
+ */
+bool
+instructionDominates(const Function &function, const Instruction *a,
+                     const Instruction *b)
+{
+    const BasicBlock *a_block = a->parent();
+    const BasicBlock *b_block = b->parent();
+    if (!a_block || !b_block)
+        return false;
+    if (a_block == b_block)
+        return a_block->indexOf(a) < b_block->indexOf(b);
+    const BasicBlock *entry = function.entry();
+    if (b_block == entry)
+        return false;
+    std::set<const BasicBlock *> seen;
+    std::vector<const BasicBlock *> stack;
+    if (entry != a_block) {
+        seen.insert(entry);
+        stack.push_back(entry);
+    }
+    while (!stack.empty()) {
+        const BasicBlock *current = stack.back();
+        stack.pop_back();
+        for (const BasicBlock *succ : current->successors()) {
+            if (succ == a_block || seen.count(succ))
+                continue;
+            if (succ == b_block)
+                return false;
+            seen.insert(succ);
+            stack.push_back(succ);
+        }
+    }
+    return true;
+}
+
 } // anonymous namespace
 
 std::string
@@ -47,23 +104,23 @@ verifyFunction(const Function &function)
         for (std::size_t i = 0; i < insts.size(); i++) {
             const Instruction &inst = *insts[i];
             if (isTerminator(inst.op()) && i + 1 != insts.size()) {
-                return blockError(function, *block,
-                                  "terminator before end of block");
+                return instError(function, *block, inst,
+                                 "terminator before end of block");
             }
             if (inst.op() == Opcode::Phi) {
                 if (seen_non_phi) {
-                    return blockError(function, *block,
-                                      "phi after non-phi instruction");
+                    return instError(function, *block, inst,
+                                     "phi after non-phi instruction");
                 }
                 for (const auto &[value, incoming_block] :
                      inst.incoming()) {
                     if (!value || !incoming_block) {
-                        return blockError(function, *block,
-                                          "phi with null incoming");
+                        return instError(function, *block, inst,
+                                         "phi with null incoming");
                     }
                     if (!preds[block.get()].count(incoming_block)) {
-                        return blockError(
-                            function, *block,
+                        return instError(
+                            function, *block, inst,
                             "phi incoming from non-predecessor " +
                                 incoming_block->name());
                     }
@@ -73,10 +130,10 @@ verifyFunction(const Function &function)
             }
             for (const Value *operand : inst.operands()) {
                 if (!operand) {
-                    return blockError(function, *block,
-                                      "null operand in " +
-                                          std::string(opcodeName(
-                                              inst.op())));
+                    return instError(function, *block, inst,
+                                     "null operand in " +
+                                         std::string(opcodeName(
+                                             inst.op())));
                 }
             }
             // Structural checks for the TrackFM pseudo-instructions: a
@@ -85,14 +142,14 @@ verifyFunction(const Function &function)
             switch (inst.op()) {
               case Opcode::Guard:
                 if (inst.numOperands() != 1) {
-                    return blockError(function, *block,
-                                      "guard must have 1 operand");
+                    return instError(function, *block, inst,
+                                     "guard must have 1 operand");
                 }
                 break;
               case Opcode::GuardReval: {
                 if (inst.numOperands() != 2) {
-                    return blockError(function, *block,
-                                      "guard.reval must have 2 operands");
+                    return instError(function, *block, inst,
+                                     "guard.reval must have 2 operands");
                 }
                 const Value *armer = inst.operand(0);
                 const auto *armer_inst =
@@ -101,22 +158,22 @@ verifyFunction(const Function &function)
                         : nullptr;
                 if (!armer_inst || armer_inst->op() != Opcode::Guard ||
                     !armer_inst->armsEpoch) {
-                    return blockError(function, *block,
-                                      "guard.reval operand 0 must be an "
-                                      "epoch-arming guard");
+                    return instError(function, *block, inst,
+                                     "guard.reval operand 0 must be an "
+                                     "epoch-arming guard");
                 }
                 break;
               }
               case Opcode::ChunkBegin:
                 if (inst.numOperands() != 1) {
-                    return blockError(function, *block,
-                                      "chunk.begin must have 1 operand");
+                    return instError(function, *block, inst,
+                                     "chunk.begin must have 1 operand");
                 }
                 break;
               case Opcode::ChunkAccess: {
                 if (inst.numOperands() != 2) {
-                    return blockError(function, *block,
-                                      "chunk.access must have 2 operands");
+                    return instError(function, *block, inst,
+                                     "chunk.access must have 2 operands");
                 }
                 const Value *cursor = inst.operand(0);
                 const auto *cursor_inst =
@@ -125,16 +182,16 @@ verifyFunction(const Function &function)
                         : nullptr;
                 if (!cursor_inst ||
                     cursor_inst->op() != Opcode::ChunkBegin) {
-                    return blockError(function, *block,
-                                      "chunk.access operand 0 must be a "
-                                      "chunk.begin cursor");
+                    return instError(function, *block, inst,
+                                     "chunk.access operand 0 must be a "
+                                     "chunk.begin cursor");
                 }
                 break;
               }
               case Opcode::Prefetch:
                 if (inst.numOperands() != 1) {
-                    return blockError(function, *block,
-                                      "prefetch must have 1 operand");
+                    return instError(function, *block, inst,
+                                     "prefetch must have 1 operand");
                 }
                 break;
               default:
@@ -147,6 +204,43 @@ verifyFunction(const Function &function)
             if (inst.succ1 && !owned.count(inst.succ1)) {
                 return blockError(function, *block,
                                   "branch to foreign block");
+            }
+        }
+    }
+
+    // Revalidation soundness: every guard.reval's arming guard must
+    // dominate it (a reval reached before its armer executed would
+    // compare against a stale or uninitialized epoch), and the armer's
+    // result name must be unambiguous — duplicate epoch-arming guards
+    // sharing one name mean the textual IR shadowed the armer the
+    // reval meant to reference.
+    std::map<std::string, int> armers_by_name;
+    for (const auto &block : function.basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == Opcode::Guard && inst->armsEpoch &&
+                !inst->name().empty())
+                armers_by_name[inst->name()]++;
+        }
+    }
+    for (const auto &block : function.basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() != Opcode::GuardReval)
+                continue;
+            const auto *armer = static_cast<const Instruction *>(
+                inst->operand(0));
+            if (!armer->name().empty() &&
+                armers_by_name[armer->name()] > 1) {
+                return instError(
+                    function, *block, *inst,
+                    "guard.reval arming guard %" + armer->name() +
+                        " is ambiguous: multiple epoch-arming guards "
+                        "share that name");
+            }
+            if (!instructionDominates(function, armer, inst.get())) {
+                return instError(
+                    function, *block, *inst,
+                    "guard.reval arming guard %" + armer->name() +
+                        " does not dominate the revalidation");
             }
         }
     }

@@ -16,6 +16,32 @@ namespace tfm
 namespace
 {
 
+GuardOptMutation g_mutation = GuardOptMutation::None;
+
+/** Is the given legality bug currently injected? */
+bool
+mutated(GuardOptMutation mutation)
+{
+    return g_mutation == mutation;
+}
+
+} // anonymous namespace
+
+void
+setGuardOptMutation(GuardOptMutation mutation)
+{
+    g_mutation = mutation;
+}
+
+GuardOptMutation
+guardOptMutation()
+{
+    return g_mutation;
+}
+
+namespace
+{
+
 /**
  * May this instruction enter the TrackFM runtime? Any runtime entry can
  * evict frames, which stales every previously produced host pointer —
@@ -28,6 +54,7 @@ isGuardBarrier(const ir::Instruction &inst)
 {
     switch (inst.op()) {
       case ir::Opcode::Call:
+        return !mutated(GuardOptMutation::ElimCallNotBarrier);
       case ir::Opcode::Guard:
       case ir::Opcode::GuardReval:
       case ir::Opcode::ChunkBegin:
@@ -379,11 +406,14 @@ RedundantGuardElimPass::run(ir::Module &module)
                 for (ir::Instruction *candidate : available) {
                     if (candidate->operand(0) != inst->operand(0))
                         continue;
-                    if (candidate->parent() != block &&
+                    if (!mutated(GuardOptMutation::ElimSkipDominance) &&
+                        candidate->parent() != block &&
                         !dom.dominates(candidate->parent(), block)) {
                         continue;
                     }
-                    if (!barrierFreeBetween(cfg, candidate, inst))
+                    if (!mutated(
+                            GuardOptMutation::ElimSkipBarrierCheck) &&
+                        !barrierFreeBetween(cfg, candidate, inst))
                         continue;
                     dominating = candidate;
                     break;
@@ -393,8 +423,9 @@ RedundantGuardElimPass::run(ir::Module &module)
                     continue;
                 }
                 // Write-compat: promote rather than lose the dirty bit.
-                dominating->isWrite =
-                    dominating->isWrite || inst->isWrite;
+                if (!mutated(GuardOptMutation::ElimDropWritePromotion))
+                    dominating->isWrite =
+                        dominating->isWrite || inst->isWrite;
                 dominating->armsEpoch =
                     dominating->armsEpoch || inst->armsEpoch;
                 if (report)
@@ -446,18 +477,27 @@ GuardCoalescePass::run(ir::Module &module)
                     ir::Value *base = nullptr;
                     std::int64_t offset = 0;
                     std::int64_t alloc_bytes = 0;
-                    const std::int64_t limit = std::min<std::int64_t>(
-                        static_cast<std::int64_t>(objectSizeBytes),
+                    const std::int64_t resolved_bytes =
                         resolveConstantOffset(inst->operand(0), base,
                                               offset, alloc_bytes)
                             ? alloc_bytes
-                            : 0);
+                            : 0;
+                    const std::int64_t limit =
+                        mutated(GuardOptMutation::
+                                    CoalesceIgnoreObjectBound)
+                            ? resolved_bytes
+                            : std::min<std::int64_t>(
+                                  static_cast<std::int64_t>(
+                                      objectSizeBytes),
+                                  resolved_bytes);
                     // Widest access is 8 bytes; the whole access must
                     // stay inside both the allocation and its first
                     // AIFM object (RegionAllocator alignment rules).
-                    const bool member = base != nullptr && offset >= 0 &&
-                                        offset + 8 <= limit &&
-                                        !inst->armsEpoch;
+                    const bool member =
+                        base != nullptr && offset >= 0 &&
+                        offset + 8 <= limit &&
+                        (!inst->armsEpoch ||
+                         mutated(GuardOptMutation::CoalesceArmingGuards));
                     if (member && current.base == base) {
                         current.members.push_back(Member{inst, offset});
                     } else {
@@ -470,7 +510,8 @@ GuardCoalescePass::run(ir::Module &module)
                     }
                     continue;
                 }
-                if (isGuardBarrier(*inst))
+                if (isGuardBarrier(*inst) &&
+                    !mutated(GuardOptMutation::CoalesceIgnoreBarriers))
                     flush();
             }
             flush();
@@ -489,6 +530,8 @@ GuardCoalescePass::run(ir::Module &module)
                 bool any_write = false;
                 for (const Member &member : group.members)
                     any_write = any_write || member.guard->isWrite;
+                if (mutated(GuardOptMutation::CoalesceDropWriteFlag))
+                    any_write = false;
 
                 ir::Instruction *first = group.members.front().guard;
                 auto merged = ir::IRBuilder::make(
@@ -591,7 +634,8 @@ GuardHoistPass::run(ir::Module &module)
                         continue;
                     }
                     ir::Value *ptr = inst->operand(0);
-                    if (!ivs.isLoopInvariant(ptr))
+                    if (!mutated(GuardOptMutation::HoistNonInvariant) &&
+                        !ivs.isLoopInvariant(ptr))
                         continue;
 
                     auto armer = ir::IRBuilder::make(
@@ -616,7 +660,11 @@ GuardHoistPass::run(ir::Module &module)
 
                     if (report)
                         report->siteFor(ptr).guardsHoisted++;
-                    replaceAllUses(*function, inst, reval_placed);
+                    replaceAllUses(
+                        *function, inst,
+                        mutated(GuardOptMutation::HoistUseArmerDirectly)
+                            ? armer_placed
+                            : reval_placed);
                     block->removeAt(block->indexOf(inst));
                     hoisted++;
                     changed = true;

@@ -32,6 +32,49 @@ namespace tfm
 {
 
 /**
+ * Deliberate legality-bug injection for the guard-safety mutation
+ * harness (tests/test_safety.cc; recipe in EXPERIMENTS.md): each value
+ * disables exactly one legality condition inside one optimization so
+ * the independent checker (analysis/guard_safety.hh) or the farmem
+ * interpreter sanitizer must flag the now-unsound output. The
+ * production pipeline always runs with None.
+ */
+enum class GuardOptMutation : std::uint8_t
+{
+    None,
+    /// Elimination accepts a non-dominating "dominating" guard.
+    ElimSkipDominance,
+    /// Elimination skips the barrier-free-path requirement.
+    ElimSkipBarrierCheck,
+    /// Elimination keeps the dominator read-only when absorbing a
+    /// write guard (lost dirty bit).
+    ElimDropWritePromotion,
+    /// Calls stop counting as runtime barriers in the shared barrier
+    /// predicate (affects every window/legality computation).
+    ElimCallNotBarrier,
+    /// Coalescing drops the merged guard's write flag.
+    CoalesceDropWriteFlag,
+    /// Coalescing merges guard runs across runtime barriers.
+    CoalesceIgnoreBarriers,
+    /// Coalescing absorbs epoch-arming guards, orphaning their revals.
+    CoalesceArmingGuards,
+    /// Coalescing bounds offsets by the allocation size only, ignoring
+    /// the runtime object size (translation covers one object only) —
+    /// the designated dynamic-only mutant: statically well-formed, but
+    /// the merged guard's host pointer escapes its object frame.
+    CoalesceIgnoreObjectBound,
+    /// Hoisting rewires in-loop uses to the preheader armer instead of
+    /// the epoch-checked guard.reval.
+    HoistUseArmerDirectly,
+    /// Hoisting skips the loop-invariance test on the guarded pointer.
+    HoistNonInvariant,
+};
+
+/** Install a mutation (process-global; None restores production). */
+void setGuardOptMutation(GuardOptMutation mutation);
+GuardOptMutation guardOptMutation();
+
+/**
  * Static per-allocation-site guard accounting, keyed by the same
  * module-order allocation-call ordinals the interpreter's
  * AllocSiteProfile uses, so tfmc can join the two tables.

@@ -16,14 +16,17 @@ PassManager::run(ir::Module &module) const
         entry.changed = pass->run(module);
         entry.instructionsAfter = module.instructionCount();
         report.entries.push_back(entry);
+        // Observe before verifying: diagnostic observers (--print-after,
+        // the guard-safety checker) must still see the IR of a pass
+        // whose output the verifier is about to reject.
+        if (observer)
+            observer(pass->name(), module);
         const std::string error = ir::verifyModule(module);
         if (!error.empty()) {
             report.verifierError =
                 "after pass '" + pass->name() + "': " + error;
             break;
         }
-        if (observer)
-            observer(pass->name(), module);
     }
     report.instructionsAfter = module.instructionCount();
     return report;

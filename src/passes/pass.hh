@@ -66,9 +66,11 @@ class PassManager
     PipelineReport run(ir::Module &module) const;
 
     /**
-     * Observe the module after each pass runs (and verifies). Used by
-     * tfmc's --print-after to dump intermediate IR; receives the pass
-     * name and the module in its post-pass state.
+     * Observe the module after each pass runs, before the post-pass
+     * verification (so diagnostic observers still see IR the verifier
+     * rejects). Used by tfmc's --print-after to dump intermediate IR
+     * and by the guard-safety checker; receives the pass name and the
+     * module in its post-pass state.
      */
     void
     setObserver(

@@ -83,6 +83,7 @@ GuardPass::run(ir::Module &module)
                     const auto op =
                         static_cast<ir::Instruction *>(ptr)->op();
                     if (op == ir::Opcode::Guard ||
+                        op == ir::Opcode::GuardReval ||
                         op == ir::Opcode::ChunkAccess) {
                         continue;
                     }

@@ -87,6 +87,117 @@ TEST(Dominators, LoopHeaderDominatesBody)
     EXPECT_EQ(dom.idom(main_fn->entry()), nullptr);
 }
 
+TEST(Dominators, UnreachableBlocksAreOutsideTheTree)
+{
+    const char *text = R"(
+func @f() -> i64 {
+entry:
+  ret 1
+island:
+  br island2
+island2:
+  br island
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const Cfg cfg(*fn);
+    const DominatorTree dom(*fn, cfg);
+    ir::BasicBlock *entry = fn->findBlock("entry");
+    ir::BasicBlock *island = fn->findBlock("island");
+    EXPECT_FALSE(cfg.reachable(island));
+    // Nothing reachable dominates an unreachable block; dominance
+    // stays reflexive even off the tree.
+    EXPECT_FALSE(dom.dominates(entry, island));
+    EXPECT_TRUE(dom.dominates(island, island));
+    EXPECT_EQ(dom.idom(island), nullptr);
+}
+
+TEST(Dominators, SelfLoopHeader)
+{
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i2, loop ]
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, %n
+  condbr %c, loop, exit
+exit:
+  ret %i2
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const Cfg cfg(*fn);
+    const DominatorTree dom(*fn, cfg);
+    ir::BasicBlock *loop = fn->findBlock("loop");
+    EXPECT_EQ(dom.idom(loop), fn->findBlock("entry"));
+    EXPECT_TRUE(dom.dominates(loop, loop));
+    EXPECT_TRUE(dom.dominates(loop, fn->findBlock("exit")));
+    EXPECT_FALSE(dom.dominates(fn->findBlock("exit"), loop));
+}
+
+TEST(Dominators, CriticalEdgeDiamond)
+{
+    // entry -> join is a critical edge (entry has two successors,
+    // join has two predecessors); neither arm may claim the join.
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+  %c = icmp.slt %n, 3
+  condbr %c, left, join
+left:
+  br join
+join:
+  %v = phi i64 [ 1, entry ], [ 2, left ]
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const Cfg cfg(*fn);
+    const DominatorTree dom(*fn, cfg);
+    EXPECT_EQ(dom.idom(fn->findBlock("join")), fn->findBlock("entry"));
+    EXPECT_FALSE(
+        dom.dominates(fn->findBlock("left"), fn->findBlock("join")));
+    EXPECT_TRUE(
+        dom.dominates(fn->findBlock("entry"), fn->findBlock("left")));
+}
+
+TEST(Dominators, MultiPredJoinIdomIsNearestCommonDominator)
+{
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+  %c = icmp.slt %n, 3
+  condbr %c, a, b
+a:
+  br join
+b:
+  %c2 = icmp.slt %n, 5
+  condbr %c2, c, join
+c:
+  br join
+join:
+  %v = phi i64 [ 1, a ], [ 2, b ], [ 3, c ]
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const Cfg cfg(*fn);
+    const DominatorTree dom(*fn, cfg);
+    ir::BasicBlock *join = fn->findBlock("join");
+    EXPECT_EQ(cfg.predecessors(join).size(), 3u);
+    EXPECT_EQ(dom.idom(join), fn->findBlock("entry"));
+    EXPECT_EQ(dom.idom(fn->findBlock("c")), fn->findBlock("b"));
+    EXPECT_TRUE(dom.dominates(fn->findBlock("b"), fn->findBlock("c")));
+    EXPECT_FALSE(dom.dominates(fn->findBlock("b"), join));
+    EXPECT_FALSE(dom.dominates(fn->findBlock("c"), join));
+}
+
 TEST(Loops, FindsBothLoopsWithPreheaders)
 {
     auto parsed = parseOrDie(testprogs::sumProgram);
@@ -289,6 +400,104 @@ entry:
             EXPECT_EQ(provenance.of(inst.get()), Provenance::Heap);
         }
     }
+}
+
+TEST(HeapProvenanceAnalysis, RevalAndChunkTranslateTheRawPointer)
+{
+    // guard.reval and chunk.access carry the guard/cursor in operand 0
+    // and the raw pointer in operand 1; provenance must follow the
+    // pointer, not the translation machinery.
+    const char *text = R"(
+func @f() -> i64 {
+entry:
+  %p = call ptr @malloc(32)
+  %g = guard.w %p, epoch
+  store 1, %g
+  %cur = chunk.begin %p, 8
+  br loop
+loop:
+  %h = guard.reval.r %g, %p
+  %v = load i64, %h
+  %ca = chunk.access.r %cur, %p
+  %w = load i64, %ca
+  %c = icmp.slt %v, %w
+  condbr %c, loop, exit
+exit:
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const HeapProvenance provenance(*fn);
+    for (const auto &block : fn->basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Guard ||
+                inst->op() == ir::Opcode::GuardReval ||
+                inst->op() == ir::Opcode::ChunkAccess) {
+                EXPECT_EQ(provenance.of(inst.get()), Provenance::Heap)
+                    << "%" << inst->name();
+            }
+        }
+    }
+}
+
+TEST(HeapProvenanceAnalysis, SelfReferentialPhiStaysGuardable)
+{
+    // A pointer-chase phi feeding its own gep: the pessimistic seed
+    // makes the cycle converge to Unknown, which still takes a guard —
+    // the analysis may lose precision but never soundness.
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+  %h = call ptr @malloc(64)
+  br loop
+loop:
+  %p = phi ptr [ %h, entry ], [ %p2, loop ]
+  %i = phi i64 [ 0, entry ], [ %i2, loop ]
+  %p2 = gep %p, 1, 8
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, %n
+  condbr %c, loop, exit
+exit:
+  %v = load i64, %p
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const HeapProvenance provenance(*fn);
+    const ir::Instruction *phi =
+        fn->findBlock("loop")->instructions().front().get();
+    ASSERT_EQ(phi->op(), ir::Opcode::Phi);
+    EXPECT_EQ(provenance.of(phi), Provenance::Unknown);
+    EXPECT_TRUE(provenance.needsGuard(phi));
+}
+
+TEST(HeapProvenanceAnalysis, AllHeapJoinStaysHeap)
+{
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+  %a = call ptr @malloc(8)
+  %b = call ptr @malloc(8)
+  %c = icmp.slt %n, 3
+  condbr %c, l, r
+l:
+  br join
+r:
+  br join
+join:
+  %p = phi ptr [ %a, l ], [ %b, r ]
+  %v = load i64, %p
+  ret %v
+}
+)";
+    auto parsed = parseOrDie(text);
+    const ir::Function *fn = parsed.module->findFunction("f");
+    const HeapProvenance provenance(*fn);
+    const ir::Instruction *phi =
+        fn->findBlock("join")->instructions().front().get();
+    EXPECT_EQ(provenance.of(phi), Provenance::Heap);
 }
 
 } // namespace

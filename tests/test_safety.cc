@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Tests for the guard-safety checker (analysis/guard_safety), its
+ * pipeline integration (passes/safety_check_pass, SystemConfig::
+ * checkSafety), the interpreter's farmem sanitizer, and the guard-opt
+ * mutation harness: ten deliberate legality bugs injected into the
+ * guard optimization suite, each of which the static checker (or, for
+ * the designated dynamic-only mutant, the sanitizer) must flag, while
+ * the unmutated pipeline stays diagnostic-free on the whole corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/guard_safety.hh"
+#include "core/system.hh"
+#include "interp/interpreter.hh"
+#include "ir_test_programs.hh"
+#include "passes/guard_opt.hh"
+
+namespace tfm
+{
+namespace
+{
+
+/**
+ * Two guards on one object in sibling branches of a diamond plus a
+ * third at the join. No guard dominates another, so redundant-guard
+ * elimination must keep all three. Expected result: 7.
+ */
+const char *const diamondProgram = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @malloc(16)
+  %v = call i64 @flag()
+  %c = icmp.slt %v, 3
+  condbr %c, left, right
+left:
+  store 7, %p
+  br join
+right:
+  store 9, %p
+  br join
+join:
+  %r = load i64, %p
+  ret %r
+}
+func @flag() -> i64 {
+entry:
+  ret 1
+}
+)";
+
+/**
+ * A helper call that reaches tfm_evacuate_all between a guarded store
+ * and a same-pointer load: the call is a runtime barrier, so the two
+ * accesses must keep separate guards. Expected result: 5.
+ */
+const char *const evictBetweenProgram = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @malloc(8)
+  store 5, %p
+  %e = call i64 @evict()
+  %v = load i64, %p
+  ret %v
+}
+func @evict() -> i64 {
+entry:
+  call void @tfm_evacuate_all()
+  ret 0
+}
+)";
+
+/**
+ * Two runs of same-base constant-offset guards split by an evacuating
+ * call: coalescing may merge within each run but never across the
+ * call. Expected result: 66.
+ */
+const char *const evictSplitRunProgram = R"(
+func @main() -> i64 {
+entry:
+  %s = call ptr @malloc(32)
+  store 11, %s
+  %f1 = gep %s, 1, 8
+  store 22, %f1
+  %e = call i64 @evict()
+  %f2 = gep %s, 2, 8
+  store 33, %f2
+  %v0 = load i64, %s
+  %v1 = load i64, %f1
+  %v2 = load i64, %f2
+  %t0 = add %v0, %v1
+  %t1 = add %t0, %v2
+  ret %t1
+}
+func @evict() -> i64 {
+entry:
+  call void @tfm_evacuate_all()
+  ret 0
+}
+)";
+
+/**
+ * A hand-armed epoch guard feeding a loop's guard.reval, adjacent (in
+ * the coalescing sense) to a plain guard on the same allocation:
+ * coalescing must not fold the armer into a merged guard, because the
+ * merged guard would not arm the epoch the reval depends on. The
+ * call between %g0 and %ga keeps elimination from merging them first.
+ * Expected result: 25.
+ */
+const char *const armedPairProgram = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @malloc(32)
+  %g0 = guard.w %p
+  store 5, %g0
+  %e = call i64 @flag()
+  %ga = guard.w %p, epoch
+  %v0 = load i64, %ga
+  %f1 = gep %p, 1, 8
+  %g1 = guard.w %f1
+  store %v0, %g1
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i2, loop ]
+  %acc = phi i64 [ 0, entry ], [ %acc2, loop ]
+  %gr = guard.reval.r %ga, %p
+  %v = load i64, %gr
+  %acc2 = add %acc, %v
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 4
+  condbr %c, loop, exit
+exit:
+  %gx = guard.r %p
+  %r = load i64, %gx
+  %t = add %acc2, %r
+  ret %t
+}
+func @flag() -> i64 {
+entry:
+  ret 1
+}
+)";
+
+/**
+ * Strided sweeps (a[2*i], byte stride 16 over 8-byte elements): the
+ * guarded pointer changes every iteration, so hoisting must leave the
+ * in-loop guards alone. Expected result: 499500.
+ */
+const char *const stridedProgram = R"(
+func @main() -> i64 {
+entry:
+  %a = call ptr @malloc(16000)
+  br init
+init:
+  %i = phi i64 [ 0, entry ], [ %i2, init ]
+  %d = mul %i, 2
+  %p = gep %a, %d, 8
+  store %i, %p
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 1000
+  condbr %c, init, compute
+compute:
+  br loop
+loop:
+  %j = phi i64 [ 0, compute ], [ %j2, loop ]
+  %acc = phi i64 [ 0, compute ], [ %acc2, loop ]
+  %e = mul %j, 2
+  %q = gep %a, %e, 8
+  %v = load i64, %q
+  %acc2 = add %acc, %v
+  %j2 = add %j, 1
+  %c2 = icmp.slt %j2, 1000
+  condbr %c2, loop, exit
+exit:
+  ret %acc2
+}
+)";
+
+/**
+ * One 8000-byte allocation (two 4096-byte AIFM objects) accessed at
+ * offsets 0 and 4200: both offsets resolve against the same base, but
+ * a merged guard would translate only the first object's frame, so
+ * coalescing must respect min(object size, allocation size). The
+ * static checker does not model offsets — this is the designated
+ * dynamic-only mutant, caught by the sanitizer's frame-escape check.
+ * Expected result: 33.
+ */
+const char *const wideObjectProgram = R"(
+func @main() -> i64 {
+entry:
+  %a = call ptr @malloc(8000)
+  store 11, %a
+  %q = gep %a, 525, 8
+  store 22, %q
+  %v0 = load i64, %a
+  %v1 = load i64, %q
+  %r = add %v0, %v1
+  ret %r
+}
+)";
+
+/** Restores the unmutated pipeline when a test scope exits. */
+struct MutationScope
+{
+    explicit MutationScope(GuardOptMutation mutation)
+    {
+        setGuardOptMutation(mutation);
+    }
+    ~MutationScope() { setGuardOptMutation(GuardOptMutation::None); }
+};
+
+SystemConfig
+checkedConfig(bool optimize_guards)
+{
+    SystemConfig config;
+    config.runtime.farHeapBytes = 4 << 20;
+    config.runtime.localMemBytes = 256 << 10;
+    config.checkSafety = true;
+    config.passes.optimizeGuards = optimize_guards;
+    return config;
+}
+
+bool
+reportHasKind(const SafetyReport &report, SafetyDiagKind kind)
+{
+    for (const SafetyReport::PassEntry &entry : report.perPass) {
+        for (const SafetyDiagnostic &diag : entry.diagnostics) {
+            if (diag.kind == kind)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::string
+reportToString(const SafetyReport &report)
+{
+    std::string text;
+    for (const SafetyReport::PassEntry &entry : report.perPass) {
+        for (const SafetyDiagnostic &diag : entry.diagnostics)
+            text += "after " + entry.pass + ": " +
+                    formatSafetyDiagnostic(diag) + "\n";
+    }
+    return text;
+}
+
+/** The differential corpus: every program with its expected result. */
+struct CorpusEntry
+{
+    const char *name;
+    const char *source;
+    std::int64_t expected;
+};
+
+const CorpusEntry kCorpus[] = {
+    {"sum", testprogs::sumProgram, 499500},
+    {"sumI32", testprogs::sumI32Program, 5995},
+    {"stack", testprogs::stackProgram, 4},
+    {"o1", testprogs::o1Program, 84},
+    {"invariantAccumulator", testprogs::invariantAccumulatorProgram,
+     499500},
+    {"structFields", testprogs::structFieldsProgram, 66},
+    {"evacuationLoop", testprogs::evacuationLoopProgram, 4950},
+    {"twoObject", testprogs::twoObjectProgram, 30},
+    {"diamond", diamondProgram, 7},
+    {"evictBetween", evictBetweenProgram, 5},
+    {"evictSplitRun", evictSplitRunProgram, 66},
+    {"armedPair", armedPairProgram, 25},
+    {"strided", stridedProgram, 499500},
+    {"wideObject", wideObjectProgram, 33},
+};
+
+TEST(SafetyChecker, UnmutatedPipelineIsCleanAtEveryOptLevel)
+{
+    for (const CorpusEntry &entry : kCorpus) {
+        for (const bool optimize : {true, false}) {
+            System system(checkedConfig(optimize));
+            CompileResult compiled = system.compile(entry.source);
+            ASSERT_TRUE(compiled.ok())
+                << entry.name << " optimize=" << optimize << ": "
+                << compiled.error;
+            EXPECT_TRUE(system.safetyReport().clean())
+                << entry.name << " optimize=" << optimize << "\n"
+                << reportToString(system.safetyReport());
+            const RunResult result = system.run(*compiled.program);
+            ASSERT_TRUE(result.ok())
+                << entry.name << ": " << result.trapMessage;
+            EXPECT_EQ(result.returnValue, entry.expected) << entry.name;
+        }
+    }
+}
+
+TEST(SafetyChecker, ReportCoversEveryPassFromPointerGuardsOn)
+{
+    System system(checkedConfig(true));
+    ASSERT_TRUE(system.compile(testprogs::sumProgram).ok());
+    const SafetyReport &report = system.safetyReport();
+    ASSERT_FALSE(report.perPass.empty());
+    EXPECT_EQ(report.perPass.front().pass, "pointer-guards");
+    std::vector<std::string> checked;
+    for (const SafetyReport::PassEntry &entry : report.perPass)
+        checked.push_back(entry.pass);
+    // Pre- and post-optimization coverage: the raw guarded IR and the
+    // output of every optimizing stage are both checked.
+    EXPECT_NE(std::find(checked.begin(), checked.end(), "guard-elim"),
+              checked.end());
+    EXPECT_NE(std::find(checked.begin(), checked.end(), "guard-hoist"),
+              checked.end());
+    EXPECT_EQ(checked.back(), "prefetch-injection");
+    // O1 passes run before pointer-guards and are never checked.
+    EXPECT_EQ(std::find(checked.begin(), checked.end(), "dce"),
+              checked.end());
+}
+
+TEST(SafetySanitizer, CleanProgramsRunUnchanged)
+{
+    for (const CorpusEntry &entry : kCorpus) {
+        System system(checkedConfig(true));
+        CompileResult compiled = system.compile(entry.source);
+        ASSERT_TRUE(compiled.ok()) << entry.name;
+        Interpreter interp(compiled.program->ir(), system.runtime());
+        interp.enableSanitizer();
+        const RunResult result = interp.run("main");
+        ASSERT_TRUE(result.ok())
+            << entry.name << ": " << result.trapMessage;
+        EXPECT_EQ(result.returnValue, entry.expected) << entry.name;
+    }
+}
+
+/** One injected legality bug the static checker must flag. */
+struct StaticMutantCase
+{
+    GuardOptMutation mutation;
+    const char *name;
+    const char *source;
+    SafetyDiagKind expected;
+};
+
+const StaticMutantCase kStaticMutants[] = {
+    {GuardOptMutation::ElimSkipDominance, "ElimSkipDominance",
+     diamondProgram, SafetyDiagKind::SsaDominance},
+    {GuardOptMutation::ElimSkipBarrierCheck, "ElimSkipBarrierCheck",
+     testprogs::twoObjectProgram, SafetyDiagKind::StaleHostPointer},
+    {GuardOptMutation::ElimDropWritePromotion, "ElimDropWritePromotion",
+     testprogs::invariantAccumulatorProgram,
+     SafetyDiagKind::MissingWriteFlag},
+    {GuardOptMutation::ElimCallNotBarrier, "ElimCallNotBarrier",
+     evictBetweenProgram, SafetyDiagKind::StaleHostPointer},
+    {GuardOptMutation::CoalesceDropWriteFlag, "CoalesceDropWriteFlag",
+     testprogs::structFieldsProgram, SafetyDiagKind::MissingWriteFlag},
+    {GuardOptMutation::CoalesceIgnoreBarriers, "CoalesceIgnoreBarriers",
+     evictSplitRunProgram, SafetyDiagKind::StaleHostPointer},
+    {GuardOptMutation::CoalesceArmingGuards, "CoalesceArmingGuards",
+     armedPairProgram, SafetyDiagKind::RevalArmerUnsound},
+    {GuardOptMutation::HoistUseArmerDirectly, "HoistUseArmerDirectly",
+     testprogs::invariantAccumulatorProgram,
+     SafetyDiagKind::StaleHostPointer},
+    {GuardOptMutation::HoistNonInvariant, "HoistNonInvariant",
+     stridedProgram, SafetyDiagKind::SsaDominance},
+};
+
+TEST(SafetyMutation, EveryStaticMutantIsFlagged)
+{
+    for (const StaticMutantCase &mutant : kStaticMutants) {
+        MutationScope scope(mutant.mutation);
+        System system(checkedConfig(true));
+        // The broken IR may also fail post-pass verification (the
+        // observer runs first, so the report is populated either way);
+        // what matters is that the checker caught the bug.
+        (void)system.compile(mutant.source);
+        const SafetyReport &report = system.safetyReport();
+        EXPECT_GT(report.totalDiagnostics(), 0u)
+            << mutant.name << " produced no safety diagnostics";
+        EXPECT_TRUE(reportHasKind(report, mutant.expected))
+            << mutant.name << " missing expected kind "
+            << safetyDiagKindName(mutant.expected) << "; got:\n"
+            << reportToString(report);
+    }
+}
+
+TEST(SafetyMutation, ObjectBoundMutantIsCaughtBySanitizer)
+{
+    // The designated dynamic-only mutant: merging guards across the
+    // object-size bound is invisible to the offset-less static model
+    // but walks off the guarded frame at runtime.
+    MutationScope scope(GuardOptMutation::CoalesceIgnoreObjectBound);
+    System system(checkedConfig(true));
+    CompileResult compiled = system.compile(wideObjectProgram);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    EXPECT_TRUE(system.safetyReport().clean())
+        << "expected the static checker to miss this mutant:\n"
+        << reportToString(system.safetyReport());
+    Interpreter interp(compiled.program->ir(), system.runtime());
+    interp.enableSanitizer();
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.trapped);
+    EXPECT_NE(result.trapMessage.find("farmem-sanitizer"),
+              std::string::npos)
+        << result.trapMessage;
+    EXPECT_NE(result.trapMessage.find("escapes the guarded object"),
+              std::string::npos)
+        << result.trapMessage;
+}
+
+TEST(SafetyChecker, StaleDerefAcrossEvacuationIsReported)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @tfm_malloc(8)
+  %g = guard.w %p
+  store 7, %g
+  call void @tfm_evacuate_all()
+  %v = load i64, %g
+  ret %v
+}
+)";
+    System system(checkedConfig(true));
+    CompileResult parsed = system.parseOnly(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const std::vector<SafetyDiagnostic> diags =
+        checkGuardSafety(parsed.program->ir());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, SafetyDiagKind::StaleHostPointer);
+    EXPECT_GT(diags[0].line, 0);
+    EXPECT_NE(formatSafetyDiagnostic(diags[0], "prog.tir")
+                  .find("prog.tir:"),
+              std::string::npos);
+
+    // The dynamic layer agrees: the evacuation poisons %g's host
+    // translation and the stale deref traps with full provenance.
+    Interpreter interp(parsed.program->ir(), system.runtime());
+    interp.enableSanitizer();
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.trapped);
+    EXPECT_NE(result.trapMessage.find("use-after-eviction"),
+              std::string::npos)
+        << result.trapMessage;
+    EXPECT_NE(result.trapMessage.find("%g"), std::string::npos);
+    EXPECT_NE(result.trapMessage.find("tfm_malloc (line"),
+              std::string::npos)
+        << result.trapMessage;
+}
+
+TEST(SafetyChecker, StoreThroughReadGuardIsReported)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @tfm_malloc(8)
+  %g = guard.r %p
+  store 7, %g
+  ret 0
+}
+)";
+    System system(checkedConfig(true));
+    CompileResult parsed = system.parseOnly(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const std::vector<SafetyDiagnostic> diags =
+        checkGuardSafety(parsed.program->ir());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, SafetyDiagKind::MissingWriteFlag);
+}
+
+TEST(SafetyChecker, GuardedPointerEscapeIsReported)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %buf = alloca 16
+  %p = call ptr @tfm_malloc(8)
+  %g = guard.r %p
+  store %g, %buf
+  ret 0
+}
+)";
+    System system(checkedConfig(true));
+    CompileResult parsed = system.parseOnly(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const std::vector<SafetyDiagnostic> diags =
+        checkGuardSafety(parsed.program->ir());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, SafetyDiagKind::GuardedPtrEscape);
+}
+
+TEST(SafetyChecker, UnguardedFarLoadIsReported)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @tfm_malloc(8)
+  %v = load i64, %p
+  ret %v
+}
+)";
+    System system(checkedConfig(true));
+    CompileResult parsed = system.parseOnly(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const std::vector<SafetyDiagnostic> diags =
+        checkGuardSafety(parsed.program->ir());
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, SafetyDiagKind::UnguardedFarAccess);
+}
+
+TEST(SafetySanitizer, OutOfBoundsAccessWithinFrameIsTrapped)
+{
+    // Offset 320 is inside the 4096-byte object frame but past the
+    // 16-byte allocation: only the allocation-interval check sees it.
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @tfm_malloc(16)
+  %g = guard.w %p
+  %q = gep %g, 40, 8
+  store 7, %q
+  ret 0
+}
+)";
+    System system(checkedConfig(true));
+    CompileResult parsed = system.parseOnly(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_TRUE(checkGuardSafety(parsed.program->ir()).empty());
+    Interpreter interp(parsed.program->ir(), system.runtime());
+    interp.enableSanitizer();
+    const RunResult result = interp.run("main");
+    ASSERT_TRUE(result.trapped);
+    EXPECT_NE(result.trapMessage.find("outside any live allocation"),
+              std::string::npos)
+        << result.trapMessage;
+}
+
+TEST(SafetyChecker, GuardRootProducerWalksDerivations)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @tfm_malloc(32)
+  %g = guard.w %p
+  %q = gep %g, 1, 8
+  %qi = ptrtoint %q to i64
+  %qj = add %qi, 8
+  %qp = inttoptr %qj to ptr
+  store 7, %qp
+  ret 0
+}
+)";
+    System system(checkedConfig(true));
+    CompileResult parsed = system.parseOnly(source);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const ir::Function *main_fn =
+        parsed.program->ir().findFunction("main");
+    ASSERT_NE(main_fn, nullptr);
+    const ir::Instruction *guard = nullptr;
+    const ir::Instruction *store = nullptr;
+    for (const auto &inst : main_fn->entry()->instructions()) {
+        if (inst->op() == ir::Opcode::Guard)
+            guard = inst.get();
+        if (inst->op() == ir::Opcode::Store)
+            store = inst.get();
+    }
+    ASSERT_NE(guard, nullptr);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(guardRootProducer(store->operand(1)), guard);
+}
+
+} // namespace
+} // namespace tfm

@@ -35,6 +35,19 @@ for example in examples/*.tir; do
 done
 echo "check_build: example programs OK"
 
+# Guard-safety gate: the static checker must stay diagnostic-free on
+# every example at both opt levels (tfmc exits non-zero on any
+# finding), and the farmem sanitizer must execute every example without
+# trapping — the differential corpus behind the mutation harness.
+for example in examples/*.tir; do
+    "${BUILD_DIR}/tools/tfmc" --check-safety "${example}" > /dev/null
+    "${BUILD_DIR}/tools/tfmc" --check-safety --no-guard-opt \
+        "${example}" > /dev/null
+    "${BUILD_DIR}/tools/tfmc" --run --sanitize=farmem "${example}" \
+        > /dev/null
+done
+echo "check_build: guard-safety checker and farmem sanitizer OK"
+
 # Sanitizer pass: rebuild in a separate directory with
 # -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the
 # tier-1 suite under it. TFM_SANITIZE=off skips the pass.

@@ -72,6 +72,31 @@ printInstantTable(const std::map<std::string, std::uint64_t> &instants)
     }
 }
 
+/**
+ * Guard-safety checker counters ("safety.<pass>", one sample per
+ * checked pipeline stage): diagnostics per pass, kept out of the
+ * generic counter table so a dirty compile is obvious at a glance.
+ */
+void
+printSafetyTable(const std::map<std::string, Histogram> &safety)
+{
+    if (safety.empty())
+        return;
+    const int width = static_cast<int>(nameWidth(safety, 6));
+    std::uint64_t total = 0;
+    std::printf("\n%-*s %10s %12s\n", width, "safety", "checks",
+                "diagnostics");
+    for (const auto &[name, h] : safety) {
+        std::printf("%-*s %10llu %12llu\n", width, name.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.sum()));
+        total += h.sum();
+    }
+    std::printf("%-*s %10s %12llu%s\n", width, "total", "",
+                static_cast<unsigned long long>(total),
+                total ? "   <-- UNSAFE" : "");
+}
+
 void
 printCounterTable(const std::map<std::string, Histogram> &counters)
 {
@@ -109,6 +134,7 @@ main(int argc, char **argv)
     std::map<std::string, Histogram> spans;
     std::map<std::string, std::uint64_t> instants;
     std::map<std::string, Histogram> counters;
+    std::map<std::string, Histogram> safetyCounters;
     // Open 'B' spans per (pid, tid): Chrome semantics say 'E' closes
     // the innermost open span on its track.
     std::map<std::pair<std::uint32_t, std::uint32_t>,
@@ -140,8 +166,13 @@ main(int argc, char **argv)
             break;
         case 'C': {
             const auto it = e.args.find("value");
-            if (it != e.args.end())
-                counters[e.name].record(it->second);
+            if (it == e.args.end())
+                break;
+            if (e.name.rfind("safety.", 0) == 0) {
+                safetyCounters[e.name.substr(7)].record(it->second);
+                break;
+            }
+            counters[e.name].record(it->second);
             break;
         }
         default:
@@ -163,5 +194,6 @@ main(int argc, char **argv)
     printSpanTable(spans);
     printInstantTable(instants);
     printCounterTable(counters);
+    printSafetyTable(safetyCounters);
     return 0;
 }

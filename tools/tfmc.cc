@@ -23,10 +23,13 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "core/autotuner.hh"
 #include "core/system.hh"
 #include "interp/interpreter.hh"
 #include "ir/printer.hh"
+#include "obs/obs.hh"
 
 namespace
 {
@@ -42,6 +45,9 @@ struct Options
     bool prefetch = true;
     bool guardOpt = true;
     bool guardReport = false;
+    bool checkSafety = false;
+    std::string sanitize;   ///< "farmem", or empty = off
+    std::string trace;      ///< trace output path; empty = off
     std::string printAfter; ///< pass name, or "all"; empty = off
     std::string chunk = "costmodel";
     std::uint32_t objectSize = 4096;
@@ -63,6 +69,15 @@ usage()
         "  --no-guard-opt        disable the guard optimization suite\n"
         "  --print-after=<pass>  dump IR after the named pass (or 'all')\n"
         "  --print-guard-report  per-allocation-site guard table\n"
+        "  --check-safety        run the static guard-safety checker on\n"
+        "                        the IR after every pipeline pass; print\n"
+        "                        diagnostics and exit non-zero on any\n"
+        "  --sanitize=farmem     dynamic far-memory checking under --run:\n"
+        "                        trap stale translations, object-frame\n"
+        "                        escapes, and out-of-bounds far accesses\n"
+        "  --trace=<file>        write a Chrome trace_event JSON file\n"
+        "                        (runtime spans/counters plus per-stage\n"
+        "                        safety.* counters under --check-safety)\n"
         "  --autotune            search object sizes, report the best\n"
         "  --chunk=<p>           none | all | costmodel (default)\n"
         "  --object-size=<n>     AIFM object size in bytes (default 4096)\n"
@@ -89,6 +104,12 @@ parseArgs(int argc, char **argv, Options &options)
             options.guardOpt = false;
         } else if (arg == "--print-guard-report") {
             options.guardReport = true;
+        } else if (arg == "--check-safety") {
+            options.checkSafety = true;
+        } else if (arg.rfind("--sanitize=", 0) == 0) {
+            options.sanitize = arg.substr(11);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            options.trace = arg.substr(8);
         } else if (arg.rfind("--print-after=", 0) == 0) {
             options.printAfter = arg.substr(14);
         } else if (arg == "--autotune") {
@@ -189,6 +210,63 @@ printGuardReport(const tfm::System &system,
                 static_cast<unsigned long long>(report.totalHoisted()));
 }
 
+/**
+ * Print the guard-safety diagnostics in machine-readable form (one per
+ * line, pass-stamped) plus a per-pass summary.
+ * @return total diagnostic count.
+ */
+std::size_t
+printSafetyReport(const tfm::SafetyReport &report)
+{
+    std::size_t total = 0;
+    for (const tfm::SafetyReport::PassEntry &entry : report.perPass) {
+        for (const tfm::SafetyDiagnostic &diag : entry.diagnostics) {
+            std::printf("safety: after %s: %s\n", entry.pass.c_str(),
+                        tfm::formatSafetyDiagnostic(diag).c_str());
+            total++;
+        }
+    }
+    std::printf("safety: %zu stage(s) checked, %zu diagnostic(s)\n",
+                report.perPass.size(), total);
+    for (const tfm::SafetyReport::PassEntry &entry : report.perPass) {
+        std::printf("safety:   %-20s %zu\n", entry.pass.c_str(),
+                    entry.diagnostics.size());
+    }
+    return total;
+}
+
+/**
+ * Owns the --trace observability sink for the process and writes the
+ * Chrome trace_event JSON file on destruction (i.e. on every exit path
+ * out of main).
+ */
+struct TraceWriter
+{
+    explicit TraceWriter(const std::string &trace_path) : path(trace_path)
+    {
+        if (path.empty())
+            return;
+        tfm::ObsConfig obs_config;
+        obs_config.trace = true;
+        sink = std::make_unique<tfm::Observability>(obs_config);
+    }
+
+    ~TraceWriter()
+    {
+        if (!sink)
+            return;
+        std::ofstream os(path);
+        if (os)
+            sink->writeTrace(os);
+        else
+            std::fprintf(stderr, "tfmc: cannot open trace file '%s'\n",
+                         path.c_str());
+    }
+
+    std::string path;
+    std::unique_ptr<tfm::Observability> sink;
+};
+
 } // anonymous namespace
 
 int
@@ -237,6 +315,16 @@ main(int argc, char **argv)
                      options.chunk.c_str());
         return 2;
     }
+    if (!options.sanitize.empty() && options.sanitize != "farmem") {
+        std::fprintf(stderr, "tfmc: bad --sanitize value '%s'\n",
+                     options.sanitize.c_str());
+        return 2;
+    }
+    config.checkSafety = options.checkSafety;
+
+    TraceWriter trace(options.trace);
+    if (trace.sink)
+        config.runtime.obs = trace.sink.get();
 
     if (options.autotune) {
         tfm::AutotuneConfig tune;
@@ -264,12 +352,21 @@ main(int argc, char **argv)
     tfm::CompileResult compiled = options.transform
                                       ? system.compile(source)
                                       : system.parseOnly(source);
+    std::size_t safety_diags = 0;
+    if (options.checkSafety) {
+        // Report even when the pipeline failed: the observer runs
+        // before the verifier, so the diagnostics that explain a
+        // rejected module are already in the report.
+        safety_diags = printSafetyReport(system.safetyReport());
+    }
     if (!compiled.ok()) {
         std::fprintf(stderr, "tfmc: %s\n", compiled.error.c_str());
         return 1;
     }
+    if (safety_diags > 0)
+        return 1;
 
-    if (options.emitIr || !options.run)
+    if (options.emitIr || (!options.run && !options.checkSafety))
         std::fputs(compiled.program->disassemble().c_str(), stdout);
 
     if (!options.run) {
@@ -284,6 +381,8 @@ main(int argc, char **argv)
                                  system.runtime());
     if (options.guardReport)
         interpreter.enableAllocationProfiling();
+    if (options.sanitize == "farmem")
+        interpreter.enableSanitizer();
     const tfm::RunResult result = interpreter.run("main");
     for (const std::int64_t value : result.output)
         std::printf("%lld\n", static_cast<long long>(value));
