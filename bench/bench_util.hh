@@ -12,6 +12,7 @@
 #ifndef TRACKFM_BENCH_BENCH_UTIL_HH
 #define TRACKFM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -80,30 +81,96 @@ class TraceSession
     }
 
   private:
-    /** The value of --trace=<file> on this process's command line. */
-    static std::string
-    traceArg()
-    {
-        std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
-        const std::string all((std::istreambuf_iterator<char>(cmdline)),
-                              std::istreambuf_iterator<char>());
-        const std::string prefix = "--trace=";
-        std::size_t start = 0;
-        while (start < all.size()) {
-            std::size_t end = all.find('\0', start);
-            if (end == std::string::npos)
-                end = all.size();
-            if (all.compare(start, prefix.size(), prefix) == 0)
-                return all.substr(start + prefix.size(),
-                                  end - start - prefix.size());
-            start = end + 1;
-        }
-        return "";
-    }
+    static std::string traceArg();
 
     std::string path;
     Observability *sink = nullptr;
 };
+
+/**
+ * The value of `--<name>=<value>` on this process's command line, or ""
+ * when absent. Bench binaries have argument-less main() functions, so
+ * flags are recovered from /proc/self/cmdline.
+ */
+inline std::string
+cmdlineArg(const char *name)
+{
+    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+    const std::string all((std::istreambuf_iterator<char>(cmdline)),
+                          std::istreambuf_iterator<char>());
+    const std::string prefix = std::string("--") + name + "=";
+    std::size_t start = 0;
+    while (start < all.size()) {
+        std::size_t end = all.find('\0', start);
+        if (end == std::string::npos)
+            end = all.size();
+        if (all.compare(start, prefix.size(), prefix) == 0)
+            return all.substr(start + prefix.size(),
+                              end - start - prefix.size());
+        start = end + 1;
+    }
+    return "";
+}
+
+inline std::string
+TraceSession::traceArg()
+{
+    return cmdlineArg("trace");
+}
+
+/**
+ * Wall-clock measurement policy for dispatch-rate (host time) numbers:
+ * `warmup` throwaway runs, then the minimum over `repeats` timed runs
+ * — the standard way to get a stable rate out of a noisy shared host.
+ * Overridable with --repeat=N / --warmup=N (TFM_REPEAT / TFM_WARMUP
+ * for non-procfs platforms).
+ */
+struct RepeatConfig
+{
+    int repeats = 5;
+    int warmup = 1;
+};
+
+inline RepeatConfig
+repeatConfig()
+{
+    RepeatConfig config;
+    auto read = [](const char *flag, const char *env, int fallback) {
+        std::string value = cmdlineArg(flag);
+        if (value.empty()) {
+            if (const char *e = std::getenv(env))
+                value = e;
+        }
+        if (value.empty())
+            return fallback;
+        const long parsed = std::strtol(value.c_str(), nullptr, 10);
+        return parsed > 0 ? static_cast<int>(parsed) : fallback;
+    };
+    config.repeats = read("repeat", "TFM_REPEAT", config.repeats);
+    config.warmup = read("warmup", "TFM_WARMUP", config.warmup);
+    return config;
+}
+
+/** Minimum wall-clock seconds of @p fn over the configured repeats. */
+template <typename Fn>
+double
+minWallSeconds(const RepeatConfig &config, Fn &&fn)
+{
+    for (int i = 0; i < config.warmup; i++)
+        fn();
+    double best = 0.0;
+    for (int i = 0; i < config.repeats; i++) {
+        const auto begin = std::chrono::steady_clock::now();
+        fn();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        if (i == 0 || elapsed < best)
+            best = elapsed;
+    }
+    return best;
+}
 
 /// One session per bench process, live from static init to exit.
 inline TraceSession traceSession;

@@ -107,6 +107,7 @@ System::run(const CompiledProgram &program,
             const std::vector<std::int64_t> &args)
 {
     Interpreter interp(program.ir(), rt);
+    interp.engine = cfg.engine;
     return interp.run(function_name, args);
 }
 

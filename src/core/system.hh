@@ -57,6 +57,9 @@ struct SystemConfig
     /// every pipeline pass from pointer-guards onward, accumulating
     /// diagnostics into System::safetyReport() (tfmc's --check-safety).
     bool checkSafety = false;
+    /// Execution engine for System::run (tfmc's --engine). The
+    /// sanitizer always runs on the reference engine regardless.
+    InterpEngine engine = InterpEngine::Bytecode;
 };
 
 /** A compiled (transformed) program plus its compilation report. */

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Shared interpreter implementation state (internal header).
+ *
+ * `Interpreter::Impl` is split across two translation units: the
+ * tree-walking reference engine (interpreter.cc) and the pre-decoded
+ * register bytecode engine (bytecode.cc). Both execute against the
+ * state defined here — same runtime, same step counter, same output
+ * vector, same profiling/sanitizer bookkeeping — so a program may mix
+ * engines per function (bytecode compilation bails out conservatively)
+ * and still behave bit-identically to either engine alone.
+ *
+ * Everything observable must match between engines: step counts,
+ * simulated cycles, GuardStats, trap text, outputs, and heap contents.
+ * Helpers used by both live here inline so trap messages and cost
+ * charges have a single source of truth.
+ */
+
+#ifndef TRACKFM_INTERP_EXEC_STATE_HH
+#define TRACKFM_INTERP_EXEC_STATE_HH
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/bytecode.hh"
+#include "interp/interpreter.hh"
+#include "tfm/tagged_ptr.hh"
+
+namespace tfm
+{
+
+struct Interpreter::Impl
+{
+    const ir::Module &module;
+    TfmRuntime &rt;
+    std::uint64_t steps = 0;
+    std::uint64_t maxSteps = 0;
+    std::vector<std::int64_t> output;
+    /// Host allocations backing allocas and untransformed malloc.
+    std::vector<std::unique_ptr<std::byte[]>> hostAllocations;
+
+    /// @name Engine selection
+    /// @{
+    InterpEngine engine = InterpEngine::Bytecode;
+    /// Lazily compiled bytecode for the whole module.
+    bc::Module bcode;
+    bool bcodeReady = false;
+    /// Guards resolved by the inline last-object cache probe without
+    /// leaving the dispatch loop (bytecode engine only).
+    std::uint64_t guardFastHits = 0;
+    /// @}
+
+    /// @name Allocation-site profiling
+    /// @{
+    bool profiling = false;
+    /// Allocation-call instruction -> module-wide ordinal.
+    std::map<const ir::Instruction *, std::uint32_t> siteOrdinals;
+    AllocSiteProfile profile;
+    /// Far-heap interval -> profile index (start -> {end, index}).
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
+        intervals;
+    /// @}
+
+    /// @name Far-memory sanitizer
+    /// @{
+    bool sanitizing = false;
+    /// Memory-access instruction -> the guard-family instruction that
+    /// produced its address (precomputed over the whole module).
+    std::map<const ir::Instruction *, const ir::Instruction *> sanRoots;
+    /// One live far-heap allocation, for bounds checks and trap text.
+    struct SanAlloc
+    {
+        std::uint64_t end = 0; ///< one past the last allocated offset
+        std::string desc;      ///< allocating call site
+    };
+    /// Live allocations keyed by their starting far-heap offset.
+    std::map<std::uint64_t, SanAlloc> sanAllocs;
+    /// @}
+
+    Impl(const ir::Module &m, TfmRuntime &runtime)
+        : module(m), rt(runtime)
+    {}
+
+    /// Defined in interpreter.cc (needs analysis/guard_safety.hh).
+    void enableProfiling();
+    void enableSanitizer();
+
+    /** Record one far-heap allocation for profiling. */
+    void
+    recordAllocation(const ir::Instruction &call_inst,
+                     std::uint64_t tagged_addr, std::uint64_t bytes)
+    {
+        if (!profiling)
+            return;
+        auto it = siteOrdinals.find(&call_inst);
+        if (it == siteOrdinals.end())
+            return;
+        const std::size_t index = it->second;
+        profile.sites[index].allocations++;
+        profile.sites[index].bytesAllocated += bytes;
+        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
+        intervals[offset] = {offset + bytes, index};
+    }
+
+    /** Attribute a guarded access to its allocation site. */
+    void
+    recordAccess(std::uint64_t tagged_addr)
+    {
+        if (!profiling || intervals.empty())
+            return;
+        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
+        auto it = intervals.upper_bound(offset);
+        if (it == intervals.begin())
+            return;
+        --it;
+        if (offset < it->second.first)
+            profile.sites[it->second.second].guardedAccesses++;
+    }
+
+    [[noreturn]] static void
+    trap(const std::string &message)
+    {
+        throw TrapException{message};
+    }
+
+    void
+    step()
+    {
+        if (++steps > maxSteps)
+            trap("step limit exceeded (possible infinite loop)");
+        rt.clock().advance(rt.costs().computeCycles);
+    }
+
+    std::uint64_t
+    hostAlloc(std::uint64_t bytes)
+    {
+        hostAllocations.push_back(
+            std::make_unique<std::byte[]>(bytes ? bytes : 1));
+        return reinterpret_cast<std::uint64_t>(
+            hostAllocations.back().get());
+    }
+
+    /** Per-call state of the reference engine. */
+    struct Frame
+    {
+        std::map<const ir::Value *, Slot> values;
+        /// Live chunk cursors created by chunk.begin in this frame.
+        struct Cursor
+        {
+            std::uint64_t curObj = TfmRuntime::noObject;
+            std::byte *window = nullptr;
+        };
+        std::map<const ir::Instruction *, Cursor> cursors;
+        /// Armed state of epoch-arming guards (loop-invariant hoisting):
+        /// the eviction epoch and host pointer captured when the arming
+        /// guard last executed, consumed by guard.reval.
+        struct Reval
+        {
+            std::uint64_t epoch = 0;
+            std::byte *host = nullptr;
+        };
+        std::map<const ir::Instruction *, Reval> revalStates;
+        /// Sanitizer: the latest host translation each guard-family
+        /// instruction produced, as a frame window plus the far-heap
+        /// offset that window maps.
+        struct SanTransl
+        {
+            std::uint64_t frameStart = 0; ///< host addr of frame byte 0
+            std::uint64_t frameEnd = 0;   ///< one past the frame
+            std::uint64_t objStartOffset = 0; ///< far offset of byte 0
+            std::uint64_t epoch = 0; ///< eviction epoch at translation
+            bool pinned = false;     ///< chunk window: eviction-proof
+        };
+        std::map<const ir::Instruction *, SanTransl> sanTransl;
+    };
+
+    /// Defined in interpreter.cc (sanitizer runs on the ref engine).
+    void sanRecord(Frame &frame, const ir::Instruction &producer,
+                   std::uint64_t tagged_addr, const std::byte *host,
+                   bool pinned);
+    void sanRecordAlloc(const ir::Instruction &call_inst,
+                        std::uint64_t tagged_addr, std::uint64_t bytes);
+    const SanAlloc *sanAllocFor(std::uint64_t offset) const;
+    void sanCheck(Frame &frame, const ir::Instruction &inst,
+                  std::uint64_t addr, std::uint32_t bytes,
+                  bool is_store);
+
+    Slot
+    valueOf(Frame &frame, const ir::Value *value)
+    {
+        if (value->isConstant()) {
+            const auto *constant =
+                static_cast<const ir::Constant *>(value);
+            Slot slot;
+            if (constant->type() == ir::Type::F64)
+                slot.f = constant->floatValue();
+            else
+                slot.i =
+                    static_cast<std::uint64_t>(constant->intValue());
+            return slot;
+        }
+        auto it = frame.values.find(value);
+        if (it == frame.values.end())
+            trap("use of undefined value %" + value->name());
+        return it->second;
+    }
+
+    /** Raw memory access; traps on tagged (unguarded) addresses. */
+    void
+    rawAccess(std::uint64_t addr, void *buffer, std::uint32_t bytes,
+              bool is_store)
+    {
+        if (tfmIsTagged(addr)) {
+            trap("general protection fault: unguarded access to "
+                 "non-canonical address (missing TrackFM guard)");
+        }
+        if (addr == 0)
+            trap("null pointer dereference");
+        if (is_store)
+            std::memcpy(reinterpret_cast<void *>(addr), buffer, bytes);
+        else
+            std::memcpy(buffer, reinterpret_cast<void *>(addr), bytes);
+    }
+
+    Slot
+    loadFrom(std::uint64_t addr, ir::Type type)
+    {
+        Slot slot;
+        const std::uint32_t bytes = ir::sizeOf(type);
+        if (type == ir::Type::F64) {
+            rawAccess(addr, &slot.f, bytes, false);
+        } else {
+            std::uint64_t raw = 0;
+            rawAccess(addr, &raw, bytes, false);
+            slot.i = raw;
+        }
+        return slot;
+    }
+
+    void
+    storeTo(std::uint64_t addr, Slot slot, ir::Type type)
+    {
+        const std::uint32_t bytes = ir::sizeOf(type);
+        if (type == ir::Type::F64)
+            rawAccess(addr, &slot.f, bytes, true);
+        else
+            rawAccess(addr, &slot.i, bytes, true);
+    }
+
+    /**
+     * Execute one interpreter intrinsic. @p arg lazily resolves call
+     * operands (the reference engine looks values up on demand, so an
+     * undefined operand of a later parameter must not trap before an
+     * earlier one does).
+     */
+    template <typename ArgFn>
+    Slot
+    runBuiltin(Builtin builtin, const ir::Instruction &inst,
+               ArgFn &&arg)
+    {
+        Slot result;
+        switch (builtin) {
+        case Builtin::RuntimeInit:
+            // Hook inserted by RuntimeInitPass; the runtime in this
+            // harness is constructed eagerly, so this is a marker.
+            return result;
+        case Builtin::TfmMalloc: {
+            const std::uint64_t bytes = arg(0).i;
+            result.i = rt.tfmMalloc(bytes);
+            recordAllocation(inst, result.i, bytes);
+            sanRecordAlloc(inst, result.i, bytes);
+            return result;
+        }
+        case Builtin::TfmCalloc: {
+            const std::uint64_t bytes = arg(0).i * arg(1).i;
+            result.i = rt.tfmCalloc(arg(0).i, arg(1).i);
+            recordAllocation(inst, result.i, bytes);
+            sanRecordAlloc(inst, result.i, bytes);
+            return result;
+        }
+        case Builtin::HostMalloc:
+            // A pruned (hot, local-only) allocation, or an
+            // untransformed program's host heap.
+            result.i = hostAlloc(arg(0).i);
+            return result;
+        case Builtin::HostCalloc: {
+            const std::uint64_t bytes = arg(0).i * arg(1).i;
+            result.i = hostAlloc(bytes);
+            std::memset(reinterpret_cast<void *>(result.i), 0, bytes);
+            return result;
+        }
+        case Builtin::TfmRealloc: {
+            const std::uint64_t old_addr = arg(0).i;
+            result.i = rt.tfmRealloc(old_addr, arg(1).i);
+            if (sanitizing && tfmIsTagged(old_addr))
+                sanAllocs.erase(tfmOffsetOf(old_addr));
+            sanRecordAlloc(inst, result.i, arg(1).i);
+            return result;
+        }
+        case Builtin::TfmFree:
+            if (sanitizing && tfmIsTagged(arg(0).i))
+                sanAllocs.erase(tfmOffsetOf(arg(0).i));
+            rt.tfmFree(arg(0).i);
+            return result;
+        case Builtin::HostFree:
+            return result; // host arena frees at interpreter teardown
+        case Builtin::PrintI64:
+            output.push_back(static_cast<std::int64_t>(arg(0).i));
+            return result;
+        case Builtin::EvacuateAll:
+            // Test/bench hook: force a full evacuation mid-program so
+            // hoisted guards must take the revalidation-miss path.
+            rt.runtime().evacuateAll();
+            return result;
+        case Builtin::None:
+            break;
+        }
+        return result;
+    }
+
+    /** Defined in interpreter.cc: intrinsics plus user calls. */
+    Slot callIntrinsicOrFunction(Frame &frame,
+                                 const ir::Instruction &inst,
+                                 int depth);
+
+    /** The tree-walking reference engine (interpreter.cc). */
+    Slot execFunctionRef(const ir::Function &function, const Slot *args,
+                         std::size_t nargs, int depth);
+
+    /** @name Bytecode engine (bytecode.cc)
+     * @{ */
+    /** Compile the module once (idempotent). */
+    void ensureCompiled();
+    /** Run one compiled function on the register VM. */
+    Slot runBytecode(const bc::Function &fn, const Slot *args,
+                     std::size_t nargs, int depth);
+    /** @} */
+
+    /** True when calls should prefer compiled bytecode. */
+    bool
+    useBytecode() const
+    {
+        return engine == InterpEngine::Bytecode && !sanitizing;
+    }
+
+    /**
+     * Invoke @p function on whichever engine can run it: compiled
+     * bytecode when available, the reference engine otherwise (engine
+     * forced to ref, sanitizer active, or per-function compile
+     * bailout). The only inter-frame interface is the argument/return
+     * slots plus this shared Impl state, so frames may mix engines.
+     */
+    Slot
+    callFunction(const ir::Function &function, const Slot *args,
+                 std::size_t nargs, int depth)
+    {
+        if (useBytecode()) {
+            auto it = bcode.functions.find(&function);
+            if (it != bcode.functions.end() && it->second.ok)
+                return runBytecode(it->second, args, nargs, depth);
+        }
+        return execFunctionRef(function, args, nargs, depth);
+    }
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_INTERP_EXEC_STATE_HH

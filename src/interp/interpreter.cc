@@ -1,859 +1,594 @@
-#include "interpreter.hh"
+/**
+ * @file
+ * The tree-walking reference engine, plus the Interpreter facade.
+ *
+ * This engine resolves every operand lazily through the frame's value
+ * map, which makes it the semantic baseline the bytecode engine
+ * (bytecode.cc) must match bit-exactly — and the only engine that can
+ * execute IR the bytecode compiler bails out on (non-canonical SSA,
+ * uses of undefined values) with faithful trap behavior. The
+ * far-memory sanitizer runs exclusively here.
+ */
 
-#include <cstring>
-#include <map>
-#include <stdexcept>
+#include "interp/exec_state.hh"
+
+#include <chrono>
 
 #include "analysis/guard_safety.hh"
-#include "ir/printer.hh"
-#include "tfm/tagged_ptr.hh"
+#include "obs/obs.hh"
 
 namespace tfm
 {
 
+void
+Interpreter::Impl::enableProfiling()
+{
+    profiling = true;
+    std::uint32_t ordinal = 0;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() == ir::Opcode::Call &&
+                    isAllocationCallee(inst->callee)) {
+                    siteOrdinals[inst.get()] = ordinal;
+                    AllocSiteProfile::Site site;
+                    site.function = function->name();
+                    site.ordinal = ordinal;
+                    profile.sites.push_back(site);
+                    ordinal++;
+                }
+            }
+        }
+    }
+}
+
+void
+Interpreter::Impl::enableSanitizer()
+{
+    sanitizing = true;
+    sanRoots.clear();
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                const bool is_load = inst->op() == ir::Opcode::Load;
+                const bool is_store = inst->op() == ir::Opcode::Store;
+                if (!is_load && !is_store)
+                    continue;
+                const ir::Instruction *root = guardRootProducer(
+                    inst->operand(is_load ? 0 : 1));
+                if (root)
+                    sanRoots[inst.get()] = root;
+            }
+        }
+    }
+}
+
+/** Sanitizer bookkeeping for a guard-family translation. An untagged
+ *  (custody-rejected) address erases the entry instead so the map
+ *  always mirrors the producer's latest execution. */
+void
+Interpreter::Impl::sanRecord(Frame &frame,
+                             const ir::Instruction &producer,
+                             std::uint64_t tagged_addr,
+                             const std::byte *host, bool pinned)
+{
+    if (!sanitizing)
+        return;
+    if (!tfmIsTagged(tagged_addr)) {
+        frame.sanTransl.erase(&producer);
+        return;
+    }
+    const auto &table = rt.runtime().stateTable();
+    const std::uint64_t offset = tfmOffsetOf(tagged_addr);
+    const std::uint64_t in_obj = table.offsetInObject(offset);
+    Frame::SanTransl transl;
+    transl.frameStart = reinterpret_cast<std::uint64_t>(host) - in_obj;
+    transl.frameEnd =
+        transl.frameStart + rt.runtime().config().objectSizeBytes;
+    transl.objStartOffset = offset - in_obj;
+    transl.epoch = rt.runtime().evictionEpoch();
+    transl.pinned = pinned;
+    frame.sanTransl[&producer] = transl;
+}
+
+/** Track a live far-heap allocation for the sanitizer. */
+void
+Interpreter::Impl::sanRecordAlloc(const ir::Instruction &call_inst,
+                                  std::uint64_t tagged_addr,
+                                  std::uint64_t bytes)
+{
+    if (!sanitizing || !tfmIsTagged(tagged_addr))
+        return;
+    SanAlloc alloc;
+    alloc.end = tfmOffsetOf(tagged_addr) + bytes;
+    alloc.desc = call_inst.callee;
+    if (call_inst.debugLine > 0) {
+        alloc.desc += " (line " + std::to_string(call_inst.debugLine) +
+                      ":" + std::to_string(call_inst.debugCol) + ")";
+    }
+    sanAllocs[tfmOffsetOf(tagged_addr)] = std::move(alloc);
+}
+
+/** The live allocation covering @p offset, or null. */
+const Interpreter::Impl::SanAlloc *
+Interpreter::Impl::sanAllocFor(std::uint64_t offset) const
+{
+    auto it = sanAllocs.upper_bound(offset);
+    if (it == sanAllocs.begin())
+        return nullptr;
+    --it;
+    return offset < it->second.end ? &it->second : nullptr;
+}
+
 namespace
 {
 
-/** Runtime value: integer/pointer or double. */
-struct Slot
+std::string
+sanWhere(const ir::Instruction &inst)
 {
-    std::uint64_t i = 0;
-    double f = 0.0;
-};
-
-/** Thrown on traps; caught at the top of run(). */
-struct TrapException
-{
-    std::string message;
-};
+    if (inst.debugLine <= 0)
+        return std::string();
+    return " at line " + std::to_string(inst.debugLine) + ":" +
+           std::to_string(inst.debugCol);
+}
 
 } // anonymous namespace
 
-struct Interpreter::Impl
+/** Validate one guard-mediated memory access. */
+void
+Interpreter::Impl::sanCheck(Frame &frame, const ir::Instruction &inst,
+                            std::uint64_t addr, std::uint32_t bytes,
+                            bool is_store)
 {
-    const ir::Module &module;
-    TfmRuntime &rt;
-    std::uint64_t steps = 0;
-    std::uint64_t maxSteps = 0;
-    std::vector<std::int64_t> output;
-    /// Host allocations backing allocas and untransformed malloc.
-    std::vector<std::unique_ptr<std::byte[]>> hostAllocations;
+    if (tfmIsTagged(addr))
+        return; // rawAccess raises the GP-fault analogue itself
+    auto root_it = sanRoots.find(&inst);
+    if (root_it == sanRoots.end())
+        return; // address never flowed through a guard
+    const ir::Instruction *root = root_it->second;
+    auto transl_it = frame.sanTransl.find(root);
+    if (transl_it == frame.sanTransl.end())
+        return; // producer only ever saw untagged pointers
+    const Frame::SanTransl &transl = transl_it->second;
+    const std::string access =
+        std::string(is_store ? "store" : "load") + sanWhere(inst);
+    const SanAlloc *home = sanAllocFor(transl.objStartOffset);
+    const std::string origin =
+        home ? "; object allocated by " + home->desc : std::string();
+    // A translation is valid until the next runtime entry; any
+    // eviction/evacuation since arming poisons it.
+    if (!transl.pinned &&
+        transl.epoch != rt.runtime().evictionEpoch()) {
+        trap("farmem-sanitizer: use-after-eviction: " + access +
+             " dereferences a stale translation from %" + root->name() +
+             " (guarded at epoch " + std::to_string(transl.epoch) +
+             ", evacuation advanced the epoch to " +
+             std::to_string(rt.runtime().evictionEpoch()) + ")" +
+             origin);
+    }
+    if (addr < transl.frameStart || addr + bytes > transl.frameEnd) {
+        trap("farmem-sanitizer: " + access +
+             " escapes the guarded object frame of %" + root->name() +
+             " (frame offset " +
+             std::to_string(
+                 static_cast<std::int64_t>(addr - transl.frameStart)) +
+             ", frame is " +
+             std::to_string(transl.frameEnd - transl.frameStart) +
+             " bytes)" + origin);
+    }
+    const std::uint64_t mapped =
+        transl.objStartOffset + (addr - transl.frameStart);
+    const SanAlloc *alloc = sanAllocFor(mapped);
+    if (!alloc || mapped + bytes > alloc->end) {
+        trap("farmem-sanitizer: " + access +
+             " maps to far-heap offset " + std::to_string(mapped) +
+             " outside any live allocation (via %" + root->name() +
+             ")" + origin);
+    }
+}
 
-    /// @name Allocation-site profiling
-    /// @{
-    bool profiling = false;
-    /// Allocation-call instruction -> module-wide ordinal.
-    std::map<const ir::Instruction *, std::uint32_t> siteOrdinals;
-    AllocSiteProfile profile;
-    /// Far-heap interval -> profile index (start -> {end, index}).
-    std::map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
-        intervals;
-    /// @}
-
-    /// @name Far-memory sanitizer
-    /// @{
-    bool sanitizing = false;
-    /// Memory-access instruction -> the guard-family instruction that
-    /// produced its address (precomputed over the whole module).
-    std::map<const ir::Instruction *, const ir::Instruction *> sanRoots;
-    /// One live far-heap allocation, for bounds checks and trap text.
-    struct SanAlloc
-    {
-        std::uint64_t end = 0; ///< one past the last allocated offset
-        std::string desc;      ///< allocating call site
+Slot
+Interpreter::Impl::callIntrinsicOrFunction(Frame &frame,
+                                           const ir::Instruction &inst,
+                                           int depth)
+{
+    auto arg = [&](std::size_t index) {
+        return valueOf(frame, inst.operand(index));
     };
-    /// Live allocations keyed by their starting far-heap offset.
-    std::map<std::uint64_t, SanAlloc> sanAllocs;
-    /// @}
+    const Builtin builtin = builtinOf(inst.callee);
+    if (builtin != Builtin::None)
+        return runBuiltin(builtin, inst, arg);
 
-    Impl(const ir::Module &m, TfmRuntime &runtime) : module(m), rt(runtime)
-    {}
+    const ir::Function *target = module.findFunction(inst.callee);
+    if (!target)
+        trap("call to unknown function @" + inst.callee);
+    if (depth > 200)
+        trap("call depth limit exceeded");
+    std::vector<Slot> call_args;
+    for (std::size_t i = 0; i < inst.numOperands(); i++)
+        call_args.push_back(arg(i));
+    // Route through the engine dispatcher: a reference-engine frame
+    // may call into a compiled callee and vice versa.
+    return callFunction(*target, call_args.data(), call_args.size(),
+                        depth + 1);
+}
 
-    void
-    enableProfiling()
-    {
-        profiling = true;
-        std::uint32_t ordinal = 0;
-        for (const auto &function : module.allFunctions()) {
-            for (const auto &block : function->basicBlocks()) {
-                for (const auto &inst : block->instructions()) {
-                    if (inst->op() == ir::Opcode::Call &&
-                        isAllocationCallee(inst->callee)) {
-                        siteOrdinals[inst.get()] = ordinal;
-                        AllocSiteProfile::Site site;
-                        site.function = function->name();
-                        site.ordinal = ordinal;
-                        profile.sites.push_back(site);
-                        ordinal++;
-                    }
-                }
-            }
-        }
-    }
-
-    void
-    enableSanitizer()
-    {
-        sanitizing = true;
-        sanRoots.clear();
-        for (const auto &function : module.allFunctions()) {
-            for (const auto &block : function->basicBlocks()) {
-                for (const auto &inst : block->instructions()) {
-                    const bool is_load =
-                        inst->op() == ir::Opcode::Load;
-                    const bool is_store =
-                        inst->op() == ir::Opcode::Store;
-                    if (!is_load && !is_store)
-                        continue;
-                    const ir::Instruction *root = guardRootProducer(
-                        inst->operand(is_load ? 0 : 1));
-                    if (root)
-                        sanRoots[inst.get()] = root;
-                }
-            }
-        }
-    }
-
-    /** Record one far-heap allocation for profiling. */
-    void
-    recordAllocation(const ir::Instruction &call_inst,
-                     std::uint64_t tagged_addr, std::uint64_t bytes)
-    {
-        if (!profiling)
-            return;
-        auto it = siteOrdinals.find(&call_inst);
-        if (it == siteOrdinals.end())
-            return;
-        const std::size_t index = it->second;
-        profile.sites[index].allocations++;
-        profile.sites[index].bytesAllocated += bytes;
-        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
-        intervals[offset] = {offset + bytes, index};
-    }
-
-    /** Attribute a guarded access to its allocation site. */
-    void
-    recordAccess(std::uint64_t tagged_addr)
-    {
-        if (!profiling || intervals.empty())
-            return;
-        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
-        auto it = intervals.upper_bound(offset);
-        if (it == intervals.begin())
-            return;
-        --it;
-        if (offset < it->second.first)
-            profile.sites[it->second.second].guardedAccesses++;
-    }
-
-    [[noreturn]] static void
-    trap(const std::string &message)
-    {
-        throw TrapException{message};
-    }
-
-    void
-    step()
-    {
-        if (++steps > maxSteps)
-            trap("step limit exceeded (possible infinite loop)");
-        rt.clock().advance(rt.costs().computeCycles);
-    }
-
-    std::uint64_t
-    hostAlloc(std::uint64_t bytes)
-    {
-        hostAllocations.push_back(
-            std::make_unique<std::byte[]>(bytes ? bytes : 1));
-        return reinterpret_cast<std::uint64_t>(
-            hostAllocations.back().get());
-    }
-
-    /** Per-call state. */
-    struct Frame
-    {
-        std::map<const ir::Value *, Slot> values;
-        /// Live chunk cursors created by chunk.begin in this frame.
-        struct Cursor
-        {
-            std::uint64_t curObj = TfmRuntime::noObject;
-            std::byte *window = nullptr;
-        };
-        std::map<const ir::Instruction *, Cursor> cursors;
-        /// Armed state of epoch-arming guards (loop-invariant hoisting):
-        /// the eviction epoch and host pointer captured when the arming
-        /// guard last executed, consumed by guard.reval.
-        struct Reval
-        {
-            std::uint64_t epoch = 0;
-            std::byte *host = nullptr;
-        };
-        std::map<const ir::Instruction *, Reval> revalStates;
-        /// Sanitizer: the latest host translation each guard-family
-        /// instruction produced, as a frame window plus the far-heap
-        /// offset that window maps.
-        struct SanTransl
-        {
-            std::uint64_t frameStart = 0; ///< host addr of frame byte 0
-            std::uint64_t frameEnd = 0;   ///< one past the frame
-            std::uint64_t objStartOffset = 0; ///< far offset of byte 0
-            std::uint64_t epoch = 0; ///< eviction epoch at translation
-            bool pinned = false;     ///< chunk window: eviction-proof
-        };
-        std::map<const ir::Instruction *, SanTransl> sanTransl;
-    };
-
-    /** Sanitizer bookkeeping for a guard-family translation. An
-     *  untagged (custody-rejected) address erases the entry instead so
-     *  the map always mirrors the producer's latest execution. */
-    void
-    sanRecord(Frame &frame, const ir::Instruction &producer,
-              std::uint64_t tagged_addr, const std::byte *host,
-              bool pinned)
-    {
-        if (!sanitizing)
-            return;
-        if (!tfmIsTagged(tagged_addr)) {
-            frame.sanTransl.erase(&producer);
-            return;
-        }
-        const auto &table = rt.runtime().stateTable();
-        const std::uint64_t offset = tfmOffsetOf(tagged_addr);
-        const std::uint64_t in_obj = table.offsetInObject(offset);
-        Frame::SanTransl transl;
-        transl.frameStart =
-            reinterpret_cast<std::uint64_t>(host) - in_obj;
-        transl.frameEnd = transl.frameStart +
-                          rt.runtime().config().objectSizeBytes;
-        transl.objStartOffset = offset - in_obj;
-        transl.epoch = rt.runtime().evictionEpoch();
-        transl.pinned = pinned;
-        frame.sanTransl[&producer] = transl;
-    }
-
-    /** Track a live far-heap allocation for the sanitizer. */
-    void
-    sanRecordAlloc(const ir::Instruction &call_inst,
-                   std::uint64_t tagged_addr, std::uint64_t bytes)
-    {
-        if (!sanitizing || !tfmIsTagged(tagged_addr))
-            return;
-        SanAlloc alloc;
-        alloc.end = tfmOffsetOf(tagged_addr) + bytes;
-        alloc.desc = call_inst.callee;
-        if (call_inst.debugLine > 0) {
-            alloc.desc += " (line " +
-                          std::to_string(call_inst.debugLine) + ":" +
-                          std::to_string(call_inst.debugCol) + ")";
-        }
-        sanAllocs[tfmOffsetOf(tagged_addr)] = std::move(alloc);
-    }
-
-    /** The live allocation covering @p offset, or null. */
-    const SanAlloc *
-    sanAllocFor(std::uint64_t offset) const
-    {
-        auto it = sanAllocs.upper_bound(offset);
-        if (it == sanAllocs.begin())
-            return nullptr;
-        --it;
-        return offset < it->second.end ? &it->second : nullptr;
-    }
-
-    static std::string
-    sanWhere(const ir::Instruction &inst)
-    {
-        if (inst.debugLine <= 0)
-            return std::string();
-        return " at line " + std::to_string(inst.debugLine) + ":" +
-               std::to_string(inst.debugCol);
-    }
-
-    /** Validate one guard-mediated memory access. */
-    void
-    sanCheck(Frame &frame, const ir::Instruction &inst,
-             std::uint64_t addr, std::uint32_t bytes, bool is_store)
-    {
-        if (tfmIsTagged(addr))
-            return; // rawAccess raises the GP-fault analogue itself
-        auto root_it = sanRoots.find(&inst);
-        if (root_it == sanRoots.end())
-            return; // address never flowed through a guard
-        const ir::Instruction *root = root_it->second;
-        auto transl_it = frame.sanTransl.find(root);
-        if (transl_it == frame.sanTransl.end())
-            return; // producer only ever saw untagged pointers
-        const Frame::SanTransl &transl = transl_it->second;
-        const std::string access =
-            std::string(is_store ? "store" : "load") + sanWhere(inst);
-        const SanAlloc *home = sanAllocFor(transl.objStartOffset);
-        const std::string origin =
-            home ? "; object allocated by " + home->desc
-                 : std::string();
-        // A translation is valid until the next runtime entry; any
-        // eviction/evacuation since arming poisons it.
-        if (!transl.pinned &&
-            transl.epoch != rt.runtime().evictionEpoch()) {
-            trap("farmem-sanitizer: use-after-eviction: " + access +
-                 " dereferences a stale translation from %" +
-                 root->name() + " (guarded at epoch " +
-                 std::to_string(transl.epoch) +
-                 ", evacuation advanced the epoch to " +
-                 std::to_string(rt.runtime().evictionEpoch()) + ")" +
-                 origin);
-        }
-        if (addr < transl.frameStart ||
-            addr + bytes > transl.frameEnd) {
-            trap("farmem-sanitizer: " + access +
-                 " escapes the guarded object frame of %" +
-                 root->name() + " (frame offset " +
-                 std::to_string(static_cast<std::int64_t>(
-                     addr - transl.frameStart)) +
-                 ", frame is " +
-                 std::to_string(transl.frameEnd - transl.frameStart) +
-                 " bytes)" + origin);
-        }
-        const std::uint64_t mapped =
-            transl.objStartOffset + (addr - transl.frameStart);
-        const SanAlloc *alloc = sanAllocFor(mapped);
-        if (!alloc || mapped + bytes > alloc->end) {
-            trap("farmem-sanitizer: " + access +
-                 " maps to far-heap offset " + std::to_string(mapped) +
-                 " outside any live allocation (via %" + root->name() +
-                 ")" + origin);
-        }
-    }
-
-    Slot
-    valueOf(Frame &frame, const ir::Value *value)
-    {
-        if (value->isConstant()) {
-            const auto *constant =
-                static_cast<const ir::Constant *>(value);
-            Slot slot;
-            if (constant->type() == ir::Type::F64)
-                slot.f = constant->floatValue();
-            else
-                slot.i = static_cast<std::uint64_t>(constant->intValue());
-            return slot;
-        }
-        auto it = frame.values.find(value);
-        if (it == frame.values.end())
-            trap("use of undefined value %" + value->name());
-        return it->second;
-    }
-
-    /** Raw memory access; traps on tagged (unguarded) addresses. */
-    void
-    rawAccess(std::uint64_t addr, void *buffer, std::uint32_t bytes,
-              bool is_store)
-    {
-        if (tfmIsTagged(addr)) {
-            trap("general protection fault: unguarded access to "
-                 "non-canonical address (missing TrackFM guard)");
-        }
-        if (addr == 0)
-            trap("null pointer dereference");
-        if (is_store)
-            std::memcpy(reinterpret_cast<void *>(addr), buffer, bytes);
-        else
-            std::memcpy(buffer, reinterpret_cast<void *>(addr), bytes);
-    }
-
-    Slot
-    loadFrom(std::uint64_t addr, ir::Type type)
-    {
-        Slot slot;
-        const std::uint32_t bytes = ir::sizeOf(type);
-        if (type == ir::Type::F64) {
-            rawAccess(addr, &slot.f, bytes, false);
-        } else {
-            std::uint64_t raw = 0;
-            rawAccess(addr, &raw, bytes, false);
-            slot.i = raw;
-        }
-        return slot;
-    }
-
-    void
-    storeTo(std::uint64_t addr, Slot slot, ir::Type type)
-    {
-        const std::uint32_t bytes = ir::sizeOf(type);
-        if (type == ir::Type::F64)
-            rawAccess(addr, &slot.f, bytes, true);
-        else
-            rawAccess(addr, &slot.i, bytes, true);
-    }
-
-    Slot
-    callIntrinsicOrFunction(Frame &frame, const ir::Instruction &inst,
-                            int depth)
-    {
-        const std::string &callee = inst.callee;
-        auto arg = [&](std::size_t index) {
-            return valueOf(frame, inst.operand(index));
-        };
-
-        Slot result;
-        if (callee == "tfm_runtime_init") {
-            // Hook inserted by RuntimeInitPass; the runtime in this
-            // harness is constructed eagerly, so this is a marker.
-            return result;
-        }
-        if (callee == "tfm_malloc") {
-            const std::uint64_t bytes = arg(0).i;
-            result.i = rt.tfmMalloc(bytes);
-            recordAllocation(inst, result.i, bytes);
-            sanRecordAlloc(inst, result.i, bytes);
-            return result;
-        }
-        if (callee == "tfm_calloc") {
-            const std::uint64_t bytes = arg(0).i * arg(1).i;
-            result.i = rt.tfmCalloc(arg(0).i, arg(1).i);
-            recordAllocation(inst, result.i, bytes);
-            sanRecordAlloc(inst, result.i, bytes);
-            return result;
-        }
-        if (callee == "host_malloc") {
-            // A pruned (hot, local-only) allocation.
-            result.i = hostAlloc(arg(0).i);
-            return result;
-        }
-        if (callee == "host_calloc") {
-            const std::uint64_t bytes = arg(0).i * arg(1).i;
-            result.i = hostAlloc(bytes);
-            std::memset(reinterpret_cast<void *>(result.i), 0, bytes);
-            return result;
-        }
-        if (callee == "tfm_realloc") {
-            const std::uint64_t old_addr = arg(0).i;
-            result.i = rt.tfmRealloc(old_addr, arg(1).i);
-            if (sanitizing && tfmIsTagged(old_addr))
-                sanAllocs.erase(tfmOffsetOf(old_addr));
-            sanRecordAlloc(inst, result.i, arg(1).i);
-            return result;
-        }
-        if (callee == "tfm_free") {
-            if (sanitizing && tfmIsTagged(arg(0).i))
-                sanAllocs.erase(tfmOffsetOf(arg(0).i));
-            rt.tfmFree(arg(0).i);
-            return result;
-        }
-        if (callee == "malloc") {
-            // Untransformed program: host heap.
-            result.i = hostAlloc(arg(0).i);
-            return result;
-        }
-        if (callee == "calloc") {
-            const std::uint64_t bytes = arg(0).i * arg(1).i;
-            result.i = hostAlloc(bytes);
-            std::memset(reinterpret_cast<void *>(result.i), 0, bytes);
-            return result;
-        }
-        if (callee == "free") {
-            return result; // host arena frees at interpreter teardown
-        }
-        if (callee == "print_i64") {
-            output.push_back(static_cast<std::int64_t>(arg(0).i));
-            return result;
-        }
-        if (callee == "tfm_evacuate_all") {
-            // Test/bench hook: force a full evacuation mid-program so
-            // hoisted guards must take the revalidation-miss path.
-            rt.runtime().evacuateAll();
-            return result;
-        }
-
-        const ir::Function *target = module.findFunction(callee);
-        if (!target)
-            trap("call to unknown function @" + callee);
-        if (depth > 200)
-            trap("call depth limit exceeded");
-        std::vector<Slot> call_args;
-        for (std::size_t i = 0; i < inst.numOperands(); i++)
-            call_args.push_back(arg(i));
-        return execFunction(*target, call_args, depth + 1);
-    }
-
-    /** Release chunk pins owned by a frame. */
-    void
-    releaseCursors(Frame &frame)
-    {
+Slot
+Interpreter::Impl::execFunctionRef(const ir::Function &function,
+                                   const Slot *args, std::size_t nargs,
+                                   int depth)
+{
+    Frame frame;
+    // Release chunk pins owned by this frame (on return or trap).
+    auto releaseCursors = [&] {
         for (auto &[begin, cursor] : frame.cursors) {
             (void)begin;
             if (cursor.curObj != TfmRuntime::noObject)
                 rt.endChunk(cursor.curObj);
             cursor.curObj = TfmRuntime::noObject;
         }
-    }
+    };
+    if (nargs != function.arguments().size())
+        trap("argument count mismatch calling @" + function.name());
+    for (std::size_t i = 0; i < nargs; i++)
+        frame.values[function.arguments()[i].get()] = args[i];
 
-    Slot
-    execFunction(const ir::Function &function,
-                 const std::vector<Slot> &args, int depth)
-    {
-        Frame frame;
-        if (args.size() != function.arguments().size())
-            trap("argument count mismatch calling @" + function.name());
-        for (std::size_t i = 0; i < args.size(); i++)
-            frame.values[function.arguments()[i].get()] = args[i];
+    const ir::BasicBlock *block = function.entry();
+    const ir::BasicBlock *previous = nullptr;
+    if (!block)
+        trap("function @" + function.name() + " has no entry");
 
-        const ir::BasicBlock *block = function.entry();
-        const ir::BasicBlock *previous = nullptr;
-        if (!block)
-            trap("function @" + function.name() + " has no entry");
+    // Hoisted out of the block loop so its capacity is reused across
+    // block entries instead of reallocating per iteration.
+    std::vector<std::pair<const ir::Value *, Slot>> phi_values;
 
-        try {
-            while (true) {
-                // Phi nodes evaluate simultaneously on block entry.
-                std::vector<std::pair<const ir::Value *, Slot>> phi_values;
-                for (const auto &inst : block->instructions()) {
-                    if (inst->op() != ir::Opcode::Phi)
+    try {
+        while (true) {
+            // Phi nodes evaluate simultaneously on block entry.
+            phi_values.clear();
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() != ir::Opcode::Phi)
+                    break;
+                bool matched = false;
+                for (const auto &[incoming, pred] : inst->incoming()) {
+                    if (pred == previous) {
+                        phi_values.emplace_back(
+                            inst.get(), valueOf(frame, incoming));
+                        matched = true;
                         break;
-                    bool matched = false;
-                    for (const auto &[incoming, pred] : inst->incoming()) {
-                        if (pred == previous) {
-                            phi_values.emplace_back(
-                                inst.get(), valueOf(frame, incoming));
-                            matched = true;
-                            break;
-                        }
-                    }
-                    if (!matched)
-                        trap("phi without incoming for predecessor");
-                    step();
-                }
-                for (const auto &[phi, slot] : phi_values)
-                    frame.values[phi] = slot;
-
-                const ir::BasicBlock *next = nullptr;
-                for (const auto &owned : block->instructions()) {
-                    const ir::Instruction &inst = *owned;
-                    if (inst.op() == ir::Opcode::Phi)
-                        continue;
-                    step();
-                    Slot result;
-                    switch (inst.op()) {
-                      case ir::Opcode::Alloca:
-                        result.i = hostAlloc(
-                            static_cast<std::uint64_t>(inst.imm));
-                        break;
-                      case ir::Opcode::Load: {
-                        const std::uint64_t addr =
-                            valueOf(frame, inst.operand(0)).i;
-                        if (sanitizing) {
-                            sanCheck(frame, inst, addr,
-                                     ir::sizeOf(inst.type()), false);
-                        }
-                        result = loadFrom(addr, inst.type());
-                        break;
-                      }
-                      case ir::Opcode::Store: {
-                        const std::uint64_t addr =
-                            valueOf(frame, inst.operand(1)).i;
-                        const ir::Type stored_type =
-                            inst.operand(0)->type() == ir::Type::F64
-                                ? ir::Type::F64
-                                : inst.operand(0)->type();
-                        if (sanitizing) {
-                            sanCheck(frame, inst, addr,
-                                     ir::sizeOf(stored_type), true);
-                        }
-                        storeTo(addr, valueOf(frame, inst.operand(0)),
-                                stored_type);
-                        break;
-                      }
-                      case ir::Opcode::Gep:
-                        result.i =
-                            valueOf(frame, inst.operand(0)).i +
-                            valueOf(frame, inst.operand(1)).i *
-                                static_cast<std::uint64_t>(inst.imm);
-                        break;
-                      case ir::Opcode::Guard: {
-                        const std::uint64_t addr =
-                            valueOf(frame, inst.operand(0)).i;
-                        if (tfmIsTagged(addr))
-                            recordAccess(addr);
-                        std::byte *host = inst.isWrite
-                                              ? rt.guardWrite(addr)
-                                              : rt.guardRead(addr);
-                        if (inst.armsEpoch) {
-                            frame.revalStates[&inst] = Frame::Reval{
-                                rt.runtime().evictionEpoch(), host};
-                        }
-                        sanRecord(frame, inst, addr, host, false);
-                        result.i =
-                            reinterpret_cast<std::uint64_t>(host);
-                        break;
-                      }
-                      case ir::Opcode::GuardReval: {
-                        const auto *armer =
-                            static_cast<const ir::Instruction *>(
-                                inst.operand(0));
-                        const std::uint64_t addr =
-                            valueOf(frame, inst.operand(1)).i;
-                        auto armed_it = frame.revalStates.find(armer);
-                        if (armed_it == frame.revalStates.end())
-                            trap("guard.reval before its arming guard");
-                        auto &armed = armed_it->second;
-                        if (tfmIsTagged(addr) &&
-                            rt.revalidate(addr, armed.epoch)) {
-                            // Epoch unchanged since arming: the host
-                            // pointer (and any dirty bit) is still live.
-                            sanRecord(frame, inst, addr, armed.host,
-                                      false);
-                            result.i = reinterpret_cast<std::uint64_t>(
-                                armed.host);
-                            break;
-                        }
-                        // Evacuation since arming (or an untagged
-                        // pointer): re-run the full guard and re-arm.
-                        if (tfmIsTagged(addr))
-                            recordAccess(addr);
-                        std::byte *host = inst.isWrite
-                                              ? rt.guardWrite(addr)
-                                              : rt.guardRead(addr);
-                        armed.epoch = rt.runtime().evictionEpoch();
-                        armed.host = host;
-                        sanRecord(frame, inst, addr, host, false);
-                        result.i =
-                            reinterpret_cast<std::uint64_t>(host);
-                        break;
-                      }
-                      case ir::Opcode::ChunkBegin: {
-                        // (Re)arm the cursor for a fresh loop entry.
-                        auto &cursor = frame.cursors[&inst];
-                        if (cursor.curObj != TfmRuntime::noObject)
-                            rt.endChunk(cursor.curObj);
-                        cursor.curObj = TfmRuntime::noObject;
-                        cursor.window = nullptr;
-                        result.i = reinterpret_cast<std::uint64_t>(&inst);
-                        break;
-                      }
-                      case ir::Opcode::ChunkAccess: {
-                        const auto *begin =
-                            static_cast<const ir::Instruction *>(
-                                inst.operand(0));
-                        auto cursor_it = frame.cursors.find(begin);
-                        if (cursor_it == frame.cursors.end())
-                            trap("chunk.access before chunk.begin");
-                        auto &cursor = cursor_it->second;
-                        const std::uint64_t addr =
-                            valueOf(frame, inst.operand(1)).i;
-                        if (!tfmIsTagged(addr)) {
-                            // Custody check inside the chunk helper.
-                            rt.clock().advance(
-                                rt.costs().custodyRejectCycles);
-                            if (sanitizing)
-                                frame.sanTransl.erase(&inst);
-                            result.i = addr;
-                            break;
-                        }
-                        recordAccess(addr);
-                        const auto &table = rt.runtime().stateTable();
-                        const std::uint64_t offset = tfmOffsetOf(addr);
-                        const std::uint64_t obj = table.objectOf(offset);
-                        if (obj != cursor.curObj) {
-                            std::byte *host = rt.localityGuard(
-                                addr, cursor.curObj, inst.isWrite);
-                            cursor.curObj = obj;
-                            cursor.window =
-                                host - table.offsetInObject(offset);
-                        } else {
-                            rt.boundaryCheck();
-                        }
-                        result.i = reinterpret_cast<std::uint64_t>(
-                            cursor.window +
-                            table.offsetInObject(offset));
-                        // Chunk windows stay pinned (eviction-proof)
-                        // until the cursor moves or is released.
-                        sanRecord(frame, inst, addr,
-                                  cursor.window +
-                                      table.offsetInObject(offset),
-                                  true);
-                        break;
-                      }
-                      case ir::Opcode::Prefetch: {
-                        const std::uint64_t addr =
-                            valueOf(frame, inst.operand(0)).i;
-                        if (tfmIsTagged(addr)) {
-                            rt.prefetchAhead(
-                                addr, 1,
-                                static_cast<std::uint32_t>(inst.imm));
-                        }
-                        break;
-                      }
-                      case ir::Opcode::Add:
-                        result.i = valueOf(frame, inst.operand(0)).i +
-                                   valueOf(frame, inst.operand(1)).i;
-                        break;
-                      case ir::Opcode::Sub:
-                        result.i = valueOf(frame, inst.operand(0)).i -
-                                   valueOf(frame, inst.operand(1)).i;
-                        break;
-                      case ir::Opcode::Mul:
-                        result.i = valueOf(frame, inst.operand(0)).i *
-                                   valueOf(frame, inst.operand(1)).i;
-                        break;
-                      case ir::Opcode::SDiv: {
-                        const auto divisor = static_cast<std::int64_t>(
-                            valueOf(frame, inst.operand(1)).i);
-                        if (divisor == 0)
-                            trap("division by zero");
-                        result.i = static_cast<std::uint64_t>(
-                            static_cast<std::int64_t>(
-                                valueOf(frame, inst.operand(0)).i) /
-                            divisor);
-                        break;
-                      }
-                      case ir::Opcode::SRem: {
-                        const auto divisor = static_cast<std::int64_t>(
-                            valueOf(frame, inst.operand(1)).i);
-                        if (divisor == 0)
-                            trap("remainder by zero");
-                        result.i = static_cast<std::uint64_t>(
-                            static_cast<std::int64_t>(
-                                valueOf(frame, inst.operand(0)).i) %
-                            divisor);
-                        break;
-                      }
-                      case ir::Opcode::And:
-                        result.i = valueOf(frame, inst.operand(0)).i &
-                                   valueOf(frame, inst.operand(1)).i;
-                        break;
-                      case ir::Opcode::Or:
-                        result.i = valueOf(frame, inst.operand(0)).i |
-                                   valueOf(frame, inst.operand(1)).i;
-                        break;
-                      case ir::Opcode::Xor:
-                        result.i = valueOf(frame, inst.operand(0)).i ^
-                                   valueOf(frame, inst.operand(1)).i;
-                        break;
-                      case ir::Opcode::Shl:
-                        result.i = valueOf(frame, inst.operand(0)).i
-                                   << (valueOf(frame, inst.operand(1)).i &
-                                       63);
-                        break;
-                      case ir::Opcode::LShr:
-                        result.i = valueOf(frame, inst.operand(0)).i >>
-                                   (valueOf(frame, inst.operand(1)).i &
-                                    63);
-                        break;
-                      case ir::Opcode::FAdd:
-                        result.f = valueOf(frame, inst.operand(0)).f +
-                                   valueOf(frame, inst.operand(1)).f;
-                        break;
-                      case ir::Opcode::FSub:
-                        result.f = valueOf(frame, inst.operand(0)).f -
-                                   valueOf(frame, inst.operand(1)).f;
-                        break;
-                      case ir::Opcode::FMul:
-                        result.f = valueOf(frame, inst.operand(0)).f *
-                                   valueOf(frame, inst.operand(1)).f;
-                        break;
-                      case ir::Opcode::FDiv:
-                        result.f = valueOf(frame, inst.operand(0)).f /
-                                   valueOf(frame, inst.operand(1)).f;
-                        break;
-                      case ir::Opcode::ICmpEq:
-                      case ir::Opcode::ICmpNe:
-                      case ir::Opcode::ICmpSlt:
-                      case ir::Opcode::ICmpSle:
-                      case ir::Opcode::ICmpSgt:
-                      case ir::Opcode::ICmpSge: {
-                        const auto lhs = static_cast<std::int64_t>(
-                            valueOf(frame, inst.operand(0)).i);
-                        const auto rhs = static_cast<std::int64_t>(
-                            valueOf(frame, inst.operand(1)).i);
-                        bool truth = false;
-                        switch (inst.op()) {
-                          case ir::Opcode::ICmpEq:
-                            truth = lhs == rhs;
-                            break;
-                          case ir::Opcode::ICmpNe:
-                            truth = lhs != rhs;
-                            break;
-                          case ir::Opcode::ICmpSlt:
-                            truth = lhs < rhs;
-                            break;
-                          case ir::Opcode::ICmpSle:
-                            truth = lhs <= rhs;
-                            break;
-                          case ir::Opcode::ICmpSgt:
-                            truth = lhs > rhs;
-                            break;
-                          default:
-                            truth = lhs >= rhs;
-                            break;
-                        }
-                        result.i = truth;
-                        break;
-                      }
-                      case ir::Opcode::FCmpOlt:
-                        result.i = valueOf(frame, inst.operand(0)).f <
-                                   valueOf(frame, inst.operand(1)).f;
-                        break;
-                      case ir::Opcode::Zext:
-                      case ir::Opcode::PtrToInt:
-                      case ir::Opcode::IntToPtr:
-                        result.i = valueOf(frame, inst.operand(0)).i;
-                        break;
-                      case ir::Opcode::Trunc: {
-                        const std::uint32_t bits =
-                            ir::sizeOf(inst.type()) * 8;
-                        const std::uint64_t mask =
-                            bits >= 64 ? ~0ull : ((1ull << bits) - 1);
-                        result.i =
-                            valueOf(frame, inst.operand(0)).i & mask;
-                        break;
-                      }
-                      case ir::Opcode::SIToFP:
-                        result.f = static_cast<double>(
-                            static_cast<std::int64_t>(
-                                valueOf(frame, inst.operand(0)).i));
-                        break;
-                      case ir::Opcode::FPToSI:
-                        result.i = static_cast<std::uint64_t>(
-                            static_cast<std::int64_t>(
-                                valueOf(frame, inst.operand(0)).f));
-                        break;
-                      case ir::Opcode::Call:
-                        result = callIntrinsicOrFunction(frame, inst,
-                                                         depth);
-                        break;
-                      case ir::Opcode::Br:
-                        next = inst.succ0;
-                        break;
-                      case ir::Opcode::CondBr:
-                        next = valueOf(frame, inst.operand(0)).i
-                                   ? inst.succ0
-                                   : inst.succ1;
-                        break;
-                      case ir::Opcode::Ret: {
-                        Slot returned;
-                        if (inst.numOperands() > 0)
-                            returned = valueOf(frame, inst.operand(0));
-                        releaseCursors(frame);
-                        return returned;
-                      }
-                      case ir::Opcode::Phi:
-                        break; // handled above
-                    }
-                    if (inst.type() != ir::Type::Void &&
-                        !inst.name().empty()) {
-                        frame.values[&inst] = result;
                     }
                 }
-                if (!next)
-                    trap("block fell through without a terminator");
-                previous = block;
-                block = next;
+                if (!matched)
+                    trap("phi without incoming for predecessor");
+                step();
             }
-        } catch (TrapException &) {
-            releaseCursors(frame);
-            throw;
+            for (const auto &[phi, slot] : phi_values)
+                frame.values[phi] = slot;
+
+            const ir::BasicBlock *next = nullptr;
+            for (const auto &owned : block->instructions()) {
+                const ir::Instruction &inst = *owned;
+                if (inst.op() == ir::Opcode::Phi)
+                    continue;
+                step();
+                Slot result;
+                switch (inst.op()) {
+                  case ir::Opcode::Alloca:
+                    result.i = hostAlloc(
+                        static_cast<std::uint64_t>(inst.imm));
+                    break;
+                  case ir::Opcode::Load: {
+                    const std::uint64_t addr =
+                        valueOf(frame, inst.operand(0)).i;
+                    if (sanitizing) {
+                        sanCheck(frame, inst, addr,
+                                 ir::sizeOf(inst.type()), false);
+                    }
+                    result = loadFrom(addr, inst.type());
+                    break;
+                  }
+                  case ir::Opcode::Store: {
+                    const std::uint64_t addr =
+                        valueOf(frame, inst.operand(1)).i;
+                    const ir::Type stored_type =
+                        inst.operand(0)->type() == ir::Type::F64
+                            ? ir::Type::F64
+                            : inst.operand(0)->type();
+                    if (sanitizing) {
+                        sanCheck(frame, inst, addr,
+                                 ir::sizeOf(stored_type), true);
+                    }
+                    storeTo(addr, valueOf(frame, inst.operand(0)),
+                            stored_type);
+                    break;
+                  }
+                  case ir::Opcode::Gep:
+                    result.i =
+                        valueOf(frame, inst.operand(0)).i +
+                        valueOf(frame, inst.operand(1)).i *
+                            static_cast<std::uint64_t>(inst.imm);
+                    break;
+                  case ir::Opcode::Guard: {
+                    const std::uint64_t addr =
+                        valueOf(frame, inst.operand(0)).i;
+                    if (tfmIsTagged(addr))
+                        recordAccess(addr);
+                    std::byte *host = inst.isWrite
+                                          ? rt.guardWrite(addr)
+                                          : rt.guardRead(addr);
+                    if (inst.armsEpoch) {
+                        frame.revalStates[&inst] = Frame::Reval{
+                            rt.runtime().evictionEpoch(), host};
+                    }
+                    sanRecord(frame, inst, addr, host, false);
+                    result.i = reinterpret_cast<std::uint64_t>(host);
+                    break;
+                  }
+                  case ir::Opcode::GuardReval: {
+                    const auto *armer =
+                        static_cast<const ir::Instruction *>(
+                            inst.operand(0));
+                    const std::uint64_t addr =
+                        valueOf(frame, inst.operand(1)).i;
+                    auto armed_it = frame.revalStates.find(armer);
+                    if (armed_it == frame.revalStates.end())
+                        trap("guard.reval before its arming guard");
+                    auto &armed = armed_it->second;
+                    if (tfmIsTagged(addr) &&
+                        rt.revalidate(addr, armed.epoch)) {
+                        // Epoch unchanged since arming: the host
+                        // pointer (and any dirty bit) is still live.
+                        sanRecord(frame, inst, addr, armed.host,
+                                  false);
+                        result.i = reinterpret_cast<std::uint64_t>(
+                            armed.host);
+                        break;
+                    }
+                    // Evacuation since arming (or an untagged
+                    // pointer): re-run the full guard and re-arm.
+                    if (tfmIsTagged(addr))
+                        recordAccess(addr);
+                    std::byte *host = inst.isWrite
+                                          ? rt.guardWrite(addr)
+                                          : rt.guardRead(addr);
+                    armed.epoch = rt.runtime().evictionEpoch();
+                    armed.host = host;
+                    sanRecord(frame, inst, addr, host, false);
+                    result.i = reinterpret_cast<std::uint64_t>(host);
+                    break;
+                  }
+                  case ir::Opcode::ChunkBegin: {
+                    // (Re)arm the cursor for a fresh loop entry.
+                    auto &cursor = frame.cursors[&inst];
+                    if (cursor.curObj != TfmRuntime::noObject)
+                        rt.endChunk(cursor.curObj);
+                    cursor.curObj = TfmRuntime::noObject;
+                    cursor.window = nullptr;
+                    result.i = reinterpret_cast<std::uint64_t>(&inst);
+                    break;
+                  }
+                  case ir::Opcode::ChunkAccess: {
+                    const auto *begin =
+                        static_cast<const ir::Instruction *>(
+                            inst.operand(0));
+                    auto cursor_it = frame.cursors.find(begin);
+                    if (cursor_it == frame.cursors.end())
+                        trap("chunk.access before chunk.begin");
+                    auto &cursor = cursor_it->second;
+                    const std::uint64_t addr =
+                        valueOf(frame, inst.operand(1)).i;
+                    if (!tfmIsTagged(addr)) {
+                        // Custody check inside the chunk helper.
+                        rt.clock().advance(
+                            rt.costs().custodyRejectCycles);
+                        if (sanitizing)
+                            frame.sanTransl.erase(&inst);
+                        result.i = addr;
+                        break;
+                    }
+                    recordAccess(addr);
+                    const auto &table = rt.runtime().stateTable();
+                    const std::uint64_t offset = tfmOffsetOf(addr);
+                    const std::uint64_t obj = table.objectOf(offset);
+                    if (obj != cursor.curObj) {
+                        std::byte *host = rt.localityGuard(
+                            addr, cursor.curObj, inst.isWrite);
+                        cursor.curObj = obj;
+                        cursor.window =
+                            host - table.offsetInObject(offset);
+                    } else {
+                        rt.boundaryCheck();
+                    }
+                    result.i = reinterpret_cast<std::uint64_t>(
+                        cursor.window + table.offsetInObject(offset));
+                    // Chunk windows stay pinned (eviction-proof)
+                    // until the cursor moves or is released.
+                    sanRecord(frame, inst, addr,
+                              cursor.window +
+                                  table.offsetInObject(offset),
+                              true);
+                    break;
+                  }
+                  case ir::Opcode::Prefetch: {
+                    const std::uint64_t addr =
+                        valueOf(frame, inst.operand(0)).i;
+                    if (tfmIsTagged(addr)) {
+                        rt.prefetchAhead(
+                            addr, 1,
+                            static_cast<std::uint32_t>(inst.imm));
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Add:
+                    result.i = valueOf(frame, inst.operand(0)).i +
+                               valueOf(frame, inst.operand(1)).i;
+                    break;
+                  case ir::Opcode::Sub:
+                    result.i = valueOf(frame, inst.operand(0)).i -
+                               valueOf(frame, inst.operand(1)).i;
+                    break;
+                  case ir::Opcode::Mul:
+                    result.i = valueOf(frame, inst.operand(0)).i *
+                               valueOf(frame, inst.operand(1)).i;
+                    break;
+                  case ir::Opcode::SDiv: {
+                    const auto divisor = static_cast<std::int64_t>(
+                        valueOf(frame, inst.operand(1)).i);
+                    if (divisor == 0)
+                        trap("division by zero");
+                    result.i = static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(0)).i) /
+                        divisor);
+                    break;
+                  }
+                  case ir::Opcode::SRem: {
+                    const auto divisor = static_cast<std::int64_t>(
+                        valueOf(frame, inst.operand(1)).i);
+                    if (divisor == 0)
+                        trap("remainder by zero");
+                    result.i = static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(0)).i) %
+                        divisor);
+                    break;
+                  }
+                  case ir::Opcode::And:
+                    result.i = valueOf(frame, inst.operand(0)).i &
+                               valueOf(frame, inst.operand(1)).i;
+                    break;
+                  case ir::Opcode::Or:
+                    result.i = valueOf(frame, inst.operand(0)).i |
+                               valueOf(frame, inst.operand(1)).i;
+                    break;
+                  case ir::Opcode::Xor:
+                    result.i = valueOf(frame, inst.operand(0)).i ^
+                               valueOf(frame, inst.operand(1)).i;
+                    break;
+                  case ir::Opcode::Shl:
+                    result.i = valueOf(frame, inst.operand(0)).i
+                               << (valueOf(frame, inst.operand(1)).i &
+                                   63);
+                    break;
+                  case ir::Opcode::LShr:
+                    result.i = valueOf(frame, inst.operand(0)).i >>
+                               (valueOf(frame, inst.operand(1)).i & 63);
+                    break;
+                  case ir::Opcode::FAdd:
+                    result.f = valueOf(frame, inst.operand(0)).f +
+                               valueOf(frame, inst.operand(1)).f;
+                    break;
+                  case ir::Opcode::FSub:
+                    result.f = valueOf(frame, inst.operand(0)).f -
+                               valueOf(frame, inst.operand(1)).f;
+                    break;
+                  case ir::Opcode::FMul:
+                    result.f = valueOf(frame, inst.operand(0)).f *
+                               valueOf(frame, inst.operand(1)).f;
+                    break;
+                  case ir::Opcode::FDiv:
+                    result.f = valueOf(frame, inst.operand(0)).f /
+                               valueOf(frame, inst.operand(1)).f;
+                    break;
+                  case ir::Opcode::ICmpEq:
+                  case ir::Opcode::ICmpNe:
+                  case ir::Opcode::ICmpSlt:
+                  case ir::Opcode::ICmpSle:
+                  case ir::Opcode::ICmpSgt:
+                  case ir::Opcode::ICmpSge: {
+                    const auto lhs = static_cast<std::int64_t>(
+                        valueOf(frame, inst.operand(0)).i);
+                    const auto rhs = static_cast<std::int64_t>(
+                        valueOf(frame, inst.operand(1)).i);
+                    bool truth = false;
+                    switch (inst.op()) {
+                      case ir::Opcode::ICmpEq:
+                        truth = lhs == rhs;
+                        break;
+                      case ir::Opcode::ICmpNe:
+                        truth = lhs != rhs;
+                        break;
+                      case ir::Opcode::ICmpSlt:
+                        truth = lhs < rhs;
+                        break;
+                      case ir::Opcode::ICmpSle:
+                        truth = lhs <= rhs;
+                        break;
+                      case ir::Opcode::ICmpSgt:
+                        truth = lhs > rhs;
+                        break;
+                      default:
+                        truth = lhs >= rhs;
+                        break;
+                    }
+                    result.i = truth;
+                    break;
+                  }
+                  case ir::Opcode::FCmpOlt:
+                    result.i = valueOf(frame, inst.operand(0)).f <
+                               valueOf(frame, inst.operand(1)).f;
+                    break;
+                  case ir::Opcode::Zext:
+                  case ir::Opcode::PtrToInt:
+                  case ir::Opcode::IntToPtr:
+                    result.i = valueOf(frame, inst.operand(0)).i;
+                    break;
+                  case ir::Opcode::Trunc: {
+                    const std::uint32_t bits =
+                        ir::sizeOf(inst.type()) * 8;
+                    const std::uint64_t mask =
+                        bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+                    result.i =
+                        valueOf(frame, inst.operand(0)).i & mask;
+                    break;
+                  }
+                  case ir::Opcode::SIToFP:
+                    result.f = static_cast<double>(
+                        static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(0)).i));
+                    break;
+                  case ir::Opcode::FPToSI:
+                    result.i = static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(
+                            valueOf(frame, inst.operand(0)).f));
+                    break;
+                  case ir::Opcode::Call:
+                    result =
+                        callIntrinsicOrFunction(frame, inst, depth);
+                    break;
+                  case ir::Opcode::Br:
+                    next = inst.succ0;
+                    break;
+                  case ir::Opcode::CondBr:
+                    next = valueOf(frame, inst.operand(0)).i
+                               ? inst.succ0
+                               : inst.succ1;
+                    break;
+                  case ir::Opcode::Ret: {
+                    Slot returned;
+                    if (inst.numOperands() > 0)
+                        returned = valueOf(frame, inst.operand(0));
+                    releaseCursors();
+                    return returned;
+                  }
+                  case ir::Opcode::Phi:
+                    break; // handled above
+                }
+                if (inst.type() != ir::Type::Void &&
+                    !inst.name().empty()) {
+                    frame.values[&inst] = result;
+                }
+            }
+            if (!next)
+                trap("block fell through without a terminator");
+            previous = block;
+            block = next;
         }
+    } catch (TrapException &) {
+        releaseCursors();
+        throw;
     }
-};
+}
 
 Interpreter::Interpreter(const ir::Module &module, TfmRuntime &runtime)
     : impl(std::make_unique<Impl>(module, runtime))
@@ -884,6 +619,8 @@ Interpreter::run(const std::string &function_name,
                  const std::vector<std::int64_t> &args)
 {
     RunResult result;
+    impl->engine = engine;
+    result.engine = impl->useBytecode() ? "bytecode" : "ref";
     const ir::Function *function =
         impl->module.findFunction(function_name);
     if (!function) {
@@ -894,22 +631,50 @@ Interpreter::run(const std::string &function_name,
     impl->steps = 0;
     impl->maxSteps = maxSteps;
     impl->output.clear();
+    impl->guardFastHits = 0;
+    if (impl->useBytecode())
+        impl->ensureCompiled();
     std::vector<Slot> slots;
     for (const std::int64_t value : args) {
         Slot slot;
         slot.i = static_cast<std::uint64_t>(value);
         slots.push_back(slot);
     }
+    const auto wall_begin = std::chrono::steady_clock::now();
     try {
-        const Slot returned = impl->execFunction(*function, slots, 0);
+        const Slot returned = impl->callFunction(
+            *function, slots.data(), slots.size(), 0);
         result.returnValue = static_cast<std::int64_t>(returned.i);
         result.returnFloat = returned.f;
     } catch (TrapException &trap_info) {
         result.trapped = true;
         result.trapMessage = trap_info.message;
     }
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_begin)
+            .count();
     result.instructionsExecuted = impl->steps;
     result.output = impl->output;
+    result.guardFastHits = impl->guardFastHits;
+
+    // Dispatch-rate observability: per-run instruction rate and inline
+    // guard-cache hits, on the runtime's trace stream.
+    Observability *obs = impl->rt.runtime().obs();
+    if (obs && obs->trace().enabled()) {
+        const std::uint64_t rate =
+            result.wallSeconds > 0.0
+                ? static_cast<std::uint64_t>(
+                      static_cast<double>(result.instructionsExecuted) /
+                      result.wallSeconds)
+                : 0;
+        const std::uint64_t now = impl->rt.clock().now();
+        obs->trace().counter(impl->rt.runtime().obsStream(),
+                             "interp.instRate", now, rate);
+        obs->trace().counter(impl->rt.runtime().obsStream(),
+                             "interp.guardFastHits", now,
+                             result.guardFastHits);
+    }
     return result;
 }
 

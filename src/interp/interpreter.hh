@@ -29,6 +29,19 @@
 namespace tfm
 {
 
+/**
+ * Execution engine selection. Both engines are bit-exact against each
+ * other (outputs, heap contents, trap text, step counts, simulated
+ * cycles, GuardStats); the bytecode engine is the fast default, the
+ * tree-walking reference engine the trust anchor (and the only engine
+ * the far-memory sanitizer runs on).
+ */
+enum class InterpEngine : std::uint8_t
+{
+    Reference, ///< tree-walking over the IR (lazy value lookups)
+    Bytecode   ///< pre-decoded register VM with threaded dispatch
+};
+
 /** Outcome of one interpreted execution. */
 struct RunResult
 {
@@ -39,6 +52,15 @@ struct RunResult
     std::uint64_t instructionsExecuted = 0;
     /// Values passed to the print_i64 intrinsic, in order.
     std::vector<std::int64_t> output;
+    /// Engine that actually ran: "bytecode" or "ref" (the sanitizer
+    /// forces ref regardless of the requested engine).
+    std::string engine;
+    /// Host wall-clock time inside the engine (dispatch-rate metric;
+    /// unrelated to the simulated cycle clock).
+    double wallSeconds = 0.0;
+    /// Guards resolved by the inline last-object cache probe without
+    /// leaving the dispatch loop (bytecode engine only).
+    std::uint64_t guardFastHits = 0;
 
     bool ok() const { return !trapped; }
 };
@@ -60,6 +82,14 @@ class Interpreter
 
     /** Default step budget; adjustable for long-running programs. */
     std::uint64_t maxSteps = 200'000'000;
+
+    /**
+     * Engine for subsequent run() calls. Per-function compile
+     * bailouts (non-canonical SSA) silently fall back to the
+     * reference engine for that function only; enableSanitizer()
+     * forces the reference engine for the whole run.
+     */
+    InterpEngine engine = InterpEngine::Bytecode;
 
     /** @name Allocation-site profiling (for HotAllocPruningPass)
      * @{ */

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Register numbering and parallel-copy scheduling for the bytecode
+ * engine (see bytecode.hh for the frame layout contract).
+ */
+
+#include "interp/bytecode.hh"
+
+#include "ir/instruction.hh"
+
+namespace tfm::bc
+{
+
+RegAlloc::RegAlloc(const ir::Function &function)
+{
+    // Slot 0 is the write-only sink, slot 1 the move scratch; `next`
+    // starts past them. Constants are collected during the scan and
+    // materialized into `init` once the numbering is complete.
+    std::vector<const ir::Constant *> constants;
+    auto assign = [&](const ir::Value *value) {
+        if (regs.count(value))
+            return;
+        if (next > 0xFFFF) {
+            overflow = true;
+            return;
+        }
+        regs[value] = static_cast<std::uint16_t>(next++);
+    };
+    auto assignConstant = [&](const ir::Value *value) {
+        if (!value->isConstant() || regs.count(value))
+            return;
+        assign(value);
+        if (!overflow)
+            constants.push_back(
+                static_cast<const ir::Constant *>(value));
+    };
+
+    for (const auto &argument : function.arguments()) {
+        assign(argument.get());
+        args.push_back(regOf(argument.get()));
+    }
+    // The reference engine stores every phi into the frame (named or
+    // not), so phis always get a register; other instructions only
+    // when their result is observable (named, non-void).
+    for (const auto &block : function.basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            if (inst->op() == ir::Opcode::Phi ||
+                (inst->type() != ir::Type::Void &&
+                 !inst->name().empty())) {
+                assign(inst.get());
+            }
+        }
+    }
+    for (const auto &block : function.basicBlocks()) {
+        for (const auto &inst : block->instructions()) {
+            for (std::size_t i = 0; i < inst->numOperands(); i++) {
+                if (!ir::isTokenOperand(inst->op(), i))
+                    assignConstant(inst->operand(i));
+            }
+            for (const auto &[incoming, pred] : inst->incoming()) {
+                (void)pred;
+                assignConstant(incoming);
+            }
+        }
+    }
+
+    init.assign(next, Slot{});
+    if (overflow)
+        return;
+    for (const ir::Constant *constant : constants) {
+        Slot &slot = init[regOf(constant)];
+        if (constant->type() == ir::Type::F64)
+            slot.f = constant->floatValue();
+        else
+            slot.i = static_cast<std::uint64_t>(constant->intValue());
+    }
+}
+
+std::vector<Move>
+scheduleParallelMoves(std::vector<Move> moves, std::uint16_t scratch)
+{
+    std::vector<Move> out;
+    std::erase_if(moves, [](const Move &m) { return m.dst == m.src; });
+    while (!moves.empty()) {
+        // Emit any move whose destination no other pending move still
+        // needs to read. Phi destinations are unique, so only sources
+        // can alias.
+        bool progress = false;
+        for (std::size_t i = 0; i < moves.size(); i++) {
+            bool read_later = false;
+            for (std::size_t j = 0; j < moves.size(); j++) {
+                if (j != i && moves[j].src == moves[i].dst) {
+                    read_later = true;
+                    break;
+                }
+            }
+            if (!read_later) {
+                out.push_back(moves[i]);
+                moves.erase(moves.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                progress = true;
+                break;
+            }
+        }
+        if (progress)
+            continue;
+        // Every pending destination is still read: a cycle. Park one
+        // source in the scratch register and redirect its readers.
+        const std::uint16_t victim = moves.front().src;
+        out.push_back(Move{scratch, victim});
+        for (Move &move : moves) {
+            if (move.src == victim)
+                move.src = scratch;
+        }
+    }
+    return out;
+}
+
+} // namespace tfm::bc

@@ -127,6 +127,21 @@ isPure(Opcode op)
     }
 }
 
+/**
+ * Is operand @p index of @p op a token reference — an instruction
+ * consumed by identity (the arming guard of a guard.reval, the
+ * chunk.begin cursor of a chunk.access) rather than by value? Token
+ * operands are never read through the value table: the interpreter's
+ * reference engine casts them directly and the bytecode compiler
+ * resolves them to frame state indices at compile time.
+ */
+constexpr bool
+isTokenOperand(Opcode op, std::size_t index)
+{
+    return (op == Opcode::GuardReval || op == Opcode::ChunkAccess) &&
+           index == 0;
+}
+
 /** Textual mnemonic. */
 const char *opcodeName(Opcode op);
 

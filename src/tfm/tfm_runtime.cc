@@ -29,26 +29,6 @@ TfmRuntime::recordGuard(std::uint64_t addr, GuardPath path)
     }
 }
 
-std::byte *
-TfmRuntime::cacheLookup(std::uint64_t offset, bool for_write)
-{
-    if (!rt.config().guardCacheEnabled)
-        return nullptr;
-    // The epoch comparison invalidates on any eviction/evacuation since
-    // the fill: a hit therefore proves the object->frame translation
-    // (and thus frameBase) is still live, never a stale host pointer.
-    if (rt.stateTable().objectOf(offset) != lastObjCache.objId ||
-        lastObjCache.epoch != rt.evictionEpoch() ||
-        !lastObjCache.meta->safeForFastPath()) {
-        return nullptr;
-    }
-    lastObjCache.frame->refbit = true;
-    lastObjCache.meta->setHot();
-    if (for_write)
-        lastObjCache.meta->setDirty();
-    return lastObjCache.frameBase + rt.stateTable().offsetInObject(offset);
-}
-
 void
 TfmRuntime::cacheFill(std::uint64_t obj_id, std::uint64_t offset,
                       std::byte *ptr)

@@ -105,6 +105,39 @@ class TfmRuntime
     std::byte *guardWrite(std::uint64_t addr);
 
     /**
+     * Inline-cache-only guard probe for dispatch loops that want to
+     * resolve a guard without a full runtime call: on a last-object
+     * cache hit this performs the complete fast-path guard — identical
+     * cycle charges, GuardStats, and trace-ring record as
+     * guardRead/guardWrite taking their cache-hit branch — and returns
+     * the host pointer. Untagged pointers and cache misses return
+     * nullptr with NO accounting; the caller must then fall back to
+     * guardRead/guardWrite, which re-probes the (side-effect-free on
+     * miss) cache.
+     */
+    std::byte *
+    guardCacheFastPath(std::uint64_t addr, bool for_write)
+    {
+        if (!tfmIsTagged(addr))
+            return nullptr;
+        std::byte *cached = cacheLookup(tfmOffsetOf(addr), for_write);
+        if (!cached)
+            return nullptr;
+        if (for_write) {
+            rt.clock().advance(costs().guardCacheHitWriteCycles);
+            gstats.fastWrites++;
+            gstats.cacheHitWrites++;
+            gtrace.record(addr, rt.clock().now(), GuardPath::FastWrite);
+        } else {
+            rt.clock().advance(costs().guardCacheHitReadCycles);
+            gstats.fastReads++;
+            gstats.cacheHitReads++;
+            gtrace.record(addr, rt.clock().now(), GuardPath::FastRead);
+        }
+        return cached;
+    }
+
+    /**
      * Epoch revalidation of a hoisted guard (guard.reval fast path):
      * compare @p armed_epoch against the runtime's eviction epoch, with
      * no state-table lookup. An unchanged epoch proves every
@@ -256,8 +289,31 @@ class TfmRuntime
      */
     void recordGuard(std::uint64_t addr, GuardPath path);
 
-    /** Try the inline cache; returns the host pointer or nullptr. */
-    std::byte *cacheLookup(std::uint64_t offset, bool for_write);
+    /** Try the inline cache; returns the host pointer or nullptr.
+     *  Inline so guardCacheFastPath probes fully in-line from the
+     *  bytecode dispatch loop. A miss has no side effects, so probing
+     *  twice (probe, then the fallback guard's own lookup) is safe. */
+    std::byte *
+    cacheLookup(std::uint64_t offset, bool for_write)
+    {
+        if (!rt.config().guardCacheEnabled)
+            return nullptr;
+        // The epoch comparison invalidates on any eviction/evacuation
+        // since the fill: a hit therefore proves the object->frame
+        // translation (and thus frameBase) is still live, never a
+        // stale host pointer.
+        if (rt.stateTable().objectOf(offset) != lastObjCache.objId ||
+            lastObjCache.epoch != rt.evictionEpoch() ||
+            !lastObjCache.meta->safeForFastPath()) {
+            return nullptr;
+        }
+        lastObjCache.frame->refbit = true;
+        lastObjCache.meta->setHot();
+        if (for_write)
+            lastObjCache.meta->setDirty();
+        return lastObjCache.frameBase +
+               rt.stateTable().offsetInObject(offset);
+    }
     /** Refill the inline cache after a successful guard translation. */
     void cacheFill(std::uint64_t obj_id, std::uint64_t offset,
                    std::byte *ptr);

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Differential tests: the pre-decoded register bytecode engine versus
+ * the tree-walking reference engine. Every corpus program and example
+ * must be bit-exact across engines at both opt levels — return value,
+ * print output, step count, simulated cycles, every GuardStats
+ * counter, a checksum of the entire far heap, and (for trapping
+ * programs) the trap message. Any divergence is an engine bug by
+ * definition: the reference engine is the semantic baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.hh"
+#include "interp/interpreter.hh"
+#include "ir_test_programs.hh"
+
+namespace tfm
+{
+namespace
+{
+
+SystemConfig
+diffConfig()
+{
+    SystemConfig config;
+    // Small tiers so the corpus actually evicts/fetches: the engines
+    // must agree through remote fetches and evacuations, not just on
+    // the resident fast path.
+    config.runtime.farHeapBytes = 4 << 20;
+    config.runtime.localMemBytes = 256 << 10;
+    return config;
+}
+
+/** FNV-1a over the whole far heap: any stored-byte divergence shows. */
+std::uint64_t
+heapChecksum(TfmRuntime &rt, std::uint64_t far_heap_bytes)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    std::byte buffer[4096];
+    for (std::uint64_t offset = 0; offset < far_heap_bytes;
+         offset += sizeof(buffer)) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(sizeof(buffer),
+                                    far_heap_bytes - offset);
+        rt.runtime().rawRead(offset, buffer, len);
+        for (std::uint64_t i = 0; i < len; i++) {
+            hash ^= static_cast<std::uint64_t>(buffer[i]);
+            hash *= 1099511628211ull;
+        }
+    }
+    return hash;
+}
+
+/** Everything observable from one run, flattened for comparison. */
+struct DiffRecord
+{
+    RunResult result;
+    std::vector<std::pair<const char *, std::uint64_t>> counters;
+};
+
+DiffRecord
+runEngine(const CompiledProgram &program, const SystemConfig &config,
+          InterpEngine engine, std::uint64_t max_steps = 0)
+{
+    TfmRuntime rt(config.runtime, config.costs);
+    Interpreter interp(program.ir(), rt);
+    interp.engine = engine;
+    if (max_steps)
+        interp.maxSteps = max_steps;
+    DiffRecord record;
+    record.result = interp.run("main");
+    const GuardStats &gs = rt.guardStats();
+    record.counters = {
+        {"steps", record.result.instructionsExecuted},
+        {"cycles", rt.clock().now()},
+        {"heapChecksum",
+         heapChecksum(rt, config.runtime.farHeapBytes)},
+        {"fastReads", gs.fastReads},
+        {"fastWrites", gs.fastWrites},
+        {"cacheHitReads", gs.cacheHitReads},
+        {"cacheHitWrites", gs.cacheHitWrites},
+        {"slowLocalReads", gs.slowLocalReads},
+        {"slowLocalWrites", gs.slowLocalWrites},
+        {"slowRemoteReads", gs.slowRemoteReads},
+        {"slowRemoteWrites", gs.slowRemoteWrites},
+        {"custodyRejects", gs.custodyRejects},
+        {"boundaryChecks", gs.boundaryChecks},
+        {"localityGuards", gs.localityGuards},
+        {"localityRemotes", gs.localityRemotes},
+        {"prefetchCalls", gs.prefetchCalls},
+        {"revalidations", gs.revalidations},
+        {"revalidationHits", gs.revalidationHits},
+        {"revalidationMisses", gs.revalidationMisses},
+    };
+    return record;
+}
+
+/** Assert two engine runs are observably identical. */
+void
+expectIdentical(const DiffRecord &bc, const DiffRecord &ref,
+                const std::string &label)
+{
+    EXPECT_EQ(bc.result.trapped, ref.result.trapped) << label;
+    EXPECT_EQ(bc.result.trapMessage, ref.result.trapMessage) << label;
+    EXPECT_EQ(bc.result.returnValue, ref.result.returnValue) << label;
+    EXPECT_EQ(bc.result.returnFloat, ref.result.returnFloat) << label;
+    EXPECT_EQ(bc.result.output, ref.result.output) << label;
+    ASSERT_EQ(bc.counters.size(), ref.counters.size());
+    for (std::size_t i = 0; i < bc.counters.size(); i++) {
+        EXPECT_EQ(bc.counters[i].second, ref.counters[i].second)
+            << label << ": counter " << bc.counters[i].first;
+    }
+}
+
+/** Compile at one opt level and diff the two engines. */
+void
+diffProgram(const char *source, bool optimize, const std::string &label,
+            std::int64_t expected, std::uint64_t max_steps = 0)
+{
+    SystemConfig config = diffConfig();
+    config.preOptimize = optimize;
+    config.passes.optimizeGuards = optimize;
+    System system(config);
+    CompileResult compiled = system.compile(source);
+    ASSERT_TRUE(compiled.ok()) << label << ": " << compiled.error;
+    const DiffRecord bc = runEngine(*compiled.program, config,
+                                    InterpEngine::Bytecode, max_steps);
+    const DiffRecord ref = runEngine(*compiled.program, config,
+                                     InterpEngine::Reference, max_steps);
+    EXPECT_EQ(bc.result.engine, "bytecode") << label;
+    EXPECT_EQ(ref.result.engine, "ref") << label;
+    expectIdentical(bc, ref, label);
+    if (!bc.result.trapped) {
+        EXPECT_EQ(bc.result.returnValue, expected) << label;
+    }
+}
+
+TEST(BytecodeDiff, CorpusAtBothOptLevels)
+{
+    for (const testprogs::CorpusProgram &entry : testprogs::kCorpus) {
+        for (const bool optimize : {false, true}) {
+            diffProgram(entry.source, optimize,
+                        std::string(entry.name) +
+                            (optimize ? "/opt" : "/O0"),
+                        entry.expected);
+        }
+    }
+}
+
+TEST(BytecodeDiff, ExamplePrograms)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(TFM_REPO_ROOT) / "examples";
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+    int found = 0;
+    for (const auto &file : std::filesystem::directory_iterator(dir)) {
+        if (file.path().extension() != ".tir")
+            continue;
+        found++;
+        std::ifstream in(file.path());
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string source = buffer.str();
+        for (const bool optimize : {false, true}) {
+            SystemConfig config = diffConfig();
+            config.preOptimize = optimize;
+            config.passes.optimizeGuards = optimize;
+            System system(config);
+            CompileResult compiled = system.compile(source);
+            ASSERT_TRUE(compiled.ok())
+                << file.path() << ": " << compiled.error;
+            expectIdentical(
+                runEngine(*compiled.program, config,
+                          InterpEngine::Bytecode),
+                runEngine(*compiled.program, config,
+                          InterpEngine::Reference),
+                file.path().filename().string() +
+                    (optimize ? "/opt" : "/O0"));
+        }
+    }
+    EXPECT_GE(found, 3);
+}
+
+TEST(BytecodeDiff, ForcedEvacuationRevalidationParity)
+{
+    // The hoisted guard's reval must miss every iteration on both
+    // engines: evacuations advance the epoch mid-loop.
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled =
+        system.compile(testprogs::evacuationLoopProgram);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    const DiffRecord bc =
+        runEngine(*compiled.program, config, InterpEngine::Bytecode);
+    const DiffRecord ref =
+        runEngine(*compiled.program, config, InterpEngine::Reference);
+    expectIdentical(bc, ref, "evacuationLoop");
+    std::uint64_t reval_misses = 0;
+    for (const auto &[name, value] : bc.counters) {
+        if (std::string(name) == "revalidationMisses")
+            reval_misses = value;
+    }
+    EXPECT_GT(reval_misses, 0u);
+}
+
+TEST(BytecodeDiff, PrintOutputParity)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i2, loop ]
+  %sq = mul %i, %i
+  call void @print_i64(%sq)
+  %i2 = add %i, 1
+  %c = icmp.slt %i2, 5
+  condbr %c, loop, exit
+exit:
+  ret 0
+}
+)";
+    diffProgram(source, true, "print", 0);
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.compile(source);
+    ASSERT_TRUE(compiled.ok());
+    const DiffRecord bc =
+        runEngine(*compiled.program, config, InterpEngine::Bytecode);
+    EXPECT_EQ(bc.result.output,
+              (std::vector<std::int64_t>{0, 1, 4, 9, 16}));
+}
+
+TEST(BytecodeDiff, DivisionByZeroTrapParity)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %a = call i64 @flag()
+  %r = sdiv 10, %a
+  ret %r
+}
+func @flag() -> i64 {
+entry:
+  ret 0
+}
+)";
+    for (const bool optimize : {false, true}) {
+        diffProgram(source, optimize, "divzero", 0);
+    }
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.compile(source);
+    ASSERT_TRUE(compiled.ok());
+    const DiffRecord bc =
+        runEngine(*compiled.program, config, InterpEngine::Bytecode);
+    EXPECT_TRUE(bc.result.trapped);
+    EXPECT_EQ(bc.result.trapMessage, "division by zero");
+}
+
+TEST(BytecodeDiff, UnknownFunctionTrapParity)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %r = call i64 @nosuch(1)
+  ret %r
+}
+)";
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.parseOnly(source);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    const DiffRecord bc =
+        runEngine(*compiled.program, config, InterpEngine::Bytecode);
+    const DiffRecord ref =
+        runEngine(*compiled.program, config, InterpEngine::Reference);
+    expectIdentical(bc, ref, "unknown-function");
+    EXPECT_TRUE(bc.result.trapped);
+    EXPECT_EQ(bc.result.trapMessage,
+              "call to unknown function @nosuch");
+}
+
+TEST(BytecodeDiff, ArgumentCountMismatchTrapParity)
+{
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %r = call i64 @leaf(1)
+  ret %r
+}
+func @leaf(%x: i64, %y: i64) -> i64 {
+entry:
+  ret %x
+}
+)";
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.parseOnly(source);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    const DiffRecord bc =
+        runEngine(*compiled.program, config, InterpEngine::Bytecode);
+    const DiffRecord ref =
+        runEngine(*compiled.program, config, InterpEngine::Reference);
+    expectIdentical(bc, ref, "arg-mismatch");
+    EXPECT_TRUE(bc.result.trapped);
+    EXPECT_EQ(bc.result.trapMessage,
+              "argument count mismatch calling @leaf");
+}
+
+TEST(BytecodeDiff, StepLimitTrapParity)
+{
+    // Both engines must hit the step budget at the identical step
+    // count (phi steps and edge-move charges included).
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok());
+    const DiffRecord bc = runEngine(*compiled.program, config,
+                                    InterpEngine::Bytecode, 500);
+    const DiffRecord ref = runEngine(*compiled.program, config,
+                                     InterpEngine::Reference, 500);
+    expectIdentical(bc, ref, "step-limit");
+    EXPECT_TRUE(bc.result.trapped);
+    EXPECT_EQ(bc.result.trapMessage,
+              "step limit exceeded (possible infinite loop)");
+}
+
+TEST(BytecodeDiff, UnguardedTaggedAccessTrapParity)
+{
+    // Untransformed module: tfm_malloc returns a tagged pointer which
+    // the direct load must fault on (the GP-fault analogue), on both
+    // engines, with identical step counts.
+    const char *const source = R"(
+func @main() -> i64 {
+entry:
+  %p = call ptr @tfm_malloc(64)
+  %v = load i64, %p
+  ret %v
+}
+)";
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.parseOnly(source);
+    ASSERT_TRUE(compiled.ok()) << compiled.error;
+    const DiffRecord bc =
+        runEngine(*compiled.program, config, InterpEngine::Bytecode);
+    const DiffRecord ref =
+        runEngine(*compiled.program, config, InterpEngine::Reference);
+    expectIdentical(bc, ref, "gp-fault");
+    EXPECT_TRUE(bc.result.trapped);
+    EXPECT_EQ(bc.result.trapMessage,
+              "general protection fault: unguarded access to "
+              "non-canonical address (missing TrackFM guard)");
+}
+
+TEST(BytecodeDiff, CompileBailoutFallsBackToReference)
+{
+    // A use of a value defined only in an unreachable block: canonical
+    // enough to parse and run (the reference engine traps lazily at
+    // the use), but the bytecode compiler cannot prove the register is
+    // defined, so it must bail out and the function must run — and
+    // trap identically — on the reference engine under both requested
+    // engines.
+    ir::Module module;
+    ir::Function *fn = module.addFunction("main", ir::Type::I64);
+    ir::BasicBlock *entry = fn->addBlock("entry");
+    ir::BasicBlock *dead = fn->addBlock("dead");
+
+    auto add = std::make_unique<ir::Instruction>(ir::Opcode::Add,
+                                                 ir::Type::I64, "v");
+    add->addOperand(fn->makeConstant(ir::Type::I64, 1));
+    add->addOperand(fn->makeConstant(ir::Type::I64, 2));
+    ir::Instruction *v = add.get();
+    dead->append(std::move(add));
+    auto dead_ret = std::make_unique<ir::Instruction>(
+        ir::Opcode::Ret, ir::Type::Void, "");
+    dead_ret->addOperand(v);
+    dead->append(std::move(dead_ret));
+
+    auto ret = std::make_unique<ir::Instruction>(ir::Opcode::Ret,
+                                                 ir::Type::Void, "");
+    ret->addOperand(v);
+    entry->append(std::move(ret));
+
+    SystemConfig config = diffConfig();
+    TfmRuntime rt_bc(config.runtime, config.costs);
+    Interpreter bc(module, rt_bc);
+    bc.engine = InterpEngine::Bytecode;
+    const RunResult bc_result = bc.run("main");
+
+    TfmRuntime rt_ref(config.runtime, config.costs);
+    Interpreter ref(module, rt_ref);
+    ref.engine = InterpEngine::Reference;
+    const RunResult ref_result = ref.run("main");
+
+    EXPECT_TRUE(bc_result.trapped);
+    EXPECT_EQ(bc_result.trapMessage, "use of undefined value %v");
+    EXPECT_EQ(bc_result.trapMessage, ref_result.trapMessage);
+    EXPECT_EQ(bc_result.instructionsExecuted,
+              ref_result.instructionsExecuted);
+}
+
+TEST(BytecodeDiff, SanitizerForcesReferenceEngine)
+{
+    SystemConfig config = diffConfig();
+    System system(config);
+    CompileResult compiled = system.compile(testprogs::sumProgram);
+    ASSERT_TRUE(compiled.ok());
+    TfmRuntime rt(config.runtime, config.costs);
+    Interpreter interp(compiled.program->ir(), rt);
+    interp.engine = InterpEngine::Bytecode;
+    interp.enableSanitizer();
+    const RunResult result = interp.run("main");
+    EXPECT_EQ(result.engine, "ref");
+    EXPECT_FALSE(result.trapped) << result.trapMessage;
+    EXPECT_EQ(result.returnValue, 499500);
+}
+
+} // anonymous namespace
+} // namespace tfm

@@ -27,183 +27,12 @@ namespace tfm
 namespace
 {
 
-/**
- * Two guards on one object in sibling branches of a diamond plus a
- * third at the join. No guard dominates another, so redundant-guard
- * elimination must keep all three. Expected result: 7.
- */
-const char *const diamondProgram = R"(
-func @main() -> i64 {
-entry:
-  %p = call ptr @malloc(16)
-  %v = call i64 @flag()
-  %c = icmp.slt %v, 3
-  condbr %c, left, right
-left:
-  store 7, %p
-  br join
-right:
-  store 9, %p
-  br join
-join:
-  %r = load i64, %p
-  ret %r
-}
-func @flag() -> i64 {
-entry:
-  ret 1
-}
-)";
-
-/**
- * A helper call that reaches tfm_evacuate_all between a guarded store
- * and a same-pointer load: the call is a runtime barrier, so the two
- * accesses must keep separate guards. Expected result: 5.
- */
-const char *const evictBetweenProgram = R"(
-func @main() -> i64 {
-entry:
-  %p = call ptr @malloc(8)
-  store 5, %p
-  %e = call i64 @evict()
-  %v = load i64, %p
-  ret %v
-}
-func @evict() -> i64 {
-entry:
-  call void @tfm_evacuate_all()
-  ret 0
-}
-)";
-
-/**
- * Two runs of same-base constant-offset guards split by an evacuating
- * call: coalescing may merge within each run but never across the
- * call. Expected result: 66.
- */
-const char *const evictSplitRunProgram = R"(
-func @main() -> i64 {
-entry:
-  %s = call ptr @malloc(32)
-  store 11, %s
-  %f1 = gep %s, 1, 8
-  store 22, %f1
-  %e = call i64 @evict()
-  %f2 = gep %s, 2, 8
-  store 33, %f2
-  %v0 = load i64, %s
-  %v1 = load i64, %f1
-  %v2 = load i64, %f2
-  %t0 = add %v0, %v1
-  %t1 = add %t0, %v2
-  ret %t1
-}
-func @evict() -> i64 {
-entry:
-  call void @tfm_evacuate_all()
-  ret 0
-}
-)";
-
-/**
- * A hand-armed epoch guard feeding a loop's guard.reval, adjacent (in
- * the coalescing sense) to a plain guard on the same allocation:
- * coalescing must not fold the armer into a merged guard, because the
- * merged guard would not arm the epoch the reval depends on. The
- * call between %g0 and %ga keeps elimination from merging them first.
- * Expected result: 25.
- */
-const char *const armedPairProgram = R"(
-func @main() -> i64 {
-entry:
-  %p = call ptr @malloc(32)
-  %g0 = guard.w %p
-  store 5, %g0
-  %e = call i64 @flag()
-  %ga = guard.w %p, epoch
-  %v0 = load i64, %ga
-  %f1 = gep %p, 1, 8
-  %g1 = guard.w %f1
-  store %v0, %g1
-  br loop
-loop:
-  %i = phi i64 [ 0, entry ], [ %i2, loop ]
-  %acc = phi i64 [ 0, entry ], [ %acc2, loop ]
-  %gr = guard.reval.r %ga, %p
-  %v = load i64, %gr
-  %acc2 = add %acc, %v
-  %i2 = add %i, 1
-  %c = icmp.slt %i2, 4
-  condbr %c, loop, exit
-exit:
-  %gx = guard.r %p
-  %r = load i64, %gx
-  %t = add %acc2, %r
-  ret %t
-}
-func @flag() -> i64 {
-entry:
-  ret 1
-}
-)";
-
-/**
- * Strided sweeps (a[2*i], byte stride 16 over 8-byte elements): the
- * guarded pointer changes every iteration, so hoisting must leave the
- * in-loop guards alone. Expected result: 499500.
- */
-const char *const stridedProgram = R"(
-func @main() -> i64 {
-entry:
-  %a = call ptr @malloc(16000)
-  br init
-init:
-  %i = phi i64 [ 0, entry ], [ %i2, init ]
-  %d = mul %i, 2
-  %p = gep %a, %d, 8
-  store %i, %p
-  %i2 = add %i, 1
-  %c = icmp.slt %i2, 1000
-  condbr %c, init, compute
-compute:
-  br loop
-loop:
-  %j = phi i64 [ 0, compute ], [ %j2, loop ]
-  %acc = phi i64 [ 0, compute ], [ %acc2, loop ]
-  %e = mul %j, 2
-  %q = gep %a, %e, 8
-  %v = load i64, %q
-  %acc2 = add %acc, %v
-  %j2 = add %j, 1
-  %c2 = icmp.slt %j2, 1000
-  condbr %c2, loop, exit
-exit:
-  ret %acc2
-}
-)";
-
-/**
- * One 8000-byte allocation (two 4096-byte AIFM objects) accessed at
- * offsets 0 and 4200: both offsets resolve against the same base, but
- * a merged guard would translate only the first object's frame, so
- * coalescing must respect min(object size, allocation size). The
- * static checker does not model offsets — this is the designated
- * dynamic-only mutant, caught by the sanitizer's frame-escape check.
- * Expected result: 33.
- */
-const char *const wideObjectProgram = R"(
-func @main() -> i64 {
-entry:
-  %a = call ptr @malloc(8000)
-  store 11, %a
-  %q = gep %a, 525, 8
-  store 22, %q
-  %v0 = load i64, %a
-  %v1 = load i64, %q
-  %r = add %v0, %v1
-  ret %r
-}
-)";
+using testprogs::armedPairProgram;
+using testprogs::diamondProgram;
+using testprogs::evictBetweenProgram;
+using testprogs::evictSplitRunProgram;
+using testprogs::stridedProgram;
+using testprogs::wideObjectProgram;
 
 /** Restores the unmutated pipeline when a test scope exits. */
 struct MutationScope
@@ -250,31 +79,8 @@ reportToString(const SafetyReport &report)
     return text;
 }
 
-/** The differential corpus: every program with its expected result. */
-struct CorpusEntry
-{
-    const char *name;
-    const char *source;
-    std::int64_t expected;
-};
-
-const CorpusEntry kCorpus[] = {
-    {"sum", testprogs::sumProgram, 499500},
-    {"sumI32", testprogs::sumI32Program, 5995},
-    {"stack", testprogs::stackProgram, 4},
-    {"o1", testprogs::o1Program, 84},
-    {"invariantAccumulator", testprogs::invariantAccumulatorProgram,
-     499500},
-    {"structFields", testprogs::structFieldsProgram, 66},
-    {"evacuationLoop", testprogs::evacuationLoopProgram, 4950},
-    {"twoObject", testprogs::twoObjectProgram, 30},
-    {"diamond", diamondProgram, 7},
-    {"evictBetween", evictBetweenProgram, 5},
-    {"evictSplitRun", evictSplitRunProgram, 66},
-    {"armedPair", armedPairProgram, 25},
-    {"strided", stridedProgram, 499500},
-    {"wideObject", wideObjectProgram, 33},
-};
+using CorpusEntry = testprogs::CorpusProgram;
+constexpr const auto &kCorpus = testprogs::kCorpus;
 
 TEST(SafetyChecker, UnmutatedPipelineIsCleanAtEveryOptLevel)
 {

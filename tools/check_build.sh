@@ -27,13 +27,18 @@ echo "check_build: trace smoke test OK"
 
 # Example programs: every .tir in examples/ must compile verifier-clean
 # through the full pipeline (the verifier runs after every pass) and
-# execute without trapping, both with and without the guard optimizer.
+# execute without trapping, both with and without the guard optimizer,
+# under both execution engines (the bytecode default and the
+# tree-walking reference engine).
 for example in examples/*.tir; do
-    "${BUILD_DIR}/tools/tfmc" --run "${example}" > /dev/null
-    "${BUILD_DIR}/tools/tfmc" --run --no-guard-opt "${example}" \
-        > /dev/null
+    for engine in bytecode ref; do
+        "${BUILD_DIR}/tools/tfmc" --run --engine="${engine}" \
+            "${example}" > /dev/null
+        "${BUILD_DIR}/tools/tfmc" --run --engine="${engine}" \
+            --no-guard-opt "${example}" > /dev/null
+    done
 done
-echo "check_build: example programs OK"
+echo "check_build: example programs OK (both engines)"
 
 # Guard-safety gate: the static checker must stay diagnostic-free on
 # every example at both opt levels (tfmc exits non-zero on any
@@ -43,10 +48,18 @@ for example in examples/*.tir; do
     "${BUILD_DIR}/tools/tfmc" --check-safety "${example}" > /dev/null
     "${BUILD_DIR}/tools/tfmc" --check-safety --no-guard-opt \
         "${example}" > /dev/null
-    "${BUILD_DIR}/tools/tfmc" --run --sanitize=farmem "${example}" \
-        > /dev/null
+    "${BUILD_DIR}/tools/tfmc" --run --sanitize=farmem --engine=ref \
+        "${example}" > /dev/null
 done
 echo "check_build: guard-safety checker and farmem sanitizer OK"
+
+# Interpreter dispatch-rate floor: the bytecode engine must stay at
+# least 2x the reference engine's instructions/second on the gated
+# mixes (arith-loop, pointer-chase). The PR that added the engine
+# measured >= 5x; 2x is the don't-regress-silently floor.
+"${BUILD_DIR}/bench/bench_interp_dispatch" --repeat=3 \
+    --min-speedup=2 > /dev/null
+echo "check_build: bytecode engine dispatch-rate floor (2x) OK"
 
 # Sanitizer pass: rebuild in a separate directory with
 # -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the

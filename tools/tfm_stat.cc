@@ -97,6 +97,29 @@ printSafetyTable(const std::map<std::string, Histogram> &safety)
                 total ? "   <-- UNSAFE" : "");
 }
 
+/**
+ * Interpreter engine counters ("interp.<metric>", one sample per
+ * Interpreter::run): dispatch rate (instructions per wall second) and
+ * guard-fast-path hits, kept out of the generic counter table so an
+ * engine regression is obvious at a glance.
+ */
+void
+printInterpTable(const std::map<std::string, Histogram> &interp)
+{
+    if (interp.empty())
+        return;
+    const int width = static_cast<int>(nameWidth(interp, 6));
+    std::printf("\n%-*s %10s %12s %12s %14s\n", width, "interp", "runs",
+                "min", "max", "mean");
+    for (const auto &[name, h] : interp) {
+        std::printf("%-*s %10llu %12llu %12llu %14.1f\n", width,
+                    name.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.min()),
+                    static_cast<unsigned long long>(h.max()), h.mean());
+    }
+}
+
 void
 printCounterTable(const std::map<std::string, Histogram> &counters)
 {
@@ -135,6 +158,7 @@ main(int argc, char **argv)
     std::map<std::string, std::uint64_t> instants;
     std::map<std::string, Histogram> counters;
     std::map<std::string, Histogram> safetyCounters;
+    std::map<std::string, Histogram> interpCounters;
     // Open 'B' spans per (pid, tid): Chrome semantics say 'E' closes
     // the innermost open span on its track.
     std::map<std::pair<std::uint32_t, std::uint32_t>,
@@ -172,6 +196,10 @@ main(int argc, char **argv)
                 safetyCounters[e.name.substr(7)].record(it->second);
                 break;
             }
+            if (e.name.rfind("interp.", 0) == 0) {
+                interpCounters[e.name.substr(7)].record(it->second);
+                break;
+            }
             counters[e.name].record(it->second);
             break;
         }
@@ -194,6 +222,7 @@ main(int argc, char **argv)
     printSpanTable(spans);
     printInstantTable(instants);
     printCounterTable(counters);
+    printInterpTable(interpCounters);
     printSafetyTable(safetyCounters);
     return 0;
 }

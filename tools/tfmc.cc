@@ -46,6 +46,7 @@ struct Options
     bool guardOpt = true;
     bool guardReport = false;
     bool checkSafety = false;
+    std::string engine = "bytecode"; ///< "bytecode" or "ref"
     std::string sanitize;   ///< "farmem", or empty = off
     std::string trace;      ///< trace output path; empty = off
     std::string printAfter; ///< pass name, or "all"; empty = off
@@ -72,6 +73,10 @@ usage()
         "  --check-safety        run the static guard-safety checker on\n"
         "                        the IR after every pipeline pass; print\n"
         "                        diagnostics and exit non-zero on any\n"
+        "  --engine=<e>          execution engine for --run: bytecode\n"
+        "                        (pre-decoded register VM, default) or\n"
+        "                        ref (tree-walking reference engine;\n"
+        "                        --sanitize=farmem always uses ref)\n"
         "  --sanitize=farmem     dynamic far-memory checking under --run:\n"
         "                        trap stale translations, object-frame\n"
         "                        escapes, and out-of-bounds far accesses\n"
@@ -106,6 +111,8 @@ parseArgs(int argc, char **argv, Options &options)
             options.guardReport = true;
         } else if (arg == "--check-safety") {
             options.checkSafety = true;
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            options.engine = arg.substr(9);
         } else if (arg.rfind("--sanitize=", 0) == 0) {
             options.sanitize = arg.substr(11);
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -320,6 +327,14 @@ main(int argc, char **argv)
                      options.sanitize.c_str());
         return 2;
     }
+    if (options.engine != "bytecode" && options.engine != "ref") {
+        std::fprintf(stderr, "tfmc: bad --engine value '%s'\n",
+                     options.engine.c_str());
+        return 2;
+    }
+    config.engine = options.engine == "ref"
+                        ? tfm::InterpEngine::Reference
+                        : tfm::InterpEngine::Bytecode;
     config.checkSafety = options.checkSafety;
 
     TraceWriter trace(options.trace);
@@ -379,6 +394,7 @@ main(int argc, char **argv)
     // guard report wants the dynamic allocation-site profile joined in.
     tfm::Interpreter interpreter(compiled.program->ir(),
                                  system.runtime());
+    interpreter.engine = config.engine;
     if (options.guardReport)
         interpreter.enableAllocationProfiling();
     if (options.sanitize == "farmem")
