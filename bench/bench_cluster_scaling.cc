@@ -98,21 +98,24 @@ runScan(std::uint32_t shards, std::uint32_t repl, std::uint64_t failShard,
     const NetStats net = rt.backend().netStats();
     r.bytesFetched = net.bytesFetched;
     r.bytesWrittenBack = net.bytesWrittenBack;
-    if (std::strcmp(rt.backend().kind(), "sharded") == 0) {
-        const auto &cluster =
-            static_cast<const ShardedCluster &>(rt.backend());
+    // Per-shard and cluster stats come through the RemoteBackend
+    // interface (never a downcast), so they answer correctly behind
+    // the recording decorator and under --replay.
+    if (rt.backend().shardCount() >= 2) {
         std::uint64_t max = 0, total = 0;
         for (std::uint32_t s = 0; s < shards; s++) {
-            const std::uint64_t b = cluster.shardNetStats(s).bytesFetched;
+            const std::uint64_t b =
+                rt.backend().shardNetStats(s).bytesFetched;
             max = max > b ? max : b;
             total += b;
         }
         if (total)
             r.skew = static_cast<double>(max) * shards /
                      static_cast<double>(total);
-        r.degradedReads = cluster.clusterStats().degradedReads;
-        r.reReplicatedBytes = cluster.clusterStats().reReplicatedBytes;
-        r.shardFailures = cluster.clusterStats().shardFailures;
+        const ClusterStats cstats = rt.backend().clusterStats();
+        r.degradedReads = cstats.degradedReads;
+        r.reReplicatedBytes = cstats.reReplicatedBytes;
+        r.shardFailures = cstats.shardFailures;
     }
     return r;
 }

@@ -20,6 +20,7 @@
 #include <iterator>
 #include <string>
 
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 #include "sim/cost_params.hh"
 #include "sim/logging.hh"
@@ -174,6 +175,96 @@ minWallSeconds(const RepeatConfig &config, Fn &&fn)
 
 /// One session per bench process, live from static init to exit.
 inline TraceSession traceSession;
+
+/**
+ * Process-wide record/replay session behind the uniform
+ * `--record=<file>` / `--replay=<file>` flags (TFM_RECORD / TFM_REPLAY
+ * for non-procfs platforms).
+ *
+ * Mirrors TraceSession: when a flag is present, a FlightRecorder is
+ * installed as the process-wide default before main() runs, so every
+ * runtime the bench constructs picks it up through
+ * obs::defaultRecorder() — no per-bench changes. The log is saved (or
+ * the replay verified) when the process exits. Composes with --trace:
+ * the recorder's counters are exported into the trace sink before the
+ * trace file is written (this object is declared after traceSession,
+ * so it is destroyed first).
+ */
+class RecorderSession
+{
+  public:
+    RecorderSession()
+    {
+        savePath = cmdlineArg("record");
+        if (savePath.empty()) {
+            if (const char *env = std::getenv("TFM_RECORD"))
+                savePath = env;
+        }
+        std::string replayPath = cmdlineArg("replay");
+        if (replayPath.empty()) {
+            if (const char *env = std::getenv("TFM_REPLAY"))
+                replayPath = env;
+        }
+        if (!replayPath.empty()) {
+            std::string error;
+            auto loaded =
+                FlightRecorder::loadForReplay(replayPath, error);
+            if (!loaded) {
+                std::fprintf(stderr, "bench: --replay=%s: %s\n",
+                             replayPath.c_str(), error.c_str());
+                std::exit(1);
+            }
+            recorder = loaded.release();
+        } else if (!savePath.empty()) {
+            recorder = new FlightRecorder();
+        } else {
+            return;
+        }
+        // Divergence in a bench cannot usefully unwind through a
+        // static destructor or a measurement loop: print the report
+        // and die instead.
+        recorder->setDivergencePolicy(
+            FlightRecorder::DivergencePolicy::Abort);
+        obs::setDefaultRecorder(recorder);
+    }
+
+    RecorderSession(const RecorderSession &) = delete;
+    RecorderSession &operator=(const RecorderSession &) = delete;
+
+    ~RecorderSession()
+    {
+        if (!recorder)
+            return;
+        obs::setDefaultRecorder(nullptr);
+        if (Observability *sink = obs::defaultSink())
+            recorder->exportTrace(*sink, sink->registerStream("recorder"),
+                                  0);
+        if (recorder->replaying()) {
+            recorder->finishReplay(); // aborts with a report on failure
+            std::fprintf(stderr,
+                         "replay verified (%llu events consumed)\n",
+                         static_cast<unsigned long long>(
+                             recorder->consumed()));
+        } else {
+            std::string error;
+            if (recorder->save(savePath, error))
+                std::fprintf(stderr,
+                             "recording written to %s (%zu events)\n",
+                             savePath.c_str(), recorder->size());
+            else
+                TFM_WARN("cannot save recording: %s", error.c_str());
+        }
+        delete recorder;
+    }
+
+  private:
+    std::string savePath;
+    FlightRecorder *recorder = nullptr;
+};
+
+/// Declared after traceSession so record/replay results reach the
+/// trace sink before the trace file is written.
+inline RecorderSession recorderSession;
 
 /**
  * Machine-readable result emitter: accumulates key/value pairs and

@@ -10,6 +10,11 @@ RemoteBackend::exportStats(StatSet &) const
 {
 }
 
+void
+RemoteBackend::attachRecorder(FlightRecorder *, std::uint16_t)
+{
+}
+
 std::unique_ptr<RemoteBackend>
 makeRemoteBackend(CycleClock &clock, const CostParams &costs,
                   std::uint64_t capacityBytes, std::uint32_t objectSizeBytes,

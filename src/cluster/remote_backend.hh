@@ -30,6 +30,7 @@ namespace tfm
 {
 
 class CycleClock;
+class FlightRecorder;
 class Observability;
 class StatSet;
 struct CostParams;
@@ -66,6 +67,18 @@ struct ClusterConfig
         return forceCluster || shardCount > 1 || replicationFactor > 1 ||
                !failures.empty();
     }
+};
+
+/** Cluster-level event counters (beyond per-shard Net/RemoteStats). */
+struct ClusterStats
+{
+    std::uint64_t shardFailures = 0;     ///< links killed by the plan
+    std::uint64_t degradedReads = 0;     ///< served by a non-primary replica
+    std::uint64_t degradedWrites = 0;    ///< reached fewer than k replicas
+    std::uint64_t reReplicatedStripes = 0;
+    std::uint64_t reReplicatedBytes = 0;
+    std::uint64_t splitFetchBatches = 0; ///< host batches split over shards
+    std::uint64_t splitWritebackBatches = 0;
 };
 
 /**
@@ -118,6 +131,21 @@ class RemoteBackend
     /** Aggregate remote-node statistics (sum over shards). */
     virtual RemoteStats remoteStats() const = 0;
 
+    /**
+     * One shard's link statistics. Default: the aggregate (correct for
+     * single-node tiers, where shard 0 is the whole tier). Benches use
+     * this — not a downcast — so decorating backends (recording) and
+     * substituted ones (replay) answer per-shard questions too.
+     */
+    virtual NetStats
+    shardNetStats(std::uint32_t /*shard*/) const
+    {
+        return netStats();
+    }
+
+    /** Cluster health counters; all-zero for non-cluster tiers. */
+    virtual ClusterStats clusterStats() const { return {}; }
+
     virtual std::uint32_t shardCount() const = 0;
     /** The link of @p shard (shard 0 == the single-node link). */
     virtual NetworkModel &link(std::uint32_t shard = 0) = 0;
@@ -126,6 +154,14 @@ class RemoteBackend
 
     /** Attach the runtime's trace sink to every link. */
     virtual void attachObs(Observability *sink, std::uint32_t stream) = 0;
+
+    /**
+     * Attach the runtime's flight recorder: every link then logs its
+     * message scheduling (and a cluster logs failure/re-replication)
+     * as context events on @p instance's streams. Default: no-op.
+     */
+    virtual void attachRecorder(FlightRecorder *recorder,
+                                std::uint16_t instance);
 
     /** Backend-specific counters ("cluster.*"); default exports none. */
     virtual void exportStats(StatSet &set) const;
@@ -206,6 +242,13 @@ class SingleNodeBackend final : public RemoteBackend
     attachObs(Observability *sink, std::uint32_t stream) override
     {
         net_.attachObs(sink, stream);
+    }
+
+    void
+    attachRecorder(FlightRecorder *recorder,
+                   std::uint16_t instance) override
+    {
+        net_.attachRecorder(recorder, instance, 0);
     }
 
     const char *kind() const override { return "single"; }

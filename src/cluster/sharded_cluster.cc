@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 #include "sim/cycle_clock.hh"
 #include "sim/logging.hh"
@@ -118,6 +119,10 @@ ShardedCluster::onShardDeath(std::uint32_t dead)
                               "shard-fail", "cluster", clock_.now());
         obs_->trace().arg("shard", dead);
     }
+    if (rec_) {
+        rec_->note(recInstance_, FrCat::Cluster, FrKind::ClusterShardFail,
+                   clock_.now(), dead);
+    }
 
     // Replica sets before and after the death: `dead` still counts as
     // alive for the "before" view so we can tell which stripes lost a
@@ -207,6 +212,11 @@ ShardedCluster::onShardDeath(std::uint32_t dead)
                               "cluster", clock_.now());
         obs_->trace().arg("stripes", movedStripes);
         obs_->trace().arg("bytes", movedBytes);
+    }
+    if (rec_) {
+        rec_->note(recInstance_, FrCat::Cluster,
+                   FrKind::ClusterReReplicate, clock_.now(), movedStripes,
+                   movedBytes, lostStripes);
     }
 }
 
@@ -431,7 +441,7 @@ ShardedCluster::shardAlive(std::uint32_t shard) const
     return shards_[shard]->alive;
 }
 
-const NetStats &
+NetStats
 ShardedCluster::shardNetStats(std::uint32_t shard) const
 {
     TFM_ASSERT(shard < shards_.size(), "shard index out of range");
@@ -471,6 +481,18 @@ ShardedCluster::attachObs(Observability *sink, std::uint32_t stream)
             sink->registerShardTracks(stream,
                                       static_cast<std::uint32_t>(i));
         }
+    }
+}
+
+void
+ShardedCluster::attachRecorder(FlightRecorder *recorder,
+                               std::uint16_t instance)
+{
+    rec_ = recorder;
+    recInstance_ = instance;
+    for (std::size_t i = 0; i < shards_.size(); i++) {
+        shards_[i]->net.attachRecorder(recorder, instance,
+                                       static_cast<std::uint32_t>(i));
     }
 }
 

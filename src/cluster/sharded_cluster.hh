@@ -44,18 +44,6 @@
 namespace tfm
 {
 
-/** Cluster-level event counters (beyond per-shard Net/RemoteStats). */
-struct ClusterStats
-{
-    std::uint64_t shardFailures = 0;     ///< links killed by the plan
-    std::uint64_t degradedReads = 0;     ///< served by a non-primary replica
-    std::uint64_t degradedWrites = 0;    ///< reached fewer than k replicas
-    std::uint64_t reReplicatedStripes = 0;
-    std::uint64_t reReplicatedBytes = 0;
-    std::uint64_t splitFetchBatches = 0; ///< host batches split over shards
-    std::uint64_t splitWritebackBatches = 0;
-};
-
 /** The sharded, replicated, failure-injectable remote tier. */
 class ShardedCluster final : public RemoteBackend
 {
@@ -111,8 +99,12 @@ class ShardedCluster final : public RemoteBackend
     NetworkModel &link(std::uint32_t shard) override;
     RemoteNode &node(std::uint32_t shard) override;
     void attachObs(Observability *sink, std::uint32_t stream) override;
+    void attachRecorder(FlightRecorder *recorder,
+                        std::uint16_t instance) override;
     void exportStats(StatSet &set) const override;
     const char *kind() const override { return "sharded"; }
+    NetStats shardNetStats(std::uint32_t shard) const override;
+    ClusterStats clusterStats() const override { return cstats_; }
     /** @} */
 
     /** @name Cluster-specific surface (tests, benches)
@@ -121,9 +113,7 @@ class ShardedCluster final : public RemoteBackend
     std::uint64_t stripeBytes() const { return stripeBytes_; }
     const PlacementPolicy &placement() const { return *policy_; }
     bool shardAlive(std::uint32_t shard) const;
-    const NetStats &shardNetStats(std::uint32_t shard) const;
     const RemoteStats &shardRemoteStats(std::uint32_t shard) const;
-    const ClusterStats &clusterStats() const { return cstats_; }
     /** Primary shard of the stripe containing @p offset (dead or not). */
     std::uint32_t primaryShardOf(std::uint64_t offset) const;
     /** Live replica set of the stripe containing @p offset. */
@@ -173,6 +163,8 @@ class ShardedCluster final : public RemoteBackend
     ClusterStats cstats_;
     Observability *obs_ = nullptr;
     std::uint32_t obsStream_ = 0;
+    FlightRecorder *rec_ = nullptr;
+    std::uint16_t recInstance_ = 0;
 };
 
 } // namespace tfm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 #include "sim/logging.hh"
 
@@ -59,6 +60,10 @@ void
 NetworkModel::observeFetch(std::uint64_t issue, std::uint64_t arrival,
                            std::uint64_t bytes, std::uint32_t payloads)
 {
+    if (rec_) {
+        rec_->note(recInstance_, FrCat::Net, FrKind::NetFetch, issue,
+                   bytes, payloads, arrival, recShard_);
+    }
     if (!obs_)
         return;
     obs_->fetchLatency.record(arrival - issue);
@@ -160,6 +165,10 @@ NetworkModel::writebackBatch(std::uint64_t bytes, std::uint32_t payloads)
         _stats.writebackBatches++;
     _stats.maxWritebackBatch =
         std::max<std::uint64_t>(_stats.maxWritebackBatch, payloads);
+    if (rec_) {
+        rec_->note(recInstance_, FrCat::Net, FrKind::NetWriteback, issue,
+                   bytes, payloads, outFreeAt, recShard_);
+    }
     if (obs_) {
         obs_->writebackLatency.record(outFreeAt - issue);
         obs_->writebackBatch.record(payloads);

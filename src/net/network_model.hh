@@ -22,6 +22,7 @@
 namespace tfm
 {
 
+class FlightRecorder;
 class Observability;
 
 /** Statistics accumulated by the link. */
@@ -188,6 +189,22 @@ class NetworkModel
     std::uint32_t obsTrackBase() const { return obsTrackBase_; }
     /** @} */
 
+    /** @name Flight recorder
+     *  When attached, the link logs one context event per message
+     *  ({bytes, payloads, arrival, shard}) onto @p instance's net
+     *  stream; @p shard labels which cluster link this is (0 for the
+     *  single-node backend). Never charges cycles.
+     * @{ */
+    void
+    attachRecorder(FlightRecorder *recorder, std::uint16_t instance,
+                   std::uint32_t shard)
+    {
+        rec_ = recorder;
+        recInstance_ = instance;
+        recShard_ = shard;
+    }
+    /** @} */
+
   private:
     /// Cycles needed to push @p bytes through the link at line rate.
     std::uint64_t transferCycles(std::uint64_t bytes) const;
@@ -207,6 +224,9 @@ class NetworkModel
     Observability *obs_ = nullptr;
     std::uint32_t obsStream_ = 0;
     std::uint32_t obsTrackBase_ = 0;
+    FlightRecorder *rec_ = nullptr;
+    std::uint16_t recInstance_ = 0;
+    std::uint32_t recShard_ = 0;
 };
 
 } // namespace tfm

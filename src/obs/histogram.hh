@@ -93,6 +93,27 @@ class Histogram
 
     void reset() { *this = Histogram{}; }
 
+    /**
+     * Fold @p other into this histogram: bucket-wise counter addition,
+     * so merged percentiles carry the same log2-bucket accuracy as if
+     * every sample had been recorded here. Used by tfm-stat to combine
+     * per-shard (or per-node) distributions into cluster-wide tails.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        for (int i = 0; i < numBuckets; i++)
+            buckets[i] += other.buckets[i];
+        _count += other._count;
+        _sum += other._sum;
+        if (other._count) {
+            if (other._min < _min)
+                _min = other._min;
+            if (other._max > _max)
+                _max = other._max;
+        }
+    }
+
     /** Add count/p50/p90/p99/max under "<prefix>...." names. */
     void exportStats(StatSet &set, const char *prefix) const;
 

@@ -139,6 +139,23 @@ class TraceSink
         push(e);
     }
 
+    /**
+     * A metadata event ('M', no timestamp semantics): one named
+     * numeric fact about the trace itself, e.g. the flight-recorder
+     * schema version.
+     */
+    void
+    metadata(const char *name, const char *arg_name, std::uint64_t value)
+    {
+        TraceEvent e;
+        e.name = name;
+        e.cat = "meta";
+        e.ph = 'M';
+        e.argName[0] = arg_name;
+        e.argValue[0] = value;
+        push(e);
+    }
+
     /** Attach a numeric argument to the most recent event. */
     void
     arg(const char *name, std::uint64_t value)

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/obs.hh"
+#include "obs/replay.hh"
 #include "sim/logging.hh"
 
 namespace tfm
@@ -13,13 +14,29 @@ FarMemRuntime::FarMemRuntime(const RuntimeConfig &config,
                              const CostParams &cost_params)
     : cfg(config),
       _costs(cost_params),
-      backend_(makeRemoteBackend(_clock, _costs, config.farHeapBytes,
-                                 config.objectSizeBytes, config.cluster)),
       ost(config.farHeapBytes, config.objectSizeBytes),
       cache(config.localMemBytes, config.objectSizeBytes),
       alloc_(config.farHeapBytes, config.objectSizeBytes),
       prefetcher(config.prefetchDepth)
 {
+    rec_ = cfg.recorder ? cfg.recorder : obs::defaultRecorder();
+    if (rec_)
+        recInstance_ = rec_->registerInstance();
+    if (rec_ && rec_->replaying()) {
+        // The recorded stream stands in for the whole remote tier.
+        backend_ = std::make_unique<ReplayBackend>(
+            _clock, _costs, cfg.farHeapBytes, *rec_, recInstance_);
+    } else {
+        backend_ = makeRemoteBackend(_clock, _costs, cfg.farHeapBytes,
+                                     cfg.objectSizeBytes, cfg.cluster);
+        if (rec_) {
+            // Context streams (link messages, shard deaths) hook the
+            // inner backend; the decorator logs the op stream itself.
+            backend_->attachRecorder(rec_, recInstance_);
+            backend_ = std::make_unique<RecordingBackend>(
+                std::move(backend_), _clock, *rec_, recInstance_);
+        }
+    }
     obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
     if (obs_) {
         obsStream_ = obs_->registerStream(cfg.obsKind);
@@ -173,9 +190,10 @@ FarMemRuntime::takeFrame()
     std::uint64_t frame_idx = cache.allocFrame();
     if (frame_idx != FrameCache::noFrame)
         return frame_idx;
-    const std::uint64_t victim = cache.pickVictim();
+    std::uint64_t victim = cache.pickVictim();
     TFM_ASSERT(victim != FrameCache::noFrame,
                "local memory exhausted: every frame is pinned");
+    victim = evacDecision(victim);
     evictFrame(victim);
     frame_idx = cache.allocFrame();
     TFM_ASSERT(frame_idx != FrameCache::noFrame, "eviction freed no frame");
@@ -221,6 +239,20 @@ FarMemRuntime::evictFrame(std::uint64_t frame_idx)
     _stats.evictions++;
     _evictionEpoch++;
     maybeFlushWritebacks();
+}
+
+std::uint64_t
+FarMemRuntime::evacDecision(std::uint64_t victim)
+{
+    if (!rec_)
+        return victim;
+    const Frame &f = cache.frame(victim);
+    const ObjectMeta &meta = ost[f.objId];
+    std::uint64_t args[4] = {victim, f.objId, meta.dirty() ? 1u : 0u,
+                             _evictionEpoch};
+    rec_->record(recInstance_, FrCat::Evac, FrKind::EvacVictim, _clock.now(),
+                 args, 4);
+    return args[0];
 }
 
 std::ptrdiff_t
@@ -275,7 +307,17 @@ FarMemRuntime::onDemandMiss(std::uint64_t obj_id)
 {
     if (!cfg.prefetchEnabled)
         return;
-    const std::int64_t stride = prefetcher.onDemandMiss(obj_id);
+    std::int64_t stride = prefetcher.onDemandMiss(obj_id);
+    if (rec_) {
+        // Prefetcher decision feed: every demand miss records (and
+        // replay verifies) the issue decision, stride 0 included.
+        std::uint64_t args[4] = {obj_id,
+                                 static_cast<std::uint64_t>(stride),
+                                 prefetcher.depth(), 0};
+        rec_->record(recInstance_, FrCat::Prefetch,
+                     FrKind::PrefetchDecision, _clock.now(), args, 4);
+        stride = static_cast<std::int64_t>(args[1]);
+    }
     if (stride != 0)
         prefetchObjects(obj_id, stride, prefetcher.depth());
 }
@@ -345,7 +387,7 @@ FarMemRuntime::prefetchObjects(std::uint64_t obj_id, std::int64_t stride,
             const std::uint64_t victim = cache.pickVictim();
             if (victim == FrameCache::noFrame)
                 break; // everything pinned; skip prefetching
-            evictFrame(victim);
+            evictFrame(evacDecision(victim));
             frame_idx = cache.allocFrame();
             if (frame_idx == FrameCache::noFrame)
                 break;
@@ -505,8 +547,30 @@ FarMemRuntime::exportStats(StatSet &set) const
     set.add("prefetcher.tracker_evictions",
             prefetcher.stats().trackerEvictions);
     set.add("clock.cycles", _clock.now());
+    if (rec_)
+        rec_->exportStats(set);
     if (obs_)
         obs_->exportStats(set);
+}
+
+std::uint64_t
+FarMemRuntime::heapChecksum()
+{
+    // Same FNV-1a constants as the recorder's log checksum.
+    std::uint64_t h = 1469598103934665603ull;
+    std::vector<std::byte> buf(64 * 1024);
+    std::uint64_t at = 0;
+    while (at < cfg.farHeapBytes) {
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(buf.size(), cfg.farHeapBytes - at));
+        rawRead(at, buf.data(), chunk);
+        for (std::size_t i = 0; i < chunk; ++i) {
+            h ^= static_cast<std::uint64_t>(buf[i]);
+            h *= 1099511628211ull;
+        }
+        at += chunk;
+    }
+    return h;
 }
 
 void

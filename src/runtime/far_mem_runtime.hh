@@ -32,6 +32,7 @@
 namespace tfm
 {
 
+class FlightRecorder;
 class Observability;
 
 /** Configuration for one far-memory runtime instance. */
@@ -80,6 +81,15 @@ struct RuntimeConfig
     /// Stream label registered with the sink; the wrapper runtimes
     /// override it ("trackfm", "aifm") so traces name the whole stack.
     const char *obsKind = "farmem";
+
+    /// Flight recorder (record or replay; see obs/flight_recorder.hh).
+    /// When null, falls back to the process-wide default installed by
+    /// the bench-level --record/--replay flags (obs::defaultRecorder());
+    /// when that is also null, recording is off and the choke points
+    /// reduce to one pointer check each. In replay mode the remote
+    /// backend is replaced by a ReplayBackend and the evacuator and
+    /// prefetcher decisions are verified against the recorded streams.
+    FlightRecorder *recorder = nullptr;
 };
 
 /** Hot-path runtime event counters. */
@@ -220,6 +230,18 @@ class FarMemRuntime
     const RuntimeStats &stats() const { return _stats; }
     void exportStats(StatSet &set) const;
 
+    /**
+     * FNV-1a over the logical far heap (local frames, parked
+     * writebacks, and remote bytes merged, exactly as rawRead sees
+     * them): the record/replay bit-exactness witness.
+     */
+    std::uint64_t heapChecksum();
+
+    /** The attached flight recorder (or nullptr) and this runtime's
+     *  recorder instance id. */
+    FlightRecorder *recorder() const { return rec_; }
+    std::uint16_t recorderInstance() const { return recInstance_; }
+
     /** @name Observability
      *  The attached sink (or nullptr) and this runtime's trace stream.
      *  TfmRuntime / AifmRuntime reuse both so a whole stack shares one
@@ -242,6 +264,12 @@ class FarMemRuntime
     std::uint64_t takeFrame();
     /** Evict the object in @p frame_idx (writeback when dirty). */
     void evictFrame(std::uint64_t frame_idx);
+    /**
+     * Evacuator decision feed: record (or replay-verify) the CLOCK
+     * sweep's victim choice, returning the victim to evict — during
+     * replay, the recorded one.
+     */
+    std::uint64_t evacDecision(std::uint64_t victim);
     /** Demand-miss hook: train the prefetcher and issue lookahead. */
     void onDemandMiss(std::uint64_t obj_id);
     /** Flush the writeback buffer when size/age thresholds are hit. */
@@ -265,6 +293,8 @@ class FarMemRuntime
     std::uint64_t _evictionEpoch = 0;
     Observability *obs_ = nullptr;
     std::uint32_t obsStream_ = 0;
+    FlightRecorder *rec_ = nullptr;
+    std::uint16_t recInstance_ = 0;
     std::uint64_t lastMissObj = ~0ull; ///< inter-miss-distance tracking
 };
 

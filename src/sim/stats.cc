@@ -25,6 +25,23 @@ StatSet::get(const std::string &name) const
 }
 
 void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[key, value] : other.entries) {
+        bool found = false;
+        for (auto &[name, sum] : entries) {
+            if (name == key) {
+                sum += value;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            entries.emplace_back(key, value);
+    }
+}
+
+void
 StatSet::dump(std::ostream &os, const std::string &prefix) const
 {
     std::size_t width = 0;

@@ -51,6 +51,13 @@ class StatSet
         return entries;
     }
 
+    /**
+     * Fold @p other into this set: values of entries sharing a name are
+     * summed; names only in @p other are appended in their order. Used
+     * for cluster-wide aggregation of per-node stat sets.
+     */
+    void merge(const StatSet &other);
+
     /** Column-aligned listing: names padded to the widest, one per line. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 

@@ -355,13 +355,16 @@ class TrackFmBackend : public MemBackend
         return rc;
     }
 
-    const NetStats &
+    NetStats
     netStats() const
     {
+        // Through the RemoteBackend interface, never the link
+        // directly: behind --replay the backend reconstructs these
+        // numbers from the recorded net stream.
         return const_cast<TrackFmBackend *>(this)
             ->rt.runtime()
-            .net()
-            .stats();
+            .backend()
+            .netStats();
     }
 
     void

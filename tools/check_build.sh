@@ -61,6 +61,84 @@ echo "check_build: guard-safety checker and farmem sanitizer OK"
     --min-speedup=2 > /dev/null
 echo "check_build: bytecode engine dispatch-rate floor (2x) OK"
 
+# Replay-determinism gate: recording must be reproducible, replay must
+# be bit-exact, and a corrupted log must diverge loudly.
+REC_DIR="${BUILD_DIR}/replay_gate"
+mkdir -p "${REC_DIR}"
+TFMC="${BUILD_DIR}/tools/tfmc"
+
+# (a) Two recordings of the same run are byte-identical past the
+# wall-clock stamp (bytes 16-23; everything before it is static magic
+# and version, so `cmp -i 24` compares all deterministic bytes).
+"${TFMC}" --run --record="${REC_DIR}/a.tfr" examples/sum_loop.tir \
+    > "${REC_DIR}/a.out"
+"${TFMC}" --run --record="${REC_DIR}/b.tfr" examples/sum_loop.tir \
+    > /dev/null
+cmp -i 24 "${REC_DIR}/a.tfr" "${REC_DIR}/b.tfr"
+
+# (b) Replay is bit-exact (stdout includes the far-heap checksum, exit
+# value, and cycle count) under both interpreter engines: the log
+# captures runtime nondeterminism, not engine internals.
+for engine in bytecode ref; do
+    "${TFMC}" --run --engine="${engine}" --replay="${REC_DIR}/a.tfr" \
+        examples/sum_loop.tir > "${REC_DIR}/replay.out"
+    cmp "${REC_DIR}/a.out" "${REC_DIR}/replay.out"
+done
+
+# (c) Forced mid-loop evacuation: every iteration records an evac
+# victim decision, and the replay must re-inject each one.
+"${TFMC}" --run --record="${REC_DIR}/evac.tfr" \
+    examples/evacuation_stress.tir > "${REC_DIR}/evac.out"
+"${TFMC}" --run --replay="${REC_DIR}/evac.tfr" \
+    examples/evacuation_stress.tir > "${REC_DIR}/evac_replay.out"
+cmp "${REC_DIR}/evac.out" "${REC_DIR}/evac_replay.out"
+
+# (d) Cluster-failure run: shard 1 of 4 (replication 2) dies mid-run
+# (the evacuation-stress program runs ~3.5M cycles, so cycle 1M is
+# mid-scan); the failover and re-replication replay checksum-identically.
+"${TFMC}" --run --shards=4 --replicate=2 --kill-shard=1@1000000 \
+    --record="${REC_DIR}/cluster.tfr" examples/evacuation_stress.tir \
+    > "${REC_DIR}/cluster.out" 2> /dev/null
+"${TFMC}" --run --replay="${REC_DIR}/cluster.tfr" \
+    examples/evacuation_stress.tir > "${REC_DIR}/cluster_replay.out" \
+    2> /dev/null
+cmp "${REC_DIR}/cluster.out" "${REC_DIR}/cluster_replay.out"
+"${BUILD_DIR}/tools/tfm-stat" replay "${REC_DIR}/cluster.tfr" \
+    | grep -q "cluster.shard-fail"
+
+# (e) A corrupted-but-loadable log must diverge at replay (exit 3,
+# naming the first mismatching stream + seq), not replay silently.
+if command -v python3 > /dev/null; then
+    python3 tools/corrupt_replay_log.py "${REC_DIR}/a.tfr" \
+        "${REC_DIR}/bad.tfr"
+    if "${TFMC}" --run --replay="${REC_DIR}/bad.tfr" \
+        examples/sum_loop.tir > /dev/null 2> "${REC_DIR}/bad.err"; then
+        echo "check_build: corrupted log replayed without divergence" >&2
+        exit 1
+    fi
+    grep -q "first mismatch on stream" "${REC_DIR}/bad.err"
+fi
+
+# (f) Bench composition: --record and --trace together; the exported
+# trace must carry the recorder's schema metadata and record.* counters
+# (validate_trace.py checks both), and the recording must replay.
+"${BUILD_DIR}/bench/bench_fig11_prefetch" \
+    --record="${REC_DIR}/bench.tfr" \
+    --trace="${REC_DIR}/bench_trace.json" > "${REC_DIR}/bench.out"
+"${BUILD_DIR}/bench/bench_fig11_prefetch" \
+    --replay="${REC_DIR}/bench.tfr" > "${REC_DIR}/bench_replay.out"
+cmp "${REC_DIR}/bench.out" "${REC_DIR}/bench_replay.out"
+if command -v python3 > /dev/null; then
+    python3 tools/validate_trace.py "${REC_DIR}/bench_trace.json" \
+        | grep -q "recorder counters"
+fi
+
+# (g) Recording off must stay free: the guard fast paths never touch
+# the recorder (only the cold choke points check the pointer), so the
+# guard microbench runs with no recorder installed as always.
+"${BUILD_DIR}/bench/bench_micro_guards" > /dev/null
+echo "check_build: replay-determinism gate OK"
+
 # Sanitizer pass: rebuild in a separate directory with
 # -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the
 # tier-1 suite under it. TFM_SANITIZE=off skips the pass.

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Targeted corruption of flight-recorder event logs, for testing.
+
+The interesting failure mode is not a torn file (the loader's checksum
+catches that) but a log that *loads cleanly* yet describes a different
+run — that is what the replay divergence checker exists for. This tool
+produces both:
+
+  corrupt_replay_log.py in.tfr out.tfr               # patched: flip one
+      arg byte in an event, then recompute the FNV-1a trailer so the
+      load succeeds and the corruption is only caught at replay time
+  corrupt_replay_log.py --raw in.tfr out.tfr         # flip without
+      re-patching: the loader must reject with a checksum mismatch
+  corrupt_replay_log.py --truncate in.tfr out.tfr    # cut mid-event:
+      the loader must reject, naming the last valid (stream, seq)
+
+  --event=N   which event to corrupt (default: the last one)
+  --byte=K    which byte of the event's 32-byte arg block (default 0)
+
+File layout (see src/obs/flight_recorder.cc): 40-byte header, 48-byte
+events, 16-byte trailer (8-byte FNV-1a over the event bytes + magic).
+"""
+
+import struct
+import sys
+
+HEADER_BYTES = 40
+EVENT_BYTES = 48
+TRAILER_BYTES = 16
+MAGIC = b"TFMFREC\0"
+END_MAGIC = b"TFMFREND"
+
+FNV_OFFSET = 1469598103934665603
+FNV_PRIME = 1099511628211
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data):
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def fail(msg):
+    print(f"corrupt_replay_log: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    opts = [a for a in sys.argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        fail("usage: corrupt_replay_log.py [--raw|--truncate] "
+             "[--event=N] [--byte=K] <in.tfr> <out.tfr>")
+    raw = "--raw" in opts
+    truncate = "--truncate" in opts
+    event_idx = None
+    byte_idx = 0
+    for o in opts:
+        if o.startswith("--event="):
+            event_idx = int(o[8:])
+        elif o.startswith("--byte="):
+            byte_idx = int(o[7:])
+        elif o not in ("--raw", "--truncate"):
+            fail(f"unknown option {o}")
+    if not 0 <= byte_idx < 32:
+        fail("--byte must be in [0, 32): only arg bytes are corrupted")
+
+    with open(args[0], "rb") as f:
+        data = bytearray(f.read())
+    if len(data) < HEADER_BYTES + TRAILER_BYTES or data[:8] != MAGIC:
+        fail(f"{args[0]}: not a flight-recorder log")
+    body = len(data) - HEADER_BYTES - TRAILER_BYTES
+    if body % EVENT_BYTES != 0:
+        fail(f"{args[0]}: already truncated")
+    count = body // EVENT_BYTES
+    if count == 0:
+        fail(f"{args[0]}: no events to corrupt")
+
+    if truncate:
+        # Cut mid-way through the last event.
+        out = data[: HEADER_BYTES + (count - 1) * EVENT_BYTES +
+                   EVENT_BYTES // 2]
+        with open(args[1], "wb") as f:
+            f.write(out)
+        print(f"truncated to {len(out)} bytes "
+              f"({count - 1} whole events survive)")
+        return
+
+    if event_idx is None:
+        event_idx = count - 1
+    if not 0 <= event_idx < count:
+        fail(f"--event={event_idx} out of range (log has {count})")
+
+    # Offset 16 inside the event skips stream/kind/seq/cycle: flipping
+    # an arg byte leaves the stream structure intact so the loader's
+    # sequence checks still pass.
+    at = HEADER_BYTES + event_idx * EVENT_BYTES + 16 + byte_idx
+    data[at] ^= 0xFF
+    stream, kind, seq = struct.unpack_from(
+        "<HHI", data, HEADER_BYTES + event_idx * EVENT_BYTES)
+    what = (f"event {event_idx} (stream {stream} kind {kind} "
+            f"seq {seq}) arg byte {byte_idx}")
+
+    if raw:
+        print(f"flipped {what}; trailer left stale")
+    else:
+        checksum = fnv1a(
+            data[HEADER_BYTES:HEADER_BYTES + count * EVENT_BYTES])
+        struct.pack_into("<Q", data, len(data) - TRAILER_BYTES, checksum)
+        assert data[-8:] == END_MAGIC
+        print(f"flipped {what}; trailer re-patched")
+
+    with open(args[1], "wb") as f:
+        f.write(data)
+
+
+if __name__ == "__main__":
+    main()

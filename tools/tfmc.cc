@@ -22,6 +22,8 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <memory>
 
@@ -29,6 +31,7 @@
 #include "core/system.hh"
 #include "interp/interpreter.hh"
 #include "ir/printer.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/obs.hh"
 
 namespace
@@ -54,6 +57,13 @@ struct Options
     std::uint32_t objectSize = 4096;
     std::uint64_t localMem = 16 << 20;
     std::uint64_t farHeap = 256 << 20;
+    std::string record;     ///< full event-log output path; empty = off
+    std::string replay;     ///< event-log to replay against; empty = off
+    bool flightRecorder = false;
+    std::uint64_t flightRecorderCap = 4096; ///< ring size in events
+    std::uint32_t shards = 1;
+    std::uint32_t replicate = 1;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> killShards;
 };
 
 void
@@ -83,6 +93,22 @@ usage()
         "  --trace=<file>        write a Chrome trace_event JSON file\n"
         "                        (runtime spans/counters plus per-stage\n"
         "                        safety.* counters under --check-safety)\n"
+        "  --record=<file>       log every nondeterminism source (network\n"
+        "                        scheduling, backend completions, shard\n"
+        "                        failures, eviction and prefetch decisions)\n"
+        "                        to a binary event log for later --replay\n"
+        "  --replay=<file>       re-run against a recorded log: backend\n"
+        "                        timing is re-injected and every decision\n"
+        "                        is verified; the first divergence is\n"
+        "                        reported (stream, seq, expected/actual)\n"
+        "                        and exits with status 3\n"
+        "  --flight-recorder[=N] keep only the last N events (default\n"
+        "                        4096) in a ring; on a trap the ring is\n"
+        "                        dumped to <input>.flight.tfr\n"
+        "  --shards=<n>          stripe the far heap over n remote shards\n"
+        "  --replicate=<k>       keep k copies of every stripe\n"
+        "  --kill-shard=<s>@<c>  schedule shard s to die at cycle c\n"
+        "                        (repeatable)\n"
         "  --autotune            search object sizes, report the best\n"
         "  --chunk=<p>           none | all | costmodel (default)\n"
         "  --object-size=<n>     AIFM object size in bytes (default 4096)\n"
@@ -132,6 +158,42 @@ parseArgs(int argc, char **argv, Options &options)
         } else if (arg.rfind("--far-heap=", 0) == 0) {
             options.farHeap =
                 std::strtoull(arg.c_str() + 11, nullptr, 10);
+        } else if (arg.rfind("--record=", 0) == 0) {
+            options.record = arg.substr(9);
+        } else if (arg.rfind("--replay=", 0) == 0) {
+            options.replay = arg.substr(9);
+        } else if (arg == "--flight-recorder") {
+            options.flightRecorder = true;
+        } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+            options.flightRecorder = true;
+            options.flightRecorderCap =
+                std::strtoull(arg.c_str() + 18, nullptr, 10);
+            if (options.flightRecorderCap == 0) {
+                std::fprintf(stderr,
+                             "tfmc: --flight-recorder needs N > 0\n");
+                return false;
+            }
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            options.shards = static_cast<std::uint32_t>(
+                std::strtoull(arg.c_str() + 9, nullptr, 10));
+        } else if (arg.rfind("--replicate=", 0) == 0) {
+            options.replicate = static_cast<std::uint32_t>(
+                std::strtoull(arg.c_str() + 12, nullptr, 10));
+        } else if (arg.rfind("--kill-shard=", 0) == 0) {
+            const char *spec = arg.c_str() + 13;
+            char *at = nullptr;
+            const std::uint32_t shard = static_cast<std::uint32_t>(
+                std::strtoull(spec, &at, 10));
+            if (!at || *at != '@') {
+                std::fprintf(stderr,
+                             "tfmc: --kill-shard wants <shard>@<cycle>, "
+                             "got '%s'\n",
+                             spec);
+                return false;
+            }
+            const std::uint64_t cycle =
+                std::strtoull(at + 1, nullptr, 10);
+            options.killShards.emplace_back(shard, cycle);
         } else if (arg == "--help" || arg == "-h") {
             return false;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -300,6 +362,34 @@ main(int argc, char **argv)
     config.runtime.localMemBytes = options.localMem;
     config.runtime.objectSizeBytes = options.objectSize;
     config.runtime.prefetchEnabled = options.prefetch;
+    config.runtime.cluster.shardCount = options.shards;
+    config.runtime.cluster.replicationFactor = options.replicate;
+    for (const auto &[shard, cycle] : options.killShards)
+        config.runtime.cluster.failures.killShard(shard, cycle);
+
+    // The recorder must exist before the System (and its runtime) is
+    // constructed: replay swaps the remote backend at construction.
+    std::unique_ptr<tfm::FlightRecorder> recorder;
+    if (!options.replay.empty()) {
+        if (!options.record.empty() || options.flightRecorder) {
+            std::fprintf(stderr, "tfmc: --replay excludes --record and "
+                                 "--flight-recorder\n");
+            return 2;
+        }
+        std::string error;
+        recorder =
+            tfm::FlightRecorder::loadForReplay(options.replay, error);
+        if (!recorder) {
+            std::fprintf(stderr, "tfmc: --replay=%s: %s\n",
+                         options.replay.c_str(), error.c_str());
+            return 1;
+        }
+    } else if (!options.record.empty() || options.flightRecorder) {
+        recorder = std::make_unique<tfm::FlightRecorder>(
+            options.flightRecorder ? options.flightRecorderCap : 0);
+    }
+    if (recorder)
+        config.runtime.recorder = recorder.get();
     config.passes.optimizeGuards = options.guardOpt;
     if (!options.printAfter.empty()) {
         const std::string wanted = options.printAfter;
@@ -399,12 +489,87 @@ main(int argc, char **argv)
         interpreter.enableAllocationProfiling();
     if (options.sanitize == "farmem")
         interpreter.enableSanitizer();
-    const tfm::RunResult result = interpreter.run("main");
+    tfm::RunResult result;
+    try {
+        result = interpreter.run("main");
+    } catch (const tfm::ReplayDivergence &div) {
+        std::fprintf(stderr, "tfmc: %s\n",
+                     div.what());
+        return 3;
+    }
     for (const std::int64_t value : result.output)
         std::printf("%lld\n", static_cast<long long>(value));
+
+    // The far-heap checksum is the bit-exactness witness: a replayed
+    // run must print the identical value.
+    if (recorder) {
+        std::printf("far-heap checksum: %016llx\n",
+                    static_cast<unsigned long long>(
+                        system.runtime().runtime().heapChecksum()));
+        if (trace.sink)
+            recorder->exportTrace(
+                *trace.sink, system.runtime().runtime().obsStream(),
+                system.cycles());
+    }
+
+    // Persist the event log (stderr, so recorded stdout stays
+    // byte-comparable across runs).
+    auto saveRecording = [&]() -> bool {
+        if (options.record.empty())
+            return true;
+        std::string error;
+        if (!recorder->save(options.record, error)) {
+            std::fprintf(stderr, "tfmc: --record=%s: %s\n",
+                         options.record.c_str(), error.c_str());
+            return false;
+        }
+        std::fprintf(stderr, "tfmc: recorded %zu events to '%s'\n",
+                     recorder->size(), options.record.c_str());
+        return true;
+    };
+    auto finishReplay = [&]() -> bool {
+        try {
+            recorder->finishReplay();
+        } catch (const tfm::ReplayDivergence &div) {
+            std::fprintf(stderr, "tfmc: %s\n",
+                         div.what());
+            return false;
+        }
+        std::fprintf(stderr,
+                     "tfmc: replay verified: %llu events consumed\n",
+                     static_cast<unsigned long long>(
+                         recorder->consumed()));
+        return true;
+    };
+
     if (result.trapped) {
         std::fprintf(stderr, "tfmc: trap: %s\n",
                      result.trapMessage.c_str());
+        if (recorder && !recorder->replaying()) {
+            if (options.flightRecorder && options.record.empty()) {
+                const std::string dump =
+                    options.inputPath + ".flight.tfr";
+                std::string error;
+                if (recorder->save(dump, error))
+                    std::fprintf(
+                        stderr,
+                        "tfmc: flight recorder: dumped last %zu events "
+                        "(%llu dropped) to '%s'\n",
+                        recorder->size(),
+                        static_cast<unsigned long long>(
+                            recorder->ringDropped()),
+                        dump.c_str());
+                else
+                    std::fprintf(stderr,
+                                 "tfmc: flight recorder: %s\n",
+                                 error.c_str());
+            } else {
+                saveRecording();
+            }
+        } else if (recorder && recorder->replaying()) {
+            if (!finishReplay())
+                return 3;
+        }
         return 1;
     }
     std::printf("exit value: %lld\n",
@@ -412,6 +577,15 @@ main(int argc, char **argv)
     std::printf("simulated time: %.6f s (%llu cycles)\n",
                 system.seconds(),
                 static_cast<unsigned long long>(system.cycles()));
+
+    if (recorder) {
+        if (recorder->replaying()) {
+            if (!finishReplay())
+                return 3;
+        } else if (!saveRecording()) {
+            return 1;
+        }
+    }
 
     if (options.guardReport) {
         const tfm::AllocSiteProfile profile =

@@ -11,7 +11,10 @@ Perfetto / chrome://tracing will load. Checks:
   * 'X' events carry a non-negative dur;
   * timestamps are non-decreasing per (pid, tid) track in buffer order
     (Perfetto requires sorted tracks for correct nesting);
-  * 'B'/'E' events balance per (pid, tid), never closing an empty stack.
+  * 'B'/'E' events balance per (pid, tid), never closing an empty stack;
+  * flight-recorder exports are well-formed: record.* / replay.*
+    counters carry an integer value arg, and the
+    flight_recorder_schema metadata event carries an integer version.
 
 Exit status 0 when valid; 1 with a diagnostic on the first failure.
 """
@@ -52,6 +55,14 @@ def validate(path):
         if ph not in VALID_PHASES:
             fail(f"event {i}: unknown phase {ph!r}")
         if ph == "M":
+            if e["name"] == "flight_recorder_schema":
+                version = e.get("args", {}).get("version")
+                if not isinstance(version, int) or version < 1:
+                    fail(
+                        f"event {i}: flight_recorder_schema metadata "
+                        f"without positive integer version "
+                        f"({version!r})"
+                    )
             continue  # metadata carries no timestamp
         if "ts" not in e:
             fail(f"event {i}: missing ts")
@@ -77,16 +88,34 @@ def validate(path):
         elif ph == "i":
             if e.get("s", "t") not in ("t", "p", "g"):
                 fail(f"event {i}: bad instant scope {e.get('s')!r}")
+        elif ph == "C":
+            if e["name"].startswith(("record.", "replay.")):
+                value = e.get("args", {}).get("value")
+                if not isinstance(value, int) or value < 0:
+                    fail(
+                        f"event {i} ({e['name']}): flight-recorder "
+                        f"counter without non-negative integer value "
+                        f"({value!r})"
+                    )
 
     open_spans = {t: d for t, d in depth.items() if d}
     if open_spans:
         fail(f"unbalanced begin/end spans at EOF: {open_spans}")
 
     n_timed = sum(1 for e in events if e.get("ph") != "M")
-    print(
-        f"validate_trace: OK: {path}: {len(events)} events "
-        f"({n_timed} timed, {len(last_ts)} tracks)"
+    n_recorder = sum(
+        1
+        for e in events
+        if e.get("ph") == "C"
+        and e.get("name", "").startswith(("record.", "replay."))
     )
+    summary = (
+        f"validate_trace: OK: {path}: {len(events)} events "
+        f"({n_timed} timed, {len(last_ts)} tracks"
+    )
+    if n_recorder:
+        summary += f", {n_recorder} recorder counters"
+    print(summary + ")")
 
 
 def main():
