@@ -27,6 +27,7 @@ Point
 runOne(SystemKind kind, double local_fraction, const CostParams &costs)
 {
     HashmapParams params;
+    params.seed = bench::runSeed(params.seed);
     params.numKeys = 60000;
     params.numOps = 200000;
     params.zipfSkew = 1.02;

@@ -20,6 +20,7 @@ DataframeResult
 runOne(SystemKind kind, double local_fraction)
 {
     DataframeParams params;
+    params.seed = bench::runSeed(params.seed);
     params.numRows = 300000; // 31 GB scaled to ~10 MB
 
     BackendConfig cfg;

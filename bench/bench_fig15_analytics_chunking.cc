@@ -20,6 +20,7 @@ std::uint64_t
 runOne(SystemKind kind, ChunkPolicy policy, double local_fraction)
 {
     DataframeParams params;
+    params.seed = bench::runSeed(params.seed);
     params.numRows = 300000;
 
     BackendConfig cfg;

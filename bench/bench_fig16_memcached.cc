@@ -19,6 +19,7 @@ MemcachedResult
 runOne(SystemKind kind, double skew, const CostParams &costs)
 {
     MemcachedParams params;
+    params.seed = bench::runSeed(params.seed);
     params.numKeys = 1000000; // 100M keys scaled 100x
     params.numGets = 300000;
     params.zipfSkew = skew;

@@ -29,6 +29,7 @@ KernelRun
 runOne(const char *name, SystemKind kind, bool pre_optimized)
 {
     NasParams params;
+    params.seed = bench::runSeed(params.seed);
     // Scales chosen so per-line working sets fit 25% local memory, as
     // they do at the paper's class C/D sizes (SP's penta-diagonal line
     // state is the largest).

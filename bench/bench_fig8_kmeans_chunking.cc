@@ -21,6 +21,7 @@ std::uint64_t
 runKmeans(ChunkPolicy policy, double local_fraction)
 {
     KMeansParams params;
+    params.seed = bench::runSeed(params.seed);
     params.numPoints = 30000; // 30M in the paper, scaled 1000x
     params.dims = 8;
     params.iterations = 1;

@@ -21,6 +21,7 @@ runHashmap(std::uint32_t object_size, double local_fraction,
            const CostParams &costs)
 {
     HashmapParams params;
+    params.seed = bench::runSeed(params.seed);
     params.numKeys = 60000;   // 2 GB working set scaled down
     params.numOps = 200000;   // 50M lookups scaled down
     params.zipfSkew = 1.02;

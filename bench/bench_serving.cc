@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Serving SLO curve: open-loop multi-tenant traffic against
+ * far-memory-backed workers, sweeping offered load to find the
+ * load-to-collapse knee (beyond the paper — the DRackSim/Atlas-style
+ * serving evaluation the ROADMAP's production north star asks for).
+ *
+ * A fixed three-tenant mix (memcached, hashmap probe, analytics point
+ * query — shares 2/1/1) is calibrated once for its unloaded mean
+ * service time; the sweep then offers poisson (or MMPP) arrivals at
+ * fractions of the resulting capacity and reports p50/p99/p99.9
+ * sojourn, goodput, and queue depth per point. Queueing delay is
+ * tracked separately from service time, so the collapse shows up as
+ * queue growth at flat service cost.
+ *
+ * Flags (all optional, defaults in parentheses):
+ *   --seed=N       run seed, printed in the header (42)
+ *   --requests=N   arrivals simulated per sweep point (20000)
+ *   --loads=a,b,c  offered-load fractions of capacity (8-point sweep)
+ *   --workers=N    serving cores (2)
+ *   --slo=N        sojourn SLO in cycles (20x unloaded mean service)
+ *   --arrivals=poisson|mmpp  arrival process shape (poisson)
+ *   --stats        dump the full serve.* StatSet per sweep point
+ * Composes with --trace/--record/--replay like every bench.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "serve/scheduler.hh"
+#include "sim/stats.hh"
+
+using namespace tfm;
+
+namespace
+{
+
+/** The standard tenant mix: one hot KV tenant, two colder ones. */
+std::vector<TenantConfig>
+tenantMix()
+{
+    TenantConfig kv;
+    kv.workload = TenantWorkloadKind::Memcached;
+    kv.numKeys = 20000;
+    kv.share = 2.0;
+    kv.farHeapBytes = 16ull << 20;
+    kv.localMemBytes = 512ull << 10;
+
+    TenantConfig probe;
+    probe.workload = TenantWorkloadKind::Hashmap;
+    probe.numKeys = 8000;
+    probe.share = 1.0;
+    probe.farHeapBytes = 8ull << 20;
+    probe.localMemBytes = 256ull << 10;
+
+    TenantConfig scan;
+    scan.workload = TenantWorkloadKind::Analytics;
+    scan.numKeys = 16000;
+    scan.share = 1.0;
+    scan.farHeapBytes = 8ull << 20;
+    scan.localMemBytes = 256ull << 10;
+
+    return {kv, probe, scan};
+}
+
+std::vector<double>
+parseLoads(const std::string &arg)
+{
+    std::vector<double> loads;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const double value = std::strtod(item.c_str(), nullptr);
+        if (value > 0.0)
+            loads.push_back(value);
+    }
+    return loads;
+}
+
+std::uint64_t
+numFlag(const char *name, std::uint64_t fallback)
+{
+    const std::string value = bench::cmdlineArg(name);
+    return value.empty() ? fallback
+                         : std::strtoull(value.c_str(), nullptr, 10);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const CostParams costs;
+    const std::uint64_t seed = bench::runSeed(42);
+    const std::uint64_t requests = numFlag("requests", 20000);
+    const std::uint32_t workers =
+        static_cast<std::uint32_t>(numFlag("workers", 2));
+    const bool dump_stats = !bench::cmdlineArg("stats").empty() ||
+                            std::getenv("TFM_SERVE_STATS") != nullptr;
+    const bool mmpp = bench::cmdlineArg("arrivals") == "mmpp";
+    std::vector<double> loads = parseLoads(bench::cmdlineArg("loads"));
+    if (loads.empty())
+        loads = {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25};
+
+    bench::banner(
+        "Serving SLO curve - offered load vs tail latency (beyond the "
+        "paper)",
+        "open-loop poisson arrivals collapse at the knee where offered "
+        "load crosses calibrated capacity; queueing delay, not service "
+        "time, drives the p99.9 blow-up",
+        "3-tenant mix (memcached/hashmap/analytics, shares 2/1/1) on "
+        "far-memory backends");
+    std::printf("seed: %llu%s\n",
+                static_cast<unsigned long long>(seed),
+                bench::seedPinned() ? " (pinned via --seed/TFM_SEED)"
+                                    : "");
+
+    // Calibrate: unloaded mean service per tenant -> aggregate
+    // capacity. The calibration probes run on throwaway backends so the
+    // sweep's tenants start cold, identically, at every load point.
+    const std::vector<TenantConfig> mix = tenantMix();
+    bench::section("calibration (unloaded mean service, cycles)");
+    double share_sum = 0.0;
+    for (const TenantConfig &t : mix)
+        share_sum += t.share;
+    double mean_service = 0.0;
+    for (std::size_t i = 0; i < mix.size(); i++) {
+        const double s = meanServiceCycles(mix[i], costs, seed);
+        std::printf("  tenant%zu-%-10s %10.1f  (share %.0f)\n", i,
+                    tenantWorkloadName(mix[i].workload), s,
+                    mix[i].share);
+        mean_service += s * mix[i].share / share_sum;
+    }
+    const double capacity =
+        static_cast<double>(workers) / mean_service;
+    std::uint64_t slo = numFlag("slo", 0);
+    if (slo == 0)
+        slo = static_cast<std::uint64_t>(20.0 * mean_service);
+    std::printf("  weighted mean service: %.1f cycles; capacity with "
+                "%u worker(s): %.3f req/Kcycle\n",
+                mean_service, workers, capacity * 1e3);
+    std::printf("  sojourn SLO: %llu cycles; arrivals: %s; %llu "
+                "requests/point\n",
+                static_cast<unsigned long long>(slo),
+                mmpp ? "MMPP (8x bursts)" : "poisson",
+                static_cast<unsigned long long>(requests));
+
+    bench::section("SLO curve (latencies in cycles)");
+    std::printf("%6s %9s %9s %8s %8s %8s %8s %8s %7s\n", "load",
+                "offered", "goodput", "p50", "p99", "p99.9", "qdly99",
+                "svc99", "qdepth");
+
+    struct Point
+    {
+        double load = 0.0;
+        std::uint64_t p99 = 0;
+        double goodput = 0.0;
+    };
+    std::vector<Point> curve;
+
+    for (const double load : loads) {
+        ServeConfig sc;
+        sc.tenants = mix;
+        sc.arrivals.kind =
+            mmpp ? ArrivalKind::Mmpp : ArrivalKind::Poisson;
+        sc.arrivals.ratePerCycle = load * capacity;
+        sc.workers = workers;
+        sc.totalRequests = requests;
+        sc.sloCycles = slo;
+        sc.seed = seed;
+        Scheduler sched(sc, costs);
+        const ServeReport report = sched.run();
+        const TenantReport &agg = report.aggregate;
+
+        curve.push_back({load, agg.sojourn.percentile(99),
+                         report.goodputPerMcycle()});
+        std::printf(
+            "%6.2f %9.3f %9.3f %8llu %8llu %8llu %8llu %8llu %7llu\n",
+            load, load * capacity * 1e3,
+            report.goodputPerMcycle() / 1e3,
+            static_cast<unsigned long long>(agg.sojourn.percentile(50)),
+            static_cast<unsigned long long>(agg.sojourn.percentile(99)),
+            static_cast<unsigned long long>(
+                agg.sojourn.percentile(99.9)),
+            static_cast<unsigned long long>(
+                agg.queueDelay.percentile(99)),
+            static_cast<unsigned long long>(
+                agg.serviceTime.percentile(99)),
+            static_cast<unsigned long long>(agg.maxQueueDepth));
+
+        if (dump_stats) {
+            StatSet set;
+            report.exportStats(set);
+            char prefix[32];
+            std::snprintf(prefix, sizeof prefix, "  [%.2f] ", load);
+            std::ostringstream os;
+            set.dump(os, prefix);
+            std::fputs(os.str().c_str(), stdout);
+        }
+    }
+
+    // Knee: the first sweep point whose p99 sojourn exceeds 5x the
+    // lowest-load baseline — past it, queueing dominates and the curve
+    // is vertical for practical purposes.
+    const std::uint64_t baseline_p99 = curve.front().p99;
+    const Point *knee = nullptr;
+    for (const Point &p : curve) {
+        if (p.p99 > 5 * baseline_p99) {
+            knee = &p;
+            break;
+        }
+    }
+    if (knee != nullptr)
+        std::printf("\nload-to-collapse knee: offered load %.2f "
+                    "(p99 %llu cycles, %.1fx the %.2f-load baseline)\n",
+                    knee->load,
+                    static_cast<unsigned long long>(knee->p99),
+                    static_cast<double>(knee->p99) /
+                        static_cast<double>(baseline_p99),
+                    curve.front().load);
+    else
+        std::printf("\nload-to-collapse knee: not reached in this "
+                    "sweep (max p99 %.1fx baseline)\n",
+                    static_cast<double>(curve.back().p99) /
+                        static_cast<double>(baseline_p99));
+
+    bench::JsonLine json("serving");
+    json.field("seed", seed)
+        .field("workers", static_cast<std::uint64_t>(workers))
+        .field("requests", requests)
+        .field("mean_service_cycles", mean_service)
+        .field("slo_cycles", slo)
+        .field("p99_first", curve.front().p99)
+        .field("p99_last", curve.back().p99)
+        .field("goodput_first", curve.front().goodput)
+        .field("goodput_last", curve.back().goodput)
+        .field("knee_load", knee ? knee->load : 0.0);
+    json.emit();
+    return 0;
+}

@@ -120,6 +120,36 @@ TraceSession::traceArg()
 }
 
 /**
+ * First-class run seed behind the uniform `--seed=<n>` flag (TFM_SEED
+ * for non-procfs platforms). Every bench that seeds a workload or a
+ * generator passes its current default through this, so one knob
+ * reseeds the whole binary instead of each bench growing its own
+ * ad-hoc flag. With neither flag nor env set, @p fallback is returned
+ * and output is unchanged — figure benches keep their published
+ * numbers.
+ */
+inline std::uint64_t
+runSeed(std::uint64_t fallback)
+{
+    std::string value = cmdlineArg("seed");
+    if (value.empty()) {
+        if (const char *env = std::getenv("TFM_SEED"))
+            value = env;
+    }
+    if (value.empty())
+        return fallback;
+    return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/** Was the run seed explicitly pinned (--seed / TFM_SEED)? */
+inline bool
+seedPinned()
+{
+    return !cmdlineArg("seed").empty() ||
+           std::getenv("TFM_SEED") != nullptr;
+}
+
+/**
  * Wall-clock measurement policy for dispatch-rate (host time) numbers:
  * `warmup` throwaway runs, then the minimum over `repeats` timed runs
  * — the standard way to get a stable rate out of a noisy shared host.

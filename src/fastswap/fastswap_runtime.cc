@@ -21,7 +21,8 @@ FastswapRuntime::FastswapRuntime(const FastswapConfig &config,
 {
     obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
     if (obs_) {
-        obsStream_ = obs_->registerStream("fastswap");
+        obsStream_ = obs_->registerStream(
+            cfg.obsLabel.empty() ? "fastswap" : cfg.obsLabel.c_str());
         _net.attachObs(obs_, obsStream_);
     }
 }

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "net/network_model.hh"
 #include "remote/remote_node.hh"
@@ -51,6 +52,8 @@ struct FastswapConfig
     bool readaheadEnabled = true;
     /// Observability sink; null falls back to obs::defaultSink().
     Observability *obs = nullptr;
+    /// Per-instance trace stream label; empty uses "fastswap".
+    std::string obsLabel;
 };
 
 /** Fault/paging counters (Fig. 14b and 16b plot these). */

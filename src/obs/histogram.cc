@@ -57,4 +57,17 @@ Histogram::exportStats(StatSet &set, const char *prefix) const
     set.add(base + ".max", max());
 }
 
+void
+Histogram::exportSloStats(StatSet &set, const char *prefix) const
+{
+    const std::string base(prefix);
+    set.add(base + ".count", _count);
+    set.add(base + ".p50", percentile(50));
+    set.add(base + ".p99", percentile(99));
+    set.add(base + ".p999", percentile(99.9));
+    set.add(base + ".mean",
+            static_cast<std::uint64_t>(std::llround(mean())));
+    set.add(base + ".max", max());
+}
+
 } // namespace tfm

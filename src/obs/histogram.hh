@@ -117,6 +117,13 @@ class Histogram
     /** Add count/p50/p90/p99/max under "<prefix>...." names. */
     void exportStats(StatSet &set, const char *prefix) const;
 
+    /**
+     * SLO-reporting flavor: count/p50/p99/p999/mean/max. Serving tails
+     * are judged at p99.9, which the standard export omits; the mean
+     * is rounded to the nearest integer sample unit.
+     */
+    void exportSloStats(StatSet &set, const char *prefix) const;
+
   private:
     std::uint64_t buckets[numBuckets] = {};
     std::uint64_t _count = 0;

@@ -39,7 +39,8 @@ FarMemRuntime::FarMemRuntime(const RuntimeConfig &config,
     }
     obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
     if (obs_) {
-        obsStream_ = obs_->registerStream(cfg.obsKind);
+        obsStream_ = obs_->registerStream(
+            cfg.obsLabel.empty() ? cfg.obsKind : cfg.obsLabel.c_str());
         backend_->attachObs(obs_, obsStream_);
     }
 }

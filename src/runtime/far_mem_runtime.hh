@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/remote_backend.hh"
@@ -81,6 +82,11 @@ struct RuntimeConfig
     /// Stream label registered with the sink; the wrapper runtimes
     /// override it ("trackfm", "aifm") so traces name the whole stack.
     const char *obsKind = "farmem";
+    /// Per-instance override for obsKind. Multi-tenant serving runs
+    /// several runtimes in one process; naming each tenant's stream
+    /// ("tenant0-memcached") keeps their trace tracks apart. Empty
+    /// keeps obsKind.
+    std::string obsLabel;
 
     /// Flight recorder (record or replay; see obs/flight_recorder.hh).
     /// When null, falls back to the process-wide default installed by

@@ -1,0 +1,74 @@
+#include "arrival.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace tfm
+{
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &config,
+                               std::uint64_t seed)
+    : cfg(config), rng(seed)
+{
+    TFM_ASSERT(cfg.ratePerCycle > 0.0, "arrival rate must be positive");
+    TFM_ASSERT(cfg.clients > 0, "empty client population");
+    if (cfg.kind == ArrivalKind::Mmpp) {
+        TFM_ASSERT(cfg.burstMultiplier >= 1.0,
+                   "burst phase cannot be slower than calm");
+        // Solve for the calm rate so the stationary mean matches
+        // ratePerCycle: mean = calm * (pCalm + pBurst * mult), with
+        // pBurst the stationary fraction of time spent bursting.
+        const double p_burst =
+            cfg.burstDwellCycles /
+            (cfg.burstDwellCycles + cfg.calmDwellCycles);
+        const double mean_mult =
+            (1.0 - p_burst) + p_burst * cfg.burstMultiplier;
+        calmRate = cfg.ratePerCycle / mean_mult;
+        burstRate = calmRate * cfg.burstMultiplier;
+        untilSwitch = expGap(1.0 / cfg.calmDwellCycles);
+    }
+}
+
+double
+ArrivalProcess::expGap(double rate)
+{
+    // Inverse-CDF sampling; 1 - uniform() is in (0, 1] so the log is
+    // finite.
+    return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+double
+ArrivalProcess::nextGapExact()
+{
+    if (cfg.kind == ArrivalKind::Poisson)
+        return expGap(cfg.ratePerCycle);
+
+    // MMPP: draw within the current phase; if the candidate arrival
+    // lands past the phase boundary, advance to the boundary, switch
+    // phase, and redraw (the exponential's memorylessness makes this
+    // exact).
+    double gap = 0.0;
+    while (true) {
+        const double rate = bursting ? burstRate : calmRate;
+        const double candidate = expGap(rate);
+        if (candidate <= untilSwitch) {
+            untilSwitch -= candidate;
+            return gap + candidate;
+        }
+        gap += untilSwitch;
+        bursting = !bursting;
+        untilSwitch = expGap(
+            1.0 / (bursting ? cfg.burstDwellCycles : cfg.calmDwellCycles));
+    }
+}
+
+std::uint64_t
+ArrivalProcess::nextGapCycles()
+{
+    const double gap = nextGapExact();
+    const auto cycles = static_cast<std::uint64_t>(std::llround(gap));
+    return cycles == 0 ? 1 : cycles;
+}
+
+} // namespace tfm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Open-loop request arrival processes for the traffic-serving subsystem.
+ *
+ * Serving systems are judged under *open-loop* load: clients issue
+ * requests on their own schedule, independent of whether the server has
+ * finished the previous one, so queues can actually build and tail
+ * latency reflects load rather than client back-pressure (closed-loop
+ * generators famously hide collapse — see DESIGN.md §4j). Each tenant's
+ * stream gets its own deterministic RNG derived from the run seed, so a
+ * million-client population costs one generator, not a million threads,
+ * and the same seed always produces the same trace.
+ */
+
+#ifndef TRACKFM_SERVE_ARRIVAL_HH
+#define TRACKFM_SERVE_ARRIVAL_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+
+namespace tfm
+{
+
+/** Arrival-process family. */
+enum class ArrivalKind
+{
+    Poisson, ///< memoryless arrivals at a constant mean rate
+    Mmpp     ///< 2-state Markov-modulated Poisson: calm/burst phases
+};
+
+/** Arrival-process parameters (rates are per simulated cycle). */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /// Long-run mean arrival rate (arrivals per cycle). For MMPP this
+    /// is the stationary mean across both phases; the per-phase rates
+    /// are derived so the offered load matches Poisson at equal config.
+    double ratePerCycle = 1e-4;
+    /// MMPP burst-phase rate multiplier over the calm phase.
+    double burstMultiplier = 8.0;
+    /// MMPP mean phase dwell times in cycles (exponentially distributed).
+    double calmDwellCycles = 400000.0;
+    double burstDwellCycles = 80000.0;
+    /// Client population size; each arrival is attributed to a client
+    /// id drawn uniformly from [0, clients). Ids are cheap — millions
+    /// of clients cost nothing beyond the id space.
+    std::uint64_t clients = 1000000;
+};
+
+/**
+ * One tenant's arrival stream: a deterministic generator of
+ * inter-arrival gaps (and client attributions) at a configured rate.
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalConfig &config, std::uint64_t seed);
+
+    /**
+     * Next inter-arrival gap in exact (real-valued) cycles. Exposed for
+     * the statistical tests: Poisson gaps have mean 1/rate and variance
+     * 1/rate^2; MMPP gaps share the mean but are over-dispersed.
+     */
+    double nextGapExact();
+
+    /** Next gap quantized to whole cycles (at least 1). */
+    std::uint64_t nextGapCycles();
+
+    /** Client id of the next arrival, uniform over the population. */
+    std::uint64_t nextClient() { return rng.below(cfg.clients); }
+
+    /** Analytic long-run mean arrival rate (arrivals per cycle). */
+    double meanRatePerCycle() const { return cfg.ratePerCycle; }
+
+    const ArrivalConfig &config() const { return cfg; }
+
+  private:
+    /** Exponential variate with the given rate (rate > 0). */
+    double expGap(double rate);
+
+    ArrivalConfig cfg;
+    Rng rng;
+    /// Derived MMPP per-phase rates (calm, burst).
+    double calmRate = 0.0;
+    double burstRate = 0.0;
+    bool bursting = false;
+    /// Cycles left in the current MMPP phase.
+    double untilSwitch = 0.0;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_SERVE_ARRIVAL_HH

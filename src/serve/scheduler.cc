@@ -1,0 +1,369 @@
+#include "scheduler.hh"
+
+#include <deque>
+#include <limits>
+
+#include "obs/obs.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/zipf.hh"
+#include "workloads/dataframe.hh"
+#include "workloads/hashmap.hh"
+#include "workloads/memcached.hh"
+
+namespace tfm
+{
+
+namespace
+{
+
+/** One queued request. */
+struct Request
+{
+    std::uint64_t arrivalCycle = 0;
+    std::uint64_t client = 0;
+    std::uint64_t key = 0;
+};
+
+/** Expand one seed into independent per-purpose sub-seeds. */
+struct SeedChain
+{
+    explicit SeedChain(std::uint64_t base) : state(base) {}
+    std::uint64_t next() { return splitmix64(state); }
+    std::uint64_t state;
+};
+
+} // anonymous namespace
+
+/**
+ * A live tenant: its backend, its per-request workload, its key/client
+ * samplers, its arrival stream, and its queue.
+ */
+struct Scheduler::Tenant
+{
+    Tenant(const TenantConfig &config, const CostParams &costs,
+           std::uint64_t run_seed, std::uint32_t index,
+           double rate_per_cycle)
+        : cfg(config)
+    {
+        SeedChain seeds(run_seed + 0x7365727665ull * (index + 1));
+        report.name = cfg.name.empty()
+                          ? "tenant" + std::to_string(index) + "-" +
+                                tenantWorkloadName(cfg.workload)
+                          : cfg.name;
+
+        BackendConfig bc;
+        bc.kind = cfg.system;
+        bc.farHeapBytes = cfg.farHeapBytes;
+        bc.localMemBytes = cfg.system == SystemKind::Local
+                               ? cfg.farHeapBytes
+                               : cfg.localMemBytes;
+        bc.objectSizeBytes = cfg.objectSizeBytes;
+        bc.obsLabel = report.name;
+        backend = makeBackend(bc, costs);
+
+        const std::uint64_t workload_seed = seeds.next();
+        switch (cfg.workload) {
+          case TenantWorkloadKind::Memcached: {
+            MemcachedParams p;
+            p.numKeys = cfg.numKeys;
+            p.zipfSkew = cfg.zipfSkew;
+            p.seed = workload_seed;
+            memcached =
+                std::make_unique<MemcachedWorkload>(*backend, p);
+            break;
+          }
+          case TenantWorkloadKind::Hashmap: {
+            HashmapParams p;
+            p.numKeys = cfg.numKeys;
+            p.numOps = 1; // no stored trace: keys arrive open-loop
+            p.zipfSkew = cfg.zipfSkew;
+            p.seed = workload_seed;
+            hashmap = std::make_unique<HashmapWorkload>(*backend, p);
+            break;
+          }
+          case TenantWorkloadKind::Analytics: {
+            DataframeParams p;
+            p.numRows = cfg.numKeys;
+            p.seed = workload_seed;
+            dataframe =
+                std::make_unique<DataframeWorkload>(*backend, p);
+            break;
+          }
+        }
+
+        keySampler = std::make_unique<ZipfGenerator>(
+            cfg.numKeys, cfg.zipfSkew, seeds.next());
+        ArrivalConfig ac; // rate filled below, shape from the run
+        ac.ratePerCycle = rate_per_cycle;
+        arrivalSeed = seeds.next();
+        arrivalShape = ac;
+    }
+
+    /** Attach the (shared-shape) arrival stream; run() calls this so
+     *  meanServiceCycles() never consumes arrival randomness. */
+    void
+    startArrivals(const ArrivalConfig &shape)
+    {
+        ArrivalConfig ac = shape;
+        ac.ratePerCycle = arrivalShape.ratePerCycle;
+        arrivals = std::make_unique<ArrivalProcess>(ac, arrivalSeed);
+        nextArrival = arrivals->nextGapCycles();
+    }
+
+    /** Execute one request; returns service cycles. */
+    std::uint64_t
+    serve(std::uint64_t key)
+    {
+        const std::uint64_t before = backend->cycles();
+        switch (cfg.workload) {
+          case TenantWorkloadKind::Memcached: {
+            std::uint8_t value[512];
+            const int len = memcached->get(key, value, sizeof(value));
+            TFM_ASSERT(len >= 0, "serving get missed a loaded key");
+            break;
+          }
+          case TenantWorkloadKind::Hashmap: {
+            const bool hit = hashmap->lookup(
+                static_cast<std::uint32_t>(key));
+            TFM_ASSERT(hit, "serving probe missed a loaded key");
+            break;
+          }
+          case TenantWorkloadKind::Analytics:
+            dataframe->pointQuery(key);
+            break;
+        }
+        return backend->cycles() - before;
+    }
+
+    TenantConfig cfg;
+    std::unique_ptr<MemBackend> backend;
+    std::unique_ptr<MemcachedWorkload> memcached;
+    std::unique_ptr<HashmapWorkload> hashmap;
+    std::unique_ptr<DataframeWorkload> dataframe;
+    std::unique_ptr<ZipfGenerator> keySampler;
+    std::unique_ptr<ArrivalProcess> arrivals;
+    ArrivalConfig arrivalShape;
+    std::uint64_t arrivalSeed = 0;
+    std::uint64_t nextArrival = 0; ///< absolute cycle of next arrival
+    std::deque<Request> queue;
+    TenantReport report;
+};
+
+Scheduler::Scheduler(const ServeConfig &config, const CostParams &costs)
+    : cfg(config), costs_(costs)
+{
+    TFM_ASSERT(!cfg.tenants.empty(), "serving run with no tenants");
+    TFM_ASSERT(cfg.workers > 0, "serving run with no workers");
+    double share_sum = 0.0;
+    for (const TenantConfig &t : cfg.tenants)
+        share_sum += t.share;
+    TFM_ASSERT(share_sum > 0.0, "tenant shares sum to zero");
+
+    obs_ = cfg.obs ? cfg.obs : obs::defaultSink();
+    if (obs_)
+        obsStream_ = obs_->registerStream("serve");
+
+    for (std::uint32_t i = 0; i < cfg.tenants.size(); i++) {
+        const double rate = cfg.arrivals.ratePerCycle *
+                            cfg.tenants[i].share / share_sum;
+        tenants_.push_back(std::make_unique<Tenant>(
+            cfg.tenants[i], costs_, cfg.seed, i, rate));
+    }
+}
+
+Scheduler::~Scheduler() = default;
+
+std::uint64_t
+Scheduler::serveOne(Tenant &tenant, std::uint64_t key)
+{
+    return tenant.serve(key);
+}
+
+void
+Scheduler::epochSample(std::uint64_t now)
+{
+    if (!obs_ || !obs_->seriesDue(obsStream_, now))
+        return;
+    obs_->counterSample(obsStream_, now,
+                        {{"serve.qdepth", queued_},
+                         {"serve.generated", generated_},
+                         {"serve.completed", completed_}});
+}
+
+ServeReport
+Scheduler::run()
+{
+    TFM_ASSERT(!ran, "Scheduler::run is single-shot");
+    ran = true;
+
+    ServeReport out;
+    out.aggregate.name = "all";
+    for (auto &t : tenants_)
+        t->startArrivals(cfg.arrivals);
+
+    std::vector<std::uint64_t> worker_free(cfg.workers, 0);
+    std::size_t rr_cursor = 0; ///< round-robin fairness pointer
+
+    const auto record_completion = [&](Tenant &t, const Request &r,
+                                       std::uint64_t start,
+                                       std::uint64_t service) {
+        const std::uint64_t done = start + service;
+        const std::uint64_t qdelay = start - r.arrivalCycle;
+        const std::uint64_t sojourn = done - r.arrivalCycle;
+        for (TenantReport *rep : {&t.report, &out.aggregate}) {
+            rep->completions++;
+            rep->queueDelay.record(qdelay);
+            rep->serviceTime.record(service);
+            rep->sojourn.record(sojourn);
+            if (cfg.sloCycles && sojourn > cfg.sloCycles)
+                rep->sloViolations++;
+        }
+        if (done > out.endCycle)
+            out.endCycle = done;
+        completed_++;
+        queued_--;
+        epochSample(start);
+    };
+
+    while (completed_ < cfg.totalRequests) {
+        // Earliest pending arrival (only while the open-loop generator
+        // still owes requests).
+        Tenant *arriving = nullptr;
+        std::uint64_t arrival_cycle =
+            std::numeric_limits<std::uint64_t>::max();
+        if (generated_ < cfg.totalRequests) {
+            for (auto &t : tenants_) {
+                if (t->nextArrival < arrival_cycle) {
+                    arrival_cycle = t->nextArrival;
+                    arriving = t.get();
+                }
+            }
+        }
+
+        // Earliest free worker.
+        std::size_t w = 0;
+        for (std::size_t i = 1; i < worker_free.size(); i++) {
+            if (worker_free[i] < worker_free[w])
+                w = i;
+        }
+        const std::uint64_t worker_cycle = worker_free[w];
+
+        // Admit the arrival if it precedes the next possible dispatch,
+        // or if there is nothing queued to dispatch.
+        if (arriving != nullptr &&
+            (queued_ == 0 || arrival_cycle <= worker_cycle)) {
+            Request r;
+            r.arrivalCycle = arrival_cycle;
+            r.client = arriving->arrivals->nextClient();
+            r.key = arriving->keySampler->next();
+            arriving->queue.push_back(r);
+            arriving->nextArrival =
+                arrival_cycle + arriving->arrivals->nextGapCycles();
+            generated_++;
+            queued_++;
+            out.lastArrivalCycle = arrival_cycle;
+
+            for (TenantReport *rep :
+                 {&arriving->report, &out.aggregate})
+                rep->arrivals++;
+            arriving->report.queueDepth.record(
+                arriving->queue.size());
+            out.aggregate.queueDepth.record(queued_);
+            if (arriving->queue.size() >
+                arriving->report.maxQueueDepth)
+                arriving->report.maxQueueDepth =
+                    arriving->queue.size();
+            if (queued_ > out.aggregate.maxQueueDepth)
+                out.aggregate.maxQueueDepth = queued_;
+            epochSample(arrival_cycle);
+            continue;
+        }
+
+        TFM_ASSERT(queued_ > 0, "serving loop stalled with no work");
+
+        // Dispatch: round-robin over tenants with queued requests so a
+        // hot tenant cannot monopolize the workers.
+        Tenant *victim = nullptr;
+        for (std::size_t i = 0; i < tenants_.size(); i++) {
+            const std::size_t j =
+                (rr_cursor + i) % tenants_.size();
+            if (!tenants_[j]->queue.empty()) {
+                victim = tenants_[j].get();
+                rr_cursor = j + 1;
+                break;
+            }
+        }
+        TFM_ASSERT(victim != nullptr, "queued_ count out of sync");
+
+        const Request r = victim->queue.front();
+        victim->queue.pop_front();
+        // A worker idle since before the request arrived starts at the
+        // arrival instant; otherwise at its free cycle.
+        const std::uint64_t start =
+            worker_cycle > r.arrivalCycle ? worker_cycle
+                                          : r.arrivalCycle;
+        const std::uint64_t service = serveOne(*victim, r.key);
+        worker_free[w] = start + service;
+        record_completion(*victim, r, start, service);
+    }
+
+    for (auto &t : tenants_) {
+        TFM_ASSERT(t->queue.empty(),
+                   "serving run ended with queued requests");
+        out.tenants.push_back(t->report);
+    }
+    // Close the epoch series at the drain point.
+    epochSample(out.endCycle);
+    return out;
+}
+
+void
+ServeReport::exportStats(StatSet &set) const
+{
+    const auto one = [&set](const TenantReport &r,
+                            const std::string &prefix) {
+        set.add(prefix + "arrivals", r.arrivals);
+        set.add(prefix + "completions", r.completions);
+        set.add(prefix + "goodput", r.goodput());
+        set.add(prefix + "slo_violations", r.sloViolations);
+        set.add(prefix + "queue_depth_max", r.maxQueueDepth);
+        r.queueDelay.exportSloStats(set, (prefix + "queue_delay").c_str());
+        r.serviceTime.exportSloStats(set, (prefix + "service").c_str());
+        r.sojourn.exportSloStats(set, (prefix + "sojourn").c_str());
+    };
+    one(aggregate, "serve.");
+    set.add("serve.end_cycle", endCycle);
+    set.add("serve.last_arrival_cycle", lastArrivalCycle);
+    for (const TenantReport &r : tenants)
+        one(r, "serve." + r.name + ".");
+}
+
+double
+meanServiceCycles(const TenantConfig &tenant, const CostParams &costs,
+                  std::uint64_t seed, std::uint32_t requests)
+{
+    TFM_ASSERT(requests > 0, "calibration needs at least one request");
+    Scheduler::Tenant probe(tenant, costs, seed, 0,
+                            1.0 /* rate unused: no arrivals started */);
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < requests; i++)
+        total += probe.serve(probe.keySampler->next());
+    return static_cast<double>(total) / static_cast<double>(requests);
+}
+
+const char *
+tenantWorkloadName(TenantWorkloadKind kind)
+{
+    switch (kind) {
+      case TenantWorkloadKind::Memcached:
+        return "memcached";
+      case TenantWorkloadKind::Hashmap:
+        return "hashmap";
+      case TenantWorkloadKind::Analytics:
+        return "analytics";
+    }
+    return "?";
+}
+
+} // namespace tfm

@@ -23,6 +23,13 @@ ZipfGenerator::ZipfGenerator(std::uint64_t n, double skew, std::uint64_t seed)
         p *= inv;
 }
 
+double
+ZipfGenerator::pmf(std::uint64_t k) const
+{
+    TFM_ASSERT(k < _n, "zipf pmf rank out of range");
+    return k == 0 ? cdf[0] : cdf[k] - cdf[k - 1];
+}
+
 std::uint64_t
 ZipfGenerator::next()
 {

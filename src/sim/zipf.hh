@@ -30,6 +30,13 @@ class ZipfGenerator
     /** Draw one sample (a rank in [0, n)). */
     std::uint64_t next();
 
+    /**
+     * Exact sampling probability of rank @p k, straight from the CDF
+     * table the sampler draws against — the ground truth the
+     * statistical tests compare observed frequencies to.
+     */
+    double pmf(std::uint64_t k) const;
+
     std::uint64_t n() const { return _n; }
     double skew() const { return _skew; }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "backend.hh"
 #include "sim/cost_params.hh"
@@ -46,6 +47,11 @@ struct BackendConfig
     bool kernelReadahead = false;
     /// TrackFM loop-chunking policy.
     ChunkPolicy chunkPolicy = ChunkPolicy::CostModel;
+    /// Optional per-instance trace stream label. When several backends
+    /// coexist in one process (multi-tenant serving), each needs its
+    /// own named track; empty falls back to the runtime's default
+    /// stream name ("trackfm", "fastswap", ...).
+    std::string obsLabel;
 };
 
 /** Instantiate a backend. */

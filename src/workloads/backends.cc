@@ -352,6 +352,7 @@ class TrackFmBackend : public MemBackend
         rc.objectSizeBytes = config.objectSizeBytes;
         rc.prefetchEnabled = config.prefetchEnabled;
         rc.prefetchDepth = config.prefetchDepth;
+        rc.obsLabel = config.obsLabel;
         return rc;
     }
 
@@ -507,6 +508,7 @@ class FastswapBackend : public MemBackend
         fc.localMemBytes = config.localMemBytes;
         fc.readaheadEnabled = config.kernelReadahead;
         fc.readaheadPages = config.prefetchDepth;
+        fc.obsLabel = config.obsLabel;
         return fc;
     }
 
@@ -702,6 +704,7 @@ class AifmBackend : public MemBackend
         rc.objectSizeBytes = config.objectSizeBytes;
         rc.prefetchEnabled = config.prefetchEnabled;
         rc.prefetchDepth = config.prefetchDepth;
+        rc.obsLabel = config.obsLabel;
         return rc;
     }
 

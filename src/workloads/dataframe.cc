@@ -151,6 +151,21 @@ DataframeWorkload::groupAggregationQuery()
     return total;
 }
 
+std::int64_t
+DataframeWorkload::pointQuery(std::uint64_t row)
+{
+    b.compute(20); // predicate evaluation + reduce
+    const auto passengers =
+        b.readT<std::int32_t>(passengerAddr + row * 4,
+                              AccessHint::Random);
+    const auto distance =
+        b.readT<std::int32_t>(distanceAddr + row * 4,
+                              AccessHint::Random);
+    const auto fare =
+        b.readT<std::int32_t>(fareAddr + row * 4, AccessHint::Random);
+    return static_cast<std::int64_t>(fare) + distance * passengers;
+}
+
 DataframeResult
 DataframeWorkload::run()
 {

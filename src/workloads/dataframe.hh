@@ -66,6 +66,14 @@ class DataframeWorkload
     /** Run the four-query suite once. */
     DataframeResult run();
 
+    /**
+     * Serving-style point query: fetch one trip's passenger count,
+     * distance, and fare (three random 4-byte column reads) and reduce
+     * them. The per-request analytics op the traffic scheduler
+     * dispatches; @p row must be below numRows.
+     */
+    std::int64_t pointQuery(std::uint64_t row);
+
     /** Reference answers computed CPU-side during generation. */
     const DataframeAnswers &expected() const { return reference; }
 

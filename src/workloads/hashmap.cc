@@ -63,6 +63,32 @@ HashmapWorkload::workingSetBytes() const
     return capacity * sizeof(Slot) + params.numOps * 4;
 }
 
+bool
+HashmapWorkload::lookup(std::uint32_t key, std::uint64_t *probes_out)
+{
+    b.compute(8); // hash computation
+    std::uint64_t slot = hashKey(key) & (capacity - 1);
+    std::uint64_t probes = 0;
+    bool hit = false;
+    while (true) {
+        Slot s;
+        b.read(tableAddr + slot * sizeof(Slot), &s, sizeof(Slot),
+               AccessHint::Random);
+        probes++;
+        if (s.state == 0)
+            break;
+        if (s.key == key) {
+            TFM_ASSERT(s.value == key * 2 + 1, "hashmap value corrupted");
+            hit = true;
+            break;
+        }
+        slot = (slot + 1) & (capacity - 1);
+    }
+    if (probes_out)
+        *probes_out += probes;
+    return hit;
+}
+
 HashmapResult
 HashmapWorkload::run()
 {

@@ -67,6 +67,14 @@ class HashmapWorkload
     /** Run all lookups from the trace. */
     HashmapResult run();
 
+    /**
+     * Serving-style single probe for @p key (metered, charges the hash
+     * plus the probe chain). Returns true on hit; @p probes_out, when
+     * non-null, receives the probe count. The per-request op the
+     * traffic scheduler dispatches.
+     */
+    bool lookup(std::uint32_t key, std::uint64_t *probes_out = nullptr);
+
     /** Expected number of hits (all trace keys are present). */
     std::uint64_t expectedHits() const { return params.numOps; }
 

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "sim/cost_params.hh"
 #include "sim/cycle_clock.hh"
@@ -126,6 +128,48 @@ TEST(Zipf, HigherSkewConcentratesMore)
         sharp_zero += (sharp.next() == 0);
     }
     EXPECT_GT(sharp_zero, mild_zero);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfGenerator zipf(257, 1.1, 4);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < 257; k++)
+        sum += zipf.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+/**
+ * Statistical check against the exact law: the observed frequency of
+ * rank 1 and of a mid-table rank must match the theta-exponent pmf
+ * within a tolerance far wider than the binomial sampling noise
+ * (draws * p * (1-p) variance => ~0.5% relative at these counts), so
+ * the test is deterministic-seed stable but still catches an exponent
+ * or normalization regression.
+ */
+TEST(Zipf, FrequenciesMatchThetaExponent)
+{
+    const std::uint64_t n = 1000;
+    const double theta = 1.2;
+    ZipfGenerator zipf(n, theta, 5);
+    const int draws = 400000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; i++)
+        counts[zipf.next()]++;
+
+    for (const std::uint64_t rank : {0ull, 9ull, 99ull}) {
+        const double expected = zipf.pmf(rank) * draws;
+        ASSERT_GT(expected, 50.0) << "rank " << rank
+                                  << " too rare to test";
+        EXPECT_NEAR(counts[rank], expected, 0.15 * expected)
+            << "rank " << rank;
+    }
+    // The rank-1 : rank-10 ratio pins the exponent itself: it must be
+    // (10/1)^theta up to sampling noise, independent of normalization.
+    const double ratio = static_cast<double>(counts[0]) /
+                         static_cast<double>(counts[9]);
+    const double expected_ratio = std::pow(10.0, theta);
+    EXPECT_NEAR(ratio, expected_ratio, 0.2 * expected_ratio);
 }
 
 TEST(UsrDist, SizesMatchUsrPool)

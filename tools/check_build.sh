@@ -139,6 +139,62 @@ fi
 "${BUILD_DIR}/bench/bench_micro_guards" > /dev/null
 echo "check_build: replay-determinism gate OK"
 
+# Serving smoke gate: a short SLO sweep at low and near-collapse load
+# must show monotone tail growth, emit well-formed serve.* epoch
+# counters, run byte-identically under a pinned --seed, and
+# record→replay bit-exactly. Finally the checked-in serving corpus —
+# the first deterministic perf-regression trace — must still replay
+# bit-exactly; if an intentional data-plane change diverges it,
+# regenerate with the exact flags below (see EXPERIMENTS.md "Serving
+# SLO curve").
+SERVE_DIR="${BUILD_DIR}/serving_gate"
+mkdir -p "${SERVE_DIR}"
+SERVE="${BUILD_DIR}/bench/bench_serving"
+
+# (a) p99 monotonicity across low -> near-collapse, with serve.*
+# counters structurally checked in the emitted trace.
+"${SERVE}" --requests=2000 --seed=7 --loads=0.3,1.25 \
+    --trace="${SERVE_DIR}/serve_trace.json" > "${SERVE_DIR}/sweep.out"
+if command -v python3 > /dev/null; then
+    python3 tools/validate_trace.py "${SERVE_DIR}/serve_trace.json" \
+        | grep -q "serving counters"
+    python3 - "${SERVE_DIR}/sweep.out" <<'EOF'
+import json, sys
+for line in open(sys.argv[1]):
+    if line.startswith("BENCH_JSON "):
+        d = json.loads(line[len("BENCH_JSON "):])
+        if d["p99_first"] >= d["p99_last"]:
+            sys.exit(f"serving p99 not monotone across load: {d}")
+        break
+else:
+    sys.exit("no BENCH_JSON line in bench_serving output")
+EOF
+fi
+"${BUILD_DIR}/tools/tfm-stat" "${SERVE_DIR}/serve_trace.json" \
+    | grep -q "serving"
+
+# (b) Fixed seed => byte-identical output across runs.
+"${SERVE}" --requests=1000 --seed=7 --loads=0.5,1.1 \
+    > "${SERVE_DIR}/det_a.out"
+"${SERVE}" --requests=1000 --seed=7 --loads=0.5,1.1 \
+    > "${SERVE_DIR}/det_b.out"
+cmp "${SERVE_DIR}/det_a.out" "${SERVE_DIR}/det_b.out"
+
+# (c) Record -> replay bit-exactness: identical stdout including the
+# full serve.* StatSet dump (latency histograms, goodput, tails).
+"${SERVE}" --requests=1000 --seed=7 --loads=0.5,1.1 --stats \
+    --record="${SERVE_DIR}/serve.tfr" > "${SERVE_DIR}/rec.out"
+"${SERVE}" --requests=1000 --seed=7 --loads=0.5,1.1 --stats \
+    --replay="${SERVE_DIR}/serve.tfr" > "${SERVE_DIR}/rep.out"
+cmp "${SERVE_DIR}/rec.out" "${SERVE_DIR}/rep.out"
+
+# (d) The checked-in corpus (recorded with exactly these flags) still
+# replays: any divergence is a behavior change in the serving data
+# plane and must be deliberate.
+"${SERVE}" --requests=400 --loads=1.1 --seed=11 --stats \
+    --replay=examples/serving_regression.tfr > /dev/null
+echo "check_build: serving SLO gate OK"
+
 # Sanitizer pass: rebuild in a separate directory with
 # -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the
 # tier-1 suite under it. TFM_SANITIZE=off skips the pass.

@@ -121,6 +121,31 @@ printInterpTable(const std::map<std::string, Histogram> &interp)
     }
 }
 
+/**
+ * Serving-subsystem counters ("serve.<metric>", one epoch sample per
+ * scheduler tick): queue depth and generated/completed request
+ * progress, kept out of the generic counter table so load-induced
+ * queue growth in a serving run is obvious at a glance. Latency
+ * percentiles live in the bench's serve.* StatSet; the trace carries
+ * the time-series view.
+ */
+void
+printServingTable(const std::map<std::string, Histogram> &serving)
+{
+    if (serving.empty())
+        return;
+    const int width = static_cast<int>(nameWidth(serving, 7));
+    std::printf("\n%-*s %10s %10s %10s %12s\n", width, "serving",
+                "samples", "min", "max", "mean");
+    for (const auto &[name, h] : serving) {
+        std::printf("%-*s %10llu %10llu %10llu %12.1f\n", width,
+                    name.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.min()),
+                    static_cast<unsigned long long>(h.max()), h.mean());
+    }
+}
+
 void
 printCounterTable(const std::map<std::string, Histogram> &counters)
 {
@@ -244,6 +269,7 @@ main(int argc, char **argv)
     std::map<std::string, Histogram> counters;
     std::map<std::string, Histogram> safetyCounters;
     std::map<std::string, Histogram> interpCounters;
+    std::map<std::string, Histogram> servingCounters;
     // Open 'B' spans per (pid, tid): Chrome semantics say 'E' closes
     // the innermost open span on its track.
     std::map<std::pair<std::uint32_t, std::uint32_t>,
@@ -283,6 +309,10 @@ main(int argc, char **argv)
             }
             if (e.name.rfind("interp.", 0) == 0) {
                 interpCounters[e.name.substr(7)].record(it->second);
+                break;
+            }
+            if (e.name.rfind("serve.", 0) == 0) {
+                servingCounters[e.name.substr(6)].record(it->second);
                 break;
             }
             counters[e.name].record(it->second);
@@ -332,6 +362,7 @@ main(int argc, char **argv)
 
     printInstantTable(instants);
     printCounterTable(counters);
+    printServingTable(servingCounters);
     printInterpTable(interpCounters);
     printSafetyTable(safetyCounters);
     return 0;

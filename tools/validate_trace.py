@@ -14,7 +14,11 @@ Perfetto / chrome://tracing will load. Checks:
   * 'B'/'E' events balance per (pid, tid), never closing an empty stack;
   * flight-recorder exports are well-formed: record.* / replay.*
     counters carry an integer value arg, and the
-    flight_recorder_schema metadata event carries an integer version.
+    flight_recorder_schema metadata event carries an integer version;
+  * serving-subsystem exports are well-formed: serve.* counters carry a
+    non-negative integer value, and a serving run emits the full epoch
+    triple (serve.qdepth, serve.generated, serve.completed) with
+    generated >= completed on every sample.
 
 Exit status 0 when valid; 1 with a diagnostic on the first failure.
 """
@@ -45,6 +49,7 @@ def validate(path):
 
     last_ts = {}  # (pid, tid) -> last timestamp seen in buffer order
     depth = {}  # (pid, tid) -> open 'B' span count
+    serve_counters = {}  # serve.* name -> [(track, ts, value), ...]
     for i, e in enumerate(events):
         if not isinstance(e, dict):
             fail(f"event {i}: not an object")
@@ -97,10 +102,55 @@ def validate(path):
                         f"counter without non-negative integer value "
                         f"({value!r})"
                     )
+            elif e["name"].startswith("serve."):
+                value = e.get("args", {}).get("value")
+                if not isinstance(value, int) or value < 0:
+                    fail(
+                        f"event {i} ({e['name']}): serving counter "
+                        f"without non-negative integer value "
+                        f"({value!r})"
+                    )
+                serve_counters.setdefault(e["name"], []).append(
+                    (track, e["ts"], value)
+                )
 
     open_spans = {t: d for t, d in depth.items() if d}
     if open_spans:
         fail(f"unbalanced begin/end spans at EOF: {open_spans}")
+
+    if serve_counters:
+        # A serving run's epoch sample is the qdepth/generated/completed
+        # triple; a missing member means the scheduler's counterSample
+        # list regressed.
+        for member in ("serve.qdepth", "serve.generated",
+                       "serve.completed"):
+            if member not in serve_counters:
+                fail(
+                    f"serving counters present but {member} missing "
+                    f"(have: {sorted(serve_counters)})"
+                )
+        # generated/completed are cumulative: monotone per track, and
+        # completed can never overtake generated at a shared timestamp.
+        for name in ("serve.generated", "serve.completed"):
+            by_track = {}
+            for track, ts, value in serve_counters[name]:
+                prev = by_track.get(track)
+                if prev is not None and value < prev:
+                    fail(
+                        f"{name} went backwards on track {track} "
+                        f"({prev} -> {value})"
+                    )
+                by_track[track] = value
+        gen = {
+            (track, ts): value
+            for track, ts, value in serve_counters["serve.generated"]
+        }
+        for track, ts, value in serve_counters["serve.completed"]:
+            if (track, ts) in gen and value > gen[(track, ts)]:
+                fail(
+                    f"serve.completed {value} exceeds serve.generated "
+                    f"{gen[(track, ts)]} at ts {ts}"
+                )
 
     n_timed = sum(1 for e in events if e.get("ph") != "M")
     n_recorder = sum(
@@ -115,6 +165,9 @@ def validate(path):
     )
     if n_recorder:
         summary += f", {n_recorder} recorder counters"
+    n_serving = sum(len(v) for v in serve_counters.values())
+    if n_serving:
+        summary += f", {n_serving} serving counters"
     print(summary + ")")
 
 
