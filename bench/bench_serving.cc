@@ -13,20 +13,38 @@
  * tracked separately from service time, so the collapse shows up as
  * queue growth at flat service cost.
  *
+ * With a comma list of worker counts (--workers=1,2,4) the bench runs
+ * one SLO curve per count on a common load axis (fractions of the
+ * 1-worker capacity), prints each curve's knee plus a worker-scaling
+ * summary at --cal-load, and emits goodput_cal_w<N>/knee_w<N>/scaling
+ * JSON fields — the knee moving right and goodput scaling with the
+ * worker count is the end-to-end evidence for the concurrent runtime
+ * (DESIGN.md §4k).
+ *
  * Flags (all optional, defaults in parentheses):
  *   --seed=N       run seed, printed in the header (42)
  *   --requests=N   arrivals simulated per sweep point (20000)
  *   --loads=a,b,c  offered-load fractions of capacity (8-point sweep)
- *   --workers=N    serving cores (2)
+ *   --workers=N[,M...]  serving cores; a list sweeps counts (2)
+ *   --concurrent   real std::thread workers on one shared TrackFM
+ *                  runtime instead of simulated cores (off)
+ *   --shards=N     frame-cache shards for --concurrent (auto)
+ *   --cal-load=X   load for the worker-scaling comparison (2.0)
  *   --slo=N        sojourn SLO in cycles (20x unloaded mean service)
  *   --arrivals=poisson|mmpp  arrival process shape (poisson)
  *   --stats        dump the full serve.* StatSet per sweep point
- * Composes with --trace/--record/--replay like every bench.
+ * Composes with --trace/--record/--replay like every bench — except
+ * under --concurrent, which is wall-clock threaded and rejects the
+ * flight recorder (record/replay needs the deterministic single-
+ * thread mode). --trace still works there: worker threads only emit
+ * through the serialized network path, and the scheduler samples the
+ * per-worker serve.w<i>.* counters tfm-stat's breakdown table reads.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -80,6 +98,22 @@ parseLoads(const std::string &arg)
     return loads;
 }
 
+std::vector<std::uint32_t>
+parseWorkerCounts(const std::string &arg)
+{
+    std::vector<std::uint32_t> counts;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const unsigned long v = std::strtoul(item.c_str(), nullptr, 10);
+        if (v > 0)
+            counts.push_back(static_cast<std::uint32_t>(v));
+    }
+    if (counts.empty())
+        counts.push_back(2);
+    return counts;
+}
+
 std::uint64_t
 numFlag(const char *name, std::uint64_t fallback)
 {
@@ -87,6 +121,24 @@ numFlag(const char *name, std::uint64_t fallback)
     return value.empty() ? fallback
                          : std::strtoull(value.c_str(), nullptr, 10);
 }
+
+/** One sweep point's headline numbers. */
+struct Point
+{
+    double load = 0.0;
+    std::uint64_t p99 = 0;
+    double goodput = 0.0;
+};
+
+/** One worker count's curve plus its knee and scaling point. */
+struct Curve
+{
+    std::uint32_t workers = 0;
+    std::vector<Point> points;
+    double kneeLoad = 0.0; ///< 0 = not reached in this sweep
+    std::uint64_t kneeP99 = 0;
+    double calGoodput = 0.0; ///< goodput at the --cal-load point
+};
 
 } // anonymous namespace
 
@@ -96,14 +148,31 @@ main()
     const CostParams costs;
     const std::uint64_t seed = bench::runSeed(42);
     const std::uint64_t requests = numFlag("requests", 20000);
-    const std::uint32_t workers =
-        static_cast<std::uint32_t>(numFlag("workers", 2));
-    const bool dump_stats = !bench::cmdlineArg("stats").empty() ||
+    const std::vector<std::uint32_t> worker_counts =
+        parseWorkerCounts(bench::cmdlineArg("workers"));
+    const bool multi = worker_counts.size() > 1;
+    const bool concurrent = bench::flagPresent("concurrent");
+    const std::uint32_t shards =
+        static_cast<std::uint32_t>(numFlag("shards", 0));
+    const std::string cal_arg = bench::cmdlineArg("cal-load");
+    const double cal_load =
+        cal_arg.empty() ? 2.0 : std::strtod(cal_arg.c_str(), nullptr);
+    const bool dump_stats = bench::flagPresent("stats") ||
                             std::getenv("TFM_SERVE_STATS") != nullptr;
     const bool mmpp = bench::cmdlineArg("arrivals") == "mmpp";
     std::vector<double> loads = parseLoads(bench::cmdlineArg("loads"));
     if (loads.empty())
         loads = {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25};
+
+    if (concurrent && (!bench::cmdlineArg("record").empty() ||
+                       !bench::cmdlineArg("replay").empty())) {
+        std::fprintf(stderr,
+                     "bench_serving: --concurrent runs wall-clock "
+                     "threads and does not compose with the flight "
+                     "recorder; use the deterministic mode (no "
+                     "--concurrent) for record/replay\n");
+        return 2;
+    }
 
     bench::banner(
         "Serving SLO curve - offered load vs tail latency (beyond the "
@@ -117,6 +186,10 @@ main()
                 static_cast<unsigned long long>(seed),
                 bench::seedPinned() ? " (pinned via --seed/TFM_SEED)"
                                     : "");
+    if (concurrent)
+        std::printf("mode: concurrent (std::thread workers, one "
+                    "shared TrackFM runtime%s)\n",
+                    shards ? ", --shards override" : ", auto shards");
 
     // Calibrate: unloaded mean service per tenant -> aggregate
     // capacity. The calibration probes run on throwaway backends so the
@@ -134,110 +207,203 @@ main()
                     mix[i].share);
         mean_service += s * mix[i].share / share_sum;
     }
+    // Multi-count sweeps share one load axis (fractions of the
+    // 1-worker capacity) so the knees of different counts are
+    // comparable and "moves right with workers" is meaningful.
+    const std::uint32_t ref_workers = multi ? 1u : worker_counts[0];
     const double capacity =
-        static_cast<double>(workers) / mean_service;
+        static_cast<double>(ref_workers) / mean_service;
     std::uint64_t slo = numFlag("slo", 0);
     if (slo == 0)
         slo = static_cast<std::uint64_t>(20.0 * mean_service);
     std::printf("  weighted mean service: %.1f cycles; capacity with "
                 "%u worker(s): %.3f req/Kcycle\n",
-                mean_service, workers, capacity * 1e3);
+                mean_service, ref_workers, capacity * 1e3);
     std::printf("  sojourn SLO: %llu cycles; arrivals: %s; %llu "
                 "requests/point\n",
                 static_cast<unsigned long long>(slo),
                 mmpp ? "MMPP (8x bursts)" : "poisson",
                 static_cast<unsigned long long>(requests));
 
-    bench::section("SLO curve (latencies in cycles)");
-    std::printf("%6s %9s %9s %8s %8s %8s %8s %8s %7s\n", "load",
-                "offered", "goodput", "p50", "p99", "p99.9", "qdly99",
-                "svc99", "qdepth");
+    std::vector<Curve> curves;
 
-    struct Point
-    {
-        double load = 0.0;
-        std::uint64_t p99 = 0;
-        double goodput = 0.0;
-    };
-    std::vector<Point> curve;
-
-    for (const double load : loads) {
-        ServeConfig sc;
-        sc.tenants = mix;
-        sc.arrivals.kind =
-            mmpp ? ArrivalKind::Mmpp : ArrivalKind::Poisson;
-        sc.arrivals.ratePerCycle = load * capacity;
-        sc.workers = workers;
-        sc.totalRequests = requests;
-        sc.sloCycles = slo;
-        sc.seed = seed;
-        Scheduler sched(sc, costs);
-        const ServeReport report = sched.run();
-        const TenantReport &agg = report.aggregate;
-
-        curve.push_back({load, agg.sojourn.percentile(99),
-                         report.goodputPerMcycle()});
-        std::printf(
-            "%6.2f %9.3f %9.3f %8llu %8llu %8llu %8llu %8llu %7llu\n",
-            load, load * capacity * 1e3,
-            report.goodputPerMcycle() / 1e3,
-            static_cast<unsigned long long>(agg.sojourn.percentile(50)),
-            static_cast<unsigned long long>(agg.sojourn.percentile(99)),
-            static_cast<unsigned long long>(
-                agg.sojourn.percentile(99.9)),
-            static_cast<unsigned long long>(
-                agg.queueDelay.percentile(99)),
-            static_cast<unsigned long long>(
-                agg.serviceTime.percentile(99)),
-            static_cast<unsigned long long>(agg.maxQueueDepth));
-
-        if (dump_stats) {
-            StatSet set;
-            report.exportStats(set);
-            char prefix[32];
-            std::snprintf(prefix, sizeof prefix, "  [%.2f] ", load);
-            std::ostringstream os;
-            set.dump(os, prefix);
-            std::fputs(os.str().c_str(), stdout);
+    for (const std::uint32_t nworkers : worker_counts) {
+        if (multi) {
+            const std::string title =
+                "SLO curve, workers=" + std::to_string(nworkers) +
+                " (load axis: x 1-worker capacity)";
+            bench::section(title.c_str());
+        } else {
+            bench::section("SLO curve (latencies in cycles)");
         }
+        std::printf("%6s %9s %9s %8s %8s %8s %8s %8s %7s\n", "load",
+                    "offered", "goodput", "p50", "p99", "p99.9",
+                    "qdly99", "svc99", "qdepth");
+
+        Curve curve;
+        curve.workers = nworkers;
+
+        const auto runPoint = [&](double load, bool print) {
+            ServeConfig sc;
+            sc.tenants = mix;
+            sc.arrivals.kind =
+                mmpp ? ArrivalKind::Mmpp : ArrivalKind::Poisson;
+            sc.arrivals.ratePerCycle = load * capacity;
+            sc.workers = nworkers;
+            sc.totalRequests = requests;
+            sc.sloCycles = slo;
+            sc.seed = seed;
+            sc.concurrent = concurrent;
+            sc.cacheShards = shards;
+            Scheduler sched(sc, costs);
+            const ServeReport report = sched.run();
+            const TenantReport &agg = report.aggregate;
+
+            if (print) {
+                std::printf("%6.2f %9.3f %9.3f %8llu %8llu %8llu "
+                            "%8llu %8llu %7llu\n",
+                            load, load * capacity * 1e3,
+                            report.goodputPerMcycle() / 1e3,
+                            static_cast<unsigned long long>(
+                                agg.sojourn.percentile(50)),
+                            static_cast<unsigned long long>(
+                                agg.sojourn.percentile(99)),
+                            static_cast<unsigned long long>(
+                                agg.sojourn.percentile(99.9)),
+                            static_cast<unsigned long long>(
+                                agg.queueDelay.percentile(99)),
+                            static_cast<unsigned long long>(
+                                agg.serviceTime.percentile(99)),
+                            static_cast<unsigned long long>(
+                                agg.maxQueueDepth));
+                if (dump_stats) {
+                    StatSet set;
+                    report.exportStats(set);
+                    char prefix[32];
+                    std::snprintf(prefix, sizeof prefix, "  [%.2f] ",
+                                  load);
+                    std::ostringstream os;
+                    set.dump(os, prefix);
+                    std::fputs(os.str().c_str(), stdout);
+                }
+            }
+            Point p;
+            p.load = load;
+            p.p99 = agg.sojourn.percentile(99);
+            p.goodput = report.goodputPerMcycle();
+            return p;
+        };
+
+        for (const double load : loads)
+            curve.points.push_back(runPoint(load, true));
+
+        // Knee: the first sweep point whose p99 sojourn exceeds 5x the
+        // lowest-load baseline — past it, queueing dominates and the
+        // curve is vertical for practical purposes.
+        const std::uint64_t baseline_p99 = curve.points.front().p99;
+        const Point *knee = nullptr;
+        for (const Point &p : curve.points) {
+            if (p.p99 > 5 * baseline_p99) {
+                knee = &p;
+                break;
+            }
+        }
+        if (knee != nullptr) {
+            curve.kneeLoad = knee->load;
+            curve.kneeP99 = knee->p99;
+        }
+        if (multi) {
+            if (knee != nullptr)
+                std::printf("\nworkers=%u knee: offered load %.2f "
+                            "(p99 %llu cycles, %.1fx the %.2f-load "
+                            "baseline)\n",
+                            nworkers, knee->load,
+                            static_cast<unsigned long long>(knee->p99),
+                            static_cast<double>(knee->p99) /
+                                static_cast<double>(baseline_p99),
+                            curve.points.front().load);
+            else
+                std::printf("\nworkers=%u knee: not reached in this "
+                            "sweep (max p99 %.1fx baseline)\n",
+                            nworkers,
+                            static_cast<double>(
+                                curve.points.back().p99) /
+                                static_cast<double>(baseline_p99));
+            const Point cal = runPoint(cal_load, false);
+            curve.calGoodput = cal.goodput;
+            std::printf("workers=%u scaling point @ load %.2f: "
+                        "goodput %.3f req/Mcycle\n",
+                        nworkers, cal_load, cal.goodput);
+        } else if (knee != nullptr) {
+            std::printf("\nload-to-collapse knee: offered load %.2f "
+                        "(p99 %llu cycles, %.1fx the %.2f-load "
+                        "baseline)\n",
+                        knee->load,
+                        static_cast<unsigned long long>(knee->p99),
+                        static_cast<double>(knee->p99) /
+                            static_cast<double>(baseline_p99),
+                        curve.points.front().load);
+        } else {
+            std::printf("\nload-to-collapse knee: not reached in this "
+                        "sweep (max p99 %.1fx baseline)\n",
+                        static_cast<double>(curve.points.back().p99) /
+                            static_cast<double>(baseline_p99));
+        }
+        curves.push_back(curve);
     }
 
-    // Knee: the first sweep point whose p99 sojourn exceeds 5x the
-    // lowest-load baseline — past it, queueing dominates and the curve
-    // is vertical for practical purposes.
-    const std::uint64_t baseline_p99 = curve.front().p99;
-    const Point *knee = nullptr;
-    for (const Point &p : curve) {
-        if (p.p99 > 5 * baseline_p99) {
-            knee = &p;
-            break;
+    if (multi) {
+        std::printf("\nworker scaling at load %.2f (x 1-worker "
+                    "capacity):\n",
+                    cal_load);
+        for (const Curve &c : curves) {
+            if (c.kneeLoad > 0.0)
+                std::printf("  workers=%-2u goodput %9.3f req/Mcycle  "
+                            "knee %.2f\n",
+                            c.workers, c.calGoodput, c.kneeLoad);
+            else
+                std::printf("  workers=%-2u goodput %9.3f req/Mcycle  "
+                            "knee not reached\n",
+                            c.workers, c.calGoodput);
         }
+        if (curves.front().calGoodput > 0.0)
+            std::printf("  scaling w%u/w%u: %.2fx\n",
+                        curves.back().workers, curves.front().workers,
+                        curves.back().calGoodput /
+                            curves.front().calGoodput);
     }
-    if (knee != nullptr)
-        std::printf("\nload-to-collapse knee: offered load %.2f "
-                    "(p99 %llu cycles, %.1fx the %.2f-load baseline)\n",
-                    knee->load,
-                    static_cast<unsigned long long>(knee->p99),
-                    static_cast<double>(knee->p99) /
-                        static_cast<double>(baseline_p99),
-                    curve.front().load);
-    else
-        std::printf("\nload-to-collapse knee: not reached in this "
-                    "sweep (max p99 %.1fx baseline)\n",
-                    static_cast<double>(curve.back().p99) /
-                        static_cast<double>(baseline_p99));
 
+    const Curve &first = curves.front();
     bench::JsonLine json("serving");
     json.field("seed", seed)
-        .field("workers", static_cast<std::uint64_t>(workers))
+        .field("workers",
+               static_cast<std::uint64_t>(worker_counts[0]))
         .field("requests", requests)
         .field("mean_service_cycles", mean_service)
         .field("slo_cycles", slo)
-        .field("p99_first", curve.front().p99)
-        .field("p99_last", curve.back().p99)
-        .field("goodput_first", curve.front().goodput)
-        .field("goodput_last", curve.back().goodput)
-        .field("knee_load", knee ? knee->load : 0.0);
+        .field("p99_first", first.points.front().p99)
+        .field("p99_last", first.points.back().p99)
+        .field("goodput_first", first.points.front().goodput)
+        .field("goodput_last", first.points.back().goodput)
+        .field("knee_load", first.kneeLoad);
+    if (multi || concurrent)
+        json.field("concurrent",
+                   static_cast<std::uint64_t>(concurrent ? 1 : 0));
+    if (multi) {
+        for (const Curve &c : curves) {
+            const std::string g =
+                "goodput_cal_w" + std::to_string(c.workers);
+            json.field(g.c_str(), c.calGoodput);
+            const std::string k =
+                "knee_w" + std::to_string(c.workers);
+            json.field(k.c_str(), c.kneeLoad);
+        }
+        json.field("scaling",
+                   curves.front().calGoodput > 0.0
+                       ? curves.back().calGoodput /
+                             curves.front().calGoodput
+                       : 0.0);
+    }
     json.emit();
     return 0;
 }

@@ -113,6 +113,36 @@ cmdlineArg(const char *name)
     return "";
 }
 
+/**
+ * True when `--<name>` appears on this process's command line, bare or
+ * with a value. Boolean flags (--stats, --concurrent) come through
+ * here; cmdlineArg() only sees the `--<name>=<value>` spelling.
+ */
+inline bool
+flagPresent(const char *name)
+{
+    std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+    const std::string all((std::istreambuf_iterator<char>(cmdline)),
+                          std::istreambuf_iterator<char>());
+    const std::string bare = std::string("--") + name;
+    std::size_t start = 0;
+    while (start < all.size()) {
+        std::size_t end = all.find('\0', start);
+        if (end == std::string::npos)
+            end = all.size();
+        const std::size_t len = end - start;
+        if (len == bare.size() &&
+            all.compare(start, len, bare) == 0)
+            return true;
+        if (len > bare.size() &&
+            all.compare(start, bare.size(), bare) == 0 &&
+            all[start + bare.size()] == '=')
+            return true;
+        start = end + 1;
+    }
+    return false;
+}
+
 inline std::string
 TraceSession::traceArg()
 {

@@ -97,6 +97,18 @@ NetworkModel::fetchBatchSync(std::uint64_t bytes, std::uint32_t payloads)
 }
 
 std::uint64_t
+NetworkModel::fetchSyncAt(std::uint64_t issue, std::uint64_t bytes)
+{
+    const std::uint64_t done = issue + _costs.perMessageCpuCycles +
+                               _costs.netLatencyCycles +
+                               transferCycles(bytes);
+    if (done > inFreeAt)
+        inFreeAt = done;
+    accountFetch(bytes, 1);
+    return done;
+}
+
+std::uint64_t
 NetworkModel::fetchAsync(std::uint64_t bytes)
 {
     return fetchBatchAsync(bytes, 1);

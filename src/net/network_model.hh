@@ -144,6 +144,25 @@ class NetworkModel
     void waitUntil(std::uint64_t arrivalCycle) { _clock.advanceTo(arrivalCycle); }
 
     /**
+     * Concurrent-mode demand fetch issued at @p issue on a worker's
+     * private timeline (DESIGN.md §4k). Per-core flows overlap the
+     * request latency — each worker pays CPU + round trip + its own
+     * payload serialization on its own clock — so the shared frontier
+     * never drags a behind-schedule worker's completion into another
+     * core's future (the pathology of time-sharing the device clock
+     * through fetchSync: every fetch would snap to the global
+     * frontier, serializing all latencies). Cross-core bandwidth
+     * contention is deliberately not modeled — at object sizes the
+     * transfer is two orders of magnitude below the round trip. The
+     * frontier still advances monotonically for the deterministic
+     * paths' no-un-reserve invariant, and the fetch is counted in
+     * NetStats. Does not touch the shared clock.
+     *
+     * @return completion cycle on the issuing worker's timeline.
+     */
+    std::uint64_t fetchSyncAt(std::uint64_t issue, std::uint64_t bytes);
+
+    /**
      * Write @p bytes back to the remote node asynchronously (evacuation,
      * page-out). Reserves outbound link time and counts bytes; the caller
      * pays only the per-message CPU cost.

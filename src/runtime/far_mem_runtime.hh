@@ -13,9 +13,11 @@
 #ifndef TRACKFM_RUNTIME_FAR_MEM_RUNTIME_HH
 #define TRACKFM_RUNTIME_FAR_MEM_RUNTIME_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,20 @@ struct RuntimeConfig
     /// on the same object skip the object-state-table lookup.
     bool guardCacheEnabled = true;
 
+    /** @name Concurrent runtime (DESIGN.md §4k)
+     * @{ */
+    /// Allow multiple worker threads to share this runtime. Off by
+    /// default: the deterministic single-stream mode is what the
+    /// record/replay and byte-identity gates run against. When on, the
+    /// stride prefetcher is disabled (the MT data plane is demand-only)
+    /// and a flight recorder must not be attached.
+    bool concurrent = false;
+    /// Frame-cache lock stripes (power of two; 0 or 1 = the seed's
+    /// single-shard cache). Honored in single-thread mode too, for the
+    /// sharding equivalence tests.
+    std::uint32_t cacheShards = 1;
+    /** @} */
+
     /// Remote-tier topology: shard count, replication factor, failure
     /// plan, per-shard bandwidth. The default (1 shard, 1 copy) keeps
     /// the original single-server backend.
@@ -112,6 +128,9 @@ struct RuntimeStats
     std::uint64_t inflightJoins = 0;   ///< localize joined an in-flight fetch
     std::uint64_t writebackFlushes = 0;///< writeback-buffer batch flushes
     std::uint64_t writebackBufferHits = 0; ///< re-localized from the buffer
+
+    /** Element-wise sum (merging per-worker counter sets on report). */
+    RuntimeStats &operator+=(const RuntimeStats &other);
 };
 
 /**
@@ -137,8 +156,10 @@ class FarMemRuntime
 
     /** @name Simulation plumbing
      * @{ */
-    CycleClock &clock() { return _clock; }
-    const CycleClock &clock() const { return _clock; }
+    /** The calling thread's clock: the bound worker's private clock on
+     *  a worker thread, the runtime's main clock otherwise. */
+    CycleClock &clock();
+    const CycleClock &clock() const;
     /** The remote tier this runtime drives (single node or cluster). */
     RemoteBackend &backend() { return *backend_; }
     const RemoteBackend &backend() const { return *backend_; }
@@ -229,11 +250,18 @@ class FarMemRuntime
     /**
      * Monotone counter bumped whenever any frame is unmapped (eviction
      * or evacuation). Guard-level inline caches compare it to detect
-     * that a cached object->frame translation may have gone stale.
+     * that a cached object->frame translation may have gone stale; the
+     * concurrent runtime additionally uses it as the epoch-based
+     * reclamation clock (each retired frame is stamped with the bump
+     * its eviction produced).
      */
-    std::uint64_t evictionEpoch() const { return _evictionEpoch; }
+    std::uint64_t evictionEpoch() const { return _evictionEpoch.load(); }
 
-    const RuntimeStats &stats() const { return _stats; }
+    /** The calling thread's counter set (bound worker's, else main). */
+    const RuntimeStats &stats() const;
+    /** Main-thread counters plus every registered worker's (exact under
+     *  concurrency: each set is single-writer). */
+    RuntimeStats mergedStats() const;
     void exportStats(StatSet &set) const;
 
     /**
@@ -266,8 +294,9 @@ class FarMemRuntime
         std::vector<std::byte> data;
     };
 
-    /** Find a frame for a new object, evicting a victim if needed. */
-    std::uint64_t takeFrame();
+    /** Find a frame for @p obj_id's shard, evicting a victim if needed
+     *  (deterministic single-thread path). */
+    std::uint64_t takeFrame(std::uint64_t obj_id);
     /** Evict the object in @p frame_idx (writeback when dirty). */
     void evictFrame(std::uint64_t frame_idx);
     /**
@@ -296,12 +325,163 @@ class FarMemRuntime
     RuntimeStats _stats;
     std::vector<PendingWriteback> wbBuf;
     std::uint64_t wbOldestCycle = 0; ///< clock when wbBuf[0] was parked
-    std::uint64_t _evictionEpoch = 0;
+    /// Eviction-epoch clock; seq_cst (see DESIGN.md §4k reclamation
+    /// proof). Plain increments in the deterministic path compile to
+    /// the same uncontended RMW.
+    std::atomic<std::uint64_t> _evictionEpoch{0};
     Observability *obs_ = nullptr;
     std::uint32_t obsStream_ = 0;
     FlightRecorder *rec_ = nullptr;
     std::uint16_t recInstance_ = 0;
     std::uint64_t lastMissObj = ~0ull; ///< inter-miss-distance tracking
+
+  public:
+    /** @name Concurrent runtime (DESIGN.md §4k)
+     *
+     * Worker threads register a WorkerContext each and bind it to their
+     * thread. Reads go through a lock-free fast path (one object-state
+     * snapshot inside an epoch section); misses and all writes take the
+     * object's frame-cache shard lock. Evicted frames park in the
+     * shard's limbo list until every worker has passed the eviction's
+     * epoch, so a lock-free reader can never touch a reused frame.
+     *
+     * Lock order: shard mutex < worker wbMu / mainWbMu_ < netMu_.
+     * Epoch sections never acquire any lock (that is what makes the
+     * quiescence wait in takeFrameMt deadlock-free).
+     * @{ */
+
+    /** Quiescent epoch-slot value (worker not inside an epoch section). */
+    static constexpr std::uint64_t quiescentEpoch = ~0ull;
+
+    /** Per-worker-thread runtime state: private clock, private counter
+     *  set, epoch slot, and private dirty-writeback buffer. */
+    struct WorkerContext
+    {
+        CycleClock clock;     ///< this worker's simulated time
+        RuntimeStats stats;   ///< single-writer counters, merged on report
+        /// Epoch observed at epochEnter(), quiescentEpoch outside any
+        /// epoch section. seq_cst: the reclamation proof needs slot
+        /// stores and meta/epoch loads in one total order.
+        std::atomic<std::uint64_t> epochSlot{quiescentEpoch};
+        std::uint32_t index = 0;
+        FarMemRuntime *owner = nullptr;
+
+        std::mutex wbMu; ///< guards wbBuf (leaf lock, see lock order)
+        std::vector<PendingWriteback> wbBuf;
+        std::uint64_t wbOldestCycle = 0;
+    };
+
+    /** What a successful MT fast read hands the guard layer so it can
+     *  fill its last-object inline cache. */
+    struct MtFill
+    {
+        bool valid = false;
+        std::uint64_t objId = 0;
+        std::uint64_t epoch = 0; ///< eviction epoch the fill is valid for
+        std::byte *frameBase = nullptr;
+        ObjectMeta *meta = nullptr;
+        Frame *frame = nullptr;
+    };
+
+    /** Create a worker context (call before starting worker threads;
+     *  not thread-safe against running workers). */
+    WorkerContext *registerWorker();
+    /** Bind @p w to the calling thread; routes clock()/stats() here. */
+    void bindWorker(WorkerContext *w);
+    /** Remove the calling thread's binding. */
+    void unbindWorker();
+    /** The calling thread's bound context, or nullptr. */
+    WorkerContext *boundWorker() const;
+    const std::vector<std::unique_ptr<WorkerContext>> &workers() const
+    {
+        return workers_;
+    }
+
+    /**
+     * Lock-free guarded read attempt: one raw() snapshot of the object
+     * state inside an epoch section; on a safe hit, copies @p len bytes
+     * at @p offset into @p dst, marks usage, and (optionally) fills
+     * @p fill for the guard inline cache. Returns false on any miss
+     * (remote, in flight) with no side effects.
+     */
+    bool tryFastReadMt(WorkerContext &w, std::uint64_t offset, void *dst,
+                       std::size_t len, MtFill *fill);
+
+    /**
+     * Validate a previous MtFill (the guard layer's last-object inline
+     * cache) inside an epoch section and, on a hit, copy out through
+     * it. An unchanged eviction epoch proves the object->frame
+     * translation is still live; any eviction since the fill misses and
+     * the guard falls back to tryFastReadMt, which refills.
+     */
+    bool tryCachedReadMt(WorkerContext &w, const MtFill &fill,
+                         std::uint64_t offset, void *dst, std::size_t len);
+
+    /**
+     * Slow-path guarded read: takes the object's shard lock, localizes
+     * if needed (stealing a parked writeback copy or fetching), and
+     * copies out under the lock.
+     */
+    void localizeReadMt(WorkerContext &w, std::uint64_t offset, void *dst,
+                        std::size_t len, MtFill *fill,
+                        Localized *outcome = nullptr);
+
+    /**
+     * Guarded write: always takes the shard lock (no lock-free write
+     * path — two racing writers to one object must serialize), localizes
+     * if needed, copies @p src in, and marks the object dirty.
+     * @p was_present reports whether the object was already local (the
+     * guard layer charges the fast- or slow-path write cost on it).
+     */
+    void localizeWriteMt(WorkerContext &w, std::uint64_t offset,
+                         const void *src, std::size_t len,
+                         bool *was_present, Localized *outcome = nullptr);
+
+    /** Push @p w's parked dirty objects to the remote tier as one
+     *  coalesced message (metered; takes wbMu then netMu_). */
+    void flushWorkerWritebacks(WorkerContext &w);
+
+    /**
+     * Main-thread drain of every worker's parked writebacks after the
+     * workers have been joined (unmetered raw writes, like
+     * evacuateAll's flush).
+     */
+    void drainWorkerWritebacks();
+
+    /** @} */
+
+  private:
+    /** Enter/exit an epoch section (lock-free readers only). */
+    void
+    epochEnter(WorkerContext &w)
+    {
+        w.epochSlot.store(_evictionEpoch.load());
+    }
+    void epochExit(WorkerContext &w) { w.epochSlot.store(quiescentEpoch); }
+    /** Minimum epoch slot over all workers (quiescent = +inf). */
+    std::uint64_t minActiveEpoch() const;
+    /** Frame acquisition under @p shard's lock: alloc, reclaim limbo,
+     *  evict, or spin-yield for reader quiescence. */
+    std::uint64_t takeFrameMt(WorkerContext &w, std::uint32_t shard);
+    /** Unmap + retire the frame to limbo (caller holds the shard lock);
+     *  dirty payloads park in @p w's private buffer. */
+    void evictFrameMt(WorkerContext &w, std::uint32_t shard,
+                      std::uint64_t frame_idx);
+    /** Synchronous fetch on the shared device clock (netMu_; jumps the
+     *  device clock to @p w's time and back). */
+    void fetchMt(WorkerContext &w, std::uint64_t obj_id, std::byte *data);
+    /** Pull a parked dirty copy of @p obj_id out of any writeback
+     *  buffer (workers' and the main thread's) into @p dst. */
+    bool stealParkedWriteback(std::uint64_t obj_id, std::byte *dst);
+    /** Size/age-triggered flush of @p w's buffer. */
+    void maybeFlushWorkerWritebacks(WorkerContext &w);
+
+    std::vector<std::unique_ptr<WorkerContext>> workers_;
+    std::mutex netMu_;    ///< serializes shared backend/device access
+    std::mutex allocMu_;  ///< serializes the region allocator when concurrent
+    std::mutex mainWbMu_; ///< workers stealing from the main-thread wbBuf
+    std::atomic<std::uint64_t> parkedCount_{0}; ///< hint: skip steal scans
+    static thread_local WorkerContext *tlsWorker_;
 };
 
 } // namespace tfm

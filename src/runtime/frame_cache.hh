@@ -6,44 +6,91 @@
  * allocation. Victim selection uses the CLOCK approximation of LRU with
  * pin counts, matching AIFM's hotness-driven evacuation at the fidelity
  * the figures need (hot objects stay, cold objects leave).
+ *
+ * The cache is lock-striped into N shards (DESIGN.md §4k): frames are
+ * partitioned into contiguous shard ranges, objects map to shards by a
+ * multiplicative hash of their id, and each shard carries its own
+ * mutex, free list, CLOCK hand, and limbo list. With one shard (the
+ * default) the sweep order, free-list order, and victim choices are
+ * byte-identical to the pre-sharding cache, which the deterministic
+ * replay gates rely on.
  */
 
 #ifndef TRACKFM_RUNTIME_FRAME_CACHE_HH
 #define TRACKFM_RUNTIME_FRAME_CACHE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace tfm
 {
 
-/** Book-keeping for one local frame. */
+/**
+ * Book-keeping for one local frame.
+ *
+ * pins and refbit are atomic because the concurrent guard fast path
+ * touches them without the shard lock (refbit marking, transient
+ * prefetch pins); every other field is written only under the owning
+ * shard's mutex or in single-thread mode.
+ */
 struct Frame
 {
-    std::uint64_t objId = 0;       ///< object currently resident
+    std::uint64_t objId = 0;        ///< object currently resident
     std::uint64_t arrivalCycle = 0; ///< when an async fetch completes
-    std::uint32_t pins = 0;        ///< loop-chunk pin count
-    bool used = false;             ///< frame holds a live object
-    bool refbit = false;           ///< CLOCK reference bit
+    std::atomic<std::uint32_t> pins{0}; ///< loop-chunk pin count
+    bool used = false;              ///< frame holds a live object
+    std::atomic<bool> refbit{false}; ///< CLOCK reference bit
 };
 
 /**
- * Fixed-capacity frame pool with CLOCK victim selection.
+ * Fixed-capacity frame pool with per-shard CLOCK victim selection.
  *
  * The cache itself never talks to the network; the runtime asks for a
- * victim, performs the writeback, and then reassigns the frame.
+ * victim, performs the writeback, and then reassigns the frame. Under
+ * concurrency the runtime additionally parks evicted frames in the
+ * shard's limbo list (retireFrame) until every worker thread has passed
+ * the eviction's epoch (reclaimFrames) — the epoch-based reclamation
+ * protocol that makes the lock-free guard fast path safe.
  */
 class FrameCache
 {
   public:
-    FrameCache(std::uint64_t local_bytes, std::uint32_t frame_size);
+    FrameCache(std::uint64_t local_bytes, std::uint32_t frame_size,
+               std::uint32_t shard_count = 1);
 
     std::uint64_t numFrames() const { return frames.size(); }
     std::uint32_t frameSize() const { return _frameSize; }
-    std::uint64_t freeFrames() const { return freeList.size(); }
-    std::uint64_t usedFrames() const { return frames.size() - freeList.size(); }
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(shards.size());
+    }
+    std::uint64_t freeFrames() const;
+    std::uint64_t usedFrames() const;
+
+    /** Shard owning @p obj_id's frames (Fibonacci multiplicative hash;
+     *  always 0 with a single shard). */
+    std::uint32_t
+    shardOf(std::uint64_t obj_id) const
+    {
+        if (shards.size() == 1)
+            return 0;
+        return static_cast<std::uint32_t>(
+            (obj_id * 0x9e3779b97f4a7c15ull) >> shardShift_);
+    }
+
+    /** Shard owning frame @p frame_idx (contiguous ranges). */
+    std::uint32_t shardOfFrame(std::uint64_t frame_idx) const;
+
+    /** The shard's lock stripe; the runtime holds it across victim
+     *  selection, eviction, and frame fill. */
+    std::mutex &shardMutex(std::uint32_t shard)
+    {
+        return shards[shard].mu;
+    }
 
     /** Host pointer to the frame's payload. */
     std::byte *
@@ -55,31 +102,82 @@ class FrameCache
 
     Frame &frame(std::uint64_t frame_idx) { return frames[frame_idx]; }
 
-    /**
-     * Take a free frame if one exists.
-     * @return frame index, or noFrame when the cache is full.
-     */
-    std::uint64_t allocFrame();
+    /** @name Shard-aware allocation (caller holds the shard mutex when
+     *  concurrent)
+     * @{ */
+    /** Take a free frame from @p shard, or noFrame when it is full. */
+    std::uint64_t allocFrameIn(std::uint32_t shard);
 
     /**
-     * Pick an eviction victim with the CLOCK sweep, skipping pinned
-     * frames and clearing reference bits on the way.
+     * Pick an eviction victim with @p shard's CLOCK sweep, skipping
+     * pinned frames and clearing reference bits on the way.
      *
-     * @return victim frame index, or noFrame when every frame is pinned.
+     * @return victim frame index, or noFrame when every frame of the
+     *         shard is pinned or in limbo.
      */
-    std::uint64_t pickVictim();
+    std::uint64_t pickVictimIn(std::uint32_t shard);
 
-    /** Return a frame to the free list. */
+    /**
+     * Park an evicted frame in the shard's limbo list, stamped with the
+     * eviction epoch that unmapped it. The frame is invisible to CLOCK
+     * (used=false) but its payload must stay intact until reclaimed.
+     */
+    void retireFrame(std::uint32_t shard, std::uint64_t frame_idx,
+                     std::uint64_t epoch_stamp);
+
+    /**
+     * Move limbo frames whose stamp is <= @p min_active_epoch (the
+     * minimum epoch slot over all active worker threads) back to the
+     * free list. Returns the number reclaimed.
+     */
+    std::uint64_t reclaimFrames(std::uint32_t shard,
+                                std::uint64_t min_active_epoch);
+
+    /** Frames currently parked in @p shard's limbo list. */
+    std::uint64_t
+    limboFrames(std::uint32_t shard) const
+    {
+        return shards[shard].limbo.size();
+    }
+    /** @} */
+
+    /** @name Single-shard legacy API (Fastswap runtime, unit tests)
+     * @{ */
+    /** Take a free frame if one exists (single-shard caches only). */
+    std::uint64_t allocFrame();
+    /** CLOCK victim (single-shard caches only). */
+    std::uint64_t pickVictim();
+    /** @} */
+
+    /** Return a frame to its shard's free list immediately (the
+     *  single-thread eviction path: no limbo, no epoch). */
     void releaseFrame(std::uint64_t frame_idx);
 
     static constexpr std::uint64_t noFrame = ~0ull;
 
   private:
+    /** One lock stripe: a contiguous frame range with its own CLOCK. */
+    struct Shard
+    {
+        std::mutex mu;
+        std::uint64_t lo = 0;  ///< first frame index (inclusive)
+        std::uint64_t hi = 0;  ///< last frame index (exclusive)
+        std::vector<std::uint64_t> freeList;
+        std::uint64_t clockHand = 0;
+        /** An unmapped frame awaiting quiescence of every reader. */
+        struct Retired
+        {
+            std::uint64_t frameIdx = 0;
+            std::uint64_t stamp = 0; ///< eviction epoch at retirement
+        };
+        std::vector<Retired> limbo;
+    };
+
     std::uint32_t _frameSize;
     std::unique_ptr<std::byte[]> arena;
     std::vector<Frame> frames;
-    std::vector<std::uint64_t> freeList;
-    std::uint64_t clockHand = 0;
+    std::vector<Shard> shards;
+    std::uint32_t shardShift_ = 0; ///< 64 - log2(numShards), shards > 1
 };
 
 } // namespace tfm

@@ -16,6 +16,7 @@
 #ifndef TRACKFM_RUNTIME_OBJECT_META_HH
 #define TRACKFM_RUNTIME_OBJECT_META_HH
 
+#include <atomic>
 #include <cstdint>
 
 namespace tfm
@@ -50,44 +51,66 @@ class ObjectMeta
 
     ObjectMeta() : bits(0) {}
 
-    bool present() const { return bits & presentBit; }
-    bool dirty() const { return bits & dirtyBit; }
-    bool inflight() const { return bits & inflightBit; }
-    bool pinned() const { return bits & pinnedBit; }
-    bool hot() const { return bits & hotBit; }
+    bool present() const { return raw() & presentBit; }
+    bool dirty() const { return raw() & dirtyBit; }
+    bool inflight() const { return raw() & inflightBit; }
+    bool pinned() const { return raw() & pinnedBit; }
+    bool hot() const { return raw() & hotBit; }
 
     /**
      * The guard fast path's safety predicate: localized and not mid-
      * prefetch. Exactly one branch in the generated guard.
      */
-    bool safeForFastPath() const
-    {
-        return (bits & (presentBit | inflightBit)) == presentBit;
-    }
+    bool safeForFastPath() const { return rawSafe(raw()); }
 
-    std::uint64_t frame() const { return bits & frameMask; }
+    std::uint64_t frame() const { return raw() & frameMask; }
 
     void
     makeLocal(std::uint64_t frame_idx)
     {
-        bits = presentBit | (frame_idx & frameMask);
+        bits.store(presentBit | (frame_idx & frameMask));
     }
 
-    void makeRemote() { bits = 0; }
+    void makeRemote() { bits.store(0); }
 
-    void setDirty() { bits |= dirtyBit; }
-    void clearDirty() { bits &= ~dirtyBit; }
-    void setInflight() { bits |= inflightBit; }
-    void clearInflight() { bits &= ~inflightBit; }
-    void setPinned() { bits |= pinnedBit; }
-    void clearPinned() { bits &= ~pinnedBit; }
-    void setHot() { bits |= hotBit; }
-    void clearHot() { bits &= ~hotBit; }
+    void setDirty() { bits.fetch_or(dirtyBit); }
+    void clearDirty() { bits.fetch_and(~dirtyBit); }
+    void setInflight() { bits.fetch_or(inflightBit); }
+    void clearInflight() { bits.fetch_and(~inflightBit); }
+    void setPinned() { bits.fetch_or(pinnedBit); }
+    void clearPinned() { bits.fetch_and(~pinnedBit); }
+    void setHot() { bits.fetch_or(hotBit); }
+    void clearHot() { bits.fetch_and(~hotBit); }
 
-    std::uint64_t raw() const { return bits; }
+    /**
+     * One coherent snapshot of the word. The concurrent guard fast path
+     * must load raw() exactly once and decode frame/safety from that
+     * single value — two separate loads could straddle an eviction and
+     * pair a stale frame index with a fresh safety bit.
+     */
+    std::uint64_t raw() const { return bits.load(); }
+
+    /** @name Decode helpers for a raw() snapshot
+     * @{ */
+    static bool
+    rawSafe(std::uint64_t raw_bits)
+    {
+        return (raw_bits & (presentBit | inflightBit)) == presentBit;
+    }
+    static std::uint64_t rawFrame(std::uint64_t raw_bits)
+    {
+        return raw_bits & frameMask;
+    }
+    /** @} */
 
   private:
-    std::uint64_t bits;
+    /**
+     * seq_cst throughout: the epoch-reclamation proof in DESIGN.md §4k
+     * relies on a single total order over meta publications, epoch
+     * bumps, and worker epoch-slot stores. On x86 the loads compile to
+     * plain movs, so the single-thread fast path is unchanged.
+     */
+    std::atomic<std::uint64_t> bits;
 };
 
 static_assert(sizeof(ObjectMeta) == 8, "state table entries must be 8 bytes");

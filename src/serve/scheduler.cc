@@ -1,12 +1,17 @@
 #include "scheduler.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <deque>
 #include <limits>
+#include <set>
+#include <thread>
 
 #include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/zipf.hh"
+#include "tfm/tfm_runtime.hh"
 #include "workloads/dataframe.hh"
 #include "workloads/hashmap.hh"
 #include "workloads/memcached.hh"
@@ -43,7 +48,7 @@ struct Scheduler::Tenant
 {
     Tenant(const TenantConfig &config, const CostParams &costs,
            std::uint64_t run_seed, std::uint32_t index,
-           double rate_per_cycle)
+           double rate_per_cycle, TfmRuntime *shared = nullptr)
         : cfg(config)
     {
         SeedChain seeds(run_seed + 0x7365727665ull * (index + 1));
@@ -52,15 +57,22 @@ struct Scheduler::Tenant
                                 tenantWorkloadName(cfg.workload)
                           : cfg.name;
 
-        BackendConfig bc;
-        bc.kind = cfg.system;
-        bc.farHeapBytes = cfg.farHeapBytes;
-        bc.localMemBytes = cfg.system == SystemKind::Local
-                               ? cfg.farHeapBytes
-                               : cfg.localMemBytes;
-        bc.objectSizeBytes = cfg.objectSizeBytes;
-        bc.obsLabel = report.name;
-        backend = makeBackend(bc, costs);
+        if (shared != nullptr) {
+            // Concurrent mode: a view over the one runtime every
+            // worker thread binds into; sizing was aggregated by the
+            // Scheduler ctor.
+            backend = makeSharedBackend(*shared);
+        } else {
+            BackendConfig bc;
+            bc.kind = cfg.system;
+            bc.farHeapBytes = cfg.farHeapBytes;
+            bc.localMemBytes = cfg.system == SystemKind::Local
+                                   ? cfg.farHeapBytes
+                                   : cfg.localMemBytes;
+            bc.objectSizeBytes = cfg.objectSizeBytes;
+            bc.obsLabel = report.name;
+            backend = makeBackend(bc, costs);
+        }
 
         const std::uint64_t workload_seed = seeds.next();
         switch (cfg.workload) {
@@ -164,11 +176,44 @@ Scheduler::Scheduler(const ServeConfig &config, const CostParams &costs)
     if (obs_)
         obsStream_ = obs_->registerStream("serve");
 
+    if (cfg.concurrent) {
+        // One runtime, sized for the union of the tenants. Uniform
+        // object size because one frame cache serves them all.
+        std::uint64_t far_total = 0;
+        std::uint64_t local_total = 0;
+        for (const TenantConfig &t : cfg.tenants) {
+            TFM_ASSERT(t.system == SystemKind::TrackFm,
+                       "concurrent serving shares one TrackFM "
+                       "runtime; every tenant must be TrackFm");
+            TFM_ASSERT(t.objectSizeBytes ==
+                           cfg.tenants.front().objectSizeBytes,
+                       "concurrent serving needs a uniform tenant "
+                       "object size (one shared frame cache)");
+            far_total += t.farHeapBytes;
+            local_total += t.localMemBytes;
+        }
+        RuntimeConfig rc;
+        rc.farHeapBytes = far_total + far_total / 4; // allocator slack
+        rc.localMemBytes = local_total;
+        rc.objectSizeBytes = cfg.tenants.front().objectSizeBytes;
+        rc.prefetchEnabled = false; // forced off when concurrent
+        rc.concurrent = true;
+        rc.cacheShards = cfg.cacheShards;
+        if (rc.cacheShards == 0) {
+            rc.cacheShards = 1;
+            while (rc.cacheShards < 4 * cfg.workers)
+                rc.cacheShards <<= 1;
+        }
+        rc.obsLabel = "serve-shared";
+        shared_ = std::make_unique<TfmRuntime>(rc, costs_);
+    }
+
     for (std::uint32_t i = 0; i < cfg.tenants.size(); i++) {
         const double rate = cfg.arrivals.ratePerCycle *
                             cfg.tenants[i].share / share_sum;
         tenants_.push_back(std::make_unique<Tenant>(
-            cfg.tenants[i], costs_, cfg.seed, i, rate));
+            cfg.tenants[i], costs_, cfg.seed, i, rate,
+            shared_.get()));
     }
 }
 
@@ -196,9 +241,12 @@ Scheduler::run()
 {
     TFM_ASSERT(!ran, "Scheduler::run is single-shot");
     ran = true;
+    if (cfg.concurrent)
+        return runConcurrent();
 
     ServeReport out;
     out.aggregate.name = "all";
+    out.workers.resize(cfg.workers);
     for (auto &t : tenants_)
         t->startArrivals(cfg.arrivals);
 
@@ -305,6 +353,11 @@ Scheduler::run()
                                           : r.arrivalCycle;
         const std::uint64_t service = serveOne(*victim, r.key);
         worker_free[w] = start + service;
+        WorkerReport &wr = out.workers[w];
+        wr.completions++;
+        wr.busyCycles += service;
+        if (worker_free[w] > wr.endCycle)
+            wr.endCycle = worker_free[w];
         record_completion(*victim, r, start, service);
     }
 
@@ -315,6 +368,213 @@ Scheduler::run()
     }
     // Close the epoch series at the drain point.
     epochSample(out.endCycle);
+    return out;
+}
+
+ServeReport
+Scheduler::runConcurrent()
+{
+    TFM_ASSERT(shared_ != nullptr,
+               "concurrent run without a shared runtime");
+
+    ServeReport out;
+    out.aggregate.name = "all";
+    out.workers.resize(cfg.workers);
+    for (auto &t : tenants_)
+        t->startArrivals(cfg.arrivals);
+
+    // Pre-generate the arrival schedule with the deterministic loop's
+    // sampling order (earliest nextArrival, first tenant wins ties,
+    // client drawn before key), so the offered load is identical for
+    // every worker count and independent of thread interleaving.
+    struct Item
+    {
+        std::uint64_t arrival = 0;
+        std::uint32_t tenant = 0;
+        std::uint64_t key = 0;
+    };
+    std::vector<Item> schedule;
+    schedule.reserve(cfg.totalRequests);
+    while (schedule.size() < cfg.totalRequests) {
+        std::uint32_t who = 0;
+        std::uint64_t cyc = std::numeric_limits<std::uint64_t>::max();
+        for (std::uint32_t i = 0; i < tenants_.size(); i++) {
+            if (tenants_[i]->nextArrival < cyc) {
+                cyc = tenants_[i]->nextArrival;
+                who = i;
+            }
+        }
+        Tenant &t = *tenants_[who];
+        t.arrivals->nextClient(); // keep the per-tenant RNG streams in
+                                  // the deterministic mode's order
+        Item it;
+        it.arrival = cyc;
+        it.tenant = who;
+        it.key = t.keySampler->next();
+        schedule.push_back(it);
+        t.nextArrival = cyc + t.arrivals->nextGapCycles();
+        t.report.arrivals++;
+        out.aggregate.arrivals++;
+        out.lastArrivalCycle = cyc;
+        generated_++;
+    }
+
+    // Worker clocks start at the shared runtime's post-setup cycle;
+    // every arrival/metric below is relative to that base. Queue-depth
+    // accounting needs a serialized timeline, so the concurrent mode
+    // leaves the depth histograms empty (DESIGN.md §4k).
+    const std::uint64_t base = shared_->runtime().clock().now();
+    std::vector<TfmRuntime::Worker *> tws;
+    for (std::uint32_t w = 0; w < cfg.workers; w++)
+        tws.push_back(shared_->registerWorker());
+
+    std::vector<std::vector<TenantReport>> local(
+        cfg.workers, std::vector<TenantReport>(tenants_.size()));
+    std::atomic<std::uint64_t> cursor{0};
+
+    // Wall-clock thread speed must not decide who serves what: without
+    // coordination the first thread up drains the whole schedule while
+    // its siblings are still spawning, and a wall-fast worker races
+    // ahead in simulated time, inflating queueing delay. A start
+    // barrier plus simulated-time pacing keeps every worker within a
+    // bounded window of the slowest, approximating the deterministic
+    // loop's earliest-free-worker dispatch.
+    std::atomic<std::uint32_t> started{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> published(
+        new std::atomic<std::uint64_t>[cfg.workers]);
+    for (std::uint32_t w = 0; w < cfg.workers; w++)
+        published[w].store(base, std::memory_order_relaxed);
+    const std::uint64_t mean_gap =
+        generated_ ? out.lastArrivalCycle / generated_ + 1 : 1;
+    const std::uint64_t pace = std::max<std::uint64_t>(
+        cfg.sloCycles, 8ull * mean_gap * cfg.workers);
+
+    const auto body = [&](std::uint32_t w) {
+        shared_->bindWorker(tws[w]);
+        CycleClock &clk = tws[w]->rt->clock;
+        WorkerReport &wr = out.workers[w];
+        started.fetch_add(1, std::memory_order_acq_rel);
+        while (started.load(std::memory_order_acquire) < cfg.workers)
+            std::this_thread::yield();
+        for (;;) {
+            if (cursor.load(std::memory_order_relaxed) >=
+                schedule.size())
+                break;
+            published[w].store(clk.now(), std::memory_order_release);
+            std::uint64_t slowest = clk.now();
+            for (std::uint32_t v = 0; v < cfg.workers; v++) {
+                const std::uint64_t c =
+                    published[v].load(std::memory_order_acquire);
+                if (c < slowest)
+                    slowest = c;
+            }
+            if (clk.now() > slowest + pace) {
+                std::this_thread::yield();
+                continue;
+            }
+            const std::uint64_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= schedule.size())
+                break;
+            const Item &it = schedule[i];
+            const std::uint64_t due = base + it.arrival;
+            clk.advanceTo(due); // idle until the request is due
+            const std::uint64_t start = clk.now();
+            const std::uint64_t service =
+                tenants_[it.tenant]->serve(it.key);
+            const std::uint64_t sojourn = clk.now() - due;
+            TenantReport &rep = local[w][it.tenant];
+            rep.completions++;
+            rep.queueDelay.record(start - due);
+            rep.serviceTime.record(service);
+            rep.sojourn.record(sojourn);
+            if (cfg.sloCycles && sojourn > cfg.sloCycles)
+                rep.sloViolations++;
+            wr.completions++;
+            wr.busyCycles += service;
+        }
+        // A finished worker must stop gating the pace window.
+        published[w].store(std::numeric_limits<std::uint64_t>::max(),
+                           std::memory_order_release);
+        wr.endCycle = clk.now() > base ? clk.now() - base : 0;
+        shared_->unbindWorker();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(cfg.workers);
+    for (std::uint32_t w = 0; w < cfg.workers; w++)
+        pool.emplace_back(body, w);
+    for (std::thread &th : pool)
+        th.join();
+
+    // Dirty objects parked in worker buffers go home before teardown.
+    shared_->runtime().drainWorkerWritebacks();
+
+    for (std::uint32_t w = 0; w < cfg.workers; w++) {
+        for (std::size_t t = 0; t < tenants_.size(); t++) {
+            TenantReport &src = local[w][t];
+            TenantReport &dst = tenants_[t]->report;
+            dst.completions += src.completions;
+            dst.sloViolations += src.sloViolations;
+            dst.queueDelay.merge(src.queueDelay);
+            dst.serviceTime.merge(src.serviceTime);
+            dst.sojourn.merge(src.sojourn);
+        }
+        WorkerReport &wr = out.workers[w];
+        wr.guardFast = tws[w]->gstats.fastTotal();
+        wr.guardSlow = tws[w]->gstats.slowTotal();
+        if (wr.endCycle > out.endCycle)
+            out.endCycle = wr.endCycle;
+        completed_ += wr.completions;
+    }
+    for (auto &t : tenants_) {
+        TenantReport &rep = t->report;
+        out.aggregate.completions += rep.completions;
+        out.aggregate.sloViolations += rep.sloViolations;
+        out.aggregate.queueDelay.merge(rep.queueDelay);
+        out.aggregate.serviceTime.merge(rep.serviceTime);
+        out.aggregate.sojourn.merge(rep.sojourn);
+        out.tenants.push_back(rep);
+    }
+    TFM_ASSERT(completed_ == generated_,
+               "concurrent serving lost requests");
+
+    if (obs_) {
+        // Two bracketing samples keep the serve.* series well-formed
+        // (cumulative counters, monotone per track) without the
+        // serialized timeline the epoch sampler wants.
+        obs_->counterSample(obsStream_, 0,
+                            {{"serve.qdepth", 0},
+                             {"serve.generated", 0},
+                             {"serve.completed", 0}});
+        obs_->counterSample(obsStream_, out.endCycle,
+                            {{"serve.qdepth", 0},
+                             {"serve.generated", generated_},
+                             {"serve.completed", completed_}});
+        // One final sample per worker thread: tfm-stat folds these
+        // into its per-worker breakdown table.
+        // The sink keeps name pointers (trace_event.hh: "must be
+        // string literals or otherwise outlive the sink"), and the
+        // bench-level sink writes the trace from a static destructor
+        // — so the serve.w<i>.* names are interned in a deliberately
+        // leaked pool that no destruction order can invalidate.
+        const auto interned = [](std::uint32_t w, const char *metric) {
+            static auto *pool = new std::set<std::string>();
+            return pool
+                ->insert("serve.w" + std::to_string(w) + "." + metric)
+                .first->c_str();
+        };
+        for (std::uint32_t w = 0; w < cfg.workers; w++) {
+            const WorkerReport &wr = out.workers[w];
+            obs_->counterSample(
+                obsStream_, out.endCycle,
+                {{interned(w, "completions"), wr.completions},
+                 {interned(w, "busy_cycles"), wr.busyCycles},
+                 {interned(w, "end_cycle"), wr.endCycle},
+                 {interned(w, "guard_fast"), wr.guardFast},
+                 {interned(w, "guard_slow"), wr.guardSlow}});
+        }
+    }
     return out;
 }
 
@@ -337,6 +597,15 @@ ServeReport::exportStats(StatSet &set) const
     set.add("serve.last_arrival_cycle", lastArrivalCycle);
     for (const TenantReport &r : tenants)
         one(r, "serve." + r.name + ".");
+    for (std::size_t w = 0; w < workers.size(); w++) {
+        const std::string prefix =
+            "serve.w" + std::to_string(w) + ".";
+        set.add(prefix + "completions", workers[w].completions);
+        set.add(prefix + "busy_cycles", workers[w].busyCycles);
+        set.add(prefix + "end_cycle", workers[w].endCycle);
+        set.add(prefix + "guard_fast", workers[w].guardFast);
+        set.add(prefix + "guard_slow", workers[w].guardSlow);
+    }
 }
 
 double

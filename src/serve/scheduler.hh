@@ -82,6 +82,15 @@ struct ServeConfig
     /// Observability sink for serve.* epoch counters; null falls back
     /// to the process-wide default (the bench --trace flag).
     Observability *obs = nullptr;
+    /// Run the workers as real std::threads sharing one TrackFM
+    /// runtime (DESIGN.md §4k) instead of simulated cores on one
+    /// timeline. Requires every tenant be SystemKind::TrackFm with a
+    /// uniform objectSizeBytes; the default (false) keeps the
+    /// deterministic single-thread event loop record/replay relies on.
+    bool concurrent = false;
+    /// Frame-cache shards for the shared concurrent runtime; 0 picks
+    /// the smallest power of two >= 4 * workers.
+    std::uint32_t cacheShards = 0;
 };
 
 /** Per-tenant (and aggregate) serving metrics. */
@@ -101,11 +110,27 @@ struct TenantReport
     std::uint64_t goodput() const { return completions - sloViolations; }
 };
 
+/**
+ * Per-worker serving counters. Both modes fill completions/busyCycles/
+ * endCycle (the deterministic loop per simulated core, the concurrent
+ * run per thread); guard fast/slow attribution exists only in
+ * concurrent mode, where each worker owns a private GuardStats.
+ */
+struct WorkerReport
+{
+    std::uint64_t completions = 0;
+    std::uint64_t busyCycles = 0; ///< sum of service cycles executed
+    std::uint64_t endCycle = 0;   ///< last completion on this worker
+    std::uint64_t guardFast = 0;  ///< guard fast-path hits (concurrent)
+    std::uint64_t guardSlow = 0;  ///< guard slow paths (concurrent)
+};
+
 /** Result of one serving run. */
 struct ServeReport
 {
     std::vector<TenantReport> tenants;
     TenantReport aggregate;
+    std::vector<WorkerReport> workers;
     /// Completion cycle of the last request (the drain point).
     std::uint64_t endCycle = 0;
     std::uint64_t lastArrivalCycle = 0;
@@ -156,9 +181,14 @@ class Scheduler
     std::uint64_t serveOne(Tenant &tenant, std::uint64_t key);
     /** Epoch-gated serve.* counter sample at simulated time @p now. */
     void epochSample(std::uint64_t now);
+    /** Concurrent-mode run body: real threads, shared runtime. */
+    ServeReport runConcurrent();
 
     ServeConfig cfg;
     CostParams costs_;
+    /// Concurrent mode only: the one TrackFM runtime every tenant
+    /// backend views and every worker thread binds into.
+    std::unique_ptr<TfmRuntime> shared_;
     std::vector<std::unique_ptr<Tenant>> tenants_;
     Observability *obs_ = nullptr;
     std::uint32_t obsStream_ = 0;

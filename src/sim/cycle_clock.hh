@@ -42,6 +42,17 @@ class CycleClock
     /** Reset to time zero (between bench configurations). */
     void reset() { _now = 0; }
 
+    /**
+     * Set the clock to an absolute time, possibly rewinding it. This is
+     * the device-clock time-sharing hook of the concurrent runtime
+     * (DESIGN.md §4k): worker threads own private clocks, and before a
+     * backend call the shared device clock is jumped to the calling
+     * worker's time (the NetworkModel's busy tracking is max()-based,
+     * so a rewound clock can never un-reserve link time). Never used on
+     * an application clock, which stays monotone.
+     */
+    void jumpTo(std::uint64_t when) { _now = when; }
+
     /** Convert a cycle count to seconds at the given core frequency. */
     static double
     toSeconds(std::uint64_t cycles, double ghz)

@@ -40,6 +40,29 @@ struct GuardStats
     std::uint64_t revalidationHits = 0;   ///< epoch unchanged; reuse host ptr
     std::uint64_t revalidationMisses = 0; ///< evacuation since arming; re-guard
 
+    /** Element-wise sum (merging per-worker counter sets on report). */
+    GuardStats &
+    operator+=(const GuardStats &other)
+    {
+        fastReads += other.fastReads;
+        fastWrites += other.fastWrites;
+        cacheHitReads += other.cacheHitReads;
+        cacheHitWrites += other.cacheHitWrites;
+        slowLocalReads += other.slowLocalReads;
+        slowLocalWrites += other.slowLocalWrites;
+        slowRemoteReads += other.slowRemoteReads;
+        slowRemoteWrites += other.slowRemoteWrites;
+        custodyRejects += other.custodyRejects;
+        boundaryChecks += other.boundaryChecks;
+        localityGuards += other.localityGuards;
+        localityRemotes += other.localityRemotes;
+        prefetchCalls += other.prefetchCalls;
+        revalidations += other.revalidations;
+        revalidationHits += other.revalidationHits;
+        revalidationMisses += other.revalidationMisses;
+        return *this;
+    }
+
     std::uint64_t
     fastTotal() const
     {

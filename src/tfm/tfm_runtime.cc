@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/obs.hh"
+#include "sim/logging.hh"
 
 namespace tfm
 {
@@ -130,9 +131,130 @@ TfmRuntime::guardWrite(std::uint64_t addr)
     return data;
 }
 
+thread_local TfmRuntime::Worker *TfmRuntime::tlsWorker_ = nullptr;
+
+TfmRuntime::Worker *
+TfmRuntime::registerWorker()
+{
+    auto w = std::make_unique<Worker>();
+    w->owner = this;
+    w->index = static_cast<std::uint32_t>(workers_.size());
+    w->rt = rt.registerWorker();
+    workers_.push_back(std::move(w));
+    return workers_.back().get();
+}
+
+void
+TfmRuntime::bindWorker(Worker *w)
+{
+    TFM_ASSERT(w && w->owner == this, "binding a foreign tfm worker");
+    tlsWorker_ = w;
+    rt.bindWorker(w->rt);
+}
+
+void
+TfmRuntime::unbindWorker()
+{
+    tlsWorker_ = nullptr;
+    rt.unbindWorker();
+}
+
+TfmRuntime::Worker *
+TfmRuntime::boundWorker() const
+{
+    Worker *w = tlsWorker_;
+    return (w && w->owner == this) ? w : nullptr;
+}
+
+GuardStats
+TfmRuntime::mergedGuardStats() const
+{
+    GuardStats total = gstats;
+    for (const auto &w : workers_)
+        total += w->gstats;
+    return total;
+}
+
+void
+TfmRuntime::readGuardedMt(Worker &w, std::uint64_t addr, void *dst,
+                          std::size_t len)
+{
+    auto *out = static_cast<std::byte *>(dst);
+    const auto &table = rt.stateTable();
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = addr + done;
+        const std::uint64_t offset = tfmOffsetOf(at);
+        const std::uint64_t in_obj = table.offsetInObject(offset);
+        const std::size_t piece = std::min<std::size_t>(
+            len - done, table.objectSize() - in_obj);
+        if (rt.tryCachedReadMt(*w.rt, w.cache, offset, out + done,
+                               piece)) {
+            w.rt->clock.advance(costs().guardCacheHitReadCycles);
+            w.gstats.fastReads++;
+            w.gstats.cacheHitReads++;
+        } else if (rt.tryFastReadMt(*w.rt, offset, out + done, piece,
+                                    &w.cache)) {
+            w.rt->clock.advance(costs().fastPathReadCycles);
+            w.gstats.fastReads++;
+        } else {
+            w.rt->clock.advance(costs().slowPathReadCycles);
+            FarMemRuntime::Localized outcome;
+            rt.localizeReadMt(*w.rt, offset, out + done, piece, &w.cache,
+                              &outcome);
+            if (outcome == FarMemRuntime::Localized::RemoteFetch)
+                w.gstats.slowRemoteReads++;
+            else
+                w.gstats.slowLocalReads++;
+        }
+        done += piece;
+    }
+}
+
+void
+TfmRuntime::writeGuardedMt(Worker &w, std::uint64_t addr, const void *src,
+                           std::size_t len)
+{
+    const auto *in = static_cast<const std::byte *>(src);
+    const auto &table = rt.stateTable();
+    std::size_t done = 0;
+    while (done < len) {
+        const std::uint64_t at = addr + done;
+        const std::uint64_t offset = tfmOffsetOf(at);
+        const std::uint64_t in_obj = table.offsetInObject(offset);
+        const std::size_t piece = std::min<std::size_t>(
+            len - done, table.objectSize() - in_obj);
+        bool was_present = false;
+        FarMemRuntime::Localized outcome;
+        rt.localizeWriteMt(*w.rt, offset, in + done, piece, &was_present,
+                           &outcome);
+        if (was_present) {
+            w.rt->clock.advance(costs().fastPathWriteCycles);
+            w.gstats.fastWrites++;
+        } else {
+            w.rt->clock.advance(costs().slowPathWriteCycles);
+            if (outcome == FarMemRuntime::Localized::RemoteFetch)
+                w.gstats.slowRemoteWrites++;
+            else
+                w.gstats.slowLocalWrites++;
+        }
+        done += piece;
+    }
+}
+
 void
 TfmRuntime::readGuarded(std::uint64_t addr, void *dst, std::size_t len)
 {
+    if (Worker *w = boundWorker()) {
+        if (!tfmIsTagged(addr)) {
+            w->rt->clock.advance(costs().custodyRejectCycles);
+            w->gstats.custodyRejects++;
+            std::memcpy(dst, reinterpret_cast<const void *>(addr), len);
+            return;
+        }
+        readGuardedMt(*w, addr, dst, len);
+        return;
+    }
     if (!tfmIsTagged(addr)) {
         rt.clock().advance(costs().custodyRejectCycles);
         gstats.custodyRejects++;
@@ -157,6 +279,16 @@ void
 TfmRuntime::writeGuarded(std::uint64_t addr, const void *src,
                          std::size_t len)
 {
+    if (Worker *w = boundWorker()) {
+        if (!tfmIsTagged(addr)) {
+            w->rt->clock.advance(costs().custodyRejectCycles);
+            w->gstats.custodyRejects++;
+            std::memcpy(reinterpret_cast<void *>(addr), src, len);
+            return;
+        }
+        writeGuardedMt(*w, addr, src, len);
+        return;
+    }
     if (!tfmIsTagged(addr)) {
         rt.clock().advance(costs().custodyRejectCycles);
         gstats.custodyRejects++;
@@ -231,7 +363,7 @@ TfmRuntime::zeroFill(std::uint64_t addr, std::size_t bytes)
 void
 TfmRuntime::exportStats(StatSet &set) const
 {
-    gstats.exportStats(set);
+    mergedGuardStats().exportStats(set);
     rt.exportStats(set);
 }
 

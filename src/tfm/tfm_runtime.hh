@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "guard_stats.hh"
 #include "guard_trace.hh"
@@ -174,6 +176,43 @@ class TfmRuntime
     /** Guarded multi-byte write; one guard per object touched. */
     void writeGuarded(std::uint64_t addr, const void *src, std::size_t len);
 
+    /** @name Concurrent guard layer (DESIGN.md §4k)
+     *
+     * One Worker per serving thread, pairing the FarMemRuntime worker
+     * context with a private GuardStats set and a private last-object
+     * inline cache. A thread that has bound a Worker routes
+     * readGuarded/writeGuarded through the MT paths: reads are
+     * lock-free until they miss (inline cache, then one state-table
+     * snapshot inside an epoch section), writes and misses take the
+     * object's frame-cache shard lock. MT guards copy through the
+     * runtime instead of returning host pointers, so no reference can
+     * outlive its epoch section; guardRead/guardWrite (pointer-
+     * returning) and the loop-chunk calls stay single-thread-only.
+     * @{ */
+    struct Worker
+    {
+        FarMemRuntime::WorkerContext *rt = nullptr;
+        GuardStats gstats;           ///< single-writer, merged on report
+        FarMemRuntime::MtFill cache; ///< private last-object inline cache
+        std::uint32_t index = 0;
+        TfmRuntime *owner = nullptr;
+    };
+
+    /** Create a worker (before starting threads; not thread-safe). */
+    Worker *registerWorker();
+    /** Bind @p w (and its runtime context) to the calling thread. */
+    void bindWorker(Worker *w);
+    void unbindWorker();
+    Worker *boundWorker() const;
+    const std::vector<std::unique_ptr<Worker>> &tfmWorkers() const
+    {
+        return workers_;
+    }
+
+    /** Main-thread guard counters plus every worker's. */
+    GuardStats mergedGuardStats() const;
+    /** @} */
+
     /** Typed guarded load. */
     template <typename T>
     T
@@ -318,10 +357,20 @@ class TfmRuntime
     void cacheFill(std::uint64_t obj_id, std::uint64_t offset,
                    std::byte *ptr);
 
+    /** MT guard bodies (the bound-worker route of read/writeGuarded).
+     *  Skip the trace ring and observability: those are single-writer
+     *  structures, and the MT data plane keeps them main-thread-only. */
+    void readGuardedMt(Worker &w, std::uint64_t addr, void *dst,
+                       std::size_t len);
+    void writeGuardedMt(Worker &w, std::uint64_t addr, const void *src,
+                        std::size_t len);
+
     FarMemRuntime rt;
     GuardStats gstats;
     GuardTrace gtrace;
     LastObjectCache lastObjCache;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    static thread_local Worker *tlsWorker_;
 };
 
 } // namespace tfm

@@ -58,6 +58,20 @@ struct BackendConfig
 std::unique_ptr<MemBackend> makeBackend(const BackendConfig &config,
                                         const CostParams &costs);
 
+class TfmRuntime;
+
+/**
+ * A backend view over an externally-owned TrackFM runtime, for serving
+ * tenants that share one far-memory runtime across worker threads
+ * (DESIGN.md §4k). Metered accesses route through the guard layer of
+ * @p runtime, which dispatches per-thread (bound workers use the MT
+ * guard paths); sequential streams always use the naive one-guard-per-
+ * element transformation, since loop chunking pins frames and is
+ * single-thread-only. The caller keeps ownership of @p runtime and is
+ * responsible for its lifetime outliving every view.
+ */
+std::unique_ptr<MemBackend> makeSharedBackend(TfmRuntime &runtime);
+
 /** Human-readable system name ("TrackFM", "Fastswap", ...). */
 const char *systemName(SystemKind kind);
 

@@ -749,6 +749,153 @@ class AifmBackend : public MemBackend
     mutable AifmRuntime rt;
 };
 
+/**
+ * TrackFM backend view over a shared, externally-owned runtime: the
+ * multi-tenant serving shape, where N tenants' accesses contend in one
+ * frame cache and on one remote link. Guard dispatch is per-thread (a
+ * bound TfmRuntime::Worker takes the MT paths), so one view can be
+ * driven from any worker. Streams are always the naive guarded kind:
+ * chunking pins frames across calls, which is single-thread-only.
+ */
+class SharedTfmBackend : public MemBackend
+{
+  public:
+    explicit SharedTfmBackend(TfmRuntime &runtime) : rt(runtime) {}
+
+    std::string name() const override { return "TrackFM-shared"; }
+
+    std::uint64_t alloc(std::uint64_t bytes) override
+    {
+        return rt.tfmMalloc(bytes);
+    }
+
+    void dealloc(std::uint64_t addr) override { rt.tfmFree(addr); }
+
+    void
+    read(std::uint64_t addr, void *dst, std::size_t len,
+         AccessHint hint) override
+    {
+        chargeBase(hint);
+        rt.readGuarded(addr, dst, len);
+    }
+
+    void
+    write(std::uint64_t addr, const void *src, std::size_t len,
+          AccessHint hint) override
+    {
+        chargeBase(hint);
+        rt.writeGuarded(addr, src, len);
+    }
+
+    class SharedStream : public SeqStream
+    {
+      public:
+        SharedStream(TfmRuntime &runtime, std::uint64_t addr,
+                     std::uint32_t elem_size)
+            : rt(runtime), cur(addr), elemSize(elem_size)
+        {}
+
+        void
+        read(void *dst) override
+        {
+            rt.clock().advance(rt.costs().guardedSeqAccessCycles);
+            rt.readGuarded(cur, dst, elemSize);
+            cur += elemSize;
+        }
+
+        void
+        write(const void *src) override
+        {
+            rt.clock().advance(rt.costs().guardedSeqAccessCycles);
+            rt.writeGuarded(cur, src, elemSize);
+            cur += elemSize;
+        }
+
+      private:
+        TfmRuntime &rt;
+        std::uint64_t cur;
+        std::uint32_t elemSize;
+    };
+
+    std::unique_ptr<SeqStream>
+    stream(std::uint64_t addr, std::uint32_t elem_size, std::uint64_t,
+           StreamMode) override
+    {
+        return std::make_unique<SharedStream>(rt, addr, elem_size);
+    }
+
+    void compute(std::uint64_t c) override { rt.clock().advance(c); }
+
+    void
+    initWrite(std::uint64_t addr, const void *src, std::size_t len) override
+    {
+        rt.rawWrite(addr, src, len);
+    }
+
+    void
+    initRead(std::uint64_t addr, void *dst, std::size_t len) override
+    {
+        rt.rawRead(addr, dst, len);
+    }
+
+    void dropCaches() override { rt.runtime().evacuateAll(); }
+
+    std::uint64_t cycles() const override { return rt.runtime().clock().now(); }
+
+    std::uint64_t
+    farEvents() const override
+    {
+        const GuardStats g = rt.mergedGuardStats();
+        return g.slowRemoteReads + g.slowRemoteWrites + g.localityRemotes;
+    }
+
+    std::uint64_t
+    guardEvents() const override
+    {
+        return rt.mergedGuardStats().guardTotal();
+    }
+
+    std::uint64_t
+    bytesFetched() const override
+    {
+        return backendNetStats().bytesFetched;
+    }
+
+    std::uint64_t
+    bytesTransferred() const override
+    {
+        return backendNetStats().totalBytes();
+    }
+
+    StatSet
+    stats() const override
+    {
+        StatSet set;
+        rt.exportStats(set);
+        return set;
+    }
+
+  private:
+    NetStats
+    backendNetStats() const
+    {
+        return const_cast<SharedTfmBackend *>(this)
+            ->rt.runtime()
+            .backend()
+            .netStats();
+    }
+
+    void
+    chargeBase(AccessHint hint)
+    {
+        rt.clock().advance(hint == AccessHint::Sequential
+                               ? rt.costs().guardedSeqAccessCycles
+                               : rt.costs().randAccessCycles);
+    }
+
+    TfmRuntime &rt;
+};
+
 } // anonymous namespace
 
 std::unique_ptr<MemBackend>
@@ -765,6 +912,12 @@ makeBackend(const BackendConfig &config, const CostParams &costs)
         return std::make_unique<AifmBackend>(config, costs);
     }
     TFM_PANIC("unknown backend kind");
+}
+
+std::unique_ptr<MemBackend>
+makeSharedBackend(TfmRuntime &runtime)
+{
+    return std::make_unique<SharedTfmBackend>(runtime);
 }
 
 const char *

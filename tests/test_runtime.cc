@@ -459,24 +459,26 @@ TEST_F(RuntimeTest, BatchedPrefetchCoalescesMessages)
         cfg.prefetchDepth = 16;
         cfg.batchingEnabled = batching;
         cfg.fetchBatchMax = 16;
-        FarMemRuntime rt(cfg, CostParams{});
-        const std::uint64_t off = rt.allocate(128 * 4096);
+        // Heap-allocated: the runtime is pinned in place (mutexes,
+        // atomics) and cannot be returned by value.
+        auto rt = std::make_unique<FarMemRuntime>(cfg, CostParams{});
+        const std::uint64_t off = rt->allocate(128 * 4096);
         for (int i = 0; i < 128; i++)
-            rt.localize(off + i * 4096, false);
+            rt->localize(off + i * 4096, false);
         return rt;
     };
-    FarMemRuntime unbatched = sweep(false);
-    FarMemRuntime batched = sweep(true);
+    auto unbatched = sweep(false);
+    auto batched = sweep(true);
 
     // Same bytes on the wire (every object fetched exactly once)...
-    EXPECT_EQ(unbatched.net().stats().bytesFetched,
-              batched.net().stats().bytesFetched);
+    EXPECT_EQ(unbatched->net().stats().bytesFetched,
+              batched->net().stats().bytesFetched);
     // ...but the batched sweep coalesces each prefetch window into one
     // message instead of one message per object.
-    EXPECT_GT(batched.stats().prefetchBatches, 0u);
-    EXPECT_GT(batched.net().stats().fetchBatches, 0u);
-    EXPECT_LE(batched.net().stats().fetchMessages * 4,
-              unbatched.net().stats().fetchMessages);
+    EXPECT_GT(batched->stats().prefetchBatches, 0u);
+    EXPECT_GT(batched->net().stats().fetchBatches, 0u);
+    EXPECT_LE(batched->net().stats().fetchMessages * 4,
+              unbatched->net().stats().fetchMessages);
 }
 
 TEST_F(RuntimeTest, LocalizeJoinsInflightBatchedFetch)

@@ -195,6 +195,42 @@ cmp "${SERVE_DIR}/rec.out" "${SERVE_DIR}/rep.out"
     --replay=examples/serving_regression.tfr > /dev/null
 echo "check_build: serving SLO gate OK"
 
+# Worker-scaling gate (DESIGN.md §4k): real serving threads over the
+# shared concurrent runtime must actually scale. At twice the 1-worker
+# capacity, 4 workers must deliver at least 2x the goodput of 1 worker
+# (the PR that added the concurrent runtime measured >100x — one
+# worker has collapsed at that load — so 2x is the don't-regress
+# floor), and the collapse knee must move to a strictly higher offered
+# load. The record/replay gates above stay pinned to the deterministic
+# single-thread mode; --concurrent composes with neither --record nor
+# --replay by construction.
+"${SERVE}" --concurrent --workers=1,2,4 --cal-load=2 --requests=1500 \
+    --loads=0.5,1.5,3.0,6.0 > "${SERVE_DIR}/scaling.out"
+if command -v python3 > /dev/null; then
+    python3 - "${SERVE_DIR}/scaling.out" <<'EOF'
+import json, math, sys
+for line in open(sys.argv[1]):
+    if line.startswith("BENCH_JSON "):
+        d = json.loads(line[len("BENCH_JSON "):])
+        g1, g4 = d["goodput_cal_w1"], d["goodput_cal_w4"]
+        if g4 < 2.0 * g1:
+            sys.exit(f"worker scaling below 2x: w1={g1} w4={g4}")
+        # knee_load 0 means "not reached in this sweep": later than
+        # every swept load, which also satisfies "moved right".
+        k1 = d["knee_w1"] or math.inf
+        k4 = d["knee_w4"] or math.inf
+        if not k4 > k1:
+            sys.exit(f"collapse knee did not move right: "
+                     f"w1={k1} w4={k4}")
+        break
+else:
+    sys.exit("no BENCH_JSON line in bench_serving scaling output")
+EOF
+else
+    grep -q "scaling w4/w1" "${SERVE_DIR}/scaling.out"
+fi
+echo "check_build: worker-scaling gate OK"
+
 # Sanitizer pass: rebuild in a separate directory with
 # -fsanitize=${TFM_SANITIZE} (default address,undefined) and run the
 # tier-1 suite under it. TFM_SANITIZE=off skips the pass.
@@ -208,6 +244,24 @@ if [ "${TFM_SANITIZE}" != "off" ]; then
     echo "check_build: sanitizer (${TFM_SANITIZE}) suite OK"
 else
     echo "check_build: sanitizer pass skipped (TFM_SANITIZE=off)"
+fi
+
+# ThreadSanitizer pass: rebuild with -DTFM_TSAN=ON (thread does not
+# compose with address/undefined, hence its own tree) and run the
+# concurrent-runtime suite — the MT pointer-chase stress with eviction
+# churn — plus a concurrent serving smoke. TFM_TSAN=off skips.
+TFM_TSAN="${TFM_TSAN:-on}"
+if [ "${TFM_TSAN}" != "off" ]; then
+    TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-${BUILD_DIR}-tsan}"
+    cmake -B "${TSAN_BUILD_DIR}" -S . -DTFM_TSAN=ON
+    cmake --build "${TSAN_BUILD_DIR}" -j "$(nproc)" \
+        --target test_concurrency bench_serving
+    "${TSAN_BUILD_DIR}/tests/test_concurrency" > /dev/null
+    "${TSAN_BUILD_DIR}/bench/bench_serving" --concurrent --workers=4 \
+        --requests=400 --loads=0.5,2.0 > /dev/null
+    echo "check_build: thread-sanitizer concurrency suite OK"
+else
+    echo "check_build: thread-sanitizer pass skipped (TFM_TSAN=off)"
 fi
 
 echo "check_build: OK"

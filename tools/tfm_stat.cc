@@ -146,6 +146,63 @@ printServingTable(const std::map<std::string, Histogram> &serving)
     }
 }
 
+/**
+ * Per-worker serving breakdown ("serve.w<i>.<metric>", one final
+ * sample per worker thread of a concurrent serving run): completions,
+ * busy share, and guard fast/slow attribution per thread, so a load
+ * imbalance or one thread stuck on the slow path is obvious at a
+ * glance. Consumes the matching rows from the serving-counter map.
+ */
+void
+printWorkerTable(std::map<std::string, Histogram> &serving)
+{
+    struct Row
+    {
+        std::uint64_t completions = 0, busy = 0, end = 0;
+        std::uint64_t guardFast = 0, guardSlow = 0;
+    };
+    std::map<unsigned, Row> rows;
+    for (auto it = serving.begin(); it != serving.end();) {
+        const std::string &name = it->first;
+        std::size_t dot;
+        if (name.size() < 3 || name[0] != 'w' ||
+            (dot = name.find('.')) == std::string::npos ||
+            name.find_first_not_of("0123456789", 1) != dot) {
+            ++it;
+            continue;
+        }
+        const unsigned w = std::stoul(name.substr(1, dot - 1));
+        const std::string metric = name.substr(dot + 1);
+        const std::uint64_t value = it->second.max();
+        if (metric == "completions")
+            rows[w].completions = value;
+        else if (metric == "busy_cycles")
+            rows[w].busy = value;
+        else if (metric == "end_cycle")
+            rows[w].end = value;
+        else if (metric == "guard_fast")
+            rows[w].guardFast = value;
+        else if (metric == "guard_slow")
+            rows[w].guardSlow = value;
+        it = serving.erase(it);
+    }
+    if (rows.empty())
+        return;
+    std::printf("\n%-8s %12s %14s %6s %12s %12s\n", "worker",
+                "completions", "busy_cycles", "busy%", "guard_fast",
+                "guard_slow");
+    for (const auto &[w, r] : rows) {
+        std::printf("w%-7u %12llu %14llu %5.1f%% %12llu %12llu\n", w,
+                    static_cast<unsigned long long>(r.completions),
+                    static_cast<unsigned long long>(r.busy),
+                    r.end ? 100.0 * static_cast<double>(r.busy) /
+                                static_cast<double>(r.end)
+                          : 0.0,
+                    static_cast<unsigned long long>(r.guardFast),
+                    static_cast<unsigned long long>(r.guardSlow));
+    }
+}
+
 void
 printCounterTable(const std::map<std::string, Histogram> &counters)
 {
@@ -362,6 +419,7 @@ main(int argc, char **argv)
 
     printInstantTable(instants);
     printCounterTable(counters);
+    printWorkerTable(servingCounters);
     printServingTable(servingCounters);
     printInterpTable(interpCounters);
     printSafetyTable(safetyCounters);
