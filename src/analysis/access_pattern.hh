@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Interprocedural static access-pattern analysis for the hybrid
+ * guard/paging data plane (DESIGN.md §4l).
+ *
+ * For every allocation site (the k-th allocation call in the module,
+ * the same stable ordinal the PGO profile uses) this analysis derives:
+ *
+ *  - an affine-stride summary per enclosing loop, reusing the
+ *    loop_info / induction_variable analyses: the address expression
+ *    of each access reached by the site's pointers is linearized over
+ *    the basic IVs of the enclosing loop nest, yielding a constant
+ *    per-iteration byte stride per loop level (non-unit and negative
+ *    strides included) and a row/column-major witness for nested
+ *    loops;
+ *  - a pointer-chase score from heap-provenance-style derivation
+ *    chains: accesses whose address was itself loaded out of the
+ *    site's memory (depth >= 1 through Load) are linked-structure
+ *    traversals, the guard plane's home turf;
+ *  - an escape/aliasing summary with per-function call summaries (the
+ *    same shape as the guard-safety checker's interprocedural
+ *    fixpoint): pointer parameters carry the access evidence their
+ *    callees produce, returns propagate derivations back to callers,
+ *    and anything reaching an unknown callee or untracked memory is a
+ *    conservative escape.
+ *
+ * The per-site verdict {Dense, Sparse, Mixed, Unknown} plus the raw
+ * evidence feeds the PathArbiterPass, which routes Dense sites to the
+ * paged plane (bit-61 pointers resolved by the memory choke point)
+ * and Sparse/chase sites to the guard plane; Mixed/Unknown fall back
+ * to the PGO tie-break when a profile is supplied.
+ */
+
+#ifndef TRACKFM_ANALYSIS_ACCESS_PATTERN_HH
+#define TRACKFM_ANALYSIS_ACCESS_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace tfm
+{
+
+/** Static classification of one allocation site's access behaviour. */
+enum class AccessVerdict : std::uint8_t
+{
+    Dense,   ///< affine small-stride loop accesses dominate
+    Sparse,  ///< pointer chases / large strides / irregular dominate
+    Mixed,   ///< both kinds of evidence present in force
+    Unknown  ///< no classifiable accesses observed statically
+};
+
+/** Stable lowercase name for reports. */
+const char *accessVerdictName(AccessVerdict verdict);
+
+/** One affine access classified against its enclosing loop nest. */
+struct StrideEvidence
+{
+    std::string function; ///< function containing the access
+    int line = 0;         ///< 1-based source line of the mem op
+    int col = 0;
+    /// Per-iteration byte delta in the innermost enclosing loop
+    /// (0 = loop-invariant address, also dense-friendly).
+    std::int64_t strideBytes = 0;
+    /// Per-iteration byte delta of the next-outer loop level when the
+    /// address is affine there too (0 when absent or invariant).
+    std::int64_t outerStrideBytes = 0;
+    std::uint32_t elementBytes = 0; ///< access granularity
+    unsigned loopDepth = 1;         ///< nesting depth of the access
+    /// Innermost stride is the smallest of the nest (cache-friendly
+    /// iteration order); trivially true for single loops.
+    bool rowMajor = true;
+    bool isWrite = false;
+    /// Nonempty when the evidence was imported from a callee through
+    /// a call summary rather than observed in the caller itself.
+    std::string viaCallee;
+};
+
+/** One pointer-chase access (address loaded from site memory). */
+struct ChaseEvidence
+{
+    std::string function;
+    int line = 0;
+    int col = 0;
+    /// Number of Load hops between the allocation and the address
+    /// (1 = classic next-pointer chase; saturates at 8).
+    unsigned derivationDepth = 1;
+    std::string viaCallee; ///< as in StrideEvidence
+};
+
+/** Everything the analysis derived for one allocation site. */
+struct SiteAccessSummary
+{
+    std::uint32_t ordinal = 0; ///< stable module allocation ordinal
+    std::string function;      ///< function containing the allocation
+    std::string callee;        ///< allocation flavour (tfm_malloc, ...)
+    int line = 0;              ///< source position of the allocation
+    int col = 0;
+
+    std::vector<StrideEvidence> strides;
+    std::vector<ChaseEvidence> chases;
+    /// In-loop accesses whose address is not affine in any enclosing
+    /// IV and was not loaded from tracked memory.
+    unsigned irregularAccesses = 0;
+    /// Accesses outside any loop (unclassified; do not vote).
+    unsigned straightLineAccesses = 0;
+
+    bool escapes = false;      ///< left the tracked derivation web
+    std::string escapeReason;  ///< first reason observed
+    /// Some pointer value merged this site with a different site
+    /// (phi/select-style aliasing): per-site plane decisions would
+    /// disagree on the merged value.
+    bool aliasesOther = false;
+
+    /** Dense accesses: |stride| <= threshold (64B), stride 0 included. */
+    unsigned denseCount() const;
+    /** Sparse accesses: chases + large strides + irregular. */
+    unsigned sparseCount() const;
+    /** denseCount / (denseCount + sparseCount); 0 when unclassified. */
+    double denseFraction() const;
+    /** chases / (denseCount + sparseCount); 0 when unclassified. */
+    double chaseScore() const;
+
+    AccessVerdict verdict() const;
+};
+
+/**
+ * Run the analysis over a whole module. Allocation ordinals follow the
+ * same walk as the interpreter's profiler and the hot-alloc pruning
+ * pass, so PGO profiles and access summaries key identically.
+ */
+class AccessPatternAnalysis
+{
+  public:
+    /// Byte stride at or below which a loop access counts as dense
+    /// (one cache line: unit and small non-unit strides).
+    static constexpr std::int64_t denseStrideThresholdBytes = 64;
+
+    explicit AccessPatternAnalysis(const ir::Module &module);
+
+    const std::vector<SiteAccessSummary> &sites() const { return _sites; }
+    const SiteAccessSummary *findByOrdinal(std::uint32_t ordinal) const;
+
+    /**
+     * Machine-readable evidence report: an `access-report v1` header,
+     * one `site ...` line per allocation site, indented `stride` /
+     * `chase` evidence lines beneath it.
+     */
+    std::string report() const;
+
+  private:
+    std::vector<SiteAccessSummary> _sites;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_ANALYSIS_ACCESS_PATTERN_HH

@@ -57,6 +57,8 @@ safetyDiagKindName(SafetyDiagKind kind)
         return "reval-armer-unsound";
       case SafetyDiagKind::SsaDominance:
         return "ssa-dominance";
+      case SafetyDiagKind::MixedPlane:
+        return "mixed-plane";
     }
     return "unknown";
 }
@@ -132,7 +134,8 @@ isRuntimeIntrinsic(const std::string &callee)
            callee == "tfm_evacuate_all" ||
            callee == "tfm_runtime_init" || callee == "malloc" ||
            callee == "calloc" || callee == "realloc" ||
-           callee == "free";
+           callee == "free" || callee == "pg_malloc" ||
+           callee == "pg_calloc" || callee == "pg_free";
 }
 
 /** Intrinsics that provably never touch the far-memory runtime. */
@@ -471,6 +474,16 @@ struct FunctionChecker
             checkDeref(state, inst, inst.operand(1), true);
             checkEscape(inst, inst.operand(0), "stored to memory");
             break;
+          case Opcode::Guard:
+          case Opcode::ChunkAccess:
+            // Hybrid-emission legality: the guard's address operand
+            // must not merge both planes (the emitted plane choice
+            // cannot suit both custody domains).
+            checkMixedPlane(
+                inst,
+                inst.operand(inst.op() == Opcode::ChunkAccess ? 1 : 0),
+                "reaches a guard-plane translation");
+            break;
           case Opcode::Call:
             for (const Value *arg : inst.operands())
                 checkEscape(inst, arg,
@@ -491,10 +504,33 @@ struct FunctionChecker
             break;
           case Opcode::GuardReval:
             checkReval(state, inst);
+            if (inst.numOperands() >= 2) {
+                checkMixedPlane(inst, inst.operand(1),
+                                "reaches a guard-plane revalidation");
+            }
             break;
           default:
             break;
         }
+    }
+
+    /** Hybrid-emission legality (DESIGN.md §4l): no SSA value may mix
+     *  guard-plane and paged-plane provenance at a custody-sensitive
+     *  use. Dynamically each access still resolves correctly (the two
+     *  tag bits are disjoint), but the per-site emission decision —
+     *  guard vs. bare access — can only be right for one plane, so the
+     *  checker rejects the merge outright. */
+    bool
+    checkMixedPlane(const Instruction &inst, const Value *ptr,
+                    const std::string &how)
+    {
+        if (!ptr || provenance.of(ptr) != Provenance::MixedPlane)
+            return false;
+        report(SafetyDiagKind::MixedPlane, inst,
+               "pointer %" + ptr->name() +
+                   " merges guard-plane and paged-plane values and " +
+                   how);
+        return true;
     }
 
     void
@@ -502,6 +538,9 @@ struct FunctionChecker
                const Instruction &inst, const Value *ptr, bool is_store)
     {
         const char *what = is_store ? "store" : "load";
+        if (checkMixedPlane(inst, ptr,
+                            std::string("reaches this ") + what))
+            return;
         const Instruction *root = guardRootProducer(ptr);
         if (!root) {
             if (provenance.needsGuard(ptr)) {

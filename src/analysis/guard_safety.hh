@@ -49,6 +49,11 @@ enum class SafetyDiagKind : std::uint8_t
     /// An operand's definition does not dominate its use (malformed
     /// SSA produced by a transformation).
     SsaDominance,
+    /// Hybrid-emission legality (DESIGN.md §4l): a pointer value that
+    /// may carry both guard-plane (bit-60) and paged-plane (bit-61)
+    /// provenance reaches a memory access or guard — the per-plane
+    /// emission decision cannot be correct for both.
+    MixedPlane,
 };
 
 /** Stable kebab-case name for machine-readable output. */

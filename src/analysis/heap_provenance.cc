@@ -8,6 +8,16 @@ HeapProvenance::join(Provenance a, Provenance b)
 {
     if (a == b)
         return a;
+    // A value that may carry pointers from BOTH planes is the one
+    // merge the hybrid emission rules forbid: flag it explicitly so
+    // the safety checker can name it (MixedPlane diagnostic) instead
+    // of letting it wash out to Unknown.
+    if (a == Provenance::MixedPlane || b == Provenance::MixedPlane)
+        return Provenance::MixedPlane;
+    if ((a == Provenance::Paged && b == Provenance::Heap) ||
+        (a == Provenance::Heap && b == Provenance::Paged)) {
+        return Provenance::MixedPlane;
+    }
     return Provenance::Unknown;
 }
 
@@ -67,6 +77,9 @@ HeapProvenance::HeapProvenance(const ir::Function &function)
                         inst->callee == "tfm_calloc" ||
                         inst->callee == "tfm_realloc") {
                         update(inst.get(), Provenance::Heap);
+                    } else if (inst->callee == "pg_malloc" ||
+                               inst->callee == "pg_calloc") {
+                        update(inst.get(), Provenance::Paged);
                     } else if (inst->type() != ir::Type::Void) {
                         update(inst.get(), Provenance::Unknown);
                     }

@@ -21,12 +21,14 @@
 namespace tfm
 {
 
-/** Three-point provenance lattice. */
+/** Provenance lattice (extended for the hybrid data plane). */
 enum class Provenance : std::uint8_t
 {
-    NonHeap, ///< provably stack/global
-    Heap,    ///< provably heap (malloc-derived)
-    Unknown  ///< could be either (arguments, merged paths, int casts)
+    NonHeap,   ///< provably stack/global
+    Heap,      ///< provably guard-plane heap (tfm_malloc-derived)
+    Paged,     ///< provably paged-plane heap (pg_malloc-derived)
+    MixedPlane,///< joins both planes: illegal to dereference either way
+    Unknown    ///< could be anything (arguments, int casts)
 };
 
 /** Forward dataflow over one function. */
@@ -37,11 +39,14 @@ class HeapProvenance
 
     Provenance of(const ir::Value *value) const;
 
-    /** Must an access through @p ptr be guarded? */
+    /** Must an access through @p ptr be guarded? Paged pointers are
+     *  resolved by the memory choke point (page-table "hardware"), not
+     *  by guards, so they are as guard-free as stack pointers. */
     bool
     needsGuard(const ir::Value *ptr) const
     {
-        return of(ptr) != Provenance::NonHeap;
+        const Provenance p = of(ptr);
+        return p != Provenance::NonHeap && p != Provenance::Paged;
     }
 
   private:

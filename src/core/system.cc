@@ -42,6 +42,8 @@ System::System(const SystemConfig &config)
         cfg.passes.injectPrefetch && cfg.runtime.prefetchEnabled;
     if (!cfg.passes.siteReport)
         cfg.passes.siteReport = &siteReport;
+    if (!cfg.passes.arbiterReport)
+        cfg.passes.arbiterReport = &arbiter;
 }
 
 CompileResult
@@ -98,6 +100,19 @@ System::compile(const std::string &source)
         return failure;
     }
     result.program->report = std::move(report);
+    if (cfg.passes.arbiterMode != ArbiterMode::Off) {
+        Observability *obs = rt.runtime().obs();
+        if (obs && obs->trace().enabled()) {
+            const std::uint64_t now = rt.runtime().clock().now();
+            const auto stream = rt.runtime().obsStream();
+            obs->trace().counter(stream, "arbiter.paged_sites", now,
+                                 arbiter.pagedSites);
+            obs->trace().counter(stream, "arbiter.guard_sites", now,
+                                 arbiter.guardSites);
+            obs->trace().counter(stream, "arbiter.pgo_tiebreaks", now,
+                                 arbiter.pgoTieBreaks);
+        }
+    }
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include "ir/function.hh"
 #include "passes/guard_opt.hh"
 #include "passes/pass.hh"
+#include "passes/path_arbiter.hh"
 #include "passes/safety_check_pass.hh"
 #include "passes/trackfm_passes.hh"
 #include "runtime/far_mem_runtime.hh"
@@ -133,6 +134,11 @@ class System
      *  when SystemConfig::checkSafety is set. */
     const SafetyReport &safetyReport() const { return safety; }
 
+    /** Path-arbiter decisions and access-pattern evidence from the
+     *  last compile; only populated when the arbiter ran (hybrid
+     *  data plane, DESIGN.md §4l). */
+    const ArbiterReport &arbiterReport() const { return arbiter; }
+
     /** All statistics (guards, runtime, network) in one set. */
     StatSet stats() const;
 
@@ -147,6 +153,7 @@ class System
     TfmRuntime rt;
     GuardSiteReport siteReport;
     SafetyReport safety;
+    ArbiterReport arbiter;
 };
 
 } // namespace tfm

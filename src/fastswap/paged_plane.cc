@@ -1,0 +1,211 @@
+#include "paged_plane.hh"
+
+#include <algorithm>
+
+#include "obs/obs.hh"
+#include "sim/logging.hh"
+#include "tfm/tagged_ptr.hh"
+
+namespace tfm
+{
+
+PagedPlane::PagedPlane(FarMemRuntime &rt)
+    : rt_(rt), pageSize_(rt.config().pagedPageSizeBytes)
+{
+    const std::uint64_t localBytes = rt.config().pagedLocalMemBytes
+                                         ? rt.config().pagedLocalMemBytes
+                                         : rt.config().localMemBytes;
+    frameBudget_ = std::max<std::uint64_t>(1, localBytes / pageSize_);
+}
+
+void
+PagedPlane::touch(std::uint64_t offset, std::size_t len, bool for_write)
+{
+    if (len == 0)
+        len = 1;
+    const std::uint64_t first = offset / pageSize_;
+    const std::uint64_t last = (offset + len - 1) / pageSize_;
+    for (std::uint64_t pageId = first; pageId <= last; pageId++) {
+        auto it = table_.find(pageId);
+        if (it == table_.end()) {
+            majorFault(pageId, for_write);
+            continue;
+        }
+        Page &pg = it->second;
+        pg.refbit = true;
+        if (pg.inflight) {
+            // Swap-cache hit: readahead landed the page but no fault has
+            // mapped it yet -> minor fault (PTE fixup + residual wait).
+            rt_.clock().advance(rt_.costs().pageFaultLocalCycles);
+            rt_.net().waitUntil(pg.arrival);
+            pg.inflight = false;
+            _stats.minorFaults++;
+            Observability *obs = rt_.obs();
+            if (obs && obs->trace().enabled()) {
+                obs->trace().instant(rt_.obsStream(), TrackApp,
+                                     "pg-minor-fault", "paged",
+                                     rt_.clock().now());
+                obs->trace().arg("page", pageId);
+            }
+        }
+        if (for_write)
+            pg.dirty = true;
+    }
+}
+
+void
+PagedPlane::majorFault(std::uint64_t pageId, bool for_write)
+{
+    Observability *obs = rt_.obs();
+    const std::uint64_t faultStart = rt_.clock().now();
+    if (obs && obs->trace().enabled()) {
+        obs->trace().begin(rt_.obsStream(), TrackApp, "pg-major-fault",
+                           "paged", faultStart);
+        obs->trace().arg("page", pageId);
+    }
+
+    while (resident_.size() >= frameBudget_)
+        reclaimOne();
+
+    rt_.clock().advance(rt_.costs().pageFaultLocalCycles +
+                        rt_.costs().pageFaultRemoteSwCycles);
+    rt_.net().fetchSync(pageSize_);
+    Page pg;
+    pg.dirty = for_write;
+    pg.refbit = true;
+    table_.emplace(pageId, pg);
+    resident_.push_back(pageId);
+    _stats.majorFaults++;
+
+    if (rt_.config().pagedReadaheadEnabled)
+        readahead(pageId);
+
+    if (obs) {
+        obs->faultLatency.record(rt_.clock().now() - faultStart);
+        if (obs->trace().enabled()) {
+            obs->trace().end(rt_.obsStream(), TrackApp, "pg-major-fault",
+                             "paged", rt_.clock().now());
+        }
+        obsCounters();
+    }
+}
+
+void
+PagedPlane::reclaimOne()
+{
+    TFM_ASSERT(!resident_.empty(), "paged reclaim with no resident pages");
+    // CLOCK sweep: clear reference bits until an unreferenced mapped page
+    // comes around. In-flight pages are skipped (their fetch is already
+    // paid for); if everything is referenced the sweep degrades to FIFO
+    // after one lap, like the kernel's active/inactive approximation.
+    for (std::size_t scanned = 0; scanned < 2 * resident_.size(); scanned++) {
+        if (clockHand_ >= resident_.size())
+            clockHand_ = 0;
+        const std::uint64_t pageId = resident_[clockHand_];
+        Page &pg = table_.at(pageId);
+        if (pg.inflight || pg.refbit) {
+            pg.refbit = pg.inflight && pg.refbit;
+            clockHand_++;
+            continue;
+        }
+        rt_.clock().advance(rt_.costs().pageReclaimCycles);
+        if (pg.dirty) {
+            rt_.net().writebackAsync(pageSize_);
+            _stats.pageouts++;
+        }
+        Observability *obs = rt_.obs();
+        if (obs && obs->trace().enabled()) {
+            obs->trace().instant(rt_.obsStream(), TrackApp, "pg-reclaim",
+                                 "paged", rt_.clock().now());
+            obs->trace().arg("page", pageId);
+            obs->trace().arg("dirty", pg.dirty ? 1 : 0);
+        }
+        table_.erase(pageId);
+        resident_.erase(resident_.begin() +
+                        static_cast<std::ptrdiff_t>(clockHand_));
+        _stats.reclaims++;
+        return;
+    }
+    // Two full laps found only in-flight pages: evict the oldest one
+    // anyway (its readahead bytes are sunk cost; no writeback needed).
+    const std::uint64_t pageId = resident_.front();
+    rt_.clock().advance(rt_.costs().pageReclaimCycles);
+    table_.erase(pageId);
+    resident_.erase(resident_.begin());
+    clockHand_ = 0;
+    _stats.reclaims++;
+}
+
+void
+PagedPlane::readahead(std::uint64_t pageId)
+{
+    const std::uint64_t lastPage =
+        (rt_.config().farHeapBytes - 1) / pageSize_;
+    for (std::uint32_t k = 1; k <= rt_.config().pagedReadaheadPages; k++) {
+        const std::uint64_t target = pageId + k;
+        if (target > lastPage)
+            break;
+        if (resident_.size() >= frameBudget_) {
+            // Don't reclaim on behalf of speculation; stop the window.
+            break;
+        }
+        if (table_.count(target))
+            continue;
+        Page pg;
+        pg.inflight = true;
+        pg.refbit = false;
+        pg.arrival = rt_.net().fetchAsync(pageSize_);
+        table_.emplace(target, pg);
+        resident_.push_back(target);
+        _stats.readaheads++;
+        Observability *obs = rt_.obs();
+        if (obs && obs->trace().enabled()) {
+            obs->trace().instant(rt_.obsStream(), TrackApp, "pg-readahead",
+                                 "paged", rt_.clock().now());
+            obs->trace().arg("page", target);
+        }
+    }
+}
+
+void
+PagedPlane::evacuate()
+{
+    for (const std::uint64_t pageId : resident_) {
+        const Page &pg = table_.at(pageId);
+        if (pg.dirty)
+            rt_.net().writebackAsync(pageSize_);
+    }
+    table_.clear();
+    resident_.clear();
+    clockHand_ = 0;
+}
+
+void
+PagedPlane::obsCounters()
+{
+    Observability *obs = rt_.obs();
+    if (!obs || !obs->trace().enabled())
+        return;
+    const std::uint64_t now = rt_.clock().now();
+    obs->trace().counter(rt_.obsStream(), "paged.major_faults", now,
+                         _stats.majorFaults);
+    obs->trace().counter(rt_.obsStream(), "paged.minor_faults", now,
+                         _stats.minorFaults);
+    obs->trace().counter(rt_.obsStream(), "paged.reclaims", now,
+                         _stats.reclaims);
+    obs->trace().counter(rt_.obsStream(), "paged.resident_pages", now,
+                         resident_.size());
+}
+
+void
+PagedPlane::exportStats(StatSet &set) const
+{
+    set.add("paged.minor_faults", _stats.minorFaults);
+    set.add("paged.major_faults", _stats.majorFaults);
+    set.add("paged.pageouts", _stats.pageouts);
+    set.add("paged.reclaims", _stats.reclaims);
+    set.add("paged.readaheads", _stats.readaheads);
+    set.add("paged.resident_pages", resident_.size());
+}
+
+} // namespace tfm

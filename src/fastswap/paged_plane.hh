@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Paged data plane for the hybrid path arbiter (DESIGN.md §4l).
+ *
+ * Allocation sites the PathArbiterPass routes away from the guard plane
+ * get fastswap-style cost semantics: resident mapped pages cost nothing
+ * per access, a first touch takes a page fault that moves a whole 4 KB
+ * page, and reclamation charges kernel-style per-page eviction. The
+ * plane is a *residency and cost model only*: it shares the owning
+ * FarMemRuntime's clock, network link, and observability stream, and it
+ * never stores data — paged accesses read and write the far heap
+ * through FarMemRuntime::rawRead/rawWrite, so routing a site to the
+ * paging plane can change cycle counts but never program results or
+ * the heap checksum. That is the legality contract the differential
+ * hybrid gate checks.
+ */
+
+#ifndef TRACKFM_FASTSWAP_PAGED_PLANE_HH
+#define TRACKFM_FASTSWAP_PAGED_PLANE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fastswap_runtime.hh" // FastswapStats
+#include "runtime/far_mem_runtime.hh"
+
+namespace tfm
+{
+
+/**
+ * Kernel-swap residency model over the shared far heap.
+ *
+ * Pages are 4 KB windows of the far-heap offset space. "Mapped" pages
+ * (present, not in flight) model a valid PTE; "in flight" pages model
+ * swap-cache entries readahead has fetched but no fault has mapped yet
+ * (a touch pays only the local minor-fault price). Victim selection is
+ * a CLOCK sweep with reference bits, like the frame cache.
+ */
+class PagedPlane
+{
+  public:
+    explicit PagedPlane(FarMemRuntime &rt);
+
+    /**
+     * Account one @p len byte access at far-heap @p offset, taking
+     * minor/major faults per 4 KB page touched. Charges cycles and
+     * meters page transfers on the shared link; moves no data.
+     */
+    void touch(std::uint64_t offset, std::size_t len, bool for_write);
+
+    /**
+     * Drop every resident page (metering writebacks for dirty ones) so
+     * a measurement can start from a fully remote heap.
+     */
+    void evacuate();
+
+    const FastswapStats &stats() const { return _stats; }
+    std::uint64_t residentPages() const { return resident_.size(); }
+    std::uint32_t pageSize() const { return pageSize_; }
+    std::uint64_t frameBudget() const { return frameBudget_; }
+
+    /** Counters under "paged.*" (mirrors FastswapRuntime's export). */
+    void exportStats(StatSet &set) const;
+
+  private:
+    /** Swap-cache / PTE state for one resident or in-flight page. */
+    struct Page
+    {
+        bool dirty = false;
+        bool inflight = false; ///< fetched by readahead, not yet mapped
+        bool refbit = true;    ///< CLOCK reference bit
+        std::uint64_t arrival = 0; ///< in-flight completion cycle
+    };
+
+    /** Fault in page @p pageId (present afterwards). */
+    void majorFault(std::uint64_t pageId, bool for_write);
+    /** Evict one victim via the CLOCK sweep (budget pressure). */
+    void reclaimOne();
+    /** Linux-style readahead around a major fault on @p pageId. */
+    void readahead(std::uint64_t pageId);
+    /** Cumulative paged.* counter emission into the trace (no cycles). */
+    void obsCounters();
+
+    FarMemRuntime &rt_;
+    std::uint32_t pageSize_;
+    std::uint64_t frameBudget_; ///< resident-page cap
+    /// pageId -> state; std::map keeps sweeps/evacuation deterministic.
+    std::map<std::uint64_t, Page> table_;
+    std::vector<std::uint64_t> resident_; ///< CLOCK ring of page ids
+    std::size_t clockHand_ = 0;
+    FastswapStats _stats;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_FASTSWAP_PAGED_PLANE_HH

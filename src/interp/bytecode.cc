@@ -52,6 +52,12 @@ builtinOf(const std::string &callee)
         return Builtin::PrintI64;
     if (callee == "tfm_evacuate_all")
         return Builtin::EvacuateAll;
+    if (callee == "pg_malloc")
+        return Builtin::PgMalloc;
+    if (callee == "pg_calloc")
+        return Builtin::PgCalloc;
+    if (callee == "pg_free")
+        return Builtin::PgFree;
     return Builtin::None;
 }
 
@@ -76,10 +82,13 @@ builtinArgsUsed(Builtin builtin)
     case Builtin::HostMalloc:
     case Builtin::TfmFree:
     case Builtin::PrintI64:
+    case Builtin::PgMalloc:
+    case Builtin::PgFree:
         return 1;
     case Builtin::TfmCalloc:
     case Builtin::HostCalloc:
     case Builtin::TfmRealloc:
+    case Builtin::PgCalloc:
         return 2;
     case Builtin::RuntimeInit:
     case Builtin::HostFree:

@@ -70,7 +70,10 @@ enum class Builtin : std::uint8_t
     TfmFree,
     HostFree, ///< untransformed free: host arena frees at teardown
     PrintI64,
-    EvacuateAll
+    EvacuateAll,
+    PgMalloc, ///< paged-plane allocation (hybrid arbiter, bit-61 tag)
+    PgCalloc,
+    PgFree
 };
 
 /** Intrinsic id for a callee name (None for user functions). */

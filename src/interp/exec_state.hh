@@ -105,7 +105,13 @@ struct Interpreter::Impl
         intervals[offset] = {offset + bytes, index};
     }
 
-    /** Attribute a guarded access to its allocation site. */
+    /// Observed-pattern classification threshold: an access within one
+    /// cache line of the site's previous access reads as streaming.
+    static constexpr std::uint64_t seqDeltaBytes = 64;
+    /// Site index -> far-heap offset of the site's last access.
+    std::map<std::size_t, std::uint64_t> lastSiteOffset;
+
+    /** Attribute a guarded (or paged) access to its allocation site. */
     void
     recordAccess(std::uint64_t tagged_addr)
     {
@@ -116,8 +122,25 @@ struct Interpreter::Impl
         if (it == intervals.begin())
             return;
         --it;
-        if (offset < it->second.first)
-            profile.sites[it->second.second].guardedAccesses++;
+        if (offset >= it->second.first)
+            return;
+        const std::size_t index = it->second.second;
+        auto &site = profile.sites[index];
+        site.guardedAccesses++;
+        // Dynamic access-pattern witness for the static analysis: a
+        // near-sequential delta from the site's previous access counts
+        // as streaming, anything farther as dependent/random.
+        auto last = lastSiteOffset.find(index);
+        if (last != lastSiteOffset.end()) {
+            const std::uint64_t prev = last->second;
+            const std::uint64_t delta =
+                offset > prev ? offset - prev : prev - offset;
+            if (delta <= seqDeltaBytes)
+                site.seqAccesses++;
+            else
+                site.randAccesses++;
+        }
+        lastSiteOffset[index] = offset;
     }
 
     [[noreturn]] static void
@@ -213,6 +236,17 @@ struct Interpreter::Impl
     rawAccess(std::uint64_t addr, void *buffer, std::uint32_t bytes,
               bool is_store)
     {
+        if (pgIsTagged(addr)) {
+            // Paged-plane pointer (hybrid arbiter): the "hardware" maps
+            // it through the page table — fault accounting in the paged
+            // plane, data through the shared far heap. No guard runs.
+            if (is_store)
+                rt.pagedWrite(addr, buffer, bytes);
+            else
+                rt.pagedRead(addr, buffer, bytes);
+            recordAccess(addr);
+            return;
+        }
         if (tfmIsTagged(addr)) {
             trap("general protection fault: unguarded access to "
                  "non-canonical address (missing TrackFM guard)");
@@ -314,6 +348,26 @@ struct Interpreter::Impl
             // Test/bench hook: force a full evacuation mid-program so
             // hoisted guards must take the revalidation-miss path.
             rt.runtime().evacuateAll();
+            rt.evacuatePaged();
+            return result;
+        case Builtin::PgMalloc: {
+            const std::uint64_t bytes = arg(0).i;
+            result.i = rt.pagedMalloc(bytes);
+            recordAllocation(inst, result.i, bytes);
+            sanRecordAlloc(inst, result.i, bytes);
+            return result;
+        }
+        case Builtin::PgCalloc: {
+            const std::uint64_t bytes = arg(0).i * arg(1).i;
+            result.i = rt.pagedCalloc(arg(0).i, arg(1).i);
+            recordAllocation(inst, result.i, bytes);
+            sanRecordAlloc(inst, result.i, bytes);
+            return result;
+        }
+        case Builtin::PgFree:
+            if (sanitizing && pgIsTagged(arg(0).i))
+                sanAllocs.erase(tfmOffsetOf(arg(0).i));
+            rt.pagedFree(arg(0).i);
             return result;
         case Builtin::None:
             break;

@@ -97,7 +97,7 @@ Interpreter::Impl::sanRecordAlloc(const ir::Instruction &call_inst,
                                   std::uint64_t tagged_addr,
                                   std::uint64_t bytes)
 {
-    if (!sanitizing || !tfmIsTagged(tagged_addr))
+    if (!sanitizing || !(tfmIsTagged(tagged_addr) || pgIsTagged(tagged_addr)))
         return;
     SanAlloc alloc;
     alloc.end = tfmOffsetOf(tagged_addr) + bytes;

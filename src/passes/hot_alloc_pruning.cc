@@ -1,5 +1,8 @@
 #include "hot_alloc_pruning.hh"
 
+#include <algorithm>
+#include <sstream>
+
 namespace tfm
 {
 
@@ -7,7 +10,8 @@ bool
 isAllocationCallee(const std::string &callee)
 {
     return callee == "malloc" || callee == "calloc" ||
-           callee == "tfm_malloc" || callee == "tfm_calloc";
+           callee == "tfm_malloc" || callee == "tfm_calloc" ||
+           callee == "pg_malloc" || callee == "pg_calloc";
 }
 
 const AllocSiteProfile::Site *
@@ -18,6 +22,82 @@ AllocSiteProfile::findByOrdinal(std::uint32_t ordinal) const
             return &site;
     }
     return nullptr;
+}
+
+void
+AllocSiteProfile::merge(const AllocSiteProfile &other)
+{
+    for (const Site &incoming : other.sites) {
+        auto pos = std::lower_bound(
+            sites.begin(), sites.end(), incoming.ordinal,
+            [](const Site &site, std::uint32_t ordinal) {
+                return site.ordinal < ordinal;
+            });
+        if (pos != sites.end() && pos->ordinal == incoming.ordinal) {
+            pos->allocations += incoming.allocations;
+            pos->bytesAllocated += incoming.bytesAllocated;
+            pos->guardedAccesses += incoming.guardedAccesses;
+            pos->seqAccesses += incoming.seqAccesses;
+            pos->randAccesses += incoming.randAccesses;
+            if (pos->function.empty())
+                pos->function = incoming.function;
+        } else {
+            // Later-epoch site: insert at its ordinal-sorted position
+            // so the stable ordering key keeps the profile ordered.
+            sites.insert(pos, incoming);
+        }
+    }
+}
+
+std::string
+AllocSiteProfile::serialize() const
+{
+    std::ostringstream out;
+    out << "tfm-alloc-profile v2\n";
+    for (const Site &site : sites) {
+        out << "site " << site.ordinal << ' '
+            << (site.function.empty() ? "?" : site.function) << ' '
+            << site.allocations << ' ' << site.bytesAllocated << ' '
+            << site.guardedAccesses << ' ' << site.seqAccesses << ' '
+            << site.randAccesses << '\n';
+    }
+    return out.str();
+}
+
+bool
+AllocSiteProfile::parse(const std::string &text, AllocSiteProfile &out)
+{
+    std::istringstream in(text);
+    std::string header, version;
+    if (!(in >> header >> version) || header != "tfm-alloc-profile" ||
+        (version != "v1" && version != "v2")) {
+        return false;
+    }
+    AllocSiteProfile parsed;
+    std::string keyword;
+    while (in >> keyword) {
+        if (keyword != "site")
+            return false;
+        Site site;
+        if (!(in >> site.ordinal >> site.function >>
+              site.allocations >> site.bytesAllocated >>
+              site.guardedAccesses)) {
+            return false;
+        }
+        if (version == "v2" &&
+            !(in >> site.seqAccesses >> site.randAccesses)) {
+            return false;
+        }
+        if (site.function == "?")
+            site.function.clear();
+        parsed.sites.push_back(std::move(site));
+    }
+    std::sort(parsed.sites.begin(), parsed.sites.end(),
+              [](const Site &a, const Site &b) {
+                  return a.ordinal < b.ordinal;
+              });
+    out = std::move(parsed);
+    return true;
 }
 
 bool

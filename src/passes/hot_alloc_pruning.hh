@@ -40,6 +40,11 @@ struct AllocSiteProfile
         std::uint64_t allocations = 0;
         std::uint64_t bytesAllocated = 0;
         std::uint64_t guardedAccesses = 0;
+        /// Accesses whose offset was within 64 bytes of the site's
+        /// previous access (observed-dense witness for the arbiter).
+        std::uint64_t seqAccesses = 0;
+        /// Accesses that jumped farther than that (observed-sparse).
+        std::uint64_t randAccesses = 0;
 
         /** Hotness metric: guarded accesses per allocated byte. */
         double
@@ -50,11 +55,42 @@ struct AllocSiteProfile
                        : static_cast<double>(guardedAccesses) /
                              static_cast<double>(bytesAllocated);
         }
+
+        /** Fraction of classified accesses that were sequential. */
+        double
+        seqFraction() const
+        {
+            const std::uint64_t classified = seqAccesses + randAccesses;
+            return classified == 0
+                       ? 0.0
+                       : static_cast<double>(seqAccesses) /
+                             static_cast<double>(classified);
+        }
     };
 
     std::vector<Site> sites;
 
     const Site *findByOrdinal(std::uint32_t ordinal) const;
+
+    /**
+     * Fold @p other into this profile (multi-epoch PGO). Sites are
+     * matched by their stable ordering key (the module ordinal):
+     * matching sites sum their counters; sites only the later epoch
+     * saw are inserted at their ordinal-sorted position so the merged
+     * profile stays ordered by the same key regardless of which epoch
+     * first observed a site.
+     */
+    void merge(const AllocSiteProfile &other);
+
+    /** Text serialization (`tfm-alloc-profile v2` header). */
+    std::string serialize() const;
+
+    /**
+     * Parse text produced by serialize() (v1 profiles without the
+     * seq/rand columns are accepted). Returns false on malformed
+     * input, leaving @p out untouched.
+     */
+    static bool parse(const std::string &text, AllocSiteProfile &out);
 };
 
 /**

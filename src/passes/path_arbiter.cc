@@ -1,0 +1,144 @@
+#include "path_arbiter.hh"
+
+#include "analysis/heap_provenance.hh"
+
+namespace tfm
+{
+
+bool
+PathArbiterPass::run(ir::Module &module)
+{
+    if (opts.arbiterMode == ArbiterMode::Off)
+        return false;
+
+    const AccessPatternAnalysis analysis(module);
+
+    ArbiterReport local;
+    ArbiterReport &report =
+        opts.arbiterReport ? *opts.arbiterReport : local;
+    report.decisions.clear();
+    report.pagedSites = 0;
+    report.guardSites = 0;
+    report.pgoTieBreaks = 0;
+    report.freesRewritten = 0;
+    report.accessReport = analysis.report();
+
+    // Walk allocation sites in the same stable ordinal order as the
+    // analysis and the profiler.
+    bool changed = false;
+    std::uint32_t ordinal = 0;
+    for (const auto &function : module.allFunctions()) {
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() != ir::Opcode::Call ||
+                    !isAllocationCallee(inst->callee)) {
+                    continue;
+                }
+                const std::uint32_t site_ordinal = ordinal++;
+                const bool is_calloc =
+                    inst->callee == "calloc" ||
+                    inst->callee == "tfm_calloc" ||
+                    inst->callee == "pg_calloc";
+                const bool already_paged =
+                    inst->callee == "pg_malloc" ||
+                    inst->callee == "pg_calloc";
+
+                ArbiterDecision decision;
+                decision.ordinal = site_ordinal;
+                decision.function = function->name();
+
+                const SiteAccessSummary *site =
+                    analysis.findByOrdinal(site_ordinal);
+                if (site)
+                    decision.verdict = site->verdict();
+
+                if (already_paged) {
+                    decision.paged = true;
+                    decision.reason = "already-paged";
+                } else if (opts.arbiterMode ==
+                           ArbiterMode::ForceAllPaged) {
+                    decision.paged = true;
+                    decision.reason = "forced";
+                } else if (!site) {
+                    decision.reason = "no-summary";
+                } else if (site->aliasesOther) {
+                    // Rewriting an aliased site would merge bit-60 and
+                    // bit-61 pointers in one value: MixedPlane.
+                    decision.reason = "aliases";
+                } else if (site->escapes) {
+                    decision.reason = "escapes";
+                } else {
+                    switch (decision.verdict) {
+                      case AccessVerdict::Dense:
+                        decision.paged = true;
+                        decision.reason = "static-dense";
+                        break;
+                      case AccessVerdict::Sparse:
+                        decision.reason = "static-sparse";
+                        break;
+                      case AccessVerdict::Mixed:
+                      case AccessVerdict::Unknown: {
+                        const AllocSiteProfile::Site *profiled =
+                            opts.arbiterProfile
+                                ? opts.arbiterProfile->findByOrdinal(
+                                      site_ordinal)
+                                : nullptr;
+                        if (profiled && profiled->seqAccesses +
+                                                profiled->randAccesses >
+                                            0) {
+                            report.pgoTieBreaks++;
+                            if (profiled->seqFraction() >=
+                                opts.arbiterSeqThreshold) {
+                                decision.paged = true;
+                                decision.reason = "pgo-seq";
+                            } else {
+                                decision.reason = "pgo-rand";
+                            }
+                        } else {
+                            decision.reason = "no-profile";
+                        }
+                        break;
+                      }
+                    }
+                }
+
+                if (decision.paged && !already_paged) {
+                    inst->callee = is_calloc ? "pg_calloc" : "pg_malloc";
+                    changed = true;
+                }
+                if (decision.paged)
+                    report.pagedSites++;
+                else
+                    report.guardSites++;
+                report.decisions.push_back(std::move(decision));
+            }
+        }
+    }
+
+    // Retag frees whose pointer is now provably paged-plane, keeping
+    // the IR plane-consistent (the runtime strips either tag, so this
+    // is a readability/diagnostic aid, not a correctness need).
+    for (const auto &function : module.allFunctions()) {
+        const HeapProvenance provenance(*function);
+        for (const auto &block : function->basicBlocks()) {
+            for (const auto &inst : block->instructions()) {
+                if (inst->op() != ir::Opcode::Call ||
+                    (inst->callee != "tfm_free" &&
+                     inst->callee != "free") ||
+                    inst->numOperands() == 0) {
+                    continue;
+                }
+                if (provenance.of(inst->operand(0)) ==
+                    Provenance::Paged) {
+                    inst->callee = "pg_free";
+                    report.freesRewritten++;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    return changed;
+}
+
+} // namespace tfm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-site path arbiter for the hybrid guard/paging data plane
+ * (DESIGN.md §4l).
+ *
+ * The static access-pattern analysis classifies every allocation site
+ * as {Dense, Sparse, Mixed, Unknown}. This pass turns the verdicts
+ * into a plane decision per site:
+ *
+ *   Dense  -> paged plane (pg_malloc / pg_calloc, bit-61 pointers
+ *             resolved by the memory choke point's residency model —
+ *             sequential sweeps amortize whole-page fetches and
+ *             readahead and pay zero per-access guard cycles);
+ *   Sparse -> guard plane (tfm_malloc stays: object-granular guards
+ *             beat 4 KiB amplification on pointer chases);
+ *   Mixed / Unknown -> PGO tie-break when a profile is supplied (the
+ *             interpreter's observed seq/rand access split), guard
+ *             plane otherwise.
+ *
+ * Sites whose pointers escape the derivation web or alias another
+ * site's pointers are never rewritten: an aliased rewrite would merge
+ * bit-60 and bit-61 pointers in one SSA value, exactly the MixedPlane
+ * condition the guard-safety checker rejects.
+ */
+
+#ifndef TRACKFM_PASSES_PATH_ARBITER_HH
+#define TRACKFM_PASSES_PATH_ARBITER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/access_pattern.hh"
+#include "hot_alloc_pruning.hh"
+#include "trackfm_passes.hh"
+
+namespace tfm
+{
+
+/** One per-site routing decision (test/report observability). */
+struct ArbiterDecision
+{
+    std::uint32_t ordinal = 0; ///< stable module allocation ordinal
+    std::string function;      ///< function containing the allocation
+    AccessVerdict verdict = AccessVerdict::Unknown;
+    bool paged = false;        ///< chosen plane (false = guard plane)
+    std::string reason;        ///< static-dense | static-sparse |
+                               ///< pgo-seq | pgo-rand | no-profile |
+                               ///< escapes | aliases | forced | ...
+};
+
+/** Everything the arbiter run produced (owned by the caller, filled
+ *  by the pass — the siteReport idiom). */
+struct ArbiterReport
+{
+    std::vector<ArbiterDecision> decisions;
+    std::uint64_t pagedSites = 0;
+    std::uint64_t guardSites = 0;
+    std::uint64_t pgoTieBreaks = 0;
+    std::uint64_t freesRewritten = 0;
+    /// Machine-readable evidence report of the underlying analysis.
+    std::string accessReport;
+};
+
+/** Rewrite Dense-verdict allocation sites onto the paged plane. */
+class PathArbiterPass : public Pass
+{
+  public:
+    explicit PathArbiterPass(const TrackFmPassOptions &options)
+        : opts(options)
+    {}
+
+    std::string name() const override { return "path-arbiter"; }
+    bool run(ir::Module &module) override;
+
+  private:
+    TrackFmPassOptions opts;
+};
+
+} // namespace tfm
+
+#endif // TRACKFM_PASSES_PATH_ARBITER_HH

@@ -9,6 +9,7 @@
 #include "analysis/loop_info.hh"
 #include "guard_opt.hh"
 #include "ir/builder.hh"
+#include "path_arbiter.hh"
 #include "tfm/cost_model.hh"
 
 namespace tfm
@@ -227,6 +228,10 @@ addTrackFmPipeline(PassManager &manager, const TrackFmPassOptions &options)
 {
     manager.emplace<RuntimeInitPass>();
     manager.emplace<LibcTransformPass>();
+    // The arbiter rewrites Dense sites onto the paged plane before
+    // guard insertion, so paged accesses never grow guards at all.
+    if (options.arbiterMode != ArbiterMode::Off)
+        manager.emplace<PathArbiterPass>(options);
     manager.emplace<GuardPass>(options.siteReport);
     if (options.optimizeGuards) {
         // Elimination first so coalescing and chunking see a deduped

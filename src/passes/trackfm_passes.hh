@@ -18,6 +18,16 @@ namespace tfm
 {
 
 struct GuardSiteReport;
+struct AllocSiteProfile;
+struct ArbiterReport;
+
+/** Data-plane arbiter modes (hybrid guard/paging, DESIGN.md §4l). */
+enum class ArbiterMode : std::uint8_t
+{
+    Off,          ///< pure guard plane (classic TrackFM)
+    Auto,         ///< static verdicts + optional PGO tie-break
+    ForceAllPaged ///< every site onto the paged plane (ablation)
+};
 
 /** Compile-time options shared by the TrackFM passes. */
 struct TrackFmPassOptions
@@ -37,6 +47,17 @@ struct TrackFmPassOptions
     GuardSiteReport *siteReport = nullptr;
     /// Guard-cost constants for the cost model.
     CostParams costs;
+    /// Hybrid data-plane arbiter (DESIGN.md §4l). Off keeps the
+    /// classic pure-guard pipeline byte-for-byte.
+    ArbiterMode arbiterMode = ArbiterMode::Off;
+    /// Observed seq/rand profile for Mixed/Unknown tie-breaks (owned
+    /// by the caller; may be null).
+    const AllocSiteProfile *arbiterProfile = nullptr;
+    /// Minimum observed sequential fraction for a PGO paged tie-break.
+    double arbiterSeqThreshold = 0.7;
+    /// Decision/evidence sink filled by the arbiter pass (owned by
+    /// the caller; must outlive the pipeline).
+    ArbiterReport *arbiterReport = nullptr;
 };
 
 /** Insert a tfm_runtime_init call at the entry of @main. */

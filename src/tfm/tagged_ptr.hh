@@ -51,6 +51,40 @@ tfmOffsetOf(std::uint64_t addr)
     return addr & tfmOffsetMask;
 }
 
+/** @name Paged-plane tag (hybrid data plane)
+ *
+ * The path arbiter can route an allocation site to the fastswap-style
+ * paging plane instead of the guard plane. Paged pointers overload bit
+ * 61 — also non-canonical, and deliberately distinct from the guard
+ * tag so the two custody checks never confuse each other: a guard sees
+ * a paged pointer as "not mine" (bit 60 clear) and returns it
+ * unchanged, while the interpreter's memory choke point resolves it
+ * through the page table. tfmOffsetMask (2^60 - 1) strips either tag,
+ * so offset recovery, the allocator, and raw read/write are
+ * plane-agnostic.
+ * @{ */
+
+/// Bit position used to flag paged-plane custody.
+constexpr unsigned pgTagShift = 61;
+/// The paged-plane tag: 2^61, non-canonical and disjoint from bit 60.
+constexpr std::uint64_t pgTagBit = 1ull << pgTagShift;
+
+/** Turn a far-heap offset into a paged-plane pointer value. */
+constexpr std::uint64_t
+pgEncode(std::uint64_t offset)
+{
+    return offset | pgTagBit;
+}
+
+/** Does this pointer belong to the paging plane? */
+constexpr bool
+pgIsTagged(std::uint64_t addr)
+{
+    return (addr >> pgTagShift) & 1;
+}
+
+/** @} */
+
 } // namespace tfm
 
 #endif // TRACKFM_TFM_TAGGED_PTR_HH

@@ -31,6 +31,8 @@
 namespace tfm
 {
 
+class PagedPlane;
+
 /**
  * TrackFM's injected runtime.
  *
@@ -42,9 +44,10 @@ namespace tfm
 class TfmRuntime
 {
   public:
-    TfmRuntime(const RuntimeConfig &config, const CostParams &cost_params)
-        : rt(tagged(config), cost_params)
-    {}
+    // Both out of line: PagedPlane is incomplete here, and an inline
+    // constructor/destructor would instantiate its unique_ptr deleter.
+    TfmRuntime(const RuntimeConfig &config, const CostParams &cost_params);
+    ~TfmRuntime();
 
     FarMemRuntime &runtime() { return rt; }
     const FarMemRuntime &runtime() const { return rt; }
@@ -90,6 +93,34 @@ class TfmRuntime
     {
         rt.deallocate(tfmOffsetOf(addr));
     }
+    /** @} */
+
+    /** @name Paged data plane (hybrid arbiter; DESIGN.md §4l)
+     *
+     * The pg_malloc family backs allocation sites the PathArbiterPass
+     * routed to the paging plane. Pointers carry the bit-61 tag (so
+     * guards custody-reject them and the interpreter's memory choke
+     * point resolves them here); accesses charge fastswap-style fault
+     * costs through a lazily created PagedPlane sharing this runtime's
+     * clock and link, while the data itself moves through the far
+     * heap's raw read/write — results are plane-independent by
+     * construction.
+     * @{ */
+    std::uint64_t pagedMalloc(std::size_t bytes);
+    std::uint64_t pagedCalloc(std::size_t count, std::size_t size);
+    void
+    pagedFree(std::uint64_t addr)
+    {
+        rt.deallocate(tfmOffsetOf(addr));
+    }
+    /** Fault accounting + copy-out via rawRead. */
+    void pagedRead(std::uint64_t addr, void *dst, std::size_t len);
+    /** Fault accounting + write-through via rawWrite. */
+    void pagedWrite(std::uint64_t addr, const void *src, std::size_t len);
+    /** The plane, created on first use; nullptr when never used. */
+    PagedPlane *pagedPlane() const { return paged_.get(); }
+    /** Drop the plane's residency (cold-start measurements). */
+    void evacuatePaged();
     /** @} */
 
     /** @name Guards (section 3.3, Fig. 4)
@@ -365,10 +396,14 @@ class TfmRuntime
     void writeGuardedMt(Worker &w, std::uint64_t addr, const void *src,
                         std::size_t len);
 
+    /** The paged plane, or create it on first paged allocation. */
+    PagedPlane &ensurePaged();
+
     FarMemRuntime rt;
     GuardStats gstats;
     GuardTrace gtrace;
     LastObjectCache lastObjCache;
+    std::unique_ptr<PagedPlane> paged_;
     std::vector<std::unique_ptr<Worker>> workers_;
     static thread_local Worker *tlsWorker_;
 };

@@ -40,6 +40,45 @@ for example in examples/*.tir; do
 done
 echo "check_build: example programs OK (both engines)"
 
+# Lint tier: clang-tidy with the checked-in .clang-tidy configs
+# (bugprone-* and performance-* everywhere; src/serve and src/runtime
+# additionally enable concurrency-mt-unsafe via InheritParentConfig)
+# against the compile database the main configure exports. Findings
+# fail the build. Skipped when clang-tidy is not installed.
+if command -v clang-tidy > /dev/null; then
+    mapfile -t LINT_SOURCES < <(find src -name '*.cc' | sort)
+    clang-tidy -p "${BUILD_DIR}" --quiet "${LINT_SOURCES[@]}"
+    echo "check_build: clang-tidy lint tier OK"
+else
+    echo "check_build: clang-tidy not found; skipping lint tier"
+fi
+
+# Hybrid data-plane gate (DESIGN.md §4l): every example must compile
+# under --hybrid with a clean safety report — including the mixed-plane
+# check — at both opt levels, and run bit-identically to the pure
+# guard plane: same program output and same far-heap checksum (printed
+# by --record); only the cycle count may differ, so only the
+# "simulated time" line is stripped before comparing.
+HYB_DIR="${BUILD_DIR}/hybrid_gate"
+mkdir -p "${HYB_DIR}"
+for example in examples/*.tir; do
+    base="$(basename "${example}" .tir)"
+    for optflag in "" "--no-guard-opt"; do
+        tag="${base}${optflag:+_noopt}"
+        "${BUILD_DIR}/tools/tfmc" --run --check-safety ${optflag} \
+            --record="${HYB_DIR}/${tag}_guard.tfr" "${example}" \
+            2> /dev/null \
+            | grep -v "^simulated time" > "${HYB_DIR}/${tag}_guard.out"
+        "${BUILD_DIR}/tools/tfmc" --run --check-safety --hybrid \
+            ${optflag} --record="${HYB_DIR}/${tag}_hybrid.tfr" \
+            "${example}" 2> /dev/null \
+            | grep -v "^simulated time" > "${HYB_DIR}/${tag}_hybrid.out"
+        cmp "${HYB_DIR}/${tag}_guard.out" "${HYB_DIR}/${tag}_hybrid.out"
+    done
+done
+"${BUILD_DIR}/bench/bench_hybrid" --check > /dev/null
+echo "check_build: hybrid data-plane gate OK"
+
 # Guard-safety gate: the static checker must stay diagnostic-free on
 # every example at both opt levels (tfmc exits non-zero on any
 # finding), and the farmem sanitizer must execute every example without

@@ -221,6 +221,132 @@ printCounterTable(const std::map<std::string, Histogram> &counters)
 }
 
 /**
+ * Hybrid data-plane counters ("paged.<metric>" residency/fault
+ * counters and "arbiter.<metric>" compile-time routing counts), kept
+ * out of the generic counter table so a hybrid run's plane behaviour
+ * is obvious at a glance.
+ */
+void
+printHybridTable(const std::map<std::string, Histogram> &paged,
+                 const std::map<std::string, Histogram> &arbiter)
+{
+    if (paged.empty() && arbiter.empty())
+        return;
+    std::map<std::string, Histogram> merged;
+    for (const auto &[name, h] : arbiter)
+        merged["arbiter." + name] = h;
+    for (const auto &[name, h] : paged)
+        merged["paged." + name] = h;
+    const int width = static_cast<int>(nameWidth(merged, 6));
+    std::printf("\n%-*s %10s %10s %10s\n", width, "hybrid", "samples",
+                "first", "last");
+    for (const auto &[name, h] : merged) {
+        std::printf("%-*s %10llu %10llu %10llu\n", width, name.c_str(),
+                    static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.min()),
+                    static_cast<unsigned long long>(h.max()));
+    }
+}
+
+/**
+ * `tfm-stat access <report.txt>`: per-allocation-site table from a
+ * `tfmc --print-access-report` dump — static verdict, stride/chase
+ * evidence, and the plane the arbiter chose.
+ */
+int
+printAccessTable(const char *path)
+{
+    std::FILE *in = std::fopen(path, "r");
+    if (!in) {
+        std::fprintf(stderr, "tfm-stat: cannot open '%s'\n", path);
+        return 1;
+    }
+    struct SiteRow
+    {
+        std::string function, verdict, chaseScore;
+        std::string plane = "-", reason = "-";
+        std::vector<long long> strideBytes;
+        unsigned chases = 0;
+        int escapes = 0, aliases = 0;
+    };
+    std::map<unsigned, SiteRow> rows;
+    bool sawHeader = false;
+    char line[512];
+    unsigned current = ~0u;
+    while (std::fgets(line, sizeof line, in)) {
+        unsigned ord;
+        char func[128], verdict[32], callee[64], score[32];
+        char plane[16], reason[64];
+        long long bytes;
+        int escapes, aliases;
+        if (std::sscanf(line, "access-report v%u", &ord) == 1) {
+            sawHeader = true;
+        } else if (std::sscanf(line,
+                               "site %u @%127s callee %63s line %*d "
+                               "verdict %31s dense %*u sparse %*u "
+                               "chase-score %31s escapes %d aliases %d",
+                               &ord, func, callee, verdict, score,
+                               &escapes, &aliases) == 7) {
+            SiteRow &row = rows[ord];
+            row.function = func;
+            row.verdict = verdict;
+            row.chaseScore = score;
+            row.escapes = escapes;
+            row.aliases = aliases;
+            current = ord;
+        } else if (std::sscanf(line, "  stride @%*s bytes %lld",
+                               &bytes) == 1) {
+            if (current != ~0u)
+                rows[current].strideBytes.push_back(bytes);
+        } else if (std::sscanf(line, "  chase @%127s", func) == 1) {
+            if (current != ~0u)
+                rows[current].chases++;
+        } else if (std::sscanf(line,
+                               "arbiter: site %u @%*s verdict %*s "
+                               "plane %15s reason %63s",
+                               &ord, plane, reason) == 3) {
+            rows[ord].plane = plane;
+            rows[ord].reason = reason;
+        }
+    }
+    std::fclose(in);
+    if (!sawHeader && rows.empty()) {
+        std::fprintf(stderr,
+                     "tfm-stat: '%s' is not an access report (expected "
+                     "tfmc --print-access-report output)\n",
+                     path);
+        return 1;
+    }
+
+    std::size_t width = 8;
+    for (const auto &[ord, row] : rows)
+        width = std::max(width, row.function.size());
+    std::printf("%4s %-*s %-8s %-22s %6s %11s %3s %3s %-6s %s\n",
+                "site", static_cast<int>(width), "function", "verdict",
+                "strides(bytes)", "chase", "chase-score", "esc", "ali",
+                "plane", "reason");
+    for (const auto &[ord, row] : rows) {
+        std::string strides;
+        for (std::size_t i = 0;
+             i < row.strideBytes.size() && i < 3; i++) {
+            if (!strides.empty())
+                strides += ",";
+            strides += std::to_string(row.strideBytes[i]);
+        }
+        if (row.strideBytes.size() > 3)
+            strides += ",...";
+        if (strides.empty())
+            strides = "-";
+        std::printf("%4u %-*s %-8s %-22s %6u %11s %3d %3d %-6s %s\n",
+                    ord, static_cast<int>(width), row.function.c_str(),
+                    row.verdict.c_str(), strides.c_str(), row.chases,
+                    row.chaseScore.c_str(), row.escapes, row.aliases,
+                    row.plane.c_str(), row.reason.c_str());
+    }
+    return 0;
+}
+
+/**
  * `tfm-stat replay <file.tfr>`: summarize a flight-recorder event log —
  * header metadata plus a per-stream table (event count, sequence and
  * cycle ranges, per-kind breakdown).
@@ -300,9 +426,12 @@ main(int argc, char **argv)
 {
     if (argc == 3 && std::string(argv[1]) == "replay")
         return printReplayLog(argv[2]);
+    if (argc == 3 && std::string(argv[1]) == "access")
+        return printAccessTable(argv[2]);
     if (argc != 2) {
         std::fprintf(stderr, "usage: tfm-stat <trace.json>\n"
-                             "       tfm-stat replay <file.tfr>\n");
+                             "       tfm-stat replay <file.tfr>\n"
+                             "       tfm-stat access <report.txt>\n");
         return 2;
     }
     ParsedTrace trace;
@@ -327,6 +456,8 @@ main(int argc, char **argv)
     std::map<std::string, Histogram> safetyCounters;
     std::map<std::string, Histogram> interpCounters;
     std::map<std::string, Histogram> servingCounters;
+    std::map<std::string, Histogram> pagedCounters;
+    std::map<std::string, Histogram> arbiterCounters;
     // Open 'B' spans per (pid, tid): Chrome semantics say 'E' closes
     // the innermost open span on its track.
     std::map<std::pair<std::uint32_t, std::uint32_t>,
@@ -370,6 +501,14 @@ main(int argc, char **argv)
             }
             if (e.name.rfind("serve.", 0) == 0) {
                 servingCounters[e.name.substr(6)].record(it->second);
+                break;
+            }
+            if (e.name.rfind("paged.", 0) == 0) {
+                pagedCounters[e.name.substr(6)].record(it->second);
+                break;
+            }
+            if (e.name.rfind("arbiter.", 0) == 0) {
+                arbiterCounters[e.name.substr(8)].record(it->second);
                 break;
             }
             counters[e.name].record(it->second);
@@ -422,6 +561,7 @@ main(int argc, char **argv)
     printWorkerTable(servingCounters);
     printServingTable(servingCounters);
     printInterpTable(interpCounters);
+    printHybridTable(pagedCounters, arbiterCounters);
     printSafetyTable(safetyCounters);
     return 0;
 }

@@ -49,6 +49,10 @@ struct Options
     bool guardOpt = true;
     bool guardReport = false;
     bool checkSafety = false;
+    std::string hybrid;       ///< "", "auto", or "paged" (--hybrid)
+    bool accessReport = false; ///< --print-access-report
+    std::string profileIn;    ///< --profile=<file> (PGO tie-breaks)
+    std::string profileOut;   ///< --emit-profile=<file>
     std::string engine = "bytecode"; ///< "bytecode" or "ref"
     std::string sanitize;   ///< "farmem", or empty = off
     std::string trace;      ///< trace output path; empty = off
@@ -80,6 +84,19 @@ usage()
         "  --no-guard-opt        disable the guard optimization suite\n"
         "  --print-after=<pass>  dump IR after the named pass (or 'all')\n"
         "  --print-guard-report  per-allocation-site guard table\n"
+        "  --hybrid[=auto|paged] hybrid data plane: run the static\n"
+        "                        access-pattern analysis and route Dense\n"
+        "                        allocation sites to the paged plane\n"
+        "                        (auto, default) or force every site\n"
+        "                        paged (paged; ablation baseline)\n"
+        "  --print-access-report per-site access-pattern verdicts with\n"
+        "                        stride/chase evidence, plus arbiter\n"
+        "                        decisions under --hybrid\n"
+        "  --profile=<file>      allocation-site profile for the\n"
+        "                        arbiter's Mixed/Unknown PGO tie-break\n"
+        "  --emit-profile=<file> write (merging into an existing file)\n"
+        "                        the observed allocation-site profile\n"
+        "                        after --run\n"
         "  --check-safety        run the static guard-safety checker on\n"
         "                        the IR after every pipeline pass; print\n"
         "                        diagnostics and exit non-zero on any\n"
@@ -137,6 +154,16 @@ parseArgs(int argc, char **argv, Options &options)
             options.guardReport = true;
         } else if (arg == "--check-safety") {
             options.checkSafety = true;
+        } else if (arg == "--hybrid") {
+            options.hybrid = "auto";
+        } else if (arg.rfind("--hybrid=", 0) == 0) {
+            options.hybrid = arg.substr(9);
+        } else if (arg == "--print-access-report") {
+            options.accessReport = true;
+        } else if (arg.rfind("--profile=", 0) == 0) {
+            options.profileIn = arg.substr(10);
+        } else if (arg.rfind("--emit-profile=", 0) == 0) {
+            options.profileOut = arg.substr(15);
         } else if (arg.rfind("--engine=", 0) == 0) {
             options.engine = arg.substr(9);
         } else if (arg.rfind("--sanitize=", 0) == 0) {
@@ -422,6 +449,32 @@ main(int argc, char **argv)
                      options.engine.c_str());
         return 2;
     }
+    if (options.hybrid == "auto")
+        config.passes.arbiterMode = tfm::ArbiterMode::Auto;
+    else if (options.hybrid == "paged")
+        config.passes.arbiterMode = tfm::ArbiterMode::ForceAllPaged;
+    else if (!options.hybrid.empty()) {
+        std::fprintf(stderr, "tfmc: bad --hybrid value '%s'\n",
+                     options.hybrid.c_str());
+        return 2;
+    }
+    tfm::AllocSiteProfile pgoProfile;
+    if (!options.profileIn.empty()) {
+        std::ifstream pin(options.profileIn);
+        if (!pin) {
+            std::fprintf(stderr, "tfmc: cannot open profile '%s'\n",
+                         options.profileIn.c_str());
+            return 1;
+        }
+        std::ostringstream ptext;
+        ptext << pin.rdbuf();
+        if (!tfm::AllocSiteProfile::parse(ptext.str(), pgoProfile)) {
+            std::fprintf(stderr, "tfmc: malformed profile '%s'\n",
+                         options.profileIn.c_str());
+            return 1;
+        }
+        config.passes.arbiterProfile = &pgoProfile;
+    }
     config.engine = options.engine == "ref"
                         ? tfm::InterpEngine::Reference
                         : tfm::InterpEngine::Bytecode;
@@ -471,7 +524,33 @@ main(int argc, char **argv)
     if (safety_diags > 0)
         return 1;
 
-    if (options.emitIr || (!options.run && !options.checkSafety))
+    if (options.accessReport) {
+        if (config.passes.arbiterMode != tfm::ArbiterMode::Off) {
+            const tfm::ArbiterReport &arb = system.arbiterReport();
+            std::fputs(arb.accessReport.c_str(), stdout);
+            for (const tfm::ArbiterDecision &d : arb.decisions) {
+                std::printf("arbiter: site %u @%s verdict %s plane %s "
+                            "reason %s\n",
+                            d.ordinal, d.function.c_str(),
+                            tfm::accessVerdictName(d.verdict),
+                            d.paged ? "paged" : "guard",
+                            d.reason.c_str());
+            }
+            std::printf("arbiter: %llu paged, %llu guard, %llu pgo "
+                        "tie-break(s)\n",
+                        static_cast<unsigned long long>(arb.pagedSites),
+                        static_cast<unsigned long long>(arb.guardSites),
+                        static_cast<unsigned long long>(
+                            arb.pgoTieBreaks));
+        } else {
+            const tfm::AccessPatternAnalysis analysis(
+                compiled.program->ir());
+            std::fputs(analysis.report().c_str(), stdout);
+        }
+    }
+
+    if (options.emitIr ||
+        (!options.run && !options.checkSafety && !options.accessReport))
         std::fputs(compiled.program->disassemble().c_str(), stdout);
 
     if (!options.run) {
@@ -485,7 +564,7 @@ main(int argc, char **argv)
     tfm::Interpreter interpreter(compiled.program->ir(),
                                  system.runtime());
     interpreter.engine = config.engine;
-    if (options.guardReport)
+    if (options.guardReport || !options.profileOut.empty())
         interpreter.enableAllocationProfiling();
     if (options.sanitize == "farmem")
         interpreter.enableSanitizer();
@@ -591,6 +670,37 @@ main(int argc, char **argv)
         const tfm::AllocSiteProfile profile =
             interpreter.allocationProfile();
         printGuardReport(system, *compiled.program, &profile);
+    }
+
+    if (!options.profileOut.empty()) {
+        // Multi-epoch accumulation: fold any existing profile into the
+        // fresh observation (matching ordinals sum, new sites insert
+        // at their ordinal-sorted position).
+        tfm::AllocSiteProfile merged = interpreter.allocationProfile();
+        std::ifstream existing(options.profileOut);
+        if (existing) {
+            std::ostringstream old;
+            old << existing.rdbuf();
+            tfm::AllocSiteProfile previous;
+            if (tfm::AllocSiteProfile::parse(old.str(), previous)) {
+                previous.merge(merged);
+                merged = std::move(previous);
+            } else {
+                std::fprintf(stderr,
+                             "tfmc: --emit-profile=%s: existing file is "
+                             "not a profile; overwriting\n",
+                             options.profileOut.c_str());
+            }
+        }
+        std::ofstream pout(options.profileOut);
+        if (!pout) {
+            std::fprintf(stderr, "tfmc: cannot write profile '%s'\n",
+                         options.profileOut.c_str());
+            return 1;
+        }
+        pout << merged.serialize();
+        std::fprintf(stderr, "tfmc: wrote %zu profiled site(s) to '%s'\n",
+                     merged.sites.size(), options.profileOut.c_str());
     }
 
     if (options.stats) {

@@ -18,7 +18,14 @@ Perfetto / chrome://tracing will load. Checks:
   * serving-subsystem exports are well-formed: serve.* counters carry a
     non-negative integer value, and a serving run emits the full epoch
     triple (serve.qdepth, serve.generated, serve.completed) with
-    generated >= completed on every sample.
+    generated >= completed on every sample;
+  * hybrid-data-plane exports are well-formed: arbiter.* and paged.*
+    counters carry non-negative integer values, an arbiter decision
+    sample emits the full triple (arbiter.paged_sites,
+    arbiter.guard_sites, arbiter.pgo_tiebreaks), and the cumulative
+    paged-plane counters (major_faults, minor_faults, reclaims) are
+    monotone per track — paged.resident_pages is a gauge and may move
+    both ways.
 
 Exit status 0 when valid; 1 with a diagnostic on the first failure.
 """
@@ -50,6 +57,8 @@ def validate(path):
     last_ts = {}  # (pid, tid) -> last timestamp seen in buffer order
     depth = {}  # (pid, tid) -> open 'B' span count
     serve_counters = {}  # serve.* name -> [(track, ts, value), ...]
+    arbiter_counters = {}  # arbiter.* name -> [(track, ts, value), ...]
+    paged_counters = {}  # paged.* name -> [(track, ts, value), ...]
     for i, e in enumerate(events):
         if not isinstance(e, dict):
             fail(f"event {i}: not an object")
@@ -113,6 +122,22 @@ def validate(path):
                 serve_counters.setdefault(e["name"], []).append(
                     (track, e["ts"], value)
                 )
+            elif e["name"].startswith(("arbiter.", "paged.")):
+                value = e.get("args", {}).get("value")
+                if not isinstance(value, int) or value < 0:
+                    fail(
+                        f"event {i} ({e['name']}): hybrid data-plane "
+                        f"counter without non-negative integer value "
+                        f"({value!r})"
+                    )
+                bucket = (
+                    arbiter_counters
+                    if e["name"].startswith("arbiter.")
+                    else paged_counters
+                )
+                bucket.setdefault(e["name"], []).append(
+                    (track, e["ts"], value)
+                )
 
     open_spans = {t: d for t, d in depth.items() if d}
     if open_spans:
@@ -152,6 +177,32 @@ def validate(path):
                     f"{gen[(track, ts)]} at ts {ts}"
                 )
 
+    if arbiter_counters:
+        # The arbiter emits its decision totals as one sample triple
+        # after the pass pipeline; a missing member means the
+        # System-side export regressed.
+        for member in ("arbiter.paged_sites", "arbiter.guard_sites",
+                       "arbiter.pgo_tiebreaks"):
+            if member not in arbiter_counters:
+                fail(
+                    f"arbiter counters present but {member} missing "
+                    f"(have: {sorted(arbiter_counters)})"
+                )
+
+    # The paged plane's fault/reclaim counters are cumulative: monotone
+    # per track. resident_pages is a gauge (reclaim shrinks it).
+    for name in ("paged.major_faults", "paged.minor_faults",
+                 "paged.reclaims"):
+        by_track = {}
+        for track, ts, value in paged_counters.get(name, []):
+            prev = by_track.get(track)
+            if prev is not None and value < prev:
+                fail(
+                    f"{name} went backwards on track {track} "
+                    f"({prev} -> {value})"
+                )
+            by_track[track] = value
+
     n_timed = sum(1 for e in events if e.get("ph") != "M")
     n_recorder = sum(
         1
@@ -168,6 +219,11 @@ def validate(path):
     n_serving = sum(len(v) for v in serve_counters.values())
     if n_serving:
         summary += f", {n_serving} serving counters"
+    n_hybrid = sum(len(v) for v in arbiter_counters.values()) + sum(
+        len(v) for v in paged_counters.values()
+    )
+    if n_hybrid:
+        summary += f", {n_hybrid} hybrid counters"
     print(summary + ")")
 
 
